@@ -1,0 +1,115 @@
+#ifndef MORSELDB_BENCH_BENCH_UTIL_H_
+#define MORSELDB_BENCH_BENCH_UTIL_H_
+
+// Shared helpers for the paper-reproduction bench binaries. Each binary
+// regenerates one table or figure of the paper (see DESIGN.md §3) and is
+// tuned to finish in seconds on a small container; environment knobs:
+//
+//   MORSEL_BENCH_SF       TPC-H/SSB scale factor   (default 0.02 / 0.05)
+//   MORSEL_BENCH_WORKERS  worker threads           (default topo cores)
+//   MORSEL_SOCKETS / MORSEL_CORES_PER_SOCKET  virtual topology
+//   MORSEL_BENCH_ALL      =1 -> run full query sets where a subset is
+//                         the default
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/timer.h"
+#include "engine/engine.h"
+#include "engine/query.h"
+#include "numa/topology.h"
+
+namespace morsel {
+namespace bench {
+
+inline double GetSf(double def) {
+  if (const char* env = std::getenv("MORSEL_BENCH_SF")) {
+    double v = std::atof(env);
+    if (v > 0) return v;
+  }
+  return def;
+}
+
+inline int GetWorkers(int def) {
+  if (const char* env = std::getenv("MORSEL_BENCH_WORKERS")) {
+    int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  return def;
+}
+
+inline bool RunAll() { return std::getenv("MORSEL_BENCH_ALL") != nullptr; }
+
+// Morsel size for benches over scaled-down data: the paper's 100k
+// default assumes SF-100-sized inputs; scaled to bench data so each
+// socket still holds many morsels (locality + load balancing both need
+// morsel_count >> workers).
+inline uint64_t GetMorselSize(uint64_t def) {
+  if (const char* env = std::getenv("MORSEL_BENCH_MORSEL_SIZE")) {
+    long long v = std::atoll(env);
+    if (v > 0) return static_cast<uint64_t>(v);
+  }
+  return def;
+}
+
+// Default bench topology: the paper's 4-socket shape when the host has
+// enough cores, otherwise one virtual core per physical core (2 sockets)
+// so that workers are not timeshared — oversubscription makes whichever
+// worker the OS runs drain its socket and steal, which distorts the
+// locality metrics (see EXPERIMENTS.md).
+inline Topology BenchTopology() {
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 2;
+  int sockets = hw >= 8 ? 4 : 2;
+  int cores = std::max(1, static_cast<int>(hw) / sockets);
+  if (const char* env = std::getenv("MORSEL_SOCKETS")) {
+    sockets = std::max(1, std::atoi(env));
+  }
+  if (const char* env = std::getenv("MORSEL_CORES_PER_SOCKET")) {
+    cores = std::max(1, std::atoi(env));
+  }
+  return Topology(sockets, cores, InterconnectKind::kFullyConnected);
+}
+
+// Median-of-k query timer (first run warms caches/allocators).
+template <typename Fn>
+double TimeQuerySeconds(Fn&& fn, int repeats = 3) {
+  std::vector<double> times;
+  for (int i = 0; i < repeats; ++i) {
+    WallTimer t;
+    fn();
+    times.push_back(t.ElapsedSeconds());
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+inline double GeoMean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0;
+  double s = 0;
+  for (double x : xs) s += std::log(x);
+  return std::exp(s / static_cast<double>(xs.size()));
+}
+
+inline double Sum(const std::vector<double>& xs) {
+  double s = 0;
+  for (double x : xs) s += x;
+  return s;
+}
+
+inline void PrintHeader(const char* title, const char* paper_ref) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("reproduces: %s\n", paper_ref);
+  std::printf("================================================================\n");
+}
+
+}  // namespace bench
+}  // namespace morsel
+
+#endif  // MORSELDB_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,74 @@
+// Figure 11: TPC-H speedup curves for the four engine variants —
+// full-fledged, not-NUMA-aware, non-adaptive (static division, no
+// tagging) and the Volcano baseline — as worker count grows. The paper's
+// claim: the full engine scales near-linearly; disabling NUMA awareness
+// costs a constant factor; static division and Volcano plateau.
+//
+// Default: a representative query subset; MORSEL_BENCH_ALL=1 runs all 22.
+
+#include "bench_util.h"
+#include "tpch/tpch.h"
+#include "tpch/tpch_queries.h"
+#include "volcano/volcano.h"
+
+int main() {
+  using namespace morsel;
+  bench::PrintHeader("fig11_tpch_scalability — engine variants vs workers",
+                     "Figure 11 (TPC-H scalability)");
+  Topology topo = bench::BenchTopology();
+  double sf = bench::GetSf(0.02);
+  std::printf("generating TPC-H sf=%.3f ...\n", sf);
+  TpchData db = GenerateTpch(sf, topo);
+  // The not-NUMA-aware variant also loses placement: the paper's variant
+  // "relies on the operating system instead" (data on one node).
+  TpchData db_os = GenerateTpch(sf, topo, Placement::kOsDefault);
+
+  std::vector<int> queries = {1, 3, 6, 9, 13, 18};
+  if (bench::RunAll()) {
+    queries.clear();
+    for (int q = 1; q <= kNumTpchQueries; ++q) queries.push_back(q);
+  }
+  std::vector<int> worker_counts;
+  for (int w = 1; w <= topo.total_cores(); w *= 2) {
+    worker_counts.push_back(w);
+  }
+
+  struct Variant {
+    const char* name;
+    EngineOptions opts;
+    const TpchData* data;
+  };
+  EngineOptions base;
+  std::vector<Variant> variants = {
+      {"full-fledged", base, &db},
+      {"not NUMA aware", MakeNotNumaAwareOptions(base), &db_os},
+      {"non-adaptive", MakeNonAdaptiveOptions(base), &db},
+      {"Volcano", MakeVolcanoOptions(base), &db},
+  };
+
+  for (int qn : queries) {
+    std::printf("\nTPC-H Q%d — speedup over 1 worker\n", qn);
+    std::printf("%-16s", "workers:");
+    for (int w : worker_counts) std::printf(" %8d", w);
+    std::printf("\n");
+    for (Variant& v : variants) {
+      std::printf("%-16s", v.name);
+      double t1 = -1;
+      for (int w : worker_counts) {
+        EngineOptions opts = v.opts;
+        opts.num_workers = w;
+        Engine engine(topo, opts);
+        double t = bench::TimeQuerySeconds(
+            [&] { RunTpchQuery(engine, *v.data, qn); }, 1);
+        if (t1 < 0) t1 = t;
+        std::printf(" %7.2fx", t1 / t);
+      }
+      std::printf("\n");
+    }
+  }
+  std::printf(
+      "\npaper shape: full-fledged on top, NUMA-oblivious below it,\n"
+      "non-adaptive and Volcano flattest (hard-limited by physical cores\n"
+      "on this host).\n");
+  return 0;
+}

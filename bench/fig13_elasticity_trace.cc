@@ -1,0 +1,46 @@
+// Figure 13: morsel-wise elasticity trace. Start TPC-H Q13 on a small
+// worker pool, then inject Q14 mid-flight: workers finish their current
+// morsels, switch to the newcomer, and return — visible as an
+// interleaved per-worker Gantt chart (ASCII rendering of the paper's
+// colored trace; CSV written next to it for plotting).
+
+#include <fstream>
+#include <iostream>
+#include <thread>
+
+#include "bench_util.h"
+#include "tpch/tpch.h"
+#include "tpch/tpch_queries.h"
+
+int main() {
+  using namespace morsel;
+  bench::PrintHeader("fig13_elasticity_trace — Q14 preempts Q13",
+                     "Figure 13 (morsel-wise processing and elasticity)");
+  Topology topo(1, 4, InterconnectKind::kFullyConnected);
+  double sf = bench::GetSf(0.05);
+  std::printf("generating TPC-H sf=%.3f ...\n", sf);
+  TpchData db = GenerateTpch(sf, topo);
+
+  EngineOptions opts;
+  opts.num_workers = 4;  // the paper uses 4 workers "for graphical reasons"
+  opts.morsel_size = 3000;
+  opts.record_trace = true;
+  Engine engine(topo, opts);
+
+  // Q13 in a background thread (query A)...
+  std::thread long_query([&] { RunTpchQuery(engine, db, 13); });
+  // ... and Q14 arriving shortly after (query B).
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  RunTpchQuery(engine, db, 14);
+  long_query.join();
+
+  std::printf("\nper-worker execution trace (letter = query: A=Q13 B=Q14)\n");
+  engine.trace()->DumpAscii(std::cout, 100);
+  std::ofstream csv("fig13_trace.csv");
+  engine.trace()->DumpCsv(csv);
+  std::printf("\nfull event log written to fig13_trace.csv\n");
+  std::printf(
+      "paper shape: workers switch from A to B at morsel boundaries and\n"
+      "return to A when B finishes — no thread creation or preemption.\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Section 5.1 comparison table: morsel-driven engine vs. the plan-driven
+// (Volcano-style) baseline over the full TPC-H suite — geometric mean,
+// total time, and scalability. The paper reports HyPer at geo mean 0.45s
+// / speedup 28.1x vs Vectorwise at 2.84s / 9.3x; the reproducible shape
+// is morsel-driven being faster in aggregate and scaling better than the
+// statically divided baseline.
+
+#include "bench_util.h"
+#include "tpch/tpch.h"
+#include "tpch/tpch_queries.h"
+#include "volcano/volcano.h"
+
+int main() {
+  using namespace morsel;
+  bench::PrintHeader(
+      "sec51_system_comparison — morsel-driven vs plan-driven",
+      "Section 5.1 summary table (HyPer vs Vectorwise)");
+  Topology topo = bench::BenchTopology();
+  double sf = bench::GetSf(0.02);
+  std::printf("generating TPC-H sf=%.3f ...\n", sf);
+  TpchData db = GenerateTpch(sf, topo);
+
+  int workers = bench::GetWorkers(topo.total_cores());
+  EngineOptions base;
+  base.num_workers = workers;
+
+  struct System {
+    const char* name;
+    EngineOptions opts;
+  };
+  std::vector<System> systems;
+  systems.push_back({"morselDB (full-fledged)", base});
+  systems.push_back({"Volcano baseline", MakeVolcanoOptions(base)});
+
+  std::printf("workers=%d\n\n%3s", workers, "#");
+  for (const System& s : systems) std::printf(" %26s", s.name);
+  std::printf("\n");
+
+  std::vector<std::vector<double>> times(systems.size());
+  std::vector<std::vector<double>> scal(systems.size());
+  for (int qn = 1; qn <= kNumTpchQueries; ++qn) {
+    std::printf("%3d", qn);
+    for (size_t s = 0; s < systems.size(); ++s) {
+      Engine engine(topo, systems[s].opts);
+      EngineOptions one = systems[s].opts;
+      one.num_workers = 1;
+      Engine single(topo, one);
+      double t = bench::TimeQuerySeconds(
+          [&] { RunTpchQuery(engine, db, qn); }, 1);
+      double t1 = bench::TimeQuerySeconds(
+          [&] { RunTpchQuery(single, db, qn); }, 1);
+      times[s].push_back(t);
+      scal[s].push_back(t1 / t);
+      std::printf("        %8.4fs (%4.1fx)", t, t1 / t);
+    }
+    std::printf("\n");
+  }
+  std::printf("\n%-26s %10s %9s %7s\n", "system", "geo.mean", "sum",
+              "scal.");
+  for (size_t s = 0; s < systems.size(); ++s) {
+    std::printf("%-26s %9.4fs %8.2fs %6.1fx\n", systems[s].name,
+                bench::GeoMean(times[s]), bench::Sum(times[s]),
+                bench::GeoMean(scal[s]));
+  }
+  std::printf(
+      "\npaper shape: morsel-driven wins on sum and geo mean and has the\n"
+      "higher average scalability (28.1x vs 9.3x on 32 cores; bounded by\n"
+      "physical cores here).\n");
+  return 0;
+}

@@ -1,0 +1,136 @@
+// Section 5.3: the value of NUMA awareness.
+//
+// Part A reproduces the placement-strategy table: NUMA-aware placement
+// (partitioned, local scans) vs "OS default" (everything on one node, as
+// when a single thread loads the database) vs "interleaved" (round-robin
+// chunks). The paper reports OS-default at 1.57x (geo mean) / 4.95x
+// (max) slower than NUMA-aware on Nehalem EX. On a single-node host the
+// *time* deltas vanish, so the accountant's remote-access percentages
+// carry the comparison: they are deterministic and topology-accurate.
+//
+// Part B is the local-vs-mix micro benchmark (bandwidth + latency). On
+// this container all sockets are simulated, so the physical numbers are
+// equal by construction; the table reports measured values plus the
+// logical remote fraction.
+
+#include <numeric>
+
+#include "bench_util.h"
+#include "numa/allocator.h"
+#include "tpch/tpch.h"
+#include "tpch/tpch_queries.h"
+
+namespace morsel {
+namespace {
+
+struct PlacementRow {
+  const char* name;
+  Placement placement;
+  bool numa_aware;
+};
+
+void PartA(const Topology& topo, double sf) {
+  std::printf("--- Part A: placement strategies (TPC-H subset) ---\n");
+  std::vector<int> queries = {1, 3, 4, 6, 12, 14};
+  std::vector<PlacementRow> rows = {
+      {"NUMA-aware", Placement::kNumaLocal, true},
+      {"OS default", Placement::kOsDefault, false},
+      {"interleaved", Placement::kInterleaved, false},
+  };
+  std::printf("%-12s %10s %10s %9s %9s\n", "placement", "geo.mean",
+              "max.slow", "remote%", "link%");
+  std::vector<double> aware_times;
+  for (const PlacementRow& row : rows) {
+    TpchData db = GenerateTpch(sf, topo, row.placement);
+    EngineOptions opts;
+    opts.numa_aware = row.numa_aware;
+    opts.num_workers = bench::GetWorkers(topo.total_cores());
+    Engine engine(topo, opts);
+    std::vector<double> times;
+    double remote = 0, link = 0;
+    for (int qn : queries) {
+      engine.stats()->ResetAll();
+      times.push_back(bench::TimeQuerySeconds(
+          [&] { RunTpchQuery(engine, db, qn); }, 1));
+      TrafficSnapshot snap = engine.stats()->Aggregate();
+      remote += snap.RemotePercent();
+      link += snap.MaxLinkPercent();
+    }
+    if (aware_times.empty()) aware_times = times;
+    double max_slow = 0;
+    for (size_t i = 0; i < times.size(); ++i) {
+      max_slow = std::max(max_slow, times[i] / aware_times[i]);
+    }
+    std::printf("%-12s %9.4fs %9.2fx %8.0f %8.0f\n", row.name,
+                bench::GeoMean(times), max_slow,
+                remote / queries.size(), link / queries.size());
+  }
+  std::printf(
+      "paper shape: NUMA-aware lowest remote%%; OS-default ~(S-1)/S\n"
+      "remote with one hot memory node (link%% high); interleaved spreads\n"
+      "traffic but stays mostly remote. Wall-clock deltas require real\n"
+      "NUMA hardware (see EXPERIMENTS.md).\n\n");
+}
+
+void PartB(const Topology& topo) {
+  std::printf("--- Part B: local vs mixed access micro benchmark ---\n");
+  const size_t n = 16u << 20;  // 16M int64 = 128 MB per "socket"
+  int sockets = topo.num_sockets();
+  std::vector<int64_t*> bufs;
+  for (int s = 0; s < sockets; ++s) {
+    auto* b = static_cast<int64_t*>(NumaAlloc(n * sizeof(int64_t), s));
+    for (size_t i = 0; i < n; ++i) b[i] = static_cast<int64_t>(i);
+    bufs.push_back(b);
+  }
+  auto bandwidth = [&](bool mix) {
+    WallTimer t;
+    int64_t sum = 0;
+    size_t chunk = n / sockets;
+    for (int s = 0; s < sockets; ++s) {
+      const int64_t* src = mix ? bufs[s] : bufs[0];
+      for (size_t i = 0; i < chunk; ++i) sum += src[i];
+    }
+    double secs = t.ElapsedSeconds();
+    if (sum == 42) std::printf("!");  // defeat dead-code elimination
+    return (static_cast<double>(chunk) * sockets * 8) / secs / 1e9;
+  };
+  // Dependent pointer chase for latency (volatile sink defeats DCE).
+  auto latency = [&](bool mix) {
+    const size_t steps = 4u << 20;
+    size_t idx = 1;
+    WallTimer t;
+    for (size_t i = 0; i < steps; ++i) {
+      const int64_t* b = mix ? bufs[(idx & 3) % sockets] : bufs[0];
+      idx = static_cast<size_t>(b[(idx * 2654435761u) % n]) % n | 1;
+    }
+    volatile size_t sink = idx;
+    (void)sink;
+    return t.ElapsedSeconds() / steps * 1e9;
+  };
+  std::printf("%-18s %12s %12s\n", "", "bandwidth", "latency");
+  std::printf("%-18s %9.1f GB/s %9.1f ns\n", "local",
+              bandwidth(false), latency(false));
+  std::printf("%-18s %9.1f GB/s %9.1f ns\n", "25%/75% mix",
+              bandwidth(true), latency(true));
+  std::printf(
+      "note: sockets are simulated on this host, so local == mix\n"
+      "physically; on real 4-socket hardware the paper measured\n"
+      "93 vs 60 GB/s and 161 vs 186 ns (Nehalem EX), 121 vs 41 GB/s and\n"
+      "101 vs 257 ns (Sandy Bridge EP).\n");
+  for (int s = 0; s < sockets; ++s) {
+    NumaFree(bufs[s], n * sizeof(int64_t));
+  }
+}
+
+}  // namespace
+}  // namespace morsel
+
+int main() {
+  using namespace morsel;
+  bench::PrintHeader("sec53_numa_awareness — placement strategies & micro",
+                     "Section 5.3 tables");
+  Topology topo = bench::BenchTopology();
+  PartA(topo, bench::GetSf(0.02));
+  PartB(topo);
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Table 1: TPC-H per-query statistics on the (simulated) Nehalem-EX-like
+// fully connected 4-socket topology: execution time, scalability
+// (1-worker time / N-worker time), read/written volume, remote-access
+// percentage and the most-loaded interconnect link's share of traffic
+// (the paper's "QPI" column, from the software traffic accountant
+// replacing Intel PCM — see DESIGN.md §1).
+
+#include "bench_util.h"
+#include "tpch/tpch.h"
+#include "tpch/tpch_queries.h"
+
+int main() {
+  using namespace morsel;
+  bench::PrintHeader("tab1_tpch_stats — TPC-H on fully connected topology",
+                     "Table 1 (TPC-H statistics, Nehalem EX)");
+  Topology topo = bench::BenchTopology();
+  double sf = bench::GetSf(0.02);
+  std::printf("generating TPC-H sf=%.3f ...\n", sf);
+  TpchData db = GenerateTpch(sf, topo);
+
+  EngineOptions opts;
+  opts.num_workers = bench::GetWorkers(topo.total_cores());
+  opts.morsel_size = bench::GetMorselSize(2000);
+  Engine engine(topo, opts);
+  EngineOptions one = opts;
+  one.num_workers = 1;
+  Engine single(topo, one);
+
+  std::printf("workers=%d, sockets=%d\n\n", engine.num_workers(),
+              topo.num_sockets());
+  std::printf("%3s %9s %7s %9s %9s %8s %6s\n", "#", "time[s]", "scal.",
+              "rd[MB]", "wr[MB]", "remote%", "link%");
+  double sum_t = 0;
+  std::vector<double> times;
+  for (int qn = 1; qn <= kNumTpchQueries; ++qn) {
+    engine.stats()->ResetAll();
+    double t = bench::TimeQuerySeconds(
+        [&] { RunTpchQuery(engine, db, qn); }, 3);
+    TrafficSnapshot snap = engine.stats()->Aggregate();
+    double t1 = bench::TimeQuerySeconds(
+        [&] { RunTpchQuery(single, db, qn); }, 3);
+    std::printf("%3d %9.4f %6.1fx %9.1f %9.1f %7.0f %6.0f\n", qn, t,
+                t1 / t, snap.bytes_read() / 1e6,
+                snap.bytes_written() / 1e6, snap.RemotePercent(),
+                snap.MaxLinkPercent());
+    sum_t += t;
+    times.push_back(t);
+  }
+  std::printf("\ngeo mean %.4fs   sum %.2fs\n", bench::GeoMean(times),
+              sum_t);
+  std::printf(
+      "paper shape: all queries NUMA-local dominant (remote%% well below\n"
+      "interleaved's (S-1)/S), no single link saturated.\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// The paper's motivating query (Figure 1): the three-way join
+//     R |><|_A S |><|_B T
+// decomposed into three pipelines — build HT(T), build HT(S), then the
+// fully pipelined probe of R through both hash tables (a "team" of joins,
+// §4.1). Prints scheduler statistics showing morsel-wise distribution
+// and NUMA-local execution.
+
+#include <cstdio>
+
+#include "common/hash.h"
+#include "engine/engine.h"
+#include "engine/query.h"
+#include "storage/table.h"
+
+using namespace morsel;
+
+namespace {
+
+std::unique_ptr<Table> MakeTable(const Topology& topo, const char* name,
+                                 const char* key, const char* payload,
+                                 int64_t rows, int64_t key_space) {
+  Schema schema({{key, LogicalType::kInt64},
+                 {payload, LogicalType::kInt64}});
+  auto t = std::make_unique<Table>(name, schema, topo);
+  for (int64_t i = 0; i < rows; ++i) {
+    int64_t k = static_cast<int64_t>(Hash64(i) % key_space);
+    // Co-locate by key hash (§4.3): matching build/probe tuples tend to
+    // land on the same socket.
+    int p = t->PartitionOfKey(Hash64(static_cast<uint64_t>(k)));
+    t->Int64Col(p, 0)->Append(k);
+    t->Int64Col(p, 1)->Append(i);
+  }
+  for (int p = 0; p < t->num_partitions(); ++p) t->SealPartition(p);
+  return t;
+}
+
+}  // namespace
+
+int main() {
+  Topology topo = Topology::Detect();
+  EngineOptions opts;
+  opts.morsel_size = 20000;
+  Engine engine(topo, opts);
+
+  // R is the big probe side; S and T are the dimension-style build sides.
+  auto r = MakeTable(topo, "R", "a", "r_val", 2000000, 50000);
+  auto s = MakeTable(topo, "S", "a", "b", 50000, 20000);
+  auto t = MakeTable(topo, "T", "b", "t_val", 20000, 20000);
+
+  auto q = engine.CreateQuery();
+  // Pipelines 1+2: the QEP object serializes the two builds (§3.2 — no
+  // bushy parallelism), each one morsel-wise parallel internally.
+  PlanBuilder st = q->Scan(s.get(), {"a", "b"});
+  PlanBuilder tt = q->Scan(t.get(), {"b", "t_val"});
+  // Pipeline 3: scan R, probe HT(S), probe HT(T), aggregate.
+  PlanBuilder pb = q->Scan(r.get(), {"a", "r_val"});
+  pb.HashJoin(std::move(st), {"a"}, {"a"}, {"b"}, JoinKind::kInner);
+  pb.HashJoin(std::move(tt), {"b"}, {"b"}, {"t_val"}, JoinKind::kInner);
+  std::vector<AggItem> aggs;
+  aggs.push_back({AggFunc::kCount, nullptr, "joined_rows"});
+  aggs.push_back({AggFunc::kSum, pb.Col("t_val"), "sum_t"});
+  pb.GroupBy({}, std::move(aggs));
+  pb.CollectResult();
+
+  ResultSet result = q->Execute();
+  std::printf("R |><| S |><| T produced %lld joined rows (sum_t=%lld)\n",
+              static_cast<long long>(result.I64(0, 0)),
+              static_cast<long long>(result.I64(0, 1)));
+
+  // Scheduler's-eye view of the run.
+  WorkerPool* pool = engine.pool();
+  TrafficSnapshot traffic = engine.stats()->Aggregate();
+  std::printf("\nscheduler statistics\n");
+  std::printf("  workers              : %d\n", pool->num_workers());
+  std::printf("  morsels executed     : %llu\n",
+              static_cast<unsigned long long>(pool->TotalMorselsRun()));
+  std::printf("  stolen cross-socket  : %llu\n",
+              static_cast<unsigned long long>(pool->TotalMorselsStolen()));
+  std::printf("  busiest/least busy   : %.2f ms / %.2f ms (photo finish)\n",
+              pool->MaxBusyMicros() / 1000.0,
+              pool->MinBusyMicros() / 1000.0);
+  std::printf("  bytes read           : %.1f MB (%.0f%% remote)\n",
+              traffic.bytes_read() / 1e6, traffic.RemotePercent());
+  return 0;
+}

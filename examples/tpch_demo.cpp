@@ -1,0 +1,41 @@
+// TPC-H demo: generates a small TPC-H database in memory and runs a few
+// representative queries, printing the top rows of each result — the
+// kind of workload the paper's evaluation (§5.2) is built on.
+//
+//   build/examples/tpch_demo [scale_factor]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/timer.h"
+#include "engine/engine.h"
+#include "engine/query.h"
+#include "tpch/tpch.h"
+#include "tpch/tpch_queries.h"
+
+using namespace morsel;
+
+int main(int argc, char** argv) {
+  double sf = argc > 1 ? std::atof(argv[1]) : 0.01;
+  Topology topo = Topology::Detect();
+  Engine engine(topo, EngineOptions{});
+
+  std::printf("generating TPC-H sf=%.3f ...\n", sf);
+  WallTimer gen;
+  TpchData db = GenerateTpch(sf, topo);
+  std::printf("%zu total rows in %.2fs (lineitem: %zu)\n\n",
+              db.TotalRows(), gen.ElapsedSeconds(),
+              db.lineitem->NumRows());
+
+  for (int qn : {1, 3, 5, 6, 13}) {
+    WallTimer t;
+    ResultSet r = RunTpchQuery(engine, db, qn);
+    std::printf("Q%-2d  %6.1f ms, %lld rows\n", qn,
+                t.ElapsedSeconds() * 1000.0,
+                static_cast<long long>(r.num_rows()));
+    for (int64_t i = 0; i < std::min<int64_t>(3, r.num_rows()); ++i) {
+      std::printf("     %s\n", r.RowToString(i).c_str());
+    }
+  }
+  return 0;
+}

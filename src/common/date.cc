@@ -1,0 +1,114 @@
+#include "common/date.h"
+
+#include <cstdio>
+
+#include "common/macros.h"
+
+namespace morsel {
+
+namespace {
+
+// Days in month, non-leap year.
+constexpr int kDaysInMonth[12] = {31, 28, 31, 30, 31, 30,
+                                  31, 31, 30, 31, 30, 31};
+
+bool IsLeap(int y) { return y % 4 == 0 && (y % 100 != 0 || y % 400 == 0); }
+
+int LastDayOfMonth(int y, int m) {
+  if (m == 2 && IsLeap(y)) return 29;
+  return kDaysInMonth[m - 1];
+}
+
+}  // namespace
+
+Date32 MakeDate(int year, int month, int day) {
+  // days_from_civil (Hinnant): shift year so the leap day is last.
+  const int y = year - (month <= 2);
+  const int era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);  // [0, 399]
+  const unsigned doy =
+      (153 * (month + (month > 2 ? -3 : 9)) + 2) / 5 + day - 1;  // [0, 365]
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;  // [0, 146096]
+  return era * 146097 + static_cast<int>(doe) - 719468;
+}
+
+void DateToCivil(Date32 date, int* year, int* month, int* day) {
+  // civil_from_days (Hinnant).
+  int z = date + 719468;
+  const int era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);  // [0,146096]
+  const unsigned yoe =
+      (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;  // [0, 399]
+  const int y = static_cast<int>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);  // [0, 365]
+  const unsigned mp = (5 * doy + 2) / 153;                       // [0, 11]
+  const unsigned d = doy - (153 * mp + 2) / 5 + 1;               // [1, 31]
+  const unsigned m = mp + (mp < 10 ? 3 : -9);                    // [1, 12]
+  *year = y + (m <= 2);
+  *month = static_cast<int>(m);
+  *day = static_cast<int>(d);
+}
+
+int DateYear(Date32 date) {
+  int y, m, d;
+  DateToCivil(date, &y, &m, &d);
+  return y;
+}
+
+int DateMonth(Date32 date) {
+  int y, m, d;
+  DateToCivil(date, &y, &m, &d);
+  return m;
+}
+
+Date32 DateAddMonths(Date32 date, int months) {
+  int y, m, d;
+  DateToCivil(date, &y, &m, &d);
+  int total = (y * 12 + (m - 1)) + months;
+  int ny = total / 12;
+  int nm = total % 12;
+  if (nm < 0) {
+    nm += 12;
+    --ny;
+  }
+  ++nm;
+  int nd = d;
+  int last = LastDayOfMonth(ny, nm);
+  if (nd > last) nd = last;
+  return MakeDate(ny, nm, nd);
+}
+
+Date32 DateAddYears(Date32 date, int years) {
+  return DateAddMonths(date, years * 12);
+}
+
+bool ParseDate(std::string_view text, Date32* out) {
+  if (text.size() != 10 || text[4] != '-' || text[7] != '-') return false;
+  auto digits = [&](int pos, int len, int* value) {
+    int v = 0;
+    for (int i = 0; i < len; ++i) {
+      char c = text[pos + i];
+      if (c < '0' || c > '9') return false;
+      v = v * 10 + (c - '0');
+    }
+    *value = v;
+    return true;
+  };
+  int y, m, d;
+  if (!digits(0, 4, &y) || !digits(5, 2, &m) || !digits(8, 2, &d)) {
+    return false;
+  }
+  if (m < 1 || m > 12 || d < 1 || d > LastDayOfMonth(y, m)) return false;
+  *out = MakeDate(y, m, d);
+  return true;
+}
+
+std::string FormatDate(Date32 date) {
+  int y, m, d;
+  DateToCivil(date, &y, &m, &d);
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", y, m, d);
+  return std::string(buf);
+}
+
+}  // namespace morsel

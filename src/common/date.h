@@ -1,0 +1,42 @@
+#ifndef MORSELDB_COMMON_DATE_H_
+#define MORSELDB_COMMON_DATE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace morsel {
+
+// Dates are stored as int32 days since 1970-01-01 (the "date32" encoding
+// used by Arrow and most columnar engines). TPC-H and SSB filter ranges
+// and extract years/months, so we provide civil-calendar conversions
+// (proleptic Gregorian, Howard Hinnant's days-from-civil algorithm).
+using Date32 = int32_t;
+
+// Converts a civil date (e.g. 1998, 12, 1) to days since the epoch.
+Date32 MakeDate(int year, int month, int day);
+
+// Inverse of MakeDate.
+void DateToCivil(Date32 date, int* year, int* month, int* day);
+
+// Extracts the year / month of a date.
+int DateYear(Date32 date);
+int DateMonth(Date32 date);
+
+// Adds a number of calendar months, clamping the day to the target
+// month's length (SQL interval semantics).
+Date32 DateAddMonths(Date32 date, int months);
+
+// Adds days / years.
+inline Date32 DateAddDays(Date32 date, int days) { return date + days; }
+Date32 DateAddYears(Date32 date, int years);
+
+// Parses "YYYY-MM-DD". Returns false on malformed input.
+bool ParseDate(std::string_view text, Date32* out);
+
+// Formats as "YYYY-MM-DD".
+std::string FormatDate(Date32 date);
+
+}  // namespace morsel
+
+#endif  // MORSELDB_COMMON_DATE_H_

@@ -1,0 +1,26 @@
+#include "common/hash.h"
+
+#include <cstring>
+
+namespace morsel {
+
+uint64_t HashBytes(const void* data, size_t len) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint64_t h = 0xcbf29ce484222325ULL;
+  // Consume 8-byte blocks, then the tail, FNV-1a style per block.
+  while (len >= 8) {
+    uint64_t block;
+    std::memcpy(&block, p, 8);
+    h = (h ^ block) * 0x100000001b3ULL;
+    p += 8;
+    len -= 8;
+  }
+  uint64_t tail = 0;
+  if (len > 0) {
+    std::memcpy(&tail, p, len);
+    h = (h ^ tail) * 0x100000001b3ULL;
+  }
+  return Hash64(h);
+}
+
+}  // namespace morsel

@@ -1,0 +1,43 @@
+#ifndef MORSELDB_COMMON_MACROS_H_
+#define MORSELDB_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Invariant checking. morselDB does not use exceptions (Google style);
+// violated invariants print a diagnostic and abort. MORSEL_CHECK is always
+// on; MORSEL_DCHECK compiles out in release builds (NDEBUG).
+#define MORSEL_CHECK(cond)                                                  \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "MORSEL_CHECK failed: %s at %s:%d\n", #cond,     \
+                   __FILE__, __LINE__);                                     \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#define MORSEL_CHECK_MSG(cond, msg)                                         \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "MORSEL_CHECK failed: %s (%s) at %s:%d\n", #cond,\
+                   (msg), __FILE__, __LINE__);                              \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#ifdef NDEBUG
+#define MORSEL_DCHECK(cond) \
+  do {                      \
+  } while (0)
+#else
+#define MORSEL_DCHECK(cond) MORSEL_CHECK(cond)
+#endif
+
+namespace morsel {
+
+// Size every contended structure is aligned to; matches common x86 lines.
+inline constexpr int kCacheLineSize = 64;
+
+}  // namespace morsel
+
+#endif  // MORSELDB_COMMON_MACROS_H_

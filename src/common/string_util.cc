@@ -1,0 +1,42 @@
+#include "common/string_util.h"
+
+namespace morsel {
+
+bool LikeMatch(std::string_view value, std::string_view pattern) {
+  // Iterative two-pointer wildcard matcher with backtracking to the most
+  // recent '%'. O(n*m) worst case but linear for typical TPC-H patterns.
+  size_t v = 0, p = 0;
+  size_t star_p = std::string_view::npos;  // pattern pos after last '%'
+  size_t star_v = 0;                       // value pos matched by that '%'
+  while (v < value.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == '_' || pattern[p] == value[v])) {
+      ++v;
+      ++p;
+    } else if (p < pattern.size() && pattern[p] == '%') {
+      star_p = ++p;
+      star_v = v;
+    } else if (star_p != std::string_view::npos) {
+      p = star_p;
+      v = ++star_v;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '%') ++p;
+  return p == pattern.size();
+}
+
+std::vector<std::string> Split(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == delim) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+}  // namespace morsel

@@ -1,0 +1,29 @@
+#ifndef MORSELDB_COMMON_STRING_UTIL_H_
+#define MORSELDB_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace morsel {
+
+// Matches `value` against a SQL LIKE `pattern` where '%' matches any
+// sequence (including empty) and '_' matches exactly one character.
+// No escape character (TPC-H/SSB patterns do not need one).
+bool LikeMatch(std::string_view value, std::string_view pattern);
+
+inline bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+inline bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+// Splits on a delimiter; keeps empty fields.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+}  // namespace morsel
+
+#endif  // MORSELDB_COMMON_STRING_UTIL_H_

@@ -1,0 +1,41 @@
+#ifndef MORSELDB_COMMON_TIMER_H_
+#define MORSELDB_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace morsel {
+
+// Monotonic wall-clock stopwatch used by benches and the scheduler trace.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               Clock::now() - start_)
+        .count();
+  }
+
+  // Monotonic microseconds since an arbitrary process-wide origin; used to
+  // timestamp scheduler trace events (Figure 13).
+  static int64_t NowMicros() {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               Clock::now().time_since_epoch())
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace morsel
+
+#endif  // MORSELDB_COMMON_TIMER_H_

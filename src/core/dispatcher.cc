@@ -1,0 +1,173 @@
+#include "core/dispatcher.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/timer.h"
+#include "core/qep.h"
+
+namespace morsel {
+
+namespace {
+// MORSEL_DEBUG_JOBS=1 prints one line per completed pipeline job.
+bool DebugJobs() {
+  static bool enabled = std::getenv("MORSEL_DEBUG_JOBS") != nullptr;
+  return enabled;
+}
+}  // namespace
+
+void Dispatcher::Submit(PipelineJob* job, WorkerContext& ctx) {
+  job->submit_micros = WallTimer::NowMicros();
+  for (auto& slot : slots_) {
+    PipelineJob* expected = nullptr;
+    if (slot.compare_exchange_strong(expected, job,
+                                     std::memory_order_acq_rel)) {
+      NotifyAll();
+      // An empty pipeline (no input rows) completes right here on the
+      // submitting thread; no worker would ever report a morsel for it.
+      TryComplete(job, ctx);
+      return;
+    }
+  }
+  MORSEL_CHECK_MSG(false, "dispatcher job table full");
+}
+
+PipelineJob* Dispatcher::PickJob(WorkerContext& ctx) {
+  (void)ctx;
+  PipelineJob* best = nullptr;
+  double best_score = 0.0;
+  for (auto& slot : slots_) {
+    PipelineJob* job = slot.load(std::memory_order_acquire);
+    if (job == nullptr) continue;
+    if (job->completed.load(std::memory_order_acquire)) continue;
+    QueryContext* q = job->query();
+    if (q->cancelled()) continue;
+    int active = q->active_workers().load(std::memory_order_relaxed);
+    if (active >= q->max_workers()) continue;
+    if (job->queue() == nullptr || job->queue()->Exhausted()) continue;
+    // Fair share: fewest active workers relative to priority wins.
+    double score = (active + 1) / q->priority();
+    if (best == nullptr || score < best_score) {
+      best = job;
+      best_score = score;
+    }
+  }
+  return best;
+}
+
+bool Dispatcher::GetTask(WorkerContext& ctx, Morsel* out) {
+  // A few retries cover races where the picked job drains between the
+  // pick and the cut; after that, report no work (worker will park).
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    PipelineJob* job = PickJob(ctx);
+    if (job == nullptr) return false;
+    // Reserve the hand-out BEFORE cutting: if this worker takes the last
+    // morsel, the queue reads as exhausted immediately, and a sibling's
+    // TryComplete must not see finished == handed_out until this morsel
+    // is processed. (Otherwise the job finalizes and its successors read
+    // sink state the straggler is still writing.)
+    job->handed_out.fetch_add(1, std::memory_order_acq_rel);
+    if (job->queue()->Next(ctx.socket, out)) {
+      out->job = job;
+      job->query()->active_workers().fetch_add(1,
+                                               std::memory_order_relaxed);
+      return true;
+    }
+    // Queue drained under us: undo the reservation. Our temporary
+    // over-count may have suppressed the completion check in a sibling
+    // that finished the true last morsel, so re-examine the job.
+    job->handed_out.fetch_sub(1, std::memory_order_acq_rel);
+    TryComplete(job, ctx);
+  }
+  return false;
+}
+
+void Dispatcher::FinishMorsel(const Morsel& m, WorkerContext& ctx) {
+  PipelineJob* job = m.job;
+  QueryContext* q = job->query();
+  q->active_workers().fetch_sub(1, std::memory_order_relaxed);
+  q->morsels_run.fetch_add(1, std::memory_order_relaxed);
+  if (m.stolen) q->morsels_stolen.fetch_add(1, std::memory_order_relaxed);
+  job->finished.fetch_add(1, std::memory_order_acq_rel);
+  TryComplete(job, ctx);
+  // Capacity freed (elastic caps) or a sibling may now finish: give
+  // parked workers a chance to re-check.
+  NotifyAll();
+}
+
+void Dispatcher::TryComplete(PipelineJob* job, WorkerContext& ctx) {
+  // A job is complete when no further morsels will be handed out
+  // (exhausted queue or cancelled query) and all handed-out morsels have
+  // been processed. The observing worker runs the completion: this is the
+  // paper's passive QEP state machine, "executed on the otherwise unused
+  // core of the worker thread" that found no more work.
+  bool no_more = job->query()->cancelled() ||
+                 (job->queue() != nullptr && job->queue()->Exhausted());
+  if (!no_more) return;
+  uint64_t done = job->finished.load(std::memory_order_acquire);
+  uint64_t out = job->handed_out.load(std::memory_order_acquire);
+  if (done != out) return;
+  if (job->completed.exchange(true, std::memory_order_acq_rel)) return;
+  RemoveJob(job);
+  if (!job->query()->cancelled()) job->Finalize(ctx);
+  if (DebugJobs()) {
+    std::fprintf(stderr, "[job] q%d %-18s %8.2f ms  %llu morsels\n",
+                 job->query()->id(), job->name().c_str(),
+                 (WallTimer::NowMicros() - job->submit_micros) / 1000.0,
+                 static_cast<unsigned long long>(job->finished.load()));
+  }
+  if (job->qep != nullptr) job->qep->PipelineFinished(job, ctx);
+}
+
+void Dispatcher::CancelQuery(QueryContext* query, WorkerContext& ctx) {
+  query->Cancel();
+  for (auto& slot : slots_) {
+    PipelineJob* job = slot.load(std::memory_order_acquire);
+    if (job != nullptr && job->query() == query) TryComplete(job, ctx);
+  }
+  NotifyAll();
+}
+
+void Dispatcher::RemoveJob(PipelineJob* job) {
+  for (auto& slot : slots_) {
+    PipelineJob* expected = job;
+    if (slot.compare_exchange_strong(expected, nullptr,
+                                     std::memory_order_acq_rel)) {
+      return;
+    }
+  }
+}
+
+void Dispatcher::RegisterWorkerSection(std::atomic<uint64_t>* section) {
+  // Called by the WorkerPool during construction, before any queries run.
+  sections_.push_back(section);
+}
+
+void Dispatcher::Quiesce() const {
+  for (std::atomic<uint64_t>* section : sections_) {
+    uint64_t v = section->load(std::memory_order_acquire);
+    if ((v & 1) == 0) continue;  // not inside a dispatcher section
+    while (section->load(std::memory_order_acquire) == v) {
+      // Sections are a few hundred instructions; plain spinning is fine.
+    }
+  }
+}
+
+void Dispatcher::WaitForWork(uint64_t seen_epoch,
+                             const std::atomic<bool>& shutdown) {
+  std::unique_lock<std::mutex> lock(park_mu_);
+  park_cv_.wait(lock, [&] {
+    return epoch_.load(std::memory_order_acquire) != seen_epoch ||
+           shutdown.load(std::memory_order_acquire);
+  });
+}
+
+void Dispatcher::NotifyAll() {
+  {
+    std::lock_guard<std::mutex> lock(park_mu_);
+    epoch_.fetch_add(1, std::memory_order_acq_rel);
+  }
+  park_cv_.notify_all();
+}
+
+}  // namespace morsel

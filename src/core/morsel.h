@@ -1,0 +1,37 @@
+#ifndef MORSELDB_CORE_MORSEL_H_
+#define MORSELDB_CORE_MORSEL_H_
+
+#include <cstdint>
+
+namespace morsel {
+
+class PipelineJob;
+
+// A morsel: the unit of work distribution (§2). A small, constant-sized
+// fragment of one input partition, tagged with the socket its data lives
+// on. Workers fetch morsels from the dispatcher and run an entire
+// pipeline over them; preemption and elasticity act only at morsel
+// boundaries.
+struct Morsel {
+  PipelineJob* job = nullptr;
+  int partition = 0;    // input partition / storage-area index
+  uint64_t begin = 0;   // first row (inclusive)
+  uint64_t end = 0;     // last row (exclusive)
+  int socket = 0;       // NUMA placement tag of this range
+  bool stolen = false;  // true if run by a worker on a different socket
+
+  uint64_t size() const { return end - begin; }
+};
+
+// An input range handed to a MorselQueue: rows [begin, end) of
+// `partition`, resident on `socket`.
+struct MorselRange {
+  int partition = 0;
+  uint64_t begin = 0;
+  uint64_t end = 0;
+  int socket = 0;
+};
+
+}  // namespace morsel
+
+#endif  // MORSELDB_CORE_MORSEL_H_

@@ -1,0 +1,100 @@
+#include "core/morsel_queue.h"
+
+#include <algorithm>
+
+namespace morsel {
+
+MorselQueue::MorselQueue(const Topology& topo,
+                         std::vector<MorselRange> ranges,
+                         const Options& opts)
+    : topo_(topo), opts_(opts) {
+  MORSEL_CHECK(opts_.morsel_size > 0);
+  if (opts_.split_per_socket > 1) {
+    // Pre-split each range into per-core subranges (only ranges large
+    // enough to yield at least one morsel per split are divided).
+    std::vector<MorselRange> split;
+    for (const MorselRange& r : ranges) {
+      uint64_t rows = r.end - r.begin;
+      uint64_t parts = static_cast<uint64_t>(opts_.split_per_socket);
+      if (rows < parts * opts_.morsel_size) {
+        split.push_back(r);
+        continue;
+      }
+      uint64_t per = rows / parts;
+      for (uint64_t i = 0; i < parts; ++i) {
+        uint64_t lo = r.begin + i * per;
+        uint64_t hi = i == parts - 1 ? r.end : lo + per;
+        split.push_back(MorselRange{r.partition, lo, hi, r.socket});
+      }
+    }
+    ranges = std::move(split);
+  }
+  num_cursors_ = ranges.size();
+  cursors_ = std::make_unique<Cursor[]>(num_cursors_);
+  by_socket_.resize(topo.num_sockets());
+  for (size_t i = 0; i < ranges.size(); ++i) {
+    const MorselRange& r = ranges[i];
+    MORSEL_CHECK(r.begin <= r.end);
+    MORSEL_CHECK(r.socket >= 0 && r.socket < topo.num_sockets());
+    Cursor& c = cursors_[i];
+    c.next.store(0, std::memory_order_relaxed);
+    c.base = r.begin;
+    c.end = r.end - r.begin;
+    c.partition = r.partition;
+    c.socket = r.socket;
+    by_socket_[r.socket].push_back(static_cast<int>(i));
+    total_rows_ += r.end - r.begin;
+  }
+}
+
+bool MorselQueue::TryCut(Cursor& c, int worker_socket, Morsel* out) {
+  // Opportunistic check avoids a wasted fetch_add on drained ranges.
+  if (c.next.load(std::memory_order_relaxed) >= c.end) return false;
+  // acq_rel: cutting the last morsel must be ordered after the caller's
+  // handed_out reservation, so Exhausted() observers also see it.
+  uint64_t pos = c.next.fetch_add(opts_.morsel_size,
+                                  std::memory_order_acq_rel);
+  if (pos >= c.end) return false;
+  out->partition = c.partition;
+  out->begin = c.base + pos;
+  out->end = c.base + std::min(pos + opts_.morsel_size, c.end);
+  out->socket = c.socket;
+  out->stolen = c.socket != worker_socket;
+  if (out->stolen) stolen_count_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool MorselQueue::Next(int worker_socket, Morsel* out) {
+  if (!opts_.numa_aware) {
+    // NUMA-oblivious variant: round-robin over all ranges, starting at a
+    // different point per requesting socket to spread contention.
+    size_t n = num_cursors_;
+    size_t start = n == 0 ? 0 : static_cast<size_t>(worker_socket) % n;
+    for (size_t k = 0; k < n; ++k) {
+      if (TryCut(cursors_[(start + k) % n], worker_socket, out)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  const std::vector<int>& order = topo_.StealOrder(worker_socket);
+  for (size_t oi = 0; oi < order.size(); ++oi) {
+    int socket = opts_.closest_first ? order[oi] : static_cast<int>(oi);
+    if (!opts_.steal && socket != worker_socket) continue;
+    for (int ci : by_socket_[socket]) {
+      if (TryCut(cursors_[ci], worker_socket, out)) return true;
+    }
+  }
+  return false;
+}
+
+bool MorselQueue::Exhausted() const {
+  for (size_t i = 0; i < num_cursors_; ++i) {
+    const Cursor& c = cursors_[i];
+    if (c.next.load(std::memory_order_acquire) < c.end) return false;
+  }
+  return true;
+}
+
+}  // namespace morsel

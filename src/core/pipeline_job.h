@@ -1,0 +1,69 @@
+#ifndef MORSELDB_CORE_PIPELINE_JOB_H_
+#define MORSELDB_CORE_PIPELINE_JOB_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+
+#include "core/morsel_queue.h"
+#include "core/query_context.h"
+#include "core/worker_context.h"
+
+namespace morsel {
+
+class QepObject;
+
+// One executable pipeline (§2): a code fragment that runs all operators
+// of a pipeline segment over one morsel, materializing into the next
+// pipeline breaker. Subclasses (in exec/) bind the operator chain and
+// worker-local sink state.
+//
+// Lifecycle, all driven by worker threads (the dispatcher and QEP object
+// are passive):
+//   1. Prepare()    — once, single-threaded, after all dependencies
+//                     finished; builds the morsel queue (storage-area
+//                     boundaries are segmented into morsels on demand).
+//   2. RunMorsel()  — concurrently, once per morsel.
+//   3. Finalize()   — once, single-threaded, after the last morsel;
+//                     flushes worker-local state, perfect-sizes hash
+//                     tables, computes sort separators, etc.
+class PipelineJob {
+ public:
+  PipelineJob(QueryContext* query, std::string name)
+      : query_(query), name_(std::move(name)) {}
+  virtual ~PipelineJob() = default;
+
+  PipelineJob(const PipelineJob&) = delete;
+  PipelineJob& operator=(const PipelineJob&) = delete;
+
+  virtual void Prepare(const Topology& topo) = 0;
+  virtual void RunMorsel(const Morsel& m, WorkerContext& ctx) = 0;
+  virtual void Finalize(WorkerContext& ctx) { (void)ctx; }
+
+  QueryContext* query() const { return query_; }
+  const std::string& name() const { return name_; }
+
+  // Set by Prepare() in subclasses.
+  MorselQueue* queue() const { return queue_.get(); }
+
+  // --- dispatcher bookkeeping (public within the scheduler) -------------
+  std::atomic<uint64_t> handed_out{0};  // morsels given to workers
+  std::atomic<uint64_t> finished{0};    // morsels fully processed
+  std::atomic<bool> completed{false};   // completion fired exactly once
+  int64_t submit_micros = 0;            // set by Submit (debug timing)
+
+  QepObject* qep = nullptr;  // owner; notified on completion
+  int pipeline_id = -1;      // index within the QEP
+
+ protected:
+  void set_queue(std::unique_ptr<MorselQueue> q) { queue_ = std::move(q); }
+
+ private:
+  QueryContext* query_;
+  std::string name_;
+  std::unique_ptr<MorselQueue> queue_;
+};
+
+}  // namespace morsel
+
+#endif  // MORSELDB_CORE_PIPELINE_JOB_H_

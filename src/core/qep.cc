@@ -1,0 +1,107 @@
+#include "core/qep.h"
+
+#include <string>
+
+namespace morsel {
+
+std::string QepObject::Describe() const {
+  std::string out;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& node = *nodes_[i];
+    out += "P" + std::to_string(i) + " " + node.job->name();
+    if (!node.deps.empty()) {
+      out += "  <-";
+      for (int d : node.deps) out += " P" + std::to_string(d);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+int QepObject::AddPipeline(std::unique_ptr<PipelineJob> job,
+                           std::vector<int> deps) {
+  MORSEL_CHECK(!started_.load());
+  int id = static_cast<int>(nodes_.size());
+  job->qep = this;
+  job->pipeline_id = id;
+  nodes_.push_back(std::make_unique<Node>());
+  Node& node = *nodes_.back();
+  node.job = std::move(job);
+  node.deps = deps;
+  node.remaining.store(static_cast<int>(deps.size()),
+                       std::memory_order_relaxed);
+  node.is_root = deps.empty();
+  for (int d : deps) {
+    MORSEL_CHECK(d >= 0 && d < id);
+    nodes_[d]->dependents.push_back(id);
+  }
+  if (node.is_root) root_order_.push_back(id);
+  return id;
+}
+
+void QepObject::Start(WorkerContext& ctx) {
+  MORSEL_CHECK(!started_.exchange(true));
+  pending_.store(static_cast<int>(nodes_.size()),
+                 std::memory_order_release);
+  if (nodes_.empty()) {
+    query_->MarkDone();
+    return;
+  }
+  MORSEL_CHECK_MSG(!root_order_.empty(), "QEP has a dependency cycle");
+  if (serialize_roots_) {
+    next_root_.store(1, std::memory_order_relaxed);
+    SubmitNode(root_order_[0], ctx);
+  } else {
+    next_root_.store(static_cast<int>(root_order_.size()),
+                     std::memory_order_relaxed);
+    for (int id : root_order_) SubmitNode(id, ctx);
+  }
+}
+
+void QepObject::SubmitNode(int id, WorkerContext& ctx) {
+  Node& node = *nodes_[id];
+  node.job->Prepare(dispatcher_->topology());
+  dispatcher_->Submit(node.job.get(), ctx);
+}
+
+void QepObject::PipelineFinished(PipelineJob* job, WorkerContext& ctx) {
+  ResolveNode(job->pipeline_id, ctx);
+}
+
+void QepObject::ResolveNode(int id, WorkerContext& ctx) {
+  Node& node = *nodes_[id];
+  bool cancelled = query_->cancelled();
+
+  // Serialized bushy plans: when a root resolves, release the next root.
+  if (node.is_root && serialize_roots_) {
+    int nr = next_root_.fetch_add(1, std::memory_order_acq_rel);
+    if (nr < static_cast<int>(root_order_.size())) {
+      int next_id = root_order_[nr];
+      if (cancelled) {
+        ResolveNode(next_id, ctx);
+      } else {
+        SubmitNode(next_id, ctx);
+      }
+    }
+  }
+
+  for (int dep_id : node.dependents) {
+    Node& dep = *nodes_[dep_id];
+    if (dep.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      if (cancelled) {
+        ResolveNode(dep_id, ctx);
+      } else {
+        SubmitNode(dep_id, ctx);
+      }
+    }
+  }
+
+  if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    if (query_->cancelled() && query_->error().empty()) {
+      query_->SetError("query cancelled");
+    }
+    query_->MarkDone();
+  }
+}
+
+}  // namespace morsel

@@ -1,0 +1,90 @@
+#ifndef MORSELDB_CORE_QEP_H_
+#define MORSELDB_CORE_QEP_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/dispatcher.h"
+#include "core/pipeline_job.h"
+
+namespace morsel {
+
+// The QEPobject (§2, §3.2): a *passive* state machine that observes the
+// data dependencies between a query's pipelines and transfers executable
+// pipelines to the dispatcher. Its code runs on worker threads — it is
+// invoked by the dispatcher "whenever a pipeline job is fully executed" —
+// and on the submitting thread for the initial pipelines.
+//
+// Example (the paper's three-way join): pipelines building HT(T) and
+// HT(S) have no dependencies; the probe pipeline depends on both. The
+// paper serializes independent pipelines of one query ("we first execute
+// pipeline T, and only after T is finished, the job for pipeline S is
+// added") because bushy parallelism rarely pays off; `serialize_roots`
+// reproduces that policy (on by default, switchable for experiments).
+class QepObject {
+ public:
+  QepObject(QueryContext* query, Dispatcher* dispatcher,
+            bool serialize_roots = true)
+      : query_(query),
+        dispatcher_(dispatcher),
+        serialize_roots_(serialize_roots) {}
+
+  QepObject(const QepObject&) = delete;
+  QepObject& operator=(const QepObject&) = delete;
+
+  // Registers a pipeline; `deps` are pipeline ids this one must wait
+  // for. Returns the new pipeline's id. Must be fully built before
+  // Start().
+  int AddPipeline(std::unique_ptr<PipelineJob> job, std::vector<int> deps);
+
+  // Submits all dependency-free pipelines. `ctx` is the caller's context
+  // (external thread slot); preparation runs on it.
+  void Start(WorkerContext& ctx);
+
+  // Dispatcher callback: pipeline `job` completed. Schedules newly
+  // unblocked pipelines; marks the query done after the last one.
+  void PipelineFinished(PipelineJob* job, WorkerContext& ctx);
+
+  QueryContext* query() const { return query_; }
+  int num_pipelines() const { return static_cast<int>(nodes_.size()); }
+  PipelineJob* pipeline(int id) const { return nodes_[id]->job.get(); }
+  const std::vector<int>& pipeline_deps(int id) const {
+    return nodes_[id]->deps;
+  }
+
+  // Human-readable dump of the pipeline DAG (EXPLAIN-style): one line
+  // per pipeline with its dependencies, e.g.
+  //   P0 join-build
+  //   P1 join-insert        <- P0
+  //   P2 agg-phase1         <- P1
+  std::string Describe() const;
+
+ private:
+  struct Node {
+    std::unique_ptr<PipelineJob> job;
+    std::vector<int> deps;
+    std::vector<int> dependents;
+    std::atomic<int> remaining{0};
+    bool is_root = false;  // no dependencies
+  };
+
+  void SubmitNode(int id, WorkerContext& ctx);
+  // Marks a node finished; cascades through dependents of cancelled
+  // queries without executing them.
+  void ResolveNode(int id, WorkerContext& ctx);
+
+  QueryContext* query_;
+  Dispatcher* dispatcher_;
+  bool serialize_roots_;
+  std::vector<std::unique_ptr<Node>> nodes_;  // Node holds atomics
+  std::vector<int> root_order_;       // roots in registration order
+  std::atomic<int> next_root_{0};     // next root to run (serialized mode)
+  std::atomic<int> pending_{0};       // nodes not yet resolved
+  std::atomic<bool> started_{false};
+};
+
+}  // namespace morsel
+
+#endif  // MORSELDB_CORE_QEP_H_

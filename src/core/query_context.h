@@ -1,0 +1,98 @@
+#ifndef MORSELDB_CORE_QUERY_CONTEXT_H_
+#define MORSELDB_CORE_QUERY_CONTEXT_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <limits>
+#include <mutex>
+#include <string>
+
+namespace morsel {
+
+// Per-query state shared by the dispatcher, workers and the QEP object.
+//
+// Elasticity (§3.1): `max_workers` caps the number of workers
+// concurrently running this query's morsels and may be changed at any
+// time — the change takes effect at the next morsel boundary. `priority`
+// weights the dispatcher's fair-share choice between concurrent queries.
+//
+// Cancellation (§3.2): setting `cancelled` makes the dispatcher stop
+// handing out this query's morsels; in-flight morsels finish normally
+// ("the marker is checked whenever a morsel of that query is finished"),
+// letting every worker clean up instead of being killed.
+class QueryContext {
+ public:
+  explicit QueryContext(int id, double priority = 1.0)
+      : id_(id), priority_(priority) {}
+
+  int id() const { return id_; }
+  double priority() const { return priority_; }
+  void set_priority(double p) { priority_ = p; }
+
+  int max_workers() const {
+    return max_workers_.load(std::memory_order_relaxed);
+  }
+  void set_max_workers(int n) {
+    max_workers_.store(n, std::memory_order_relaxed);
+  }
+
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  // Workers currently executing a morsel of this query.
+  std::atomic<int>& active_workers() { return active_workers_; }
+
+  // Worker-local state slots each pipeline job allocates (pool size + 1
+  // for the submitting thread). Set by the engine before execution.
+  int num_worker_slots() const { return num_worker_slots_; }
+  void set_num_worker_slots(int n) { num_worker_slots_ = n; }
+
+  // --- completion signalling -------------------------------------------
+  void MarkDone() {
+    std::lock_guard<std::mutex> lock(mu_);
+    done_ = true;
+    cv_.notify_all();
+  }
+
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return done_; });
+  }
+
+  bool done() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return done_;
+  }
+
+  void SetError(const std::string& msg) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (error_.empty()) error_ = msg;
+  }
+  std::string error() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return error_;
+  }
+
+  // --- aggregated per-query scheduling stats ---------------------------
+  std::atomic<uint64_t> morsels_run{0};
+  std::atomic<uint64_t> morsels_stolen{0};
+
+ private:
+  int id_;
+  double priority_;
+  std::atomic<int> max_workers_{std::numeric_limits<int>::max()};
+  std::atomic<bool> cancelled_{false};
+  std::atomic<int> active_workers_{0};
+  int num_worker_slots_ = 1;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool done_ = false;
+  std::string error_;
+};
+
+}  // namespace morsel
+
+#endif  // MORSELDB_CORE_QUERY_CONTEXT_H_

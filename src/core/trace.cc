@@ -1,0 +1,58 @@
+#include "core/trace.h"
+
+#include <algorithm>
+
+namespace morsel {
+
+std::vector<TraceEvent> TraceRecorder::Sorted() const {
+  std::vector<TraceEvent> all;
+  for (const auto& v : per_worker_) {
+    all.insert(all.end(), v.begin(), v.end());
+  }
+  std::sort(all.begin(), all.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.start_us < b.start_us;
+            });
+  return all;
+}
+
+void TraceRecorder::DumpCsv(std::ostream& os) const {
+  os << "worker,query,pipeline,start_us,end_us,stolen\n";
+  for (const TraceEvent& e : Sorted()) {
+    os << e.worker << ',' << e.query << ',' << e.pipeline << ','
+       << e.start_us << ',' << e.end_us << ',' << (e.stolen ? 1 : 0)
+       << '\n';
+  }
+}
+
+void TraceRecorder::DumpAscii(std::ostream& os, int width) const {
+  int64_t t_min = INT64_MAX, t_max = INT64_MIN;
+  for (const auto& v : per_worker_) {
+    for (const TraceEvent& e : v) {
+      t_min = std::min(t_min, e.start_us);
+      t_max = std::max(t_max, e.end_us);
+    }
+  }
+  if (t_min >= t_max) {
+    os << "(empty trace)\n";
+    return;
+  }
+  double scale = static_cast<double>(width) /
+                 static_cast<double>(t_max - t_min);
+  for (size_t w = 0; w < per_worker_.size(); ++w) {
+    if (per_worker_[w].empty()) continue;  // e.g. the external-thread slot
+    std::string row(width, '.');
+    for (const TraceEvent& e : per_worker_[w]) {
+      int b = static_cast<int>((e.start_us - t_min) * scale);
+      int en = static_cast<int>((e.end_us - t_min) * scale);
+      b = std::clamp(b, 0, width - 1);
+      en = std::clamp(en, b, width - 1);
+      // Letter identifies the query ('A' + id), as Fig. 13 colors do.
+      char c = static_cast<char>('A' + (e.query % 26));
+      for (int i = b; i <= en; ++i) row[i] = c;
+    }
+    os << "worker " << w << " |" << row << "|\n";
+  }
+}
+
+}  // namespace morsel

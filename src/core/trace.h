@@ -1,0 +1,57 @@
+#ifndef MORSELDB_CORE_TRACE_H_
+#define MORSELDB_CORE_TRACE_H_
+
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace morsel {
+
+// Records one processed morsel for the execution trace visualisation
+// (paper Figure 13: each block is one morsel, colored by pipeline).
+struct TraceEvent {
+  int worker = 0;
+  int query = 0;
+  int pipeline = 0;
+  int64_t start_us = 0;
+  int64_t end_us = 0;
+  bool stolen = false;
+};
+
+// Per-worker append-only trace buffers; no synchronization on the hot
+// path. Create one per experiment and pass it to the WorkerPool.
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(int num_workers) : per_worker_(num_workers) {}
+
+  void Record(const TraceEvent& ev) {
+    MORSEL_DCHECK(ev.worker >= 0 &&
+                  ev.worker < static_cast<int>(per_worker_.size()));
+    per_worker_[ev.worker].push_back(ev);
+  }
+
+  // All events of one worker, in execution order.
+  const std::vector<TraceEvent>& worker_events(int w) const {
+    return per_worker_[w];
+  }
+  int num_workers() const { return static_cast<int>(per_worker_.size()); }
+
+  // Merged, time-sorted event list.
+  std::vector<TraceEvent> Sorted() const;
+
+  // Writes a CSV: worker,query,pipeline,start_us,end_us,stolen.
+  void DumpCsv(std::ostream& os) const;
+
+  // Renders an ASCII Gantt chart (one row per worker, one letter per time
+  // bucket identifying the query), the textual equivalent of Figure 13.
+  void DumpAscii(std::ostream& os, int width = 100) const;
+
+ private:
+  std::vector<std::vector<TraceEvent>> per_worker_;
+};
+
+}  // namespace morsel
+
+#endif  // MORSELDB_CORE_TRACE_H_

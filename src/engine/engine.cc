@@ -1,0 +1,32 @@
+#include "engine/engine.h"
+
+#include "engine/query.h"
+
+namespace morsel {
+
+Engine::Engine(const Topology& topo, const EngineOptions& opts)
+    : topo_(topo), opts_(opts) {
+  int n = opts.num_workers > 0 ? opts.num_workers : topo_.total_cores();
+  stats_ = std::make_unique<MemStatsRegistry>(n + 1);
+  if (opts.record_trace) {
+    trace_ = std::make_unique<TraceRecorder>(n + 1);
+  }
+  dispatcher_ = std::make_unique<Dispatcher>(topo_);
+  WorkerPool::Options popts;
+  popts.num_workers = n;
+  popts.pin = opts.pin_threads;
+  popts.slow_core = opts.simulate_slow_core;
+  popts.slow_factor = opts.slow_core_factor;
+  pool_ = std::make_unique<WorkerPool>(topo_, dispatcher_.get(),
+                                       stats_.get(), trace_.get(), popts);
+}
+
+Engine::~Engine() = default;
+
+std::unique_ptr<Query> Engine::CreateQuery(double priority) {
+  return std::make_unique<Query>(
+      this, next_query_id_.fetch_add(1, std::memory_order_relaxed),
+      priority);
+}
+
+}  // namespace morsel

@@ -1,0 +1,97 @@
+#ifndef MORSELDB_ENGINE_ENGINE_H_
+#define MORSELDB_ENGINE_ENGINE_H_
+
+#include <atomic>
+#include <memory>
+
+#include "core/dispatcher.h"
+#include "core/morsel_queue.h"
+#include "core/trace.h"
+#include "core/worker_pool.h"
+#include "numa/mem_stats.h"
+#include "numa/topology.h"
+
+namespace morsel {
+
+class Query;
+
+// Engine-wide execution options; the toggles reproduce the engine
+// variants of Figure 11 and §5.4:
+//  - full-fledged            : defaults
+//  - "not NUMA aware"        : numa_aware=false (+ tables loaded with
+//                              Placement::kOsDefault)
+//  - "non-adaptive"          : static_division=true, tagging=false
+//  - Volcano emulation       : static division + NUMA-oblivious + no
+//                              stealing ("we set the morsel size to n/t")
+struct EngineOptions {
+  int num_workers = 0;        // 0 = one per virtual core
+  uint64_t morsel_size = 100000;  // §3.3 default
+  bool numa_aware = true;     // prefer NUMA-local morsels
+  bool steal = true;          // cross-socket work stealing
+  bool closest_first = true;  // distance-ordered stealing
+  bool tagging = true;        // §4.2 hash-table pointer tags
+  bool static_division = false;  // morsel size forced to n / workers
+  bool serialize_roots = true;   // §3.2: no bushy parallelism
+  bool pin_threads = true;
+  bool record_trace = false;  // Figure 13 trace events
+  // §3.3 contention avoidance: pre-split each socket's ranges into one
+  // subrange per core so every thread temporarily owns a local range.
+  bool split_ranges_per_core = true;
+  // Deterministic §5.4 interference injection: the worker on this core
+  // runs `slow_core_factor`x slower per morsel. -1 = disabled.
+  int simulate_slow_core = -1;
+  double slow_core_factor = 2.0;
+};
+
+// Top-level execution environment: the (possibly simulated) NUMA
+// topology, the passive dispatcher, the pinned worker pool, traffic
+// accounting, and optional tracing. Queries are created against an
+// Engine and share its workers — inter-query parallelism falls out of
+// the dispatcher's fair-share job selection.
+class Engine {
+ public:
+  explicit Engine(const Topology& topo, const EngineOptions& opts = {});
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  const Topology& topology() const { return topo_; }
+  const EngineOptions& options() const { return opts_; }
+  Dispatcher* dispatcher() { return dispatcher_.get(); }
+  WorkerPool* pool() { return pool_.get(); }
+  MemStatsRegistry* stats() { return stats_.get(); }
+  TraceRecorder* trace() { return trace_.get(); }
+  int num_workers() const { return pool_->num_workers(); }
+
+  // Morsel-queue options derived from the engine options.
+  MorselQueue::Options queue_options() const {
+    MorselQueue::Options q;
+    q.morsel_size = opts_.morsel_size;
+    q.numa_aware = opts_.numa_aware;
+    q.steal = opts_.steal;
+    q.closest_first = opts_.closest_first;
+    if (opts_.split_ranges_per_core) {
+      q.split_per_socket = topo_.cores_per_socket();
+    }
+    return q;
+  }
+
+  // Creates a query handle. `priority` weights dispatcher fair share
+  // (§3.1); workers move between concurrent queries at morsel
+  // boundaries.
+  std::unique_ptr<Query> CreateQuery(double priority = 1.0);
+
+ private:
+  Topology topo_;
+  EngineOptions opts_;
+  std::unique_ptr<MemStatsRegistry> stats_;
+  std::unique_ptr<TraceRecorder> trace_;
+  std::unique_ptr<Dispatcher> dispatcher_;
+  std::unique_ptr<WorkerPool> pool_;
+  std::atomic<int> next_query_id_{0};
+};
+
+}  // namespace morsel
+
+#endif  // MORSELDB_ENGINE_ENGINE_H_

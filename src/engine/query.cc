@@ -1,0 +1,281 @@
+#include "engine/query.h"
+
+#include <algorithm>
+
+#include "exec/scan.h"
+
+namespace morsel {
+
+int ColScope::Index(std::string_view name) const {
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return static_cast<int>(i);
+  }
+  MORSEL_CHECK_MSG(false, std::string(name).c_str());
+  return -1;
+}
+
+Query::Query(Engine* engine, int id, double priority)
+    : engine_(engine),
+      context_(id, priority),
+      qep_(&context_, engine->dispatcher(),
+           engine->options().serialize_roots) {
+  context_.set_num_worker_slots(engine->pool()->num_worker_slots());
+}
+
+Query::~Query() {
+  // A still-running query must not outlive its operator state: cancel and
+  // drain before tearing down.
+  if (started_ && !context_.done()) {
+    Cancel();
+    Wait();
+  }
+  // Workers may briefly hold pointers to this query's jobs picked up from
+  // the dispatcher's slot array; wait one grace period before freeing.
+  if (started_) engine_->dispatcher()->Quiesce();
+}
+
+PlanBuilder Query::Scan(const Table* table,
+                        std::vector<std::string> columns) {
+  std::vector<int> ids;
+  std::vector<LogicalType> types;
+  for (const std::string& c : columns) {
+    int idx = table->schema().IndexOf(c);
+    ids.push_back(idx);
+    types.push_back(table->schema().field(idx).type);
+  }
+  return PlanBuilder(this,
+                     std::make_unique<TableScanSource>(table, std::move(ids)),
+                     std::move(columns), std::move(types), {});
+}
+
+void Query::Start() {
+  MORSEL_CHECK_MSG(!started_, "query already started");
+  started_ = true;
+  qep_.Start(engine_->pool()->external_context());
+}
+
+void Query::Wait() { context_.Wait(); }
+
+ResultSet Query::Execute() {
+  Start();
+  Wait();
+  return TakeResult();
+}
+
+ResultSet Query::TakeResult() {
+  MORSEL_CHECK_MSG(context_.error().empty(), context_.error().c_str());
+  MORSEL_CHECK_MSG(result_fn_ != nullptr,
+                   "plan has no terminal (OrderBy/CollectResult)");
+  return result_fn_();
+}
+
+void Query::Cancel() {
+  engine_->dispatcher()->CancelQuery(&context_,
+                                     engine_->pool()->external_context());
+}
+
+int Query::AddExecJob(std::string name, std::unique_ptr<Pipeline> pipeline,
+                      std::vector<int> deps) {
+  const EngineOptions& opts = engine_->options();
+  auto job = std::make_unique<ExecPipelineJob>(
+      &context_, std::move(name), std::move(pipeline),
+      engine_->queue_options(), opts.tagging,
+      opts.static_division ? engine_->num_workers() : 0);
+  return qep_.AddPipeline(std::move(job), std::move(deps));
+}
+
+int Query::AddJob(std::unique_ptr<PipelineJob> job, std::vector<int> deps) {
+  return qep_.AddPipeline(std::move(job), std::move(deps));
+}
+
+PlanBuilder::PlanBuilder(Query* query, std::unique_ptr<Source> source,
+                         std::vector<std::string> names,
+                         std::vector<LogicalType> types,
+                         std::vector<int> deps)
+    : query_(query),
+      source_(std::move(source)),
+      names_(std::move(names)),
+      types_(std::move(types)),
+      deps_(std::move(deps)) {}
+
+PlanBuilder& PlanBuilder::Filter(ExprPtr predicate) {
+  ops_.push_back(std::make_unique<FilterOp>(std::move(predicate)));
+  return *this;
+}
+
+PlanBuilder& PlanBuilder::Project(std::vector<NamedExpr> exprs) {
+  std::vector<ExprPtr> list;
+  std::vector<std::string> names;
+  std::vector<LogicalType> types;
+  for (NamedExpr& ne : exprs) {
+    names.push_back(std::move(ne.name));
+    types.push_back(ne.expr->type());
+    list.push_back(std::move(ne.expr));
+  }
+  ops_.push_back(std::make_unique<MapOp>(std::move(list)));
+  names_ = std::move(names);
+  types_ = std::move(types);
+  return *this;
+}
+
+int PlanBuilder::CloseInto(Sink* sink, const std::string& name) {
+  MORSEL_CHECK_MSG(source_ != nullptr, "pipeline already closed");
+  auto pipeline = std::make_unique<Pipeline>(std::move(source_),
+                                             std::move(ops_), sink);
+  int id = query_->AddExecJob(name, std::move(pipeline), std::move(deps_));
+  deps_.clear();
+  ops_.clear();
+  return id;
+}
+
+PlanBuilder& PlanBuilder::HashJoin(
+    PlanBuilder build, std::vector<std::string> probe_keys,
+    std::vector<std::string> build_keys,
+    std::vector<std::string> build_payload, JoinKind kind,
+    std::function<ExprPtr(const ColScope&)> residual) {
+  MORSEL_CHECK(probe_keys.size() == build_keys.size());
+  const int num_keys = static_cast<int>(build_keys.size());
+
+  // Re-order the build pipeline's output to [keys..., payload...].
+  std::vector<NamedExpr> build_exprs;
+  std::vector<LogicalType> build_types;
+  for (const std::string& k : build_keys) {
+    build_exprs.push_back(NamedExpr{k, build.Col(k)});
+    build_types.push_back(build.ColType(k));
+  }
+  std::vector<LogicalType> payload_types;
+  for (const std::string& p : build_payload) {
+    build_exprs.push_back(NamedExpr{p, build.Col(p)});
+    build_types.push_back(build.ColType(p));
+    payload_types.push_back(build.ColType(p));
+  }
+  build.Project(std::move(build_exprs));
+
+  JoinState* js = query_->Own<JoinState>(build_types, num_keys, kind,
+                                         query_->num_worker_slots());
+  HashBuildSink* build_sink = query_->Own<HashBuildSink>(js);
+  int build_job = build.CloseInto(build_sink, "join-build");
+  int insert_job = query_->AddJob(
+      std::make_unique<HashInsertJob>(query_->context(), "join-insert", js,
+                                      query_->engine()->queue_options()),
+      {build_job});
+
+  // Probe continues this pipeline.
+  std::vector<int> probe_cols;
+  for (const std::string& k : probe_keys) {
+    probe_cols.push_back(scope().Index(k));
+  }
+  std::vector<int> out_fields;
+  for (size_t p = 0; p < build_payload.size(); ++p) {
+    out_fields.push_back(num_keys + static_cast<int>(p));
+  }
+
+  ExprPtr residual_expr;
+  if (residual != nullptr) {
+    // Residual scope: probe columns followed by the emitted build payload
+    // (matching HashProbeOp's combined chunk).
+    std::vector<std::string> rnames = names_;
+    std::vector<LogicalType> rtypes = types_;
+    for (size_t p = 0; p < build_payload.size(); ++p) {
+      rnames.push_back(build_payload[p]);
+      rtypes.push_back(payload_types[p]);
+    }
+    residual_expr = residual(ColScope(std::move(rnames), std::move(rtypes)));
+  }
+
+  ops_.push_back(std::make_unique<HashProbeOp>(
+      js, std::move(probe_cols), std::move(out_fields),
+      std::move(residual_expr)));
+  deps_.push_back(insert_job);
+
+  // Semi/anti emit probe columns only; other kinds append the payload.
+  if (kind != JoinKind::kSemi && kind != JoinKind::kAnti) {
+    for (size_t p = 0; p < build_payload.size(); ++p) {
+      names_.push_back(build_payload[p]);
+      types_.push_back(payload_types[p]);
+    }
+  }
+  return *this;
+}
+
+PlanBuilder& PlanBuilder::GroupBy(std::vector<std::string> keys,
+                                  std::vector<AggItem> aggs) {
+  // Phase-1 input chunk: [keys..., one input column per aggregate].
+  std::vector<ExprPtr> map_exprs;
+  std::vector<LogicalType> key_types;
+  for (const std::string& k : keys) {
+    map_exprs.push_back(Col(k));
+    key_types.push_back(ColType(k));
+  }
+  std::vector<AggSpec> specs;
+  for (size_t j = 0; j < aggs.size(); ++j) {
+    AggSpec spec;
+    spec.func = aggs[j].func;
+    spec.input_col = static_cast<int>(keys.size() + j);
+    if (aggs[j].input == nullptr) {
+      MORSEL_CHECK(aggs[j].func == AggFunc::kCount);
+      spec.input_type = LogicalType::kInt32;
+      map_exprs.push_back(ConstI32(0));  // placeholder, never read
+    } else {
+      spec.input_type = aggs[j].input->type();
+      map_exprs.push_back(std::move(aggs[j].input));
+    }
+    specs.push_back(std::move(spec));
+  }
+  ops_.push_back(std::make_unique<MapOp>(std::move(map_exprs)));
+
+  GroupByState* gs = query_->Own<GroupByState>(
+      key_types, specs, query_->num_worker_slots());
+  AggPhase1Sink* sink = query_->Own<AggPhase1Sink>(gs);
+  int phase1 = CloseInto(sink, "agg-phase1");
+
+  // Continue from the aggregation output.
+  source_ = std::make_unique<AggPartitionSource>(gs);
+  deps_ = {phase1};
+  names_ = std::move(keys);
+  types_ = key_types;
+  for (size_t j = 0; j < aggs.size(); ++j) {
+    names_.push_back(aggs[j].out_name);
+    types_.push_back(gs->state_type(static_cast<int>(j)));
+  }
+  return *this;
+}
+
+void PlanBuilder::OrderBy(std::vector<OrderItem> keys, int64_t limit) {
+  std::vector<SortKey> sort_keys;
+  for (const OrderItem& k : keys) {
+    sort_keys.push_back(SortKey{scope().Index(k.name), k.ascending});
+  }
+  SortState* ss = query_->Own<SortState>(types_, std::move(sort_keys),
+                                         query_->num_worker_slots(), limit);
+  // "in the case of top-k queries, each thread directly maintains a heap
+  // of k tuples" — small limits bypass the full sort.
+  constexpr int64_t kTopKThreshold = 8192;
+  if (limit >= 1 && limit <= kTopKThreshold) {
+    TopKSink* sink = query_->Own<TopKSink>(ss, limit);
+    CloseInto(sink, "topk");
+    query_->SetResultProvider([sink] { return sink->ToResult(); });
+    return;
+  }
+  SortMaterializeSink* sink = query_->Own<SortMaterializeSink>(ss);
+  int mat = CloseInto(sink, "sort-materialize");
+  int local = query_->AddJob(
+      std::make_unique<LocalSortJob>(query_->context(), "local-sort", ss,
+                                     query_->engine()->queue_options(),
+                                     query_->engine()->num_workers()),
+      {mat});
+  query_->AddJob(
+      std::make_unique<MergeJob>(query_->context(), "merge", ss,
+                                 query_->engine()->queue_options()),
+      {local});
+  query_->SetResultProvider([ss] { return ss->ToResult(); });
+}
+
+void PlanBuilder::CollectResult() {
+  ResultSink* sink =
+      query_->Own<ResultSink>(types_, query_->num_worker_slots());
+  CloseInto(sink, "collect");
+  query_->SetResultProvider([sink] { return sink->TakeResult(); });
+}
+
+}  // namespace morsel

@@ -1,0 +1,212 @@
+#ifndef MORSELDB_ENGINE_QUERY_H_
+#define MORSELDB_ENGINE_QUERY_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/qep.h"
+#include "engine/engine.h"
+#include "exec/aggregation.h"
+#include "exec/hash_join.h"
+#include "exec/result.h"
+#include "exec/sort.h"
+#include "storage/table.h"
+
+namespace morsel {
+
+class PlanBuilder;
+
+// Resolves column names to expressions in a given column scope (used for
+// residual join predicates whose scope is probe + build columns).
+class ColScope {
+ public:
+  ColScope(std::vector<std::string> names, std::vector<LogicalType> types)
+      : names_(std::move(names)), types_(std::move(types)) {}
+
+  int Index(std::string_view name) const;
+  LogicalType Type(std::string_view name) const {
+    return types_[Index(name)];
+  }
+  ExprPtr Col(std::string_view name) const {
+    int i = Index(name);
+    return ColRef(i, types_[i]);
+  }
+  const std::vector<std::string>& names() const { return names_; }
+  const std::vector<LogicalType>& types() const { return types_; }
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<LogicalType> types_;
+};
+
+// A named output expression for projections.
+struct NamedExpr {
+  std::string name;
+  ExprPtr expr;
+};
+
+// Shorthand constructor (NamedExpr is move-only, so projection lists are
+// written Project(NE("a", ...), NE("b", ...)) rather than with braces).
+inline NamedExpr NE(std::string name, ExprPtr expr) {
+  return NamedExpr{std::move(name), std::move(expr)};
+}
+
+// One aggregate in a GROUP BY.
+struct AggItem {
+  AggFunc func;
+  ExprPtr input;  // nullptr for COUNT(*)
+  std::string out_name;
+};
+
+// One ORDER BY key by column name.
+struct OrderItem {
+  std::string name;
+  bool ascending = true;
+};
+
+// A query under construction and execution. Holds the QEP object (the
+// passive per-query state machine), the query context, and owns all
+// operator state (join hash tables, aggregation partitions, sort runs)
+// for the duration of the query.
+//
+// Usage:
+//   auto q = engine.CreateQuery();
+//   PlanBuilder pb = q->Scan(&lineitem, {"l_shipdate", "l_quantity"});
+//   pb.Filter(...).GroupBy(...);
+//   pb.CollectResult();                 // or pb.OrderBy(...)
+//   ResultSet r = q->Execute();
+class Query {
+ public:
+  Query(Engine* engine, int id, double priority);
+  ~Query();
+
+  Query(const Query&) = delete;
+  Query& operator=(const Query&) = delete;
+
+  Engine* engine() const { return engine_; }
+  QueryContext* context() { return &context_; }
+
+  // Root of a plan: a NUMA-local partitioned table scan projecting
+  // `columns`.
+  PlanBuilder Scan(const Table* table, std::vector<std::string> columns);
+
+  // --- execution -----------------------------------------------------------
+  void Start();         // submits the first pipelines; returns immediately
+  void Wait();          // blocks until all pipelines completed
+  ResultSet Execute();  // Start + Wait + TakeResult
+  ResultSet TakeResult();
+  void Cancel();        // §3.2: takes effect at morsel boundaries
+
+  // Elasticity (§3.1): caps the number of workers on this query; can be
+  // called at any time, including mid-execution.
+  void SetMaxWorkers(int n) { context_.set_max_workers(n); }
+
+  // EXPLAIN-style dump of the pipeline DAG (valid once the plan is
+  // fully built, before or after execution).
+  std::string ExplainPlan() const { return qep_.Describe(); }
+
+  // --- internal (used by PlanBuilder) --------------------------------------
+  int AddExecJob(std::string name, std::unique_ptr<Pipeline> pipeline,
+                 std::vector<int> deps);
+  int AddJob(std::unique_ptr<PipelineJob> job, std::vector<int> deps);
+  template <typename T, typename... Args>
+  T* Own(Args&&... args) {
+    auto owned = std::make_unique<T>(std::forward<Args>(args)...);
+    T* raw = owned.get();
+    owned_.push_back(
+        std::unique_ptr<void, void (*)(void*)>(owned.release(), [](void* p) {
+          delete static_cast<T*>(p);
+        }));
+    return raw;
+  }
+  void SetResultProvider(std::function<ResultSet()> fn) {
+    result_fn_ = std::move(fn);
+  }
+  int num_worker_slots() const { return context_.num_worker_slots(); }
+
+ private:
+  Engine* engine_;
+  QueryContext context_;
+  QepObject qep_;
+  bool started_ = false;
+  std::function<ResultSet()> result_fn_;
+  // Type-erased owned operator state (JoinState, GroupByState, sinks...).
+  std::vector<std::unique_ptr<void, void (*)(void*)>> owned_;
+};
+
+// Fluent plan construction. A PlanBuilder represents the open (not yet
+// pipeline-broken) tail of a plan: a source, the operator chain built so
+// far, the QEP dependencies, and the column scope. Pipeline breakers
+// (join build sides, GROUP BY, ORDER BY) close pipelines into jobs.
+class PlanBuilder {
+ public:
+  PlanBuilder(Query* query, std::unique_ptr<Source> source,
+              std::vector<std::string> names,
+              std::vector<LogicalType> types, std::vector<int> deps);
+
+  PlanBuilder(PlanBuilder&&) = default;
+  PlanBuilder& operator=(PlanBuilder&&) = default;
+
+  // --- column scope ---------------------------------------------------------
+  ExprPtr Col(std::string_view name) const { return scope().Col(name); }
+  LogicalType ColType(std::string_view name) const {
+    return scope().Type(name);
+  }
+  ColScope scope() const { return ColScope(names_, types_); }
+
+  // --- intra-pipeline operators ----------------------------------------------
+  PlanBuilder& Filter(ExprPtr predicate);
+  PlanBuilder& Project(std::vector<NamedExpr> exprs);
+  template <typename... Rest>
+  PlanBuilder& Project(NamedExpr first, Rest... rest) {
+    std::vector<NamedExpr> v;
+    v.reserve(1 + sizeof...(rest));
+    v.push_back(std::move(first));
+    (v.push_back(std::move(rest)), ...);
+    return Project(std::move(v));
+  }
+
+  // Hash join: `build` becomes the build side (materialize + insert
+  // pipelines); *this continues as the probe pipeline. Output columns are
+  // this side's columns followed by `build_payload` (renamed as-is) —
+  // except for semi/anti joins, whose output is the probe columns only.
+  // `residual`, if given, is built against the combined scope (probe
+  // columns + build keys + build payload) and filters matches.
+  PlanBuilder& HashJoin(
+      PlanBuilder build, std::vector<std::string> probe_keys,
+      std::vector<std::string> build_keys,
+      std::vector<std::string> build_payload, JoinKind kind,
+      std::function<ExprPtr(const ColScope&)> residual = nullptr);
+
+  // GROUP BY: breaks the pipeline (two-phase aggregation); the returned
+  // builder continues from the aggregation output with columns
+  // [keys..., agg outputs...].
+  PlanBuilder& GroupBy(std::vector<std::string> keys,
+                       std::vector<AggItem> aggs);
+
+  // --- terminals --------------------------------------------------------------
+  // ORDER BY [LIMIT]: parallel sort (§4.5) or top-k heap for small
+  // limits. Terminal: sets the query's result provider.
+  void OrderBy(std::vector<OrderItem> keys, int64_t limit = -1);
+  // Unordered terminal: collects all rows.
+  void CollectResult();
+
+ private:
+  friend class Query;
+
+  // Closes the current pipeline with the given sink; returns the job id.
+  int CloseInto(Sink* sink, const std::string& name);
+
+  Query* query_;
+  std::unique_ptr<Source> source_;
+  std::vector<std::unique_ptr<Operator>> ops_;
+  std::vector<std::string> names_;
+  std::vector<LogicalType> types_;
+  std::vector<int> deps_;
+};
+
+}  // namespace morsel
+
+#endif  // MORSELDB_ENGINE_QUERY_H_

@@ -1,0 +1,413 @@
+#include "exec/aggregation.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace morsel {
+
+namespace {
+
+LogicalType StateTypeFor(const AggSpec& spec) {
+  switch (spec.func) {
+    case AggFunc::kCount:
+      return LogicalType::kInt64;
+    case AggFunc::kSum:
+      return spec.input_type == LogicalType::kDouble ? LogicalType::kDouble
+                                                     : LogicalType::kInt64;
+    case AggFunc::kMin:
+    case AggFunc::kMax:
+      MORSEL_CHECK_MSG(spec.input_type != LogicalType::kString,
+                       "string min/max not supported");
+      return spec.input_type;
+  }
+  return LogicalType::kInt64;
+}
+
+// Partition index: uses different hash bits than the local table's slot
+// (low bits) and the join hash table (high bits).
+inline int PartitionOf(uint64_t hash, int num_partitions) {
+  return static_cast<int>((hash >> 13) % static_cast<uint64_t>(num_partitions));
+}
+
+inline int64_t InputI64(const Vector& v, int i) {
+  return v.type == LogicalType::kInt32 ? v.i32()[i] : v.i64()[i];
+}
+
+}  // namespace
+
+GroupByState::GroupByState(std::vector<LogicalType> key_types,
+                           std::vector<AggSpec> specs, int num_worker_slots,
+                           int num_partitions)
+    : key_types_(std::move(key_types)),
+      specs_(std::move(specs)),
+      num_keys_(static_cast<int>(key_types_.size())),
+      num_partitions_(num_partitions),
+      spill_(num_worker_slots),
+      string_arenas_(num_worker_slots) {
+  std::vector<LogicalType> fields = key_types_;
+  for (const AggSpec& s : specs_) {
+    state_types_.push_back(StateTypeFor(s));
+    fields.push_back(state_types_.back());
+  }
+  layout_ = TupleLayout(std::move(fields), /*with_marker=*/false);
+  for (auto& w : spill_) w.resize(num_partitions_);
+}
+
+RowBuffer* GroupByState::spill(int worker_id, int partition, int socket) {
+  std::unique_ptr<RowBuffer>& b = spill_[worker_id][partition];
+  if (b == nullptr) b = std::make_unique<RowBuffer>(&layout_, socket);
+  return b.get();
+}
+
+std::string_view GroupByState::InternString(int worker_id,
+                                            std::string_view s) {
+  std::unique_ptr<Arena>& a = string_arenas_[worker_id];
+  if (a == nullptr) a = std::make_unique<Arena>();
+  return a->CopyString(s);
+}
+
+void GroupByState::InitStates(uint8_t* row, const Chunk& in, int i) const {
+  for (size_t s = 0; s < specs_.size(); ++s) {
+    const AggSpec& spec = specs_[s];
+    int f = num_keys_ + static_cast<int>(s);
+    switch (spec.func) {
+      case AggFunc::kCount:
+        layout_.SetI64(row, f, 1);
+        break;
+      case AggFunc::kSum:
+        if (state_types_[s] == LogicalType::kDouble) {
+          layout_.SetF64(row, f, in.cols[spec.input_col].f64()[i]);
+        } else {
+          layout_.SetI64(row, f, InputI64(in.cols[spec.input_col], i));
+        }
+        break;
+      case AggFunc::kMin:
+      case AggFunc::kMax:
+        if (spec.input_type == LogicalType::kDouble) {
+          layout_.SetF64(row, f, in.cols[spec.input_col].f64()[i]);
+        } else {
+          layout_.SetI64(row, f, InputI64(in.cols[spec.input_col], i));
+        }
+        break;
+    }
+  }
+}
+
+void GroupByState::UpdateFromInput(uint8_t* row, const Chunk& in,
+                                   int i) const {
+  for (size_t s = 0; s < specs_.size(); ++s) {
+    const AggSpec& spec = specs_[s];
+    int f = num_keys_ + static_cast<int>(s);
+    switch (spec.func) {
+      case AggFunc::kCount:
+        layout_.SetI64(row, f, layout_.GetI64(row, f) + 1);
+        break;
+      case AggFunc::kSum:
+        if (state_types_[s] == LogicalType::kDouble) {
+          layout_.SetF64(row, f, layout_.GetF64(row, f) +
+                                     in.cols[spec.input_col].f64()[i]);
+        } else {
+          layout_.SetI64(row, f, layout_.GetI64(row, f) +
+                                     InputI64(in.cols[spec.input_col], i));
+        }
+        break;
+      case AggFunc::kMin:
+      case AggFunc::kMax: {
+        bool is_min = spec.func == AggFunc::kMin;
+        if (spec.input_type == LogicalType::kDouble) {
+          double v = in.cols[spec.input_col].f64()[i];
+          double cur = layout_.GetF64(row, f);
+          layout_.SetF64(row, f, is_min ? std::min(cur, v)
+                                        : std::max(cur, v));
+        } else {
+          int64_t v = InputI64(in.cols[spec.input_col], i);
+          int64_t cur = layout_.GetI64(row, f);
+          layout_.SetI64(row, f, is_min ? std::min(cur, v)
+                                        : std::max(cur, v));
+        }
+        break;
+      }
+    }
+  }
+}
+
+void GroupByState::CombinePartial(uint8_t* row,
+                                  const uint8_t* partial) const {
+  for (size_t s = 0; s < specs_.size(); ++s) {
+    const AggSpec& spec = specs_[s];
+    int f = num_keys_ + static_cast<int>(s);
+    switch (spec.func) {
+      case AggFunc::kCount:
+        layout_.SetI64(row, f,
+                       layout_.GetI64(row, f) + layout_.GetI64(partial, f));
+        break;
+      case AggFunc::kSum:
+        if (state_types_[s] == LogicalType::kDouble) {
+          layout_.SetF64(row, f, layout_.GetF64(row, f) +
+                                     layout_.GetF64(partial, f));
+        } else {
+          layout_.SetI64(row, f, layout_.GetI64(row, f) +
+                                     layout_.GetI64(partial, f));
+        }
+        break;
+      case AggFunc::kMin:
+      case AggFunc::kMax: {
+        bool is_min = spec.func == AggFunc::kMin;
+        if (spec.input_type == LogicalType::kDouble) {
+          double v = layout_.GetF64(partial, f);
+          double cur = layout_.GetF64(row, f);
+          layout_.SetF64(row, f, is_min ? std::min(cur, v)
+                                        : std::max(cur, v));
+        } else {
+          int64_t v = layout_.GetI64(partial, f);
+          int64_t cur = layout_.GetI64(row, f);
+          layout_.SetI64(row, f, is_min ? std::min(cur, v)
+                                        : std::max(cur, v));
+        }
+        break;
+      }
+    }
+  }
+}
+
+bool GroupByState::KeysEqualInput(const uint8_t* row, const Chunk& in,
+                                  int i) const {
+  for (int k = 0; k < num_keys_; ++k) {
+    const Vector& v = in.cols[k];
+    switch (key_types_[k]) {
+      case LogicalType::kInt32:
+        if (layout_.GetI64(row, k) != v.i32()[i]) return false;
+        break;
+      case LogicalType::kInt64:
+        if (layout_.GetI64(row, k) != v.i64()[i]) return false;
+        break;
+      case LogicalType::kDouble:
+        if (layout_.GetF64(row, k) != v.f64()[i]) return false;
+        break;
+      case LogicalType::kString:
+        if (layout_.GetStr(row, k) != v.str()[i]) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+bool GroupByState::KeysEqualRow(const uint8_t* a, const uint8_t* b) const {
+  for (int k = 0; k < num_keys_; ++k) {
+    if (key_types_[k] == LogicalType::kString) {
+      if (layout_.GetStr(a, k) != layout_.GetStr(b, k)) return false;
+    } else {
+      if (layout_.GetI64(a, k) != layout_.GetI64(b, k)) return false;
+    }
+  }
+  return true;
+}
+
+AggPhase1Sink::AggPhase1Sink(GroupByState* state)
+    : state_(state), locals_(state->num_worker_slots()) {}
+
+AggPhase1Sink::Local& AggPhase1Sink::LocalOf(ExecContext& ctx) {
+  std::unique_ptr<Local>& slot = locals_[ctx.worker->worker_id];
+  if (slot == nullptr) {
+    slot = std::make_unique<Local>();
+    slot->slots.assign(kLocalSlots, kEmpty);
+    slot->rows =
+        std::make_unique<RowBuffer>(&state_->layout(), ctx.socket());
+  }
+  return *slot;
+}
+
+void AggPhase1Sink::SpillLocal(Local& local, int worker_id, int socket,
+                               TrafficCounters* traffic) {
+  const TupleLayout& layout = state_->layout();
+  uint64_t bytes = 0;
+  for (size_t i = 0; i < local.rows->rows(); ++i) {
+    const uint8_t* row = local.rows->row(i);
+    int p = PartitionOf(TupleLayout::GetHash(row),
+                        state_->num_partitions());
+    RowBuffer* out = state_->spill(worker_id, p, socket);
+    std::memcpy(out->AppendRow(), row, layout.row_size());
+    bytes += layout.row_size();
+  }
+  if (traffic != nullptr) traffic->OnWrite(socket, socket, bytes);
+  local.slots.assign(kLocalSlots, kEmpty);
+  local.rows->Clear();
+  local.count = 0;
+}
+
+void AggPhase1Sink::Consume(Chunk& chunk, ExecContext& ctx) {
+  Local& local = LocalOf(ctx);
+  const TupleLayout& layout = state_->layout();
+  std::vector<int> key_cols(state_->num_keys());
+  for (int k = 0; k < state_->num_keys(); ++k) key_cols[k] = k;
+  const int wid = ctx.worker->worker_id;
+
+  for (int i = 0; i < chunk.n; ++i) {
+    uint64_t h = HashRow(chunk, key_cols, i);
+    uint32_t slot = static_cast<uint32_t>(h) & (kLocalSlots - 1);
+    uint8_t* found = nullptr;
+    while (local.slots[slot] != kEmpty) {
+      uint8_t* row = local.rows->row(local.slots[slot]);
+      if (TupleLayout::GetHash(row) == h &&
+          state_->KeysEqualInput(row, chunk, i)) {
+        found = row;
+        break;
+      }
+      slot = (slot + 1) & (kLocalSlots - 1);
+    }
+    if (found != nullptr) {
+      state_->UpdateFromInput(found, chunk, i);
+      continue;
+    }
+    // "spill when ht becomes full" (Figure 8): flush everything to the
+    // overflow partitions and start over with an empty table.
+    if (local.count >= kLocalSlots * 3 / 4) {
+      SpillLocal(local, wid, ctx.socket(), ctx.traffic());
+      slot = static_cast<uint32_t>(h) & (kLocalSlots - 1);
+      while (local.slots[slot] != kEmpty) {
+        slot = (slot + 1) & (kLocalSlots - 1);
+      }
+    }
+    uint32_t idx = static_cast<uint32_t>(local.rows->rows());
+    uint8_t* row = local.rows->AppendRow();
+    TupleLayout::SetNext(row, nullptr);
+    TupleLayout::SetHash(row, h);
+    for (int k = 0; k < state_->num_keys(); ++k) {
+      if (layout.field_type(k) == LogicalType::kString) {
+        layout.SetStr(row, k,
+                      state_->InternString(wid, chunk.cols[k].str()[i]));
+      } else {
+        layout.StoreFromVector(row, k, chunk.cols[k], i);
+      }
+    }
+    state_->InitStates(row, chunk, i);
+    local.slots[slot] = idx;
+    ++local.count;
+  }
+}
+
+void AggPhase1Sink::Finalize(ExecContext& ctx) {
+  // Runs single-threaded after the last morsel; flushes every worker's
+  // remaining pre-aggregation table into the partitions.
+  for (size_t w = 0; w < locals_.size(); ++w) {
+    if (locals_[w] == nullptr) continue;
+    Local& local = *locals_[w];
+    SpillLocal(local, static_cast<int>(w), local.rows->socket(),
+               ctx.traffic());
+  }
+}
+
+std::vector<MorselRange> AggPartitionSource::MakeRanges(
+    const Topology& topo) {
+  std::vector<MorselRange> out;
+  for (int p = 0; p < state_->num_partitions(); ++p) {
+    out.push_back(MorselRange{p, 0, 1, p % topo.num_sockets()});
+  }
+  return out;
+}
+
+void AggPartitionSource::RunMorsel(const Morsel& m, Pipeline& pipeline,
+                                   ExecContext& ctx) {
+  const int p = m.partition;
+  const TupleLayout& layout = state_->layout();
+
+  // Upper bound on distinct groups in this partition.
+  uint64_t total = 0;
+  for (int w = 0; w < state_->num_worker_slots(); ++w) {
+    RowBuffer* buf = state_->spill_if_exists(w, p);
+    if (buf != nullptr) total += buf->rows();
+  }
+
+  // Scalar aggregation over empty input still yields one all-zero group.
+  if (total == 0) {
+    if (state_->num_keys() == 0 && p == 0) {
+      RowBuffer empty_row(&layout, ctx.socket());
+      uint8_t* row = empty_row.AppendRow();
+      std::memset(row, 0, layout.row_size());
+      EmitRows(empty_row, pipeline, ctx);
+    }
+    return;
+  }
+
+  uint64_t cap = 1024;
+  while (cap < total * 2) cap <<= 1;
+  std::vector<uint32_t> slots(cap, UINT32_MAX);
+  RowBuffer merged(&layout, ctx.socket());
+
+  for (int w = 0; w < state_->num_worker_slots(); ++w) {
+    RowBuffer* buf = state_->spill_if_exists(w, p);
+    if (buf == nullptr || buf->rows() == 0) continue;
+    ctx.traffic()->OnRead(ctx.socket(), buf->socket(), buf->bytes());
+    for (size_t i = 0; i < buf->rows(); ++i) {
+      const uint8_t* partial = buf->row(i);
+      uint64_t h = TupleLayout::GetHash(partial);
+      uint64_t slot = h & (cap - 1);
+      bool combined = false;
+      while (slots[slot] != UINT32_MAX) {
+        uint8_t* row = merged.row(slots[slot]);
+        if (TupleLayout::GetHash(row) == h &&
+            state_->KeysEqualRow(row, partial)) {
+          state_->CombinePartial(row, partial);
+          combined = true;
+          break;
+        }
+        slot = (slot + 1) & (cap - 1);
+      }
+      if (!combined) {
+        uint32_t idx = static_cast<uint32_t>(merged.rows());
+        std::memcpy(merged.AppendRow(), partial, layout.row_size());
+        slots[slot] = idx;
+      }
+    }
+  }
+  EmitRows(merged, pipeline, ctx);
+}
+
+void AggPartitionSource::EmitRows(const RowBuffer& rows, Pipeline& pipeline,
+                                  ExecContext& ctx) {
+  const TupleLayout& layout = state_->layout();
+  const int num_fields = layout.num_fields();
+  for (uint64_t base = 0; base < rows.rows(); base += kChunkCapacity) {
+    int n = static_cast<int>(
+        std::min<uint64_t>(kChunkCapacity, rows.rows() - base));
+    Chunk out;
+    out.n = n;
+    out.cols.resize(num_fields);
+    for (int f = 0; f < num_fields; ++f) {
+      Vector& v = out.cols[f];
+      v.type = layout.field_type(f);
+      switch (v.type) {
+        case LogicalType::kInt32: {
+          auto* d = ctx.arena.AllocArray<int32_t>(n);
+          for (int i = 0; i < n; ++i) d[i] = layout.GetI32(rows.row(base + i), f);
+          v.data = d;
+          break;
+        }
+        case LogicalType::kInt64: {
+          auto* d = ctx.arena.AllocArray<int64_t>(n);
+          for (int i = 0; i < n; ++i) d[i] = layout.GetI64(rows.row(base + i), f);
+          v.data = d;
+          break;
+        }
+        case LogicalType::kDouble: {
+          auto* d = ctx.arena.AllocArray<double>(n);
+          for (int i = 0; i < n; ++i) d[i] = layout.GetF64(rows.row(base + i), f);
+          v.data = d;
+          break;
+        }
+        case LogicalType::kString: {
+          auto* d = ctx.arena.AllocArray<std::string_view>(n);
+          for (int i = 0; i < n; ++i) d[i] = layout.GetStr(rows.row(base + i), f);
+          v.data = d;
+          break;
+        }
+      }
+    }
+    // The emitted views point into `rows`, which lives until this call
+    // returns: "tuples are immediately pushed into the following operator
+    // ... likely still in cache" (§4.4). Sinks deep-copy strings.
+    pipeline.Push(out, 0, ctx);
+  }
+}
+
+}  // namespace morsel

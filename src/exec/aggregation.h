@@ -1,0 +1,129 @@
+#ifndef MORSELDB_EXEC_AGGREGATION_H_
+#define MORSELDB_EXEC_AGGREGATION_H_
+
+#include <memory>
+#include <vector>
+
+#include "exec/operators.h"
+#include "exec/pipeline.h"
+#include "exec/tuple.h"
+
+namespace morsel {
+
+// Aggregate functions. AVG is expressed as SUM + COUNT with a downstream
+// division. COUNT(DISTINCT x) is planned as two stacked group-bys.
+enum class AggFunc { kCount, kSum, kMin, kMax };
+
+struct AggSpec {
+  AggFunc func;
+  // Index of the aggregate's input column in the phase-1 input chunk
+  // (after the keys), or -1 for COUNT(*).
+  int input_col = -1;
+  LogicalType input_type = LogicalType::kInt64;
+};
+
+// Shared state of one grouped aggregation (§4.4, Figure 8): phase 1 does
+// thread-local pre-aggregation in a fixed-size hash table that spills
+// *partition-wise* when it fills up; phase 2 re-aggregates each partition
+// in a thread-local table and immediately streams finished groups into
+// the next pipeline ("the aggregated tuples are likely still in cache").
+//
+// Partial-aggregate records use the row format [keys..., states...] with
+// the group hash in the tuple header. Combining partials is associative,
+// so phase-1 spill records and phase-2 merging share one layout.
+class GroupByState {
+ public:
+  GroupByState(std::vector<LogicalType> key_types, std::vector<AggSpec> specs,
+               int num_worker_slots, int num_partitions = 64);
+
+  const TupleLayout& layout() const { return layout_; }
+  int num_keys() const { return num_keys_; }
+  int num_partitions() const { return num_partitions_; }
+  const std::vector<AggSpec>& specs() const { return specs_; }
+  LogicalType state_type(int s) const { return state_types_[s]; }
+  const std::vector<LogicalType>& key_types() const { return key_types_; }
+
+  // Spill buffer for (worker, partition); created lazily, NUMA-local.
+  RowBuffer* spill(int worker_id, int partition, int socket);
+  RowBuffer* spill_if_exists(int worker_id, int partition) const {
+    return spill_[worker_id][partition].get();
+  }
+  int num_worker_slots() const { return static_cast<int>(spill_.size()); }
+
+  std::string_view InternString(int worker_id, std::string_view s);
+
+  // --- state transition functions ----------------------------------------
+  // Initializes a fresh group row's states from input row `i`.
+  void InitStates(uint8_t* row, const Chunk& in, int i) const;
+  // Folds input row `i` into an existing group row.
+  void UpdateFromInput(uint8_t* row, const Chunk& in, int i) const;
+  // Folds a partial-aggregate record into an existing group row.
+  void CombinePartial(uint8_t* row, const uint8_t* partial) const;
+
+  // Key comparison helpers.
+  bool KeysEqualInput(const uint8_t* row, const Chunk& in, int i) const;
+  bool KeysEqualRow(const uint8_t* a, const uint8_t* b) const;
+
+ private:
+  std::vector<LogicalType> key_types_;
+  std::vector<AggSpec> specs_;
+  std::vector<LogicalType> state_types_;
+  TupleLayout layout_;
+  int num_keys_;
+  int num_partitions_;
+  std::vector<std::vector<std::unique_ptr<RowBuffer>>> spill_;
+  std::vector<std::unique_ptr<Arena>> string_arenas_;
+};
+
+// Phase-1 sink. Input chunks are [keys..., agg inputs...]. Each worker
+// owns a fixed-size pre-aggregation table ("aggregates heavy hitters
+// using a thread-local, fixed-sized hash table"); when it fills, its
+// contents spill to hash partitions.
+class AggPhase1Sink final : public Sink {
+ public:
+  explicit AggPhase1Sink(GroupByState* state);
+
+  void Consume(Chunk& chunk, ExecContext& ctx) override;
+  void Finalize(ExecContext& ctx) override;  // spills all local tables
+
+ private:
+  // Power-of-two local table size (entries); spill threshold is 3/4.
+  static constexpr uint32_t kLocalSlots = 4096;
+  static constexpr uint32_t kEmpty = UINT32_MAX;
+
+  struct Local {
+    std::vector<uint32_t> slots;  // kLocalSlots entries -> row index
+    std::unique_ptr<RowBuffer> rows;
+    uint32_t count = 0;
+  };
+
+  Local& LocalOf(ExecContext& ctx);
+  void SpillLocal(Local& local, int worker_id, int socket,
+                  TrafficCounters* traffic);
+
+  GroupByState* state_;
+  std::vector<std::unique_ptr<Local>> locals_;
+};
+
+// Phase-2 source: one morsel per partition. Aggregates all spill records
+// of a partition in a thread-local table and emits result chunks
+// [keys..., agg results...] into the continuation pipeline.
+class AggPartitionSource final : public Source {
+ public:
+  explicit AggPartitionSource(GroupByState* state) : state_(state) {}
+
+  std::vector<MorselRange> MakeRanges(const Topology& topo) override;
+  void RunMorsel(const Morsel& m, Pipeline& pipeline,
+                 ExecContext& ctx) override;
+
+ private:
+  // Streams the merged group rows downstream in chunk-sized batches.
+  void EmitRows(const RowBuffer& rows, Pipeline& pipeline,
+                ExecContext& ctx);
+
+  GroupByState* state_;
+};
+
+}  // namespace morsel
+
+#endif  // MORSELDB_EXEC_AGGREGATION_H_

@@ -1,0 +1,39 @@
+#include "exec/chunk.h"
+
+#include "numa/allocator.h"
+
+namespace morsel {
+
+Arena::~Arena() {
+  for (Block& b : blocks_) NumaFree(b.data, b.size);
+}
+
+void* Arena::Alloc(size_t bytes) {
+  bytes = (bytes + 15) & ~size_t{15};  // 16-byte alignment for all types
+  while (true) {
+    if (current_ < blocks_.size()) {
+      Block& b = blocks_[current_];
+      if (offset_ + bytes <= b.size) {
+        void* p = b.data + offset_;
+        offset_ += bytes;
+        used_ += bytes;
+        return p;
+      }
+      ++current_;
+      offset_ = 0;
+      continue;
+    }
+    size_t size = bytes > kBlockSize ? bytes : kBlockSize;
+    blocks_.push_back(
+        Block{static_cast<char*>(NumaAlloc(size, 0)), size});
+    // Loop retries with the fresh block as `current_`.
+  }
+}
+
+void Arena::Reset() {
+  current_ = 0;
+  offset_ = 0;
+  used_ = 0;
+}
+
+}  // namespace morsel

@@ -1,0 +1,24 @@
+#ifndef MORSELDB_EXEC_EXEC_CONTEXT_H_
+#define MORSELDB_EXEC_EXEC_CONTEXT_H_
+
+#include "core/worker_context.h"
+#include "exec/chunk.h"
+
+namespace morsel {
+
+// Per-worker, per-job execution state threaded through operators.
+struct ExecContext {
+  WorkerContext* worker = nullptr;
+  Arena arena;  // reset at each morsel boundary
+
+  // Engine-level toggles relevant to operators.
+  bool use_tagging = true;  // §4.2 pointer-tag early filtering
+
+  int socket() const { return worker->socket; }
+  TrafficCounters* traffic() const { return worker->traffic; }
+  int num_sockets() const { return worker->topo->num_sockets(); }
+};
+
+}  // namespace morsel
+
+#endif  // MORSELDB_EXEC_EXEC_CONTEXT_H_

@@ -1,0 +1,567 @@
+#include "exec/expression.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace morsel {
+
+namespace {
+
+bool IsNumeric(LogicalType t) { return t != LogicalType::kString; }
+
+// Numeric promotion for binary nodes.
+LogicalType Promote(LogicalType a, LogicalType b) {
+  MORSEL_CHECK(IsNumeric(a) && IsNumeric(b));
+  if (a == LogicalType::kDouble || b == LogicalType::kDouble) {
+    return LogicalType::kDouble;
+  }
+  return LogicalType::kInt64;
+}
+
+inline int64_t GetI64(const Vector& v, int i) {
+  switch (v.type) {
+    case LogicalType::kInt32:
+      return v.i32()[i];
+    case LogicalType::kInt64:
+      return v.i64()[i];
+    default:
+      MORSEL_DCHECK(false);
+      return 0;
+  }
+}
+
+inline double GetF64(const Vector& v, int i) {
+  switch (v.type) {
+    case LogicalType::kInt32:
+      return v.i32()[i];
+    case LogicalType::kInt64:
+      return static_cast<double>(v.i64()[i]);
+    case LogicalType::kDouble:
+      return v.f64()[i];
+    default:
+      MORSEL_DCHECK(false);
+      return 0;
+  }
+}
+
+class ColRefExpr final : public Expr {
+ public:
+  ColRefExpr(int index, LogicalType type) : Expr(type), index_(index) {}
+
+  void Eval(const Chunk& in, ExecContext&, Vector* out) const override {
+    MORSEL_DCHECK(index_ < in.num_cols());
+    MORSEL_DCHECK(in.cols[index_].type == type());
+    *out = in.cols[index_];  // zero-copy forward
+  }
+
+  int index() const { return index_; }
+
+ private:
+  int index_;
+};
+
+template <typename T>
+class ConstExpr final : public Expr {
+ public:
+  ConstExpr(LogicalType type, T v) : Expr(type), v_(v) {}
+
+  void Eval(const Chunk& in, ExecContext& ctx, Vector* out) const override {
+    T* data = ctx.arena.AllocArray<T>(in.n);
+    std::fill(data, data + in.n, v_);
+    out->type = type();
+    out->data = data;
+  }
+
+ private:
+  T v_;
+};
+
+class ConstStrExpr final : public Expr {
+ public:
+  explicit ConstStrExpr(std::string v)
+      : Expr(LogicalType::kString), v_(std::move(v)) {}
+
+  void Eval(const Chunk& in, ExecContext& ctx, Vector* out) const override {
+    auto* data = ctx.arena.AllocArray<std::string_view>(in.n);
+    std::fill(data, data + in.n, std::string_view(v_));
+    out->type = type();
+    out->data = data;
+  }
+
+ private:
+  std::string v_;
+};
+
+class ArithExpr final : public Expr {
+ public:
+  ArithExpr(ArithOp op, ExprPtr lhs, ExprPtr rhs)
+      : Expr(Promote(lhs->type(), rhs->type())),
+        op_(op),
+        lhs_(std::move(lhs)),
+        rhs_(std::move(rhs)) {}
+
+  void Eval(const Chunk& in, ExecContext& ctx, Vector* out) const override {
+    Vector l, r;
+    lhs_->Eval(in, ctx, &l);
+    rhs_->Eval(in, ctx, &r);
+    out->type = type();
+    if (type() == LogicalType::kDouble) {
+      double* d = ctx.arena.AllocArray<double>(in.n);
+      for (int i = 0; i < in.n; ++i) {
+        double a = GetF64(l, i), b = GetF64(r, i);
+        switch (op_) {
+          case ArithOp::kAdd:
+            d[i] = a + b;
+            break;
+          case ArithOp::kSub:
+            d[i] = a - b;
+            break;
+          case ArithOp::kMul:
+            d[i] = a * b;
+            break;
+          case ArithOp::kDiv:
+            d[i] = a / b;
+            break;
+        }
+      }
+      out->data = d;
+    } else {
+      int64_t* d = ctx.arena.AllocArray<int64_t>(in.n);
+      for (int i = 0; i < in.n; ++i) {
+        int64_t a = GetI64(l, i), b = GetI64(r, i);
+        switch (op_) {
+          case ArithOp::kAdd:
+            d[i] = a + b;
+            break;
+          case ArithOp::kSub:
+            d[i] = a - b;
+            break;
+          case ArithOp::kMul:
+            d[i] = a * b;
+            break;
+          case ArithOp::kDiv:
+            d[i] = b == 0 ? 0 : a / b;
+            break;
+        }
+      }
+      out->data = d;
+    }
+  }
+
+ private:
+  ArithOp op_;
+  ExprPtr lhs_, rhs_;
+};
+
+class CmpExpr final : public Expr {
+ public:
+  CmpExpr(CmpOp op, ExprPtr lhs, ExprPtr rhs)
+      : Expr(LogicalType::kInt32),
+        op_(op),
+        lhs_(std::move(lhs)),
+        rhs_(std::move(rhs)) {
+    bool ls = lhs_->type() == LogicalType::kString;
+    bool rs = rhs_->type() == LogicalType::kString;
+    MORSEL_CHECK_MSG(ls == rs, "cannot compare string with numeric");
+    string_ = ls;
+  }
+
+  void Eval(const Chunk& in, ExecContext& ctx, Vector* out) const override {
+    Vector l, r;
+    lhs_->Eval(in, ctx, &l);
+    rhs_->Eval(in, ctx, &r);
+    int32_t* d = ctx.arena.AllocArray<int32_t>(in.n);
+    if (string_) {
+      const std::string_view* a = l.str();
+      const std::string_view* b = r.str();
+      for (int i = 0; i < in.n; ++i) d[i] = Test(a[i].compare(b[i]));
+    } else if (l.type == LogicalType::kDouble ||
+               r.type == LogicalType::kDouble) {
+      for (int i = 0; i < in.n; ++i) {
+        double a = GetF64(l, i), b = GetF64(r, i);
+        d[i] = Test(a < b ? -1 : (a > b ? 1 : 0));
+      }
+    } else {
+      for (int i = 0; i < in.n; ++i) {
+        int64_t a = GetI64(l, i), b = GetI64(r, i);
+        d[i] = Test(a < b ? -1 : (a > b ? 1 : 0));
+      }
+    }
+    out->type = LogicalType::kInt32;
+    out->data = d;
+  }
+
+ private:
+  int32_t Test(int c) const {
+    switch (op_) {
+      case CmpOp::kEq:
+        return c == 0;
+      case CmpOp::kNe:
+        return c != 0;
+      case CmpOp::kLt:
+        return c < 0;
+      case CmpOp::kLe:
+        return c <= 0;
+      case CmpOp::kGt:
+        return c > 0;
+      case CmpOp::kGe:
+        return c >= 0;
+    }
+    return 0;
+  }
+
+  CmpOp op_;
+  ExprPtr lhs_, rhs_;
+  bool string_;
+};
+
+class LogicExpr final : public Expr {
+ public:
+  LogicExpr(bool is_and, std::vector<ExprPtr> operands)
+      : Expr(LogicalType::kInt32),
+        is_and_(is_and),
+        operands_(std::move(operands)) {
+    MORSEL_CHECK(!operands_.empty());
+    for (const auto& e : operands_) {
+      MORSEL_CHECK(e->type() == LogicalType::kInt32);
+    }
+  }
+
+  void Eval(const Chunk& in, ExecContext& ctx, Vector* out) const override {
+    int32_t* d = ctx.arena.AllocArray<int32_t>(in.n);
+    Vector v;
+    operands_[0]->Eval(in, ctx, &v);
+    const int32_t* first = v.i32();
+    for (int i = 0; i < in.n; ++i) d[i] = first[i] != 0;
+    for (size_t k = 1; k < operands_.size(); ++k) {
+      operands_[k]->Eval(in, ctx, &v);
+      const int32_t* o = v.i32();
+      if (is_and_) {
+        for (int i = 0; i < in.n; ++i) d[i] = d[i] & (o[i] != 0);
+      } else {
+        for (int i = 0; i < in.n; ++i) d[i] = d[i] | (o[i] != 0);
+      }
+    }
+    out->type = LogicalType::kInt32;
+    out->data = d;
+  }
+
+ private:
+  bool is_and_;
+  std::vector<ExprPtr> operands_;
+};
+
+class NotExpr final : public Expr {
+ public:
+  explicit NotExpr(ExprPtr operand)
+      : Expr(LogicalType::kInt32), operand_(std::move(operand)) {
+    MORSEL_CHECK(operand_->type() == LogicalType::kInt32);
+  }
+
+  void Eval(const Chunk& in, ExecContext& ctx, Vector* out) const override {
+    Vector v;
+    operand_->Eval(in, ctx, &v);
+    const int32_t* o = v.i32();
+    int32_t* d = ctx.arena.AllocArray<int32_t>(in.n);
+    for (int i = 0; i < in.n; ++i) d[i] = o[i] == 0;
+    out->type = LogicalType::kInt32;
+    out->data = d;
+  }
+
+ private:
+  ExprPtr operand_;
+};
+
+class LikeExpr final : public Expr {
+ public:
+  LikeExpr(ExprPtr input, std::string pattern, bool negate)
+      : Expr(LogicalType::kInt32),
+        input_(std::move(input)),
+        pattern_(std::move(pattern)),
+        negate_(negate) {
+    MORSEL_CHECK(input_->type() == LogicalType::kString);
+  }
+
+  void Eval(const Chunk& in, ExecContext& ctx, Vector* out) const override {
+    Vector v;
+    input_->Eval(in, ctx, &v);
+    const std::string_view* s = v.str();
+    int32_t* d = ctx.arena.AllocArray<int32_t>(in.n);
+    for (int i = 0; i < in.n; ++i) {
+      d[i] = LikeMatch(s[i], pattern_) != negate_;
+    }
+    out->type = LogicalType::kInt32;
+    out->data = d;
+  }
+
+ private:
+  ExprPtr input_;
+  std::string pattern_;
+  bool negate_;
+};
+
+class InStrExpr final : public Expr {
+ public:
+  InStrExpr(ExprPtr input, std::vector<std::string> set)
+      : Expr(LogicalType::kInt32),
+        input_(std::move(input)),
+        set_(std::move(set)) {
+    MORSEL_CHECK(input_->type() == LogicalType::kString);
+    for (const std::string& s : set_) lookup_.insert(s);
+  }
+
+  void Eval(const Chunk& in, ExecContext& ctx, Vector* out) const override {
+    Vector v;
+    input_->Eval(in, ctx, &v);
+    const std::string_view* s = v.str();
+    int32_t* d = ctx.arena.AllocArray<int32_t>(in.n);
+    for (int i = 0; i < in.n; ++i) {
+      d[i] = lookup_.count(std::string(s[i])) > 0;
+    }
+    out->type = LogicalType::kInt32;
+    out->data = d;
+  }
+
+ private:
+  ExprPtr input_;
+  std::vector<std::string> set_;
+  std::unordered_set<std::string> lookup_;
+};
+
+class InI64Expr final : public Expr {
+ public:
+  InI64Expr(ExprPtr input, std::vector<int64_t> set)
+      : Expr(LogicalType::kInt32),
+        input_(std::move(input)),
+        set_(set.begin(), set.end()) {
+    MORSEL_CHECK(IsNumeric(input_->type()));
+  }
+
+  void Eval(const Chunk& in, ExecContext& ctx, Vector* out) const override {
+    Vector v;
+    input_->Eval(in, ctx, &v);
+    int32_t* d = ctx.arena.AllocArray<int32_t>(in.n);
+    for (int i = 0; i < in.n; ++i) d[i] = set_.count(GetI64(v, i)) > 0;
+    out->type = LogicalType::kInt32;
+    out->data = d;
+  }
+
+ private:
+  ExprPtr input_;
+  std::unordered_set<int64_t> set_;
+};
+
+class SubstrExpr final : public Expr {
+ public:
+  SubstrExpr(ExprPtr input, int start, int len)
+      : Expr(LogicalType::kString),
+        input_(std::move(input)),
+        start_(start),
+        len_(len) {
+    MORSEL_CHECK(input_->type() == LogicalType::kString);
+    MORSEL_CHECK(start >= 1 && len >= 0);
+  }
+
+  void Eval(const Chunk& in, ExecContext& ctx, Vector* out) const override {
+    Vector v;
+    input_->Eval(in, ctx, &v);
+    const std::string_view* s = v.str();
+    auto* d = ctx.arena.AllocArray<std::string_view>(in.n);
+    for (int i = 0; i < in.n; ++i) {
+      size_t b = static_cast<size_t>(start_ - 1);
+      if (b >= s[i].size()) {
+        d[i] = std::string_view();
+      } else {
+        d[i] = s[i].substr(b, static_cast<size_t>(len_));
+      }
+    }
+    out->type = LogicalType::kString;
+    out->data = d;
+  }
+
+ private:
+  ExprPtr input_;
+  int start_, len_;
+};
+
+class CaseWhenExpr final : public Expr {
+ public:
+  CaseWhenExpr(ExprPtr cond, ExprPtr then_v, ExprPtr else_v)
+      : Expr(then_v->type()),
+        cond_(std::move(cond)),
+        then_(std::move(then_v)),
+        else_(std::move(else_v)) {
+    MORSEL_CHECK(cond_->type() == LogicalType::kInt32);
+    MORSEL_CHECK(then_->type() == else_->type());
+  }
+
+  void Eval(const Chunk& in, ExecContext& ctx, Vector* out) const override {
+    Vector c, t, e;
+    cond_->Eval(in, ctx, &c);
+    then_->Eval(in, ctx, &t);
+    else_->Eval(in, ctx, &e);
+    const int32_t* sel = c.i32();
+    out->type = type();
+    switch (type()) {
+      case LogicalType::kInt32: {
+        int32_t* d = ctx.arena.AllocArray<int32_t>(in.n);
+        for (int i = 0; i < in.n; ++i) {
+          d[i] = sel[i] ? t.i32()[i] : e.i32()[i];
+        }
+        out->data = d;
+        break;
+      }
+      case LogicalType::kInt64: {
+        int64_t* d = ctx.arena.AllocArray<int64_t>(in.n);
+        for (int i = 0; i < in.n; ++i) {
+          d[i] = sel[i] ? t.i64()[i] : e.i64()[i];
+        }
+        out->data = d;
+        break;
+      }
+      case LogicalType::kDouble: {
+        double* d = ctx.arena.AllocArray<double>(in.n);
+        for (int i = 0; i < in.n; ++i) {
+          d[i] = sel[i] ? t.f64()[i] : e.f64()[i];
+        }
+        out->data = d;
+        break;
+      }
+      case LogicalType::kString: {
+        auto* d = ctx.arena.AllocArray<std::string_view>(in.n);
+        for (int i = 0; i < in.n; ++i) {
+          d[i] = sel[i] ? t.str()[i] : e.str()[i];
+        }
+        out->data = d;
+        break;
+      }
+    }
+  }
+
+ private:
+  ExprPtr cond_, then_, else_;
+};
+
+class ExtractYearExpr final : public Expr {
+ public:
+  explicit ExtractYearExpr(ExprPtr input)
+      : Expr(LogicalType::kInt32), input_(std::move(input)) {
+    MORSEL_CHECK(input_->type() == LogicalType::kInt32);
+  }
+
+  void Eval(const Chunk& in, ExecContext& ctx, Vector* out) const override {
+    Vector v;
+    input_->Eval(in, ctx, &v);
+    const int32_t* s = v.i32();
+    int32_t* d = ctx.arena.AllocArray<int32_t>(in.n);
+    for (int i = 0; i < in.n; ++i) d[i] = DateYear(s[i]);
+    out->type = LogicalType::kInt32;
+    out->data = d;
+  }
+
+ private:
+  ExprPtr input_;
+};
+
+class ToF64Expr final : public Expr {
+ public:
+  explicit ToF64Expr(ExprPtr input)
+      : Expr(LogicalType::kDouble), input_(std::move(input)) {
+    MORSEL_CHECK(IsNumeric(input_->type()));
+  }
+
+  void Eval(const Chunk& in, ExecContext& ctx, Vector* out) const override {
+    Vector v;
+    input_->Eval(in, ctx, &v);
+    if (v.type == LogicalType::kDouble) {
+      *out = v;
+      return;
+    }
+    double* d = ctx.arena.AllocArray<double>(in.n);
+    for (int i = 0; i < in.n; ++i) d[i] = GetF64(v, i);
+    out->type = LogicalType::kDouble;
+    out->data = d;
+  }
+
+ private:
+  ExprPtr input_;
+};
+
+}  // namespace
+
+ExprPtr ColRef(int index, LogicalType type) {
+  return std::make_unique<ColRefExpr>(index, type);
+}
+ExprPtr ConstI32(int32_t v) {
+  return std::make_unique<ConstExpr<int32_t>>(LogicalType::kInt32, v);
+}
+ExprPtr ConstI64(int64_t v) {
+  return std::make_unique<ConstExpr<int64_t>>(LogicalType::kInt64, v);
+}
+ExprPtr ConstF64(double v) {
+  return std::make_unique<ConstExpr<double>>(LogicalType::kDouble, v);
+}
+ExprPtr ConstStr(std::string v) {
+  return std::make_unique<ConstStrExpr>(std::move(v));
+}
+ExprPtr ConstDate(std::string_view ymd) {
+  Date32 d = 0;
+  MORSEL_CHECK_MSG(ParseDate(ymd, &d), "bad date literal");
+  return ConstI32(d);
+}
+ExprPtr Arith(ArithOp op, ExprPtr lhs, ExprPtr rhs) {
+  return std::make_unique<ArithExpr>(op, std::move(lhs), std::move(rhs));
+}
+ExprPtr Cmp(CmpOp op, ExprPtr lhs, ExprPtr rhs) {
+  return std::make_unique<CmpExpr>(op, std::move(lhs), std::move(rhs));
+}
+ExprPtr And(std::vector<ExprPtr> operands) {
+  return std::make_unique<LogicExpr>(true, std::move(operands));
+}
+ExprPtr Or(std::vector<ExprPtr> operands) {
+  return std::make_unique<LogicExpr>(false, std::move(operands));
+}
+ExprPtr Not(ExprPtr operand) {
+  return std::make_unique<NotExpr>(std::move(operand));
+}
+ExprPtr Between(ExprPtr x, ExprPtr lo, ExprPtr hi) {
+  // Between desugars to two comparisons and therefore needs x twice; only
+  // column references (the practical case) are duplicable.
+  auto* col = dynamic_cast<ColRefExpr*>(x.get());
+  MORSEL_CHECK_MSG(col != nullptr, "Between requires a column reference");
+  ExprPtr x2 = ColRef(col->index(), col->type());
+  return And(Cmp(CmpOp::kGe, std::move(x), std::move(lo)),
+             Cmp(CmpOp::kLe, std::move(x2), std::move(hi)));
+}
+ExprPtr Like(ExprPtr input, std::string pattern) {
+  return std::make_unique<LikeExpr>(std::move(input), std::move(pattern),
+                                    false);
+}
+ExprPtr NotLike(ExprPtr input, std::string pattern) {
+  return std::make_unique<LikeExpr>(std::move(input), std::move(pattern),
+                                    true);
+}
+ExprPtr InStr(ExprPtr input, std::vector<std::string> set) {
+  return std::make_unique<InStrExpr>(std::move(input), std::move(set));
+}
+ExprPtr InI64(ExprPtr input, std::vector<int64_t> set) {
+  return std::make_unique<InI64Expr>(std::move(input), std::move(set));
+}
+ExprPtr Substr(ExprPtr input, int start, int len) {
+  return std::make_unique<SubstrExpr>(std::move(input), start, len);
+}
+ExprPtr CaseWhen(ExprPtr cond, ExprPtr then_value, ExprPtr else_value) {
+  return std::make_unique<CaseWhenExpr>(
+      std::move(cond), std::move(then_value), std::move(else_value));
+}
+ExprPtr ExtractYear(ExprPtr date_expr) {
+  return std::make_unique<ExtractYearExpr>(std::move(date_expr));
+}
+ExprPtr ToF64(ExprPtr input) {
+  return std::make_unique<ToF64Expr>(std::move(input));
+}
+
+}  // namespace morsel

@@ -1,0 +1,150 @@
+#ifndef MORSELDB_EXEC_EXPRESSION_H_
+#define MORSELDB_EXEC_EXPRESSION_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/date.h"
+#include "exec/chunk.h"
+#include "exec/exec_context.h"
+#include "storage/types.h"
+
+namespace morsel {
+
+// Vectorized expression tree evaluated over chunks. Types are resolved
+// and checked at construction time; evaluation is a tight loop per node
+// writing into arena-allocated output vectors.
+//
+// Conventions: predicates produce kInt32 vectors of 0/1; there is no
+// NULL — TPC-H/SSB data is NOT NULL throughout, and outer-join misses
+// surface as type defaults (0 / empty string), which the queries built in
+// this repo account for.
+class Expr {
+ public:
+  explicit Expr(LogicalType type) : type_(type) {}
+  virtual ~Expr() = default;
+
+  Expr(const Expr&) = delete;
+  Expr& operator=(const Expr&) = delete;
+
+  LogicalType type() const { return type_; }
+
+  // Evaluates rows [0, in.n); `out` receives a vector of exactly in.n
+  // values of type(). Output storage comes from ctx.arena unless the
+  // node can forward an existing vector (column references do).
+  virtual void Eval(const Chunk& in, ExecContext& ctx,
+                    Vector* out) const = 0;
+
+ private:
+  LogicalType type_;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+// --- leaf nodes -----------------------------------------------------------
+
+// References input column `index`.
+ExprPtr ColRef(int index, LogicalType type);
+
+ExprPtr ConstI32(int32_t v);
+ExprPtr ConstI64(int64_t v);
+ExprPtr ConstF64(double v);
+ExprPtr ConstStr(std::string v);
+// Date literal "YYYY-MM-DD" (aborts on malformed text: query-author bug).
+ExprPtr ConstDate(std::string_view ymd);
+
+// --- arithmetic (int32/int64 promote to int64; any double => double) ------
+
+enum class ArithOp { kAdd, kSub, kMul, kDiv };
+ExprPtr Arith(ArithOp op, ExprPtr lhs, ExprPtr rhs);
+inline ExprPtr Add(ExprPtr a, ExprPtr b) {
+  return Arith(ArithOp::kAdd, std::move(a), std::move(b));
+}
+inline ExprPtr Sub(ExprPtr a, ExprPtr b) {
+  return Arith(ArithOp::kSub, std::move(a), std::move(b));
+}
+inline ExprPtr Mul(ExprPtr a, ExprPtr b) {
+  return Arith(ArithOp::kMul, std::move(a), std::move(b));
+}
+inline ExprPtr Div(ExprPtr a, ExprPtr b) {
+  return Arith(ArithOp::kDiv, std::move(a), std::move(b));
+}
+
+// --- comparisons (numeric with promotion, or string/string) ---------------
+
+enum class CmpOp { kEq, kNe, kLt, kLe, kGt, kGe };
+ExprPtr Cmp(CmpOp op, ExprPtr lhs, ExprPtr rhs);
+inline ExprPtr Eq(ExprPtr a, ExprPtr b) {
+  return Cmp(CmpOp::kEq, std::move(a), std::move(b));
+}
+inline ExprPtr Ne(ExprPtr a, ExprPtr b) {
+  return Cmp(CmpOp::kNe, std::move(a), std::move(b));
+}
+inline ExprPtr Lt(ExprPtr a, ExprPtr b) {
+  return Cmp(CmpOp::kLt, std::move(a), std::move(b));
+}
+inline ExprPtr Le(ExprPtr a, ExprPtr b) {
+  return Cmp(CmpOp::kLe, std::move(a), std::move(b));
+}
+inline ExprPtr Gt(ExprPtr a, ExprPtr b) {
+  return Cmp(CmpOp::kGt, std::move(a), std::move(b));
+}
+inline ExprPtr Ge(ExprPtr a, ExprPtr b) {
+  return Cmp(CmpOp::kGe, std::move(a), std::move(b));
+}
+
+// --- logic (operands are 0/1 int32 vectors) --------------------------------
+
+ExprPtr And(std::vector<ExprPtr> operands);
+ExprPtr Or(std::vector<ExprPtr> operands);
+ExprPtr Not(ExprPtr operand);
+
+// Variadic conveniences: And(a, b, c, ...) — ExprPtr is move-only, so
+// initializer lists cannot be used.
+template <typename... Rest>
+ExprPtr And(ExprPtr a, ExprPtr b, Rest... rest) {
+  std::vector<ExprPtr> v;
+  v.reserve(2 + sizeof...(rest));
+  v.push_back(std::move(a));
+  v.push_back(std::move(b));
+  (v.push_back(std::move(rest)), ...);
+  return And(std::move(v));
+}
+template <typename... Rest>
+ExprPtr Or(ExprPtr a, ExprPtr b, Rest... rest) {
+  std::vector<ExprPtr> v;
+  v.reserve(2 + sizeof...(rest));
+  v.push_back(std::move(a));
+  v.push_back(std::move(b));
+  (v.push_back(std::move(rest)), ...);
+  return Or(std::move(v));
+}
+
+// inclusive lo <= x <= hi
+ExprPtr Between(ExprPtr x, ExprPtr lo, ExprPtr hi);
+
+// --- strings ---------------------------------------------------------------
+
+// SQL LIKE with '%' and '_' (pattern is a constant).
+ExprPtr Like(ExprPtr input, std::string pattern);
+ExprPtr NotLike(ExprPtr input, std::string pattern);
+// input IN (set) for strings / int64 values.
+ExprPtr InStr(ExprPtr input, std::vector<std::string> set);
+ExprPtr InI64(ExprPtr input, std::vector<int64_t> set);
+// substring(input from start for len), 1-based start, constant args.
+ExprPtr Substr(ExprPtr input, int start, int len);
+
+// --- misc ------------------------------------------------------------------
+
+// CASE WHEN cond THEN a ELSE b END (types of a and b must match).
+ExprPtr CaseWhen(ExprPtr cond, ExprPtr then_value, ExprPtr else_value);
+// extract(year from date_expr) -> int32
+ExprPtr ExtractYear(ExprPtr date_expr);
+// cast numeric to double
+ExprPtr ToF64(ExprPtr input);
+
+}  // namespace morsel
+
+#endif  // MORSELDB_EXEC_EXPRESSION_H_

@@ -1,0 +1,436 @@
+#include "exec/hash_join.h"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+
+namespace morsel {
+
+namespace {
+
+bool NeedsMarker(JoinKind kind) { return kind == JoinKind::kRightOuterMark; }
+
+// Relaxed atomic view of a tuple's 8-byte marker slot.
+std::atomic<uint64_t>* MarkerOf(uint8_t* tuple, const TupleLayout& layout) {
+  return reinterpret_cast<std::atomic<uint64_t>*>(tuple +
+                                                  layout.marker_offset());
+}
+
+}  // namespace
+
+JoinState::JoinState(std::vector<LogicalType> build_types, int num_keys,
+                     JoinKind kind, int num_worker_slots)
+    : layout_(std::move(build_types), NeedsMarker(kind)),
+      num_keys_(num_keys),
+      kind_(kind),
+      buffers_(num_worker_slots),
+      string_arenas_(num_worker_slots) {
+  MORSEL_CHECK(num_keys_ >= 1 && num_keys_ <= layout_.num_fields());
+}
+
+RowBuffer* JoinState::buffer(int worker_id, int socket) {
+  std::unique_ptr<RowBuffer>& b = buffers_[worker_id];
+  if (b == nullptr) b = std::make_unique<RowBuffer>(&layout_, socket);
+  return b.get();
+}
+
+std::string_view JoinState::InternString(int worker_id,
+                                         std::string_view s) {
+  std::unique_ptr<Arena>& a = string_arenas_[worker_id];
+  if (a == nullptr) a = std::make_unique<Arena>();
+  return a->CopyString(s);
+}
+
+void JoinState::FinishMaterialize() {
+  build_rows_ = 0;
+  ranges_.clear();
+  for (const auto& b : buffers_) {
+    if (b == nullptr || b->rows() == 0) continue;
+    build_rows_ += b->rows();
+    ranges_.push_back(TupleRange{b->row(0), b->row(0) + b->bytes(),
+                                 b->socket()});
+  }
+  // "an empty hash table is created with the perfect size, because the
+  // input size is now known precisely" (§4.1).
+  ht_ = std::make_unique<TaggedHashTable>(build_rows_);
+}
+
+int JoinState::SocketOfTuple(const uint8_t* tuple) const {
+  for (const TupleRange& r : ranges_) {
+    if (tuple >= r.begin && tuple < r.end) return r.socket;
+  }
+  return 0;
+}
+
+std::vector<MorselRange> JoinState::InsertRanges() const {
+  std::vector<MorselRange> out;
+  for (size_t i = 0; i < buffers_.size(); ++i) {
+    const auto& b = buffers_[i];
+    if (b == nullptr || b->rows() == 0) continue;
+    out.push_back(MorselRange{static_cast<int>(i), 0, b->rows(),
+                              b->socket()});
+  }
+  return out;
+}
+
+void HashBuildSink::Consume(Chunk& chunk, ExecContext& ctx) {
+  const TupleLayout& layout = state_->layout();
+  int wid = ctx.worker->worker_id;
+  RowBuffer* buf = state_->buffer(wid, ctx.socket());
+  std::vector<int> key_cols(state_->num_keys());
+  for (int k = 0; k < state_->num_keys(); ++k) key_cols[k] = k;
+  for (int i = 0; i < chunk.n; ++i) {
+    uint8_t* row = buf->AppendRow();
+    TupleLayout::SetNext(row, nullptr);
+    TupleLayout::SetHash(row, HashRow(chunk, key_cols, i));
+    if (layout.has_marker()) {
+      std::memset(row + layout.marker_offset(), 0, 8);
+    }
+    for (int f = 0; f < layout.num_fields(); ++f) {
+      if (layout.field_type(f) == LogicalType::kString) {
+        // Chunk strings may live in the per-morsel arena; intern them.
+        layout.SetStr(row, f,
+                      state_->InternString(wid, chunk.cols[f].str()[i]));
+      } else {
+        layout.StoreFromVector(row, f, chunk.cols[f], i);
+      }
+    }
+  }
+  // Materialization writes NUMA-locally (§2, Figure 3).
+  ctx.traffic()->OnWrite(ctx.socket(), ctx.socket(),
+                         uint64_t{static_cast<uint64_t>(chunk.n)} *
+                             layout.row_size());
+}
+
+void HashBuildSink::Finalize(ExecContext& ctx) {
+  (void)ctx;
+  state_->FinishMaterialize();
+}
+
+void HashInsertJob::RunMorsel(const Morsel& m, WorkerContext& wctx) {
+  RowBuffer* buf = state_->buffer_by_index(m.partition);
+  TaggedHashTable* ht = state_->table();
+  int num_sockets = wctx.topo->num_sockets();
+  for (uint64_t i = m.begin; i < m.end; ++i) {
+    uint8_t* row = buf->row(i);
+    uint64_t hash = TupleLayout::GetHash(row);
+    ht->Insert(row, hash);
+    // Reads the tuple from its storage area; writes an 8-byte slot of the
+    // socket-interleaved hash table array.
+    wctx.traffic->OnRead(wctx.socket, buf->socket(),
+                         state_->layout().row_size());
+    wctx.traffic->OnInterleavedWrite(wctx.socket, ht->SlotByteOffset(hash),
+                                     8, num_sockets);
+  }
+}
+
+HashProbeOp::HashProbeOp(JoinState* state, std::vector<int> probe_key_cols,
+                         std::vector<int> build_output_fields,
+                         ExprPtr residual)
+    : state_(state),
+      probe_key_cols_(std::move(probe_key_cols)),
+      build_output_fields_(std::move(build_output_fields)),
+      residual_(std::move(residual)) {
+  MORSEL_CHECK(static_cast<int>(probe_key_cols_.size()) ==
+               state_->num_keys());
+}
+
+bool HashProbeOp::KeysEqual(const Chunk& in, int row,
+                            const uint8_t* tuple) const {
+  const TupleLayout& layout = state_->layout();
+  for (size_t k = 0; k < probe_key_cols_.size(); ++k) {
+    const Vector& v = in.cols[probe_key_cols_[k]];
+    int f = static_cast<int>(k);
+    switch (v.type) {
+      case LogicalType::kInt32:
+        if (layout.GetI64(tuple, f) != v.i32()[row]) return false;
+        break;
+      case LogicalType::kInt64:
+        if (layout.GetI64(tuple, f) != v.i64()[row]) return false;
+        break;
+      case LogicalType::kDouble:
+        if (layout.GetF64(tuple, f) != v.f64()[row]) return false;
+        break;
+      case LogicalType::kString:
+        if (layout.GetStr(tuple, f) != v.str()[row]) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+void HashProbeOp::EmitProbeOnly(const Chunk& in, const int32_t* rows,
+                                int count, bool pad_build, ExecContext& ctx,
+                                Pipeline& pipeline, int self_index) {
+  if (count == 0) return;
+  Chunk out;
+  GatherChunk(in, rows, count, &ctx.arena, &out);
+  if (pad_build) {
+    const TupleLayout& layout = state_->layout();
+    for (int f : build_output_fields_) {
+      Vector v;
+      v.type = layout.field_type(f);
+      switch (v.type) {
+        case LogicalType::kInt32: {
+          auto* d = ctx.arena.AllocArray<int32_t>(count);
+          std::fill(d, d + count, 0);
+          v.data = d;
+          break;
+        }
+        case LogicalType::kInt64: {
+          auto* d = ctx.arena.AllocArray<int64_t>(count);
+          std::fill(d, d + count, int64_t{0});
+          v.data = d;
+          break;
+        }
+        case LogicalType::kDouble: {
+          auto* d = ctx.arena.AllocArray<double>(count);
+          std::fill(d, d + count, 0.0);
+          v.data = d;
+          break;
+        }
+        case LogicalType::kString: {
+          auto* d = ctx.arena.AllocArray<std::string_view>(count);
+          std::fill(d, d + count, std::string_view());
+          v.data = d;
+          break;
+        }
+      }
+      out.cols.push_back(v);
+    }
+  }
+  pipeline.Push(out, self_index + 1, ctx);
+}
+
+void HashProbeOp::FlushCandidates(const Chunk& in, const int32_t* cand_rows,
+                                  const uint8_t* const* cand_tuples,
+                                  int count, uint8_t* matched,
+                                  ExecContext& ctx, Pipeline& pipeline,
+                                  int self_index) {
+  if (count == 0) return;
+  const TupleLayout& layout = state_->layout();
+  // Combined chunk: gathered probe columns + decoded build fields.
+  Chunk combined;
+  GatherChunk(in, cand_rows, count, &ctx.arena, &combined);
+  for (int f : build_output_fields_) {
+    Vector v;
+    v.type = layout.field_type(f);
+    switch (v.type) {
+      case LogicalType::kInt32: {
+        auto* d = ctx.arena.AllocArray<int32_t>(count);
+        for (int i = 0; i < count; ++i) d[i] = layout.GetI32(cand_tuples[i], f);
+        v.data = d;
+        break;
+      }
+      case LogicalType::kInt64: {
+        auto* d = ctx.arena.AllocArray<int64_t>(count);
+        for (int i = 0; i < count; ++i) d[i] = layout.GetI64(cand_tuples[i], f);
+        v.data = d;
+        break;
+      }
+      case LogicalType::kDouble: {
+        auto* d = ctx.arena.AllocArray<double>(count);
+        for (int i = 0; i < count; ++i) d[i] = layout.GetF64(cand_tuples[i], f);
+        v.data = d;
+        break;
+      }
+      case LogicalType::kString: {
+        auto* d = ctx.arena.AllocArray<std::string_view>(count);
+        for (int i = 0; i < count; ++i) d[i] = layout.GetStr(cand_tuples[i], f);
+        v.data = d;
+        break;
+      }
+    }
+    combined.cols.push_back(v);
+  }
+
+  // Residual predicate over the combined rows.
+  const int32_t* pass = nullptr;
+  if (residual_ != nullptr) {
+    Vector flags;
+    residual_->Eval(combined, ctx, &flags);
+    pass = flags.i32();
+  }
+
+  int surviving = 0;
+  int32_t* keep = ctx.arena.AllocArray<int32_t>(count);
+  for (int i = 0; i < count; ++i) {
+    if (pass != nullptr && pass[i] == 0) continue;
+    keep[surviving++] = i;
+    if (matched != nullptr) matched[cand_rows[i]] = 1;
+    if (state_->kind() == JoinKind::kRightOuterMark) {
+      // "Before setting the marker it is advantageous to first check that
+      // the marker is not yet set, to avoid unnecessary contention."
+      auto* marker =
+          MarkerOf(const_cast<uint8_t*>(cand_tuples[i]), layout);
+      if (marker->load(std::memory_order_relaxed) == 0) {
+        marker->store(1, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  JoinKind kind = state_->kind();
+  if (kind == JoinKind::kSemi || kind == JoinKind::kAnti) {
+    return;  // only the match flags matter
+  }
+  if (surviving == 0) return;
+  if (surviving == count) {
+    pipeline.Push(combined, self_index + 1, ctx);
+    return;
+  }
+  Chunk filtered;
+  GatherChunk(combined, keep, surviving, &ctx.arena, &filtered);
+  pipeline.Push(filtered, self_index + 1, ctx);
+}
+
+void HashProbeOp::Process(Chunk& chunk, ExecContext& ctx,
+                          Pipeline& pipeline, int self_index) {
+  TaggedHashTable* ht = state_->table();
+  const TupleLayout& layout = state_->layout();
+  const uint64_t* hashes = HashRows(chunk, probe_key_cols_, ctx);
+  JoinKind kind = state_->kind();
+  const bool track_matches = kind != JoinKind::kInner &&
+                             kind != JoinKind::kRightOuterMark;
+
+  uint8_t* matched = nullptr;
+  if (track_matches) {
+    matched = ctx.arena.AllocArray<uint8_t>(chunk.n);
+    std::memset(matched, 0, chunk.n);
+  }
+
+  // Candidate batch (probe row, build tuple) pairs.
+  int32_t* cand_rows = ctx.arena.AllocArray<int32_t>(kChunkCapacity);
+  const uint8_t** cand_tuples =
+      ctx.arena.AllocArray<const uint8_t*>(kChunkCapacity);
+  int n_cand = 0;
+
+  TrafficCounters* traffic = ctx.traffic();
+  const int my_socket = ctx.socket();
+  const int num_sockets = ctx.num_sockets();
+  uint64_t chain_bytes_by_socket[kMaxSockets] = {};
+
+  for (int i = 0; i < chunk.n; ++i) {
+    uint64_t hash = hashes[i];
+    // One 8-byte read of the interleaved hash table array per probe.
+    traffic->OnInterleavedRead(my_socket, ht->SlotByteOffset(hash), 8,
+                               num_sockets);
+    uint8_t* tuple = ht->LookupHead(hash, ctx.use_tagging);
+    while (tuple != nullptr) {
+      chain_bytes_by_socket[state_->SocketOfTuple(tuple)] +=
+          layout.row_size();
+      if (TupleLayout::GetHash(tuple) == hash && KeysEqual(chunk, i, tuple)) {
+        cand_rows[n_cand] = i;
+        cand_tuples[n_cand] = tuple;
+        if (++n_cand == kChunkCapacity) {
+          FlushCandidates(chunk, cand_rows, cand_tuples, n_cand, matched,
+                          ctx, pipeline, self_index);
+          n_cand = 0;
+        }
+        // Semi/anti without residual: first key match settles this row.
+        if (residual_ == nullptr &&
+            (kind == JoinKind::kSemi || kind == JoinKind::kAnti)) {
+          break;
+        }
+      }
+      tuple = TupleLayout::GetNext(tuple);
+    }
+  }
+  FlushCandidates(chunk, cand_rows, cand_tuples, n_cand, matched, ctx,
+                  pipeline, self_index);
+
+  for (int s = 0; s < num_sockets; ++s) {
+    if (chain_bytes_by_socket[s] != 0) {
+      traffic->OnRead(my_socket, s, chain_bytes_by_socket[s]);
+    }
+  }
+
+  // Post-pass for kinds keyed on match existence.
+  if (kind == JoinKind::kSemi || kind == JoinKind::kAnti ||
+      kind == JoinKind::kLeftOuter) {
+    const bool want = kind == JoinKind::kSemi;
+    int32_t* rows = ctx.arena.AllocArray<int32_t>(chunk.n);
+    int count = 0;
+    for (int i = 0; i < chunk.n; ++i) {
+      bool is_matched = matched[i] != 0;
+      if (kind == JoinKind::kLeftOuter) {
+        if (!is_matched) rows[count++] = i;  // pad-and-emit misses
+      } else if (is_matched == want) {
+        rows[count++] = i;
+      }
+    }
+    EmitProbeOnly(chunk, rows, count, kind == JoinKind::kLeftOuter, ctx,
+                  pipeline, self_index);
+  }
+}
+
+std::vector<MorselRange> UnmatchedBuildSource::MakeRanges(
+    const Topology& topo) {
+  (void)topo;
+  return state_->InsertRanges();
+}
+
+void UnmatchedBuildSource::RunMorsel(const Morsel& m, Pipeline& pipeline,
+                                     ExecContext& ctx) {
+  RowBuffer* buf = state_->buffer_by_index(m.partition);
+  const TupleLayout& layout = state_->layout();
+  MORSEL_CHECK(layout.has_marker());
+  Chunk out;
+  out.cols.resize(layout.num_fields());
+  int32_t* unmatched = ctx.arena.AllocArray<int32_t>(kChunkCapacity);
+  for (uint64_t base = m.begin; base < m.end; base += kChunkCapacity) {
+    uint64_t limit = std::min(base + kChunkCapacity, m.end);
+    int count = 0;
+    for (uint64_t i = base; i < limit; ++i) {
+      uint8_t* row = buf->row(i);
+      if (MarkerOf(row, layout)->load(std::memory_order_relaxed) == 0) {
+        unmatched[count++] = static_cast<int32_t>(i - base);
+      }
+    }
+    if (count == 0) continue;
+    out.n = count;
+    for (int f = 0; f < layout.num_fields(); ++f) {
+      Vector& v = out.cols[f];
+      v.type = layout.field_type(f);
+      switch (v.type) {
+        case LogicalType::kInt32: {
+          auto* d = ctx.arena.AllocArray<int32_t>(count);
+          for (int j = 0; j < count; ++j) {
+            d[j] = layout.GetI32(buf->row(base + unmatched[j]), f);
+          }
+          v.data = d;
+          break;
+        }
+        case LogicalType::kInt64: {
+          auto* d = ctx.arena.AllocArray<int64_t>(count);
+          for (int j = 0; j < count; ++j) {
+            d[j] = layout.GetI64(buf->row(base + unmatched[j]), f);
+          }
+          v.data = d;
+          break;
+        }
+        case LogicalType::kDouble: {
+          auto* d = ctx.arena.AllocArray<double>(count);
+          for (int j = 0; j < count; ++j) {
+            d[j] = layout.GetF64(buf->row(base + unmatched[j]), f);
+          }
+          v.data = d;
+          break;
+        }
+        case LogicalType::kString: {
+          auto* d = ctx.arena.AllocArray<std::string_view>(count);
+          for (int j = 0; j < count; ++j) {
+            d[j] = layout.GetStr(buf->row(base + unmatched[j]), f);
+          }
+          v.data = d;
+          break;
+        }
+      }
+    }
+    ctx.traffic()->OnRead(ctx.socket(), buf->socket(),
+                          uint64_t{static_cast<uint64_t>(count)} *
+                              layout.row_size());
+    pipeline.Push(out, 0, ctx);
+  }
+}
+
+}  // namespace morsel

@@ -1,0 +1,129 @@
+#include "exec/operators.h"
+
+#include <bit>
+
+namespace morsel {
+
+Vector GatherVector(const Vector& v, const int32_t* idx, int count,
+                    Arena* arena) {
+  Vector out;
+  out.type = v.type;
+  switch (v.type) {
+    case LogicalType::kInt32: {
+      int32_t* d = arena->AllocArray<int32_t>(count);
+      const int32_t* s = v.i32();
+      for (int i = 0; i < count; ++i) d[i] = s[idx[i]];
+      out.data = d;
+      break;
+    }
+    case LogicalType::kInt64: {
+      int64_t* d = arena->AllocArray<int64_t>(count);
+      const int64_t* s = v.i64();
+      for (int i = 0; i < count; ++i) d[i] = s[idx[i]];
+      out.data = d;
+      break;
+    }
+    case LogicalType::kDouble: {
+      double* d = arena->AllocArray<double>(count);
+      const double* s = v.f64();
+      for (int i = 0; i < count; ++i) d[i] = s[idx[i]];
+      out.data = d;
+      break;
+    }
+    case LogicalType::kString: {
+      auto* d = arena->AllocArray<std::string_view>(count);
+      const std::string_view* s = v.str();
+      for (int i = 0; i < count; ++i) d[i] = s[idx[i]];
+      out.data = d;
+      break;
+    }
+  }
+  return out;
+}
+
+void GatherChunk(const Chunk& in, const int32_t* idx, int count,
+                 Arena* arena, Chunk* out) {
+  out->n = count;
+  out->cols.resize(in.cols.size());
+  for (size_t c = 0; c < in.cols.size(); ++c) {
+    out->cols[c] = GatherVector(in.cols[c], idx, count, arena);
+  }
+}
+
+uint64_t HashRow(const Chunk& chunk, const std::vector<int>& key_cols,
+                 int i) {
+  uint64_t h = 0;
+  for (size_t k = 0; k < key_cols.size(); ++k) {
+    const Vector& v = chunk.cols[key_cols[k]];
+    uint64_t hk;
+    switch (v.type) {
+      case LogicalType::kInt32:
+        hk = Hash64(static_cast<uint64_t>(v.i32()[i]));
+        break;
+      case LogicalType::kInt64:
+        hk = Hash64(static_cast<uint64_t>(v.i64()[i]));
+        break;
+      case LogicalType::kDouble:
+        hk = Hash64(std::bit_cast<uint64_t>(v.f64()[i]));
+        break;
+      case LogicalType::kString:
+        hk = HashString(v.str()[i]);
+        break;
+      default:
+        hk = 0;
+    }
+    h = k == 0 ? hk : HashCombine(h, hk);
+  }
+  return h;
+}
+
+const uint64_t* HashRows(const Chunk& chunk,
+                         const std::vector<int>& key_cols,
+                         ExecContext& ctx) {
+  uint64_t* hashes = ctx.arena.AllocArray<uint64_t>(chunk.n);
+  for (int i = 0; i < chunk.n; ++i) {
+    hashes[i] = HashRow(chunk, key_cols, i);
+  }
+  return hashes;
+}
+
+FilterOp::FilterOp(ExprPtr predicate) : predicate_(std::move(predicate)) {
+  MORSEL_CHECK(predicate_->type() == LogicalType::kInt32);
+}
+
+void FilterOp::Process(Chunk& chunk, ExecContext& ctx, Pipeline& pipeline,
+                       int self_index) {
+  Vector flags;
+  predicate_->Eval(chunk, ctx, &flags);
+  const int32_t* f = flags.i32();
+  int passed = 0;
+  for (int i = 0; i < chunk.n; ++i) passed += f[i] != 0;
+  if (passed == chunk.n) {
+    pipeline.Push(chunk, self_index + 1, ctx);
+    return;
+  }
+  if (passed == 0) return;
+  int32_t* idx = ctx.arena.AllocArray<int32_t>(passed);
+  int out = 0;
+  for (int i = 0; i < chunk.n; ++i) {
+    if (f[i] != 0) idx[out++] = i;
+  }
+  Chunk compacted;
+  GatherChunk(chunk, idx, passed, &ctx.arena, &compacted);
+  pipeline.Push(compacted, self_index + 1, ctx);
+}
+
+MapOp::MapOp(std::vector<ExprPtr> exprs) : exprs_(std::move(exprs)) {}
+
+void MapOp::Process(Chunk& chunk, ExecContext& ctx, Pipeline& pipeline,
+                    int self_index) {
+  Chunk out;
+  out.n = chunk.n;
+  out.cols.resize(exprs_.size());
+  for (size_t e = 0; e < exprs_.size(); ++e) {
+    exprs_[e]->Eval(chunk, ctx, &out.cols[e]);
+  }
+  pipeline.Push(out, self_index + 1, ctx);
+}
+
+}  // namespace morsel

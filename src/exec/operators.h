@@ -1,0 +1,59 @@
+#ifndef MORSELDB_EXEC_OPERATORS_H_
+#define MORSELDB_EXEC_OPERATORS_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/hash.h"
+#include "exec/expression.h"
+#include "exec/pipeline.h"
+
+namespace morsel {
+
+// --- shared vector utilities ------------------------------------------------
+
+// Gathers rows `idx[0..count)` of `v` into a dense arena array.
+Vector GatherVector(const Vector& v, const int32_t* idx, int count,
+                    Arena* arena);
+
+// Gathers all columns of `in` by the index list into `out`.
+void GatherChunk(const Chunk& in, const int32_t* idx, int count,
+                 Arena* arena, Chunk* out);
+
+// Hash of row `i` over the given columns (multi-column keys combine).
+uint64_t HashRow(const Chunk& chunk, const std::vector<int>& key_cols,
+                 int i);
+
+// Computes hashes for all rows of a chunk into an arena array.
+const uint64_t* HashRows(const Chunk& chunk,
+                         const std::vector<int>& key_cols, ExecContext& ctx);
+
+// --- basic operators ---------------------------------------------------------
+
+// Drops rows whose predicate (an int32 0/1 expression) is false.
+// Compacting gather only runs when at least one row fails.
+class FilterOp final : public Operator {
+ public:
+  explicit FilterOp(ExprPtr predicate);
+  void Process(Chunk& chunk, ExecContext& ctx, Pipeline& pipeline,
+               int self_index) override;
+
+ private:
+  ExprPtr predicate_;
+};
+
+// Replaces the chunk's columns with the given expressions (projection /
+// computed columns). Column references forward zero-copy.
+class MapOp final : public Operator {
+ public:
+  explicit MapOp(std::vector<ExprPtr> exprs);
+  void Process(Chunk& chunk, ExecContext& ctx, Pipeline& pipeline,
+               int self_index) override;
+
+ private:
+  std::vector<ExprPtr> exprs_;
+};
+
+}  // namespace morsel
+
+#endif  // MORSELDB_EXEC_OPERATORS_H_

@@ -1,0 +1,76 @@
+#include "exec/scan.h"
+
+#include <algorithm>
+
+namespace morsel {
+
+namespace {
+// Granularity at which interleaved-placement tables alternate sockets;
+// keep in sync with Table::SocketOfRange.
+constexpr uint64_t kInterleaveRows = 8192;
+}  // namespace
+
+TableScanSource::TableScanSource(const Table* table,
+                                 std::vector<int> column_ids)
+    : table_(table), column_ids_(std::move(column_ids)) {}
+
+std::vector<MorselRange> TableScanSource::MakeRanges(const Topology& topo) {
+  (void)topo;
+  std::vector<MorselRange> ranges;
+  for (int p = 0; p < table_->num_partitions(); ++p) {
+    uint64_t rows = table_->PartitionRows(p);
+    if (rows == 0) continue;
+    if (table_->placement() == Placement::kInterleaved) {
+      // Placement alternates within the partition: emit one range per
+      // homogeneous block so the socket tag is exact.
+      for (uint64_t b = 0; b < rows; b += kInterleaveRows) {
+        uint64_t e = std::min(b + kInterleaveRows, rows);
+        ranges.push_back(MorselRange{p, b, e, table_->SocketOfRange(p, b)});
+      }
+    } else {
+      ranges.push_back(MorselRange{p, 0, rows, table_->SocketOfRange(p, 0)});
+    }
+  }
+  return ranges;
+}
+
+void TableScanSource::RunMorsel(const Morsel& m, Pipeline& pipeline,
+                                ExecContext& ctx) {
+  const int p = m.partition;
+  for (uint64_t begin = m.begin; begin < m.end; begin += kChunkCapacity) {
+    uint64_t end = std::min(begin + kChunkCapacity, m.end);
+    int n = static_cast<int>(end - begin);
+    Chunk chunk;
+    chunk.n = n;
+    chunk.cols.resize(column_ids_.size());
+    uint64_t bytes = 0;
+    for (size_t c = 0; c < column_ids_.size(); ++c) {
+      const Column* col = table_->column(p, column_ids_[c]);
+      bytes += col->ScanBytes(n);
+      Vector& v = chunk.cols[c];
+      v.type = col->type();
+      switch (col->type()) {
+        case LogicalType::kInt32:
+          v.data = static_cast<const Int32Column*>(col)->raw() + begin;
+          break;
+        case LogicalType::kInt64:
+          v.data = static_cast<const Int64Column*>(col)->raw() + begin;
+          break;
+        case LogicalType::kDouble:
+          v.data = static_cast<const DoubleColumn*>(col)->raw() + begin;
+          break;
+        case LogicalType::kString: {
+          const auto* sc = static_cast<const StringColumn*>(col);
+          auto* views = ctx.arena.AllocArray<std::string_view>(n);
+          for (int i = 0; i < n; ++i) views[i] = sc->Get(begin + i);
+          v.data = views;
+          break;
+        }
+      }
+    }
+    ctx.traffic()->OnRead(ctx.socket(), m.socket, bytes);
+    pipeline.Push(chunk, 0, ctx);
+  }
+}
+
+}  // namespace morsel

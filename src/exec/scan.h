@@ -1,0 +1,30 @@
+#ifndef MORSELDB_EXEC_SCAN_H_
+#define MORSELDB_EXEC_SCAN_H_
+
+#include <vector>
+
+#include "exec/pipeline.h"
+#include "storage/table.h"
+
+namespace morsel {
+
+// NUMA-local table scan (§4.3): morsel ranges follow the table's
+// partitioning and placement tags, so the dispatcher can hand each worker
+// ranges resident on its own socket. String columns materialize
+// string_view arrays in the arena; fixed-width columns are zero-copy.
+class TableScanSource final : public Source {
+ public:
+  TableScanSource(const Table* table, std::vector<int> column_ids);
+
+  std::vector<MorselRange> MakeRanges(const Topology& topo) override;
+  void RunMorsel(const Morsel& m, Pipeline& pipeline,
+                 ExecContext& ctx) override;
+
+ private:
+  const Table* table_;
+  std::vector<int> column_ids_;
+};
+
+}  // namespace morsel
+
+#endif  // MORSELDB_EXEC_SCAN_H_

@@ -1,0 +1,176 @@
+#ifndef MORSELDB_EXEC_SORT_H_
+#define MORSELDB_EXEC_SORT_H_
+
+#include <memory>
+#include <vector>
+
+#include "exec/pipeline.h"
+#include "exec/result.h"
+#include "exec/tuple.h"
+
+namespace morsel {
+
+// One ORDER BY key: a field index within the sort tuple layout.
+struct SortKey {
+  int field = 0;
+  bool ascending = true;
+};
+
+// Shared state of a parallel sort (§4.5, Figure 9):
+//   1. materialize: each worker collects its input into a NUMA-local run;
+//   2. local sort: each run is sorted in place (one morsel per run);
+//   3. separators: local equidistant samples are combined
+//      median-of-medians style into global separator keys;
+//   4. merge: each output range is merged from the runs' slices
+//      independently, "without any synchronization".
+class SortState {
+ public:
+  SortState(std::vector<LogicalType> column_types, std::vector<SortKey> keys,
+            int num_worker_slots, int64_t limit = -1);
+
+  const TupleLayout& layout() const { return layout_; }
+  const std::vector<SortKey>& keys() const { return keys_; }
+  int64_t limit() const { return limit_; }
+
+  RowBuffer* run(int worker_id, int socket);
+  RowBuffer* run_by_index(int i) const { return runs_[i].get(); }
+  std::string_view InternString(int worker_id, std::string_view s);
+
+  // row comparator (by the sort keys, then arbitrary-but-deterministic)
+  bool Less(const uint8_t* a, const uint8_t* b) const;
+
+  // --- phase transitions ---------------------------------------------------
+  // After materialization: morsel ranges over non-empty runs.
+  std::vector<MorselRange> LocalSortRanges() const;
+  // Sorts one run in place (permutes an index vector).
+  void SortRun(int run_index);
+  // After local sorts: computes global separators and per-run boundaries
+  // for `num_parts` independent merges.
+  void PlanMerge(int num_parts);
+  std::vector<MorselRange> MergeRanges(const Topology& topo) const;
+  // Merges output part `part` (synchronization-free region of output).
+  void MergePart(int part, WorkerContext& wctx);
+
+  // Final sorted rows (valid after all merge morsels completed).
+  const RowBuffer& output() const { return *output_; }
+  // Sorted rows converted to an owned result (applies `limit`).
+  ResultSet ToResult() const;
+
+  // sorted access to run r's i-th row (post local sort)
+  const uint8_t* RunRow(int r, size_t i) const {
+    return runs_[r]->row(order_[r][i]);
+  }
+
+  int num_worker_slots() const { return static_cast<int>(runs_.size()); }
+
+ private:
+  TupleLayout layout_;
+  std::vector<SortKey> keys_;
+  int64_t limit_;
+  std::vector<std::unique_ptr<RowBuffer>> runs_;      // per worker slot
+  std::vector<std::unique_ptr<Arena>> string_arenas_; // per worker slot
+  std::vector<std::vector<uint32_t>> order_;          // sorted index per run
+  std::vector<int> active_runs_;                      // non-empty run ids
+  // merge plan: boundaries_[part][k] = first row index (in sorted order)
+  // of active run k belonging to output part `part`; part p covers
+  // [boundaries_[p][k], boundaries_[p+1][k]).
+  std::vector<std::vector<size_t>> boundaries_;
+  std::vector<uint64_t> out_offsets_;  // start row of each part in output
+  std::unique_ptr<RowBuffer> output_;
+};
+
+// Pipeline sink that materializes sort input rows into per-worker runs.
+// Input chunk columns must match the SortState layout fields.
+class SortMaterializeSink final : public Sink {
+ public:
+  explicit SortMaterializeSink(SortState* state) : state_(state) {}
+  void Consume(Chunk& chunk, ExecContext& ctx) override;
+
+ private:
+  SortState* state_;
+};
+
+// Job phase 2: sorts each run (one morsel per run); Finalize plans the
+// merge.
+class LocalSortJob final : public PipelineJob {
+ public:
+  LocalSortJob(QueryContext* query, std::string name, SortState* state,
+               MorselQueue::Options opts, int num_merge_parts)
+      : PipelineJob(query, std::move(name)),
+        state_(state),
+        opts_(opts),
+        num_merge_parts_(num_merge_parts) {}
+
+  void Prepare(const Topology& topo) override {
+    set_queue(std::make_unique<MorselQueue>(
+        topo, state_->LocalSortRanges(), opts_));
+  }
+  void RunMorsel(const Morsel& m, WorkerContext& wctx) override {
+    (void)wctx;
+    state_->SortRun(m.partition);
+  }
+  void Finalize(WorkerContext& wctx) override {
+    (void)wctx;
+    state_->PlanMerge(num_merge_parts_);
+  }
+
+ private:
+  SortState* state_;
+  MorselQueue::Options opts_;
+  int num_merge_parts_;
+};
+
+// Job phase 3: merges each output part independently.
+class MergeJob final : public PipelineJob {
+ public:
+  MergeJob(QueryContext* query, std::string name, SortState* state,
+           MorselQueue::Options opts)
+      : PipelineJob(query, std::move(name)), state_(state), opts_(opts) {}
+
+  void Prepare(const Topology& topo) override {
+    set_queue(std::make_unique<MorselQueue>(topo, state_->MergeRanges(topo),
+                                            opts_));
+  }
+  void RunMorsel(const Morsel& m, WorkerContext& wctx) override {
+    state_->MergePart(m.partition, wctx);
+  }
+
+ private:
+  SortState* state_;
+  MorselQueue::Options opts_;
+};
+
+// Top-k sink (§4.5: "in the case of top-k queries, each thread directly
+// maintains a heap of k tuples"). Avoids materializing and sorting the
+// full input when ORDER BY comes with a small LIMIT.
+class TopKSink final : public Sink {
+ public:
+  TopKSink(SortState* state, int64_t k);
+
+  void Consume(Chunk& chunk, ExecContext& ctx) override;
+  void Finalize(ExecContext& ctx) override;
+
+  // Valid after Finalize: rows in final order.
+  ResultSet ToResult() const;
+  const TupleLayout& layout() const { return state_->layout(); }
+  const std::vector<std::vector<uint8_t>>& final_rows() const {
+    return final_rows_;
+  }
+
+ private:
+  struct Heap {
+    // each entry is one row (row_size bytes), worst row at front
+    std::vector<std::vector<uint8_t>> rows;
+  };
+
+  void HeapPush(Heap& heap, const uint8_t* row);
+
+  SortState* state_;
+  int64_t k_;
+  std::vector<std::unique_ptr<Heap>> heaps_;
+  std::vector<std::vector<uint8_t>> final_rows_;
+};
+
+}  // namespace morsel
+
+#endif  // MORSELDB_EXEC_SORT_H_

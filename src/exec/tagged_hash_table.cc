@@ -1,0 +1,50 @@
+#include "exec/tagged_hash_table.h"
+
+#include <cstring>
+
+#include "exec/tuple.h"
+
+namespace morsel {
+
+TaggedHashTable::TaggedHashTable(uint64_t count) {
+  // Perfect sizing to >= 2x the input, power of two, minimum 1024 slots.
+  uint64_t want = count < 512 ? 1024 : count * 2;
+  n_slots_ = 1024;
+  int bits = 10;
+  while (n_slots_ < want) {
+    n_slots_ <<= 1;
+    ++bits;
+  }
+  shift_ = 64 - bits;
+  slots_ = static_cast<std::atomic<uint64_t>*>(
+      NumaAlloc(n_slots_ * sizeof(std::atomic<uint64_t>),
+                kInterleavedSocket));
+  // mmap-style zero page: explicit memset stands in for lazily zeroed
+  // pages; the cost shows up in the build phase as it would in HyPer's
+  // first-touch.
+  std::memset(static_cast<void*>(slots_), 0,
+              n_slots_ * sizeof(std::atomic<uint64_t>));
+}
+
+TaggedHashTable::~TaggedHashTable() {
+  NumaFree(slots_, n_slots_ * sizeof(std::atomic<uint64_t>));
+}
+
+void TaggedHashTable::Insert(uint8_t* tuple, uint64_t hash) {
+  uint64_t ptr = reinterpret_cast<uint64_t>(tuple);
+  MORSEL_CHECK_MSG((ptr & ~kPointerMask) == 0,
+                   "tuple pointer exceeds 48 bits");
+  std::atomic<uint64_t>& slot = slots_[SlotOf(hash)];
+  uint64_t old = slot.load(std::memory_order_relaxed);
+  uint64_t desired;
+  do {
+    // Set next to the old chain head, without the tag bits.
+    TupleLayout::SetNext(tuple, DecodePointer(old));
+    // New slot value: our pointer, the accumulated old tags, our tag.
+    desired = ptr | (old & ~kPointerMask) | TagOf(hash);
+  } while (!slot.compare_exchange_weak(old, desired,
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_relaxed));
+}
+
+}  // namespace morsel

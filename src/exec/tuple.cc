@@ -1,0 +1,22 @@
+#include "exec/tuple.h"
+
+namespace morsel {
+
+TupleLayout::TupleLayout(std::vector<LogicalType> types, bool with_marker)
+    : types_(std::move(types)) {
+  int off = 16;  // next + hash
+  if (with_marker) {
+    marker_offset_ = off;
+    off += 8;
+  }
+  offsets_.reserve(types_.size());
+  for (LogicalType t : types_) {
+    offsets_.push_back(off);
+    off += t == LogicalType::kString
+               ? static_cast<int>(sizeof(std::string_view))
+               : 8;
+  }
+  row_size_ = off;
+}
+
+}  // namespace morsel

@@ -1,0 +1,35 @@
+#include "numa/allocator.h"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace morsel {
+
+namespace {
+std::atomic<size_t> g_allocated_bytes{0};
+}  // namespace
+
+void* NumaAlloc(size_t bytes, int socket) {
+  (void)socket;  // Logical tag only; carried by the owning container.
+  if (bytes == 0) bytes = kCacheLineSize;
+  // Round up so aligned_alloc's size-multiple-of-alignment rule holds.
+  size_t rounded = (bytes + kCacheLineSize - 1) & ~size_t{kCacheLineSize - 1};
+  void* p = std::aligned_alloc(kCacheLineSize, rounded);
+  MORSEL_CHECK_MSG(p != nullptr, "out of memory");
+  g_allocated_bytes.fetch_add(rounded, std::memory_order_relaxed);
+  return p;
+}
+
+void NumaFree(void* p, size_t bytes) {
+  if (p == nullptr) return;
+  if (bytes == 0) bytes = kCacheLineSize;
+  size_t rounded = (bytes + kCacheLineSize - 1) & ~size_t{kCacheLineSize - 1};
+  g_allocated_bytes.fetch_sub(rounded, std::memory_order_relaxed);
+  std::free(p);
+}
+
+size_t NumaAllocatedBytes() {
+  return g_allocated_bytes.load(std::memory_order_relaxed);
+}
+
+}  // namespace morsel

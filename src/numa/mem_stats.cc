@@ -1,0 +1,24 @@
+#include "numa/mem_stats.h"
+
+#include <algorithm>
+
+namespace morsel {
+
+TrafficSnapshot MemStatsRegistry::Aggregate() const {
+  TrafficCounters merged;
+  for (int i = 0; i < num_workers_; ++i) merged.MergeFrom(counters_[i]);
+  TrafficSnapshot snap;
+  snap.read_local = merged.read_local;
+  snap.read_remote = merged.read_remote;
+  snap.written_local = merged.written_local;
+  snap.written_remote = merged.written_remote;
+  for (int a = 0; a < kMaxSockets; ++a) {
+    for (int b = 0; b < kMaxSockets; ++b) {
+      snap.total_link += merged.link[a][b];
+      snap.max_link = std::max(snap.max_link, merged.link[a][b]);
+    }
+  }
+  return snap;
+}
+
+}  // namespace morsel

@@ -1,0 +1,142 @@
+#ifndef MORSELDB_NUMA_MEM_STATS_H_
+#define MORSELDB_NUMA_MEM_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "common/macros.h"
+#include "numa/topology.h"
+
+namespace morsel {
+
+// Software replacement for the Intel-PCM hardware counters the paper uses
+// in Tables 1–3: operators report the bytes they touch together with the
+// placement tag of the memory and the socket of the executing worker, and
+// this accountant classifies them as local or remote and attributes
+// remote traffic to the interconnect link it would cross.
+//
+// One TrafficCounters struct exists per worker (cache-line padded, no
+// synchronization on the hot path); MemStatsRegistry aggregates them.
+inline constexpr int kMaxSockets = 16;
+
+struct alignas(kCacheLineSize) TrafficCounters {
+  uint64_t read_local = 0;
+  uint64_t read_remote = 0;
+  uint64_t written_local = 0;
+  uint64_t written_remote = 0;
+  // Bytes moved across each directed socket pair (remote accesses only).
+  uint64_t link[kMaxSockets][kMaxSockets] = {};
+
+  void OnRead(int worker_socket, int data_socket, uint64_t bytes) {
+    if (data_socket == worker_socket) {
+      read_local += bytes;
+    } else {
+      read_remote += bytes;
+      link[data_socket][worker_socket] += bytes;
+    }
+  }
+
+  void OnWrite(int worker_socket, int data_socket, uint64_t bytes) {
+    if (data_socket == worker_socket) {
+      written_local += bytes;
+    } else {
+      written_remote += bytes;
+      link[worker_socket][data_socket] += bytes;
+    }
+  }
+
+  // Charges a read against interleaved memory: the chunk the byte offset
+  // falls into determines the home socket (§4.2 hash table placement).
+  void OnInterleavedRead(int worker_socket, size_t byte_offset,
+                         uint64_t bytes, int num_sockets) {
+    OnRead(worker_socket, InterleavedSocketOf2(byte_offset, num_sockets),
+           bytes);
+  }
+  void OnInterleavedWrite(int worker_socket, size_t byte_offset,
+                          uint64_t bytes, int num_sockets) {
+    OnWrite(worker_socket, InterleavedSocketOf2(byte_offset, num_sockets),
+            bytes);
+  }
+
+  void Reset() { *this = TrafficCounters(); }
+
+  void MergeFrom(const TrafficCounters& other) {
+    read_local += other.read_local;
+    read_remote += other.read_remote;
+    written_local += other.written_local;
+    written_remote += other.written_remote;
+    for (int a = 0; a < kMaxSockets; ++a) {
+      for (int b = 0; b < kMaxSockets; ++b) link[a][b] += other.link[a][b];
+    }
+  }
+
+ private:
+  static int InterleavedSocketOf2(size_t off, int n) {
+    return static_cast<int>((off >> 21) % static_cast<size_t>(n));
+  }
+};
+
+// Aggregated view over all workers for one measurement window.
+struct TrafficSnapshot {
+  uint64_t read_local = 0;
+  uint64_t read_remote = 0;
+  uint64_t written_local = 0;
+  uint64_t written_remote = 0;
+  uint64_t max_link = 0;  // most loaded interconnect link, bytes
+  uint64_t total_link = 0;
+
+  uint64_t bytes_read() const { return read_local + read_remote; }
+  uint64_t bytes_written() const { return written_local + written_remote; }
+
+  // Percentage of all accessed bytes that were remote ("remote" column of
+  // Tables 1 and 3).
+  double RemotePercent() const {
+    uint64_t total = bytes_read() + bytes_written();
+    if (total == 0) return 0.0;
+    return 100.0 * static_cast<double>(read_remote + written_remote) /
+           static_cast<double>(total);
+  }
+
+  // Share of remote traffic on the most loaded link, a proxy for the
+  // paper's "QPI" (most-utilized link) column. Returns percent of all
+  // traffic that crosses that link.
+  double MaxLinkPercent() const {
+    uint64_t total = bytes_read() + bytes_written();
+    if (total == 0) return 0.0;
+    return 100.0 * static_cast<double>(max_link) /
+           static_cast<double>(total);
+  }
+};
+
+// Owns one TrafficCounters per worker slot.
+class MemStatsRegistry {
+ public:
+  explicit MemStatsRegistry(int num_workers)
+      : counters_(new TrafficCounters[num_workers]),
+        num_workers_(num_workers) {}
+  ~MemStatsRegistry() { delete[] counters_; }
+
+  MemStatsRegistry(const MemStatsRegistry&) = delete;
+  MemStatsRegistry& operator=(const MemStatsRegistry&) = delete;
+
+  TrafficCounters* worker(int i) {
+    MORSEL_DCHECK(i >= 0 && i < num_workers_);
+    return &counters_[i];
+  }
+  int num_workers() const { return num_workers_; }
+
+  void ResetAll() {
+    for (int i = 0; i < num_workers_; ++i) counters_[i].Reset();
+  }
+
+  TrafficSnapshot Aggregate() const;
+
+ private:
+  TrafficCounters* counters_;
+  int num_workers_;
+};
+
+}  // namespace morsel
+
+#endif  // MORSELDB_NUMA_MEM_STATS_H_

@@ -1,0 +1,22 @@
+#include "numa/pinning.h"
+
+#include <pthread.h>
+#include <sched.h>
+
+#include <cstdlib>
+#include <thread>
+
+namespace morsel {
+
+bool PinThreadToCore(int virtual_core) {
+  if (std::getenv("MORSEL_NO_PINNING") != nullptr) return false;
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) return false;
+  int cpu = virtual_core % static_cast<int>(hw);
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu, &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+}
+
+}  // namespace morsel

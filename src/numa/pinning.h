@@ -1,0 +1,19 @@
+#ifndef MORSELDB_NUMA_PINNING_H_
+#define MORSELDB_NUMA_PINNING_H_
+
+namespace morsel {
+
+// Pins the calling thread to the physical CPU `virtual_core %
+// hardware_concurrency` (§3: workers are "permanently bound" to cores so
+// "no unexpected loss of NUMA locality can occur due to the OS moving a
+// thread"). Returns false when the host forbids affinity changes; the
+// engine then degrades gracefully to unpinned threads while all logical
+// NUMA bookkeeping still uses `virtual_core`.
+//
+// Pinning can be disabled with MORSEL_NO_PINNING=1 (useful under
+// sanitizers or in heavily restricted containers).
+bool PinThreadToCore(int virtual_core);
+
+}  // namespace morsel
+
+#endif  // MORSELDB_NUMA_PINNING_H_

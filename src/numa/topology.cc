@@ -1,0 +1,64 @@
+#include "numa/topology.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/macros.h"
+
+namespace morsel {
+
+Topology::Topology(int num_sockets, int cores_per_socket,
+                   InterconnectKind kind)
+    : num_sockets_(num_sockets),
+      cores_per_socket_(cores_per_socket),
+      kind_(kind) {
+  MORSEL_CHECK(num_sockets >= 1);
+  MORSEL_CHECK(cores_per_socket >= 1);
+  distance_.resize(num_sockets * num_sockets, 0);
+  for (int a = 0; a < num_sockets; ++a) {
+    for (int b = 0; b < num_sockets; ++b) {
+      int d;
+      if (a == b) {
+        d = 0;
+      } else if (kind == InterconnectKind::kFullyConnected) {
+        d = 1;
+      } else {
+        // Ring: hop count is the shorter way around the ring.
+        int fwd = std::abs(a - b);
+        d = std::min(fwd, num_sockets - fwd);
+      }
+      distance_[a * num_sockets + b] = d;
+    }
+  }
+  steal_order_.resize(num_sockets);
+  for (int s = 0; s < num_sockets; ++s) {
+    steal_order_[s].resize(num_sockets);
+    for (int i = 0; i < num_sockets; ++i) steal_order_[s][i] = i;
+    std::stable_sort(steal_order_[s].begin(), steal_order_[s].end(),
+                     [&](int a, int b) {
+                       return Distance(s, a) < Distance(s, b);
+                     });
+  }
+}
+
+Topology Topology::Detect() {
+  int sockets = 4;
+  int cores = 8;
+  InterconnectKind kind = InterconnectKind::kFullyConnected;
+  if (const char* env = std::getenv("MORSEL_SOCKETS")) {
+    int v = std::atoi(env);
+    if (v >= 1) sockets = v;
+  }
+  if (const char* env = std::getenv("MORSEL_CORES_PER_SOCKET")) {
+    int v = std::atoi(env);
+    if (v >= 1) cores = v;
+  }
+  if (const char* env = std::getenv("MORSEL_INTERCONNECT")) {
+    if (std::strcmp(env, "ring") == 0) kind = InterconnectKind::kRing;
+  }
+  return Topology(sockets, cores, kind);
+}
+
+}  // namespace morsel

@@ -1,0 +1,39 @@
+#ifndef MORSELDB_SSB_SSB_H_
+#define MORSELDB_SSB_SSB_H_
+
+#include <memory>
+
+#include "numa/topology.h"
+#include "storage/table.h"
+
+namespace morsel {
+
+// In-memory Star Schema Benchmark database (O'Neil et al.): one large
+// denormalized fact table (lineorder) and four small dimensions. The
+// paper evaluates SSB in §5.5 (Table 3) because "all SSB queries join a
+// large fact table with multiple smaller dimension tables where the
+// pipelining capabilities of our hash join algorithm are very
+// beneficial". lineorder is partitioned by orderkey hash; dimensions by
+// their keys.
+struct SsbData {
+  double scale_factor = 0.0;
+  std::unique_ptr<Table> lineorder;
+  std::unique_ptr<Table> date_dim;
+  std::unique_ptr<Table> customer;
+  std::unique_ptr<Table> supplier;
+  std::unique_ptr<Table> part;
+
+  size_t TotalRows() const {
+    return lineorder->NumRows() + date_dim->NumRows() +
+           customer->NumRows() + supplier->NumRows() + part->NumRows();
+  }
+};
+
+// Deterministic SSB generator; cardinalities follow the SSB paper
+// (lineorder ~6M rows at sf=1, supplier 2k*sf, customer 30k*sf).
+SsbData GenerateSsb(double sf, const Topology& topo,
+                    Placement placement = Placement::kNumaLocal);
+
+}  // namespace morsel
+
+#endif  // MORSELDB_SSB_SSB_H_

@@ -1,0 +1,261 @@
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "common/date.h"
+#include "common/hash.h"
+#include "common/rng.h"
+#include "ssb/ssb.h"
+
+namespace morsel {
+
+namespace {
+
+constexpr const char* kRegions[5] = {"AFRICA", "AMERICA", "ASIA", "EUROPE",
+                                     "MIDDLE EAST"};
+
+struct NationSpec {
+  const char* name;
+  int region;
+};
+constexpr NationSpec kNations[25] = {
+    {"ALGERIA", 0},   {"ARGENTINA", 1}, {"BRAZIL", 1},
+    {"CANADA", 1},    {"EGYPT", 4},     {"ETHIOPIA", 0},
+    {"FRANCE", 3},    {"GERMANY", 3},   {"INDIA", 2},
+    {"INDONESIA", 2}, {"IRAN", 4},      {"IRAQ", 4},
+    {"JAPAN", 2},     {"JORDAN", 4},    {"KENYA", 0},
+    {"MOROCCO", 0},   {"MOZAMBIQUE", 0}, {"PERU", 1},
+    {"CHINA", 2},     {"ROMANIA", 3},   {"SAUDI ARABIA", 4},
+    {"VIETNAM", 2},   {"RUSSIA", 3},    {"UNITED KINGDOM", 3},
+    {"UNITED STATES", 1}};
+
+constexpr const char* kMonths[12] = {"Jan", "Feb", "Mar", "Apr",
+                                     "May", "Jun", "Jul", "Aug",
+                                     "Sep", "Oct", "Nov", "Dec"};
+
+constexpr const char* kMktSegments[5] = {"AUTOMOBILE", "BUILDING",
+                                         "FURNITURE", "MACHINERY",
+                                         "HOUSEHOLD"};
+
+constexpr const char* kColors[20] = {
+    "almond", "antique", "aquamarine", "azure",  "beige",
+    "bisque", "black",   "blanched",   "blue",   "blush",
+    "brown",  "coral",   "cream",      "cyan",   "forest",
+    "ghost",  "green",   "grey",       "ivory",  "khaki"};
+
+// SSB city: first 9 chars of the nation name padded, plus a digit 0-9.
+std::string MakeCity(const char* nation, int i) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%-9.9s%d", nation, i);
+  return std::string(buf);
+}
+
+int64_t DateKey(Date32 d) {
+  int y, m, day;
+  DateToCivil(d, &y, &m, &day);
+  return static_cast<int64_t>(y) * 10000 + m * 100 + day;
+}
+
+}  // namespace
+
+SsbData GenerateSsb(double sf, const Topology& topo, Placement placement) {
+  SsbData db;
+  db.scale_factor = sf;
+
+  const int64_t num_customers =
+      std::max<int64_t>(60, static_cast<int64_t>(30000 * sf));
+  const int64_t num_suppliers =
+      std::max<int64_t>(20, static_cast<int64_t>(2000 * sf));
+  const int64_t num_parts =
+      std::max<int64_t>(200, static_cast<int64_t>(200000 * sf));
+  const int64_t num_orders =
+      std::max<int64_t>(1500, static_cast<int64_t>(1500000 * sf));
+
+  // --- date dimension (1992-01-01 .. 1998-12-31) -----------------------------
+  db.date_dim = std::make_unique<Table>(
+      "date",
+      Schema({{"d_datekey", LogicalType::kInt64},
+              {"d_year", LogicalType::kInt64},
+              {"d_yearmonthnum", LogicalType::kInt64},
+              {"d_yearmonth", LogicalType::kString},
+              {"d_weeknuminyear", LogicalType::kInt64},
+              {"d_month", LogicalType::kString}}),
+      topo, placement);
+  {
+    Date32 d0 = MakeDate(1992, 1, 1);
+    Date32 d1 = MakeDate(1998, 12, 31);
+    for (Date32 d = d0; d <= d1; ++d) {
+      int y, m, day;
+      DateToCivil(d, &y, &m, &day);
+      int64_t key = DateKey(d);
+      int p = db.date_dim->PartitionOfKey(Hash64(static_cast<uint64_t>(key)));
+      char ym[16];
+      std::snprintf(ym, sizeof(ym), "%s%d", kMonths[m - 1], y);
+      int week = (d - MakeDate(y, 1, 1)) / 7 + 1;
+      db.date_dim->Int64Col(p, 0)->Append(key);
+      db.date_dim->Int64Col(p, 1)->Append(y);
+      db.date_dim->Int64Col(p, 2)->Append(static_cast<int64_t>(y) * 100 + m);
+      db.date_dim->StrCol(p, 3)->Append(ym);
+      db.date_dim->Int64Col(p, 4)->Append(week);
+      db.date_dim->StrCol(p, 5)->Append(kMonths[m - 1]);
+    }
+    for (int p = 0; p < db.date_dim->num_partitions(); ++p) {
+      db.date_dim->SealPartition(p);
+    }
+  }
+
+  // --- customer ---------------------------------------------------------------
+  db.customer = std::make_unique<Table>(
+      "customer",
+      Schema({{"c_custkey", LogicalType::kInt64},
+              {"c_name", LogicalType::kString},
+              {"c_city", LogicalType::kString},
+              {"c_nation", LogicalType::kString},
+              {"c_region", LogicalType::kString},
+              {"c_mktsegment", LogicalType::kString}}),
+      topo, placement);
+  {
+    Rng rng(11);
+    char buf[32];
+    for (int64_t c = 1; c <= num_customers; ++c) {
+      int p = db.customer->PartitionOfKey(Hash64(static_cast<uint64_t>(c)));
+      const NationSpec& n = kNations[rng.Uniform(0, 24)];
+      std::snprintf(buf, sizeof(buf), "Customer#%09lld",
+                    static_cast<long long>(c));
+      db.customer->Int64Col(p, 0)->Append(c);
+      db.customer->StrCol(p, 1)->Append(buf);
+      db.customer->StrCol(p, 2)->Append(
+          MakeCity(n.name, static_cast<int>(rng.Uniform(0, 9))));
+      db.customer->StrCol(p, 3)->Append(n.name);
+      db.customer->StrCol(p, 4)->Append(kRegions[n.region]);
+      db.customer->StrCol(p, 5)->Append(kMktSegments[rng.Uniform(0, 4)]);
+    }
+    for (int p = 0; p < db.customer->num_partitions(); ++p) {
+      db.customer->SealPartition(p);
+    }
+  }
+
+  // --- supplier ---------------------------------------------------------------
+  db.supplier = std::make_unique<Table>(
+      "supplier",
+      Schema({{"s_suppkey", LogicalType::kInt64},
+              {"s_name", LogicalType::kString},
+              {"s_city", LogicalType::kString},
+              {"s_nation", LogicalType::kString},
+              {"s_region", LogicalType::kString}}),
+      topo, placement);
+  {
+    Rng rng(12);
+    char buf[32];
+    for (int64_t s = 1; s <= num_suppliers; ++s) {
+      int p = db.supplier->PartitionOfKey(Hash64(static_cast<uint64_t>(s)));
+      const NationSpec& n = kNations[rng.Uniform(0, 24)];
+      std::snprintf(buf, sizeof(buf), "Supplier#%09lld",
+                    static_cast<long long>(s));
+      db.supplier->Int64Col(p, 0)->Append(s);
+      db.supplier->StrCol(p, 1)->Append(buf);
+      db.supplier->StrCol(p, 2)->Append(
+          MakeCity(n.name, static_cast<int>(rng.Uniform(0, 9))));
+      db.supplier->StrCol(p, 3)->Append(n.name);
+      db.supplier->StrCol(p, 4)->Append(kRegions[n.region]);
+    }
+    for (int p = 0; p < db.supplier->num_partitions(); ++p) {
+      db.supplier->SealPartition(p);
+    }
+  }
+
+  // --- part -------------------------------------------------------------------
+  db.part = std::make_unique<Table>(
+      "part",
+      Schema({{"p_partkey", LogicalType::kInt64},
+              {"p_name", LogicalType::kString},
+              {"p_mfgr", LogicalType::kString},
+              {"p_category", LogicalType::kString},
+              {"p_brand1", LogicalType::kString},
+              {"p_color", LogicalType::kString},
+              {"p_size", LogicalType::kInt64}}),
+      topo, placement);
+  {
+    Rng rng(13);
+    char buf[32];
+    for (int64_t pk = 1; pk <= num_parts; ++pk) {
+      int p = db.part->PartitionOfKey(Hash64(static_cast<uint64_t>(pk)));
+      int mfgr = static_cast<int>(rng.Uniform(1, 5));
+      int cat = static_cast<int>(rng.Uniform(1, 5));
+      int brand = static_cast<int>(rng.Uniform(1, 40));
+      db.part->Int64Col(p, 0)->Append(pk);
+      std::string name = kColors[rng.Uniform(0, 19)];
+      name += ' ';
+      name += kColors[rng.Uniform(0, 19)];
+      db.part->StrCol(p, 1)->Append(name);
+      std::snprintf(buf, sizeof(buf), "MFGR#%d", mfgr);
+      db.part->StrCol(p, 2)->Append(buf);
+      std::snprintf(buf, sizeof(buf), "MFGR#%d%d", mfgr, cat);
+      db.part->StrCol(p, 3)->Append(buf);
+      std::snprintf(buf, sizeof(buf), "MFGR#%d%d%02d", mfgr, cat, brand);
+      db.part->StrCol(p, 4)->Append(buf);
+      db.part->StrCol(p, 5)->Append(kColors[rng.Uniform(0, 19)]);
+      db.part->Int64Col(p, 6)->Append(rng.Uniform(1, 50));
+    }
+    for (int p = 0; p < db.part->num_partitions(); ++p) {
+      db.part->SealPartition(p);
+    }
+  }
+
+  // --- lineorder ---------------------------------------------------------------
+  db.lineorder = std::make_unique<Table>(
+      "lineorder",
+      Schema({{"lo_orderkey", LogicalType::kInt64},
+              {"lo_linenumber", LogicalType::kInt64},
+              {"lo_custkey", LogicalType::kInt64},
+              {"lo_partkey", LogicalType::kInt64},
+              {"lo_suppkey", LogicalType::kInt64},
+              {"lo_orderdate", LogicalType::kInt64},
+              {"lo_quantity", LogicalType::kInt64},
+              {"lo_extendedprice", LogicalType::kDouble},
+              {"lo_discount", LogicalType::kInt64},
+              {"lo_revenue", LogicalType::kDouble},
+              {"lo_supplycost", LogicalType::kDouble}}),
+      topo, placement);
+  {
+    Rng rng(14);
+    const Date32 d0 = MakeDate(1992, 1, 1);
+    const Date32 d1 = MakeDate(1998, 8, 2);
+    for (int64_t ok = 1; ok <= num_orders; ++ok) {
+      int p = db.lineorder->PartitionOfKey(Hash64(static_cast<uint64_t>(ok)));
+      int64_t ck = rng.Uniform(1, num_customers);
+      Date32 odate = static_cast<Date32>(rng.Uniform(d0, d1));
+      int64_t datekey = DateKey(odate);
+      int lines = static_cast<int>(rng.Uniform(1, 7));
+      for (int ln = 1; ln <= lines; ++ln) {
+        int64_t pk = rng.Uniform(1, num_parts);
+        int64_t sk = rng.Uniform(1, num_suppliers);
+        int64_t qty = rng.Uniform(1, 50);
+        int64_t discount = rng.Uniform(0, 10);
+        double price =
+            static_cast<double>(qty) *
+            (90000.0 + 100.0 * static_cast<double>(pk % 1000)) / 100.0;
+        double revenue =
+            price * static_cast<double>(100 - discount) / 100.0;
+        db.lineorder->Int64Col(p, 0)->Append(ok);
+        db.lineorder->Int64Col(p, 1)->Append(ln);
+        db.lineorder->Int64Col(p, 2)->Append(ck);
+        db.lineorder->Int64Col(p, 3)->Append(pk);
+        db.lineorder->Int64Col(p, 4)->Append(sk);
+        db.lineorder->Int64Col(p, 5)->Append(datekey);
+        db.lineorder->Int64Col(p, 6)->Append(qty);
+        db.lineorder->DoubleCol(p, 7)->Append(price);
+        db.lineorder->Int64Col(p, 8)->Append(discount);
+        db.lineorder->DoubleCol(p, 9)->Append(revenue);
+        db.lineorder->DoubleCol(p, 10)->Append(price * 0.6);
+      }
+    }
+    for (int p = 0; p < db.lineorder->num_partitions(); ++p) {
+      db.lineorder->SealPartition(p);
+    }
+  }
+
+  return db;
+}
+
+}  // namespace morsel

@@ -1,0 +1,321 @@
+#include "ssb/ssb_queries.h"
+
+#include <functional>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace morsel {
+
+namespace {
+
+using PredFn = std::function<ExprPtr(const PlanBuilder&)>;
+
+// Q1.x: restricted date dimension x discount/quantity window over the
+// fact table; revenue = sum(lo_extendedprice * lo_discount).
+ResultSet FlightOne(Engine& e, const SsbData& db, const PredFn& date_pred,
+                    int64_t disc_lo, int64_t disc_hi, int64_t qty_lo,
+                    int64_t qty_hi) {
+  auto q = e.CreateQuery();
+  PlanBuilder d = q->Scan(db.date_dim.get(),
+                          {"d_datekey", "d_year", "d_yearmonthnum",
+                           "d_weeknuminyear"});
+  d.Filter(date_pred(d));
+  PlanBuilder lo = q->Scan(db.lineorder.get(),
+                           {"lo_orderdate", "lo_discount", "lo_quantity",
+                            "lo_extendedprice"});
+  lo.Filter(And(Ge(lo.Col("lo_discount"), ConstI64(disc_lo)),
+                 Le(lo.Col("lo_discount"), ConstI64(disc_hi)),
+                 Ge(lo.Col("lo_quantity"), ConstI64(qty_lo)),
+                 Le(lo.Col("lo_quantity"), ConstI64(qty_hi))));
+  lo.HashJoin(std::move(d), {"lo_orderdate"}, {"d_datekey"}, {},
+              JoinKind::kSemi);
+  std::vector<AggItem> aggs;
+  aggs.push_back({AggFunc::kSum,
+                  Mul(lo.Col("lo_extendedprice"),
+                      ToF64(lo.Col("lo_discount"))),
+                  "revenue"});
+  lo.GroupBy({}, std::move(aggs));
+  lo.CollectResult();
+  return q->Execute();
+}
+
+// Q2.x: part restriction x supplier region; group by (d_year, p_brand1).
+ResultSet FlightTwo(Engine& e, const SsbData& db, const PredFn& part_pred,
+                    const char* supp_region) {
+  auto q = e.CreateQuery();
+  PlanBuilder part = q->Scan(db.part.get(),
+                             {"p_partkey", "p_category", "p_brand1"});
+  part.Filter(part_pred(part));
+  PlanBuilder sup = q->Scan(db.supplier.get(), {"s_suppkey", "s_region"});
+  sup.Filter(Eq(sup.Col("s_region"), ConstStr(supp_region)));
+  PlanBuilder d = q->Scan(db.date_dim.get(), {"d_datekey", "d_year"});
+
+  PlanBuilder lo = q->Scan(db.lineorder.get(),
+                           {"lo_orderdate", "lo_partkey", "lo_suppkey",
+                            "lo_revenue"});
+  lo.HashJoin(std::move(part), {"lo_partkey"}, {"p_partkey"}, {"p_brand1"},
+              JoinKind::kInner);
+  lo.HashJoin(std::move(sup), {"lo_suppkey"}, {"s_suppkey"}, {},
+              JoinKind::kSemi);
+  lo.HashJoin(std::move(d), {"lo_orderdate"}, {"d_datekey"}, {"d_year"},
+              JoinKind::kInner);
+  std::vector<AggItem> aggs;
+  aggs.push_back({AggFunc::kSum, lo.Col("lo_revenue"), "revenue"});
+  lo.GroupBy({"d_year", "p_brand1"}, std::move(aggs));
+  lo.OrderBy({{"d_year", true}, {"p_brand1", true}});
+  return q->Execute();
+}
+
+// Q3.x: customer x supplier geography; group by (cust geo, supp geo,
+// d_year), revenue-descending within year.
+ResultSet FlightThree(Engine& e, const SsbData& db,
+                      const std::vector<std::string>& cust_cols,
+                      const PredFn& cust_pred, const std::string& cust_group,
+                      const std::vector<std::string>& supp_cols,
+                      const PredFn& supp_pred, const std::string& supp_group,
+                      const std::vector<std::string>& date_cols,
+                      const PredFn& date_pred) {
+  auto q = e.CreateQuery();
+  PlanBuilder cust = q->Scan(db.customer.get(), cust_cols);
+  cust.Filter(cust_pred(cust));
+  PlanBuilder sup = q->Scan(db.supplier.get(), supp_cols);
+  sup.Filter(supp_pred(sup));
+  PlanBuilder d = q->Scan(db.date_dim.get(), date_cols);
+  if (date_pred != nullptr) d.Filter(date_pred(d));
+
+  PlanBuilder lo = q->Scan(db.lineorder.get(),
+                           {"lo_orderdate", "lo_custkey", "lo_suppkey",
+                            "lo_revenue"});
+  lo.HashJoin(std::move(cust), {"lo_custkey"}, {"c_custkey"}, {cust_group},
+              JoinKind::kInner);
+  lo.HashJoin(std::move(sup), {"lo_suppkey"}, {"s_suppkey"}, {supp_group},
+              JoinKind::kInner);
+  lo.HashJoin(std::move(d), {"lo_orderdate"}, {"d_datekey"}, {"d_year"},
+              JoinKind::kInner);
+  std::vector<AggItem> aggs;
+  aggs.push_back({AggFunc::kSum, lo.Col("lo_revenue"), "revenue"});
+  lo.GroupBy({cust_group, supp_group, "d_year"}, std::move(aggs));
+  lo.OrderBy({{"d_year", true}, {"revenue", false}});
+  return q->Execute();
+}
+
+}  // namespace
+
+const char* SsbQueryName(int index) {
+  static const char* kNames[13] = {"1.1", "1.2", "1.3", "2.1", "2.2",
+                                   "2.3", "3.1", "3.2", "3.3", "3.4",
+                                   "4.1", "4.2", "4.3"};
+  MORSEL_CHECK(index >= 0 && index < 13);
+  return kNames[index];
+}
+
+// Q4.x profit queries are written out in full below FlightThree-style
+// parameterization would obscure them.
+namespace {
+
+ResultSet Q4_1(Engine& e, const SsbData& db) {
+  auto q = e.CreateQuery();
+  PlanBuilder cust = q->Scan(db.customer.get(),
+                             {"c_custkey", "c_region", "c_nation"});
+  cust.Filter(Eq(cust.Col("c_region"), ConstStr("AMERICA")));
+  PlanBuilder sup = q->Scan(db.supplier.get(), {"s_suppkey", "s_region"});
+  sup.Filter(Eq(sup.Col("s_region"), ConstStr("AMERICA")));
+  PlanBuilder part = q->Scan(db.part.get(), {"p_partkey", "p_mfgr"});
+  part.Filter(InStr(part.Col("p_mfgr"), {"MFGR#1", "MFGR#2"}));
+  PlanBuilder d = q->Scan(db.date_dim.get(), {"d_datekey", "d_year"});
+
+  PlanBuilder lo = q->Scan(db.lineorder.get(),
+                           {"lo_orderdate", "lo_custkey", "lo_suppkey",
+                            "lo_partkey", "lo_revenue", "lo_supplycost"});
+  lo.HashJoin(std::move(cust), {"lo_custkey"}, {"c_custkey"}, {"c_nation"},
+              JoinKind::kInner);
+  lo.HashJoin(std::move(sup), {"lo_suppkey"}, {"s_suppkey"}, {},
+              JoinKind::kSemi);
+  lo.HashJoin(std::move(part), {"lo_partkey"}, {"p_partkey"}, {},
+              JoinKind::kSemi);
+  lo.HashJoin(std::move(d), {"lo_orderdate"}, {"d_datekey"}, {"d_year"},
+              JoinKind::kInner);
+  std::vector<AggItem> aggs;
+  aggs.push_back({AggFunc::kSum,
+                  Sub(lo.Col("lo_revenue"), lo.Col("lo_supplycost")),
+                  "profit"});
+  lo.GroupBy({"d_year", "c_nation"}, std::move(aggs));
+  lo.OrderBy({{"d_year", true}, {"c_nation", true}});
+  return q->Execute();
+}
+
+ResultSet Q4_2(Engine& e, const SsbData& db) {
+  auto q = e.CreateQuery();
+  PlanBuilder cust = q->Scan(db.customer.get(), {"c_custkey", "c_region"});
+  cust.Filter(Eq(cust.Col("c_region"), ConstStr("AMERICA")));
+  PlanBuilder sup = q->Scan(db.supplier.get(),
+                            {"s_suppkey", "s_region", "s_nation"});
+  sup.Filter(Eq(sup.Col("s_region"), ConstStr("AMERICA")));
+  PlanBuilder part = q->Scan(db.part.get(),
+                             {"p_partkey", "p_mfgr", "p_category"});
+  part.Filter(InStr(part.Col("p_mfgr"), {"MFGR#1", "MFGR#2"}));
+  PlanBuilder d = q->Scan(db.date_dim.get(), {"d_datekey", "d_year"});
+  d.Filter(InI64(d.Col("d_year"), {1997, 1998}));
+
+  PlanBuilder lo = q->Scan(db.lineorder.get(),
+                           {"lo_orderdate", "lo_custkey", "lo_suppkey",
+                            "lo_partkey", "lo_revenue", "lo_supplycost"});
+  lo.HashJoin(std::move(cust), {"lo_custkey"}, {"c_custkey"}, {},
+              JoinKind::kSemi);
+  lo.HashJoin(std::move(sup), {"lo_suppkey"}, {"s_suppkey"}, {"s_nation"},
+              JoinKind::kInner);
+  lo.HashJoin(std::move(part), {"lo_partkey"}, {"p_partkey"},
+              {"p_category"}, JoinKind::kInner);
+  lo.HashJoin(std::move(d), {"lo_orderdate"}, {"d_datekey"}, {"d_year"},
+              JoinKind::kInner);
+  std::vector<AggItem> aggs;
+  aggs.push_back({AggFunc::kSum,
+                  Sub(lo.Col("lo_revenue"), lo.Col("lo_supplycost")),
+                  "profit"});
+  lo.GroupBy({"d_year", "s_nation", "p_category"}, std::move(aggs));
+  lo.OrderBy({{"d_year", true}, {"s_nation", true}, {"p_category", true}});
+  return q->Execute();
+}
+
+ResultSet Q4_3(Engine& e, const SsbData& db) {
+  auto q = e.CreateQuery();
+  PlanBuilder cust = q->Scan(db.customer.get(), {"c_custkey", "c_region"});
+  cust.Filter(Eq(cust.Col("c_region"), ConstStr("AMERICA")));
+  PlanBuilder sup = q->Scan(db.supplier.get(),
+                            {"s_suppkey", "s_nation", "s_city"});
+  sup.Filter(Eq(sup.Col("s_nation"), ConstStr("UNITED STATES")));
+  PlanBuilder part = q->Scan(db.part.get(),
+                             {"p_partkey", "p_category", "p_brand1"});
+  part.Filter(Eq(part.Col("p_category"), ConstStr("MFGR#14")));
+  PlanBuilder d = q->Scan(db.date_dim.get(), {"d_datekey", "d_year"});
+  d.Filter(InI64(d.Col("d_year"), {1997, 1998}));
+
+  PlanBuilder lo = q->Scan(db.lineorder.get(),
+                           {"lo_orderdate", "lo_custkey", "lo_suppkey",
+                            "lo_partkey", "lo_revenue", "lo_supplycost"});
+  lo.HashJoin(std::move(cust), {"lo_custkey"}, {"c_custkey"}, {},
+              JoinKind::kSemi);
+  lo.HashJoin(std::move(sup), {"lo_suppkey"}, {"s_suppkey"}, {"s_city"},
+              JoinKind::kInner);
+  lo.HashJoin(std::move(part), {"lo_partkey"}, {"p_partkey"}, {"p_brand1"},
+              JoinKind::kInner);
+  lo.HashJoin(std::move(d), {"lo_orderdate"}, {"d_datekey"}, {"d_year"},
+              JoinKind::kInner);
+  std::vector<AggItem> aggs;
+  aggs.push_back({AggFunc::kSum,
+                  Sub(lo.Col("lo_revenue"), lo.Col("lo_supplycost")),
+                  "profit"});
+  lo.GroupBy({"d_year", "s_city", "p_brand1"}, std::move(aggs));
+  lo.OrderBy({{"d_year", true}, {"s_city", true}, {"p_brand1", true}});
+  return q->Execute();
+}
+
+}  // namespace
+
+ResultSet RunSsbQuery(Engine& engine, const SsbData& db, int index) {
+  auto str_eq = [](const char* col, const char* value) {
+    return [col, value](const PlanBuilder& b) {
+      return Eq(b.Col(col), ConstStr(value));
+    };
+  };
+  switch (index) {
+    case 0:  // 1.1
+      return FlightOne(
+          engine, db,
+          [](const PlanBuilder& d) {
+            return Eq(d.Col("d_year"), ConstI64(1993));
+          },
+          1, 3, 1, 24);
+    case 1:  // 1.2
+      return FlightOne(
+          engine, db,
+          [](const PlanBuilder& d) {
+            return Eq(d.Col("d_yearmonthnum"), ConstI64(199401));
+          },
+          4, 6, 26, 35);
+    case 2:  // 1.3
+      return FlightOne(
+          engine, db,
+          [](const PlanBuilder& d) {
+            return And(Eq(d.Col("d_weeknuminyear"), ConstI64(6)),
+                       Eq(d.Col("d_year"), ConstI64(1994)));
+          },
+          5, 7, 26, 35);
+    case 3:  // 2.1
+      return FlightTwo(engine, db, str_eq("p_category", "MFGR#12"),
+                       "AMERICA");
+    case 4:  // 2.2
+      return FlightTwo(
+          engine, db,
+          [](const PlanBuilder& p) {
+            return And(Ge(p.Col("p_brand1"), ConstStr("MFGR#2221")),
+                       Le(p.Col("p_brand1"), ConstStr("MFGR#2228")));
+          },
+          "ASIA");
+    case 5:  // 2.3
+      return FlightTwo(engine, db, str_eq("p_brand1", "MFGR#2239"),
+                       "EUROPE");
+    case 6:  // 3.1
+      return FlightThree(
+          engine, db, {"c_custkey", "c_region", "c_nation"},
+          str_eq("c_region", "ASIA"), "c_nation",
+          {"s_suppkey", "s_region", "s_nation"}, str_eq("s_region", "ASIA"),
+          "s_nation", {"d_datekey", "d_year"},
+          [](const PlanBuilder& d) {
+            return And(Ge(d.Col("d_year"), ConstI64(1992)),
+                       Le(d.Col("d_year"), ConstI64(1997)));
+          });
+    case 7:  // 3.2
+      return FlightThree(
+          engine, db, {"c_custkey", "c_nation", "c_city"},
+          str_eq("c_nation", "UNITED STATES"), "c_city",
+          {"s_suppkey", "s_nation", "s_city"},
+          str_eq("s_nation", "UNITED STATES"), "s_city",
+          {"d_datekey", "d_year"},
+          [](const PlanBuilder& d) {
+            return And(Ge(d.Col("d_year"), ConstI64(1992)),
+                       Le(d.Col("d_year"), ConstI64(1997)));
+          });
+    case 8:  // 3.3
+      return FlightThree(
+          engine, db, {"c_custkey", "c_city"},
+          [](const PlanBuilder& c) {
+            return InStr(c.Col("c_city"), {"UNITED KI1", "UNITED KI5"});
+          },
+          "c_city", {"s_suppkey", "s_city"},
+          [](const PlanBuilder& s) {
+            return InStr(s.Col("s_city"), {"UNITED KI1", "UNITED KI5"});
+          },
+          "s_city", {"d_datekey", "d_year"},
+          [](const PlanBuilder& d) {
+            return And(Ge(d.Col("d_year"), ConstI64(1992)),
+                       Le(d.Col("d_year"), ConstI64(1997)));
+          });
+    case 9:  // 3.4
+      return FlightThree(
+          engine, db, {"c_custkey", "c_city"},
+          [](const PlanBuilder& c) {
+            return InStr(c.Col("c_city"), {"UNITED KI1", "UNITED KI5"});
+          },
+          "c_city", {"s_suppkey", "s_city"},
+          [](const PlanBuilder& s) {
+            return InStr(s.Col("s_city"), {"UNITED KI1", "UNITED KI5"});
+          },
+          "s_city", {"d_datekey", "d_year", "d_yearmonth"},
+          [](const PlanBuilder& d) {
+            return Eq(d.Col("d_yearmonth"), ConstStr("Dec1997"));
+          });
+    case 10:  // 4.1
+      return Q4_1(engine, db);
+    case 11:  // 4.2
+      return Q4_2(engine, db);
+    case 12:  // 4.3
+      return Q4_3(engine, db);
+    default:
+      MORSEL_CHECK_MSG(false, "SSB query index out of range");
+  }
+  return ResultSet();
+}
+
+}  // namespace morsel

@@ -1,0 +1,23 @@
+#ifndef MORSELDB_SSB_SSB_QUERIES_H_
+#define MORSELDB_SSB_SSB_QUERIES_H_
+
+#include <string>
+
+#include "engine/query.h"
+#include "ssb/ssb.h"
+
+namespace morsel {
+
+inline constexpr int kNumSsbQueries = 13;
+
+// SSB query ids in flight order: 0 -> 1.1, 1 -> 1.2, ... 12 -> 4.3.
+const char* SsbQueryName(int index);
+
+// Runs SSB query `index` (0..12) and returns its result. All queries
+// probe the fact table through stacked dimension hash tables — the join
+// pattern §5.5 highlights.
+ResultSet RunSsbQuery(Engine& engine, const SsbData& db, int index);
+
+}  // namespace morsel
+
+#endif  // MORSELDB_SSB_SSB_QUERIES_H_

@@ -1,0 +1,34 @@
+#include "storage/column.h"
+
+namespace morsel {
+
+const char* TypeName(LogicalType t) {
+  switch (t) {
+    case LogicalType::kInt32:
+      return "int32";
+    case LogicalType::kInt64:
+      return "int64";
+    case LogicalType::kDouble:
+      return "double";
+    case LogicalType::kString:
+      return "string";
+  }
+  return "?";
+}
+
+std::unique_ptr<Column> MakeColumn(LogicalType type, int socket) {
+  switch (type) {
+    case LogicalType::kInt32:
+      return std::make_unique<Int32Column>(socket);
+    case LogicalType::kInt64:
+      return std::make_unique<Int64Column>(socket);
+    case LogicalType::kDouble:
+      return std::make_unique<DoubleColumn>(socket);
+    case LogicalType::kString:
+      return std::make_unique<StringColumn>(socket);
+  }
+  MORSEL_CHECK_MSG(false, "unknown type");
+  return nullptr;
+}
+
+}  // namespace morsel

@@ -1,0 +1,115 @@
+#ifndef MORSELDB_STORAGE_COLUMN_H_
+#define MORSELDB_STORAGE_COLUMN_H_
+
+#include <memory>
+#include <string_view>
+
+#include "common/macros.h"
+#include "numa/allocator.h"
+#include "storage/types.h"
+
+namespace morsel {
+
+// One column of one table partition. Fixed-width columns expose their
+// backing array directly (zero-copy scans); string columns use an
+// offsets-into-heap layout whose string_views stay valid for the lifetime
+// of the column, so tuples and result sets may hold views into it.
+class Column {
+ public:
+  explicit Column(LogicalType type) : type_(type) {}
+  virtual ~Column() = default;
+
+  Column(const Column&) = delete;
+  Column& operator=(const Column&) = delete;
+
+  LogicalType type() const { return type_; }
+  virtual size_t size() const = 0;
+  // Bytes of storage a scan of `rows` rows touches (traffic accounting).
+  virtual size_t ScanBytes(size_t rows) const = 0;
+
+ private:
+  LogicalType type_;
+};
+
+template <typename T>
+constexpr LogicalType TypeOf();
+template <>
+constexpr LogicalType TypeOf<int32_t>() {
+  return LogicalType::kInt32;
+}
+template <>
+constexpr LogicalType TypeOf<int64_t>() {
+  return LogicalType::kInt64;
+}
+template <>
+constexpr LogicalType TypeOf<double>() {
+  return LogicalType::kDouble;
+}
+
+// Fixed-width column over a NUMA-tagged array.
+template <typename T>
+class TypedColumn final : public Column {
+ public:
+  explicit TypedColumn(int socket = 0)
+      : Column(TypeOf<T>()), data_(socket) {}
+
+  size_t size() const override { return data_.size(); }
+  size_t ScanBytes(size_t rows) const override { return rows * sizeof(T); }
+
+  void Append(T v) { data_.push_back(v); }
+  void AppendN(const T* src, size_t n) { data_.append(src, n); }
+  T Get(size_t i) const { return data_[i]; }
+  const T* raw() const { return data_.data(); }
+  T* mutable_raw() { return data_.data(); }
+  void Reserve(size_t n) { data_.reserve(n); }
+
+ private:
+  NumaVector<T> data_;
+};
+
+using Int32Column = TypedColumn<int32_t>;
+using Int64Column = TypedColumn<int64_t>;
+using DoubleColumn = TypedColumn<double>;
+
+// Variable-length string column: per-row [offset, offset_next) into a
+// byte heap. Append-only.
+class StringColumn final : public Column {
+ public:
+  explicit StringColumn(int socket = 0)
+      : Column(LogicalType::kString), offsets_(socket), heap_(socket) {
+    offsets_.push_back(0);
+  }
+
+  size_t size() const override { return offsets_.size() - 1; }
+  size_t ScanBytes(size_t rows) const override {
+    // Offset array plus average payload.
+    size_t n = size();
+    size_t avg = n == 0 ? 0 : heap_.size() / n;
+    return rows * (sizeof(uint32_t) + avg);
+  }
+
+  void Append(std::string_view s) {
+    heap_.append(s.data(), s.size());
+    offsets_.push_back(static_cast<uint32_t>(heap_.size()));
+  }
+
+  std::string_view Get(size_t i) const {
+    MORSEL_DCHECK(i + 1 < offsets_.size());
+    uint32_t b = offsets_[i];
+    uint32_t e = offsets_[i + 1];
+    return std::string_view(heap_.data() + b, e - b);
+  }
+
+  size_t heap_bytes() const { return heap_.size(); }
+
+ private:
+  NumaVector<uint32_t> offsets_;
+  NumaVector<char> heap_;
+};
+
+// Creates an empty column of the given type on `socket`.
+std::unique_ptr<Column> MakeColumn(LogicalType type, int socket);
+
+}  // namespace morsel
+
+#endif  // MORSELDB_STORAGE_COLUMN_H_

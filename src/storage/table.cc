@@ -1,0 +1,78 @@
+#include "storage/table.h"
+
+namespace morsel {
+
+Table::Table(std::string name, Schema schema, const Topology& topo,
+             Placement placement, int num_partitions)
+    : name_(std::move(name)),
+      schema_(std::move(schema)),
+      placement_(placement),
+      num_sockets_(topo.num_sockets()) {
+  int nparts = num_partitions > 0 ? num_partitions : topo.num_sockets();
+  parts_.resize(nparts);
+  for (int p = 0; p < nparts; ++p) {
+    int socket = placement == Placement::kOsDefault ? 0 : p % num_sockets_;
+    parts_[p].socket = socket;
+    parts_[p].cols.reserve(schema_.num_fields());
+    for (int c = 0; c < schema_.num_fields(); ++c) {
+      parts_[p].cols.push_back(MakeColumn(schema_.field(c).type, socket));
+    }
+  }
+}
+
+size_t Table::NumRows() const {
+  size_t n = 0;
+  for (const Partition& p : parts_) n += p.rows;
+  return n;
+}
+
+Int32Column* Table::Int32Col(int partition, int col) {
+  Column* c = parts_[partition].cols[col].get();
+  MORSEL_CHECK(c->type() == LogicalType::kInt32);
+  return static_cast<Int32Column*>(c);
+}
+
+Int64Column* Table::Int64Col(int partition, int col) {
+  Column* c = parts_[partition].cols[col].get();
+  MORSEL_CHECK(c->type() == LogicalType::kInt64);
+  return static_cast<Int64Column*>(c);
+}
+
+DoubleColumn* Table::DoubleCol(int partition, int col) {
+  Column* c = parts_[partition].cols[col].get();
+  MORSEL_CHECK(c->type() == LogicalType::kDouble);
+  return static_cast<DoubleColumn*>(c);
+}
+
+StringColumn* Table::StrCol(int partition, int col) {
+  Column* c = parts_[partition].cols[col].get();
+  MORSEL_CHECK(c->type() == LogicalType::kString);
+  return static_cast<StringColumn*>(c);
+}
+
+void Table::SealPartition(int p) {
+  Partition& part = parts_[p];
+  size_t rows = part.cols.empty() ? 0 : part.cols[0]->size();
+  for (const auto& col : part.cols) {
+    MORSEL_CHECK_MSG(col->size() == rows,
+                     "ragged partition: column lengths differ");
+  }
+  part.rows = rows;
+}
+
+int Table::SocketOfRange(int p, size_t begin_row) const {
+  switch (placement_) {
+    case Placement::kNumaLocal:
+      return parts_[p].socket;
+    case Placement::kOsDefault:
+      return 0;
+    case Placement::kInterleaved:
+      // Round-robin in blocks of 8192 rows (~ a 2 MB chunk of a wide
+      // fixed-width column); offset by partition so partitions do not
+      // stripe in phase.
+      return static_cast<int>((begin_row / 8192 + p) % num_sockets_);
+  }
+  return 0;
+}
+
+}  // namespace morsel

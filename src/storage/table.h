@@ -1,0 +1,128 @@
+#ifndef MORSELDB_STORAGE_TABLE_H_
+#define MORSELDB_STORAGE_TABLE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/macros.h"
+#include "numa/topology.h"
+#include "storage/column.h"
+#include "storage/types.h"
+
+namespace morsel {
+
+// A named, typed table column.
+struct Field {
+  std::string name;
+  LogicalType type;
+};
+
+// Ordered list of fields with name lookup.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+  int num_fields() const { return static_cast<int>(fields_.size()); }
+  const Field& field(int i) const { return fields_[i]; }
+
+  // Index of `name`; aborts if absent (schema typos are programmer bugs).
+  int IndexOf(std::string_view name) const {
+    for (int i = 0; i < num_fields(); ++i) {
+      if (fields_[i].name == name) return i;
+    }
+    MORSEL_CHECK_MSG(false, std::string(name).c_str());
+    return -1;
+  }
+
+  bool Contains(std::string_view name) const {
+    for (const Field& f : fields_) {
+      if (f.name == name) return true;
+    }
+    return false;
+  }
+
+ private:
+  std::vector<Field> fields_;
+};
+
+// NUMA placement policy for a table's partitions; reproduces the three
+// strategies compared in §5.3.
+enum class Placement {
+  kNumaLocal,    // partition p lives on socket p % S (the paper's default)
+  kInterleaved,  // data spread round-robin across sockets in chunks
+  kOsDefault,    // everything on socket 0 (single loader thread, fn. 6)
+};
+
+// A table partitioned across NUMA sockets (§4.3). Base relations are
+// fragmented into `num_partitions` horizontal partitions, each with its
+// own column set allocated on (tagged with) one socket. Morsels are row
+// ranges within a partition.
+//
+// Thread-compatibility: appends to *different* partitions may run
+// concurrently; appends to the same partition must be serialized by the
+// caller (the generators shard by partition). Reads are lock-free once
+// loading finishes.
+class Table {
+ public:
+  Table(std::string name, Schema schema, const Topology& topo,
+        Placement placement = Placement::kNumaLocal,
+        int num_partitions = 0);  // 0 = one per socket
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  Placement placement() const { return placement_; }
+  int num_partitions() const { return static_cast<int>(parts_.size()); }
+  int num_sockets() const { return num_sockets_; }
+
+  size_t PartitionRows(int p) const { return parts_[p].rows; }
+  size_t NumRows() const;
+
+  Column* column(int partition, int col) {
+    return parts_[partition].cols[col].get();
+  }
+  const Column* column(int partition, int col) const {
+    return parts_[partition].cols[col].get();
+  }
+
+  // Typed accessors (abort on type mismatch).
+  Int32Column* Int32Col(int partition, int col);
+  Int64Column* Int64Col(int partition, int col);
+  DoubleColumn* DoubleCol(int partition, int col);
+  StringColumn* StrCol(int partition, int col);
+
+  // Marks a partition's row count after a burst of appends. All columns
+  // of the partition must have equal length.
+  void SealPartition(int p);
+
+  // Socket tag for accounting/scheduling of rows [begin, ...) in
+  // partition `p`, honouring the placement policy.
+  int SocketOfRange(int p, size_t begin_row) const;
+
+  // Chooses the partition for a row by hash co-location on a key (§4.3):
+  // tables partitioned on join keys place matching tuples on the same
+  // socket. Uses the high bits of the hash — the same bits the join hash
+  // table uses for its slot index.
+  int PartitionOfKey(uint64_t key_hash) const {
+    return static_cast<int>((key_hash >> 32) % parts_.size());
+  }
+
+ private:
+  struct Partition {
+    std::vector<std::unique_ptr<Column>> cols;
+    size_t rows = 0;
+    int socket = 0;
+  };
+
+  std::string name_;
+  Schema schema_;
+  Placement placement_;
+  int num_sockets_;
+  std::vector<Partition> parts_;
+};
+
+}  // namespace morsel
+
+#endif  // MORSELDB_STORAGE_TABLE_H_

@@ -1,0 +1,41 @@
+#ifndef MORSELDB_STORAGE_TYPES_H_
+#define MORSELDB_STORAGE_TYPES_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace morsel {
+
+// The engine's minimal logical type system. Dates are kInt32 (date32
+// encoding, see common/date.h); decimals are kDouble (acceptable for a
+// reproduction whose benchmarks compare relative performance, tests use
+// tolerances); keys and counts are kInt64.
+enum class LogicalType : uint8_t {
+  kInt32 = 0,
+  kInt64 = 1,
+  kDouble = 2,
+  kString = 3,
+};
+
+// Width of one value of `t` when materialized into an execution chunk
+// (strings travel as 16-byte string_views pointing into table storage).
+inline int TypeWidth(LogicalType t) {
+  switch (t) {
+    case LogicalType::kInt32:
+      return 4;
+    case LogicalType::kInt64:
+      return 8;
+    case LogicalType::kDouble:
+      return 8;
+    case LogicalType::kString:
+      return static_cast<int>(sizeof(std::string_view));
+  }
+  return 8;
+}
+
+const char* TypeName(LogicalType t);
+
+}  // namespace morsel
+
+#endif  // MORSELDB_STORAGE_TYPES_H_

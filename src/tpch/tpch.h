@@ -1,0 +1,44 @@
+#ifndef MORSELDB_TPCH_TPCH_H_
+#define MORSELDB_TPCH_TPCH_H_
+
+#include <memory>
+
+#include "numa/topology.h"
+#include "storage/table.h"
+
+namespace morsel {
+
+// In-memory TPC-H database: all eight relations, partitioned across
+// NUMA sockets by the hash of the first primary-key attribute (§4.3 and
+// §5.1: "our system transparently distributes the input relations over
+// all available NUMA sockets by partitioning each relation using the
+// first attribute of the primary key"). orders and lineitem share the
+// orderkey partitioning, co-locating their frequent join.
+struct TpchData {
+  double scale_factor = 0.0;
+  std::unique_ptr<Table> region;
+  std::unique_ptr<Table> nation;
+  std::unique_ptr<Table> supplier;
+  std::unique_ptr<Table> customer;
+  std::unique_ptr<Table> part;
+  std::unique_ptr<Table> partsupp;
+  std::unique_ptr<Table> orders;
+  std::unique_ptr<Table> lineitem;
+
+  size_t TotalRows() const {
+    return region->NumRows() + nation->NumRows() + supplier->NumRows() +
+           customer->NumRows() + part->NumRows() + partsupp->NumRows() +
+           orders->NumRows() + lineitem->NumRows();
+  }
+};
+
+// Deterministic dbgen equivalent (same seed => same data). Row counts
+// scale with `sf` following the spec's cardinalities (lineitem ~6M rows
+// at sf=1). `placement` selects the NUMA placement policy for the §5.3
+// comparison (NUMA-local partitioning vs interleaved vs OS-default).
+TpchData GenerateTpch(double sf, const Topology& topo,
+                      Placement placement = Placement::kNumaLocal);
+
+}  // namespace morsel
+
+#endif  // MORSELDB_TPCH_TPCH_H_

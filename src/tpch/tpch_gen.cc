@@ -1,0 +1,441 @@
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/date.h"
+#include "common/hash.h"
+#include "common/rng.h"
+#include "tpch/tpch.h"
+
+namespace morsel {
+
+namespace {
+
+// --- fixed vocabularies (following the TPC-H specification) -----------------
+
+struct NationSpec {
+  const char* name;
+  int region;
+};
+
+// 25 nations with their region keys, exactly as in the spec.
+constexpr NationSpec kNations[25] = {
+    {"ALGERIA", 0},   {"ARGENTINA", 1}, {"BRAZIL", 1},
+    {"CANADA", 1},    {"EGYPT", 4},     {"ETHIOPIA", 0},
+    {"FRANCE", 3},    {"GERMANY", 3},   {"INDIA", 2},
+    {"INDONESIA", 2}, {"IRAN", 4},      {"IRAQ", 4},
+    {"JAPAN", 2},     {"JORDAN", 4},    {"KENYA", 0},
+    {"MOROCCO", 0},   {"MOZAMBIQUE", 0}, {"PERU", 1},
+    {"CHINA", 2},     {"ROMANIA", 3},   {"SAUDI ARABIA", 4},
+    {"VIETNAM", 2},   {"RUSSIA", 3},    {"UNITED KINGDOM", 3},
+    {"UNITED STATES", 1}};
+
+constexpr const char* kRegions[5] = {"AFRICA", "AMERICA", "ASIA", "EUROPE",
+                                     "MIDDLE EAST"};
+
+constexpr const char* kSegments[5] = {"AUTOMOBILE", "BUILDING", "FURNITURE",
+                                      "MACHINERY", "HOUSEHOLD"};
+
+constexpr const char* kPriorities[5] = {"1-URGENT", "2-HIGH", "3-MEDIUM",
+                                        "4-NOT SPECIFIED", "5-LOW"};
+
+constexpr const char* kShipModes[7] = {"REG AIR", "AIR", "RAIL", "SHIP",
+                                       "TRUCK", "MAIL", "FOB"};
+
+constexpr const char* kShipInstruct[4] = {"DELIVER IN PERSON", "COLLECT COD",
+                                          "NONE", "TAKE BACK RETURN"};
+
+constexpr const char* kTypes1[6] = {"STANDARD", "SMALL",   "MEDIUM",
+                                    "LARGE",    "ECONOMY", "PROMO"};
+constexpr const char* kTypes2[5] = {"ANODIZED", "BURNISHED", "PLATED",
+                                    "POLISHED", "BRUSHED"};
+constexpr const char* kTypes3[5] = {"TIN", "NICKEL", "BRASS", "STEEL",
+                                    "COPPER"};
+
+constexpr const char* kContainers1[5] = {"SM", "MED", "LG", "JUMBO", "WRAP"};
+constexpr const char* kContainers2[8] = {"CASE", "BOX", "BAG", "JAR",
+                                         "PKG",  "PACK", "CAN", "DRUM"};
+
+// Subset of the spec's 92 color words; Q9 filters '%green%'.
+constexpr const char* kColors[40] = {
+    "almond",  "antique",  "aquamarine", "azure",     "beige",
+    "bisque",  "black",    "blanched",   "blue",      "blush",
+    "brown",   "burlywood", "burnished", "chartreuse", "chiffon",
+    "chocolate", "coral",  "cornflower", "cornsilk",  "cream",
+    "cyan",    "dark",     "deep",       "dim",       "dodger",
+    "drab",    "firebrick", "floral",    "forest",    "frosted",
+    "gainsboro", "ghost",  "goldenrod",  "green",     "grey",
+    "honeydew", "hot",     "indian",     "ivory",     "khaki"};
+
+// Comment vocabulary; includes the words the Q13 ('%special%requests%')
+// and Q16 ('%Customer%Complaints%') filters look for.
+constexpr const char* kWords[32] = {
+    "furiously", "carefully", "quickly",   "blithely",  "slyly",
+    "special",   "requests",  "pending",   "final",     "regular",
+    "express",   "ironic",    "even",      "bold",      "silent",
+    "accounts",  "packages",  "deposits",  "instructions", "foxes",
+    "theodolites", "pinto",   "beans",     "dependencies", "excuses",
+    "platelets", "asymptotes", "courts",   "dolphins",  "multipliers",
+    "sauternes", "warhorses"};
+
+std::string MakeComment(Rng& rng, int min_words, int max_words) {
+  int n = static_cast<int>(rng.Uniform(min_words, max_words));
+  std::string out;
+  for (int i = 0; i < n; ++i) {
+    if (i > 0) out += ' ';
+    out += kWords[rng.Uniform(0, 31)];
+  }
+  return out;
+}
+
+std::string MakePhone(Rng& rng, int64_t nationkey) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%02d-%03d-%03d-%04d",
+                static_cast<int>(10 + nationkey),
+                static_cast<int>(rng.Uniform(100, 999)),
+                static_cast<int>(rng.Uniform(100, 999)),
+                static_cast<int>(rng.Uniform(1000, 9999)));
+  return std::string(buf);
+}
+
+std::string NumberedName(const char* prefix, int64_t key) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%s#%09lld", prefix,
+                static_cast<long long>(key));
+  return std::string(buf);
+}
+
+// Spec formula for part retail price (decimal stored as double).
+double RetailPrice(int64_t p) {
+  return (90000.0 + ((p / 10) % 20001) + 100.0 * (p % 1000)) / 100.0;
+}
+
+std::string MakePartName(Rng& rng) {
+  std::string out;
+  for (int i = 0; i < 5; ++i) {
+    if (i > 0) out += ' ';
+    out += kColors[rng.Uniform(0, 39)];
+  }
+  return out;
+}
+
+std::string MakeType(Rng& rng) {
+  std::string out = kTypes1[rng.Uniform(0, 5)];
+  out += ' ';
+  out += kTypes2[rng.Uniform(0, 4)];
+  out += ' ';
+  out += kTypes3[rng.Uniform(0, 4)];
+  return out;
+}
+
+std::string MakeContainer(Rng& rng) {
+  std::string out = kContainers1[rng.Uniform(0, 4)];
+  out += ' ';
+  out += kContainers2[rng.Uniform(0, 7)];
+  return out;
+}
+
+// Scaled cardinality with a sane floor for tiny test scale factors.
+int64_t Scaled(double sf, int64_t base, int64_t floor_rows) {
+  int64_t n = static_cast<int64_t>(static_cast<double>(base) * sf);
+  return std::max(n, floor_rows);
+}
+
+}  // namespace
+
+TpchData GenerateTpch(double sf, const Topology& topo, Placement placement) {
+  TpchData db;
+  db.scale_factor = sf;
+
+  const int64_t num_suppliers = Scaled(sf, 10000, 20);
+  const int64_t num_parts = Scaled(sf, 200000, 200);
+  const int64_t num_customers = Scaled(sf, 150000, 150);
+  const int64_t num_orders = Scaled(sf, 1500000, 1500);
+
+  // --- region / nation -------------------------------------------------------
+  db.region = std::make_unique<Table>(
+      "region",
+      Schema({{"r_regionkey", LogicalType::kInt64},
+              {"r_name", LogicalType::kString},
+              {"r_comment", LogicalType::kString}}),
+      topo, placement);
+  {
+    Rng rng(1);
+    for (int64_t r = 0; r < 5; ++r) {
+      int p = db.region->PartitionOfKey(Hash64(static_cast<uint64_t>(r)));
+      db.region->Int64Col(p, 0)->Append(r);
+      db.region->StrCol(p, 1)->Append(kRegions[r]);
+      db.region->StrCol(p, 2)->Append(MakeComment(rng, 3, 8));
+    }
+    for (int p = 0; p < db.region->num_partitions(); ++p) {
+      db.region->SealPartition(p);
+    }
+  }
+
+  db.nation = std::make_unique<Table>(
+      "nation",
+      Schema({{"n_nationkey", LogicalType::kInt64},
+              {"n_name", LogicalType::kString},
+              {"n_regionkey", LogicalType::kInt64},
+              {"n_comment", LogicalType::kString}}),
+      topo, placement);
+  {
+    Rng rng(2);
+    for (int64_t n = 0; n < 25; ++n) {
+      int p = db.nation->PartitionOfKey(Hash64(static_cast<uint64_t>(n)));
+      db.nation->Int64Col(p, 0)->Append(n);
+      db.nation->StrCol(p, 1)->Append(kNations[n].name);
+      db.nation->Int64Col(p, 2)->Append(kNations[n].region);
+      db.nation->StrCol(p, 3)->Append(MakeComment(rng, 4, 10));
+    }
+    for (int p = 0; p < db.nation->num_partitions(); ++p) {
+      db.nation->SealPartition(p);
+    }
+  }
+
+  // --- supplier ---------------------------------------------------------------
+  db.supplier = std::make_unique<Table>(
+      "supplier",
+      Schema({{"s_suppkey", LogicalType::kInt64},
+              {"s_name", LogicalType::kString},
+              {"s_address", LogicalType::kString},
+              {"s_nationkey", LogicalType::kInt64},
+              {"s_phone", LogicalType::kString},
+              {"s_acctbal", LogicalType::kDouble},
+              {"s_comment", LogicalType::kString}}),
+      topo, placement);
+  {
+    Rng rng(3);
+    for (int64_t s = 1; s <= num_suppliers; ++s) {
+      int p = db.supplier->PartitionOfKey(Hash64(static_cast<uint64_t>(s)));
+      int64_t nation = rng.Uniform(0, 24);
+      db.supplier->Int64Col(p, 0)->Append(s);
+      db.supplier->StrCol(p, 1)->Append(NumberedName("Supplier", s));
+      db.supplier->StrCol(p, 2)->Append(MakeComment(rng, 2, 4));
+      db.supplier->Int64Col(p, 3)->Append(nation);
+      db.supplier->StrCol(p, 4)->Append(MakePhone(rng, nation));
+      db.supplier->DoubleCol(p, 5)->Append(
+          static_cast<double>(rng.Uniform(-99999, 999999)) / 100.0);
+      // Q16 anti-join: a small fraction of suppliers carry the
+      // "Customer ... Complaints" phrase (spec: 5 per 10000).
+      std::string comment = MakeComment(rng, 4, 9);
+      if (s % 127 == 0) comment += " Customer unhappy Complaints";
+      db.supplier->StrCol(p, 6)->Append(comment);
+    }
+    for (int p = 0; p < db.supplier->num_partitions(); ++p) {
+      db.supplier->SealPartition(p);
+    }
+  }
+
+  // --- customer ---------------------------------------------------------------
+  db.customer = std::make_unique<Table>(
+      "customer",
+      Schema({{"c_custkey", LogicalType::kInt64},
+              {"c_name", LogicalType::kString},
+              {"c_address", LogicalType::kString},
+              {"c_nationkey", LogicalType::kInt64},
+              {"c_phone", LogicalType::kString},
+              {"c_acctbal", LogicalType::kDouble},
+              {"c_mktsegment", LogicalType::kString},
+              {"c_comment", LogicalType::kString}}),
+      topo, placement);
+  {
+    Rng rng(4);
+    for (int64_t c = 1; c <= num_customers; ++c) {
+      int p = db.customer->PartitionOfKey(Hash64(static_cast<uint64_t>(c)));
+      int64_t nation = rng.Uniform(0, 24);
+      db.customer->Int64Col(p, 0)->Append(c);
+      db.customer->StrCol(p, 1)->Append(NumberedName("Customer", c));
+      db.customer->StrCol(p, 2)->Append(MakeComment(rng, 2, 4));
+      db.customer->Int64Col(p, 3)->Append(nation);
+      db.customer->StrCol(p, 4)->Append(MakePhone(rng, nation));
+      db.customer->DoubleCol(p, 5)->Append(
+          static_cast<double>(rng.Uniform(-99999, 999999)) / 100.0);
+      db.customer->StrCol(p, 6)->Append(kSegments[rng.Uniform(0, 4)]);
+      db.customer->StrCol(p, 7)->Append(MakeComment(rng, 4, 10));
+    }
+    for (int p = 0; p < db.customer->num_partitions(); ++p) {
+      db.customer->SealPartition(p);
+    }
+  }
+
+  // --- part -------------------------------------------------------------------
+  db.part = std::make_unique<Table>(
+      "part",
+      Schema({{"p_partkey", LogicalType::kInt64},
+              {"p_name", LogicalType::kString},
+              {"p_mfgr", LogicalType::kString},
+              {"p_brand", LogicalType::kString},
+              {"p_type", LogicalType::kString},
+              {"p_size", LogicalType::kInt64},
+              {"p_container", LogicalType::kString},
+              {"p_retailprice", LogicalType::kDouble},
+              {"p_comment", LogicalType::kString}}),
+      topo, placement);
+  {
+    Rng rng(5);
+    char buf[32];
+    for (int64_t pk = 1; pk <= num_parts; ++pk) {
+      int p = db.part->PartitionOfKey(Hash64(static_cast<uint64_t>(pk)));
+      db.part->Int64Col(p, 0)->Append(pk);
+      db.part->StrCol(p, 1)->Append(MakePartName(rng));
+      int mfgr = static_cast<int>(rng.Uniform(1, 5));
+      std::snprintf(buf, sizeof(buf), "Manufacturer#%d", mfgr);
+      db.part->StrCol(p, 2)->Append(buf);
+      std::snprintf(buf, sizeof(buf), "Brand#%d%d", mfgr,
+                    static_cast<int>(rng.Uniform(1, 5)));
+      db.part->StrCol(p, 3)->Append(buf);
+      db.part->StrCol(p, 4)->Append(MakeType(rng));
+      db.part->Int64Col(p, 5)->Append(rng.Uniform(1, 50));
+      db.part->StrCol(p, 6)->Append(MakeContainer(rng));
+      db.part->DoubleCol(p, 7)->Append(RetailPrice(pk));
+      db.part->StrCol(p, 8)->Append(MakeComment(rng, 2, 5));
+    }
+    for (int p = 0; p < db.part->num_partitions(); ++p) {
+      db.part->SealPartition(p);
+    }
+  }
+
+  // --- partsupp ---------------------------------------------------------------
+  db.partsupp = std::make_unique<Table>(
+      "partsupp",
+      Schema({{"ps_partkey", LogicalType::kInt64},
+              {"ps_suppkey", LogicalType::kInt64},
+              {"ps_availqty", LogicalType::kInt64},
+              {"ps_supplycost", LogicalType::kDouble},
+              {"ps_comment", LogicalType::kString}}),
+      topo, placement);
+  {
+    Rng rng(6);
+    const int64_t s_count = num_suppliers;
+    for (int64_t pk = 1; pk <= num_parts; ++pk) {
+      int p = db.partsupp->PartitionOfKey(Hash64(static_cast<uint64_t>(pk)));
+      for (int64_t i = 0; i < 4; ++i) {
+        // Spec supplier-assignment formula: spreads a part's suppliers.
+        int64_t sk =
+            ((pk + (i * (s_count / 4 + (pk - 1) / s_count))) % s_count) + 1;
+        db.partsupp->Int64Col(p, 0)->Append(pk);
+        db.partsupp->Int64Col(p, 1)->Append(sk);
+        db.partsupp->Int64Col(p, 2)->Append(rng.Uniform(1, 9999));
+        db.partsupp->DoubleCol(p, 3)->Append(
+            static_cast<double>(rng.Uniform(100, 100000)) / 100.0);
+        db.partsupp->StrCol(p, 4)->Append(MakeComment(rng, 3, 8));
+      }
+    }
+    for (int p = 0; p < db.partsupp->num_partitions(); ++p) {
+      db.partsupp->SealPartition(p);
+    }
+  }
+
+  // --- orders + lineitem --------------------------------------------------------
+  db.orders = std::make_unique<Table>(
+      "orders",
+      Schema({{"o_orderkey", LogicalType::kInt64},
+              {"o_custkey", LogicalType::kInt64},
+              {"o_orderstatus", LogicalType::kString},
+              {"o_totalprice", LogicalType::kDouble},
+              {"o_orderdate", LogicalType::kInt32},
+              {"o_orderpriority", LogicalType::kString},
+              {"o_clerk", LogicalType::kString},
+              {"o_shippriority", LogicalType::kInt64},
+              {"o_comment", LogicalType::kString}}),
+      topo, placement);
+  db.lineitem = std::make_unique<Table>(
+      "lineitem",
+      Schema({{"l_orderkey", LogicalType::kInt64},
+              {"l_partkey", LogicalType::kInt64},
+              {"l_suppkey", LogicalType::kInt64},
+              {"l_linenumber", LogicalType::kInt64},
+              {"l_quantity", LogicalType::kDouble},
+              {"l_extendedprice", LogicalType::kDouble},
+              {"l_discount", LogicalType::kDouble},
+              {"l_tax", LogicalType::kDouble},
+              {"l_returnflag", LogicalType::kString},
+              {"l_linestatus", LogicalType::kString},
+              {"l_shipdate", LogicalType::kInt32},
+              {"l_commitdate", LogicalType::kInt32},
+              {"l_receiptdate", LogicalType::kInt32},
+              {"l_shipinstruct", LogicalType::kString},
+              {"l_shipmode", LogicalType::kString},
+              {"l_comment", LogicalType::kString}}),
+      topo, placement);
+  {
+    Rng rng(7);
+    const Date32 start_date = MakeDate(1992, 1, 1);
+    const Date32 end_date = MakeDate(1998, 8, 2);
+    const Date32 current_date = MakeDate(1995, 6, 17);
+    const int64_t s_count = num_suppliers;
+    const int64_t clerk_count = std::max<int64_t>(1, num_orders / 1000);
+    for (int64_t ok = 1; ok <= num_orders; ++ok) {
+      int p = db.orders->PartitionOfKey(Hash64(static_cast<uint64_t>(ok)));
+      // A third of customers receive no orders (spec: custkey % 3 == 0
+      // never appears) — keeps the Q13/Q22 distribution shapes.
+      int64_t ck = rng.Uniform(1, num_customers);
+      while (ck % 3 == 0) ck = rng.Uniform(1, num_customers);
+      Date32 odate =
+          static_cast<Date32>(rng.Uniform(start_date, end_date - 121));
+      int lines = static_cast<int>(rng.Uniform(1, 7));
+      double total = 0.0;
+      int open_lines = 0;
+      for (int ln = 1; ln <= lines; ++ln) {
+        int64_t pk = rng.Uniform(1, num_parts);
+        int64_t i = rng.Uniform(0, 3);
+        int64_t sk =
+            ((pk + (i * (s_count / 4 + (pk - 1) / s_count))) % s_count) + 1;
+        double qty = static_cast<double>(rng.Uniform(1, 50));
+        double price = qty * RetailPrice(pk);
+        double discount = static_cast<double>(rng.Uniform(0, 10)) / 100.0;
+        double tax = static_cast<double>(rng.Uniform(0, 8)) / 100.0;
+        Date32 sdate = odate + static_cast<Date32>(rng.Uniform(1, 121));
+        Date32 cdate = odate + static_cast<Date32>(rng.Uniform(30, 90));
+        Date32 rdate = sdate + static_cast<Date32>(rng.Uniform(1, 30));
+        const char* rflag;
+        if (rdate <= current_date) {
+          rflag = rng.Bernoulli(0.5) ? "R" : "A";
+        } else {
+          rflag = "N";
+        }
+        const char* lstatus = sdate > current_date ? "O" : "F";
+        if (lstatus[0] == 'O') ++open_lines;
+        db.lineitem->Int64Col(p, 0)->Append(ok);
+        db.lineitem->Int64Col(p, 1)->Append(pk);
+        db.lineitem->Int64Col(p, 2)->Append(sk);
+        db.lineitem->Int64Col(p, 3)->Append(ln);
+        db.lineitem->DoubleCol(p, 4)->Append(qty);
+        db.lineitem->DoubleCol(p, 5)->Append(price);
+        db.lineitem->DoubleCol(p, 6)->Append(discount);
+        db.lineitem->DoubleCol(p, 7)->Append(tax);
+        db.lineitem->StrCol(p, 8)->Append(rflag);
+        db.lineitem->StrCol(p, 9)->Append(lstatus);
+        db.lineitem->Int32Col(p, 10)->Append(sdate);
+        db.lineitem->Int32Col(p, 11)->Append(cdate);
+        db.lineitem->Int32Col(p, 12)->Append(rdate);
+        db.lineitem->StrCol(p, 13)->Append(kShipInstruct[rng.Uniform(0, 3)]);
+        db.lineitem->StrCol(p, 14)->Append(kShipModes[rng.Uniform(0, 6)]);
+        db.lineitem->StrCol(p, 15)->Append(MakeComment(rng, 2, 5));
+        total += price * (1.0 + tax) * (1.0 - discount);
+      }
+      const char* status =
+          open_lines == 0 ? "F" : (open_lines == lines ? "O" : "P");
+      db.orders->Int64Col(p, 0)->Append(ok);
+      db.orders->Int64Col(p, 1)->Append(ck);
+      db.orders->StrCol(p, 2)->Append(status);
+      db.orders->DoubleCol(p, 3)->Append(total);
+      db.orders->Int32Col(p, 4)->Append(odate);
+      db.orders->StrCol(p, 5)->Append(kPriorities[rng.Uniform(0, 4)]);
+      db.orders->StrCol(p, 6)->Append(
+          NumberedName("Clerk", rng.Uniform(1, clerk_count)));
+      db.orders->Int64Col(p, 7)->Append(0);
+      db.orders->StrCol(p, 8)->Append(MakeComment(rng, 4, 10));
+    }
+    for (int p = 0; p < db.orders->num_partitions(); ++p) {
+      db.orders->SealPartition(p);
+      db.lineitem->SealPartition(p);
+    }
+  }
+
+  return db;
+}
+
+}  // namespace morsel

@@ -1,0 +1,24 @@
+#ifndef MORSELDB_TPCH_TPCH_QUERIES_H_
+#define MORSELDB_TPCH_TPCH_QUERIES_H_
+
+#include "engine/query.h"
+#include "tpch/tpch.h"
+
+namespace morsel {
+
+inline constexpr int kNumTpchQueries = 22;
+
+// Runs TPC-H query `qnum` (1..22) against `db` on `engine` and returns
+// its result. Plans are hand-built physical plans (morselDB has no SQL
+// front end); each follows the join orders a cost-based optimizer would
+// pick for the spec's parameter defaults, probing from the largest input
+// through stacked dimension hash tables (§4.1's "team player" pattern).
+//
+// Queries with scalar subqueries (11, 15, 22) execute a small scalar
+// query first and feed the constant into the main plan, mirroring how
+// HyPer evaluates uncorrelated subqueries.
+ResultSet RunTpchQuery(Engine& engine, const TpchData& db, int qnum);
+
+}  // namespace morsel
+
+#endif  // MORSELDB_TPCH_TPCH_QUERIES_H_

@@ -1,0 +1,25 @@
+#include "volcano/volcano.h"
+
+namespace morsel {
+
+EngineOptions MakeVolcanoOptions(EngineOptions base) {
+  base.static_division = true;  // parallelism fixed at plan time
+  base.numa_aware = false;      // no placement awareness
+  base.steal = false;           // a finished thread idles at the exchange
+  base.tagging = false;         // no adaptive probe filtering
+  return base;
+}
+
+EngineOptions MakeNotNumaAwareOptions(EngineOptions base) {
+  base.numa_aware = false;
+  base.closest_first = false;
+  return base;
+}
+
+EngineOptions MakeNonAdaptiveOptions(EngineOptions base) {
+  base.static_division = true;
+  base.tagging = false;
+  return base;
+}
+
+}  // namespace morsel

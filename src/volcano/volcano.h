@@ -1,0 +1,28 @@
+#ifndef MORSELDB_VOLCANO_VOLCANO_H_
+#define MORSELDB_VOLCANO_VOLCANO_H_
+
+#include "engine/engine.h"
+
+namespace morsel {
+
+// Plan-driven ("Volcano-style") baseline executor configuration.
+//
+// The paper's §5.4 describes the exact emulation this module packages:
+// "the Volcano approach typically assigns work to threads statically. To
+// compare with this approach, we emulated it in our morsel-driven scheme
+// by splitting the work into as many chunks as there are threads, i.e.,
+// we set the morsel size to n/t". On top of the static division this
+// baseline is NUMA-oblivious (exchange operators hash-route tuples with
+// no placement awareness), performs no work stealing (parallelism is
+// baked into the plan), and lacks the engine's adaptive optimizations
+// (hash-table pointer tags) — reproducing the Vectorwise-like competitor
+// of Figures 11/12 and Table 1.
+EngineOptions MakeVolcanoOptions(EngineOptions base = {});
+
+// The Figure 11 ablation variants.
+EngineOptions MakeNotNumaAwareOptions(EngineOptions base = {});
+EngineOptions MakeNonAdaptiveOptions(EngineOptions base = {});
+
+}  // namespace morsel
+
+#endif  // MORSELDB_VOLCANO_VOLCANO_H_

@@ -1,0 +1,205 @@
+// Engine-level tests of the two-phase parallel aggregation (§4.4):
+// correctness against references, spill-heavy many-group workloads,
+// scalar aggregates, computed string keys, and stacked group-bys.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/date.h"
+#include "common/rng.h"
+#include "test_util.h"
+
+namespace morsel {
+namespace {
+
+using testutil::MakeKv;
+using testutil::SmallEngine;
+using testutil::SmallTopo;
+
+TEST(Aggregation, AllFunctionsMatchReference) {
+  std::vector<std::pair<int64_t, int64_t>> rows;
+  Rng rng(5);
+  std::map<int64_t, std::tuple<int64_t, int64_t, int64_t, int64_t>> ref;
+  for (int i = 0; i < 20000; ++i) {
+    int64_t k = rng.Uniform(0, 17);
+    int64_t v = rng.Uniform(-1000, 1000);
+    rows.push_back({k, v});
+    auto it = ref.find(k);
+    if (it == ref.end()) {
+      ref[k] = {1, v, v, v};
+    } else {
+      auto& [cnt, sum, mn, mx] = it->second;
+      cnt += 1;
+      sum += v;
+      mn = std::min(mn, v);
+      mx = std::max(mx, v);
+    }
+  }
+  auto table = MakeKv(SmallTopo(), rows);
+  auto q = SmallEngine().CreateQuery();
+  PlanBuilder pb = q->Scan(table.get(), {"k", "v"});
+  std::vector<AggItem> aggs;
+  aggs.push_back({AggFunc::kCount, nullptr, "cnt"});
+  aggs.push_back({AggFunc::kSum, pb.Col("v"), "sum"});
+  aggs.push_back({AggFunc::kMin, pb.Col("v"), "min"});
+  aggs.push_back({AggFunc::kMax, pb.Col("v"), "max"});
+  pb.GroupBy({"k"}, std::move(aggs));
+  pb.OrderBy({{"k", true}});
+  ResultSet r = q->Execute();
+  ASSERT_EQ(r.num_rows(), static_cast<int64_t>(ref.size()));
+  int64_t i = 0;
+  for (const auto& [k, expect] : ref) {
+    EXPECT_EQ(r.I64(i, 0), k);
+    EXPECT_EQ(r.I64(i, 1), std::get<0>(expect));
+    EXPECT_EQ(r.I64(i, 2), std::get<1>(expect));
+    EXPECT_EQ(r.I64(i, 3), std::get<2>(expect));
+    EXPECT_EQ(r.I64(i, 4), std::get<3>(expect));
+    ++i;
+  }
+}
+
+TEST(Aggregation, ManyGroupsForceSpills) {
+  // More groups than the 4096-entry pre-aggregation table: every local
+  // table spills repeatedly and phase 2 must merge partials correctly.
+  const int64_t n = 200000;
+  const int64_t groups = 50000;
+  std::vector<std::pair<int64_t, int64_t>> rows;
+  for (int64_t i = 0; i < n; ++i) rows.push_back({i % groups, 1});
+  auto table = MakeKv(SmallTopo(), rows);
+  auto q = SmallEngine().CreateQuery();
+  PlanBuilder pb = q->Scan(table.get(), {"k", "v"});
+  std::vector<AggItem> aggs;
+  aggs.push_back({AggFunc::kCount, nullptr, "cnt"});
+  aggs.push_back({AggFunc::kSum, pb.Col("v"), "sum"});
+  pb.GroupBy({"k"}, std::move(aggs));
+  // Verify via a second aggregation instead of materializing 50k rows:
+  // every group must have count 4 = n / groups.
+  pb.Filter(Ne(pb.Col("cnt"), ConstI64(n / groups)));
+  pb.CollectResult();
+  ResultSet wrong = q->Execute();
+  EXPECT_EQ(wrong.num_rows(), 0);
+}
+
+TEST(Aggregation, GroupCountWithSpills) {
+  const int64_t groups = 30000;
+  std::vector<std::pair<int64_t, int64_t>> rows;
+  for (int64_t g = 0; g < groups; ++g) {
+    rows.push_back({g, g});
+    rows.push_back({g, g});
+  }
+  auto table = MakeKv(SmallTopo(), rows);
+  auto q = SmallEngine().CreateQuery();
+  PlanBuilder pb = q->Scan(table.get(), {"k", "v"});
+  std::vector<AggItem> aggs;
+  aggs.push_back({AggFunc::kSum, pb.Col("v"), "sum"});
+  pb.GroupBy({"k"}, std::move(aggs));
+  // Stacked aggregation: count the groups of the first aggregation.
+  std::vector<AggItem> outer;
+  outer.push_back({AggFunc::kCount, nullptr, "cnt"});
+  pb.GroupBy({}, std::move(outer));
+  pb.CollectResult();
+  EXPECT_EQ(q->Execute().I64(0, 0), groups);
+}
+
+TEST(Aggregation, ScalarOverEmptyInputYieldsZeroRow) {
+  auto table = MakeKv(SmallTopo(), {{1, 1}});
+  auto q = SmallEngine().CreateQuery();
+  PlanBuilder pb = q->Scan(table.get(), {"k", "v"});
+  pb.Filter(Gt(pb.Col("k"), ConstI64(100)));  // filters everything
+  std::vector<AggItem> aggs;
+  aggs.push_back({AggFunc::kCount, nullptr, "cnt"});
+  aggs.push_back({AggFunc::kSum, pb.Col("v"), "sum"});
+  pb.GroupBy({}, std::move(aggs));
+  pb.CollectResult();
+  ResultSet r = q->Execute();
+  ASSERT_EQ(r.num_rows(), 1);  // SQL scalar-aggregate semantics
+  EXPECT_EQ(r.I64(0, 0), 0);
+  EXPECT_EQ(r.I64(0, 1), 0);
+}
+
+TEST(Aggregation, GroupedOverEmptyInputYieldsNothing) {
+  auto table = MakeKv(SmallTopo(), {{1, 1}});
+  auto q = SmallEngine().CreateQuery();
+  PlanBuilder pb = q->Scan(table.get(), {"k", "v"});
+  pb.Filter(Gt(pb.Col("k"), ConstI64(100)));
+  std::vector<AggItem> aggs;
+  aggs.push_back({AggFunc::kCount, nullptr, "cnt"});
+  pb.GroupBy({"k"}, std::move(aggs));
+  pb.CollectResult();
+  EXPECT_EQ(q->Execute().num_rows(), 0);
+}
+
+TEST(Aggregation, DoubleSums) {
+  Schema schema({{"g", LogicalType::kInt64}, {"x", LogicalType::kDouble}});
+  Table t("t", schema, SmallTopo());
+  double expect[3] = {0, 0, 0};
+  for (int64_t i = 0; i < 30000; ++i) {
+    int p = static_cast<int>(i % t.num_partitions());
+    int64_t g = i % 3;
+    double x = static_cast<double>(i) * 0.25;
+    t.Int64Col(p, 0)->Append(g);
+    t.DoubleCol(p, 1)->Append(x);
+    expect[g] += x;
+  }
+  for (int p = 0; p < t.num_partitions(); ++p) t.SealPartition(p);
+  auto q = SmallEngine().CreateQuery();
+  PlanBuilder pb = q->Scan(&t, {"g", "x"});
+  std::vector<AggItem> aggs;
+  aggs.push_back({AggFunc::kSum, pb.Col("x"), "sum"});
+  pb.GroupBy({"g"}, std::move(aggs));
+  pb.OrderBy({{"g", true}});
+  ResultSet r = q->Execute();
+  ASSERT_EQ(r.num_rows(), 3);
+  for (int64_t g = 0; g < 3; ++g) {
+    EXPECT_NEAR(r.F64(g, 1), expect[g], 1e-6 * expect[g]);
+  }
+}
+
+TEST(Aggregation, ComputedStringGroupKeys) {
+  // Group by substr(): the key string lives in the reset-per-morsel
+  // arena, so phase 1 must intern it (regression test).
+  Schema schema({{"s", LogicalType::kString}});
+  Table t("t", schema, SmallTopo());
+  for (int64_t i = 0; i < 8000; ++i) {
+    int p = static_cast<int>(i % t.num_partitions());
+    t.StrCol(p, 0)->Append((i % 2 ? "xx-" : "yy-") + std::to_string(i));
+  }
+  for (int p = 0; p < t.num_partitions(); ++p) t.SealPartition(p);
+  auto q = SmallEngine().CreateQuery();
+  PlanBuilder pb = q->Scan(&t, {"s"});
+  pb.Project(NE("prefix", Substr(pb.Col("s"), 1, 2)));
+  std::vector<AggItem> aggs;
+  aggs.push_back({AggFunc::kCount, nullptr, "cnt"});
+  pb.GroupBy({"prefix"}, std::move(aggs));
+  pb.OrderBy({{"prefix", true}});
+  ResultSet r = q->Execute();
+  ASSERT_EQ(r.num_rows(), 2);
+  EXPECT_EQ(r.Str(0, 0), "xx");
+  EXPECT_EQ(r.I64(0, 1), 4000);
+  EXPECT_EQ(r.Str(1, 0), "yy");
+  EXPECT_EQ(r.I64(1, 1), 4000);
+}
+
+TEST(Aggregation, MinMaxOnDates) {
+  Schema schema({{"d", LogicalType::kInt32}});
+  Table t("t", schema, SmallTopo());
+  for (int64_t i = 0; i < 5000; ++i) {
+    int p = static_cast<int>(i % t.num_partitions());
+    t.Int32Col(p, 0)->Append(MakeDate(1992, 1, 1) + static_cast<int>(i));
+  }
+  for (int p = 0; p < t.num_partitions(); ++p) t.SealPartition(p);
+  auto q = SmallEngine().CreateQuery();
+  PlanBuilder pb = q->Scan(&t, {"d"});
+  std::vector<AggItem> aggs;
+  aggs.push_back({AggFunc::kMin, pb.Col("d"), "min_d"});
+  aggs.push_back({AggFunc::kMax, pb.Col("d"), "max_d"});
+  pb.GroupBy({}, std::move(aggs));
+  pb.CollectResult();
+  ResultSet r = q->Execute();
+  EXPECT_EQ(r.I32(0, 0), MakeDate(1992, 1, 1));
+  EXPECT_EQ(r.I32(0, 1), MakeDate(1992, 1, 1) + 4999);
+}
+
+}  // namespace
+}  // namespace morsel

@@ -1,0 +1,177 @@
+// Unit tests for src/common: hashing, RNG, dates, string utilities.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "common/date.h"
+#include "common/hash.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+
+namespace morsel {
+namespace {
+
+TEST(Hash, DeterministicAndMixing) {
+  EXPECT_EQ(Hash64(42), Hash64(42));
+  EXPECT_NE(Hash64(42), Hash64(43));
+  // Sequential keys must not collide in the high bits (the hash table
+  // derives slots from them).
+  std::set<uint64_t> high_bits;
+  for (uint64_t i = 0; i < 1000; ++i) {
+    high_bits.insert(Hash64(i) >> 48);
+  }
+  EXPECT_GT(high_bits.size(), 900u);
+}
+
+TEST(Hash, BytesMatchesContent) {
+  EXPECT_EQ(HashBytes("hello", 5), HashBytes("hello", 5));
+  EXPECT_NE(HashBytes("hello", 5), HashBytes("hellp", 5));
+  EXPECT_NE(HashBytes("hello", 5), HashBytes("hello", 4));
+  EXPECT_EQ(HashString("abc"), HashBytes("abc", 3));
+  // Longer-than-8-byte strings exercise the block loop.
+  EXPECT_NE(HashString("abcdefghijklmnop"), HashString("abcdefghijklmnoq"));
+}
+
+TEST(Hash, CombineOrderDependent) {
+  EXPECT_NE(HashCombine(Hash64(1), Hash64(2)),
+            HashCombine(Hash64(2), Hash64(1)));
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Rng, UniformBounds) {
+  Rng rng(7);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 10000; ++i) {
+    int64_t v = rng.Uniform(3, 9);
+    ASSERT_GE(v, 3);
+    ASSERT_LE(v, 9);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit
+}
+
+TEST(Rng, BernoulliRate) {
+  Rng rng(11);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(hits / 100000.0, 0.3, 0.02);
+}
+
+TEST(Date, KnownValues) {
+  EXPECT_EQ(MakeDate(1970, 1, 1), 0);
+  EXPECT_EQ(MakeDate(1970, 1, 2), 1);
+  EXPECT_EQ(MakeDate(1969, 12, 31), -1);
+  EXPECT_EQ(MakeDate(2000, 3, 1) - MakeDate(2000, 2, 28), 2);  // leap year
+  EXPECT_EQ(MakeDate(1900, 3, 1) - MakeDate(1900, 2, 28), 1);  // not leap
+}
+
+// Round-trip civil <-> days across the TPC-H date range.
+class DateRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(DateRoundTrip, CivilRoundTrip) {
+  int year = GetParam();
+  for (int month = 1; month <= 12; ++month) {
+    for (int day : {1, 15, 28}) {
+      Date32 d = MakeDate(year, month, day);
+      int y, m, dd;
+      DateToCivil(d, &y, &m, &dd);
+      EXPECT_EQ(y, year);
+      EXPECT_EQ(m, month);
+      EXPECT_EQ(dd, day);
+      EXPECT_EQ(DateYear(d), year);
+      EXPECT_EQ(DateMonth(d), month);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Years, DateRoundTrip,
+                         ::testing::Values(1970, 1992, 1996, 1998, 2000,
+                                           2024, 2100));
+
+TEST(Date, SequentialDaysRoundTrip) {
+  // Every single day of 1992-1998 (the TPC-H range) converts cleanly.
+  Date32 start = MakeDate(1992, 1, 1);
+  Date32 end = MakeDate(1998, 12, 31);
+  int prev_y = 0, prev_m = 0, prev_d = 0;
+  for (Date32 d = start; d <= end; ++d) {
+    int y, m, dd;
+    DateToCivil(d, &y, &m, &dd);
+    EXPECT_EQ(MakeDate(y, m, dd), d);
+    if (d > start) {
+      // Dates advance monotonically.
+      EXPECT_TRUE(y > prev_y || (y == prev_y && m > prev_m) ||
+                  (y == prev_y && m == prev_m && dd == prev_d + 1));
+    }
+    prev_y = y;
+    prev_m = m;
+    prev_d = dd;
+  }
+}
+
+TEST(Date, AddMonthsClampsDay) {
+  EXPECT_EQ(DateAddMonths(MakeDate(1995, 1, 31), 1), MakeDate(1995, 2, 28));
+  EXPECT_EQ(DateAddMonths(MakeDate(1996, 1, 31), 1), MakeDate(1996, 2, 29));
+  EXPECT_EQ(DateAddMonths(MakeDate(1995, 3, 15), -3),
+            MakeDate(1994, 12, 15));
+  EXPECT_EQ(DateAddYears(MakeDate(1996, 2, 29), 1), MakeDate(1997, 2, 28));
+}
+
+TEST(Date, ParseFormat) {
+  Date32 d;
+  ASSERT_TRUE(ParseDate("1998-09-02", &d));
+  EXPECT_EQ(d, MakeDate(1998, 9, 2));
+  EXPECT_EQ(FormatDate(d), "1998-09-02");
+  EXPECT_FALSE(ParseDate("1998-13-02", &d));
+  EXPECT_FALSE(ParseDate("1998-02-30", &d));
+  EXPECT_FALSE(ParseDate("98-02-03", &d));
+  EXPECT_FALSE(ParseDate("1998/02/03", &d));
+  EXPECT_TRUE(ParseDate("1996-02-29", &d));   // leap
+  EXPECT_FALSE(ParseDate("1997-02-29", &d));  // not leap
+}
+
+TEST(StringUtil, LikeBasics) {
+  EXPECT_TRUE(LikeMatch("hello", "hello"));
+  EXPECT_FALSE(LikeMatch("hello", "hell"));
+  EXPECT_TRUE(LikeMatch("hello", "h%"));
+  EXPECT_TRUE(LikeMatch("hello", "%o"));
+  EXPECT_TRUE(LikeMatch("hello", "%ell%"));
+  EXPECT_TRUE(LikeMatch("hello", "h_llo"));
+  EXPECT_FALSE(LikeMatch("hello", "h_llp"));
+  EXPECT_TRUE(LikeMatch("", "%"));
+  EXPECT_FALSE(LikeMatch("", "_"));
+  EXPECT_TRUE(LikeMatch("abc", "%%%"));
+}
+
+TEST(StringUtil, LikeTpchPatterns) {
+  EXPECT_TRUE(LikeMatch("PROMO ANODIZED TIN", "PROMO%"));
+  EXPECT_FALSE(LikeMatch("LARGE ANODIZED TIN", "PROMO%"));
+  EXPECT_TRUE(LikeMatch("STANDARD POLISHED BRASS", "%BRASS"));
+  EXPECT_TRUE(
+      LikeMatch("the special packages wake requests", "%special%requests%"));
+  EXPECT_FALSE(
+      LikeMatch("the requests wake special packages", "%special%requests%"));
+  EXPECT_TRUE(LikeMatch("MEDIUM POLISHED TIN", "MEDIUM POLISHED%"));
+  // Backtracking case: multiple candidate positions for the middle part.
+  EXPECT_TRUE(LikeMatch("aXbXcXrequests", "%X%requests"));
+}
+
+TEST(StringUtil, SplitAndAffixes) {
+  auto parts = Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+  EXPECT_TRUE(StartsWith("morseldb", "morsel"));
+  EXPECT_FALSE(StartsWith("morsel", "morseldb"));
+  EXPECT_TRUE(EndsWith("morseldb", "db"));
+  EXPECT_FALSE(EndsWith("db", "morseldb"));
+}
+
+}  // namespace
+}  // namespace morsel

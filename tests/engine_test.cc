@@ -1,0 +1,265 @@
+// Engine-level behaviour tests: variant options, concurrent query stress,
+// cancellation robustness (failure injection at random points), memory
+// hygiene across queries, scheduling statistics.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "common/rng.h"
+#include "numa/allocator.h"
+#include "test_util.h"
+#include "volcano/volcano.h"
+
+namespace morsel {
+namespace {
+
+using testutil::MakeKv;
+using testutil::SmallTopo;
+
+std::unique_ptr<Table> BigTable(int64_t n) {
+  std::vector<std::pair<int64_t, int64_t>> rows;
+  for (int64_t i = 0; i < n; ++i) rows.push_back({i % 501, i});
+  return MakeKv(SmallTopo(), rows);
+}
+
+ResultSet RunGroupQuery(Engine& engine, const Table* t) {
+  auto q = engine.CreateQuery();
+  PlanBuilder pb = q->Scan(const_cast<Table*>(t), {"k", "v"});
+  std::vector<AggItem> aggs;
+  aggs.push_back({AggFunc::kCount, nullptr, "cnt"});
+  pb.GroupBy({"k"}, std::move(aggs));
+  pb.OrderBy({{"k", true}});
+  return q->Execute();
+}
+
+TEST(EngineVariants, OptionFactories) {
+  EngineOptions v = MakeVolcanoOptions();
+  EXPECT_TRUE(v.static_division);
+  EXPECT_FALSE(v.numa_aware);
+  EXPECT_FALSE(v.steal);
+  EXPECT_FALSE(v.tagging);
+  EngineOptions n = MakeNotNumaAwareOptions();
+  EXPECT_FALSE(n.numa_aware);
+  EXPECT_TRUE(n.steal);
+  EngineOptions a = MakeNonAdaptiveOptions();
+  EXPECT_TRUE(a.static_division);
+  EXPECT_FALSE(a.tagging);
+  EXPECT_TRUE(a.numa_aware);
+}
+
+TEST(EngineVariants, NoStealMeansNoStolenMorsels) {
+  EngineOptions opts;
+  opts.steal = false;
+  opts.morsel_size = 500;
+  Engine engine(SmallTopo(), opts);
+  auto table = BigTable(50000);
+  RunGroupQuery(engine, table.get());
+  EXPECT_EQ(engine.pool()->TotalMorselsStolen(), 0u);
+}
+
+TEST(EngineVariants, StaticDivisionLimitsScanMorselCount) {
+  EngineOptions opts = MakeVolcanoOptions();
+  opts.num_workers = 4;
+  Engine engine(SmallTopo(), opts);
+  auto table = BigTable(100000);
+  engine.pool()->ResetStats();
+  // Plain scan-aggregate: with morsel size n/t the scan pipeline hands
+  // out at most (#ranges bounded) + workers morsels; far below the
+  // dynamic engine's n / 100k default count at this size.
+  auto q = engine.CreateQuery();
+  PlanBuilder pb = q->Scan(table.get(), {"k", "v"});
+  std::vector<AggItem> aggs;
+  aggs.push_back({AggFunc::kSum, pb.Col("v"), "s"});
+  pb.GroupBy({}, std::move(aggs));
+  pb.CollectResult();
+  q->Execute();
+  // agg phase 2 adds 64 partition-morsels; the scan contributes <= ~8.
+  EXPECT_LE(engine.pool()->TotalMorselsRun(), 64u + 16u);
+}
+
+TEST(EngineStress, ManySequentialQueriesNoLeaks) {
+  Engine engine(SmallTopo(), EngineOptions{});
+  auto table = BigTable(20000);
+  RunGroupQuery(engine, table.get());  // warm up allocators/arenas
+  size_t baseline = NumaAllocatedBytes();
+  for (int i = 0; i < 50; ++i) {
+    ResultSet r = RunGroupQuery(engine, table.get());
+    ASSERT_EQ(r.num_rows(), 501);
+  }
+  // Query state (hash tables, spill buffers, runs) must be freed when
+  // each Query object dies; arenas inside worker contexts are per-job
+  // and die with them too.
+  EXPECT_LE(NumaAllocatedBytes(), baseline + (1u << 20));
+}
+
+TEST(EngineStress, ConcurrentQueryThreads) {
+  EngineOptions opts;
+  opts.morsel_size = 1000;
+  Engine engine(SmallTopo(), opts);
+  auto table = BigTable(100000);
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 6; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 5; ++i) {
+        ResultSet r = RunGroupQuery(engine, table.get());
+        if (r.num_rows() != 501) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+// Failure injection: cancel a query after a random delay, at any point in
+// its lifecycle, repeatedly. The engine must stay usable and the final
+// sanity query must succeed.
+class CancellationFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(CancellationFuzz, CancelAtRandomPoints) {
+  EngineOptions opts;
+  opts.morsel_size = 256;
+  Engine engine(SmallTopo(), opts);
+  auto table = BigTable(200000);
+  Rng rng(GetParam());
+  for (int round = 0; round < 8; ++round) {
+    auto q = engine.CreateQuery();
+    PlanBuilder build = q->Scan(table.get(), {"k", "v"});
+    build.Project(NE("bk", build.Col("k")), NE("bv", build.Col("v")));
+    PlanBuilder pb = q->Scan(table.get(), {"k", "v"});
+    pb.HashJoin(std::move(build), {"k"}, {"bk"}, {"bv"}, JoinKind::kInner);
+    std::vector<AggItem> aggs;
+    aggs.push_back({AggFunc::kCount, nullptr, "cnt"});
+    pb.GroupBy({"k"}, std::move(aggs));
+    pb.CollectResult();
+    q->Start();
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(rng.Uniform(0, 20000)));
+    q->Cancel();
+    q->Wait();
+    // Either it finished before the cancel or reports cancellation.
+    std::string err = q->context()->error();
+    EXPECT_TRUE(err.empty() || err == "query cancelled") << err;
+  }
+  // Engine still healthy afterwards.
+  ResultSet r = RunGroupQuery(engine, table.get());
+  EXPECT_EQ(r.num_rows(), 501);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CancellationFuzz,
+                         ::testing::Values(1, 2, 3, 4));
+
+TEST(EngineStress, DestructorCancelsRunningQuery) {
+  EngineOptions opts;
+  opts.morsel_size = 256;
+  Engine engine(SmallTopo(), opts);
+  auto table = BigTable(300000);
+  {
+    auto q = engine.CreateQuery();
+    PlanBuilder pb = q->Scan(table.get(), {"k", "v"});
+    std::vector<AggItem> aggs;
+    aggs.push_back({AggFunc::kCount, nullptr, "cnt"});
+    pb.GroupBy({"k"}, std::move(aggs));
+    pb.CollectResult();
+    q->Start();
+    // Query handle destroyed while running: must cancel + drain safely.
+  }
+  ResultSet r = RunGroupQuery(engine, table.get());
+  EXPECT_EQ(r.num_rows(), 501);
+}
+
+TEST(EnginePlan, ExplainShowsPipelineDag) {
+  Engine engine(SmallTopo(), EngineOptions{});
+  auto fact = BigTable(100);
+  auto dim = BigTable(10);
+  auto q = engine.CreateQuery();
+  PlanBuilder build = q->Scan(dim.get(), {"k", "v"});
+  build.Project(NE("bk", build.Col("k")), NE("bv", build.Col("v")));
+  PlanBuilder pb = q->Scan(fact.get(), {"k", "v"});
+  pb.HashJoin(std::move(build), {"k"}, {"bk"}, {"bv"}, JoinKind::kInner);
+  std::vector<AggItem> aggs;
+  aggs.push_back({AggFunc::kCount, nullptr, "cnt"});
+  pb.GroupBy({"k"}, std::move(aggs));
+  pb.OrderBy({{"k", true}});
+  std::string plan = q->ExplainPlan();
+  // build -> insert -> probe/agg-phase1 -> agg source pipeline ->
+  // sort jobs; dependencies must appear.
+  EXPECT_NE(plan.find("join-build"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("join-insert"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("agg-phase1"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("<- P0"), std::string::npos) << plan;
+  ResultSet r = q->Execute();  // and the plan actually runs
+  EXPECT_EQ(r.num_rows(), 10);
+}
+
+TEST(EngineElasticity, PriorityChangeMidFlight) {
+  EngineOptions opts;
+  opts.morsel_size = 256;
+  Engine engine(SmallTopo(), opts);
+  auto table = BigTable(200000);
+  auto q = engine.CreateQuery(/*priority=*/0.5);
+  PlanBuilder pb = q->Scan(table.get(), {"k", "v"});
+  std::vector<AggItem> aggs;
+  aggs.push_back({AggFunc::kCount, nullptr, "cnt"});
+  pb.GroupBy({"k"}, std::move(aggs));
+  pb.CollectResult();
+  q->Start();
+  q->context()->set_priority(10.0);  // boost at a morsel boundary
+  q->Wait();
+  EXPECT_EQ(q->TakeResult().num_rows(), 501);
+}
+
+TEST(EngineStats, TraceAndBusyAccounting) {
+  EngineOptions opts;
+  opts.record_trace = true;
+  opts.morsel_size = 1000;
+  Engine engine(SmallTopo(), opts);
+  auto table = BigTable(50000);
+  RunGroupQuery(engine, table.get());
+  ASSERT_NE(engine.trace(), nullptr);
+  EXPECT_GT(engine.trace()->Sorted().size(), 0u);
+  EXPECT_GT(engine.pool()->TotalBusyMicros(), 0);
+  EXPECT_GE(engine.pool()->MaxBusyMicros(), engine.pool()->MinBusyMicros());
+  engine.pool()->ResetStats();
+  EXPECT_EQ(engine.pool()->TotalMorselsRun(), 0u);
+}
+
+TEST(EngineElasticity, PriorityQueryGetsShare) {
+  EngineOptions opts;
+  opts.morsel_size = 200;
+  opts.num_workers = 4;
+  Engine engine(SmallTopo(), opts);
+  auto table = BigTable(400000);
+  // Low-priority long query running...
+  auto lo = engine.CreateQuery(/*priority=*/1.0);
+  {
+    PlanBuilder pb = lo->Scan(table.get(), {"k", "v"});
+    std::vector<AggItem> aggs;
+    aggs.push_back({AggFunc::kCount, nullptr, "cnt"});
+    pb.GroupBy({"k"}, std::move(aggs));
+    pb.CollectResult();
+  }
+  lo->Start();
+  // ...a high-priority query cuts through and finishes while the long
+  // one is still in flight (not guaranteed on a loaded host, so only
+  // assert it completes and the engine stays consistent).
+  auto hi = engine.CreateQuery(/*priority=*/8.0);
+  {
+    PlanBuilder pb = hi->Scan(table.get(), {"k", "v"});
+    std::vector<AggItem> aggs;
+    aggs.push_back({AggFunc::kSum, pb.Col("v"), "s"});
+    pb.GroupBy({}, std::move(aggs));
+    pb.CollectResult();
+  }
+  ResultSet hr = hi->Execute();
+  EXPECT_EQ(hr.num_rows(), 1);
+  lo->Wait();
+  ResultSet lr = lo->TakeResult();
+  EXPECT_EQ(lr.num_rows(), 501);
+}
+
+}  // namespace
+}  // namespace morsel

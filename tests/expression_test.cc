@@ -1,0 +1,189 @@
+// Unit tests for the vectorized expression evaluator.
+
+#include <gtest/gtest.h>
+
+#include "common/date.h"
+#include "core/worker_context.h"
+#include "exec/expression.h"
+
+namespace morsel {
+namespace {
+
+class ExpressionTest : public ::testing::Test {
+ protected:
+  ExpressionTest() {
+    topo_ = std::make_unique<Topology>(1, 1,
+                                       InterconnectKind::kFullyConnected);
+    wctx_.topo = topo_.get();
+    wctx_.traffic = stats_.worker(0);
+    ctx_.worker = &wctx_;
+  }
+
+  // Builds a 4-row chunk: i64 [1,2,3,4], f64 [1.5,2.5,-1,0],
+  // str ["a","bc","","promo box"], date32 [1994-01-01 .. +3 rows]
+  Chunk MakeChunk() {
+    static const int64_t i64s[4] = {1, 2, 3, 4};
+    static const double f64s[4] = {1.5, 2.5, -1.0, 0.0};
+    static const std::string_view strs[4] = {"a", "bc", "",
+                                             "promo box"};
+    static int32_t dates[4];
+    for (int i = 0; i < 4; ++i) dates[i] = MakeDate(1994, 1, 1) + i * 400;
+    Chunk c;
+    c.n = 4;
+    c.cols = {Vector{LogicalType::kInt64, i64s},
+              Vector{LogicalType::kDouble, f64s},
+              Vector{LogicalType::kString, strs},
+              Vector{LogicalType::kInt32, dates}};
+    return c;
+  }
+
+  Vector Eval(const ExprPtr& e) {
+    Chunk c = MakeChunk();
+    Vector out;
+    e->Eval(c, ctx_, &out);
+    return out;
+  }
+
+  std::unique_ptr<Topology> topo_;
+  MemStatsRegistry stats_{1};
+  WorkerContext wctx_;
+  ExecContext ctx_;
+};
+
+TEST_F(ExpressionTest, ColRefForwardsZeroCopy) {
+  Chunk c = MakeChunk();
+  ExprPtr e = ColRef(0, LogicalType::kInt64);
+  Vector out;
+  e->Eval(c, ctx_, &out);
+  EXPECT_EQ(out.data, c.cols[0].data);  // no copy
+}
+
+TEST_F(ExpressionTest, Constants) {
+  Vector i = Eval(ConstI64(7));
+  for (int r = 0; r < 4; ++r) EXPECT_EQ(i.i64()[r], 7);
+  Vector d = Eval(ConstF64(2.5));
+  for (int r = 0; r < 4; ++r) EXPECT_EQ(d.f64()[r], 2.5);
+  Vector s = Eval(ConstStr("xyz"));
+  for (int r = 0; r < 4; ++r) EXPECT_EQ(s.str()[r], "xyz");
+  Vector dt = Eval(ConstDate("1996-02-29"));
+  for (int r = 0; r < 4; ++r) EXPECT_EQ(dt.i32()[r], MakeDate(1996, 2, 29));
+}
+
+TEST_F(ExpressionTest, ArithmeticPromotion) {
+  // int64 + int64 stays integral
+  Vector v = Eval(Add(ColRef(0, LogicalType::kInt64), ConstI64(10)));
+  EXPECT_EQ(v.type, LogicalType::kInt64);
+  EXPECT_EQ(v.i64()[3], 14);
+  // int64 * double promotes
+  Vector w = Eval(Mul(ColRef(0, LogicalType::kInt64),
+                      ColRef(1, LogicalType::kDouble)));
+  EXPECT_EQ(w.type, LogicalType::kDouble);
+  EXPECT_DOUBLE_EQ(w.f64()[1], 5.0);
+  // division by zero integer yields 0 (documented engine behaviour)
+  Vector z = Eval(Div(ConstI64(5), ConstI64(0)));
+  EXPECT_EQ(z.i64()[0], 0);
+  // int32 (dates) participate as integers
+  Vector d = Eval(Sub(ColRef(3, LogicalType::kInt32), ConstI32(1)));
+  EXPECT_EQ(d.type, LogicalType::kInt64);
+  EXPECT_EQ(d.i64()[0], MakeDate(1994, 1, 1) - 1);
+}
+
+TEST_F(ExpressionTest, Comparisons) {
+  Vector v = Eval(Le(ColRef(0, LogicalType::kInt64), ConstI64(2)));
+  EXPECT_EQ(v.type, LogicalType::kInt32);
+  EXPECT_EQ(v.i32()[0], 1);
+  EXPECT_EQ(v.i32()[1], 1);
+  EXPECT_EQ(v.i32()[2], 0);
+  // mixed int/double comparison
+  Vector w = Eval(Gt(ColRef(1, LogicalType::kDouble), ConstI64(1)));
+  EXPECT_EQ(w.i32()[0], 1);
+  EXPECT_EQ(w.i32()[2], 0);
+  // string comparison is lexicographic
+  Vector s = Eval(Lt(ColRef(2, LogicalType::kString), ConstStr("b")));
+  EXPECT_EQ(s.i32()[0], 1);  // "a" < "b"
+  EXPECT_EQ(s.i32()[1], 0);  // "bc" > "b"
+  EXPECT_EQ(s.i32()[2], 1);  // "" < "b"
+  Vector eq = Eval(Eq(ColRef(2, LogicalType::kString), ConstStr("bc")));
+  EXPECT_EQ(eq.i32()[1], 1);
+  EXPECT_EQ(eq.i32()[0], 0);
+}
+
+TEST_F(ExpressionTest, LogicAndNot) {
+  ExprPtr both = And(Ge(ColRef(0, LogicalType::kInt64), ConstI64(2)),
+                     Le(ColRef(0, LogicalType::kInt64), ConstI64(3)));
+  Vector v = Eval(std::move(both));
+  EXPECT_EQ(v.i32()[0], 0);
+  EXPECT_EQ(v.i32()[1], 1);
+  EXPECT_EQ(v.i32()[2], 1);
+  EXPECT_EQ(v.i32()[3], 0);
+
+  Vector o = Eval(Or(Eq(ColRef(0, LogicalType::kInt64), ConstI64(1)),
+                     Eq(ColRef(0, LogicalType::kInt64), ConstI64(4)),
+                     Eq(ColRef(0, LogicalType::kInt64), ConstI64(9))));
+  EXPECT_EQ(o.i32()[0], 1);
+  EXPECT_EQ(o.i32()[1], 0);
+  EXPECT_EQ(o.i32()[3], 1);
+
+  Vector n = Eval(Not(Eq(ColRef(0, LogicalType::kInt64), ConstI64(1))));
+  EXPECT_EQ(n.i32()[0], 0);
+  EXPECT_EQ(n.i32()[1], 1);
+}
+
+TEST_F(ExpressionTest, BetweenInclusive) {
+  Vector v = Eval(
+      Between(ColRef(0, LogicalType::kInt64), ConstI64(2), ConstI64(3)));
+  EXPECT_EQ(v.i32()[0], 0);
+  EXPECT_EQ(v.i32()[1], 1);
+  EXPECT_EQ(v.i32()[2], 1);
+  EXPECT_EQ(v.i32()[3], 0);
+}
+
+TEST_F(ExpressionTest, LikeAndIn) {
+  Vector v = Eval(Like(ColRef(2, LogicalType::kString), "promo%"));
+  EXPECT_EQ(v.i32()[3], 1);
+  EXPECT_EQ(v.i32()[0], 0);
+  Vector nv = Eval(NotLike(ColRef(2, LogicalType::kString), "promo%"));
+  EXPECT_EQ(nv.i32()[3], 0);
+  EXPECT_EQ(nv.i32()[0], 1);
+  Vector in = Eval(InStr(ColRef(2, LogicalType::kString), {"a", "bc"}));
+  EXPECT_EQ(in.i32()[0], 1);
+  EXPECT_EQ(in.i32()[1], 1);
+  EXPECT_EQ(in.i32()[2], 0);
+  Vector ii = Eval(InI64(ColRef(0, LogicalType::kInt64), {2, 4, 100}));
+  EXPECT_EQ(ii.i32()[1], 1);
+  EXPECT_EQ(ii.i32()[2], 0);
+}
+
+TEST_F(ExpressionTest, SubstrOneBased) {
+  Vector v = Eval(Substr(ColRef(2, LogicalType::kString), 1, 2));
+  EXPECT_EQ(v.str()[1], "bc");
+  EXPECT_EQ(v.str()[3], "pr");
+  EXPECT_EQ(v.str()[0], "a");   // shorter than requested length
+  EXPECT_EQ(v.str()[2], "");    // start past end
+  Vector w = Eval(Substr(ColRef(2, LogicalType::kString), 7, 3));
+  EXPECT_EQ(w.str()[3], "box");
+}
+
+TEST_F(ExpressionTest, CaseWhen) {
+  Vector v = Eval(CaseWhen(Ge(ColRef(0, LogicalType::kInt64), ConstI64(3)),
+                           ConstF64(1.0), ConstF64(0.0)));
+  EXPECT_EQ(v.f64()[0], 0.0);
+  EXPECT_EQ(v.f64()[2], 1.0);
+  Vector s = Eval(CaseWhen(Eq(ColRef(2, LogicalType::kString),
+                              ConstStr("a")),
+                           ConstStr("yes"), ConstStr("no")));
+  EXPECT_EQ(s.str()[0], "yes");
+  EXPECT_EQ(s.str()[1], "no");
+}
+
+TEST_F(ExpressionTest, ExtractYearAndCast) {
+  Vector y = Eval(ExtractYear(ColRef(3, LogicalType::kInt32)));
+  EXPECT_EQ(y.i32()[0], 1994);
+  EXPECT_EQ(y.i32()[1], 1995);  // +400 days
+  Vector f = Eval(ToF64(ColRef(0, LogicalType::kInt64)));
+  EXPECT_EQ(f.type, LogicalType::kDouble);
+  EXPECT_DOUBLE_EQ(f.f64()[3], 4.0);
+}
+
+}  // namespace
+}  // namespace morsel

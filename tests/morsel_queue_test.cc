@@ -1,0 +1,190 @@
+// Unit tests for the lock-free work-stealing morsel queue (§3.2/§3.3).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "core/morsel_queue.h"
+#include "numa/topology.h"
+
+namespace morsel {
+namespace {
+
+MorselQueue::Options Opts(uint64_t morsel_size) {
+  MorselQueue::Options o;
+  o.morsel_size = morsel_size;
+  return o;
+}
+
+TEST(MorselQueue, ExactCoverageSingleThread) {
+  Topology topo(2, 1, InterconnectKind::kFullyConnected);
+  std::vector<MorselRange> ranges = {{0, 0, 1050, 0}, {1, 100, 400, 1}};
+  MorselQueue q(topo, ranges, Opts(100));
+  EXPECT_EQ(q.total_rows(), 1050u + 300u);
+
+  uint64_t covered = 0;
+  Morsel m;
+  std::set<std::pair<int, uint64_t>> seen;  // (partition, begin)
+  while (q.Next(0, &m)) {
+    EXPECT_LE(m.size(), 100u);
+    covered += m.size();
+    EXPECT_TRUE(seen.insert({m.partition, m.begin}).second);
+  }
+  EXPECT_EQ(covered, q.total_rows());
+  EXPECT_TRUE(q.Exhausted());
+  EXPECT_FALSE(q.Next(1, &m));
+}
+
+TEST(MorselQueue, LocalPreference) {
+  Topology topo(2, 1, InterconnectKind::kFullyConnected);
+  std::vector<MorselRange> ranges = {{0, 0, 500, 0}, {1, 0, 500, 1}};
+  MorselQueue q(topo, ranges, Opts(100));
+  Morsel m;
+  // A socket-1 worker drains socket 1 before touching socket 0.
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(q.Next(1, &m));
+    EXPECT_EQ(m.socket, 1);
+    EXPECT_FALSE(m.stolen);
+  }
+  ASSERT_TRUE(q.Next(1, &m));
+  EXPECT_EQ(m.socket, 0);
+  EXPECT_TRUE(m.stolen);
+  EXPECT_EQ(q.stolen_count(), 1u);
+}
+
+TEST(MorselQueue, NoStealWhenDisabled) {
+  Topology topo(2, 1, InterconnectKind::kFullyConnected);
+  std::vector<MorselRange> ranges = {{0, 0, 100, 0}};
+  MorselQueue::Options o = Opts(50);
+  o.steal = false;
+  MorselQueue q(topo, ranges, o);
+  Morsel m;
+  EXPECT_FALSE(q.Next(1, &m));  // worker on socket 1 finds nothing
+  EXPECT_TRUE(q.Next(0, &m));
+  EXPECT_FALSE(q.Exhausted());
+}
+
+TEST(MorselQueue, ClosestFirstOnRing) {
+  Topology topo(4, 1, InterconnectKind::kRing);
+  // Only sockets 1 (1 hop from 0) and 2 (2 hops from 0) hold data.
+  std::vector<MorselRange> ranges = {{1, 0, 100, 1}, {2, 0, 100, 2}};
+  MorselQueue q(topo, ranges, Opts(100));
+  Morsel m;
+  ASSERT_TRUE(q.Next(0, &m));
+  EXPECT_EQ(m.socket, 1);  // one-hop neighbour preferred over diagonal
+  ASSERT_TRUE(q.Next(0, &m));
+  EXPECT_EQ(m.socket, 2);
+}
+
+TEST(MorselQueue, NumaObliviousVisitsEverything) {
+  Topology topo(4, 1, InterconnectKind::kFullyConnected);
+  std::vector<MorselRange> ranges;
+  for (int s = 0; s < 4; ++s) {
+    ranges.push_back(MorselRange{s, 0, 300, s});
+  }
+  MorselQueue::Options o = Opts(100);
+  o.numa_aware = false;
+  MorselQueue q(topo, ranges, o);
+  uint64_t covered = 0;
+  Morsel m;
+  while (q.Next(2, &m)) covered += m.size();
+  EXPECT_EQ(covered, 1200u);
+}
+
+TEST(MorselQueue, OddSizesAndTinyRanges) {
+  Topology topo(1, 1, InterconnectKind::kFullyConnected);
+  std::vector<MorselRange> ranges = {{0, 0, 1, 0}, {1, 5, 6, 0},
+                                     {2, 0, 0, 0}, {3, 7, 106, 0}};
+  MorselQueue q(topo, ranges, Opts(100));
+  uint64_t covered = 0;
+  Morsel m;
+  while (q.Next(0, &m)) covered += m.size();
+  EXPECT_EQ(covered, 1u + 1u + 0u + 99u);
+}
+
+TEST(MorselQueue, SplitPerSocketKeepsCoverage) {
+  Topology topo(2, 4, InterconnectKind::kFullyConnected);
+  std::vector<MorselRange> ranges = {{0, 0, 100000, 0}, {1, 0, 100000, 1}};
+  MorselQueue::Options o = Opts(1000);
+  o.split_per_socket = 4;  // one subrange per core (§3.3)
+  MorselQueue q(topo, ranges, o);
+  EXPECT_EQ(q.total_rows(), 200000u);
+  uint64_t covered = 0;
+  Morsel m;
+  std::vector<char> taken(100000 * 2);
+  while (q.Next(0, &m)) {
+    covered += m.size();
+    for (uint64_t i = m.begin; i < m.end; ++i) {
+      ASSERT_EQ(taken[m.partition * 100000 + i], 0);
+      taken[m.partition * 100000 + i] = 1;
+    }
+  }
+  EXPECT_EQ(covered, 200000u);
+}
+
+TEST(MorselQueue, SplitLeavesTinyRangesAlone) {
+  Topology topo(1, 8, InterconnectKind::kFullyConnected);
+  // 100 rows with morsel size 100: splitting into 8 would create
+  // sub-morsel fragments; the queue must keep the range whole.
+  std::vector<MorselRange> ranges = {{0, 0, 100, 0}};
+  MorselQueue::Options o = Opts(100);
+  o.split_per_socket = 8;
+  MorselQueue q(topo, ranges, o);
+  Morsel m;
+  ASSERT_TRUE(q.Next(0, &m));
+  EXPECT_EQ(m.size(), 100u);
+  EXPECT_FALSE(q.Next(0, &m));
+}
+
+// Property: under concurrency, every row is handed out exactly once, for
+// any morsel size / thread count combination.
+class MorselQueueConcurrent
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(MorselQueueConcurrent, ExactlyOnceCoverage) {
+  auto [morsel_size, threads] = GetParam();
+  Topology topo(4, 2, InterconnectKind::kFullyConnected);
+  const uint64_t rows_per_socket = 50000;
+  std::vector<MorselRange> ranges;
+  for (int s = 0; s < 4; ++s) {
+    ranges.push_back(MorselRange{s, 0, rows_per_socket, s});
+  }
+  MorselQueue q(topo, ranges, Opts(morsel_size));
+
+  std::mutex mu;
+  std::vector<std::vector<char>> taken(4,
+                                       std::vector<char>(rows_per_socket));
+  std::atomic<uint64_t> covered{0};
+  std::vector<std::thread> ts;
+  for (int t = 0; t < threads; ++t) {
+    ts.emplace_back([&, t] {
+      Morsel m;
+      int socket = t % 4;
+      uint64_t local = 0;
+      while (q.Next(socket, &m)) {
+        local += m.size();
+        std::lock_guard<std::mutex> lock(mu);
+        for (uint64_t i = m.begin; i < m.end; ++i) {
+          ASSERT_EQ(taken[m.partition][i], 0) << "row handed out twice";
+          taken[m.partition][i] = 1;
+        }
+      }
+      covered.fetch_add(local);
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(covered.load(), 4 * rows_per_socket);
+  EXPECT_TRUE(q.Exhausted());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MorselQueueConcurrent,
+    ::testing::Combine(::testing::Values(1, 7, 100, 1024, 100000),
+                       ::testing::Values(1, 2, 4, 8)));
+
+}  // namespace
+}  // namespace morsel

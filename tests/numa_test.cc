@@ -1,0 +1,174 @@
+// Unit tests for src/numa: topology & distances, tagged allocation,
+// traffic accounting.
+
+#include <gtest/gtest.h>
+
+#include "numa/allocator.h"
+#include "numa/mem_stats.h"
+#include "numa/pinning.h"
+#include "numa/topology.h"
+
+namespace morsel {
+namespace {
+
+TEST(Topology, FullyConnectedDistances) {
+  Topology t = Topology::NehalemEx();
+  EXPECT_EQ(t.num_sockets(), 4);
+  EXPECT_EQ(t.total_cores(), 32);
+  for (int a = 0; a < 4; ++a) {
+    for (int b = 0; b < 4; ++b) {
+      EXPECT_EQ(t.Distance(a, b), a == b ? 0 : 1);
+    }
+  }
+}
+
+TEST(Topology, RingDistances) {
+  Topology t = Topology::SandyBridgeEp();
+  // Ring of 4: diagonal pairs are two hops (paper Figure 10).
+  EXPECT_EQ(t.Distance(0, 1), 1);
+  EXPECT_EQ(t.Distance(0, 2), 2);
+  EXPECT_EQ(t.Distance(0, 3), 1);
+  EXPECT_EQ(t.Distance(1, 3), 2);
+  EXPECT_EQ(t.Distance(2, 2), 0);
+}
+
+TEST(Topology, StealOrderClosestFirst) {
+  Topology t = Topology::SandyBridgeEp();
+  const std::vector<int>& order = t.StealOrder(0);
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0], 0);                       // self first
+  EXPECT_EQ(t.Distance(0, order[1]), 1);        // then direct neighbours
+  EXPECT_EQ(t.Distance(0, order[2]), 1);
+  EXPECT_EQ(order[3], 2);                       // two-hop socket last
+}
+
+TEST(Topology, SocketOfCore) {
+  Topology t(4, 8, InterconnectKind::kFullyConnected);
+  EXPECT_EQ(t.SocketOfCore(0), 0);
+  EXPECT_EQ(t.SocketOfCore(7), 0);
+  EXPECT_EQ(t.SocketOfCore(8), 1);
+  EXPECT_EQ(t.SocketOfCore(31), 3);
+}
+
+TEST(Allocator, AlignmentAndAccounting) {
+  size_t before = NumaAllocatedBytes();
+  void* p = NumaAlloc(100, 2);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % kCacheLineSize, 0u);
+  EXPECT_GE(NumaAllocatedBytes(), before + 100);
+  NumaFree(p, 100);
+  EXPECT_EQ(NumaAllocatedBytes(), before);
+}
+
+TEST(Allocator, InterleavedSocketOf) {
+  // 2 MB chunks round-robin across 4 sockets.
+  EXPECT_EQ(InterleavedSocketOf(0, 4), 0);
+  EXPECT_EQ(InterleavedSocketOf((2u << 20) - 1, 4), 0);
+  EXPECT_EQ(InterleavedSocketOf(2u << 20, 4), 1);
+  EXPECT_EQ(InterleavedSocketOf(8u << 20, 4), 0);
+}
+
+TEST(NumaVector, PushAndGrow) {
+  NumaVector<int64_t> v(1);
+  EXPECT_EQ(v.socket(), 1);
+  for (int64_t i = 0; i < 10000; ++i) v.push_back(i);
+  ASSERT_EQ(v.size(), 10000u);
+  for (int64_t i = 0; i < 10000; ++i) ASSERT_EQ(v[i], i);
+}
+
+TEST(NumaVector, ResizeZeroFills) {
+  NumaVector<int32_t> v;
+  v.push_back(7);
+  v.resize(100);
+  EXPECT_EQ(v[0], 7);
+  for (size_t i = 1; i < 100; ++i) ASSERT_EQ(v[i], 0);
+  v.resize(3);
+  EXPECT_EQ(v.size(), 3u);
+}
+
+TEST(NumaVector, ResizeByOneIsAmortized) {
+  // RowBuffer extends one row at a time: capacity must grow
+  // geometrically, not per call.
+  NumaVector<uint8_t> v;
+  size_t regrows = 0;
+  const uint8_t* last = nullptr;
+  for (size_t i = 1; i <= 100000; ++i) {
+    v.resize(i);
+    if (v.data() != last) {
+      ++regrows;
+      last = v.data();
+    }
+  }
+  EXPECT_LT(regrows, 30u);
+}
+
+TEST(NumaVector, MoveTransfersOwnership) {
+  NumaVector<int64_t> a(2);
+  a.push_back(1);
+  a.push_back(2);
+  NumaVector<int64_t> b(std::move(a));
+  EXPECT_EQ(b.size(), 2u);
+  EXPECT_EQ(b.socket(), 2);
+  EXPECT_EQ(a.size(), 0u);
+  NumaVector<int64_t> c;
+  c = std::move(b);
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_EQ(c[1], 2);
+}
+
+TEST(NumaVector, BulkAppend) {
+  NumaVector<int32_t> v;
+  int32_t chunk[256];
+  for (int i = 0; i < 256; ++i) chunk[i] = i;
+  for (int rep = 0; rep < 10; ++rep) v.append(chunk, 256);
+  ASSERT_EQ(v.size(), 2560u);
+  EXPECT_EQ(v[256 * 3 + 42], 42);
+}
+
+TEST(MemStats, LocalRemoteClassification) {
+  TrafficCounters c;
+  c.OnRead(0, 0, 100);   // local
+  c.OnRead(0, 1, 50);    // remote: link 1 -> 0
+  c.OnWrite(2, 2, 30);   // local
+  c.OnWrite(2, 3, 20);   // remote: link 2 -> 3
+  EXPECT_EQ(c.read_local, 100u);
+  EXPECT_EQ(c.read_remote, 50u);
+  EXPECT_EQ(c.written_local, 30u);
+  EXPECT_EQ(c.written_remote, 20u);
+  EXPECT_EQ(c.link[1][0], 50u);
+  EXPECT_EQ(c.link[2][3], 20u);
+}
+
+TEST(MemStats, InterleavedCharging) {
+  TrafficCounters c;
+  // Offset 0 lives on socket 0; worker on socket 0 -> local.
+  c.OnInterleavedRead(0, 0, 8, 4);
+  // Offset in the second 2MB chunk lives on socket 1 -> remote.
+  c.OnInterleavedRead(0, 2u << 20, 8, 4);
+  EXPECT_EQ(c.read_local, 8u);
+  EXPECT_EQ(c.read_remote, 8u);
+}
+
+TEST(MemStats, RegistryAggregation) {
+  MemStatsRegistry reg(3);
+  reg.worker(0)->OnRead(0, 0, 100);
+  reg.worker(1)->OnRead(1, 0, 60);
+  reg.worker(2)->OnWrite(2, 2, 40);
+  TrafficSnapshot snap = reg.Aggregate();
+  EXPECT_EQ(snap.read_local, 100u);
+  EXPECT_EQ(snap.read_remote, 60u);
+  EXPECT_EQ(snap.written_local, 40u);
+  EXPECT_EQ(snap.bytes_read(), 160u);
+  EXPECT_NEAR(snap.RemotePercent(), 100.0 * 60 / 200, 1e-9);
+  EXPECT_EQ(snap.max_link, 60u);
+  reg.ResetAll();
+  EXPECT_EQ(reg.Aggregate().bytes_read(), 0u);
+}
+
+TEST(Pinning, BestEffortDoesNotCrash) {
+  // May fail in restricted sandboxes; must not crash either way.
+  PinThreadToCore(0);
+  PinThreadToCore(123456);
+}
+
+}  // namespace
+}  // namespace morsel

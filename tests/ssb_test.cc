@@ -1,0 +1,77 @@
+// Correctness tests for the Star Schema Benchmark workload.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "engine/engine.h"
+#include "engine/query.h"
+#include "ssb/ssb.h"
+#include "ssb/ssb_queries.h"
+
+namespace morsel {
+namespace {
+
+const Topology& TestTopo() {
+  static Topology topo(2, 2, InterconnectKind::kFullyConnected);
+  return topo;
+}
+
+const SsbData& Db() {
+  static SsbData* db = new SsbData(GenerateSsb(0.02, TestTopo()));
+  return *db;
+}
+
+Engine& SharedEngine() {
+  static Engine* engine = [] {
+    EngineOptions opts;
+    opts.morsel_size = 10000;
+    return new Engine(TestTopo(), opts);
+  }();
+  return *engine;
+}
+
+TEST(SsbGen, Cardinalities) {
+  const SsbData& db = Db();
+  EXPECT_EQ(db.date_dim->NumRows(), 2557u);  // 1992-01-01..1998-12-31
+  EXPECT_EQ(db.customer->NumRows(), 600u);
+  EXPECT_EQ(db.supplier->NumRows(), 40u);
+  EXPECT_EQ(db.part->NumRows(), 4000u);
+  EXPECT_GT(db.lineorder->NumRows(), 30000u * 2);
+}
+
+// Q1.1 reference computation: revenue for 1993, discount 1..3, qty < 25.
+TEST(SsbQueries, Q11MatchesReference) {
+  const SsbData& db = Db();
+  ResultSet r = RunSsbQuery(SharedEngine(), db, 0);
+  ASSERT_EQ(r.num_rows(), 1);
+
+  double expect = 0.0;
+  Table* t = db.lineorder.get();
+  for (int p = 0; p < t->num_partitions(); ++p) {
+    for (size_t i = 0; i < t->PartitionRows(p); ++i) {
+      int64_t datekey = t->Int64Col(p, 5)->Get(i);
+      int64_t disc = t->Int64Col(p, 8)->Get(i);
+      int64_t qty = t->Int64Col(p, 6)->Get(i);
+      if (datekey / 10000 == 1993 && disc >= 1 && disc <= 3 && qty <= 24) {
+        expect +=
+            t->DoubleCol(p, 7)->Get(i) * static_cast<double>(disc);
+      }
+    }
+  }
+  EXPECT_NEAR(r.F64(0, 0), expect, 1e-6 * (1.0 + expect));
+}
+
+class SsbAllQueries : public ::testing::TestWithParam<int> {};
+
+TEST_P(SsbAllQueries, Runs) {
+  ResultSet r = RunSsbQuery(SharedEngine(), Db(), GetParam());
+  EXPECT_GE(r.num_rows(), 0);
+  EXPECT_GE(r.num_cols(), 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllQueries, SsbAllQueries,
+                         ::testing::Range(0, kNumSsbQueries));
+
+}  // namespace
+}  // namespace morsel

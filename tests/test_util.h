@@ -1,0 +1,64 @@
+#ifndef MORSELDB_TESTS_TEST_UTIL_H_
+#define MORSELDB_TESTS_TEST_UTIL_H_
+
+// Shared helpers for engine-level tests: small tables, reference
+// canonicalization of results.
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+#include "engine/query.h"
+#include "storage/table.h"
+
+namespace morsel {
+namespace testutil {
+
+inline const Topology& SmallTopo() {
+  static Topology topo(2, 2, InterconnectKind::kFullyConnected);
+  return topo;
+}
+
+inline Engine& SmallEngine() {
+  static Engine* engine = [] {
+    EngineOptions opts;
+    opts.morsel_size = 512;  // force real parallel scheduling in tests
+    return new Engine(SmallTopo(), opts);
+  }();
+  return *engine;
+}
+
+// Builds a two-column int64 table (k, v) with v = value_of(k) rows
+// supplied by the caller.
+inline std::unique_ptr<Table> MakeKv(
+    const Topology& topo, const std::vector<std::pair<int64_t, int64_t>>& rows,
+    const char* kname = "k", const char* vname = "v") {
+  Schema schema(
+      {{kname, LogicalType::kInt64}, {vname, LogicalType::kInt64}});
+  auto t = std::make_unique<Table>("kv", schema, topo);
+  size_t i = 0;
+  for (const auto& [k, v] : rows) {
+    int p = static_cast<int>(i++ % t->num_partitions());
+    t->Int64Col(p, 0)->Append(k);
+    t->Int64Col(p, 1)->Append(v);
+  }
+  for (int p = 0; p < t->num_partitions(); ++p) t->SealPartition(p);
+  return t;
+}
+
+// Rows of a result set as sorted strings (order-insensitive comparison).
+inline std::vector<std::string> SortedRows(const ResultSet& r) {
+  std::vector<std::string> rows;
+  for (int64_t i = 0; i < r.num_rows(); ++i) {
+    rows.push_back(r.RowToString(i));
+  }
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+}  // namespace testutil
+}  // namespace morsel
+
+#endif  // MORSELDB_TESTS_TEST_UTIL_H_

@@ -1,0 +1,360 @@
+// Correctness tests for the TPC-H workload: all 22 queries execute, basic
+// result invariants hold, Q1/Q6 match a straightforward reference
+// computation over the raw tables, and the engine variants (morsel-driven,
+// Volcano emulation, single worker) agree on results.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <set>
+#include <string>
+
+#include "common/date.h"
+#include "common/string_util.h"
+#include "engine/engine.h"
+#include "engine/query.h"
+#include "tpch/tpch.h"
+#include "tpch/tpch_queries.h"
+#include "volcano/volcano.h"
+
+namespace morsel {
+namespace {
+
+const Topology& TestTopo() {
+  static Topology topo(2, 2, InterconnectKind::kFullyConnected);
+  return topo;
+}
+
+const TpchData& Db() {
+  static TpchData* db = new TpchData(GenerateTpch(0.02, TestTopo()));
+  return *db;
+}
+
+EngineOptions TestOptions() {
+  EngineOptions opts;
+  opts.morsel_size = 10000;
+  return opts;
+}
+
+Engine& SharedEngine() {
+  static Engine* engine = new Engine(TestTopo(), TestOptions());
+  return *engine;
+}
+
+// Canonicalizes a result for cross-engine comparison: rows keyed by their
+// int/string columns, double columns compared with relative tolerance
+// (parallel summation order varies).
+std::multimap<std::string, std::vector<double>> Canon(const ResultSet& r) {
+  std::multimap<std::string, std::vector<double>> out;
+  for (int64_t i = 0; i < r.num_rows(); ++i) {
+    std::string key;
+    std::vector<double> nums;
+    for (int c = 0; c < r.num_cols(); ++c) {
+      switch (r.type(c)) {
+        case LogicalType::kInt32:
+          key += std::to_string(r.I32(i, c)) + "|";
+          break;
+        case LogicalType::kInt64:
+          key += std::to_string(r.I64(i, c)) + "|";
+          break;
+        case LogicalType::kString:
+          key += r.Str(i, c) + "|";
+          break;
+        case LogicalType::kDouble:
+          nums.push_back(r.F64(i, c));
+          break;
+      }
+    }
+    out.emplace(std::move(key), std::move(nums));
+  }
+  return out;
+}
+
+void ExpectSameResult(const ResultSet& a, const ResultSet& b) {
+  ASSERT_EQ(a.num_rows(), b.num_rows());
+  ASSERT_EQ(a.num_cols(), b.num_cols());
+  auto ca = Canon(a);
+  auto cb = Canon(b);
+  auto ia = ca.begin();
+  auto ib = cb.begin();
+  for (; ia != ca.end(); ++ia, ++ib) {
+    EXPECT_EQ(ia->first, ib->first);
+    ASSERT_EQ(ia->second.size(), ib->second.size());
+    for (size_t k = 0; k < ia->second.size(); ++k) {
+      double x = ia->second[k], y = ib->second[k];
+      EXPECT_NEAR(x, y, 1e-6 * (1.0 + std::abs(x)));
+    }
+  }
+}
+
+TEST(TpchGen, Cardinalities) {
+  const TpchData& db = Db();
+  EXPECT_EQ(db.region->NumRows(), 5u);
+  EXPECT_EQ(db.nation->NumRows(), 25u);
+  EXPECT_EQ(db.supplier->NumRows(), 200u);
+  EXPECT_EQ(db.customer->NumRows(), 3000u);
+  EXPECT_EQ(db.part->NumRows(), 4000u);
+  EXPECT_EQ(db.partsupp->NumRows(), 16000u);
+  EXPECT_EQ(db.orders->NumRows(), 30000u);
+  // ~4 lineitems per order
+  EXPECT_GT(db.lineitem->NumRows(), db.orders->NumRows() * 2);
+  EXPECT_LT(db.lineitem->NumRows(), db.orders->NumRows() * 8);
+}
+
+TEST(TpchGen, Deterministic) {
+  TpchData a = GenerateTpch(0.002, TestTopo());
+  TpchData b = GenerateTpch(0.002, TestTopo());
+  ASSERT_EQ(a.lineitem->NumRows(), b.lineitem->NumRows());
+  for (int p = 0; p < a.lineitem->num_partitions(); ++p) {
+    size_t n = a.lineitem->PartitionRows(p);
+    ASSERT_EQ(n, b.lineitem->PartitionRows(p));
+    for (size_t i = 0; i < n; i += 97) {
+      EXPECT_EQ(a.lineitem->Int64Col(p, 0)->Get(i),
+                b.lineitem->Int64Col(p, 0)->Get(i));
+      EXPECT_EQ(a.lineitem->DoubleCol(p, 5)->Get(i),
+                b.lineitem->DoubleCol(p, 5)->Get(i));
+    }
+  }
+}
+
+// Reference computation for Q1 over the raw table.
+TEST(TpchQueries, Q1MatchesReference) {
+  const TpchData& db = Db();
+  ResultSet r = RunTpchQuery(SharedEngine(), db, 1);
+
+  struct Acc {
+    double qty = 0, price = 0, disc_price = 0, charge = 0, disc = 0;
+    int64_t count = 0;
+  };
+  std::map<std::string, Acc> expect;
+  Date32 cutoff = MakeDate(1998, 9, 2);
+  for (int p = 0; p < db.lineitem->num_partitions(); ++p) {
+    size_t n = db.lineitem->PartitionRows(p);
+    const Table* t = db.lineitem.get();
+    for (size_t i = 0; i < n; ++i) {
+      if (const_cast<Table*>(t)->Int32Col(p, 10)->Get(i) > cutoff) continue;
+      std::string key(
+          const_cast<Table*>(t)->StrCol(p, 8)->Get(i));
+      key += "|";
+      key += const_cast<Table*>(t)->StrCol(p, 9)->Get(i);
+      Acc& a = expect[key];
+      double qty = const_cast<Table*>(t)->DoubleCol(p, 4)->Get(i);
+      double price = const_cast<Table*>(t)->DoubleCol(p, 5)->Get(i);
+      double disc = const_cast<Table*>(t)->DoubleCol(p, 6)->Get(i);
+      double tax = const_cast<Table*>(t)->DoubleCol(p, 7)->Get(i);
+      a.qty += qty;
+      a.price += price;
+      a.disc_price += price * (1 - disc);
+      a.charge += price * (1 - disc) * (1 + tax);
+      a.disc += disc;
+      a.count += 1;
+    }
+  }
+  ASSERT_EQ(r.num_rows(), static_cast<int64_t>(expect.size()));
+  for (int64_t i = 0; i < r.num_rows(); ++i) {
+    std::string key = r.Str(i, 0) + "|" + r.Str(i, 1);
+    ASSERT_TRUE(expect.count(key)) << key;
+    const Acc& a = expect[key];
+    EXPECT_NEAR(r.F64(i, 2), a.qty, 1e-6 * a.qty);
+    EXPECT_NEAR(r.F64(i, 3), a.price, 1e-6 * a.price);
+    EXPECT_NEAR(r.F64(i, 4), a.disc_price, 1e-6 * a.disc_price);
+    EXPECT_NEAR(r.F64(i, 5), a.charge, 1e-6 * a.charge);
+    EXPECT_EQ(r.I64(i, 9), a.count);
+  }
+  // Ordered by returnflag, linestatus.
+  for (int64_t i = 1; i < r.num_rows(); ++i) {
+    EXPECT_LE(r.Str(i - 1, 0) + r.Str(i - 1, 1),
+              r.Str(i, 0) + r.Str(i, 1));
+  }
+}
+
+TEST(TpchQueries, Q6MatchesReference) {
+  const TpchData& db = Db();
+  ResultSet r = RunTpchQuery(SharedEngine(), db, 6);
+  ASSERT_EQ(r.num_rows(), 1);
+
+  double expect = 0.0;
+  Date32 lo = MakeDate(1994, 1, 1), hi = MakeDate(1995, 1, 1);
+  Table* t = db.lineitem.get();
+  for (int p = 0; p < t->num_partitions(); ++p) {
+    for (size_t i = 0; i < t->PartitionRows(p); ++i) {
+      Date32 ship = t->Int32Col(p, 10)->Get(i);
+      double disc = t->DoubleCol(p, 6)->Get(i);
+      double qty = t->DoubleCol(p, 4)->Get(i);
+      if (ship >= lo && ship < hi && disc >= 0.05 && disc <= 0.07 &&
+          qty < 24) {
+        expect += t->DoubleCol(p, 5)->Get(i) * disc;
+      }
+    }
+  }
+  EXPECT_NEAR(r.F64(0, 0), expect, 1e-6 * (1.0 + expect));
+}
+
+// Q4 reference: orders in 1993Q3 with at least one late lineitem,
+// counted per priority.
+TEST(TpchQueries, Q4MatchesReference) {
+  const TpchData& db = Db();
+  ResultSet r = RunTpchQuery(SharedEngine(), db, 4);
+
+  // orderkey -> has a lineitem with commitdate < receiptdate
+  std::set<int64_t> late_orders;
+  Table* li = db.lineitem.get();
+  for (int p = 0; p < li->num_partitions(); ++p) {
+    for (size_t i = 0; i < li->PartitionRows(p); ++i) {
+      if (li->Int32Col(p, 11)->Get(i) < li->Int32Col(p, 12)->Get(i)) {
+        late_orders.insert(li->Int64Col(p, 0)->Get(i));
+      }
+    }
+  }
+  std::map<std::string, int64_t> expect;
+  Table* ord = db.orders.get();
+  Date32 lo = MakeDate(1993, 7, 1), hi = MakeDate(1993, 10, 1);
+  for (int p = 0; p < ord->num_partitions(); ++p) {
+    for (size_t i = 0; i < ord->PartitionRows(p); ++i) {
+      Date32 d = ord->Int32Col(p, 4)->Get(i);
+      if (d >= lo && d < hi &&
+          late_orders.count(ord->Int64Col(p, 0)->Get(i))) {
+        expect[std::string(ord->StrCol(p, 5)->Get(i))]++;
+      }
+    }
+  }
+  ASSERT_EQ(r.num_rows(), static_cast<int64_t>(expect.size()));
+  for (int64_t i = 0; i < r.num_rows(); ++i) {
+    EXPECT_EQ(r.I64(i, 1), expect[r.Str(i, 0)]) << r.Str(i, 0);
+  }
+}
+
+// Q13 reference: distribution of order counts per customer, including
+// zero-order customers (the left outer join path).
+TEST(TpchQueries, Q13MatchesReference) {
+  const TpchData& db = Db();
+  ResultSet r = RunTpchQuery(SharedEngine(), db, 13);
+
+  std::map<int64_t, int64_t> orders_per_customer;
+  Table* ord = db.orders.get();
+  for (int p = 0; p < ord->num_partitions(); ++p) {
+    for (size_t i = 0; i < ord->PartitionRows(p); ++i) {
+      if (!LikeMatch(ord->StrCol(p, 8)->Get(i), "%special%requests%")) {
+        orders_per_customer[ord->Int64Col(p, 1)->Get(i)]++;
+      }
+    }
+  }
+  std::map<int64_t, int64_t> expect;  // c_count -> custdist
+  Table* cust = db.customer.get();
+  for (int p = 0; p < cust->num_partitions(); ++p) {
+    for (size_t i = 0; i < cust->PartitionRows(p); ++i) {
+      auto it = orders_per_customer.find(cust->Int64Col(p, 0)->Get(i));
+      expect[it == orders_per_customer.end() ? 0 : it->second]++;
+    }
+  }
+  ASSERT_EQ(r.num_rows(), static_cast<int64_t>(expect.size()));
+  int64_t total = 0;
+  for (int64_t i = 0; i < r.num_rows(); ++i) {
+    EXPECT_EQ(r.I64(i, 1), expect[r.I64(i, 0)]) << "c_count " << r.I64(i, 0);
+    total += r.I64(i, 1);
+  }
+  EXPECT_EQ(total, static_cast<int64_t>(cust->NumRows()));
+  // zero-order customers exist (1/3 of custkeys never receive orders)
+  EXPECT_GT(expect[0], 0);
+}
+
+// Q14 reference: promo revenue percentage.
+TEST(TpchQueries, Q14MatchesReference) {
+  const TpchData& db = Db();
+  ResultSet r = RunTpchQuery(SharedEngine(), db, 14);
+  ASSERT_EQ(r.num_rows(), 1);
+
+  std::map<int64_t, std::string> part_type;
+  Table* part = db.part.get();
+  for (int p = 0; p < part->num_partitions(); ++p) {
+    for (size_t i = 0; i < part->PartitionRows(p); ++i) {
+      part_type[part->Int64Col(p, 0)->Get(i)] =
+          std::string(part->StrCol(p, 4)->Get(i));
+    }
+  }
+  double promo = 0, total = 0;
+  Table* li = db.lineitem.get();
+  Date32 lo = MakeDate(1995, 9, 1), hi = MakeDate(1995, 10, 1);
+  for (int p = 0; p < li->num_partitions(); ++p) {
+    for (size_t i = 0; i < li->PartitionRows(p); ++i) {
+      Date32 ship = li->Int32Col(p, 10)->Get(i);
+      if (ship < lo || ship >= hi) continue;
+      double rev = li->DoubleCol(p, 5)->Get(i) *
+                   (1.0 - li->DoubleCol(p, 6)->Get(i));
+      total += rev;
+      if (StartsWith(part_type[li->Int64Col(p, 1)->Get(i)], "PROMO")) {
+        promo += rev;
+      }
+    }
+  }
+  EXPECT_NEAR(r.F64(0, 0), 100.0 * promo / total, 1e-6);
+}
+
+// Every query runs and returns a plausible result.
+class TpchAllQueries : public ::testing::TestWithParam<int> {};
+
+TEST_P(TpchAllQueries, Runs) {
+  int qnum = GetParam();
+  ResultSet r = RunTpchQuery(SharedEngine(), Db(), qnum);
+  // All queries return at least one row on this dataset except possibly
+  // the highly selective Q2/Q18/Q21-style ones; those must not crash.
+  switch (qnum) {
+    case 1:
+      EXPECT_LE(r.num_rows(), 6);
+      EXPECT_GE(r.num_rows(), 3);
+      break;
+    case 4:
+      EXPECT_EQ(r.num_rows(), 5);  // five order priorities
+      break;
+    case 5:
+      EXPECT_LE(r.num_rows(), 5);  // ASIA has 5 nations
+      EXPECT_GE(r.num_rows(), 1);
+      break;
+    case 12:
+      EXPECT_EQ(r.num_rows(), 2);  // MAIL, SHIP
+      break;
+    case 14:
+    case 17:
+    case 19:
+      EXPECT_EQ(r.num_rows(), 1);
+      break;
+    case 22:
+      EXPECT_GE(r.num_rows(), 1);
+      EXPECT_LE(r.num_rows(), 7);  // country codes
+      break;
+    default:
+      EXPECT_GE(r.num_rows(), 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllQueries, TpchAllQueries,
+                         ::testing::Range(1, kNumTpchQueries + 1));
+
+// The engine variants must agree on query results: the Volcano emulation
+// and a single-worker engine only change scheduling, never semantics.
+class TpchVariants : public ::testing::TestWithParam<int> {};
+
+TEST_P(TpchVariants, EnginesAgree) {
+  int qnum = GetParam();
+  ResultSet base = RunTpchQuery(SharedEngine(), Db(), qnum);
+
+  static Engine* volcano =
+      new Engine(TestTopo(), MakeVolcanoOptions(TestOptions()));
+  ResultSet v = RunTpchQuery(*volcano, Db(), qnum);
+  ExpectSameResult(base, v);
+
+  static Engine* single = [] {
+    EngineOptions o = TestOptions();
+    o.num_workers = 1;
+    return new Engine(TestTopo(), o);
+  }();
+  ResultSet s = RunTpchQuery(*single, Db(), qnum);
+  ExpectSameResult(base, s);
+}
+
+INSTANTIATE_TEST_SUITE_P(Variants, TpchVariants,
+                         ::testing::Values(1, 3, 4, 6, 9, 13, 16, 18, 21));
+
+}  // namespace
+}  // namespace morsel

@@ -1,0 +1,214 @@
+// Distribution tests for the TPC-H / SSB generators: the queries only
+// reproduce the paper's shapes if the generated data has spec-like
+// dictionaries, ranges and selectivities.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "common/date.h"
+#include "common/string_util.h"
+#include "ssb/ssb.h"
+#include "tpch/tpch.h"
+
+namespace morsel {
+namespace {
+
+const Topology& TestTopo() {
+  static Topology topo(2, 2, InterconnectKind::kFullyConnected);
+  return topo;
+}
+
+const TpchData& Db() {
+  static TpchData* db = new TpchData(GenerateTpch(0.02, TestTopo()));
+  return *db;
+}
+
+TEST(TpchDistributions, NationRegionMapping) {
+  const TpchData& db = Db();
+  // Spec mapping: FRANCE/GERMANY in EUROPE(3), BRAZIL in AMERICA(1)...
+  std::map<std::string, int64_t> region_of;
+  Table* nation = db.nation.get();
+  for (int p = 0; p < nation->num_partitions(); ++p) {
+    for (size_t i = 0; i < nation->PartitionRows(p); ++i) {
+      region_of[std::string(nation->StrCol(p, 1)->Get(i))] =
+          nation->Int64Col(p, 2)->Get(i);
+    }
+  }
+  ASSERT_EQ(region_of.size(), 25u);
+  EXPECT_EQ(region_of["FRANCE"], 3);
+  EXPECT_EQ(region_of["GERMANY"], 3);
+  EXPECT_EQ(region_of["BRAZIL"], 1);
+  EXPECT_EQ(region_of["CHINA"], 2);
+  EXPECT_EQ(region_of["SAUDI ARABIA"], 4);
+  EXPECT_EQ(region_of["ALGERIA"], 0);
+}
+
+TEST(TpchDistributions, PartDictionaries) {
+  const TpchData& db = Db();
+  std::set<std::string> brands, types, containers;
+  bool any_brass = false;
+  Table* part = db.part.get();
+  for (int p = 0; p < part->num_partitions(); ++p) {
+    for (size_t i = 0; i < part->PartitionRows(p); ++i) {
+      brands.insert(std::string(part->StrCol(p, 3)->Get(i)));
+      std::string type(part->StrCol(p, 4)->Get(i));
+      types.insert(type);
+      any_brass |= EndsWith(type, "BRASS");
+      containers.insert(std::string(part->StrCol(p, 6)->Get(i)));
+      int64_t size = part->Int64Col(p, 5)->Get(i);
+      ASSERT_GE(size, 1);
+      ASSERT_LE(size, 50);
+    }
+  }
+  EXPECT_LE(brands.size(), 25u);   // Brand#MN, M,N in 1..5
+  EXPECT_GT(brands.size(), 15u);
+  EXPECT_LE(types.size(), 150u);   // 6 x 5 x 5
+  EXPECT_GT(types.size(), 100u);
+  EXPECT_LE(containers.size(), 40u);
+  EXPECT_TRUE(any_brass);          // Q2's %BRASS filter must match
+}
+
+TEST(TpchDistributions, LineitemRangesAndSelectivities) {
+  const TpchData& db = Db();
+  Table* li = db.lineitem.get();
+  int64_t n = 0, q6_matches = 0, returns = 0;
+  Date32 lo = MakeDate(1994, 1, 1), hi = MakeDate(1995, 1, 1);
+  for (int p = 0; p < li->num_partitions(); ++p) {
+    for (size_t i = 0; i < li->PartitionRows(p); ++i) {
+      ++n;
+      double qty = li->DoubleCol(p, 4)->Get(i);
+      double disc = li->DoubleCol(p, 6)->Get(i);
+      double tax = li->DoubleCol(p, 7)->Get(i);
+      ASSERT_GE(qty, 1);
+      ASSERT_LE(qty, 50);
+      ASSERT_GE(disc, 0.0);
+      ASSERT_LE(disc, 0.10 + 1e-9);
+      ASSERT_GE(tax, 0.0);
+      ASSERT_LE(tax, 0.08 + 1e-9);
+      // ship < receipt always; commit between them-ish
+      ASSERT_LT(li->Int32Col(p, 10)->Get(i), li->Int32Col(p, 12)->Get(i));
+      Date32 ship = li->Int32Col(p, 10)->Get(i);
+      if (ship >= lo && ship < hi && disc >= 0.05 && disc <= 0.07 &&
+          qty < 24) {
+        ++q6_matches;
+      }
+      std::string_view rf = li->StrCol(p, 8)->Get(i);
+      ASSERT_TRUE(rf == "R" || rf == "A" || rf == "N");
+      if (rf == "R") ++returns;
+    }
+  }
+  // Q6 selectivity is ~2% in spec data; accept a generous band.
+  double q6_sel = static_cast<double>(q6_matches) / n;
+  EXPECT_GT(q6_sel, 0.005);
+  EXPECT_LT(q6_sel, 0.05);
+  // ~25% of lineitems are returns ('R' for half the pre-1995 rows).
+  double r_sel = static_cast<double>(returns) / n;
+  EXPECT_GT(r_sel, 0.1);
+  EXPECT_LT(r_sel, 0.4);
+}
+
+TEST(TpchDistributions, OrdersCustomerSkew) {
+  const TpchData& db = Db();
+  Table* ord = db.orders.get();
+  std::set<int64_t> custkeys;
+  for (int p = 0; p < ord->num_partitions(); ++p) {
+    for (size_t i = 0; i < ord->PartitionRows(p); ++i) {
+      int64_t ck = ord->Int64Col(p, 1)->Get(i);
+      // spec: customers with custkey % 3 == 0 never place orders
+      ASSERT_NE(ck % 3, 0);
+      custkeys.insert(ck);
+    }
+  }
+  // plenty of distinct ordering customers, but fewer than total
+  EXPECT_GT(custkeys.size(), db.customer->NumRows() / 3);
+  EXPECT_LT(custkeys.size(), db.customer->NumRows());
+}
+
+TEST(TpchDistributions, PhoneCountryCodes) {
+  const TpchData& db = Db();
+  Table* cust = db.customer.get();
+  for (int p = 0; p < cust->num_partitions(); ++p) {
+    for (size_t i = 0; i < cust->PartitionRows(p); ++i) {
+      std::string_view phone = cust->StrCol(p, 4)->Get(i);
+      ASSERT_EQ(phone.size(), 15u) << phone;
+      int code = (phone[0] - '0') * 10 + (phone[1] - '0');
+      int64_t nation = cust->Int64Col(p, 3)->Get(i);
+      // Q22 relies on country code == 10 + nationkey
+      ASSERT_EQ(code, 10 + nation);
+    }
+  }
+}
+
+TEST(TpchDistributions, PartitioningCoLocatesOrdersAndLineitems) {
+  const TpchData& db = Db();
+  // orders and lineitem are both partitioned by hash(orderkey): the
+  // partition of any lineitem must equal the partition of its order.
+  std::map<int64_t, int> order_part;
+  Table* ord = db.orders.get();
+  for (int p = 0; p < ord->num_partitions(); ++p) {
+    for (size_t i = 0; i < ord->PartitionRows(p); ++i) {
+      order_part[ord->Int64Col(p, 0)->Get(i)] = p;
+    }
+  }
+  Table* li = db.lineitem.get();
+  for (int p = 0; p < li->num_partitions(); ++p) {
+    for (size_t i = 0; i < li->PartitionRows(p); i += 13) {
+      ASSERT_EQ(order_part[li->Int64Col(p, 0)->Get(i)], p);
+    }
+  }
+}
+
+TEST(SsbDistributions, DateDimension) {
+  static SsbData* db = new SsbData(GenerateSsb(0.02, TestTopo()));
+  Table* d = db->date_dim.get();
+  int64_t n = 0;
+  std::set<int64_t> years;
+  for (int p = 0; p < d->num_partitions(); ++p) {
+    for (size_t i = 0; i < d->PartitionRows(p); ++i) {
+      ++n;
+      int64_t key = d->Int64Col(p, 0)->Get(i);
+      int64_t year = d->Int64Col(p, 1)->Get(i);
+      ASSERT_EQ(key / 10000, year);
+      ASSERT_EQ(d->Int64Col(p, 2)->Get(i), year * 100 + (key / 100) % 100);
+      years.insert(year);
+      int64_t week = d->Int64Col(p, 4)->Get(i);
+      ASSERT_GE(week, 1);
+      ASSERT_LE(week, 53);
+    }
+  }
+  EXPECT_EQ(n, 2557);  // 1992-01-01 .. 1998-12-31
+  EXPECT_EQ(years.size(), 7u);
+  // every lineorder orderdate joins a date row
+  std::set<int64_t> datekeys;
+  for (int p = 0; p < d->num_partitions(); ++p) {
+    for (size_t i = 0; i < d->PartitionRows(p); ++i) {
+      datekeys.insert(d->Int64Col(p, 0)->Get(i));
+    }
+  }
+  Table* lo = db->lineorder.get();
+  for (int p = 0; p < lo->num_partitions(); ++p) {
+    for (size_t i = 0; i < lo->PartitionRows(p); i += 29) {
+      ASSERT_TRUE(datekeys.count(lo->Int64Col(p, 5)->Get(i)));
+    }
+  }
+}
+
+TEST(SsbDistributions, GeographyHierarchy) {
+  static SsbData* db = new SsbData(GenerateSsb(0.02, TestTopo()));
+  Table* c = db->customer.get();
+  for (int p = 0; p < c->num_partitions(); ++p) {
+    for (size_t i = 0; i < c->PartitionRows(p); ++i) {
+      std::string_view city = c->StrCol(p, 2)->Get(i);
+      std::string_view nation = c->StrCol(p, 3)->Get(i);
+      ASSERT_EQ(city.size(), 10u);
+      // city = first 9 chars of the (padded) nation + digit
+      ASSERT_EQ(city.substr(0, std::min<size_t>(9, nation.size())),
+                nation.substr(0, std::min<size_t>(9, nation.size())));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace morsel
