@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Runs the tagged-hash-table micro benchmark and emits a JSON report so
+# successive PRs have a perf trajectory to compare against.
+#
+# Usage: bench/run_micro.sh [build_dir] [benchmark_filter]
+#   build_dir         cmake build directory (default: build)
+#   benchmark_filter  regex passed to --benchmark_filter (default: all)
+#
+# Output: BENCH_micro_hash_table.json in the repository root.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+FILTER="${2:-.*}"
+BIN="$BUILD_DIR/bench/micro_hash_table"
+
+if [[ ! -x "$BIN" ]]; then
+  echo "error: $BIN not built; run: cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
+  exit 1
+fi
+
+"$BIN" \
+  --benchmark_filter="$FILTER" \
+  --benchmark_out=BENCH_micro_hash_table.json \
+  --benchmark_out_format=json \
+  --benchmark_repetitions=1
+
+echo "wrote BENCH_micro_hash_table.json"

@@ -33,6 +33,14 @@
 #define MORSEL_DCHECK(cond) MORSEL_CHECK(cond)
 #endif
 
+// Read-prefetch into a low locality level: the staged probe pipelines
+// (DESIGN.md §5) touch each prefetched line exactly once.
+#if defined(__GNUC__) || defined(__clang__)
+#define MORSEL_PREFETCH(addr) __builtin_prefetch((addr), 0, 1)
+#else
+#define MORSEL_PREFETCH(addr) ((void)(addr))
+#endif
+
 namespace morsel {
 
 // Size every contended structure is aligned to; matches common x86 lines.

@@ -30,6 +30,8 @@ struct EngineOptions {
   bool steal = true;          // cross-socket work stealing
   bool closest_first = true;  // distance-ordered stealing
   bool tagging = true;        // §4.2 hash-table pointer tags
+  bool batched_probe = true;  // staged, prefetch-pipelined join probe;
+                              // false = row-at-a-time ablation baseline
   bool static_division = false;  // morsel size forced to n / workers
   bool serialize_roots = true;   // §3.2: no bushy parallelism
   bool pin_threads = true;

@@ -80,7 +80,8 @@ int Query::AddExecJob(std::string name, std::unique_ptr<Pipeline> pipeline,
   auto job = std::make_unique<ExecPipelineJob>(
       &context_, std::move(name), std::move(pipeline),
       engine_->queue_options(), opts.tagging,
-      opts.static_division ? engine_->num_workers() : 0);
+      opts.static_division ? engine_->num_workers() : 0,
+      opts.batched_probe);
   return qep_.AddPipeline(std::move(job), std::move(deps));
 }
 

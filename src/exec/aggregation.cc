@@ -204,7 +204,9 @@ bool GroupByState::KeysEqualRow(const uint8_t* a, const uint8_t* b) const {
 }
 
 AggPhase1Sink::AggPhase1Sink(GroupByState* state)
-    : state_(state), locals_(state->num_worker_slots()) {}
+    : state_(state),
+      locals_(state->num_worker_slots()),
+      key_cols_(IdentityCols(state->num_keys())) {}
 
 AggPhase1Sink::Local& AggPhase1Sink::LocalOf(ExecContext& ctx) {
   std::unique_ptr<Local>& slot = locals_[ctx.worker->worker_id];
@@ -238,12 +240,10 @@ void AggPhase1Sink::SpillLocal(Local& local, int worker_id, int socket,
 void AggPhase1Sink::Consume(Chunk& chunk, ExecContext& ctx) {
   Local& local = LocalOf(ctx);
   const TupleLayout& layout = state_->layout();
-  std::vector<int> key_cols(state_->num_keys());
-  for (int k = 0; k < state_->num_keys(); ++k) key_cols[k] = k;
   const int wid = ctx.worker->worker_id;
 
   for (int i = 0; i < chunk.n; ++i) {
-    uint64_t h = HashRow(chunk, key_cols, i);
+    uint64_t h = HashRow(chunk, key_cols_, i);
     uint32_t slot = static_cast<uint32_t>(h) & (kLocalSlots - 1);
     uint8_t* found = nullptr;
     while (local.slots[slot] != kEmpty) {
@@ -334,29 +334,43 @@ void AggPartitionSource::RunMorsel(const Morsel& m, Pipeline& pipeline,
   std::vector<uint32_t> slots(cap, UINT32_MAX);
   RowBuffer merged(&layout, ctx.socket());
 
+  // Staged merge (same pattern as the batched join probe, DESIGN.md §5):
+  // sweep a block of spill records first, hashing and prefetching their
+  // open-addressing slots, then combine the block — the random slot-array
+  // misses overlap instead of serializing per record.
+  constexpr size_t kMergeBlock = 32;
+  uint64_t block_hashes[kMergeBlock];
   for (int w = 0; w < state_->num_worker_slots(); ++w) {
     RowBuffer* buf = state_->spill_if_exists(w, p);
     if (buf == nullptr || buf->rows() == 0) continue;
     ctx.traffic()->OnRead(ctx.socket(), buf->socket(), buf->bytes());
-    for (size_t i = 0; i < buf->rows(); ++i) {
-      const uint8_t* partial = buf->row(i);
-      uint64_t h = TupleLayout::GetHash(partial);
-      uint64_t slot = h & (cap - 1);
-      bool combined = false;
-      while (slots[slot] != UINT32_MAX) {
-        uint8_t* row = merged.row(slots[slot]);
-        if (TupleLayout::GetHash(row) == h &&
-            state_->KeysEqualRow(row, partial)) {
-          state_->CombinePartial(row, partial);
-          combined = true;
-          break;
-        }
-        slot = (slot + 1) & (cap - 1);
+    for (size_t base = 0; base < buf->rows(); base += kMergeBlock) {
+      const size_t limit = std::min(base + kMergeBlock, buf->rows());
+      for (size_t i = base; i < limit; ++i) {
+        uint64_t h = TupleLayout::GetHash(buf->row(i));
+        block_hashes[i - base] = h;
+        MORSEL_PREFETCH(&slots[h & (cap - 1)]);
       }
-      if (!combined) {
-        uint32_t idx = static_cast<uint32_t>(merged.rows());
-        std::memcpy(merged.AppendRow(), partial, layout.row_size());
-        slots[slot] = idx;
+      for (size_t i = base; i < limit; ++i) {
+        const uint8_t* partial = buf->row(i);
+        uint64_t h = block_hashes[i - base];
+        uint64_t slot = h & (cap - 1);
+        bool combined = false;
+        while (slots[slot] != UINT32_MAX) {
+          uint8_t* row = merged.row(slots[slot]);
+          if (TupleLayout::GetHash(row) == h &&
+              state_->KeysEqualRow(row, partial)) {
+            state_->CombinePartial(row, partial);
+            combined = true;
+            break;
+          }
+          slot = (slot + 1) & (cap - 1);
+        }
+        if (!combined) {
+          uint32_t idx = static_cast<uint32_t>(merged.rows());
+          std::memcpy(merged.AppendRow(), partial, layout.row_size());
+          slots[slot] = idx;
+        }
       }
     }
   }

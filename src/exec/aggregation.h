@@ -103,6 +103,9 @@ class AggPhase1Sink final : public Sink {
 
   GroupByState* state_;
   std::vector<std::unique_ptr<Local>> locals_;
+  // Key columns lead the phase-1 input chunk by construction; computed
+  // once here instead of one heap allocation per consumed chunk.
+  std::vector<int> key_cols_;
 };
 
 // Phase-2 source: one morsel per partition. Aggregates all spill records

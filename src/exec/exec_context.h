@@ -12,7 +12,9 @@ struct ExecContext {
   Arena arena;  // reset at each morsel boundary
 
   // Engine-level toggles relevant to operators.
-  bool use_tagging = true;  // §4.2 pointer-tag early filtering
+  bool use_tagging = true;    // §4.2 pointer-tag early filtering
+  bool batched_probe = true;  // staged, prefetch-pipelined join probe
+                              // (DESIGN.md §5); false = row-at-a-time
 
   int socket() const { return worker->socket; }
   TrafficCounters* traffic() const { return worker->traffic; }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <bit>
+#include <functional>
 
 namespace morsel {
 
@@ -50,16 +51,33 @@ void JoinState::FinishMaterialize() {
     ranges_.push_back(TupleRange{b->row(0), b->row(0) + b->bytes(),
                                  b->socket()});
   }
+  // Storage areas are disjoint, so address order gives a total order the
+  // probe-side socket lookup can binary-search. std::less, not built-in
+  // <: the begins come from unrelated allocations.
+  std::sort(ranges_.begin(), ranges_.end(),
+            [](const TupleRange& a, const TupleRange& b) {
+              return std::less<const uint8_t*>{}(a.begin, b.begin);
+            });
   // "an empty hash table is created with the perfect size, because the
   // input size is now known precisely" (§4.1).
   ht_ = std::make_unique<TaggedHashTable>(build_rows_);
 }
 
-int JoinState::SocketOfTuple(const uint8_t* tuple) const {
-  for (const TupleRange& r : ranges_) {
+int JoinState::SocketOfTuple(const uint8_t* tuple, int* hint) const {
+  if (*hint >= 0) {
+    const TupleRange& r = ranges_[*hint];
     if (tuple >= r.begin && tuple < r.end) return r.socket;
   }
-  return 0;
+  auto it = std::upper_bound(
+      ranges_.begin(), ranges_.end(), tuple,
+      [](const uint8_t* t, const TupleRange& r) {
+        return std::less<const uint8_t*>{}(t, r.begin);
+      });
+  if (it == ranges_.begin()) return 0;
+  --it;
+  if (tuple >= it->end) return 0;
+  *hint = static_cast<int>(it - ranges_.begin());
+  return it->socket;
 }
 
 std::vector<MorselRange> JoinState::InsertRanges() const {
@@ -77,12 +95,10 @@ void HashBuildSink::Consume(Chunk& chunk, ExecContext& ctx) {
   const TupleLayout& layout = state_->layout();
   int wid = ctx.worker->worker_id;
   RowBuffer* buf = state_->buffer(wid, ctx.socket());
-  std::vector<int> key_cols(state_->num_keys());
-  for (int k = 0; k < state_->num_keys(); ++k) key_cols[k] = k;
   for (int i = 0; i < chunk.n; ++i) {
     uint8_t* row = buf->AppendRow();
     TupleLayout::SetNext(row, nullptr);
-    TupleLayout::SetHash(row, HashRow(chunk, key_cols, i));
+    TupleLayout::SetHash(row, HashRow(chunk, key_cols_, i));
     if (layout.has_marker()) {
       std::memset(row + layout.marker_offset(), 0, 8);
     }
@@ -110,18 +126,32 @@ void HashBuildSink::Finalize(ExecContext& ctx) {
 void HashInsertJob::RunMorsel(const Morsel& m, WorkerContext& wctx) {
   RowBuffer* buf = state_->buffer_by_index(m.partition);
   TaggedHashTable* ht = state_->table();
-  int num_sockets = wctx.topo->num_sockets();
+  const int num_sockets = wctx.topo->num_sockets();
+  // Software pipeline: rows are prefetched kRowAhead iterations early, so
+  // by i+kSlotAhead the row header is resident and its hash can steer a
+  // slot prefetch — both the sequential row stream and the random slot
+  // stream stay ahead of the insert.
+  constexpr uint64_t kRowAhead = 8;
+  constexpr uint64_t kSlotAhead = 4;
+  SocketTally slot_writes;
   for (uint64_t i = m.begin; i < m.end; ++i) {
+    if (i + kRowAhead < m.end) MORSEL_PREFETCH(buf->row(i + kRowAhead));
+    if (i + kSlotAhead < m.end) {
+      ht->PrefetchSlot(TupleLayout::GetHash(buf->row(i + kSlotAhead)));
+    }
     uint8_t* row = buf->row(i);
     uint64_t hash = TupleLayout::GetHash(row);
     ht->Insert(row, hash);
-    // Reads the tuple from its storage area; writes an 8-byte slot of the
-    // socket-interleaved hash table array.
-    wctx.traffic->OnRead(wctx.socket, buf->socket(),
-                         state_->layout().row_size());
-    wctx.traffic->OnInterleavedWrite(wctx.socket, ht->SlotByteOffset(hash),
-                                     8, num_sockets);
+    slot_writes.AddInterleaved(ht->SlotByteOffset(hash), 8, num_sockets);
   }
+  // Per-morsel aggregated accounting: the tuples read from their storage
+  // area, and the 8-byte slots written into the socket-interleaved hash
+  // table array.
+  if (m.end > m.begin) {
+    wctx.traffic->OnRead(wctx.socket, buf->socket(),
+                         (m.end - m.begin) * state_->layout().row_size());
+  }
+  slot_writes.FlushWrites(wctx.traffic, wctx.socket, num_sockets);
 }
 
 HashProbeOp::HashProbeOp(JoinState* state, std::vector<int> probe_key_cols,
@@ -283,20 +313,12 @@ void HashProbeOp::FlushCandidates(const Chunk& in, const int32_t* cand_rows,
   pipeline.Push(filtered, self_index + 1, ctx);
 }
 
-void HashProbeOp::Process(Chunk& chunk, ExecContext& ctx,
-                          Pipeline& pipeline, int self_index) {
+void HashProbeOp::ProbeScalar(const Chunk& chunk, const uint64_t* hashes,
+                              uint8_t* matched, ExecContext& ctx,
+                              Pipeline& pipeline, int self_index) {
   TaggedHashTable* ht = state_->table();
   const TupleLayout& layout = state_->layout();
-  const uint64_t* hashes = HashRows(chunk, probe_key_cols_, ctx);
-  JoinKind kind = state_->kind();
-  const bool track_matches = kind != JoinKind::kInner &&
-                             kind != JoinKind::kRightOuterMark;
-
-  uint8_t* matched = nullptr;
-  if (track_matches) {
-    matched = ctx.arena.AllocArray<uint8_t>(chunk.n);
-    std::memset(matched, 0, chunk.n);
-  }
+  const JoinKind kind = state_->kind();
 
   // Candidate batch (probe row, build tuple) pairs.
   int32_t* cand_rows = ctx.arena.AllocArray<int32_t>(kChunkCapacity);
@@ -304,20 +326,19 @@ void HashProbeOp::Process(Chunk& chunk, ExecContext& ctx,
       ctx.arena.AllocArray<const uint8_t*>(kChunkCapacity);
   int n_cand = 0;
 
-  TrafficCounters* traffic = ctx.traffic();
-  const int my_socket = ctx.socket();
+  SocketTally chain_reads;
+  SocketTally slot_reads;
   const int num_sockets = ctx.num_sockets();
-  uint64_t chain_bytes_by_socket[kMaxSockets] = {};
+  int socket_hint = -1;
 
   for (int i = 0; i < chunk.n; ++i) {
     uint64_t hash = hashes[i];
     // One 8-byte read of the interleaved hash table array per probe.
-    traffic->OnInterleavedRead(my_socket, ht->SlotByteOffset(hash), 8,
-                               num_sockets);
+    slot_reads.AddInterleaved(ht->SlotByteOffset(hash), 8, num_sockets);
     uint8_t* tuple = ht->LookupHead(hash, ctx.use_tagging);
     while (tuple != nullptr) {
-      chain_bytes_by_socket[state_->SocketOfTuple(tuple)] +=
-          layout.row_size();
+      chain_reads.Add(state_->SocketOfTuple(tuple, &socket_hint),
+                      layout.row_size());
       if (TupleLayout::GetHash(tuple) == hash && KeysEqual(chunk, i, tuple)) {
         cand_rows[n_cand] = i;
         cand_tuples[n_cand] = tuple;
@@ -338,10 +359,135 @@ void HashProbeOp::Process(Chunk& chunk, ExecContext& ctx,
   FlushCandidates(chunk, cand_rows, cand_tuples, n_cand, matched, ctx,
                   pipeline, self_index);
 
-  for (int s = 0; s < num_sockets; ++s) {
-    if (chain_bytes_by_socket[s] != 0) {
-      traffic->OnRead(my_socket, s, chain_bytes_by_socket[s]);
+  slot_reads.FlushReads(ctx.traffic(), ctx.socket(), num_sockets);
+  chain_reads.FlushReads(ctx.traffic(), ctx.socket(), num_sockets);
+}
+
+void HashProbeOp::ProbeBatched(const Chunk& chunk, const uint64_t* hashes,
+                               uint8_t* matched, ExecContext& ctx,
+                               Pipeline& pipeline, int self_index) {
+  TaggedHashTable* ht = state_->table();
+  const TupleLayout& layout = state_->layout();
+  const JoinKind kind = state_->kind();
+  // Semi/anti without residual: first key match settles the probe row.
+  const bool settle_on_first =
+      residual_ == nullptr &&
+      (kind == JoinKind::kSemi || kind == JoinKind::kAnti);
+
+  // Stage 1: sweep all slot prefetches before the first slot is read, so
+  // the (usually cold) hash-table lines stream in concurrently. The
+  // 8-byte-per-probe slot-read accounting rides the same pass.
+  SocketTally slot_reads;
+  const int num_sockets = ctx.num_sockets();
+  for (int i = 0; i < chunk.n; ++i) {
+    ht->PrefetchSlot(hashes[i]);
+    slot_reads.AddInterleaved(ht->SlotByteOffset(hashes[i]), 8,
+                              num_sockets);
+  }
+  slot_reads.FlushReads(ctx.traffic(), ctx.socket(), num_sockets);
+
+  // Stage 2: load the chain heads, apply the 16-bit tag filter in bulk,
+  // and prefetch the surviving heads. Most misses die here having cost
+  // only the single slot read (§4.2).
+  int32_t* pend_rows = ctx.arena.AllocArray<int32_t>(chunk.n);
+  const uint8_t** pend_heads =
+      ctx.arena.AllocArray<const uint8_t*>(chunk.n);
+  int n_pend = 0;
+  const bool tag = ctx.use_tagging;
+  for (int i = 0; i < chunk.n; ++i) {
+    uint64_t slot = ht->SlotValue(hashes[i]);
+    if (tag && (slot & TaggedHashTable::TagOf(hashes[i])) == 0) continue;
+    const uint8_t* head = TaggedHashTable::DecodePointer(slot);
+    if (head == nullptr) continue;
+    MORSEL_PREFETCH(head);
+    pend_rows[n_pend] = i;
+    pend_heads[n_pend] = head;
+    ++n_pend;
+  }
+
+  int32_t* cand_rows = ctx.arena.AllocArray<int32_t>(kChunkCapacity);
+  const uint8_t** cand_tuples =
+      ctx.arena.AllocArray<const uint8_t*>(kChunkCapacity);
+  int n_cand = 0;
+
+  SocketTally chain_reads;
+  int socket_hint = -1;
+
+  // Stage 3: AMAC-style chain walking. A fixed window of in-flight
+  // probes round-robins: each visit examines one chain node whose line
+  // was prefetched a full window-sweep earlier, then prefetches the next
+  // node, so up to kProbeWindow chain misses are outstanding at once.
+  struct InFlight {
+    int32_t row;
+    const uint8_t* tuple;
+  };
+  InFlight win[kProbeWindow];
+  int filled = 0;
+  int next = 0;
+  while (filled < kProbeWindow && next < n_pend) {
+    win[filled++] = InFlight{pend_rows[next], pend_heads[next]};
+    ++next;
+  }
+  while (filled > 0) {
+    for (int j = 0; j < filled;) {
+      const uint8_t* tuple = win[j].tuple;
+      const int32_t row = win[j].row;
+      const uint64_t hash = hashes[row];
+      chain_reads.Add(state_->SocketOfTuple(tuple, &socket_hint),
+                      layout.row_size());
+      bool settled = false;
+      if (TupleLayout::GetHash(tuple) == hash &&
+          KeysEqual(chunk, row, tuple)) {
+        cand_rows[n_cand] = row;
+        cand_tuples[n_cand] = tuple;
+        if (++n_cand == kChunkCapacity) {
+          FlushCandidates(chunk, cand_rows, cand_tuples, n_cand, matched,
+                          ctx, pipeline, self_index);
+          n_cand = 0;
+        }
+        settled = settle_on_first;
+      }
+      const uint8_t* nxt =
+          settled ? nullptr : TupleLayout::GetNext(tuple);
+      if (nxt != nullptr) {
+        MORSEL_PREFETCH(nxt);
+        win[j].tuple = nxt;
+        ++j;
+      } else if (next < n_pend) {
+        // Chain exhausted: refill the slot with the next pending probe
+        // (its head line was prefetched in stage 2).
+        win[j] = InFlight{pend_rows[next], pend_heads[next]};
+        ++next;
+        ++j;
+      } else {
+        // Drain: shrink the window; the moved entry is examined next.
+        win[j] = win[--filled];
+      }
     }
+  }
+  FlushCandidates(chunk, cand_rows, cand_tuples, n_cand, matched, ctx,
+                  pipeline, self_index);
+
+  chain_reads.FlushReads(ctx.traffic(), ctx.socket(), num_sockets);
+}
+
+void HashProbeOp::Process(Chunk& chunk, ExecContext& ctx,
+                          Pipeline& pipeline, int self_index) {
+  const uint64_t* hashes = HashRows(chunk, probe_key_cols_, ctx);
+  JoinKind kind = state_->kind();
+  const bool track_matches = kind != JoinKind::kInner &&
+                             kind != JoinKind::kRightOuterMark;
+
+  uint8_t* matched = nullptr;
+  if (track_matches) {
+    matched = ctx.arena.AllocArray<uint8_t>(chunk.n);
+    std::memset(matched, 0, chunk.n);
+  }
+
+  if (ctx.batched_probe) {
+    ProbeBatched(chunk, hashes, matched, ctx, pipeline, self_index);
+  } else {
+    ProbeScalar(chunk, hashes, matched, ctx, pipeline, self_index);
   }
 
   // Post-pass for kinds keyed on match existence.

@@ -55,8 +55,15 @@ class JoinState {
 
   // --- accounting ----------------------------------------------------------
   // Socket of the storage area containing `tuple` (valid after
-  // FinishMaterialize).
-  int SocketOfTuple(const uint8_t* tuple) const;
+  // FinishMaterialize, which sorts the ranges by address). Binary search
+  // over the sorted ranges; the hint overload memoizes the last hit so a
+  // chunk's worth of lookups into the same storage area costs one compare
+  // per tuple (chains overwhelmingly stay within one worker's buffer).
+  int SocketOfTuple(const uint8_t* tuple) const {
+    int hint = -1;
+    return SocketOfTuple(tuple, &hint);
+  }
+  int SocketOfTuple(const uint8_t* tuple, int* hint) const;
 
   // Morsel ranges over the materialized build tuples, for the insert job.
   std::vector<MorselRange> InsertRanges() const;
@@ -84,13 +91,17 @@ class JoinState {
 // [keys..., payload...] matching the JoinState layout.
 class HashBuildSink final : public Sink {
  public:
-  explicit HashBuildSink(JoinState* state) : state_(state) {}
+  explicit HashBuildSink(JoinState* state)
+      : state_(state), key_cols_(IdentityCols(state->num_keys())) {}
 
   void Consume(Chunk& chunk, ExecContext& ctx) override;
   void Finalize(ExecContext& ctx) override;
 
  private:
   JoinState* state_;
+  // Key columns lead the build chunk by construction; computed once here
+  // instead of one heap allocation per consumed chunk.
+  std::vector<int> key_cols_;
 };
 
 // Phase 2 of the build (§4.1/§4.2): scan the storage areas NUMA-locally
@@ -127,7 +138,27 @@ class HashProbeOp final : public Operator {
   void Process(Chunk& chunk, ExecContext& ctx, Pipeline& pipeline,
                int self_index) override;
 
+  // In-flight probes of the batched pipeline's chain-walking stage. Large
+  // enough to overlap the latency of a memory access with useful work on
+  // the other in-flight probes (AMAC-style), small enough that the state
+  // stays in registers/L1.
+  static constexpr int kProbeWindow = 16;
+
  private:
+  // Row-at-a-time probe loop (the pre-batching baseline, kept as the
+  // `batched_probe=false` ablation arm).
+  void ProbeScalar(const Chunk& chunk, const uint64_t* hashes,
+                   uint8_t* matched, ExecContext& ctx, Pipeline& pipeline,
+                   int self_index);
+
+  // Staged, chunk-batched probe (DESIGN.md §5): (1) prefetch all slots,
+  // (2) bulk tag-filter chain heads and prefetch survivors, (3) walk the
+  // surviving chains in a kProbeWindow-wide state machine so chain-node
+  // cache misses overlap instead of serializing.
+  void ProbeBatched(const Chunk& chunk, const uint64_t* hashes,
+                    uint8_t* matched, ExecContext& ctx, Pipeline& pipeline,
+                    int self_index);
+
   // Emits candidate batch `cand` (probe row index + build tuple pairs):
   // applies residual, updates per-probe-row match flags, and for
   // inner/outer kinds pushes combined chunks downstream.

@@ -24,6 +24,14 @@ void GatherChunk(const Chunk& in, const int32_t* idx, int count,
 uint64_t HashRow(const Chunk& chunk, const std::vector<int>& key_cols,
                  int i);
 
+// The leading `n` column indices [0, n) — the key-column list for sinks
+// whose input chunks are laid out [keys..., payload...] by construction.
+inline std::vector<int> IdentityCols(int n) {
+  std::vector<int> cols(n);
+  for (int i = 0; i < n; ++i) cols[i] = i;
+  return cols;
+}
+
 // Computes hashes for all rows of a chunk into an arena array.
 const uint64_t* HashRows(const Chunk& chunk,
                          const std::vector<int>& key_cols, ExecContext& ctx);

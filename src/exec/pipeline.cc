@@ -6,11 +6,13 @@ ExecPipelineJob::ExecPipelineJob(QueryContext* query, std::string name,
                                  std::unique_ptr<Pipeline> pipeline,
                                  MorselQueue::Options queue_opts,
                                  bool use_tagging,
-                                 int static_division_workers)
+                                 int static_division_workers,
+                                 bool batched_probe)
     : PipelineJob(query, std::move(name)),
       pipeline_(std::move(pipeline)),
       queue_opts_(queue_opts),
       use_tagging_(use_tagging),
+      batched_probe_(batched_probe),
       static_division_workers_(static_division_workers) {
   contexts_.resize(query->num_worker_slots());
 }
@@ -36,6 +38,7 @@ ExecContext& ExecPipelineJob::LocalContext(WorkerContext& wctx) {
     slot = std::make_unique<ExecContext>();
     slot->worker = &wctx;
     slot->use_tagging = use_tagging_;
+    slot->batched_probe = batched_probe_;
   }
   return *slot;
 }

@@ -84,7 +84,8 @@ class ExecPipelineJob : public PipelineJob {
   ExecPipelineJob(QueryContext* query, std::string name,
                   std::unique_ptr<Pipeline> pipeline,
                   MorselQueue::Options queue_opts, bool use_tagging,
-                  int static_division_workers = 0);
+                  int static_division_workers = 0,
+                  bool batched_probe = true);
 
   void Prepare(const Topology& topo) override;
   void RunMorsel(const Morsel& m, WorkerContext& wctx) override;
@@ -98,6 +99,7 @@ class ExecPipelineJob : public PipelineJob {
   std::unique_ptr<Pipeline> pipeline_;
   MorselQueue::Options queue_opts_;
   bool use_tagging_;
+  bool batched_probe_;
   // Volcano emulation (§5.4): morsel size forced to ceil(n / workers).
   int static_division_workers_;
   std::vector<std::unique_ptr<ExecContext>> contexts_;

@@ -182,7 +182,7 @@ void SortState::MergePart(int part, WorkerContext& wctx) {
     end[run_pos] = boundaries_[part + 1][run_pos];
   }
   uint64_t out_pos = out_offsets_[part];
-  uint64_t read_bytes_by_socket[kMaxSockets] = {};
+  SocketTally run_reads;
   while (true) {
     int best = -1;
     const uint8_t* best_row = nullptr;
@@ -196,17 +196,14 @@ void SortState::MergePart(int part, WorkerContext& wctx) {
     }
     if (best == -1) break;
     std::memcpy(output_->row(out_pos), best_row, layout_.row_size());
-    read_bytes_by_socket[runs_[active_runs_[best]]->socket()] +=
-        layout_.row_size();
+    run_reads.Add(runs_[active_runs_[best]]->socket(),
+                  layout_.row_size());
     ++cursor[best];
     ++out_pos;
   }
   MORSEL_CHECK(out_pos == out_offsets_[part + 1]);
-  for (int s = 0; s < wctx.topo->num_sockets(); ++s) {
-    if (read_bytes_by_socket[s] != 0) {
-      wctx.traffic->OnRead(wctx.socket, s, read_bytes_by_socket[s]);
-    }
-  }
+  run_reads.FlushReads(wctx.traffic, wctx.socket,
+                       wctx.topo->num_sockets());
 }
 
 ResultSet SortState::ToResult() const {

@@ -58,6 +58,19 @@ class TaggedHashTable {
     return DecodePointer(slot);
   }
 
+  // Issues a prefetch for the slot of `hash`. First sweep of the staged
+  // probe pipeline (DESIGN.md §5): prefetching a whole chunk's slots
+  // before the first is read lets the misses overlap.
+  void PrefetchSlot(uint64_t hash) const {
+    MORSEL_PREFETCH(&slots_[SlotOf(hash)]);
+  }
+
+  // Raw slot word (tag bits + pointer) for `hash`; lets batched probing
+  // apply the tag filter on a value it already paid the cache miss for.
+  uint64_t SlotValue(uint64_t hash) const {
+    return slots_[SlotOf(hash)].load(std::memory_order_acquire);
+  }
+
   static constexpr uint64_t kPointerMask = (uint64_t{1} << 48) - 1;
 
   static uint8_t* DecodePointer(uint64_t slot) {

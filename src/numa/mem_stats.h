@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/macros.h"
+#include "numa/allocator.h"
 #include "numa/topology.h"
 
 namespace morsel {
@@ -46,19 +47,6 @@ struct alignas(kCacheLineSize) TrafficCounters {
     }
   }
 
-  // Charges a read against interleaved memory: the chunk the byte offset
-  // falls into determines the home socket (§4.2 hash table placement).
-  void OnInterleavedRead(int worker_socket, size_t byte_offset,
-                         uint64_t bytes, int num_sockets) {
-    OnRead(worker_socket, InterleavedSocketOf2(byte_offset, num_sockets),
-           bytes);
-  }
-  void OnInterleavedWrite(int worker_socket, size_t byte_offset,
-                          uint64_t bytes, int num_sockets) {
-    OnWrite(worker_socket, InterleavedSocketOf2(byte_offset, num_sockets),
-            bytes);
-  }
-
   void Reset() { *this = TrafficCounters(); }
 
   void MergeFrom(const TrafficCounters& other) {
@@ -70,10 +58,33 @@ struct alignas(kCacheLineSize) TrafficCounters {
       for (int b = 0; b < kMaxSockets; ++b) link[a][b] += other.link[a][b];
     }
   }
+};
 
- private:
-  static int InterleavedSocketOf2(size_t off, int n) {
-    return static_cast<int>((off >> 21) % static_cast<size_t>(n));
+// Per-chunk / per-morsel tally of bytes touched, bucketed by home
+// socket. Hot loops accumulate into the plain array and flush once per
+// batch — one OnRead/OnWrite per socket instead of one accounting call
+// per tuple. For interleaved memory (§4.2 hash table placement) the
+// home socket is derived from the byte offset's 2 MB chunk.
+struct SocketTally {
+  uint64_t bytes[kMaxSockets] = {};
+
+  void Add(int socket, uint64_t n) { bytes[socket] += n; }
+  void AddInterleaved(size_t byte_offset, uint64_t n, int num_sockets) {
+    bytes[InterleavedSocketOf(byte_offset, num_sockets)] += n;
+  }
+
+  void FlushReads(TrafficCounters* t, int worker_socket, int num_sockets) {
+    for (int s = 0; s < num_sockets; ++s) {
+      if (bytes[s] != 0) t->OnRead(worker_socket, s, bytes[s]);
+      bytes[s] = 0;
+    }
+  }
+  void FlushWrites(TrafficCounters* t, int worker_socket,
+                   int num_sockets) {
+    for (int s = 0; s < num_sockets; ++s) {
+      if (bytes[s] != 0) t->OnWrite(worker_socket, s, bytes[s]);
+      bytes[s] = 0;
+    }
   }
 };
 

@@ -140,10 +140,16 @@ TEST(MemStats, LocalRemoteClassification) {
 
 TEST(MemStats, InterleavedCharging) {
   TrafficCounters c;
+  SocketTally tally;
   // Offset 0 lives on socket 0; worker on socket 0 -> local.
-  c.OnInterleavedRead(0, 0, 8, 4);
+  tally.AddInterleaved(0, 8, 4);
   // Offset in the second 2MB chunk lives on socket 1 -> remote.
-  c.OnInterleavedRead(0, 2u << 20, 8, 4);
+  tally.AddInterleaved(2u << 20, 8, 4);
+  tally.FlushReads(&c, /*worker_socket=*/0, /*num_sockets=*/4);
+  EXPECT_EQ(c.read_local, 8u);
+  EXPECT_EQ(c.read_remote, 8u);
+  // Flushing resets the tally: a second flush adds nothing.
+  tally.FlushReads(&c, 0, 4);
   EXPECT_EQ(c.read_local, 8u);
   EXPECT_EQ(c.read_remote, 8u);
 }
