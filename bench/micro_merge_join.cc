@@ -1,0 +1,149 @@
+// Hash join vs MPSM sort-merge join throughput on the full engine path
+// (scan -> join -> count), across the input shapes that separate the two
+// algorithms:
+//
+//  - uniform    : random keys, the hash join's home turf
+//  - skewed     : 90% of probe keys collapse onto one hot key (separator
+//                 planning and per-partition merge under duplication)
+//  - presorted  : both inputs already key-ordered — the merge join's
+//                 local sorts degenerate to verification-speed passes
+//                 and its accesses turn sequential
+//
+// Emitted as BENCH_micro_merge_join.json by bench/run_micro.sh so the
+// hash-vs-merge trajectory is tracked PR over PR.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "engine/engine.h"
+#include "engine/query.h"
+#include "numa/topology.h"
+#include "storage/table.h"
+
+namespace morsel {
+namespace {
+
+constexpr int64_t kProbeRows = 1 << 20;  // 1M
+constexpr int64_t kBuildRows = 1 << 16;  // 64k
+constexpr int64_t kKeyRange = 1 << 16;
+
+enum class Shape { kUniform, kSkewed, kPresorted };
+
+const Topology& BenchTopo() {
+  static Topology topo(2, 2, InterconnectKind::kFullyConnected);
+  return topo;
+}
+
+std::unique_ptr<Table> MakeTable(int64_t rows, Shape shape, uint64_t seed,
+                                 const char* kname, const char* vname) {
+  Schema schema(
+      {{kname, LogicalType::kInt64}, {vname, LogicalType::kInt64}});
+  auto t = std::make_unique<Table>("bench", schema, BenchTopo());
+  Rng rng(seed);
+  for (int64_t i = 0; i < rows; ++i) {
+    int64_t k;
+    switch (shape) {
+      case Shape::kUniform:
+        k = rng.Uniform(0, kKeyRange - 1);
+        break;
+      case Shape::kSkewed:
+        k = rng.Bernoulli(0.9) ? 7 : rng.Uniform(0, kKeyRange - 1);
+        break;
+      case Shape::kPresorted:
+        k = i * kKeyRange / rows;  // ascending within each partition
+        break;
+    }
+    int p = static_cast<int>(i % t->num_partitions());
+    t->Int64Col(p, 0)->Append(k);
+    t->Int64Col(p, 1)->Append(i);
+  }
+  for (int p = 0; p < t->num_partitions(); ++p) t->SealPartition(p);
+  return t;
+}
+
+struct ShapeTables {
+  std::unique_ptr<Table> probe;
+  std::unique_ptr<Table> build;
+};
+
+const ShapeTables& TablesFor(Shape shape) {
+  static ShapeTables tables[3];
+  ShapeTables& t = tables[static_cast<int>(shape)];
+  if (t.probe == nullptr) {
+    // The build side stays uniform (a key-complete dimension) except in
+    // the presorted case, where both sides arrive ordered.
+    t.probe = MakeTable(kProbeRows, shape, 42, "pk", "pv");
+    t.build = MakeTable(
+        kBuildRows,
+        shape == Shape::kPresorted ? Shape::kPresorted : Shape::kUniform,
+        43, "bk", "bv");
+  }
+  return t;
+}
+
+int64_t RunJoin(Engine& engine, const ShapeTables& t) {
+  auto q = engine.CreateQuery();
+  PlanBuilder b = q->Scan(t.build.get(), {"bk", "bv"});
+  PlanBuilder p = q->Scan(t.probe.get(), {"pk", "pv"});
+  p.Join(std::move(b), {"pk"}, {"bk"}, {"bv"}, JoinKind::kInner);
+  std::vector<AggItem> aggs;
+  aggs.push_back({AggFunc::kCount, nullptr, "cnt"});
+  p.GroupBy({}, std::move(aggs));
+  p.CollectResult();
+  ResultSet r = q->Execute();
+  return r.num_rows() > 0 ? r.I64(0, 0) : 0;
+}
+
+void JoinBench(benchmark::State& state, Shape shape, JoinStrategy strategy) {
+  EngineOptions opts;
+  opts.morsel_size = 16384;
+  opts.join_strategy = strategy;
+  Engine engine(BenchTopo(), opts);
+  const ShapeTables& t = TablesFor(shape);
+  int64_t out = 0;
+  for (auto _ : state) {
+    out = RunJoin(engine, t);
+  }
+  benchmark::DoNotOptimize(out);
+  state.SetItemsProcessed(state.iterations() * kProbeRows);
+  state.counters["join_out_rows"] = static_cast<double>(out);
+}
+
+void BM_JoinUniformHash(benchmark::State& s) {
+  JoinBench(s, Shape::kUniform, JoinStrategy::kHash);
+}
+void BM_JoinUniformMerge(benchmark::State& s) {
+  JoinBench(s, Shape::kUniform, JoinStrategy::kMerge);
+}
+void BM_JoinSkewedHash(benchmark::State& s) {
+  JoinBench(s, Shape::kSkewed, JoinStrategy::kHash);
+}
+void BM_JoinSkewedMerge(benchmark::State& s) {
+  JoinBench(s, Shape::kSkewed, JoinStrategy::kMerge);
+}
+void BM_JoinPresortedHash(benchmark::State& s) {
+  JoinBench(s, Shape::kPresorted, JoinStrategy::kHash);
+}
+void BM_JoinPresortedMerge(benchmark::State& s) {
+  JoinBench(s, Shape::kPresorted, JoinStrategy::kMerge);
+}
+// UseRealTime: the engine parallelizes across worker threads, so the
+// meaningful rate is wall-clock rows/s, not main-thread CPU.
+BENCHMARK(BM_JoinUniformHash)->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK(BM_JoinUniformMerge)->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK(BM_JoinSkewedHash)->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK(BM_JoinSkewedMerge)->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK(BM_JoinPresortedHash)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+BENCHMARK(BM_JoinPresortedMerge)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+}  // namespace morsel
+
+BENCHMARK_MAIN();

@@ -1,28 +1,48 @@
 #!/usr/bin/env bash
-# Runs the tagged-hash-table micro benchmark and emits a JSON report so
-# successive PRs have a perf trajectory to compare against.
+# Runs the micro benchmarks and emits JSON reports so successive PRs have
+# a perf trajectory to compare against.
 #
 # Usage: bench/run_micro.sh [build_dir] [benchmark_filter]
 #   build_dir         cmake build directory (default: build)
 #   benchmark_filter  regex passed to --benchmark_filter (default: all)
 #
-# Output: BENCH_micro_hash_table.json in the repository root.
+# Output, in the repository root:
+#   BENCH_micro_hash_table.json  — tagged-hash-table + probe pipeline
+#   BENCH_micro_merge_join.json  — hash vs MPSM merge join (uniform /
+#                                  skewed / presorted inputs)
+#
+# A binary whose benchmarks are all excluded by the filter leaves its
+# checked-in report untouched (the trajectory files must never be
+# clobbered with empty runs).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
 FILTER="${2:-.*}"
-BIN="$BUILD_DIR/bench/micro_hash_table"
 
-if [[ ! -x "$BIN" ]]; then
-  echo "error: $BIN not built; run: cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
-  exit 1
-fi
+run_one() {
+  local name="$1"
+  local bin="$BUILD_DIR/bench/$name"
+  if [[ ! -x "$bin" ]]; then
+    echo "error: $bin not built; run: cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
+    exit 1
+  fi
+  local tmp
+  tmp="$(mktemp)"
+  "$bin" \
+    --benchmark_filter="$FILTER" \
+    --benchmark_out="$tmp" \
+    --benchmark_out_format=json \
+    --benchmark_repetitions=1
+  # Google Benchmark emits one "run_type" entry per executed benchmark.
+  if grep -q '"run_type"' "$tmp"; then
+    mv "$tmp" "BENCH_${name}.json"
+    echo "wrote BENCH_${name}.json"
+  else
+    rm -f "$tmp"
+    echo "filter '$FILTER' matched nothing in $name; kept existing BENCH_${name}.json"
+  fi
+}
 
-"$BIN" \
-  --benchmark_filter="$FILTER" \
-  --benchmark_out=BENCH_micro_hash_table.json \
-  --benchmark_out_format=json \
-  --benchmark_repetitions=1
-
-echo "wrote BENCH_micro_hash_table.json"
+run_one micro_hash_table
+run_one micro_merge_join

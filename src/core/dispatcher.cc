@@ -65,8 +65,19 @@ bool Dispatcher::GetTask(WorkerContext& ctx, Morsel* out) {
     // morsel, the queue reads as exhausted immediately, and a sibling's
     // TryComplete must not see finished == handed_out until this morsel
     // is processed. (Otherwise the job finalizes and its successors read
-    // sink state the straggler is still writing.)
-    job->handed_out.fetch_add(1, std::memory_order_acq_rel);
+    // sink state the straggler is still writing.) seq_cst pairs with the
+    // draining gate below.
+    job->handed_out.fetch_add(1, std::memory_order_seq_cst);
+    if (job->draining.load(std::memory_order_seq_cst)) {
+      // The job began completing (cancellation or exhaustion) between
+      // the pick and the reservation; a morsel cut now could run on a
+      // job whose owner is already freeing it. Back off — and since our
+      // transient over-count may have suppressed the completing
+      // thread's counter check, re-examine the job ourselves.
+      job->handed_out.fetch_sub(1, std::memory_order_seq_cst);
+      TryComplete(job, ctx);
+      continue;
+    }
     if (job->queue()->Next(ctx.socket, out)) {
       out->job = job;
       job->query()->active_workers().fetch_add(1,
@@ -104,8 +115,11 @@ void Dispatcher::TryComplete(PipelineJob* job, WorkerContext& ctx) {
   bool no_more = job->query()->cancelled() ||
                  (job->queue() != nullptr && job->queue()->Exhausted());
   if (!no_more) return;
-  uint64_t done = job->finished.load(std::memory_order_acquire);
-  uint64_t out = job->handed_out.load(std::memory_order_acquire);
+  // Close the job to new hand-outs BEFORE checking the counters (the
+  // other half of the two-phase gate, see PipelineJob::draining).
+  job->draining.store(true, std::memory_order_seq_cst);
+  uint64_t done = job->finished.load(std::memory_order_seq_cst);
+  uint64_t out = job->handed_out.load(std::memory_order_seq_cst);
   if (done != out) return;
   if (job->completed.exchange(true, std::memory_order_acq_rel)) return;
   RemoveJob(job);

@@ -49,6 +49,16 @@ class PipelineJob {
   // --- dispatcher bookkeeping (public within the scheduler) -------------
   std::atomic<uint64_t> handed_out{0};  // morsels given to workers
   std::atomic<uint64_t> finished{0};    // morsels fully processed
+  // Two-phase completion gate: set (seq_cst) by TryComplete once no
+  // further morsels may start (cancelled query / exhausted queue),
+  // BEFORE the handed_out == finished check. A worker that reserved a
+  // hand-out re-checks this gate after incrementing; seq_cst on both
+  // sides guarantees that either the worker sees the gate (and backs
+  // off) or the completing thread sees the reservation (and defers to
+  // that morsel's FinishMorsel). Without the gate, a cancellation could
+  // complete the job — letting the owner free it and the query state —
+  // while the worker goes on to cut and run a morsel from it.
+  std::atomic<bool> draining{false};
   std::atomic<bool> completed{false};   // completion fired exactly once
   int64_t submit_micros = 0;            // set by Submit (debug timing)
 

@@ -4,6 +4,10 @@
 
 namespace morsel {
 
+QepObject::~QepObject() {
+  if (started_.load(std::memory_order_acquire)) dispatcher_->Quiesce();
+}
+
 std::string QepObject::Describe() const {
   std::string out;
   for (size_t i = 0; i < nodes_.size(); ++i) {

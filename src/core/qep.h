@@ -31,6 +31,11 @@ class QepObject {
         dispatcher_(dispatcher),
         serialize_roots_(serialize_roots) {}
 
+  // Owns the pipeline jobs: waits one dispatcher grace period before
+  // freeing them, since workers scan the job-slot array without locks
+  // and may briefly hold pointers to completed jobs.
+  ~QepObject();
+
   QepObject(const QepObject&) = delete;
   QepObject& operator=(const QepObject&) = delete;
 

@@ -26,8 +26,14 @@ class QueryContext {
       : id_(id), priority_(priority) {}
 
   int id() const { return id_; }
-  double priority() const { return priority_; }
-  void set_priority(double p) { priority_ = p; }
+  // Priority may be re-weighted mid-execution (§3.1) while workers read
+  // it in the fair-share pick; relaxed atomics make the torn-read free.
+  double priority() const {
+    return priority_.load(std::memory_order_relaxed);
+  }
+  void set_priority(double p) {
+    priority_.store(p, std::memory_order_relaxed);
+  }
 
   int max_workers() const {
     return max_workers_.load(std::memory_order_relaxed);
@@ -81,7 +87,7 @@ class QueryContext {
 
  private:
   int id_;
-  double priority_;
+  std::atomic<double> priority_;
   std::atomic<int> max_workers_{std::numeric_limits<int>::max()};
   std::atomic<bool> cancelled_{false};
   std::atomic<int> active_workers_{0};

@@ -15,6 +15,15 @@ namespace morsel {
 
 class Query;
 
+// Global equi-join algorithm choice, applied by PlanBuilder::Join (an
+// ablation knob: hash join per §4.1 vs the MPSM-style sort-merge join of
+// Albutiu et al., both scheduled morsel-wise). Explicit HashJoin /
+// MergeJoin plan calls bypass the knob.
+enum class JoinStrategy {
+  kHash,
+  kMerge,
+};
+
 // Engine-wide execution options; the toggles reproduce the engine
 // variants of Figure 11 and §5.4:
 //  - full-fledged            : defaults
@@ -26,6 +35,7 @@ class Query;
 struct EngineOptions {
   int num_workers = 0;        // 0 = one per virtual core
   uint64_t morsel_size = 100000;  // §3.3 default
+  JoinStrategy join_strategy = JoinStrategy::kHash;
   bool numa_aware = true;     // prefer NUMA-local morsels
   bool steal = true;          // cross-socket work stealing
   bool closest_first = true;  // distance-ordered stealing

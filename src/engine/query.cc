@@ -24,14 +24,12 @@ Query::Query(Engine* engine, int id, double priority)
 
 Query::~Query() {
   // A still-running query must not outlive its operator state: cancel and
-  // drain before tearing down.
+  // drain before tearing down. The grace period for workers still holding
+  // job pointers runs in ~QepObject, right before the jobs are freed.
   if (started_ && !context_.done()) {
     Cancel();
     Wait();
   }
-  // Workers may briefly hold pointers to this query's jobs picked up from
-  // the dispatcher's slot array; wait one grace period before freeing.
-  if (started_) engine_->dispatcher()->Quiesce();
 }
 
 PlanBuilder Query::Scan(const Table* table,
@@ -123,10 +121,47 @@ int PlanBuilder::CloseInto(Sink* sink, const std::string& name) {
   MORSEL_CHECK_MSG(source_ != nullptr, "pipeline already closed");
   auto pipeline = std::make_unique<Pipeline>(std::move(source_),
                                              std::move(ops_), sink);
-  int id = query_->AddExecJob(name, std::move(pipeline), std::move(deps_));
+  std::string full_name = name_prefix_.empty() ? name : name_prefix_ + name;
+  name_prefix_.clear();
+  int id =
+      query_->AddExecJob(std::move(full_name), std::move(pipeline),
+                         std::move(deps_));
   deps_.clear();
   ops_.clear();
   return id;
+}
+
+PlanBuilder::JoinBuildPlan PlanBuilder::PrepareJoinBuild(
+    PlanBuilder& build, const std::vector<std::string>& build_keys,
+    const std::vector<std::string>& build_payload,
+    const std::function<ExprPtr(const ColScope&)>& residual) {
+  JoinBuildPlan plan;
+  // Re-order the build pipeline's output to [keys..., payload...].
+  std::vector<NamedExpr> build_exprs;
+  for (const std::string& k : build_keys) {
+    build_exprs.push_back(NamedExpr{k, build.Col(k)});
+    plan.build_types.push_back(build.ColType(k));
+  }
+  for (const std::string& p : build_payload) {
+    build_exprs.push_back(NamedExpr{p, build.Col(p)});
+    plan.build_types.push_back(build.ColType(p));
+    plan.payload_types.push_back(build.ColType(p));
+  }
+  build.Project(std::move(build_exprs));
+
+  if (residual != nullptr) {
+    // Residual scope: this side's columns followed by the emitted build
+    // payload (matching the combined chunk both probe paths produce).
+    std::vector<std::string> rnames = names_;
+    std::vector<LogicalType> rtypes = types_;
+    for (size_t p = 0; p < build_payload.size(); ++p) {
+      rnames.push_back(build_payload[p]);
+      rtypes.push_back(plan.payload_types[p]);
+    }
+    plan.residual =
+        residual(ColScope(std::move(rnames), std::move(rtypes)));
+  }
+  return plan;
 }
 
 PlanBuilder& PlanBuilder::HashJoin(
@@ -136,23 +171,10 @@ PlanBuilder& PlanBuilder::HashJoin(
     std::function<ExprPtr(const ColScope&)> residual) {
   MORSEL_CHECK(probe_keys.size() == build_keys.size());
   const int num_keys = static_cast<int>(build_keys.size());
+  JoinBuildPlan plan =
+      PrepareJoinBuild(build, build_keys, build_payload, residual);
 
-  // Re-order the build pipeline's output to [keys..., payload...].
-  std::vector<NamedExpr> build_exprs;
-  std::vector<LogicalType> build_types;
-  for (const std::string& k : build_keys) {
-    build_exprs.push_back(NamedExpr{k, build.Col(k)});
-    build_types.push_back(build.ColType(k));
-  }
-  std::vector<LogicalType> payload_types;
-  for (const std::string& p : build_payload) {
-    build_exprs.push_back(NamedExpr{p, build.Col(p)});
-    build_types.push_back(build.ColType(p));
-    payload_types.push_back(build.ColType(p));
-  }
-  build.Project(std::move(build_exprs));
-
-  JoinState* js = query_->Own<JoinState>(build_types, num_keys, kind,
+  JoinState* js = query_->Own<JoinState>(plan.build_types, num_keys, kind,
                                          query_->num_worker_slots());
   HashBuildSink* build_sink = query_->Own<HashBuildSink>(js);
   int build_job = build.CloseInto(build_sink, "join-build");
@@ -171,32 +193,90 @@ PlanBuilder& PlanBuilder::HashJoin(
     out_fields.push_back(num_keys + static_cast<int>(p));
   }
 
-  ExprPtr residual_expr;
-  if (residual != nullptr) {
-    // Residual scope: probe columns followed by the emitted build payload
-    // (matching HashProbeOp's combined chunk).
-    std::vector<std::string> rnames = names_;
-    std::vector<LogicalType> rtypes = types_;
-    for (size_t p = 0; p < build_payload.size(); ++p) {
-      rnames.push_back(build_payload[p]);
-      rtypes.push_back(payload_types[p]);
-    }
-    residual_expr = residual(ColScope(std::move(rnames), std::move(rtypes)));
-  }
-
   ops_.push_back(std::make_unique<HashProbeOp>(
       js, std::move(probe_cols), std::move(out_fields),
-      std::move(residual_expr)));
+      std::move(plan.residual)));
   deps_.push_back(insert_job);
 
   // Semi/anti emit probe columns only; other kinds append the payload.
   if (kind != JoinKind::kSemi && kind != JoinKind::kAnti) {
     for (size_t p = 0; p < build_payload.size(); ++p) {
       names_.push_back(build_payload[p]);
-      types_.push_back(payload_types[p]);
+      types_.push_back(plan.payload_types[p]);
     }
   }
   return *this;
+}
+
+PlanBuilder& PlanBuilder::MergeJoin(
+    PlanBuilder build, std::vector<std::string> probe_keys,
+    std::vector<std::string> build_keys,
+    std::vector<std::string> build_payload, JoinKind kind,
+    std::function<ExprPtr(const ColScope&)> residual) {
+  MORSEL_CHECK(probe_keys.size() == build_keys.size());
+  const int num_keys = static_cast<int>(build_keys.size());
+  JoinBuildPlan plan =
+      PrepareJoinBuild(build, build_keys, build_payload, residual);
+
+  std::vector<int> probe_cols;
+  for (const std::string& k : probe_keys) {
+    probe_cols.push_back(scope().Index(k));
+  }
+
+  MergeJoinState* js = query_->Own<MergeJoinState>(
+      types_, std::move(probe_cols), plan.build_types, num_keys, kind,
+      query_->num_worker_slots(), query_->engine()->num_workers());
+  js->set_residual(std::move(plan.residual));
+
+  // Build side: materialize NUMA-local runs, then sort each run.
+  RunMaterializeSink* build_sink =
+      query_->Own<RunMaterializeSink>(js->right());
+  int build_mat = build.CloseInto(build_sink, "merge-build-materialize");
+  int build_sort = query_->AddJob(
+      std::make_unique<LocalSortRunsJob>(
+          query_->context(), "merge-build-sort", js->right(),
+          query_->engine()->queue_options()),
+      {build_mat});
+
+  // Probe side: unlike the hash join's streaming probe, the merge join
+  // breaks this pipeline too — materialize and sort it the same way.
+  RunMaterializeSink* probe_sink =
+      query_->Own<RunMaterializeSink>(js->left());
+  int probe_mat = CloseInto(probe_sink, "merge-probe-materialize");
+  int probe_sort = query_->AddJob(
+      std::make_unique<LocalSortRunsJob>(
+          query_->context(), "merge-probe-sort", js->left(),
+          query_->engine()->queue_options()),
+      {probe_mat});
+
+  // Continue from the partition-merge-join source; partition planning
+  // happens in its MakeRanges once both sorts completed.
+  source_ = std::make_unique<MergeJoinSource>(js);
+  deps_ = {probe_sort, build_sort};
+  name_prefix_ = "partition-merge-join+";
+  if (kind != JoinKind::kSemi && kind != JoinKind::kAnti) {
+    for (size_t p = 0; p < build_payload.size(); ++p) {
+      names_.push_back(build_payload[p]);
+      types_.push_back(plan.payload_types[p]);
+    }
+  }
+  return *this;
+}
+
+PlanBuilder& PlanBuilder::Join(
+    PlanBuilder build, std::vector<std::string> probe_keys,
+    std::vector<std::string> build_keys,
+    std::vector<std::string> build_payload, JoinKind kind,
+    std::function<ExprPtr(const ColScope&)> residual) {
+  if (query_->engine()->options().join_strategy == JoinStrategy::kMerge &&
+      kind != JoinKind::kRightOuterMark) {
+    return MergeJoin(std::move(build), std::move(probe_keys),
+                     std::move(build_keys), std::move(build_payload), kind,
+                     std::move(residual));
+  }
+  return HashJoin(std::move(build), std::move(probe_keys),
+                  std::move(build_keys), std::move(build_payload), kind,
+                  std::move(residual));
 }
 
 PlanBuilder& PlanBuilder::GroupBy(std::vector<std::string> keys,
@@ -258,12 +338,14 @@ void PlanBuilder::OrderBy(std::vector<OrderItem> keys, int64_t limit) {
     query_->SetResultProvider([sink] { return sink->ToResult(); });
     return;
   }
-  SortMaterializeSink* sink = query_->Own<SortMaterializeSink>(ss);
+  RunMaterializeSink* sink = query_->Own<RunMaterializeSink>(ss->runs());
   int mat = CloseInto(sink, "sort-materialize");
+  int merge_parts = query_->engine()->num_workers();
   int local = query_->AddJob(
-      std::make_unique<LocalSortJob>(query_->context(), "local-sort", ss,
-                                     query_->engine()->queue_options(),
-                                     query_->engine()->num_workers()),
+      std::make_unique<LocalSortRunsJob>(
+          query_->context(), "local-sort", ss->runs(),
+          query_->engine()->queue_options(),
+          [ss, merge_parts] { ss->PlanMerge(merge_parts); }),
       {mat});
   query_->AddJob(
       std::make_unique<MergeJob>(query_->context(), "merge", ss,

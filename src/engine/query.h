@@ -10,6 +10,7 @@
 #include "engine/engine.h"
 #include "exec/aggregation.h"
 #include "exec/hash_join.h"
+#include "exec/merge_join.h"
 #include "exec/result.h"
 #include "exec/sort.h"
 #include "storage/table.h"
@@ -180,6 +181,27 @@ class PlanBuilder {
       std::vector<std::string> build_payload, JoinKind kind,
       std::function<ExprPtr(const ColScope&)> residual = nullptr);
 
+  // MPSM-style sort-merge equi-join (same signature shape and output
+  // semantics as HashJoin; kRightOuterMark is unsupported). Both sides
+  // materialize NUMA-local sorted runs, global separator keys range-
+  // partition them, and each output partition merge-joins as one
+  // independent morsel. Breaks *both* pipelines: the returned builder
+  // continues from the partition-merge-join source.
+  PlanBuilder& MergeJoin(
+      PlanBuilder build, std::vector<std::string> probe_keys,
+      std::vector<std::string> build_keys,
+      std::vector<std::string> build_payload, JoinKind kind,
+      std::function<ExprPtr(const ColScope&)> residual = nullptr);
+
+  // Strategy-dispatching join: picks HashJoin or MergeJoin per the
+  // engine's EngineOptions::join_strategy ablation knob (falling back to
+  // hash for kinds the merge join does not support).
+  PlanBuilder& Join(
+      PlanBuilder build, std::vector<std::string> probe_keys,
+      std::vector<std::string> build_keys,
+      std::vector<std::string> build_payload, JoinKind kind,
+      std::function<ExprPtr(const ColScope&)> residual = nullptr);
+
   // GROUP BY: breaks the pipeline (two-phase aggregation); the returned
   // builder continues from the aggregation output with columns
   // [keys..., agg outputs...].
@@ -199,12 +221,30 @@ class PlanBuilder {
   // Closes the current pipeline with the given sink; returns the job id.
   int CloseInto(Sink* sink, const std::string& name);
 
+  // Shared join-planner prologue (both strategies must agree on it
+  // exactly — the differential tests depend on identical semantics):
+  // re-projects `build` to [keys..., payload...], and resolves the
+  // residual against this side's columns + the emitted payload.
+  struct JoinBuildPlan {
+    std::vector<LogicalType> build_types;    // [key types..., payload...]
+    std::vector<LogicalType> payload_types;
+    ExprPtr residual;                        // nullptr if none given
+  };
+  JoinBuildPlan PrepareJoinBuild(
+      PlanBuilder& build, const std::vector<std::string>& build_keys,
+      const std::vector<std::string>& build_payload,
+      const std::function<ExprPtr(const ColScope&)>& residual);
+
   Query* query_;
   std::unique_ptr<Source> source_;
   std::vector<std::unique_ptr<Operator>> ops_;
   std::vector<std::string> names_;
   std::vector<LogicalType> types_;
   std::vector<int> deps_;
+  // Prepended to the next closed pipeline's job name; set when a
+  // non-scan source (partition merge join) starts the open pipeline so
+  // ExplainPlan names the whole segment.
+  std::string name_prefix_;
 };
 
 }  // namespace morsel

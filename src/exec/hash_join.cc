@@ -196,38 +196,8 @@ void HashProbeOp::EmitProbeOnly(const Chunk& in, const int32_t* rows,
   Chunk out;
   GatherChunk(in, rows, count, &ctx.arena, &out);
   if (pad_build) {
-    const TupleLayout& layout = state_->layout();
-    for (int f : build_output_fields_) {
-      Vector v;
-      v.type = layout.field_type(f);
-      switch (v.type) {
-        case LogicalType::kInt32: {
-          auto* d = ctx.arena.AllocArray<int32_t>(count);
-          std::fill(d, d + count, 0);
-          v.data = d;
-          break;
-        }
-        case LogicalType::kInt64: {
-          auto* d = ctx.arena.AllocArray<int64_t>(count);
-          std::fill(d, d + count, int64_t{0});
-          v.data = d;
-          break;
-        }
-        case LogicalType::kDouble: {
-          auto* d = ctx.arena.AllocArray<double>(count);
-          std::fill(d, d + count, 0.0);
-          v.data = d;
-          break;
-        }
-        case LogicalType::kString: {
-          auto* d = ctx.arena.AllocArray<std::string_view>(count);
-          std::fill(d, d + count, std::string_view());
-          v.data = d;
-          break;
-        }
-      }
-      out.cols.push_back(v);
-    }
+    AppendDefaultColumns(state_->layout(), build_output_fields_, count,
+                         &ctx.arena, &out);
   }
   pipeline.Push(out, self_index + 1, ctx);
 }
@@ -242,37 +212,8 @@ void HashProbeOp::FlushCandidates(const Chunk& in, const int32_t* cand_rows,
   // Combined chunk: gathered probe columns + decoded build fields.
   Chunk combined;
   GatherChunk(in, cand_rows, count, &ctx.arena, &combined);
-  for (int f : build_output_fields_) {
-    Vector v;
-    v.type = layout.field_type(f);
-    switch (v.type) {
-      case LogicalType::kInt32: {
-        auto* d = ctx.arena.AllocArray<int32_t>(count);
-        for (int i = 0; i < count; ++i) d[i] = layout.GetI32(cand_tuples[i], f);
-        v.data = d;
-        break;
-      }
-      case LogicalType::kInt64: {
-        auto* d = ctx.arena.AllocArray<int64_t>(count);
-        for (int i = 0; i < count; ++i) d[i] = layout.GetI64(cand_tuples[i], f);
-        v.data = d;
-        break;
-      }
-      case LogicalType::kDouble: {
-        auto* d = ctx.arena.AllocArray<double>(count);
-        for (int i = 0; i < count; ++i) d[i] = layout.GetF64(cand_tuples[i], f);
-        v.data = d;
-        break;
-      }
-      case LogicalType::kString: {
-        auto* d = ctx.arena.AllocArray<std::string_view>(count);
-        for (int i = 0; i < count; ++i) d[i] = layout.GetStr(cand_tuples[i], f);
-        v.data = d;
-        break;
-      }
-    }
-    combined.cols.push_back(v);
-  }
+  DecodeRowsToColumns(layout, cand_tuples, count, build_output_fields_,
+                      &ctx.arena, &combined);
 
   // Residual predicate over the combined rows.
   const int32_t* pass = nullptr;
@@ -520,58 +461,24 @@ void UnmatchedBuildSource::RunMorsel(const Morsel& m, Pipeline& pipeline,
   RowBuffer* buf = state_->buffer_by_index(m.partition);
   const TupleLayout& layout = state_->layout();
   MORSEL_CHECK(layout.has_marker());
-  Chunk out;
-  out.cols.resize(layout.num_fields());
-  int32_t* unmatched = ctx.arena.AllocArray<int32_t>(kChunkCapacity);
+  std::vector<int> all_fields;
+  for (int f = 0; f < layout.num_fields(); ++f) all_fields.push_back(f);
+  const uint8_t** unmatched =
+      ctx.arena.AllocArray<const uint8_t*>(kChunkCapacity);
   for (uint64_t base = m.begin; base < m.end; base += kChunkCapacity) {
     uint64_t limit = std::min(base + kChunkCapacity, m.end);
     int count = 0;
     for (uint64_t i = base; i < limit; ++i) {
       uint8_t* row = buf->row(i);
       if (MarkerOf(row, layout)->load(std::memory_order_relaxed) == 0) {
-        unmatched[count++] = static_cast<int32_t>(i - base);
+        unmatched[count++] = row;
       }
     }
     if (count == 0) continue;
+    Chunk out;
     out.n = count;
-    for (int f = 0; f < layout.num_fields(); ++f) {
-      Vector& v = out.cols[f];
-      v.type = layout.field_type(f);
-      switch (v.type) {
-        case LogicalType::kInt32: {
-          auto* d = ctx.arena.AllocArray<int32_t>(count);
-          for (int j = 0; j < count; ++j) {
-            d[j] = layout.GetI32(buf->row(base + unmatched[j]), f);
-          }
-          v.data = d;
-          break;
-        }
-        case LogicalType::kInt64: {
-          auto* d = ctx.arena.AllocArray<int64_t>(count);
-          for (int j = 0; j < count; ++j) {
-            d[j] = layout.GetI64(buf->row(base + unmatched[j]), f);
-          }
-          v.data = d;
-          break;
-        }
-        case LogicalType::kDouble: {
-          auto* d = ctx.arena.AllocArray<double>(count);
-          for (int j = 0; j < count; ++j) {
-            d[j] = layout.GetF64(buf->row(base + unmatched[j]), f);
-          }
-          v.data = d;
-          break;
-        }
-        case LogicalType::kString: {
-          auto* d = ctx.arena.AllocArray<std::string_view>(count);
-          for (int j = 0; j < count; ++j) {
-            d[j] = layout.GetStr(buf->row(base + unmatched[j]), f);
-          }
-          v.data = d;
-          break;
-        }
-      }
-    }
+    DecodeRowsToColumns(layout, unmatched, count, all_fields, &ctx.arena,
+                        &out);
     ctx.traffic()->OnRead(ctx.socket(), buf->socket(),
                           uint64_t{static_cast<uint64_t>(count)} *
                               layout.row_size());

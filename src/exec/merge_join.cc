@@ -1,0 +1,367 @@
+#include "exec/merge_join.h"
+
+#include <algorithm>
+
+#include "exec/operators.h"
+
+namespace morsel {
+
+namespace {
+
+std::vector<SortKey> AscendingKeys(const std::vector<int>& fields) {
+  std::vector<SortKey> keys;
+  for (int f : fields) keys.push_back(SortKey{f, true});
+  return keys;
+}
+
+std::vector<SortKey> LeadingKeys(int num_keys) {
+  std::vector<SortKey> keys;
+  for (int k = 0; k < num_keys; ++k) keys.push_back(SortKey{k, true});
+  return keys;
+}
+
+}  // namespace
+
+MergeJoinState::MergeJoinState(std::vector<LogicalType> left_types,
+                               std::vector<int> left_key_cols,
+                               std::vector<LogicalType> right_types,
+                               int num_keys, JoinKind kind,
+                               int num_worker_slots, int num_parts)
+    : left_(left_types, AscendingKeys(left_key_cols), num_worker_slots),
+      right_(right_types, LeadingKeys(num_keys), num_worker_slots),
+      num_keys_(num_keys),
+      kind_(kind),
+      num_parts_(std::max(num_parts, 1)),
+      left_key_cols_(std::move(left_key_cols)) {
+  MORSEL_CHECK(static_cast<int>(left_key_cols_.size()) == num_keys_);
+  MORSEL_CHECK_MSG(kind_ != JoinKind::kRightOuterMark,
+                   "merge join does not support right-outer-mark");
+  for (int k = 0; k < num_keys_; ++k) {
+    LogicalType rt = right_.layout().field_type(k);
+    LogicalType lt = left_.layout().field_type(left_key_cols_[k]);
+    KeyClass cls;
+    switch (rt) {
+      case LogicalType::kInt32:
+      case LogicalType::kInt64:
+        cls = KeyClass::kInt;
+        MORSEL_CHECK(lt == LogicalType::kInt32 ||
+                     lt == LogicalType::kInt64);
+        break;
+      case LogicalType::kDouble:
+        cls = KeyClass::kFloat;
+        MORSEL_CHECK(lt == LogicalType::kDouble);
+        break;
+      case LogicalType::kString:
+        cls = KeyClass::kStr;
+        MORSEL_CHECK(lt == LogicalType::kString);
+        break;
+      default:
+        cls = KeyClass::kInt;
+        MORSEL_CHECK(false);
+    }
+    key_class_.push_back(cls);
+  }
+  for (int f = 0; f < left_.layout().num_fields(); ++f) {
+    left_fields_.push_back(f);
+  }
+  for (int f = num_keys_; f < right_.layout().num_fields(); ++f) {
+    payload_fields_.push_back(f);
+  }
+}
+
+int MergeJoinState::CompareKey(const uint8_t* a, bool a_right,
+                               const uint8_t* b, bool b_right) const {
+  const TupleLayout& la = a_right ? right_.layout() : left_.layout();
+  const TupleLayout& lb = b_right ? right_.layout() : left_.layout();
+  for (int k = 0; k < num_keys_; ++k) {
+    int fa = a_right ? k : left_key_cols_[k];
+    int fb = b_right ? k : left_key_cols_[k];
+    switch (key_class_[k]) {
+      case KeyClass::kInt: {
+        int64_t va = la.GetI64(a, fa);
+        int64_t vb = lb.GetI64(b, fb);
+        if (va != vb) return va < vb ? -1 : 1;
+        break;
+      }
+      case KeyClass::kFloat: {
+        double va = la.GetF64(a, fa);
+        double vb = lb.GetF64(b, fb);
+        // Mirror RunSet::Less exactly (NaN compares as a tie): the
+        // partition binary search must see the same order the runs were
+        // sorted with, and `!=` alone would make CompareKey(a,b) and
+        // CompareKey(b,a) both positive for NaN.
+        if (va < vb) return -1;
+        if (va > vb) return 1;
+        break;
+      }
+      case KeyClass::kStr: {
+        int c = la.GetStr(a, fa).compare(lb.GetStr(b, fb));
+        if (c != 0) return c < 0 ? -1 : 1;
+        break;
+      }
+    }
+  }
+  return 0;
+}
+
+void MergeJoinState::PlanJoin() {
+  struct Sample {
+    const uint8_t* row;
+    bool right;
+  };
+  // "each thread picks equidistant keys from its sorted run" — here from
+  // the runs of BOTH inputs, so separators balance whichever side is
+  // larger or more skewed.
+  std::vector<Sample> samples;
+  for (const uint8_t* r : left_.SampleKeys(num_parts_)) {
+    samples.push_back(Sample{r, false});
+  }
+  for (const uint8_t* r : right_.SampleKeys(num_parts_)) {
+    samples.push_back(Sample{r, true});
+  }
+  std::sort(samples.begin(), samples.end(),
+            [this](const Sample& a, const Sample& b) {
+              return CompareKey(a.row, a.right, b.row, b.right) < 0;
+            });
+  std::vector<Sample> seps = PickSeparators(samples, num_parts_);
+  // The same separator keys bound both sides, so rows with equal keys
+  // land in the same output partition no matter which side they're on.
+  left_.PlanPartitions(static_cast<int>(seps.size()),
+                       [&](const uint8_t* row, int s) {
+                         return CompareKey(row, false, seps[s].row,
+                                           seps[s].right) < 0;
+                       });
+  right_.PlanPartitions(static_cast<int>(seps.size()),
+                        [&](const uint8_t* row, int s) {
+                          return CompareKey(row, true, seps[s].row,
+                                            seps[s].right) < 0;
+                        });
+}
+
+void MergeJoinState::FlushMatches(
+    const std::vector<const uint8_t*>& cand_left,
+    const std::vector<const uint8_t*>& cand_right, ExecContext& ctx,
+    Pipeline& pipeline) {
+  const int count = static_cast<int>(cand_left.size());
+  if (count == 0) return;
+  Chunk combined;
+  combined.n = count;
+  DecodeRowsToColumns(left_.layout(), cand_left.data(), count,
+                      left_fields_, &ctx.arena, &combined);
+  DecodeRowsToColumns(right_.layout(), cand_right.data(), count,
+                      payload_fields_, &ctx.arena, &combined);
+  if (residual_ != nullptr) {
+    // Inner join only: for the other kinds the residual participates in
+    // match existence and runs through GroupResidualMatch instead.
+    Vector flags;
+    residual_->Eval(combined, ctx, &flags);
+    const int32_t* pass = flags.i32();
+    int32_t* keep = ctx.arena.AllocArray<int32_t>(count);
+    int surviving = 0;
+    for (int i = 0; i < count; ++i) {
+      if (pass[i] != 0) keep[surviving++] = i;
+    }
+    if (surviving == 0) {
+      ctx.arena.Reset();
+      return;
+    }
+    if (surviving < count) {
+      Chunk filtered;
+      GatherChunk(combined, keep, surviving, &ctx.arena, &filtered);
+      pipeline.Push(filtered, 0, ctx);
+      ctx.arena.Reset();
+      return;
+    }
+  }
+  pipeline.Push(combined, 0, ctx);
+  // Downstream consumed the chunk (sinks copy/intern); one partition is
+  // one morsel, so release the chunk temporaries here instead of letting
+  // the arena grow with the whole partition's output.
+  ctx.arena.Reset();
+}
+
+void MergeJoinState::FlushLeftOnly(const std::vector<const uint8_t*>& rows,
+                                   bool pad, ExecContext& ctx,
+                                   Pipeline& pipeline) {
+  const int count = static_cast<int>(rows.size());
+  if (count == 0) return;
+  Chunk out;
+  out.n = count;
+  DecodeRowsToColumns(left_.layout(), rows.data(), count, left_fields_,
+                      &ctx.arena, &out);
+  if (pad) {
+    AppendDefaultColumns(right_.layout(), payload_fields_, count,
+                         &ctx.arena, &out);
+  }
+  pipeline.Push(out, 0, ctx);
+  ctx.arena.Reset();
+}
+
+bool MergeJoinState::GroupResidualMatch(
+    const uint8_t* l, const std::vector<const uint8_t*>& group,
+    bool emit_pass, ExecContext& ctx, Pipeline& pipeline) {
+  bool matched = false;
+  for (size_t base = 0; base < group.size(); base += kChunkCapacity) {
+    const int count = static_cast<int>(
+        std::min<size_t>(kChunkCapacity, group.size() - base));
+    const uint8_t** lrows = ctx.arena.AllocArray<const uint8_t*>(count);
+    std::fill(lrows, lrows + count, l);
+    Chunk combined;
+    combined.n = count;
+    DecodeRowsToColumns(left_.layout(), lrows, count, left_fields_,
+                        &ctx.arena, &combined);
+    DecodeRowsToColumns(right_.layout(), group.data() + base, count,
+                        payload_fields_, &ctx.arena, &combined);
+    Vector flags;
+    residual_->Eval(combined, ctx, &flags);
+    const int32_t* pass = flags.i32();
+    int32_t* keep = ctx.arena.AllocArray<int32_t>(count);
+    int surviving = 0;
+    for (int i = 0; i < count; ++i) {
+      if (pass[i] != 0) keep[surviving++] = i;
+    }
+    matched |= surviving > 0;
+    if (emit_pass && surviving > 0) {
+      if (surviving == count) {
+        pipeline.Push(combined, 0, ctx);
+      } else {
+        Chunk filtered;
+        GatherChunk(combined, keep, surviving, &ctx.arena, &filtered);
+        pipeline.Push(filtered, 0, ctx);
+      }
+    }
+    ctx.arena.Reset();
+    if (matched && !emit_pass) break;  // existence settled
+  }
+  return matched;
+}
+
+void MergeJoinState::JoinPart(int part, Pipeline& pipeline,
+                              ExecContext& ctx) {
+  RunSet::PartCursor lc(&left_, part);
+  RunSet::PartCursor rc(&right_, part);
+  SocketTally reads;
+  const int num_sockets = ctx.num_sockets();
+  const int left_row_size = left_.layout().row_size();
+  const int right_row_size = right_.layout().row_size();
+
+  // The right-side group of rows sharing the current key. Cached across
+  // consecutive equal left keys so duplicates rescan in-memory pointers,
+  // not the cursor.
+  std::vector<const uint8_t*> group;
+  bool have_group = false;
+
+  std::vector<const uint8_t*> cand_left, cand_right;  // matched pairs
+  std::vector<const uint8_t*> left_only;  // semi/anti/outer-miss rows
+  cand_left.reserve(kChunkCapacity);
+  cand_right.reserve(kChunkCapacity);
+  left_only.reserve(kChunkCapacity);
+  const bool pad_left_only = kind_ == JoinKind::kLeftOuter;
+  // Non-inner kinds route the residual through per-row existence checks.
+  const bool per_row_residual =
+      residual_ != nullptr && kind_ != JoinKind::kInner;
+
+  auto emit_pair = [&](const uint8_t* l, const uint8_t* r) {
+    cand_left.push_back(l);
+    cand_right.push_back(r);
+    if (static_cast<int>(cand_left.size()) == kChunkCapacity) {
+      FlushMatches(cand_left, cand_right, ctx, pipeline);
+      cand_left.clear();
+      cand_right.clear();
+    }
+  };
+  auto emit_left_only = [&](const uint8_t* l) {
+    left_only.push_back(l);
+    if (static_cast<int>(left_only.size()) == kChunkCapacity) {
+      FlushLeftOnly(left_only, pad_left_only, ctx, pipeline);
+      left_only.clear();
+    }
+  };
+
+  while (!lc.AtEnd()) {
+    const uint8_t* l = lc.row();
+    reads.Add(left_.run_by_index(lc.run_id())->socket(), left_row_size);
+
+    // Position the right group at the smallest key >= l's key.
+    int cmp = -1;  // l vs group key; -1 when the right side is exhausted
+    while (true) {
+      if (!have_group) {
+        if (rc.AtEnd()) break;
+        group.clear();
+        const uint8_t* group_key = rc.row();
+        do {
+          reads.Add(right_.run_by_index(rc.run_id())->socket(),
+                    right_row_size);
+          group.push_back(rc.row());
+          rc.Advance();
+        } while (!rc.AtEnd() &&
+                 CompareKey(rc.row(), true, group_key, true) == 0);
+        have_group = true;
+      }
+      cmp = CompareKey(l, false, group.front(), true);
+      if (cmp <= 0) break;  // group key >= l's key
+      have_group = false;   // l is beyond this group: fetch the next
+      cmp = -1;
+    }
+    const bool key_match = have_group && cmp == 0;
+
+    if (!key_match) {
+      if (kind_ == JoinKind::kAnti || kind_ == JoinKind::kLeftOuter) {
+        emit_left_only(l);
+      }
+    } else {
+      switch (kind_) {
+        case JoinKind::kInner:
+          for (const uint8_t* r : group) emit_pair(l, r);
+          break;
+        case JoinKind::kSemi:
+          if (!per_row_residual ||
+              GroupResidualMatch(l, group, /*emit_pass=*/false, ctx,
+                                 pipeline)) {
+            emit_left_only(l);
+          }
+          break;
+        case JoinKind::kAnti:
+          if (per_row_residual &&
+              !GroupResidualMatch(l, group, /*emit_pass=*/false, ctx,
+                                  pipeline)) {
+            emit_left_only(l);
+          }
+          break;
+        case JoinKind::kLeftOuter:
+          if (!per_row_residual) {
+            for (const uint8_t* r : group) emit_pair(l, r);
+          } else if (!GroupResidualMatch(l, group, /*emit_pass=*/true, ctx,
+                                         pipeline)) {
+            emit_left_only(l);
+          }
+          break;
+        default:
+          MORSEL_CHECK(false);
+      }
+    }
+    lc.Advance();
+  }
+  FlushMatches(cand_left, cand_right, ctx, pipeline);
+  FlushLeftOnly(left_only, pad_left_only, ctx, pipeline);
+  reads.FlushReads(ctx.traffic(), ctx.socket(), num_sockets);
+}
+
+std::vector<MorselRange> MergeJoinSource::MakeRanges(const Topology& topo) {
+  state_->PlanJoin();
+  std::vector<MorselRange> out;
+  for (int p = 0; p < state_->planned_parts(); ++p) {
+    // Left rows drive the output for every supported kind; a partition
+    // with no left rows cannot emit anything.
+    if (state_->left()->PartRows(p) == 0) continue;
+    out.push_back(MorselRange{p, 0, 1, p % topo.num_sockets()});
+  }
+  return out;
+}
+
+void MergeJoinSource::RunMorsel(const Morsel& m, Pipeline& pipeline,
+                                ExecContext& ctx) {
+  state_->JoinPart(m.partition, pipeline, ctx);
+}
+
+}  // namespace morsel

@@ -1,0 +1,208 @@
+#include "exec/run_set.h"
+
+#include <algorithm>
+
+namespace morsel {
+
+RunSet::RunSet(std::vector<LogicalType> column_types,
+               std::vector<SortKey> keys, int num_worker_slots)
+    : layout_(std::move(column_types), /*with_marker=*/false),
+      keys_(std::move(keys)),
+      runs_(num_worker_slots),
+      string_arenas_(num_worker_slots),
+      order_(num_worker_slots) {
+  // order_ is sized up front: local sorts of different runs execute
+  // concurrently and must never resize the shared vector.
+  for (const SortKey& k : keys_) {
+    MORSEL_CHECK(k.field >= 0 && k.field < layout_.num_fields());
+  }
+}
+
+RowBuffer* RunSet::run(int worker_id, int socket) {
+  std::unique_ptr<RowBuffer>& b = runs_[worker_id];
+  if (b == nullptr) b = std::make_unique<RowBuffer>(&layout_, socket);
+  return b.get();
+}
+
+std::string_view RunSet::InternString(int worker_id, std::string_view s) {
+  std::unique_ptr<Arena>& a = string_arenas_[worker_id];
+  if (a == nullptr) a = std::make_unique<Arena>();
+  return a->CopyString(s);
+}
+
+bool RunSet::Less(const uint8_t* a, const uint8_t* b) const {
+  for (const SortKey& k : keys_) {
+    int c;
+    switch (layout_.field_type(k.field)) {
+      case LogicalType::kInt32:
+      case LogicalType::kInt64: {
+        int64_t va = layout_.GetI64(a, k.field);
+        int64_t vb = layout_.GetI64(b, k.field);
+        c = va < vb ? -1 : (va > vb ? 1 : 0);
+        break;
+      }
+      case LogicalType::kDouble: {
+        double va = layout_.GetF64(a, k.field);
+        double vb = layout_.GetF64(b, k.field);
+        c = va < vb ? -1 : (va > vb ? 1 : 0);
+        break;
+      }
+      case LogicalType::kString: {
+        int r =
+            layout_.GetStr(a, k.field).compare(layout_.GetStr(b, k.field));
+        c = r < 0 ? -1 : (r > 0 ? 1 : 0);
+        break;
+      }
+      default:
+        c = 0;
+    }
+    if (c != 0) return k.ascending ? c < 0 : c > 0;
+  }
+  return false;
+}
+
+std::vector<MorselRange> RunSet::LocalSortRanges() const {
+  std::vector<MorselRange> out;
+  for (size_t i = 0; i < runs_.size(); ++i) {
+    if (runs_[i] == nullptr || runs_[i]->rows() == 0) continue;
+    // One morsel per run: local sorts are atomic units.
+    out.push_back(
+        MorselRange{static_cast<int>(i), 0, 1, runs_[i]->socket()});
+  }
+  return out;
+}
+
+void RunSet::SortRun(int run_index) {
+  RowBuffer* buf = runs_[run_index].get();
+  std::vector<uint32_t>& order = order_[run_index];
+  order.resize(buf->rows());
+  for (size_t i = 0; i < order.size(); ++i) {
+    order[i] = static_cast<uint32_t>(i);
+  }
+  std::sort(order.begin(), order.end(), [&](uint32_t x, uint32_t y) {
+    return Less(buf->row(x), buf->row(y));
+  });
+}
+
+void RunSet::FreezeActive() {
+  active_runs_.clear();
+  total_rows_ = 0;
+  for (size_t i = 0; i < runs_.size(); ++i) {
+    if (runs_[i] != nullptr && runs_[i]->rows() > 0) {
+      active_runs_.push_back(static_cast<int>(i));
+      total_rows_ += runs_[i]->rows();
+    }
+  }
+}
+
+std::vector<const uint8_t*> RunSet::SampleKeys(int num_parts) {
+  FreezeActive();
+  std::vector<const uint8_t*> samples;
+  for (int r : active_runs_) {
+    size_t n = runs_[r]->rows();
+    for (int s = 1; s < num_parts; ++s) {
+      size_t pos = n * static_cast<size_t>(s) / num_parts;
+      if (pos < n) samples.push_back(RunRow(r, pos));
+    }
+  }
+  return samples;
+}
+
+void RunSet::PlanPartitions(
+    int num_separators,
+    const std::function<bool(const uint8_t*, int)>& row_less_sep) {
+  FreezeActive();
+  const int k = static_cast<int>(active_runs_.size());
+  const int parts = num_separators + 1;
+
+  // Boundaries: binary search of each separator within each sorted run.
+  boundaries_.assign(parts + 1, std::vector<size_t>(k, 0));
+  for (int run_pos = 0; run_pos < k; ++run_pos) {
+    int r = active_runs_[run_pos];
+    size_t n = runs_[r]->rows();
+    boundaries_[0][run_pos] = 0;
+    for (int s = 0; s < num_separators; ++s) {
+      // lower_bound of separator s in the sorted run; separators ascend,
+      // so each search resumes from the previous boundary.
+      size_t lo = s == 0 ? 0 : boundaries_[s][run_pos];
+      size_t hi = n;
+      while (lo < hi) {
+        size_t mid = (lo + hi) / 2;
+        if (row_less_sep(RunRow(r, mid), s)) {
+          lo = mid + 1;
+        } else {
+          hi = mid;
+        }
+      }
+      boundaries_[s + 1][run_pos] = lo;
+    }
+    boundaries_[parts][run_pos] = n;
+  }
+}
+
+uint64_t RunSet::PartRows(int part) const {
+  uint64_t size = 0;
+  const int k = static_cast<int>(active_runs_.size());
+  for (int run_pos = 0; run_pos < k; ++run_pos) {
+    size += boundaries_[part + 1][run_pos] - boundaries_[part][run_pos];
+  }
+  return size;
+}
+
+RunSet::PartCursor::PartCursor(const RunSet* rs, int part) : rs_(rs) {
+  const int k = static_cast<int>(rs->active_runs_.size());
+  pos_.resize(k);
+  end_.resize(k);
+  for (int run_pos = 0; run_pos < k; ++run_pos) {
+    pos_[run_pos] = rs->part_begin(part, run_pos);
+    end_[run_pos] = rs->part_end(part, run_pos);
+  }
+  FindBest();
+}
+
+void RunSet::PartCursor::FindBest() {
+  best_ = -1;
+  const uint8_t* best_row = nullptr;
+  for (size_t run_pos = 0; run_pos < pos_.size(); ++run_pos) {
+    if (pos_[run_pos] == end_[run_pos]) continue;
+    const uint8_t* row =
+        rs_->RunRow(rs_->active_runs_[run_pos], pos_[run_pos]);
+    if (best_ < 0 || rs_->Less(row, best_row)) {
+      best_ = static_cast<int>(run_pos);
+      best_row = row;
+    }
+  }
+}
+
+void RunSet::PartCursor::Advance() {
+  MORSEL_DCHECK(best_ >= 0);
+  ++pos_[best_];
+  FindBest();
+}
+
+void RunMaterializeSink::Consume(Chunk& chunk, ExecContext& ctx) {
+  const TupleLayout& layout = runs_->layout();
+  int wid = ctx.worker->worker_id;
+  RowBuffer* buf = runs_->run(wid, ctx.socket());
+  MORSEL_CHECK(chunk.num_cols() == layout.num_fields());
+  for (int i = 0; i < chunk.n; ++i) {
+    uint8_t* row = buf->AppendRow();
+    TupleLayout::SetNext(row, nullptr);
+    TupleLayout::SetHash(row, 0);
+    for (int f = 0; f < layout.num_fields(); ++f) {
+      if (layout.field_type(f) == LogicalType::kString) {
+        // Chunk strings may live in the per-morsel arena; intern them.
+        layout.SetStr(row, f,
+                      runs_->InternString(wid, chunk.cols[f].str()[i]));
+      } else {
+        layout.StoreFromVector(row, f, chunk.cols[f], i);
+      }
+    }
+  }
+  // Materialization writes NUMA-locally (§2, Figure 3).
+  ctx.traffic()->OnWrite(ctx.socket(), ctx.socket(),
+                         uint64_t{static_cast<uint64_t>(chunk.n)} *
+                             layout.row_size());
+}
+
+}  // namespace morsel

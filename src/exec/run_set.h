@@ -1,0 +1,189 @@
+#ifndef MORSELDB_EXEC_RUN_SET_H_
+#define MORSELDB_EXEC_RUN_SET_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "exec/pipeline.h"
+#include "exec/tuple.h"
+
+namespace morsel {
+
+// One sort key: a field index within the run tuple layout.
+struct SortKey {
+  int field = 0;
+  bool ascending = true;
+};
+
+// The shared substrate of MPSM-style parallel sorting (§4.5, Figure 9;
+// cf. Albutiu et al., "Massively Parallel Sort-Merge Joins"): per-worker
+// NUMA-local materialized runs, in-place local sorts, and separator-based
+// range partitioning so downstream phases (global merge for ORDER BY,
+// partition-wise merge join) each operate on a synchronization-free
+// slice. SortState (ORDER BY) and MergeJoinState both build on this.
+//
+// Phases, in order:
+//   1. materialize     — RunMaterializeSink appends rows to worker-local
+//                        runs (no synchronization);
+//   2. local sort      — SortRun() per run, one morsel each;
+//   3. partition plan  — SampleKeys() + PlanPartitions(): equidistant
+//                        local samples combine into global separators
+//                        whose positions are binary-searched in every
+//                        run, yielding disjoint per-partition slices.
+class RunSet {
+ public:
+  RunSet(std::vector<LogicalType> column_types, std::vector<SortKey> keys,
+         int num_worker_slots);
+
+  const TupleLayout& layout() const { return layout_; }
+  const std::vector<SortKey>& keys() const { return keys_; }
+  int num_worker_slots() const { return static_cast<int>(runs_.size()); }
+
+  RowBuffer* run(int worker_id, int socket);
+  RowBuffer* run_by_index(int i) const { return runs_[i].get(); }
+  std::string_view InternString(int worker_id, std::string_view s);
+
+  // Row comparator by the sort keys (ties compare equal).
+  bool Less(const uint8_t* a, const uint8_t* b) const;
+
+  // --- phase transitions ---------------------------------------------------
+  // After materialization: morsel ranges over non-empty runs.
+  std::vector<MorselRange> LocalSortRanges() const;
+  // Sorts one run in place (permutes an index vector).
+  void SortRun(int run_index);
+
+  // After local sorts: "each thread first computes local separators by
+  // picking equidistant keys from its sorted run" — num_parts - 1 sample
+  // rows per non-empty run. Also freezes the active-run list.
+  std::vector<const uint8_t*> SampleKeys(int num_parts);
+
+  // Plans `num_separators` + 1 partitions. `row_less_sep(row, s)` must
+  // return whether `row` sorts strictly before separator s; separators
+  // must be ascending. Each separator is binary-searched within each
+  // sorted run, so partition p of run k is the half-open index slice
+  // [part_begin(p, k), part_end(p, k)).
+  void PlanPartitions(
+      int num_separators,
+      const std::function<bool(const uint8_t*, int)>& row_less_sep);
+
+  // --- partition access (valid after PlanPartitions) -----------------------
+  int num_parts() const {
+    return static_cast<int>(boundaries_.size()) - 1;
+  }
+  const std::vector<int>& active_runs() const { return active_runs_; }
+  size_t part_begin(int part, int run_pos) const {
+    return boundaries_[part][run_pos];
+  }
+  size_t part_end(int part, int run_pos) const {
+    return boundaries_[part + 1][run_pos];
+  }
+  uint64_t PartRows(int part) const;
+  uint64_t total_rows() const { return total_rows_; }
+
+  // Sorted access to run r's i-th row (post local sort).
+  const uint8_t* RunRow(int r, size_t i) const {
+    return runs_[r]->row(order_[r][i]);
+  }
+
+  // Streams partition `part` in global sort order: a k-way min over the
+  // partition's run slices ("without any synchronization" — every cursor
+  // touches only this partition's disjoint slice).
+  class PartCursor {
+   public:
+    PartCursor(const RunSet* rs, int part);
+
+    bool AtEnd() const { return best_ < 0; }
+    const uint8_t* row() const { return rs_->RunRow(run_id(), pos_[best_]); }
+    // Actual run index of the current row (socket lookup for traffic).
+    int run_id() const { return rs_->active_runs_[best_]; }
+    void Advance();
+
+   private:
+    void FindBest();
+
+    const RunSet* rs_;
+    std::vector<size_t> pos_, end_;
+    int best_ = -1;
+  };
+
+ private:
+  // Freezes active_runs_/total_rows_ over the non-empty runs.
+  void FreezeActive();
+
+  TupleLayout layout_;
+  std::vector<SortKey> keys_;
+  std::vector<std::unique_ptr<RowBuffer>> runs_;       // per worker slot
+  std::vector<std::unique_ptr<Arena>> string_arenas_;  // per worker slot
+  std::vector<std::vector<uint32_t>> order_;           // sorted index per run
+  std::vector<int> active_runs_;                       // non-empty run ids
+  uint64_t total_rows_ = 0;
+  // boundaries_[part][k] = first row index (in sorted order) of active
+  // run k belonging to partition `part`; partition p covers
+  // [boundaries_[p][k], boundaries_[p+1][k]).
+  std::vector<std::vector<size_t>> boundaries_;
+};
+
+// Combines the globally sorted sample set into num_parts - 1 separators
+// ("the local separators of all threads are combined, sorted, and the
+// eventual, global separator keys are computed").
+template <typename T>
+std::vector<T> PickSeparators(const std::vector<T>& sorted_samples,
+                              int num_parts) {
+  std::vector<T> seps;
+  for (int s = 1; s < num_parts; ++s) {
+    if (sorted_samples.empty()) break;
+    size_t pos = sorted_samples.size() * static_cast<size_t>(s) / num_parts;
+    if (pos >= sorted_samples.size()) pos = sorted_samples.size() - 1;
+    seps.push_back(sorted_samples[pos]);
+  }
+  return seps;
+}
+
+// Pipeline sink materializing input rows into per-worker NUMA-local runs.
+// Input chunk columns must match the RunSet layout fields.
+class RunMaterializeSink final : public Sink {
+ public:
+  explicit RunMaterializeSink(RunSet* runs) : runs_(runs) {}
+  void Consume(Chunk& chunk, ExecContext& ctx) override;
+
+ private:
+  RunSet* runs_;
+};
+
+// Phase 2: sorts each run, one morsel per run. `on_finalize` (optional)
+// runs once after the last sort — ORDER BY plans its global merge there;
+// the merge join defers partition planning to the join job's Prepare,
+// which must see both sides sorted.
+class LocalSortRunsJob final : public PipelineJob {
+ public:
+  LocalSortRunsJob(QueryContext* query, std::string name, RunSet* runs,
+                   MorselQueue::Options opts,
+                   std::function<void()> on_finalize = nullptr)
+      : PipelineJob(query, std::move(name)),
+        runs_(runs),
+        opts_(opts),
+        on_finalize_(std::move(on_finalize)) {}
+
+  void Prepare(const Topology& topo) override {
+    set_queue(
+        std::make_unique<MorselQueue>(topo, runs_->LocalSortRanges(), opts_));
+  }
+  void RunMorsel(const Morsel& m, WorkerContext& wctx) override {
+    (void)wctx;
+    runs_->SortRun(m.partition);
+  }
+  void Finalize(WorkerContext& wctx) override {
+    (void)wctx;
+    if (on_finalize_) on_finalize_();
+  }
+
+ private:
+  RunSet* runs_;
+  MorselQueue::Options opts_;
+  std::function<void()> on_finalize_;
+};
+
+}  // namespace morsel
+
+#endif  // MORSELDB_EXEC_RUN_SET_H_

@@ -8,161 +8,39 @@ namespace morsel {
 SortState::SortState(std::vector<LogicalType> column_types,
                      std::vector<SortKey> keys, int num_worker_slots,
                      int64_t limit)
-    : layout_(std::move(column_types), /*with_marker=*/false),
-      keys_(std::move(keys)),
-      limit_(limit),
-      runs_(num_worker_slots),
-      string_arenas_(num_worker_slots),
-      order_(num_worker_slots) {
-  // order_ is sized up front: local sorts of different runs execute
-  // concurrently and must never resize the shared vector.
-  for (const SortKey& k : keys_) {
-    MORSEL_CHECK(k.field >= 0 && k.field < layout_.num_fields());
-  }
-}
-
-RowBuffer* SortState::run(int worker_id, int socket) {
-  std::unique_ptr<RowBuffer>& b = runs_[worker_id];
-  if (b == nullptr) b = std::make_unique<RowBuffer>(&layout_, socket);
-  return b.get();
-}
-
-std::string_view SortState::InternString(int worker_id,
-                                         std::string_view s) {
-  std::unique_ptr<Arena>& a = string_arenas_[worker_id];
-  if (a == nullptr) a = std::make_unique<Arena>();
-  return a->CopyString(s);
-}
-
-bool SortState::Less(const uint8_t* a, const uint8_t* b) const {
-  for (const SortKey& k : keys_) {
-    int c;
-    switch (layout_.field_type(k.field)) {
-      case LogicalType::kInt32:
-      case LogicalType::kInt64: {
-        int64_t va = layout_.GetI64(a, k.field);
-        int64_t vb = layout_.GetI64(b, k.field);
-        c = va < vb ? -1 : (va > vb ? 1 : 0);
-        break;
-      }
-      case LogicalType::kDouble: {
-        double va = layout_.GetF64(a, k.field);
-        double vb = layout_.GetF64(b, k.field);
-        c = va < vb ? -1 : (va > vb ? 1 : 0);
-        break;
-      }
-      case LogicalType::kString: {
-        int r = layout_.GetStr(a, k.field).compare(
-            layout_.GetStr(b, k.field));
-        c = r < 0 ? -1 : (r > 0 ? 1 : 0);
-        break;
-      }
-      default:
-        c = 0;
-    }
-    if (c != 0) return k.ascending ? c < 0 : c > 0;
-  }
-  return false;
-}
-
-std::vector<MorselRange> SortState::LocalSortRanges() const {
-  std::vector<MorselRange> out;
-  for (size_t i = 0; i < runs_.size(); ++i) {
-    if (runs_[i] == nullptr || runs_[i]->rows() == 0) continue;
-    // One morsel per run: local sorts are atomic units.
-    out.push_back(MorselRange{static_cast<int>(i), 0, 1,
-                              runs_[i]->socket()});
-  }
-  return out;
-}
-
-void SortState::SortRun(int run_index) {
-  RowBuffer* buf = runs_[run_index].get();
-  std::vector<uint32_t>& order = order_[run_index];
-  order.resize(buf->rows());
-  for (size_t i = 0; i < order.size(); ++i) {
-    order[i] = static_cast<uint32_t>(i);
-  }
-  std::sort(order.begin(), order.end(), [&](uint32_t x, uint32_t y) {
-    return Less(buf->row(x), buf->row(y));
-  });
-}
+    : runs_(std::move(column_types), std::move(keys), num_worker_slots),
+      limit_(limit) {}
 
 void SortState::PlanMerge(int num_parts) {
   MORSEL_CHECK(num_parts >= 1);
-  active_runs_.clear();
-  uint64_t total = 0;
-  for (size_t i = 0; i < runs_.size(); ++i) {
-    if (runs_[i] != nullptr && runs_[i]->rows() > 0) {
-      active_runs_.push_back(static_cast<int>(i));
-      total += runs_[i]->rows();
-    }
-  }
-  const int k = static_cast<int>(active_runs_.size());
-
   // "each thread first computes local separators by picking equidistant
   // keys from its sorted run. Then ... the local separators of all
   // threads are combined, sorted, and the eventual, global separator
   // keys are computed."
-  std::vector<const uint8_t*> samples;
-  for (int r : active_runs_) {
-    size_t n = runs_[r]->rows();
-    for (int s = 1; s < num_parts; ++s) {
-      size_t pos = n * static_cast<size_t>(s) / num_parts;
-      if (pos < n) samples.push_back(RunRow(r, pos));
-    }
-  }
+  std::vector<const uint8_t*> samples = runs_.SampleKeys(num_parts);
   std::sort(samples.begin(), samples.end(),
             [this](const uint8_t* a, const uint8_t* b) {
-              return Less(a, b);
+              return runs_.Less(a, b);
             });
-  std::vector<const uint8_t*> separators;
-  for (int s = 1; s < num_parts; ++s) {
-    if (samples.empty()) break;
-    size_t pos = samples.size() * static_cast<size_t>(s) / num_parts;
-    if (pos >= samples.size()) pos = samples.size() - 1;
-    separators.push_back(samples[pos]);
-  }
-  const int parts = static_cast<int>(separators.size()) + 1;
-
-  // Boundaries: binary search of each separator within each sorted run.
-  boundaries_.assign(parts + 1, std::vector<size_t>(k, 0));
-  for (int run_pos = 0; run_pos < k; ++run_pos) {
-    int r = active_runs_[run_pos];
-    size_t n = runs_[r]->rows();
-    boundaries_[0][run_pos] = 0;
-    for (int s = 0; s < static_cast<int>(separators.size()); ++s) {
-      // lower_bound of separator in the sorted run
-      size_t lo = s == 0 ? 0 : boundaries_[s][run_pos];
-      size_t hi = n;
-      while (lo < hi) {
-        size_t mid = (lo + hi) / 2;
-        if (Less(RunRow(r, mid), separators[s])) {
-          lo = mid + 1;
-        } else {
-          hi = mid;
-        }
-      }
-      boundaries_[s + 1][run_pos] = lo;
-    }
-    boundaries_[parts][run_pos] = n;
-  }
+  std::vector<const uint8_t*> separators =
+      PickSeparators(samples, num_parts);
+  runs_.PlanPartitions(static_cast<int>(separators.size()),
+                       [&](const uint8_t* row, int s) {
+                         return runs_.Less(row, separators[s]);
+                       });
 
   // "Using these indexes, the exact layout of the output array can be
   // computed" — prefix sums give each part's offset; merges then write
   // disjoint regions without synchronization.
+  const int parts = runs_.num_parts();
   out_offsets_.assign(parts + 1, 0);
   for (int p = 0; p < parts; ++p) {
-    uint64_t size = 0;
-    for (int run_pos = 0; run_pos < k; ++run_pos) {
-      size += boundaries_[p + 1][run_pos] - boundaries_[p][run_pos];
-    }
-    out_offsets_[p + 1] = out_offsets_[p] + size;
+    out_offsets_[p + 1] = out_offsets_[p] + runs_.PartRows(p);
   }
-  MORSEL_CHECK(out_offsets_[parts] == total);
-  output_ = std::make_unique<RowBuffer>(&layout_, kInterleavedSocket);
+  MORSEL_CHECK(out_offsets_[parts] == runs_.total_rows());
+  output_ = std::make_unique<RowBuffer>(&runs_.layout(), kInterleavedSocket);
   // Pre-size so merge workers write disjoint row slots directly.
-  for (uint64_t i = 0; i < total; ++i) output_->AppendRow();
+  for (uint64_t i = 0; i < runs_.total_rows(); ++i) output_->AppendRow();
 }
 
 std::vector<MorselRange> SortState::MergeRanges(const Topology& topo) const {
@@ -175,30 +53,13 @@ std::vector<MorselRange> SortState::MergeRanges(const Topology& topo) const {
 }
 
 void SortState::MergePart(int part, WorkerContext& wctx) {
-  const int k = static_cast<int>(active_runs_.size());
-  std::vector<size_t> cursor(k), end(k);
-  for (int run_pos = 0; run_pos < k; ++run_pos) {
-    cursor[run_pos] = boundaries_[part][run_pos];
-    end[run_pos] = boundaries_[part + 1][run_pos];
-  }
+  const TupleLayout& layout = runs_.layout();
   uint64_t out_pos = out_offsets_[part];
   SocketTally run_reads;
-  while (true) {
-    int best = -1;
-    const uint8_t* best_row = nullptr;
-    for (int run_pos = 0; run_pos < k; ++run_pos) {
-      if (cursor[run_pos] == end[run_pos]) continue;
-      const uint8_t* row = RunRow(active_runs_[run_pos], cursor[run_pos]);
-      if (best == -1 || Less(row, best_row)) {
-        best = run_pos;
-        best_row = row;
-      }
-    }
-    if (best == -1) break;
-    std::memcpy(output_->row(out_pos), best_row, layout_.row_size());
-    run_reads.Add(runs_[active_runs_[best]]->socket(),
-                  layout_.row_size());
-    ++cursor[best];
+  for (RunSet::PartCursor cur(&runs_, part); !cur.AtEnd(); cur.Advance()) {
+    std::memcpy(output_->row(out_pos), cur.row(), layout.row_size());
+    run_reads.Add(runs_.run_by_index(cur.run_id())->socket(),
+                  layout.row_size());
     ++out_pos;
   }
   MORSEL_CHECK(out_pos == out_offsets_[part + 1]);
@@ -207,40 +68,18 @@ void SortState::MergePart(int part, WorkerContext& wctx) {
 }
 
 ResultSet SortState::ToResult() const {
+  const TupleLayout& layout = runs_.layout();
   std::vector<LogicalType> types;
-  for (int f = 0; f < layout_.num_fields(); ++f) {
-    types.push_back(layout_.field_type(f));
+  for (int f = 0; f < layout.num_fields(); ++f) {
+    types.push_back(layout.field_type(f));
   }
   ResultSet rs(types);
   uint64_t n = output_ == nullptr ? 0 : output_->rows();
   if (limit_ >= 0 && static_cast<uint64_t>(limit_) < n) {
     n = static_cast<uint64_t>(limit_);
   }
-  for (uint64_t i = 0; i < n; ++i) rs.AppendRow(layout_, output_->row(i));
+  for (uint64_t i = 0; i < n; ++i) rs.AppendRow(layout, output_->row(i));
   return rs;
-}
-
-void SortMaterializeSink::Consume(Chunk& chunk, ExecContext& ctx) {
-  const TupleLayout& layout = state_->layout();
-  int wid = ctx.worker->worker_id;
-  RowBuffer* buf = state_->run(wid, ctx.socket());
-  MORSEL_CHECK(chunk.num_cols() == layout.num_fields());
-  for (int i = 0; i < chunk.n; ++i) {
-    uint8_t* row = buf->AppendRow();
-    TupleLayout::SetNext(row, nullptr);
-    TupleLayout::SetHash(row, 0);
-    for (int f = 0; f < layout.num_fields(); ++f) {
-      if (layout.field_type(f) == LogicalType::kString) {
-        layout.SetStr(row, f,
-                      state_->InternString(wid, chunk.cols[f].str()[i]));
-      } else {
-        layout.StoreFromVector(row, f, chunk.cols[f], i);
-      }
-    }
-  }
-  ctx.traffic()->OnWrite(ctx.socket(), ctx.socket(),
-                         uint64_t{static_cast<uint64_t>(chunk.n)} *
-                             layout.row_size());
 }
 
 TopKSink::TopKSink(SortState* state, int64_t k)

@@ -6,46 +6,45 @@
 
 #include "exec/pipeline.h"
 #include "exec/result.h"
+#include "exec/run_set.h"
 #include "exec/tuple.h"
 
 namespace morsel {
 
-// One ORDER BY key: a field index within the sort tuple layout.
-struct SortKey {
-  int field = 0;
-  bool ascending = true;
-};
-
-// Shared state of a parallel sort (§4.5, Figure 9):
-//   1. materialize: each worker collects its input into a NUMA-local run;
-//   2. local sort: each run is sorted in place (one morsel per run);
+// Shared state of a parallel sort (§4.5, Figure 9), layered on the
+// RunSet substrate:
+//   1. materialize: each worker collects its input into a NUMA-local run
+//      (RunMaterializeSink);
+//   2. local sort: each run is sorted in place (LocalSortRunsJob);
 //   3. separators: local equidistant samples are combined
-//      median-of-medians style into global separator keys;
+//      median-of-medians style into global separator keys (PlanMerge);
 //   4. merge: each output range is merged from the runs' slices
-//      independently, "without any synchronization".
+//      independently, "without any synchronization" (MergeJob).
 class SortState {
  public:
   SortState(std::vector<LogicalType> column_types, std::vector<SortKey> keys,
             int num_worker_slots, int64_t limit = -1);
 
-  const TupleLayout& layout() const { return layout_; }
-  const std::vector<SortKey>& keys() const { return keys_; }
+  RunSet* runs() { return &runs_; }
+  const TupleLayout& layout() const { return runs_.layout(); }
+  const std::vector<SortKey>& keys() const { return runs_.keys(); }
   int64_t limit() const { return limit_; }
+  int num_worker_slots() const { return runs_.num_worker_slots(); }
 
-  RowBuffer* run(int worker_id, int socket);
-  RowBuffer* run_by_index(int i) const { return runs_[i].get(); }
-  std::string_view InternString(int worker_id, std::string_view s);
+  std::string_view InternString(int worker_id, std::string_view s) {
+    return runs_.InternString(worker_id, s);
+  }
 
   // row comparator (by the sort keys, then arbitrary-but-deterministic)
-  bool Less(const uint8_t* a, const uint8_t* b) const;
+  bool Less(const uint8_t* a, const uint8_t* b) const {
+    return runs_.Less(a, b);
+  }
 
   // --- phase transitions ---------------------------------------------------
-  // After materialization: morsel ranges over non-empty runs.
-  std::vector<MorselRange> LocalSortRanges() const;
-  // Sorts one run in place (permutes an index vector).
-  void SortRun(int run_index);
   // After local sorts: computes global separators and per-run boundaries
-  // for `num_parts` independent merges.
+  // for `num_parts` independent merges, plus the exact output layout
+  // ("the exact layout of the output array can be computed" — prefix
+  // sums give each part's offset).
   void PlanMerge(int num_parts);
   std::vector<MorselRange> MergeRanges(const Topology& topo) const;
   // Merges output part `part` (synchronization-free region of output).
@@ -56,88 +55,11 @@ class SortState {
   // Sorted rows converted to an owned result (applies `limit`).
   ResultSet ToResult() const;
 
-  // sorted access to run r's i-th row (post local sort)
-  const uint8_t* RunRow(int r, size_t i) const {
-    return runs_[r]->row(order_[r][i]);
-  }
-
-  int num_worker_slots() const { return static_cast<int>(runs_.size()); }
-
  private:
-  TupleLayout layout_;
-  std::vector<SortKey> keys_;
+  RunSet runs_;
   int64_t limit_;
-  std::vector<std::unique_ptr<RowBuffer>> runs_;      // per worker slot
-  std::vector<std::unique_ptr<Arena>> string_arenas_; // per worker slot
-  std::vector<std::vector<uint32_t>> order_;          // sorted index per run
-  std::vector<int> active_runs_;                      // non-empty run ids
-  // merge plan: boundaries_[part][k] = first row index (in sorted order)
-  // of active run k belonging to output part `part`; part p covers
-  // [boundaries_[p][k], boundaries_[p+1][k]).
-  std::vector<std::vector<size_t>> boundaries_;
   std::vector<uint64_t> out_offsets_;  // start row of each part in output
   std::unique_ptr<RowBuffer> output_;
-};
-
-// Pipeline sink that materializes sort input rows into per-worker runs.
-// Input chunk columns must match the SortState layout fields.
-class SortMaterializeSink final : public Sink {
- public:
-  explicit SortMaterializeSink(SortState* state) : state_(state) {}
-  void Consume(Chunk& chunk, ExecContext& ctx) override;
-
- private:
-  SortState* state_;
-};
-
-// Job phase 2: sorts each run (one morsel per run); Finalize plans the
-// merge.
-class LocalSortJob final : public PipelineJob {
- public:
-  LocalSortJob(QueryContext* query, std::string name, SortState* state,
-               MorselQueue::Options opts, int num_merge_parts)
-      : PipelineJob(query, std::move(name)),
-        state_(state),
-        opts_(opts),
-        num_merge_parts_(num_merge_parts) {}
-
-  void Prepare(const Topology& topo) override {
-    set_queue(std::make_unique<MorselQueue>(
-        topo, state_->LocalSortRanges(), opts_));
-  }
-  void RunMorsel(const Morsel& m, WorkerContext& wctx) override {
-    (void)wctx;
-    state_->SortRun(m.partition);
-  }
-  void Finalize(WorkerContext& wctx) override {
-    (void)wctx;
-    state_->PlanMerge(num_merge_parts_);
-  }
-
- private:
-  SortState* state_;
-  MorselQueue::Options opts_;
-  int num_merge_parts_;
-};
-
-// Job phase 3: merges each output part independently.
-class MergeJob final : public PipelineJob {
- public:
-  MergeJob(QueryContext* query, std::string name, SortState* state,
-           MorselQueue::Options opts)
-      : PipelineJob(query, std::move(name)), state_(state), opts_(opts) {}
-
-  void Prepare(const Topology& topo) override {
-    set_queue(std::make_unique<MorselQueue>(topo, state_->MergeRanges(topo),
-                                            opts_));
-  }
-  void RunMorsel(const Morsel& m, WorkerContext& wctx) override {
-    state_->MergePart(m.partition, wctx);
-  }
-
- private:
-  SortState* state_;
-  MorselQueue::Options opts_;
 };
 
 // Top-k sink (§4.5: "in the case of top-k queries, each thread directly
@@ -169,6 +91,26 @@ class TopKSink final : public Sink {
   int64_t k_;
   std::vector<std::unique_ptr<Heap>> heaps_;
   std::vector<std::vector<uint8_t>> final_rows_;
+};
+
+// Job phase 4: merges each output part independently.
+class MergeJob final : public PipelineJob {
+ public:
+  MergeJob(QueryContext* query, std::string name, SortState* state,
+           MorselQueue::Options opts)
+      : PipelineJob(query, std::move(name)), state_(state), opts_(opts) {}
+
+  void Prepare(const Topology& topo) override {
+    set_queue(std::make_unique<MorselQueue>(topo, state_->MergeRanges(topo),
+                                            opts_));
+  }
+  void RunMorsel(const Morsel& m, WorkerContext& wctx) override {
+    state_->MergePart(m.partition, wctx);
+  }
+
+ private:
+  SortState* state_;
+  MorselQueue::Options opts_;
 };
 
 }  // namespace morsel

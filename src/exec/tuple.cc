@@ -1,5 +1,9 @@
 #include "exec/tuple.h"
 
+#include <algorithm>
+
+#include "exec/chunk.h"
+
 namespace morsel {
 
 TupleLayout::TupleLayout(std::vector<LogicalType> types, bool with_marker)
@@ -17,6 +21,79 @@ TupleLayout::TupleLayout(std::vector<LogicalType> types, bool with_marker)
                : 8;
   }
   row_size_ = off;
+}
+
+void DecodeRowsToColumns(const TupleLayout& layout,
+                         const uint8_t* const* rows, int count,
+                         const std::vector<int>& fields, Arena* arena,
+                         Chunk* out) {
+  for (int f : fields) {
+    Vector v;
+    v.type = layout.field_type(f);
+    switch (v.type) {
+      case LogicalType::kInt32: {
+        auto* d = arena->AllocArray<int32_t>(count);
+        for (int i = 0; i < count; ++i) d[i] = layout.GetI32(rows[i], f);
+        v.data = d;
+        break;
+      }
+      case LogicalType::kInt64: {
+        auto* d = arena->AllocArray<int64_t>(count);
+        for (int i = 0; i < count; ++i) d[i] = layout.GetI64(rows[i], f);
+        v.data = d;
+        break;
+      }
+      case LogicalType::kDouble: {
+        auto* d = arena->AllocArray<double>(count);
+        for (int i = 0; i < count; ++i) d[i] = layout.GetF64(rows[i], f);
+        v.data = d;
+        break;
+      }
+      case LogicalType::kString: {
+        auto* d = arena->AllocArray<std::string_view>(count);
+        for (int i = 0; i < count; ++i) d[i] = layout.GetStr(rows[i], f);
+        v.data = d;
+        break;
+      }
+    }
+    out->cols.push_back(v);
+  }
+}
+
+void AppendDefaultColumns(const TupleLayout& layout,
+                          const std::vector<int>& fields, int count,
+                          Arena* arena, Chunk* out) {
+  for (int f : fields) {
+    Vector v;
+    v.type = layout.field_type(f);
+    switch (v.type) {
+      case LogicalType::kInt32: {
+        auto* d = arena->AllocArray<int32_t>(count);
+        std::fill(d, d + count, 0);
+        v.data = d;
+        break;
+      }
+      case LogicalType::kInt64: {
+        auto* d = arena->AllocArray<int64_t>(count);
+        std::fill(d, d + count, int64_t{0});
+        v.data = d;
+        break;
+      }
+      case LogicalType::kDouble: {
+        auto* d = arena->AllocArray<double>(count);
+        std::fill(d, d + count, 0.0);
+        v.data = d;
+        break;
+      }
+      case LogicalType::kString: {
+        auto* d = arena->AllocArray<std::string_view>(count);
+        std::fill(d, d + count, std::string_view());
+        v.data = d;
+        break;
+      }
+    }
+    out->cols.push_back(v);
+  }
 }
 
 }  // namespace morsel

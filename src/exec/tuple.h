@@ -114,6 +114,21 @@ class TupleLayout {
   int row_size_ = 16;
 };
 
+// Decodes `fields` of `count` row-format tuples into arena-backed column
+// vectors appended to `out` (one value per row pointer). The shared
+// row-to-column bridge of the pipeline breakers: join payload gather,
+// unmatched-build flush, merge-join emission.
+void DecodeRowsToColumns(const TupleLayout& layout,
+                         const uint8_t* const* rows, int count,
+                         const std::vector<int>& fields, Arena* arena,
+                         Chunk* out);
+
+// Appends one arena-backed column per field, filled with the type's
+// default value (0 / empty string) — outer-join miss padding.
+void AppendDefaultColumns(const TupleLayout& layout,
+                          const std::vector<int>& fields, int count,
+                          Arena* arena, Chunk* out);
+
 // Append-only buffer of fixed-size rows, contiguous in memory, tagged
 // with the NUMA socket of its owning worker (the per-core "storage
 // areas" of §2/Figure 3). Growth invalidates row pointers, so pointer-
