@@ -8,6 +8,16 @@
 //  - presorted  : both inputs already key-ordered — the merge join's
 //                 local sorts degenerate to verification-speed passes
 //                 and its accesses turn sequential
+//  - presorted-bigbuild : both sides key-ordered AND of equal
+//                 cardinality — the merge join's win region, where the
+//                 hash join must build (and chain-walk) a table as large
+//                 as the probe side
+//
+// Each shape also runs under JoinStrategy::kAdaptive (the per-join
+// plan-time choice must track the better forced strategy), and the
+// skewed/presorted merge joins additionally run with
+// merge_partition_factor=1 — the coarse one-partition-per-worker
+// ablation against the default oversubscribed (4x) partitioning.
 //
 // Emitted as BENCH_micro_merge_join.json by bench/run_micro.sh so the
 // hash-vs-merge trajectory is tracked PR over PR.
@@ -30,7 +40,7 @@ constexpr int64_t kProbeRows = 1 << 20;  // 1M
 constexpr int64_t kBuildRows = 1 << 16;  // 64k
 constexpr int64_t kKeyRange = 1 << 16;
 
-enum class Shape { kUniform, kSkewed, kPresorted };
+enum class Shape { kUniform, kSkewed, kPresorted, kPresortedBigBuild };
 
 const Topology& BenchTopo() {
   static Topology topo(2, 2, InterconnectKind::kFullyConnected);
@@ -38,7 +48,8 @@ const Topology& BenchTopo() {
 }
 
 std::unique_ptr<Table> MakeTable(int64_t rows, Shape shape, uint64_t seed,
-                                 const char* kname, const char* vname) {
+                                 const char* kname, const char* vname,
+                                 int64_t key_range = kKeyRange) {
   Schema schema(
       {{kname, LogicalType::kInt64}, {vname, LogicalType::kInt64}});
   auto t = std::make_unique<Table>("bench", schema, BenchTopo());
@@ -47,13 +58,14 @@ std::unique_ptr<Table> MakeTable(int64_t rows, Shape shape, uint64_t seed,
     int64_t k;
     switch (shape) {
       case Shape::kUniform:
-        k = rng.Uniform(0, kKeyRange - 1);
+        k = rng.Uniform(0, key_range - 1);
         break;
       case Shape::kSkewed:
-        k = rng.Bernoulli(0.9) ? 7 : rng.Uniform(0, kKeyRange - 1);
+        k = rng.Bernoulli(0.9) ? 7 : rng.Uniform(0, key_range - 1);
         break;
       case Shape::kPresorted:
-        k = i * kKeyRange / rows;  // ascending within each partition
+      case Shape::kPresortedBigBuild:
+        k = i * key_range / rows;  // ascending within each partition
         break;
     }
     int p = static_cast<int>(i % t->num_partitions());
@@ -70,16 +82,24 @@ struct ShapeTables {
 };
 
 const ShapeTables& TablesFor(Shape shape) {
-  static ShapeTables tables[3];
+  static ShapeTables tables[4];
   ShapeTables& t = tables[static_cast<int>(shape)];
   if (t.probe == nullptr) {
-    // The build side stays uniform (a key-complete dimension) except in
-    // the presorted case, where both sides arrive ordered.
-    t.probe = MakeTable(kProbeRows, shape, 42, "pk", "pv");
-    t.build = MakeTable(
-        kBuildRows,
-        shape == Shape::kPresorted ? Shape::kPresorted : Shape::kUniform,
-        43, "bk", "bv");
+    if (shape == Shape::kPresortedBigBuild) {
+      // Equal-cardinality sorted sides with ~unique keys: join output
+      // stays ~kProbeRows while the hash join must build a probe-sized
+      // table.
+      t.probe = MakeTable(kProbeRows, shape, 42, "pk", "pv", kProbeRows);
+      t.build = MakeTable(kProbeRows, shape, 43, "bk", "bv", kProbeRows);
+    } else {
+      // The build side stays uniform (a key-complete dimension) except
+      // in the presorted case, where both sides arrive ordered.
+      t.probe = MakeTable(kProbeRows, shape, 42, "pk", "pv");
+      t.build = MakeTable(
+          kBuildRows,
+          shape == Shape::kPresorted ? Shape::kPresorted : Shape::kUniform,
+          43, "bk", "bv");
+    }
   }
   return t;
 }
@@ -97,10 +117,12 @@ int64_t RunJoin(Engine& engine, const ShapeTables& t) {
   return r.num_rows() > 0 ? r.I64(0, 0) : 0;
 }
 
-void JoinBench(benchmark::State& state, Shape shape, JoinStrategy strategy) {
+void JoinBench(benchmark::State& state, Shape shape, JoinStrategy strategy,
+               int merge_partition_factor = 4) {
   EngineOptions opts;
   opts.morsel_size = 16384;
   opts.join_strategy = strategy;
+  opts.merge_partition_factor = merge_partition_factor;
   Engine engine(BenchTopo(), opts);
   const ShapeTables& t = TablesFor(shape);
   int64_t out = 0;
@@ -130,6 +152,33 @@ void BM_JoinPresortedHash(benchmark::State& s) {
 void BM_JoinPresortedMerge(benchmark::State& s) {
   JoinBench(s, Shape::kPresorted, JoinStrategy::kMerge);
 }
+void BM_JoinPresortedBigBuildHash(benchmark::State& s) {
+  JoinBench(s, Shape::kPresortedBigBuild, JoinStrategy::kHash);
+}
+void BM_JoinPresortedBigBuildMerge(benchmark::State& s) {
+  JoinBench(s, Shape::kPresortedBigBuild, JoinStrategy::kMerge);
+}
+void BM_JoinPresortedBigBuildAdaptive(benchmark::State& s) {
+  JoinBench(s, Shape::kPresortedBigBuild, JoinStrategy::kAdaptive);
+}
+void BM_JoinUniformAdaptive(benchmark::State& s) {
+  JoinBench(s, Shape::kUniform, JoinStrategy::kAdaptive);
+}
+void BM_JoinSkewedAdaptive(benchmark::State& s) {
+  JoinBench(s, Shape::kSkewed, JoinStrategy::kAdaptive);
+}
+void BM_JoinPresortedAdaptive(benchmark::State& s) {
+  JoinBench(s, Shape::kPresorted, JoinStrategy::kAdaptive);
+}
+// Oversubscription ablation: one output partition per worker (the old
+// coarse plan) vs the default 4x — under skew the hot partition is one
+// morsel, so the coarse plan serializes its tail on a single worker.
+void BM_JoinSkewedMergeCoarseParts(benchmark::State& s) {
+  JoinBench(s, Shape::kSkewed, JoinStrategy::kMerge, 1);
+}
+void BM_JoinPresortedMergeCoarseParts(benchmark::State& s) {
+  JoinBench(s, Shape::kPresorted, JoinStrategy::kMerge, 1);
+}
 // UseRealTime: the engine parallelizes across worker threads, so the
 // meaningful rate is wall-clock rows/s, not main-thread CPU.
 BENCHMARK(BM_JoinUniformHash)->Unit(benchmark::kMillisecond)->UseRealTime();
@@ -140,6 +189,30 @@ BENCHMARK(BM_JoinPresortedHash)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 BENCHMARK(BM_JoinPresortedMerge)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+BENCHMARK(BM_JoinPresortedBigBuildHash)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+BENCHMARK(BM_JoinPresortedBigBuildMerge)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+BENCHMARK(BM_JoinPresortedBigBuildAdaptive)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+BENCHMARK(BM_JoinUniformAdaptive)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+BENCHMARK(BM_JoinSkewedAdaptive)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+BENCHMARK(BM_JoinPresortedAdaptive)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+BENCHMARK(BM_JoinSkewedMergeCoarseParts)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+BENCHMARK(BM_JoinPresortedMergeCoarseParts)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 

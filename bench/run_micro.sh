@@ -29,11 +29,15 @@ run_one() {
   fi
   local tmp
   tmp="$(mktemp)"
+  # 3 repetitions, aggregates only: single runs on a loaded host swing
+  # +-30%, which would make the PR-over-PR trajectory unreadable —
+  # compare the *_median entries.
   "$bin" \
     --benchmark_filter="$FILTER" \
     --benchmark_out="$tmp" \
     --benchmark_out_format=json \
-    --benchmark_repetitions=1
+    --benchmark_repetitions=3 \
+    --benchmark_report_aggregates_only=true
   # Google Benchmark emits one "run_type" entry per executed benchmark.
   if grep -q '"run_type"' "$tmp"; then
     mv "$tmp" "BENCH_${name}.json"

@@ -81,7 +81,12 @@ bool MorselQueue::Next(int worker_socket, Morsel* out) {
   const std::vector<int>& order = topo_.StealOrder(worker_socket);
   for (size_t oi = 0; oi < order.size(); ++oi) {
     int socket = opts_.closest_first ? order[oi] : static_cast<int>(oi);
-    if (!opts_.steal && socket != worker_socket) continue;
+    // No-steal: remote sockets are off limits — unless a socket has no
+    // live worker of its own, in which case its morsels must fall back
+    // to remote workers or the job never completes (liveness).
+    if (!opts_.steal && socket != worker_socket && SocketHasWorker(socket)) {
+      continue;
+    }
     for (int ci : by_socket_[socket]) {
       if (TryCut(cursors_[ci], worker_socket, out)) return true;
     }

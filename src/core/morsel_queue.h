@@ -38,6 +38,13 @@ class MorselQueue {
     // lowering fetch_add contention; stealing within and across sockets
     // still guarantees full coverage.
     int split_per_socket = 1;
+    // mask[s] != 0 iff socket s hosts at least one live worker; empty =
+    // every socket covered. Only consulted when steal == false: morsels
+    // homed on a worker-less socket would otherwise never be cut, so
+    // such orphaned sockets fall back to serving any requester (the
+    // no-steal ablation still never steals between two *covered*
+    // sockets).
+    std::vector<uint8_t> socket_has_worker;
   };
 
   MorselQueue(const Topology& topo, std::vector<MorselRange> ranges,
@@ -61,6 +68,14 @@ class MorselQueue {
   }
 
  private:
+  bool SocketHasWorker(int socket) const {
+    // A mask shorter than the socket count treats the missing sockets as
+    // covered (conservative: preserves strict no-steal semantics).
+    return opts_.socket_has_worker.empty() ||
+           static_cast<size_t>(socket) >= opts_.socket_has_worker.size() ||
+           opts_.socket_has_worker[socket] != 0;
+  }
+
   struct alignas(kCacheLineSize) Cursor {
     std::atomic<uint64_t> next{0};
     uint64_t end = 0;

@@ -43,6 +43,20 @@ class PipelineJob {
   QueryContext* query() const { return query_; }
   const std::string& name() const { return name_; }
 
+  // Optional runtime annotation appended to QepObject::Describe() lines,
+  // e.g. "[presorted 4/4 runs]". Written once, from the single-threaded
+  // Finalize(), on a worker thread; Describe() may run on any thread at
+  // any time, so publication goes through a release/acquire flag —
+  // readers either see the complete string or none at all.
+  void set_info(std::string s) {
+    info_ = std::move(s);
+    info_ready_.store(true, std::memory_order_release);
+  }
+  const std::string& info() const {
+    static const std::string kNoInfo;
+    return info_ready_.load(std::memory_order_acquire) ? info_ : kNoInfo;
+  }
+
   // Set by Prepare() in subclasses.
   MorselQueue* queue() const { return queue_.get(); }
 
@@ -71,6 +85,8 @@ class PipelineJob {
  private:
   QueryContext* query_;
   std::string name_;
+  std::string info_;
+  std::atomic<bool> info_ready_{false};
   std::unique_ptr<MorselQueue> queue_;
 };
 

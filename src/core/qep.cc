@@ -13,6 +13,7 @@ std::string QepObject::Describe() const {
   for (size_t i = 0; i < nodes_.size(); ++i) {
     const Node& node = *nodes_[i];
     out += "P" + std::to_string(i) + " " + node.job->name();
+    if (!node.job->info().empty()) out += "  " + node.job->info();
     if (!node.deps.empty()) {
       out += "  <-";
       for (int d : node.deps) out += " P" + std::to_string(d);

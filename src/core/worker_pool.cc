@@ -97,6 +97,14 @@ void WorkerPool::WorkerLoop(int worker_id) {
   }
 }
 
+std::vector<uint8_t> WorkerPool::SocketWorkerMask(int num_sockets) const {
+  std::vector<uint8_t> mask(num_sockets, 0);
+  for (const auto& c : contexts_) {
+    if (c->socket >= 0 && c->socket < num_sockets) mask[c->socket] = 1;
+  }
+  return mask;
+}
+
 uint64_t WorkerPool::TotalMorselsRun() const {
   uint64_t n = 0;
   for (const auto& c : contexts_) n += c->morsels_run;

@@ -53,6 +53,13 @@ class WorkerPool {
   // (num_workers + 1 for the external thread).
   int num_worker_slots() const { return num_workers() + 1; }
 
+  // mask[s] != 0 iff at least one pool worker is pinned to socket s.
+  // With fewer workers than sockets some entries are 0; the morsel queue
+  // uses this to keep no-steal configurations live (orphaned sockets
+  // fall back to remote workers). The external thread is not counted —
+  // it never loops for work.
+  std::vector<uint8_t> SocketWorkerMask(int num_sockets) const;
+
   // Aggregate scheduling statistics over all workers.
   uint64_t TotalMorselsRun() const;
   uint64_t TotalMorselsStolen() const;

@@ -15,13 +15,19 @@ namespace morsel {
 
 class Query;
 
-// Global equi-join algorithm choice, applied by PlanBuilder::Join (an
-// ablation knob: hash join per §4.1 vs the MPSM-style sort-merge join of
-// Albutiu et al., both scheduled morsel-wise). Explicit HashJoin /
-// MergeJoin plan calls bypass the knob.
+// Equi-join algorithm choice, applied by PlanBuilder::Join either from
+// the engine-wide EngineOptions::join_strategy knob or from a per-join
+// override (hash join per §4.1 vs the MPSM-style sort-merge join of
+// Albutiu et al., both scheduled morsel-wise). kAdaptive resolves per
+// join at plan time from input cardinality estimates and a sampled
+// sortedness probe on the leading key column: near-sorted inputs route
+// to the merge join (whose local sorts then degenerate to detection
+// scans), everything else to hash. Explicit HashJoin / MergeJoin plan
+// calls bypass the knob.
 enum class JoinStrategy {
   kHash,
   kMerge,
+  kAdaptive,
 };
 
 // Engine-wide execution options; the toggles reproduce the engine
@@ -42,6 +48,11 @@ struct EngineOptions {
   bool tagging = true;        // §4.2 hash-table pointer tags
   bool batched_probe = true;  // staged, prefetch-pipelined join probe;
                               // false = row-at-a-time ablation baseline
+  // Merge-join output partitions per worker: partitions = factor x
+  // workers, so skewed partitions stay stealable instead of turning
+  // into one-morsel monoliths. 1 = the coarse one-partition-per-worker
+  // ablation baseline.
+  int merge_partition_factor = 4;
   bool static_division = false;  // morsel size forced to n / workers
   bool serialize_roots = true;   // §3.2: no bushy parallelism
   bool pin_threads = true;
@@ -85,6 +96,13 @@ class Engine {
     q.closest_first = opts_.closest_first;
     if (opts_.split_ranges_per_core) {
       q.split_per_socket = topo_.cores_per_socket();
+    }
+    if (!opts_.steal) {
+      // Liveness with stealing disabled: a socket hosting no pool worker
+      // can never drain its own morsels, so the queue must know which
+      // sockets are covered and hand orphaned NUMA-local morsels to
+      // remote workers instead of starving the job.
+      q.socket_has_worker = pool_->SocketWorkerMask(topo_.num_sockets());
     }
     return q;
   }

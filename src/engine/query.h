@@ -3,6 +3,7 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -193,14 +194,21 @@ class PlanBuilder {
       std::vector<std::string> build_payload, JoinKind kind,
       std::function<ExprPtr(const ColScope&)> residual = nullptr);
 
-  // Strategy-dispatching join: picks HashJoin or MergeJoin per the
-  // engine's EngineOptions::join_strategy ablation knob (falling back to
-  // hash for kinds the merge join does not support).
+  // Strategy-dispatching join. The per-call `strategy` override wins;
+  // without one the engine's EngineOptions::join_strategy knob applies.
+  // kAdaptive resolves here, at plan time, from the builders' cardinality
+  // estimates and the sampled sortedness of the leading key column on
+  // each side (storage-side column stats, propagated through
+  // filters/projections): near-sorted inputs of useful size route to the
+  // merge join — whose local sorts then degenerate to detection scans —
+  // everything else to hash. Kinds the merge join does not support
+  // always fall back to hash.
   PlanBuilder& Join(
       PlanBuilder build, std::vector<std::string> probe_keys,
       std::vector<std::string> build_keys,
       std::vector<std::string> build_payload, JoinKind kind,
-      std::function<ExprPtr(const ColScope&)> residual = nullptr);
+      std::function<ExprPtr(const ColScope&)> residual = nullptr,
+      std::optional<JoinStrategy> strategy = std::nullopt);
 
   // GROUP BY: breaks the pipeline (two-phase aggregation); the returned
   // builder continues from the aggregation output with columns
@@ -215,11 +223,25 @@ class PlanBuilder {
   // Unordered terminal: collects all rows.
   void CollectResult();
 
+  // --- planner statistics (heuristic, never affect semantics) ---------------
+  // Estimated output rows of the open pipeline tail.
+  double est_rows() const { return est_rows_; }
+  // Sortedness of column `name` in the current scope: in-order fraction
+  // of adjacent pairs ([0,1]), or -1 when unknown (derived columns).
+  double SortedFracOf(std::string_view name) const {
+    return sorted_frac_[scope().Index(name)];
+  }
+
  private:
   friend class Query;
 
   // Closes the current pipeline with the given sink; returns the job id.
   int CloseInto(Sink* sink, const std::string& name);
+
+  // Resolves kAdaptive for one join (see Join).
+  JoinStrategy ChooseJoinStrategy(
+      const PlanBuilder& build, const std::vector<std::string>& probe_keys,
+      const std::vector<std::string>& build_keys) const;
 
   // Shared join-planner prologue (both strategies must agree on it
   // exactly — the differential tests depend on identical semantics):
@@ -241,6 +263,10 @@ class PlanBuilder {
   std::vector<std::string> names_;
   std::vector<LogicalType> types_;
   std::vector<int> deps_;
+  // Planner statistics: seeded by Query::Scan from storage-side column
+  // stats, propagated through operators, consumed by ChooseJoinStrategy.
+  double est_rows_ = 0.0;
+  std::vector<double> sorted_frac_;  // one per scope column; -1 unknown
   // Prepended to the next closed pipeline's job name; set when a
   // non-scan source (partition merge join) starts the open pipeline so
   // ExplainPlan names the whole segment.

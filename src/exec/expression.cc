@@ -1,6 +1,7 @@
 #include "exec/expression.h"
 
 #include <algorithm>
+#include <cstring>
 #include <unordered_set>
 
 #include "common/macros.h"
@@ -58,6 +59,7 @@ class ColRefExpr final : public Expr {
   }
 
   int index() const { return index_; }
+  int AsColumnIndex() const override { return index_; }
 
  private:
   int index_;
@@ -85,8 +87,14 @@ class ConstStrExpr final : public Expr {
       : Expr(LogicalType::kString), v_(std::move(v)) {}
 
   void Eval(const Chunk& in, ExecContext& ctx, Vector* out) const override {
+    // Copy the literal into the arena: output vectors must never alias
+    // expression-owned storage (the convention is arena lifetime — a
+    // view into this node would dangle if the consumer outlives the
+    // expression tree; TSan caught exactly that).
+    char* bytes = ctx.arena.AllocArray<char>(v_.size());
+    std::memcpy(bytes, v_.data(), v_.size());
     auto* data = ctx.arena.AllocArray<std::string_view>(in.n);
-    std::fill(data, data + in.n, std::string_view(v_));
+    std::fill(data, data + in.n, std::string_view(bytes, v_.size()));
     out->type = type();
     out->data = data;
   }

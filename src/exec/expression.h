@@ -37,6 +37,11 @@ class Expr {
   virtual void Eval(const Chunk& in, ExecContext& ctx,
                     Vector* out) const = 0;
 
+  // Input column index when this node is a bare column reference, -1
+  // otherwise. Lets the planner propagate per-column statistics
+  // (sortedness, for the adaptive join choice) through projections.
+  virtual int AsColumnIndex() const { return -1; }
+
  private:
   LogicalType type_;
 };

@@ -67,10 +67,20 @@ MergeJoinState::MergeJoinState(std::vector<LogicalType> left_types,
   for (int f = num_keys_; f < right_.layout().num_fields(); ++f) {
     payload_fields_.push_back(f);
   }
+  fast_int_key_ = num_keys_ == 1 && key_class_[0] == KeyClass::kInt;
 }
 
 int MergeJoinState::CompareKey(const uint8_t* a, bool a_right,
                                const uint8_t* b, bool b_right) const {
+  if (fast_int_key_) {
+    // Single integer key (the overwhelmingly common case): one direct
+    // 8-byte load per side, no per-key dispatch.
+    int64_t va = a_right ? right_.layout().GetI64(a, 0)
+                         : left_.layout().GetI64(a, left_key_cols_[0]);
+    int64_t vb = b_right ? right_.layout().GetI64(b, 0)
+                         : left_.layout().GetI64(b, left_key_cols_[0]);
+    return va < vb ? -1 : (va > vb ? 1 : 0);
+  }
   const TupleLayout& la = a_right ? right_.layout() : left_.layout();
   const TupleLayout& lb = b_right ? right_.layout() : left_.layout();
   for (int k = 0; k < num_keys_; ++k) {
@@ -198,19 +208,19 @@ void MergeJoinState::FlushLeftOnly(const std::vector<const uint8_t*>& rows,
 }
 
 bool MergeJoinState::GroupResidualMatch(
-    const uint8_t* l, const std::vector<const uint8_t*>& group,
+    const uint8_t* l, const uint8_t* const* group, size_t group_n,
     bool emit_pass, ExecContext& ctx, Pipeline& pipeline) {
   bool matched = false;
-  for (size_t base = 0; base < group.size(); base += kChunkCapacity) {
-    const int count = static_cast<int>(
-        std::min<size_t>(kChunkCapacity, group.size() - base));
+  for (size_t base = 0; base < group_n; base += kChunkCapacity) {
+    const int count =
+        static_cast<int>(std::min<size_t>(kChunkCapacity, group_n - base));
     const uint8_t** lrows = ctx.arena.AllocArray<const uint8_t*>(count);
     std::fill(lrows, lrows + count, l);
     Chunk combined;
     combined.n = count;
     DecodeRowsToColumns(left_.layout(), lrows, count, left_fields_,
                         &ctx.arena, &combined);
-    DecodeRowsToColumns(right_.layout(), group.data() + base, count,
+    DecodeRowsToColumns(right_.layout(), group + base, count,
                         payload_fields_, &ctx.arena, &combined);
     Vector flags;
     residual_->Eval(combined, ctx, &flags);
@@ -238,18 +248,27 @@ bool MergeJoinState::GroupResidualMatch(
 
 void MergeJoinState::JoinPart(int part, Pipeline& pipeline,
                               ExecContext& ctx) {
-  RunSet::PartCursor lc(&left_, part);
-  RunSet::PartCursor rc(&right_, part);
+  // A right-empty partition cannot match, so the match-emitting kinds
+  // are done before touching either side — skew separators make such
+  // partitions common under oversubscription. (MakeRanges already skips
+  // left-empty partitions; anti/outer still run to emit their left-only
+  // rows.)
+  if ((kind_ == JoinKind::kInner || kind_ == JoinKind::kSemi) &&
+      right_.PartRows(part) == 0) {
+    return;
+  }
+  // Flatten both sides of the partition into globally sorted pointer
+  // arrays up front (one natural-merge pass) — the join loop then walks
+  // plain arrays instead of paying a k-way min scan per cursor advance.
+  // Slice traffic is tallied inside the flatten.
   SocketTally reads;
-  const int num_sockets = ctx.num_sockets();
-  const int left_row_size = left_.layout().row_size();
-  const int right_row_size = right_.layout().row_size();
+  std::vector<const uint8_t*> lrows, rrows;
+  left_.FlattenPart(part, &lrows, &reads);
+  right_.FlattenPart(part, &rrows, &reads);
+  reads.FlushReads(ctx.traffic(), ctx.socket(), ctx.num_sockets());
 
-  // The right-side group of rows sharing the current key. Cached across
-  // consecutive equal left keys so duplicates rescan in-memory pointers,
-  // not the cursor.
-  std::vector<const uint8_t*> group;
-  bool have_group = false;
+  const size_t ln = lrows.size();
+  const size_t rn = rrows.size();
 
   std::vector<const uint8_t*> cand_left, cand_right;  // matched pairs
   std::vector<const uint8_t*> left_only;  // semi/anti/outer-miss rows
@@ -278,27 +297,30 @@ void MergeJoinState::JoinPart(int part, Pipeline& pipeline,
     }
   };
 
-  while (!lc.AtEnd()) {
-    const uint8_t* l = lc.row();
-    reads.Add(left_.run_by_index(lc.run_id())->socket(), left_row_size);
+  // The right-side group [g0, g1) of rows sharing the current key,
+  // cached across consecutive equal left keys.
+  size_t ri = 0;  // first right row not yet grouped
+  size_t g0 = 0, g1 = 0;
+  bool have_group = false;
+
+  for (size_t li = 0; li < ln; ++li) {
+    const uint8_t* l = lrows[li];
 
     // Position the right group at the smallest key >= l's key.
     int cmp = -1;  // l vs group key; -1 when the right side is exhausted
     while (true) {
       if (!have_group) {
-        if (rc.AtEnd()) break;
-        group.clear();
-        const uint8_t* group_key = rc.row();
+        if (ri >= rn) break;
+        g0 = ri;
+        const uint8_t* group_key = rrows[g0];
         do {
-          reads.Add(right_.run_by_index(rc.run_id())->socket(),
-                    right_row_size);
-          group.push_back(rc.row());
-          rc.Advance();
-        } while (!rc.AtEnd() &&
-                 CompareKey(rc.row(), true, group_key, true) == 0);
+          ++ri;
+        } while (ri < rn &&
+                 CompareKey(rrows[ri], true, group_key, true) == 0);
+        g1 = ri;
         have_group = true;
       }
-      cmp = CompareKey(l, false, group.front(), true);
+      cmp = CompareKey(l, false, rrows[g0], true);
       if (cmp <= 0) break;  // group key >= l's key
       have_group = false;   // l is beyond this group: fetch the next
       cmp = -1;
@@ -310,28 +332,33 @@ void MergeJoinState::JoinPart(int part, Pipeline& pipeline,
         emit_left_only(l);
       }
     } else {
+      const uint8_t* const* group = rrows.data() + g0;
+      const size_t group_n = g1 - g0;
       switch (kind_) {
         case JoinKind::kInner:
-          for (const uint8_t* r : group) emit_pair(l, r);
+          for (size_t gi = 0; gi < group_n; ++gi) emit_pair(l, group[gi]);
           break;
         case JoinKind::kSemi:
           if (!per_row_residual ||
-              GroupResidualMatch(l, group, /*emit_pass=*/false, ctx,
-                                 pipeline)) {
+              GroupResidualMatch(l, group, group_n, /*emit_pass=*/false,
+                                 ctx, pipeline)) {
             emit_left_only(l);
           }
           break;
         case JoinKind::kAnti:
           if (per_row_residual &&
-              !GroupResidualMatch(l, group, /*emit_pass=*/false, ctx,
-                                  pipeline)) {
+              !GroupResidualMatch(l, group, group_n, /*emit_pass=*/false,
+                                  ctx, pipeline)) {
             emit_left_only(l);
           }
           break;
         case JoinKind::kLeftOuter:
           if (!per_row_residual) {
-            for (const uint8_t* r : group) emit_pair(l, r);
-          } else if (!GroupResidualMatch(l, group, /*emit_pass=*/true, ctx,
+            for (size_t gi = 0; gi < group_n; ++gi) {
+              emit_pair(l, group[gi]);
+            }
+          } else if (!GroupResidualMatch(l, group, group_n,
+                                         /*emit_pass=*/true, ctx,
                                          pipeline)) {
             emit_left_only(l);
           }
@@ -340,11 +367,9 @@ void MergeJoinState::JoinPart(int part, Pipeline& pipeline,
           MORSEL_CHECK(false);
       }
     }
-    lc.Advance();
   }
   FlushMatches(cand_left, cand_right, ctx, pipeline);
   FlushLeftOnly(left_only, pad_left_only, ctx, pipeline);
-  reads.FlushReads(ctx.traffic(), ctx.socket(), num_sockets);
 }
 
 std::vector<MorselRange> MergeJoinSource::MakeRanges(const Topology& topo) {

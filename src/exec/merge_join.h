@@ -75,11 +75,11 @@ class MergeJoinState {
                      ExecContext& ctx, Pipeline& pipeline);
 
   // Residual path for the non-inner kinds: evaluates the residual over
-  // left row `l` x `group`, returns whether any pair passes; when
-  // `emit_pass` (left outer) the passing combined rows are pushed.
-  bool GroupResidualMatch(const uint8_t* l,
-                          const std::vector<const uint8_t*>& group,
-                          bool emit_pass, ExecContext& ctx,
+  // left row `l` x the `group_n` rows at `group`, returns whether any
+  // pair passes; when `emit_pass` (left outer) the passing combined rows
+  // are pushed.
+  bool GroupResidualMatch(const uint8_t* l, const uint8_t* const* group,
+                          size_t group_n, bool emit_pass, ExecContext& ctx,
                           Pipeline& pipeline);
 
   RunSet left_;
@@ -87,6 +87,7 @@ class MergeJoinState {
   int num_keys_;
   JoinKind kind_;
   int num_parts_;
+  bool fast_int_key_ = false;  // single integer key: direct compares
   std::vector<int> left_key_cols_;
   std::vector<KeyClass> key_class_;
   std::vector<int> left_fields_;     // all left fields, in order

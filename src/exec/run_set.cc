@@ -1,6 +1,9 @@
 #include "exec/run_set.h"
 
 #include <algorithm>
+#include <cstring>
+
+#include "numa/mem_stats.h"
 
 namespace morsel {
 
@@ -16,6 +19,12 @@ RunSet::RunSet(std::vector<LogicalType> column_types,
   for (const SortKey& k : keys_) {
     MORSEL_CHECK(k.field >= 0 && k.field < layout_.num_fields());
   }
+  if (keys_.size() == 1 && keys_[0].ascending) {
+    LogicalType t = layout_.field_type(keys_[0].field);
+    if (t == LogicalType::kInt32 || t == LogicalType::kInt64) {
+      fast_int_key_ = keys_[0].field;  // int32 widens to an 8-byte slot
+    }
+  }
 }
 
 RowBuffer* RunSet::run(int worker_id, int socket) {
@@ -30,7 +39,7 @@ std::string_view RunSet::InternString(int worker_id, std::string_view s) {
   return a->CopyString(s);
 }
 
-bool RunSet::Less(const uint8_t* a, const uint8_t* b) const {
+bool RunSet::LessGeneric(const uint8_t* a, const uint8_t* b) const {
   for (const SortKey& k : keys_) {
     int c;
     switch (layout_.field_type(k.field)) {
@@ -75,13 +84,63 @@ std::vector<MorselRange> RunSet::LocalSortRanges() const {
 void RunSet::SortRun(int run_index) {
   RowBuffer* buf = runs_[run_index].get();
   std::vector<uint32_t>& order = order_[run_index];
-  order.resize(buf->rows());
-  for (size_t i = 0; i < order.size(); ++i) {
+  const size_t n = buf->rows();
+  order.resize(n);
+  for (size_t i = 0; i < n; ++i) {
     order[i] = static_cast<uint32_t>(i);
   }
-  std::sort(order.begin(), order.end(), [&](uint32_t x, uint32_t y) {
+  // Presorted-run detection: morsel hand-out within a range is monotone
+  // and operators preserve row order, so a run fed from (nearly) sorted
+  // storage arrives as a concatenation of a few ascending segments —
+  // one per range the worker drew from. Find the segment boundaries
+  // (descents); on unsorted data this overflows the segment budget
+  // within a handful of comparisons and falls through to std::sort.
+  constexpr size_t kMaxNaturalSegments = 32;
+  std::vector<size_t> bounds{0};
+  for (size_t i = 1; i < n && bounds.size() <= kMaxNaturalSegments; ++i) {
+    if (Less(buf->row(i), buf->row(i - 1))) {
+      bounds.push_back(i);
+    }
+  }
+  if (bounds.size() == 1) {
+    // Fully sorted: the identity order stands, no sort pass at all.
+    presorted_runs_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  auto cmp = [&](uint32_t x, uint32_t y) {
     return Less(buf->row(x), buf->row(y));
-  });
+  };
+  if (bounds.size() <= kMaxNaturalSegments) {
+    // Few segments: natural merge, O(n log segments) vs O(n log n).
+    bounds.push_back(n);
+    NaturalMergeSegments(order.begin(), std::move(bounds), cmp);
+    natural_merged_runs_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  std::sort(order.begin(), order.end(), cmp);
+}
+
+void RunSet::FlattenPart(int part, std::vector<const uint8_t*>* out,
+                         SocketTally* reads) const {
+  out->clear();
+  out->reserve(PartRows(part));
+  std::vector<size_t> bounds{0};
+  const int k = static_cast<int>(active_runs_.size());
+  for (int run_pos = 0; run_pos < k; ++run_pos) {
+    const int r = active_runs_[run_pos];
+    const size_t begin = part_begin(part, run_pos);
+    const size_t end = part_end(part, run_pos);
+    if (begin == end) continue;
+    for (size_t i = begin; i < end; ++i) out->push_back(RunRow(r, i));
+    bounds.push_back(out->size());
+    if (reads != nullptr) {
+      reads->Add(runs_[r]->socket(),
+                 (end - begin) * static_cast<uint64_t>(layout_.row_size()));
+    }
+  }
+  NaturalMergeSegments(
+      out->begin(), std::move(bounds),
+      [this](const uint8_t* a, const uint8_t* b) { return Less(a, b); });
 }
 
 void RunSet::FreezeActive() {
@@ -185,24 +244,49 @@ void RunMaterializeSink::Consume(Chunk& chunk, ExecContext& ctx) {
   int wid = ctx.worker->worker_id;
   RowBuffer* buf = runs_->run(wid, ctx.socket());
   MORSEL_CHECK(chunk.num_cols() == layout.num_fields());
-  for (int i = 0; i < chunk.n; ++i) {
-    uint8_t* row = buf->AppendRow();
-    TupleLayout::SetNext(row, nullptr);
-    TupleLayout::SetHash(row, 0);
-    for (int f = 0; f < layout.num_fields(); ++f) {
-      if (layout.field_type(f) == LogicalType::kString) {
+  const int n = chunk.n;
+  if (n == 0) return;
+  const size_t rs = static_cast<size_t>(layout.row_size());
+  // Bulk-append the whole chunk, then fill column-wise: the type
+  // dispatch hoists out of the row loop and each field becomes a tight
+  // strided-store loop. AppendRows zero-fills, which clears next/hash.
+  uint8_t* base = buf->AppendRows(static_cast<size_t>(n));
+  for (int f = 0; f < layout.num_fields(); ++f) {
+    uint8_t* p = base + layout.field_offset(f);
+    const Vector& v = chunk.cols[f];
+    switch (v.type) {
+      case LogicalType::kInt32: {
+        const int32_t* src = v.i32();
+        for (int i = 0; i < n; ++i, p += rs) {
+          int64_t w = src[i];  // int32 widens to the 8-byte slot
+          std::memcpy(p, &w, 8);
+        }
+        break;
+      }
+      case LogicalType::kInt64: {
+        const int64_t* src = v.i64();
+        for (int i = 0; i < n; ++i, p += rs) std::memcpy(p, src + i, 8);
+        break;
+      }
+      case LogicalType::kDouble: {
+        const double* src = v.f64();
+        for (int i = 0; i < n; ++i, p += rs) std::memcpy(p, src + i, 8);
+        break;
+      }
+      case LogicalType::kString: {
         // Chunk strings may live in the per-morsel arena; intern them.
-        layout.SetStr(row, f,
-                      runs_->InternString(wid, chunk.cols[f].str()[i]));
-      } else {
-        layout.StoreFromVector(row, f, chunk.cols[f], i);
+        const std::string_view* src = v.str();
+        for (int i = 0; i < n; ++i, p += rs) {
+          std::string_view sv = runs_->InternString(wid, src[i]);
+          std::memcpy(p, &sv, sizeof(sv));
+        }
+        break;
       }
     }
   }
   // Materialization writes NUMA-locally (§2, Figure 3).
   ctx.traffic()->OnWrite(ctx.socket(), ctx.socket(),
-                         uint64_t{static_cast<uint64_t>(chunk.n)} *
-                             layout.row_size());
+                         uint64_t{static_cast<uint64_t>(n)} * rs);
 }
 
 }  // namespace morsel

@@ -149,6 +149,17 @@ class RowBuffer {
     return bytes_.data() + off;
   }
 
+  // Appends `n` zero-filled rows (NumaVector::resize memsets the grown
+  // region, which also clears the next/hash header slots) and returns
+  // the first one: bulk materialization pays the capacity check once
+  // per chunk, not per row.
+  uint8_t* AppendRows(size_t n) {
+    size_t off = rows_ * layout_->row_size();
+    bytes_.resize(off + n * layout_->row_size());
+    rows_ += n;
+    return bytes_.data() + off;
+  }
+
   uint8_t* row(size_t i) {
     MORSEL_DCHECK(i < rows_);
     return bytes_.data() + i * layout_->row_size();

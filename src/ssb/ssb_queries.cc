@@ -58,8 +58,11 @@ ResultSet FlightTwo(Engine& e, const SsbData& db, const PredFn& part_pred,
               JoinKind::kInner);
   lo.HashJoin(std::move(sup), {"lo_suppkey"}, {"s_suppkey"}, {},
               JoinKind::kSemi);
-  lo.HashJoin(std::move(d), {"lo_orderdate"}, {"d_datekey"}, {"d_year"},
-              JoinKind::kInner);
+  // Date joins go through the adaptive path: when a lineorder load is
+  // date-clustered the stats route it to the merge join; the default
+  // random-date generator resolves to hash.
+  lo.Join(std::move(d), {"lo_orderdate"}, {"d_datekey"}, {"d_year"},
+          JoinKind::kInner, nullptr, JoinStrategy::kAdaptive);
   std::vector<AggItem> aggs;
   aggs.push_back({AggFunc::kSum, lo.Col("lo_revenue"), "revenue"});
   lo.GroupBy({"d_year", "p_brand1"}, std::move(aggs));
@@ -91,8 +94,9 @@ ResultSet FlightThree(Engine& e, const SsbData& db,
               JoinKind::kInner);
   lo.HashJoin(std::move(sup), {"lo_suppkey"}, {"s_suppkey"}, {supp_group},
               JoinKind::kInner);
-  lo.HashJoin(std::move(d), {"lo_orderdate"}, {"d_datekey"}, {"d_year"},
-              JoinKind::kInner);
+  // Date join via the adaptive path (see FlightTwo).
+  lo.Join(std::move(d), {"lo_orderdate"}, {"d_datekey"}, {"d_year"},
+          JoinKind::kInner, nullptr, JoinStrategy::kAdaptive);
   std::vector<AggItem> aggs;
   aggs.push_back({AggFunc::kSum, lo.Col("lo_revenue"), "revenue"});
   lo.GroupBy({cust_group, supp_group, "d_year"}, std::move(aggs));

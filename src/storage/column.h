@@ -1,6 +1,7 @@
 #ifndef MORSELDB_STORAGE_COLUMN_H_
 #define MORSELDB_STORAGE_COLUMN_H_
 
+#include <atomic>
 #include <memory>
 #include <string_view>
 
@@ -9,6 +10,37 @@
 #include "storage/types.h"
 
 namespace morsel {
+
+// Shared implementation of the sampled sortedness probe: fraction of
+// adjacent row pairs in non-descending order, estimated from evenly
+// spread blocks of pairs (full scan when the column is small). `less`
+// is called as less(i, j) meaning "row i sorts strictly before row j".
+template <typename LessFn>
+double SampledSortedFraction(size_t n, const LessFn& less) {
+  if (n < 2) return 1.0;
+  constexpr size_t kBlocks = 64;
+  constexpr size_t kPairsPerBlock = 128;
+  const size_t total_pairs = n - 1;
+  size_t in_order = 0;
+  size_t seen = 0;
+  const size_t block_span = total_pairs / kBlocks;
+  if (block_span <= kPairsPerBlock) {
+    for (size_t i = 1; i < n; ++i) {
+      ++seen;
+      if (!less(i, i - 1)) ++in_order;
+    }
+  } else {
+    for (size_t b = 0; b < kBlocks; ++b) {
+      const size_t start = b * block_span;
+      for (size_t p = 0; p < kPairsPerBlock; ++p) {
+        const size_t i = start + p + 1;
+        ++seen;
+        if (!less(i, i - 1)) ++in_order;
+      }
+    }
+  }
+  return static_cast<double>(in_order) / static_cast<double>(seen);
+}
 
 // One column of one table partition. Fixed-width columns expose their
 // backing array directly (zero-copy scans); string columns use an
@@ -27,8 +59,29 @@ class Column {
   // Bytes of storage a scan of `rows` rows touches (traffic accounting).
   virtual size_t ScanBytes(size_t rows) const = 0;
 
+  // Sortedness statistic (feeds the adaptive join-strategy choice):
+  // fraction of adjacent row pairs in non-descending order, estimated by
+  // a sampled adjacent-pair scan and cached after the first call.
+  // Thread-safe; a racing recompute is idempotent. Appends invalidate
+  // the cache via SealPartition -> InvalidateStats.
+  double SortedFraction() const {
+    double v = sorted_frac_.load(std::memory_order_relaxed);
+    if (v < 0.0) {
+      v = ComputeSortedFraction();
+      sorted_frac_.store(v, std::memory_order_relaxed);
+    }
+    return v;
+  }
+  void InvalidateStats() {
+    sorted_frac_.store(-1.0, std::memory_order_relaxed);
+  }
+
+ protected:
+  virtual double ComputeSortedFraction() const = 0;
+
  private:
   LogicalType type_;
+  mutable std::atomic<double> sorted_frac_{-1.0};
 };
 
 template <typename T>
@@ -62,6 +115,13 @@ class TypedColumn final : public Column {
   const T* raw() const { return data_.data(); }
   T* mutable_raw() { return data_.data(); }
   void Reserve(size_t n) { data_.reserve(n); }
+
+ protected:
+  double ComputeSortedFraction() const override {
+    const T* d = data_.data();
+    return SampledSortedFraction(
+        data_.size(), [d](size_t a, size_t b) { return d[a] < d[b]; });
+  }
 
  private:
   NumaVector<T> data_;
@@ -101,6 +161,12 @@ class StringColumn final : public Column {
   }
 
   size_t heap_bytes() const { return heap_.size(); }
+
+ protected:
+  double ComputeSortedFraction() const override {
+    return SampledSortedFraction(
+        size(), [this](size_t a, size_t b) { return Get(a) < Get(b); });
+  }
 
  private:
   NumaVector<uint32_t> offsets_;

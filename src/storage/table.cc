@@ -56,8 +56,24 @@ void Table::SealPartition(int p) {
   for (const auto& col : part.cols) {
     MORSEL_CHECK_MSG(col->size() == rows,
                      "ragged partition: column lengths differ");
+    // Appends since the last seal invalidate cached column statistics.
+    col->InvalidateStats();
   }
   part.rows = rows;
+}
+
+double Table::ColumnSortedFraction(int col) const {
+  // Row-weighted average of the per-partition sortedness probes. The
+  // partition is the right granularity: scan morsels never span
+  // partitions, so per-worker runs inherit partition-level order.
+  double weighted = 0.0;
+  size_t total = 0;
+  for (const Partition& p : parts_) {
+    if (p.rows == 0) continue;
+    weighted += p.cols[col]->SortedFraction() * static_cast<double>(p.rows);
+    total += p.rows;
+  }
+  return total == 0 ? 1.0 : weighted / static_cast<double>(total);
 }
 
 int Table::SocketOfRange(int p, size_t begin_row) const {

@@ -94,8 +94,15 @@ class Table {
   StringColumn* StrCol(int partition, int col);
 
   // Marks a partition's row count after a burst of appends. All columns
-  // of the partition must have equal length.
+  // of the partition must have equal length. Invalidates cached column
+  // statistics (sortedness) for the partition.
   void SealPartition(int p);
+
+  // Sortedness of column `col` (row-weighted average over partitions of
+  // the sampled adjacent-pair in-order fraction, 1.0 = fully sorted
+  // within every partition). Cached per column; feeds the adaptive
+  // join-strategy choice.
+  double ColumnSortedFraction(int col) const;
 
   // Socket tag for accounting/scheduling of rows [begin, ...) in
   // partition `p`, honouring the placement policy.

@@ -146,8 +146,12 @@ ResultSet Q3(Engine& e, const TpchData& db) {
       db.lineitem.get(),
       {"l_orderkey", "l_extendedprice", "l_discount", "l_shipdate"});
   li.Filter(Gt(li.Col("l_shipdate"), ConstDate("1995-03-15")));
-  li.HashJoin(std::move(ord), {"l_orderkey"}, {"o_orderkey"},
-              {"o_orderdate", "o_shippriority"}, JoinKind::kInner);
+  // lineitem and orders are both generated in orderkey order within each
+  // partition, so this key-clustered join is left to the adaptive
+  // strategy choice (merge when the stats confirm the clustering).
+  li.Join(std::move(ord), {"l_orderkey"}, {"o_orderkey"},
+          {"o_orderdate", "o_shippriority"}, JoinKind::kInner, nullptr,
+          JoinStrategy::kAdaptive);
   std::vector<AggItem> aggs;
   aggs.push_back({AggFunc::kSum,
                   Mul(li.Col("l_extendedprice"),
@@ -168,8 +172,9 @@ ResultSet Q4(Engine& e, const TpchData& db) {
                             {"o_orderkey", "o_orderdate", "o_orderpriority"});
   ord.Filter(And(Ge(ord.Col("o_orderdate"), ConstDate("1993-07-01")),
                  Lt(ord.Col("o_orderdate"), ConstDate("1993-10-01"))));
-  ord.HashJoin(std::move(li), {"o_orderkey"}, {"l_orderkey"}, {},
-               JoinKind::kSemi);
+  // Both sides orderkey-clustered (see Q3) — adaptive semi join.
+  ord.Join(std::move(li), {"o_orderkey"}, {"l_orderkey"}, {},
+           JoinKind::kSemi, nullptr, JoinStrategy::kAdaptive);
   std::vector<AggItem> aggs;
   aggs.push_back({AggFunc::kCount, nullptr, "order_count"});
   ord.GroupBy({"o_orderpriority"}, std::move(aggs));
@@ -189,8 +194,10 @@ ResultSet Q5(Engine& e, const TpchData& db) {
   PlanBuilder li = q->Scan(
       db.lineitem.get(),
       {"l_orderkey", "l_suppkey", "l_extendedprice", "l_discount"});
-  li.HashJoin(std::move(ord), {"l_orderkey"}, {"o_orderkey"},
-              {"c_nationkey"}, JoinKind::kInner);
+  // Orderkey-clustered join (see Q3) — adaptive.
+  li.Join(std::move(ord), {"l_orderkey"}, {"o_orderkey"},
+          {"c_nationkey"}, JoinKind::kInner, nullptr,
+          JoinStrategy::kAdaptive);
   PlanBuilder sup = q->Scan(db.supplier.get(), {"s_suppkey", "s_nationkey"});
   li.HashJoin(std::move(sup), {"l_suppkey"}, {"s_suppkey"}, {"s_nationkey"},
               JoinKind::kInner, [](const ColScope& s) {
@@ -371,8 +378,9 @@ ResultSet Q10(Engine& e, const TpchData& db) {
       db.lineitem.get(),
       {"l_orderkey", "l_extendedprice", "l_discount", "l_returnflag"});
   li.Filter(Eq(li.Col("l_returnflag"), ConstStr("R")));
-  li.HashJoin(std::move(ord), {"l_orderkey"}, {"o_orderkey"}, {"o_custkey"},
-              JoinKind::kInner);
+  // Orderkey-clustered join (see Q3) — adaptive.
+  li.Join(std::move(ord), {"l_orderkey"}, {"o_orderkey"}, {"o_custkey"},
+          JoinKind::kInner, nullptr, JoinStrategy::kAdaptive);
   std::vector<AggItem> aggs;
   aggs.push_back({AggFunc::kSum,
                   Mul(li.Col("l_extendedprice"),
@@ -460,8 +468,10 @@ ResultSet Q12(Engine& e, const TpchData& db) {
                  Lt(li.Col("l_receiptdate"), ConstDate("1995-01-01"))));
   PlanBuilder ord = q->Scan(db.orders.get(),
                             {"o_orderkey", "o_orderpriority"});
-  ord.HashJoin(std::move(li), {"o_orderkey"}, {"l_orderkey"},
-               {"l_shipmode"}, JoinKind::kInner);
+  // Orderkey-clustered join (see Q3) — adaptive.
+  ord.Join(std::move(li), {"o_orderkey"}, {"l_orderkey"},
+           {"l_shipmode"}, JoinKind::kInner, nullptr,
+           JoinStrategy::kAdaptive);
   ExprPtr high = CaseWhen(
       InStr(ord.Col("o_orderpriority"), {"1-URGENT", "2-HIGH"}),
       ConstI64(1), ConstI64(0));

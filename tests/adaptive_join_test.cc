@@ -1,0 +1,332 @@
+// Adaptive per-join strategy selection:
+//  - differential: a kAdaptive plan must produce exactly the rows of the
+//    same plan forced to kHash and forced to kMerge, across all join
+//    kinds, data shapes (presorted / shuffled / skewed) and residuals —
+//    the strategy choice may never change semantics;
+//  - plan shape (via ExplainPlan): presorted inputs of useful size must
+//    actually pick the merge join and, at runtime, skip the local-sort
+//    pass (the "[presorted n/n runs]" annotation); unsorted or tiny
+//    inputs must pick hash; a per-join override must beat the engine
+//    knob; kinds the merge join cannot run must fall back to hash.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "test_util.h"
+
+namespace morsel {
+namespace {
+
+using testutil::MakeKv;
+using testutil::SmallTopo;
+using testutil::SortedRows;
+
+enum class Shape { kPresorted, kShuffled, kSkewed };
+
+// Rows big enough to clear the adaptive size floor (4096) on both sides.
+constexpr int64_t kProbeRows = 20000;
+constexpr int64_t kBuildRows = 8000;
+constexpr int64_t kKeyRange = 3000;  // duplicates + misses on both sides
+
+std::vector<std::pair<int64_t, int64_t>> MakeRows(int64_t n, Shape shape,
+                                                  uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::pair<int64_t, int64_t>> rows;
+  for (int64_t i = 0; i < n; ++i) {
+    int64_t k = 0;
+    switch (shape) {
+      case Shape::kPresorted:
+        k = i * kKeyRange / n;
+        break;
+      case Shape::kShuffled:
+        k = rng.Uniform(0, kKeyRange - 1);
+        break;
+      case Shape::kSkewed:
+        k = rng.Bernoulli(0.8) ? 7 : rng.Uniform(0, kKeyRange - 1);
+        break;
+    }
+    rows.push_back({k, i});
+  }
+  return rows;
+}
+
+struct JoinCase {
+  JoinKind kind;
+  Shape shape;
+  bool with_residual;
+};
+
+std::vector<std::string> RunCase(Engine& engine, const Table* probe,
+                                 const Table* build, const JoinCase& c,
+                                 std::optional<JoinStrategy> strategy,
+                                 std::string* plan = nullptr) {
+  auto q = engine.CreateQuery();
+  PlanBuilder b = q->Scan(build, {"bk", "bv"});
+  PlanBuilder p = q->Scan(probe, {"pk", "pv"});
+  std::function<ExprPtr(const ColScope&)> residual;
+  if (c.with_residual) {
+    residual = [](const ColScope& s) {
+      return Lt(Sub(s.Col("bv"), s.Col("pv")), ConstI64(5000));
+    };
+  }
+  p.Join(std::move(b), {"pk"}, {"bk"}, {"bv"}, c.kind, residual, strategy);
+  p.CollectResult();
+  if (plan != nullptr) *plan = q->ExplainPlan();
+  return SortedRows(q->Execute());
+}
+
+// The storage-side sortedness probe itself: sorted columns read 1.0,
+// shuffled ones read low, and the stat is per-partition (a table whose
+// partitions are each sorted counts as sorted even when the global key
+// sequence restarts at every partition).
+TEST(AdaptiveJoin, ColumnSortednessStat) {
+  auto sorted =
+      MakeKv(SmallTopo(), MakeRows(20000, Shape::kPresorted, 1), "k", "v");
+  EXPECT_DOUBLE_EQ(sorted->ColumnSortedFraction(0), 1.0);
+  // Round-robin partitioning of an ascending sequence keeps every
+  // partition ascending, so the per-partition stat must stay 1.0.
+  auto shuffled =
+      MakeKv(SmallTopo(), MakeRows(20000, Shape::kShuffled, 2), "k", "v");
+  EXPECT_LT(shuffled->ColumnSortedFraction(0), 0.9);
+  // The value column of MakeRows is the row index: always sorted.
+  EXPECT_DOUBLE_EQ(shuffled->ColumnSortedFraction(1), 1.0);
+}
+
+TEST(AdaptiveJoin, DifferentialAcrossKindsShapesAndResiduals) {
+  EngineOptions opts;
+  opts.morsel_size = 512;
+  Engine engine(SmallTopo(), opts);
+
+  constexpr JoinKind kKinds[] = {JoinKind::kInner, JoinKind::kSemi,
+                                 JoinKind::kAnti, JoinKind::kLeftOuter};
+  constexpr Shape kShapes[] = {Shape::kPresorted, Shape::kShuffled,
+                               Shape::kSkewed};
+  for (Shape shape : kShapes) {
+    // Skew only the probe side (two-sided skew would square the hot
+    // key's output); the build stays a key-complete uniform dimension.
+    Shape build_shape = shape == Shape::kSkewed ? Shape::kShuffled : shape;
+    auto probe =
+        MakeKv(SmallTopo(), MakeRows(kProbeRows, shape, 11), "pk", "pv");
+    auto build = MakeKv(SmallTopo(), MakeRows(kBuildRows, build_shape, 23),
+                        "bk", "bv");
+    for (JoinKind kind : kKinds) {
+      for (bool with_residual : {false, true}) {
+        JoinCase c{kind, shape, with_residual};
+        SCOPED_TRACE("kind=" + std::to_string(static_cast<int>(kind)) +
+                     " shape=" + std::to_string(static_cast<int>(shape)) +
+                     " residual=" + std::to_string(with_residual));
+        std::vector<std::string> hash =
+            RunCase(engine, probe.get(), build.get(), c, JoinStrategy::kHash);
+        std::vector<std::string> merge = RunCase(
+            engine, probe.get(), build.get(), c, JoinStrategy::kMerge);
+        std::vector<std::string> adaptive = RunCase(
+            engine, probe.get(), build.get(), c, JoinStrategy::kAdaptive);
+        EXPECT_EQ(hash, merge);
+        EXPECT_EQ(hash, adaptive);
+      }
+    }
+  }
+}
+
+// The right-outer-mark kind has no merge implementation: every strategy
+// request must run it as a hash join (and agree on the result).
+TEST(AdaptiveJoin, RightOuterMarkAlwaysRunsAsHash) {
+  EngineOptions opts;
+  opts.morsel_size = 512;
+  Engine engine(SmallTopo(), opts);
+  auto probe = MakeKv(SmallTopo(),
+                      MakeRows(kProbeRows, Shape::kPresorted, 31), "pk", "pv");
+  auto build = MakeKv(SmallTopo(),
+                      MakeRows(kBuildRows, Shape::kPresorted, 37), "bk", "bv");
+  JoinCase c{JoinKind::kRightOuterMark, Shape::kPresorted, false};
+  std::string plan_merge, plan_adaptive;
+  std::vector<std::string> hash =
+      RunCase(engine, probe.get(), build.get(), c, JoinStrategy::kHash);
+  std::vector<std::string> merge = RunCase(engine, probe.get(), build.get(),
+                                           c, JoinStrategy::kMerge,
+                                           &plan_merge);
+  std::vector<std::string> adaptive =
+      RunCase(engine, probe.get(), build.get(), c, JoinStrategy::kAdaptive,
+              &plan_adaptive);
+  EXPECT_EQ(hash, merge);
+  EXPECT_EQ(hash, adaptive);
+  EXPECT_EQ(plan_merge.find("partition-merge-join"), std::string::npos);
+  EXPECT_EQ(plan_adaptive.find("partition-merge-join"), std::string::npos);
+}
+
+// Extracts "x/y" from the "[presorted x/y runs" annotation of the given
+// pipeline's Describe line; returns false if absent.
+bool ParsePresorted(const std::string& plan, const std::string& job,
+                    int* presorted, int* total) {
+  size_t line = plan.find(job);
+  if (line == std::string::npos) return false;
+  size_t tag = plan.find("[presorted ", line);
+  if (tag == std::string::npos) return false;
+  return std::sscanf(plan.c_str() + tag, "[presorted %d/%d", presorted,
+                     total) == 2;
+}
+
+TEST(AdaptiveJoin, PresortedPicksMergeAndSkipsLocalSort) {
+  // Single-socket topology: every worker's run is then a monotone
+  // subsequence of the one sorted partition, so all runs must be
+  // detected as presorted (no cross-partition interleaving).
+  Topology topo(1, 2, InterconnectKind::kFullyConnected);
+  EngineOptions opts;
+  opts.morsel_size = 512;
+  Engine engine(topo, opts);
+  auto probe =
+      MakeKv(topo, MakeRows(kProbeRows, Shape::kPresorted, 41), "pk", "pv");
+  auto build =
+      MakeKv(topo, MakeRows(kBuildRows, Shape::kPresorted, 43), "bk", "bv");
+
+  auto q = engine.CreateQuery();
+  PlanBuilder b = q->Scan(build.get(), {"bk", "bv"});
+  PlanBuilder p = q->Scan(probe.get(), {"pk", "pv"});
+  p.Join(std::move(b), {"pk"}, {"bk"}, {"bv"}, JoinKind::kInner, nullptr,
+         JoinStrategy::kAdaptive);
+  p.CollectResult();
+
+  // Plan-time: the stats must route this join to merge.
+  std::string plan = q->ExplainPlan();
+  EXPECT_NE(plan.find("partition-merge-join"), std::string::npos) << plan;
+
+  ResultSet r = q->Execute();
+  EXPECT_GT(r.num_rows(), 0);
+
+  // Runtime: every run of both sides must have skipped its local sort.
+  plan = q->ExplainPlan();
+  for (const char* job : {"merge-probe-sort", "merge-build-sort"}) {
+    int presorted = 0, total = 0;
+    ASSERT_TRUE(ParsePresorted(plan, job, &presorted, &total)) << plan;
+    EXPECT_GT(total, 0) << plan;
+    EXPECT_EQ(presorted, total) << plan;
+  }
+}
+
+TEST(AdaptiveJoin, UnsortedInputsPickHash) {
+  EngineOptions opts;
+  opts.morsel_size = 512;
+  Engine engine(SmallTopo(), opts);
+  auto probe = MakeKv(SmallTopo(),
+                      MakeRows(kProbeRows, Shape::kShuffled, 51), "pk", "pv");
+  auto build = MakeKv(SmallTopo(),
+                      MakeRows(kBuildRows, Shape::kShuffled, 53), "bk", "bv");
+  JoinCase c{JoinKind::kInner, Shape::kShuffled, false};
+  std::string plan;
+  RunCase(engine, probe.get(), build.get(), c, JoinStrategy::kAdaptive,
+          &plan);
+  EXPECT_NE(plan.find("join-insert"), std::string::npos) << plan;
+  EXPECT_EQ(plan.find("partition-merge-join"), std::string::npos) << plan;
+}
+
+TEST(AdaptiveJoin, TinySortedInputsPickHash) {
+  EngineOptions opts;
+  opts.morsel_size = 512;
+  Engine engine(SmallTopo(), opts);
+  // Sorted, but far below the adaptive size floor on both sides.
+  auto probe =
+      MakeKv(SmallTopo(), MakeRows(500, Shape::kPresorted, 61), "pk", "pv");
+  auto build =
+      MakeKv(SmallTopo(), MakeRows(400, Shape::kPresorted, 67), "bk", "bv");
+  JoinCase c{JoinKind::kInner, Shape::kPresorted, false};
+  std::string plan;
+  RunCase(engine, probe.get(), build.get(), c, JoinStrategy::kAdaptive,
+          &plan);
+  EXPECT_NE(plan.find("join-insert"), std::string::npos) << plan;
+  EXPECT_EQ(plan.find("partition-merge-join"), std::string::npos) << plan;
+}
+
+// Sorted inputs alone are not enough: a small dimension build (well
+// under the build/probe ratio floor) stays hash — probing a
+// cache-resident table beats materializing the whole probe side.
+TEST(AdaptiveJoin, SmallSortedBuildPicksHash) {
+  EngineOptions opts;
+  opts.morsel_size = 512;
+  Engine engine(SmallTopo(), opts);
+  auto probe = MakeKv(SmallTopo(),
+                      MakeRows(40000, Shape::kPresorted, 91), "pk", "pv");
+  auto build =
+      MakeKv(SmallTopo(), MakeRows(5000, Shape::kPresorted, 93), "bk", "bv");
+  JoinCase c{JoinKind::kInner, Shape::kPresorted, false};
+  std::string plan;
+  RunCase(engine, probe.get(), build.get(), c, JoinStrategy::kAdaptive,
+          &plan);
+  EXPECT_NE(plan.find("join-insert"), std::string::npos) << plan;
+  EXPECT_EQ(plan.find("partition-merge-join"), std::string::npos) << plan;
+}
+
+TEST(AdaptiveJoin, PerJoinOverrideBeatsEngineKnob) {
+  auto probe = MakeKv(SmallTopo(),
+                      MakeRows(kProbeRows, Shape::kShuffled, 71), "pk", "pv");
+  auto build = MakeKv(SmallTopo(),
+                      MakeRows(kBuildRows, Shape::kShuffled, 73), "bk", "bv");
+  JoinCase c{JoinKind::kInner, Shape::kShuffled, false};
+
+  {
+    // Engine-wide merge, per-join hash: the override wins.
+    EngineOptions opts;
+    opts.morsel_size = 512;
+    opts.join_strategy = JoinStrategy::kMerge;
+    Engine engine(SmallTopo(), opts);
+    std::string plan;
+    RunCase(engine, probe.get(), build.get(), c, JoinStrategy::kHash, &plan);
+    EXPECT_NE(plan.find("join-insert"), std::string::npos) << plan;
+    EXPECT_EQ(plan.find("partition-merge-join"), std::string::npos) << plan;
+  }
+  {
+    // Engine-wide hash, per-join merge.
+    EngineOptions opts;
+    opts.morsel_size = 512;
+    Engine engine(SmallTopo(), opts);
+    std::string plan;
+    RunCase(engine, probe.get(), build.get(), c, JoinStrategy::kMerge,
+            &plan);
+    EXPECT_NE(plan.find("partition-merge-join"), std::string::npos) << plan;
+  }
+  {
+    // No override: the engine knob decides.
+    EngineOptions opts;
+    opts.morsel_size = 512;
+    opts.join_strategy = JoinStrategy::kMerge;
+    Engine engine(SmallTopo(), opts);
+    std::string plan;
+    RunCase(engine, probe.get(), build.get(), c, std::nullopt, &plan);
+    EXPECT_NE(plan.find("partition-merge-join"), std::string::npos) << plan;
+  }
+}
+
+// kAdaptive as the engine-wide knob (no per-join override) resolves per
+// join too: the same engine picks merge for the sorted pair and hash for
+// the shuffled pair.
+TEST(AdaptiveJoin, EngineWideAdaptiveKnob) {
+  EngineOptions opts;
+  opts.morsel_size = 512;
+  opts.join_strategy = JoinStrategy::kAdaptive;
+  Engine engine(SmallTopo(), opts);
+  auto sorted_probe = MakeKv(
+      SmallTopo(), MakeRows(kProbeRows, Shape::kPresorted, 81), "pk", "pv");
+  auto sorted_build = MakeKv(
+      SmallTopo(), MakeRows(kBuildRows, Shape::kPresorted, 83), "bk", "bv");
+  auto random_probe = MakeKv(
+      SmallTopo(), MakeRows(kProbeRows, Shape::kShuffled, 87), "pk", "pv");
+  auto random_build = MakeKv(
+      SmallTopo(), MakeRows(kBuildRows, Shape::kShuffled, 89), "bk", "bv");
+  JoinCase c{JoinKind::kInner, Shape::kPresorted, false};
+  std::string plan;
+  RunCase(engine, sorted_probe.get(), sorted_build.get(), c, std::nullopt,
+          &plan);
+  EXPECT_NE(plan.find("partition-merge-join"), std::string::npos) << plan;
+  RunCase(engine, random_probe.get(), random_build.get(), c, std::nullopt,
+          &plan);
+  EXPECT_NE(plan.find("join-insert"), std::string::npos) << plan;
+}
+
+}  // namespace
+}  // namespace morsel

@@ -8,6 +8,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <future>
 #include <memory>
 #include <string>
 #include <thread>
@@ -155,6 +157,45 @@ TEST(DispatcherStress, RepeatedCancelAtRandomPhases) {
     } else {
       EXPECT_EQ(q->context()->error(), "query cancelled");
     }
+  }
+}
+
+// Regression test for the no-steal starvation fix: with fewer workers
+// than sockets (both pool workers pin to socket 0 of the 2x2 topology)
+// and stealing disabled, socket 1's NUMA-local morsels have no worker of
+// their own — the liveness fallback must hand them to remote workers so
+// every query completes within a generous deadline instead of hanging.
+TEST(DispatcherStress, NoStealWorkerlessSocketCompletes) {
+  EngineOptions opts;
+  opts.morsel_size = 256;
+  opts.num_workers = 2;  // cores 0,1 -> both on socket 0 of SmallTopo
+  opts.steal = false;
+  Engine engine(SmallTopo(), opts);
+
+  constexpr int kQueries = 4;
+  std::vector<std::unique_ptr<Query>> queries;
+  for (int i = 0; i < kQueries; ++i) {
+    queries.push_back(BuildCountSumQuery(engine));
+  }
+  for (auto& q : queries) q->Start();
+  // Elastic caps below the socket count must not re-introduce the hang.
+  for (auto& q : queries) q->SetMaxWorkers(1);
+
+  auto all_done = std::async(std::launch::async, [&] {
+    for (auto& q : queries) q->Wait();
+  });
+  bool completed = all_done.wait_for(std::chrono::seconds(60)) ==
+                   std::future_status::ready;
+  EXPECT_TRUE(completed) << "no-steal starved a worker-less socket";
+  if (!completed) {
+    // Unblock teardown so the failure surfaces instead of a hang.
+    for (auto& q : queries) q->Cancel();
+    all_done.wait();
+    return;
+  }
+  for (auto& q : queries) {
+    EXPECT_TRUE(q->context()->error().empty());
+    ExpectExactResult(q.get());
   }
 }
 

@@ -3,14 +3,17 @@
 //    every scheduling configuration — morsel size, worker count,
 //    stealing, NUMA awareness, static division, tagging. Scheduling must
 //    never change semantics.
-//  - randomized plans (join strategy hash/merge, join kind, residuals,
-//    group-by, order-by, random data shapes and scheduling knobs) must
+//  - randomized plans (join strategy hash/merge/adaptive via engine knob
+//    or per-join override, join kind, residuals, group-by, order-by,
+//    random data shapes — incl. presorted — and scheduling knobs) must
 //    match the Volcano-emulation reference backend; every case logs its
 //    RNG seed so failures reproduce with a one-liner.
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
+#include <optional>
 #include <string>
 #include <tuple>
 #include <vector>
@@ -122,7 +125,11 @@ INSTANTIATE_TEST_SUITE_P(
                       Config{512, 4, false, false, false, true},
                       Config{512, 4, true, true, true, true},
                       Config{512, 4, true, true, false, false},
-                      Config{512, 4, false, false, true, false}));
+                      Config{512, 4, false, false, true, false},
+                      // no-steal with fewer workers than sockets: relies
+                      // on the worker-less-socket liveness fallback
+                      Config{512, 1, true, false, false, true},
+                      Config{512, 2, true, false, false, true}));
 
 // --- randomized plan generation ---------------------------------------------
 //
@@ -138,8 +145,13 @@ struct RandomPlanSpec {
   int64_t build_rows = 0;
   int64_t key_range = 1;
   JoinKind kind = JoinKind::kInner;
-  bool merge_strategy = false;  // join strategy for the tested engine
-  bool skewed = false;          // 80% of probe keys collapse onto one
+  // Join strategy for the tested engine (hash / merge / adaptive),
+  // applied either through the engine-wide knob or as a per-join
+  // override on PlanBuilder::Join.
+  JoinStrategy strategy = JoinStrategy::kHash;
+  bool per_join_override = false;
+  bool skewed = false;     // 80% of probe keys collapse onto one
+  bool presorted = false;  // both inputs arrive key-ordered
   bool with_residual = false;
   bool with_group_by = false;
   bool with_order_by = false;
@@ -161,8 +173,12 @@ RandomPlanSpec DrawSpec(uint64_t seed) {
   constexpr JoinKind kKinds[] = {JoinKind::kInner, JoinKind::kSemi,
                                  JoinKind::kAnti, JoinKind::kLeftOuter};
   s.kind = kKinds[rng.Uniform(0, 3)];
-  s.merge_strategy = rng.Bernoulli(0.5);
+  constexpr JoinStrategy kStrategies[] = {
+      JoinStrategy::kHash, JoinStrategy::kMerge, JoinStrategy::kAdaptive};
+  s.strategy = kStrategies[rng.Uniform(0, 2)];
+  s.per_join_override = rng.Bernoulli(0.5);
   s.skewed = rng.Bernoulli(0.3);
+  s.presorted = rng.Bernoulli(0.25);  // lets kAdaptive take the merge path
   s.with_residual = rng.Bernoulli(0.4);
   s.with_group_by = rng.Bernoulli(0.6);
   s.with_order_by = rng.Bernoulli(0.6);
@@ -172,11 +188,9 @@ RandomPlanSpec DrawSpec(uint64_t seed) {
   s.numa_aware = rng.Bernoulli(0.8);
   s.steal = rng.Bernoulli(0.8);
   s.tagging = rng.Bernoulli(0.8);
-  // Stealing can only be disabled when every socket has a worker
-  // (workers pin to cores 0..n-1): otherwise NUMA-local morsels on
-  // uncovered sockets would never be taken — the no-steal ablation is
-  // defined for one-worker-per-core setups (§5.4), not for this.
-  if (s.workers < testutil::SmallTopo().total_cores()) s.steal = true;
+  // No liveness constraint on steal/workers: sockets without a live
+  // worker hand their morsels to remote workers (the dispatcher's
+  // no-steal fallback), so any combination must complete.
   return s;
 }
 
@@ -194,8 +208,10 @@ std::vector<std::string> RunSpec(const RandomPlanSpec& spec,
     opts.numa_aware = spec.numa_aware;
     opts.steal = spec.steal;
     opts.tagging = spec.tagging;
-    opts.join_strategy = spec.merge_strategy ? JoinStrategy::kMerge
-                                             : JoinStrategy::kHash;
+    // Half the specs exercise the engine-wide knob, half the per-join
+    // override (with a deliberately contrary knob it must beat).
+    opts.join_strategy =
+        spec.per_join_override ? JoinStrategy::kHash : spec.strategy;
   }
   Engine engine(testutil::SmallTopo(), opts);
 
@@ -212,6 +228,17 @@ std::vector<std::string> RunSpec(const RandomPlanSpec& spec,
     // build key range deliberately overshoots so anti joins see misses
     build_rows.push_back({data_rng.Uniform(0, spec.key_range + 50), i});
   }
+  if (spec.presorted) {
+    // Key-ordered inputs (values keep their identity): the shape that
+    // routes kAdaptive to the merge join and exercises the presorted-run
+    // detection.
+    auto by_key = [](const std::pair<int64_t, int64_t>& a,
+                     const std::pair<int64_t, int64_t>& b) {
+      return a.first < b.first;
+    };
+    std::stable_sort(probe_rows.begin(), probe_rows.end(), by_key);
+    std::stable_sort(build_rows.begin(), build_rows.end(), by_key);
+  }
   auto probe = MakeKv(testutil::SmallTopo(), probe_rows, "pk", "pv");
   auto build = MakeKv(testutil::SmallTopo(), build_rows, "bk", "bv");
 
@@ -224,7 +251,10 @@ std::vector<std::string> RunSpec(const RandomPlanSpec& spec,
       return Lt(Sub(s.Col("bv"), s.Col("pv")), ConstI64(100));
     };
   }
-  p.Join(std::move(b), {"pk"}, {"bk"}, {"bv"}, spec.kind, residual);
+  p.Join(std::move(b), {"pk"}, {"bk"}, {"bv"}, spec.kind, residual,
+         !reference && spec.per_join_override
+             ? std::optional<JoinStrategy>(spec.strategy)
+             : std::nullopt);
 
   // kSemi/kAnti emit probe columns only.
   const bool has_payload =
