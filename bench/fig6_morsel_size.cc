@@ -34,12 +34,12 @@ std::unique_ptr<Table> MakeR(const Topology& topo, int64_t n) {
 
 double RunMinQuery(Engine& engine, const Table* table) {
   return bench::TimeQuerySeconds([&] {
-    auto q = engine.CreateQuery();
-    PlanBuilder pb = q->Scan(const_cast<Table*>(table), {"a"});
+    PlanBuilder pb = PlanBuilder::Scan(const_cast<Table*>(table), {"a"});
     std::vector<AggItem> aggs;
     aggs.push_back({AggFunc::kMin, pb.Col("a"), "min_a"});
     pb.GroupBy({}, std::move(aggs));
     pb.CollectResult();
+    auto q = engine.CreateQuery(pb.Build());
     ResultSet r = q->Execute();
     MORSEL_CHECK(r.num_rows() == 1);
   });

@@ -105,14 +105,14 @@ const ShapeTables& TablesFor(Shape shape) {
 }
 
 int64_t RunJoin(Engine& engine, const ShapeTables& t) {
-  auto q = engine.CreateQuery();
-  PlanBuilder b = q->Scan(t.build.get(), {"bk", "bv"});
-  PlanBuilder p = q->Scan(t.probe.get(), {"pk", "pv"});
+  PlanBuilder b = PlanBuilder::Scan(t.build.get(), {"bk", "bv"});
+  PlanBuilder p = PlanBuilder::Scan(t.probe.get(), {"pk", "pv"});
   p.Join(std::move(b), {"pk"}, {"bk"}, {"bv"}, JoinKind::kInner);
   std::vector<AggItem> aggs;
   aggs.push_back({AggFunc::kCount, nullptr, "cnt"});
   p.GroupBy({}, std::move(aggs));
   p.CollectResult();
+  auto q = engine.CreateQuery(p.Build());
   ResultSet r = q->Execute();
   return r.num_rows() > 0 ? r.I64(0, 0) : 0;
 }

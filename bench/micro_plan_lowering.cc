@@ -1,0 +1,126 @@
+// API-layer cost of the logical/physical split (DESIGN §9): what does a
+// request pay to (a) build a LogicalPlan, (b) lower it into a Query,
+// (c) execute a PreparedQuery per request — the heavy-traffic shape —
+// vs (d) build+lower+execute from scratch every time. Keeping these in
+// the BENCH JSON trajectory makes plan-construction overhead visible
+// the moment an engine change bloats it.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "engine/engine.h"
+#include "engine/query.h"
+#include "numa/topology.h"
+#include "storage/table.h"
+
+namespace {
+
+using namespace morsel;  // NOLINT
+
+constexpr int64_t kFactRows = 200000;
+constexpr int64_t kDimRows = 1000;
+constexpr int64_t kKeyRange = 1024;
+
+const Topology& Topo() {
+  static Topology topo(2, 2, InterconnectKind::kFullyConnected);
+  return topo;
+}
+
+std::unique_ptr<Table> MakeKv(const char* kname, const char* vname,
+                              int64_t rows, int64_t key_range) {
+  Schema schema({{kname, LogicalType::kInt64}, {vname, LogicalType::kInt64}});
+  auto t = std::make_unique<Table>("kv", schema, Topo());
+  for (int64_t i = 0; i < rows; ++i) {
+    int p = static_cast<int>(i % t->num_partitions());
+    t->Int64Col(p, 0)->Append(i % key_range);
+    t->Int64Col(p, 1)->Append(i);
+  }
+  for (int p = 0; p < t->num_partitions(); ++p) t->SealPartition(p);
+  return t;
+}
+
+const Table* Fact() {
+  static Table* t = MakeKv("k", "v", kFactRows, kKeyRange).release();
+  return t;
+}
+const Table* Dim() {
+  static Table* t = MakeKv("dk", "dv", kDimRows, kKeyRange).release();
+  return t;
+}
+
+Engine& SharedEngine() {
+  static Engine* e = [] {
+    EngineOptions opts;
+    opts.morsel_size = 20000;
+    return new Engine(Topo(), opts);
+  }();
+  return *e;
+}
+
+// A representative request: scan |> filter |> join |> group-by |> top-k.
+LogicalPlan BuildPlan() {
+  PlanBuilder d = PlanBuilder::Scan(Dim(), {"dk", "dv"});
+  PlanBuilder p = PlanBuilder::Scan(Fact(), {"k", "v"});
+  p.Filter(Lt(p.Col("v"), ConstI64(kFactRows - 1)));
+  p.HashJoin(std::move(d), {"k"}, {"dk"}, {"dv"}, JoinKind::kInner);
+  std::vector<AggItem> aggs;
+  aggs.push_back({AggFunc::kCount, nullptr, "cnt"});
+  aggs.push_back({AggFunc::kSum, p.Col("dv"), "sum_dv"});
+  p.GroupBy({"k"}, std::move(aggs));
+  p.OrderBy({{"cnt", false}, {"k", true}}, 32);
+  return p.Build();
+}
+
+// (a) Logical-plan construction alone (engine-independent, no jobs).
+void BM_PlanBuild(benchmark::State& state) {
+  int64_t nodes = 0;
+  for (auto _ : state) {
+    LogicalPlan plan = BuildPlan();
+    nodes = plan.num_nodes();
+    benchmark::DoNotOptimize(nodes);
+  }
+  state.counters["nodes"] = static_cast<double>(nodes);
+}
+BENCHMARK(BM_PlanBuild);
+
+// (b) Physical lowering of a pre-built plan (pipelines + operator state,
+// nothing executed).
+void BM_LowerPlan(benchmark::State& state) {
+  LogicalPlan plan = BuildPlan();
+  for (auto _ : state) {
+    std::unique_ptr<Query> q = SharedEngine().CreateQuery(plan);
+    benchmark::DoNotOptimize(q.get());
+  }
+}
+BENCHMARK(BM_LowerPlan);
+
+// (c) The heavy-traffic shape: prepare once, execute per request.
+void BM_PreparedExecuteLoop(benchmark::State& state) {
+  PreparedQuery pq = SharedEngine().Prepare(BuildPlan());
+  int64_t rows = 0;
+  for (auto _ : state) {
+    ResultSet r = pq.Execute();
+    rows = r.num_rows();
+    benchmark::DoNotOptimize(rows);
+  }
+  state.counters["rows"] = static_cast<double>(rows);
+  state.SetItemsProcessed(state.iterations() * kFactRows);
+}
+BENCHMARK(BM_PreparedExecuteLoop)->UseRealTime();
+
+// (d) The per-request worst case: rebuild + relower + execute.
+void BM_FreshBuildLowerExecute(benchmark::State& state) {
+  for (auto _ : state) {
+    ResultSet r = SharedEngine().CreateQuery(BuildPlan())->Execute();
+    benchmark::DoNotOptimize(r.num_rows());
+  }
+  state.SetItemsProcessed(state.iterations() * kFactRows);
+}
+BENCHMARK(BM_FreshBuildLowerExecute)->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -7,9 +7,12 @@
 #   benchmark_filter  regex passed to --benchmark_filter (default: all)
 #
 # Output, in the repository root:
-#   BENCH_micro_hash_table.json  — tagged-hash-table + probe pipeline
-#   BENCH_micro_merge_join.json  — hash vs MPSM merge join (uniform /
-#                                  skewed / presorted inputs)
+#   BENCH_micro_hash_table.json    — tagged-hash-table + probe pipeline
+#   BENCH_micro_merge_join.json    — hash vs MPSM merge join (uniform /
+#                                    skewed / presorted inputs)
+#   BENCH_micro_plan_lowering.json — logical-plan build / physical
+#                                    lowering / PreparedQuery
+#                                    re-execution loop (API-layer cost)
 #
 # A binary whose benchmarks are all excluded by the filter leaves its
 # checked-in report untouched (the trajectory files must never be
@@ -50,3 +53,4 @@ run_one() {
 
 run_one micro_hash_table
 run_one micro_merge_join
+run_one micro_plan_lowering

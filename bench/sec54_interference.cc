@@ -31,12 +31,12 @@ double OneRun(Engine& engine, const TpchData& db) {
 // successor jobs): isolates work division from pipeline-breaker tails.
 double OneScan(Engine& engine, const TpchData& db) {
   WallTimer t;
-  auto q = engine.CreateQuery();
-  PlanBuilder pb = q->Scan(db.lineitem.get(),
+  PlanBuilder pb = PlanBuilder::Scan(db.lineitem.get(),
                            {"l_quantity", "l_extendedprice", "l_discount",
                             "l_shipdate"});
   pb.Filter(Lt(pb.Col("l_quantity"), ConstF64(0.0)));  // selects nothing
   pb.CollectResult();
+  auto q = engine.CreateQuery(pb.Build());
   ResultSet r = q->Execute();
   MORSEL_CHECK(r.num_rows() == 0);
   return t.ElapsedSeconds();

@@ -31,12 +31,12 @@ std::unique_ptr<Table> MakeBig(const Topology& topo, int64_t rows) {
 
 void RunAgg(Engine& engine, const Table* table, double priority,
             const char* label) {
-  auto q = engine.CreateQuery(priority);
-  PlanBuilder pb = q->Scan(const_cast<Table*>(table), {"k", "v"});
+  PlanBuilder pb = PlanBuilder::Scan(const_cast<Table*>(table), {"k", "v"});
   std::vector<AggItem> aggs;
   aggs.push_back({AggFunc::kSum, pb.Col("v"), "s"});
   pb.GroupBy({"k"}, std::move(aggs));
   pb.CollectResult();
+  auto q = engine.CreateQuery(pb.Build(), priority);
   ResultSet r = q->Execute();
   std::printf("  %s finished: %lld groups\n", label,
               static_cast<long long>(r.num_rows()));
@@ -66,12 +66,12 @@ int main() {
   engine.trace()->DumpAscii(std::cout, 96);
 
   std::printf("\n3) cancellation: a query aborts at the next morsel edge\n");
-  auto q = engine.CreateQuery();
-  PlanBuilder pb = q->Scan(table.get(), {"k", "v"});
+  PlanBuilder pb = PlanBuilder::Scan(table.get(), {"k", "v"});
   std::vector<AggItem> aggs;
   aggs.push_back({AggFunc::kCount, nullptr, "c"});
   pb.GroupBy({"k"}, std::move(aggs));
   pb.CollectResult();
+  auto q = engine.CreateQuery(pb.Build());
   q->Start();
   std::this_thread::sleep_for(std::chrono::milliseconds(5));
   q->Cancel();
@@ -80,12 +80,12 @@ int main() {
               q->context()->error().c_str());
 
   std::printf("\n4) elastic cap: same query limited to 1 worker mid-run\n");
-  auto q2 = engine.CreateQuery();
-  PlanBuilder pb2 = q2->Scan(table.get(), {"k", "v"});
+  PlanBuilder pb2 = PlanBuilder::Scan(table.get(), {"k", "v"});
   std::vector<AggItem> aggs2;
   aggs2.push_back({AggFunc::kCount, nullptr, "c"});
   pb2.GroupBy({"k"}, std::move(aggs2));
   pb2.CollectResult();
+  auto q2 = engine.CreateQuery(pb2.Build());
   q2->Start();
   q2->SetMaxWorkers(1);  // takes effect at the next morsel boundary
   q2->Wait();

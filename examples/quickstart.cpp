@@ -37,14 +37,14 @@ int main() {
   // 4. Build and run a query:
   //      SELECT region_id, count(*), sum(amount) FROM sales
   //      WHERE amount > 25 GROUP BY region_id ORDER BY region_id
-  auto q = engine.CreateQuery();
-  PlanBuilder pb = q->Scan(&sales, {"region_id", "amount"});
+  PlanBuilder pb = PlanBuilder::Scan(&sales, {"region_id", "amount"});
   pb.Filter(Gt(pb.Col("amount"), ConstF64(25.0)));
   std::vector<AggItem> aggs;
   aggs.push_back({AggFunc::kCount, nullptr, "cnt"});
   aggs.push_back({AggFunc::kSum, pb.Col("amount"), "total"});
   pb.GroupBy({"region_id"}, std::move(aggs));
   pb.OrderBy({{"region_id", true}});
+  auto q = engine.CreateQuery(pb.Build());
   ResultSet result = q->Execute();
 
   // 5. Read the result.

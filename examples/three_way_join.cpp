@@ -47,13 +47,12 @@ int main() {
   auto s = MakeTable(topo, "S", "a", "b", 50000, 20000);
   auto t = MakeTable(topo, "T", "b", "t_val", 20000, 20000);
 
-  auto q = engine.CreateQuery();
   // Pipelines 1+2: the QEP object serializes the two builds (§3.2 — no
   // bushy parallelism), each one morsel-wise parallel internally.
-  PlanBuilder st = q->Scan(s.get(), {"a", "b"});
-  PlanBuilder tt = q->Scan(t.get(), {"b", "t_val"});
+  PlanBuilder st = PlanBuilder::Scan(s.get(), {"a", "b"});
+  PlanBuilder tt = PlanBuilder::Scan(t.get(), {"b", "t_val"});
   // Pipeline 3: scan R, probe HT(S), probe HT(T), aggregate.
-  PlanBuilder pb = q->Scan(r.get(), {"a", "r_val"});
+  PlanBuilder pb = PlanBuilder::Scan(r.get(), {"a", "r_val"});
   pb.HashJoin(std::move(st), {"a"}, {"a"}, {"b"}, JoinKind::kInner);
   pb.HashJoin(std::move(tt), {"b"}, {"b"}, {"t_val"}, JoinKind::kInner);
   std::vector<AggItem> aggs;
@@ -61,6 +60,7 @@ int main() {
   aggs.push_back({AggFunc::kSum, pb.Col("t_val"), "sum_t"});
   pb.GroupBy({}, std::move(aggs));
   pb.CollectResult();
+  auto q = engine.CreateQuery(pb.Build());
 
   ResultSet result = q->Execute();
   std::printf("R |><| S |><| T produced %lld joined rows (sum_t=%lld)\n",

@@ -57,6 +57,20 @@ class PipelineJob {
     return info_ready_.load(std::memory_order_acquire) ? info_ : kNoInfo;
   }
 
+  // Runtime cardinality feedback: number of rows this job made available
+  // to its downstream consumers, published by Finalize() (exec pipelines
+  // count rows reaching the sink; breaker jobs may report a better
+  // stage-specific figure, e.g. the pre-aggregation's group estimate).
+  // -1 until the job finalized. Readers are ordered after Finalize by
+  // the QEP dependency chain; the acquire/release pair makes the
+  // hand-off explicit.
+  int64_t rows_produced() const {
+    return rows_produced_.load(std::memory_order_acquire);
+  }
+  void set_rows_produced(int64_t n) {
+    rows_produced_.store(n, std::memory_order_release);
+  }
+
   // Set by Prepare() in subclasses.
   MorselQueue* queue() const { return queue_.get(); }
 
@@ -87,6 +101,7 @@ class PipelineJob {
   std::string name_;
   std::string info_;
   std::atomic<bool> info_ready_{false};
+  std::atomic<int64_t> rows_produced_{-1};
   std::unique_ptr<MorselQueue> queue_;
 };
 

@@ -9,6 +9,7 @@ QepObject::~QepObject() {
 }
 
 std::string QepObject::Describe() const {
+  std::lock_guard<std::mutex> lock(splice_mu_);
   std::string out;
   for (size_t i = 0; i < nodes_.size(); ++i) {
     const Node& node = *nodes_[i];
@@ -44,6 +45,56 @@ int QepObject::AddPipeline(std::unique_ptr<PipelineJob> job,
   return id;
 }
 
+void QepObject::ReserveSplice(int extra_nodes) {
+  MORSEL_CHECK(!started_.load());
+  MORSEL_CHECK(extra_nodes >= 0);
+  reserved_nodes_ = nodes_.size() + static_cast<size_t>(extra_nodes);
+  nodes_.reserve(reserved_nodes_);
+}
+
+int QepObject::SplicePipeline(std::unique_ptr<PipelineJob> job,
+                              std::vector<int> deps, int gate) {
+  MORSEL_CHECK(started_.load(std::memory_order_acquire));
+  std::lock_guard<std::mutex> lock(splice_mu_);
+  // The capacity reservation is what keeps lock-free readers safe; a
+  // splice past it would reallocate under them. The lowering reserves a
+  // worst-case bound, so hitting this is a planner bug, not load.
+  MORSEL_CHECK_MSG(nodes_.size() < reserved_nodes_,
+                   "splice exceeds ReserveSplice capacity");
+  int id = static_cast<int>(nodes_.size());
+  job->qep = this;
+  job->pipeline_id = id;
+  nodes_.push_back(std::make_unique<Node>());
+  Node& node = *nodes_.back();
+  node.job = std::move(job);
+  node.deps = deps;
+  // Count only unresolved deps. Every already-resolved dep stays
+  // resolved forever, and every unresolved dep is by contract either
+  // the in-Finalize gate job or a node spliced after it — none of them
+  // can resolve while this Finalize is still running, so the count
+  // cannot be invalidated concurrently.
+  MORSEL_CHECK(gate >= 0 && gate < id);
+  int remaining = 0;
+  bool gated = false;
+  for (int d : deps) {
+    MORSEL_CHECK(d >= 0 && d < id);
+    Node& dep = *nodes_[d];
+    if (dep.resolved.load(std::memory_order_acquire)) continue;
+    // Crash-fast contract check: an unresolved dep from before the gate
+    // is not quiescent — it could resolve on another worker right now
+    // and race this registration.
+    MORSEL_CHECK_MSG(d >= gate, "unresolved splice dep precedes the gate");
+    dep.dependents.push_back(id);
+    ++remaining;
+    gated |= d == gate;
+  }
+  MORSEL_CHECK_MSG(gated, "spliced pipeline must depend on its gate");
+  node.remaining.store(remaining, std::memory_order_relaxed);
+  node.is_root = false;
+  pending_.fetch_add(1, std::memory_order_acq_rel);
+  return id;
+}
+
 void QepObject::Start(WorkerContext& ctx) {
   MORSEL_CHECK(!started_.exchange(true));
   pending_.store(static_cast<int>(nodes_.size()),
@@ -75,6 +126,7 @@ void QepObject::PipelineFinished(PipelineJob* job, WorkerContext& ctx) {
 
 void QepObject::ResolveNode(int id, WorkerContext& ctx) {
   Node& node = *nodes_[id];
+  node.resolved.store(true, std::memory_order_release);
   bool cancelled = query_->cancelled();
 
   // Serialized bushy plans: when a root resolves, release the next root.

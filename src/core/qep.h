@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -44,6 +45,25 @@ class QepObject {
   // Start().
   int AddPipeline(std::unique_ptr<PipelineJob> job, std::vector<int> deps);
 
+  // Staged lowering support: pre-reserves node capacity for pipelines
+  // spliced in while the QEP runs. Must be called before Start();
+  // without a reservation SplicePipeline aborts. The reservation keeps
+  // the node array from reallocating, so concurrent readers
+  // (ResolveNode on other workers, Describe) stay race-free.
+  void ReserveSplice(int extra_nodes);
+
+  // Appends a pipeline to a *running* QEP. Must be called from within
+  // the Finalize() of registered job `gate` (typically an adaptive-join
+  // decision placeholder), which must itself be listed in `deps`: since
+  // the gate only resolves after its Finalize returns, the new node
+  // cannot be orphaned, and every other dep must be either already
+  // resolved or a node spliced after the gate in this same Finalize
+  // (enforced: any unresolved dep with id < gate aborts — such a dep
+  // could resolve concurrently and race the dependent registration).
+  // Returns the new pipeline's id.
+  int SplicePipeline(std::unique_ptr<PipelineJob> job,
+                     std::vector<int> deps, int gate);
+
   // Submits all dependency-free pipelines. `ctx` is the caller's context
   // (external thread slot); preparation runs on it.
   void Start(WorkerContext& ctx);
@@ -72,6 +92,7 @@ class QepObject {
     std::vector<int> deps;
     std::vector<int> dependents;
     std::atomic<int> remaining{0};
+    std::atomic<bool> resolved{false};
     bool is_root = false;  // no dependencies
   };
 
@@ -83,7 +104,13 @@ class QepObject {
   QueryContext* query_;
   Dispatcher* dispatcher_;
   bool serialize_roots_;
+  // Guards structural mutation of nodes_ after Start (SplicePipeline)
+  // and its readers that walk the whole array (Describe). Completion
+  // paths index only published nodes, whose slots never move thanks to
+  // the ReserveSplice capacity guarantee, so they stay lock-free.
+  mutable std::mutex splice_mu_;
   std::vector<std::unique_ptr<Node>> nodes_;  // Node holds atomics
+  size_t reserved_nodes_ = 0;         // capacity floor incl. splices
   std::vector<int> root_order_;       // roots in registration order
   std::atomic<int> next_root_{0};     // next root to run (serialized mode)
   std::atomic<int> pending_{0};       // nodes not yet resolved

@@ -29,4 +29,25 @@ std::unique_ptr<Query> Engine::CreateQuery(double priority) {
       priority);
 }
 
+std::unique_ptr<Query> Engine::CreateQuery(const LogicalPlan& plan,
+                                           double priority) {
+  std::unique_ptr<Query> q = CreateQuery(priority);
+  q->SetPlan(plan);
+  return q;
+}
+
+PreparedQuery Engine::Prepare(LogicalPlan plan) {
+  MORSEL_CHECK_MSG(plan.valid(), "Prepare requires a built LogicalPlan");
+  return PreparedQuery(this, std::move(plan));
+}
+
+std::unique_ptr<Query> PreparedQuery::MakeQuery(double priority) const {
+  MORSEL_CHECK_MSG(valid(), "PreparedQuery is empty");
+  return engine_->CreateQuery(plan_, priority);
+}
+
+ResultSet PreparedQuery::Execute(double priority) const {
+  return MakeQuery(priority)->Execute();
+}
+
 }  // namespace morsel

@@ -8,27 +8,15 @@
 #include "core/morsel_queue.h"
 #include "core/trace.h"
 #include "core/worker_pool.h"
+#include "engine/logical_plan.h"
+#include "exec/result.h"
 #include "numa/mem_stats.h"
 #include "numa/topology.h"
 
 namespace morsel {
 
 class Query;
-
-// Equi-join algorithm choice, applied by PlanBuilder::Join either from
-// the engine-wide EngineOptions::join_strategy knob or from a per-join
-// override (hash join per §4.1 vs the MPSM-style sort-merge join of
-// Albutiu et al., both scheduled morsel-wise). kAdaptive resolves per
-// join at plan time from input cardinality estimates and a sampled
-// sortedness probe on the leading key column: near-sorted inputs route
-// to the merge join (whose local sorts then degenerate to detection
-// scans), everything else to hash. Explicit HashJoin / MergeJoin plan
-// calls bypass the knob.
-enum class JoinStrategy {
-  kHash,
-  kMerge,
-  kAdaptive,
-};
+class PreparedQuery;
 
 // Engine-wide execution options; the toggles reproduce the engine
 // variants of Figure 11 and §5.4:
@@ -53,6 +41,13 @@ struct EngineOptions {
   // into one-morsel monoliths. 1 = the coarse one-partition-per-worker
   // ablation baseline.
   int merge_partition_factor = 4;
+  // Staged lowering (DESIGN §9): a kAdaptive join whose inputs end in
+  // pipeline breakers defers its hash-vs-merge choice to the pipeline
+  // boundary, where the breakers' actual row counts replace the
+  // plan-time estimates. false = resolve every kAdaptive join eagerly
+  // at lowering time from the heuristic estimates (the pre-feedback
+  // behavior; also the differential-test ablation arm).
+  bool runtime_feedback = true;
   bool static_division = false;  // morsel size forced to n / workers
   bool serialize_roots = true;   // §3.2: no bushy parallelism
   bool pin_threads = true;
@@ -109,8 +104,17 @@ class Engine {
 
   // Creates a query handle. `priority` weights dispatcher fair share
   // (§3.1); workers move between concurrent queries at morsel
-  // boundaries.
+  // boundaries. Give the query a plan with Query::SetPlan.
   std::unique_ptr<Query> CreateQuery(double priority = 1.0);
+
+  // Creates a query and lowers `plan` into it (CreateQuery + SetPlan).
+  std::unique_ptr<Query> CreateQuery(const LogicalPlan& plan,
+                                     double priority = 1.0);
+
+  // Prepares `plan` for repeated execution against this engine: the
+  // north-star heavy-traffic shape — build the plan once, lower and
+  // execute it per request (see PreparedQuery).
+  PreparedQuery Prepare(LogicalPlan plan);
 
  private:
   Topology topo_;
@@ -120,6 +124,32 @@ class Engine {
   std::unique_ptr<Dispatcher> dispatcher_;
   std::unique_ptr<WorkerPool> pool_;
   std::atomic<int> next_query_id_{0};
+};
+
+// A LogicalPlan bound to an Engine for repeated execution. Each
+// MakeQuery()/Execute() lowers the shared immutable plan into a fresh
+// Query, so one PreparedQuery serves any number of concurrent
+// executions (the plan tree is read-only; lowering clones its
+// expressions) — they share the engine's workers like any other
+// concurrent queries. The PreparedQuery must not outlive the Engine or
+// the scanned Tables; it may outlive every Query it produced.
+class PreparedQuery {
+ public:
+  PreparedQuery() = default;
+  PreparedQuery(Engine* engine, LogicalPlan plan)
+      : engine_(engine), plan_(std::move(plan)) {}
+
+  bool valid() const { return engine_ != nullptr && plan_.valid(); }
+  const LogicalPlan& plan() const { return plan_; }
+
+  // A fresh lowered (not yet started) execution of the plan.
+  std::unique_ptr<Query> MakeQuery(double priority = 1.0) const;
+  // One-shot convenience: MakeQuery + Execute. Thread-safe.
+  ResultSet Execute(double priority = 1.0) const;
+
+ private:
+  Engine* engine_ = nullptr;
+  LogicalPlan plan_;
 };
 
 }  // namespace morsel

@@ -1,0 +1,161 @@
+#include "engine/logical_plan.h"
+
+#include "common/macros.h"
+
+namespace morsel {
+
+int IndexOfName(const std::vector<std::string>& names,
+                std::string_view name) {
+  for (size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == name) return static_cast<int>(i);
+  }
+  MORSEL_CHECK_MSG(false, std::string(name).c_str());
+  return -1;
+}
+
+int ColScope::Index(std::string_view name) const {
+  return IndexOfName(names_, name);
+}
+
+namespace {
+
+int CountNodes(const LogicalNode* n) {
+  if (n == nullptr) return 0;
+  return 1 + CountNodes(n->input.get()) + CountNodes(n->build.get());
+}
+
+}  // namespace
+
+int LogicalPlan::num_nodes() const { return CountNodes(root_.get()); }
+
+PlanBuilder PlanBuilder::Scan(const Table* table,
+                              std::vector<std::string> columns) {
+  auto node = std::make_shared<LogicalNode>();
+  node->kind = LogicalNode::Kind::kScan;
+  node->table = table;
+  for (const std::string& c : columns) {
+    int idx = table->schema().IndexOf(c);
+    node->column_ids.push_back(idx);
+    node->types.push_back(table->schema().field(idx).type);
+    // Storage-side sortedness probe, sampled here (build time) and kept
+    // for the plan's lifetime: it is cheap (<= ~8k pair compares per
+    // column, cached in the column), and freezing it keeps repeated
+    // lowerings of a prepared plan deterministic.
+    node->scan_sorted_frac.push_back(table->ColumnSortedFraction(idx));
+  }
+  node->names = std::move(columns);
+  node->scan_rows = static_cast<double>(table->NumRows());
+  return PlanBuilder(std::move(node));
+}
+
+LogicalNode* PlanBuilder::Wrap(LogicalNode::Kind kind) {
+  MORSEL_CHECK_MSG(node_ != nullptr && !terminal_,
+                   "plan already terminated or built");
+  auto next = std::make_shared<LogicalNode>();
+  next->kind = kind;
+  next->input = std::move(node_);
+  // Default scope: unchanged (operators that reshape it overwrite).
+  next->names = next->input->names;
+  next->types = next->input->types;
+  node_ = std::move(next);
+  return node_.get();
+}
+
+PlanBuilder& PlanBuilder::Filter(ExprPtr predicate) {
+  LogicalNode* n = Wrap(LogicalNode::Kind::kFilter);
+  n->predicate = std::move(predicate);
+  return *this;
+}
+
+PlanBuilder& PlanBuilder::Project(std::vector<NamedExpr> exprs) {
+  LogicalNode* n = Wrap(LogicalNode::Kind::kProject);
+  n->names.clear();
+  n->types.clear();
+  for (NamedExpr& ne : exprs) {
+    n->names.push_back(std::move(ne.name));
+    n->types.push_back(ne.expr->type());
+    n->exprs.push_back(std::move(ne.expr));
+  }
+  return *this;
+}
+
+PlanBuilder& PlanBuilder::Join(
+    PlanBuilder build, std::vector<std::string> probe_keys,
+    std::vector<std::string> build_keys,
+    std::vector<std::string> build_payload, JoinKind kind,
+    std::function<ExprPtr(const ColScope&)> residual,
+    std::optional<JoinStrategy> strategy) {
+  MORSEL_CHECK(probe_keys.size() == build_keys.size());
+  MORSEL_CHECK_MSG(build.node_ != nullptr && !build.terminal_,
+                   "join build side already terminated or built");
+  // Resolve the names now so a malformed plan fails at build, not at
+  // lowering (Index aborts on unknown names), and so the output schema
+  // is known.
+  ColScope probe_scope = scope();
+  ColScope build_scope = build.scope();
+  for (const std::string& k : probe_keys) (void)probe_scope.Index(k);
+  for (const std::string& k : build_keys) (void)build_scope.Index(k);
+
+  LogicalNode* n = Wrap(LogicalNode::Kind::kJoin);
+  n->build = std::move(build.node_);
+  if (kind != JoinKind::kSemi && kind != JoinKind::kAnti) {
+    for (const std::string& p : build_payload) {
+      n->names.push_back(p);
+      n->types.push_back(build_scope.Type(p));
+    }
+  } else {
+    for (const std::string& p : build_payload) (void)build_scope.Index(p);
+  }
+  n->probe_keys = std::move(probe_keys);
+  n->build_keys = std::move(build_keys);
+  n->build_payload = std::move(build_payload);
+  n->join_kind = kind;
+  n->strategy = strategy;
+  n->residual = std::move(residual);
+  return *this;
+}
+
+PlanBuilder& PlanBuilder::GroupBy(std::vector<std::string> keys,
+                                  std::vector<AggItem> aggs) {
+  ColScope in_scope = scope();
+  LogicalNode* n = Wrap(LogicalNode::Kind::kGroupBy);
+  n->names.clear();
+  n->types.clear();
+  for (const std::string& k : keys) {
+    n->names.push_back(k);
+    n->types.push_back(in_scope.Type(k));
+  }
+  for (const AggItem& a : aggs) {
+    LogicalType input_type =
+        a.input == nullptr ? LogicalType::kInt32 : a.input->type();
+    if (a.input == nullptr) MORSEL_CHECK(a.func == AggFunc::kCount);
+    n->names.push_back(a.out_name);
+    n->types.push_back(AggStateType(a.func, input_type));
+  }
+  n->group_keys = std::move(keys);
+  n->aggs = std::move(aggs);
+  return *this;
+}
+
+void PlanBuilder::OrderBy(std::vector<OrderItem> keys, int64_t limit) {
+  ColScope in_scope = scope();
+  for (const OrderItem& k : keys) (void)in_scope.Index(k.name);
+  LogicalNode* n = Wrap(LogicalNode::Kind::kOrderBy);
+  n->order_keys = std::move(keys);
+  n->limit = limit;
+  terminal_ = true;
+}
+
+void PlanBuilder::CollectResult() {
+  Wrap(LogicalNode::Kind::kCollect);
+  terminal_ = true;
+}
+
+LogicalPlan PlanBuilder::Build() {
+  MORSEL_CHECK_MSG(node_ != nullptr, "plan already built");
+  MORSEL_CHECK_MSG(terminal_,
+                   "plan has no terminal (OrderBy/CollectResult)");
+  return LogicalPlan(std::move(node_));
+}
+
+}  // namespace morsel

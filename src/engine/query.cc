@@ -1,19 +1,8 @@
 #include "engine/query.h"
 
-#include <algorithm>
-#include <cmath>
-
-#include "exec/scan.h"
+#include "engine/lowering.h"
 
 namespace morsel {
-
-int ColScope::Index(std::string_view name) const {
-  for (size_t i = 0; i < names_.size(); ++i) {
-    if (names_[i] == name) return static_cast<int>(i);
-  }
-  MORSEL_CHECK_MSG(false, std::string(name).c_str());
-  return -1;
-}
 
 Query::Query(Engine* engine, int id, double priority)
     : engine_(engine),
@@ -33,32 +22,23 @@ Query::~Query() {
   }
 }
 
-PlanBuilder Query::Scan(const Table* table,
-                        std::vector<std::string> columns) {
-  std::vector<int> ids;
-  std::vector<LogicalType> types;
-  std::vector<double> fracs;
-  for (const std::string& c : columns) {
-    int idx = table->schema().IndexOf(c);
-    ids.push_back(idx);
-    types.push_back(table->schema().field(idx).type);
-    // Storage-side sortedness probe, computed eagerly for every scanned
-    // column: it is sampled (<= ~8k pair compares per column), cached in
-    // the column for the table's lifetime, and this keeps the planner
-    // plumbing a plain per-column value instead of lazy thunks. Revisit
-    // if scan-heavy plan construction ever shows up in profiles.
-    fracs.push_back(table->ColumnSortedFraction(idx));
-  }
-  PlanBuilder pb(this,
-                 std::make_unique<TableScanSource>(table, std::move(ids)),
-                 std::move(columns), std::move(types), {});
-  pb.est_rows_ = static_cast<double>(table->NumRows());
-  pb.sorted_frac_ = std::move(fracs);
-  return pb;
+void Query::SetPlan(const LogicalPlan& plan) {
+  MORSEL_CHECK_MSG(!started_, "SetPlan after Start");
+  MORSEL_CHECK_MSG(!plan_.valid(), "query already has a plan");
+  MORSEL_CHECK_MSG(plan.valid(), "SetPlan requires a built LogicalPlan");
+  plan_ = plan;
+  // Worst-case splice reservation for staged lowering: every remaining
+  // node past a deferred join lowers at runtime, and a node produces at
+  // most 5 jobs (merge join: 2 materialize + 2 sort + a nested decision
+  // placeholder). Over-reserving costs pointer slots only.
+  qep_.ReserveSplice(5 * plan_.num_nodes() + 8);
+  Lowering* lowering = Own<Lowering>(this, plan_.root());
+  lowering->Run();
 }
 
 void Query::Start() {
   MORSEL_CHECK_MSG(!started_, "query already started");
+  MORSEL_CHECK_MSG(plan_.valid(), "Start without a plan");
   started_ = true;
   qep_.Start(engine_->pool()->external_context());
 }
@@ -83,365 +63,13 @@ void Query::Cancel() {
                                      engine_->pool()->external_context());
 }
 
-int Query::AddExecJob(std::string name, std::unique_ptr<Pipeline> pipeline,
-                      std::vector<int> deps) {
-  const EngineOptions& opts = engine_->options();
-  auto job = std::make_unique<ExecPipelineJob>(
-      &context_, std::move(name), std::move(pipeline),
-      engine_->queue_options(), opts.tagging,
-      opts.static_division ? engine_->num_workers() : 0,
-      opts.batched_probe);
-  return qep_.AddPipeline(std::move(job), std::move(deps));
-}
-
 int Query::AddJob(std::unique_ptr<PipelineJob> job, std::vector<int> deps) {
   return qep_.AddPipeline(std::move(job), std::move(deps));
 }
 
-PlanBuilder::PlanBuilder(Query* query, std::unique_ptr<Source> source,
-                         std::vector<std::string> names,
-                         std::vector<LogicalType> types,
-                         std::vector<int> deps)
-    : query_(query),
-      source_(std::move(source)),
-      names_(std::move(names)),
-      types_(std::move(types)),
-      deps_(std::move(deps)),
-      sorted_frac_(names_.size(), -1.0) {}
-
-PlanBuilder& PlanBuilder::Filter(ExprPtr predicate) {
-  ops_.push_back(std::make_unique<FilterOp>(std::move(predicate)));
-  // Generic selectivity guess; filtering preserves row order, so the
-  // per-column sortedness statistics stand.
-  est_rows_ *= 0.33;
-  return *this;
-}
-
-PlanBuilder& PlanBuilder::Project(std::vector<NamedExpr> exprs) {
-  std::vector<ExprPtr> list;
-  std::vector<std::string> names;
-  std::vector<LogicalType> types;
-  std::vector<double> fracs;
-  for (NamedExpr& ne : exprs) {
-    // Bare column references carry their sortedness stat through the
-    // projection; computed columns are unknown.
-    int src = ne.expr->AsColumnIndex();
-    fracs.push_back(src >= 0 ? sorted_frac_[src] : -1.0);
-    names.push_back(std::move(ne.name));
-    types.push_back(ne.expr->type());
-    list.push_back(std::move(ne.expr));
-  }
-  ops_.push_back(std::make_unique<MapOp>(std::move(list)));
-  names_ = std::move(names);
-  types_ = std::move(types);
-  sorted_frac_ = std::move(fracs);
-  return *this;
-}
-
-int PlanBuilder::CloseInto(Sink* sink, const std::string& name) {
-  MORSEL_CHECK_MSG(source_ != nullptr, "pipeline already closed");
-  auto pipeline = std::make_unique<Pipeline>(std::move(source_),
-                                             std::move(ops_), sink);
-  std::string full_name = name_prefix_.empty() ? name : name_prefix_ + name;
-  name_prefix_.clear();
-  int id =
-      query_->AddExecJob(std::move(full_name), std::move(pipeline),
-                         std::move(deps_));
-  deps_.clear();
-  ops_.clear();
-  return id;
-}
-
-PlanBuilder::JoinBuildPlan PlanBuilder::PrepareJoinBuild(
-    PlanBuilder& build, const std::vector<std::string>& build_keys,
-    const std::vector<std::string>& build_payload,
-    const std::function<ExprPtr(const ColScope&)>& residual) {
-  JoinBuildPlan plan;
-  // Re-order the build pipeline's output to [keys..., payload...].
-  std::vector<NamedExpr> build_exprs;
-  for (const std::string& k : build_keys) {
-    build_exprs.push_back(NamedExpr{k, build.Col(k)});
-    plan.build_types.push_back(build.ColType(k));
-  }
-  for (const std::string& p : build_payload) {
-    build_exprs.push_back(NamedExpr{p, build.Col(p)});
-    plan.build_types.push_back(build.ColType(p));
-    plan.payload_types.push_back(build.ColType(p));
-  }
-  build.Project(std::move(build_exprs));
-
-  if (residual != nullptr) {
-    // Residual scope: this side's columns followed by the emitted build
-    // payload (matching the combined chunk both probe paths produce).
-    std::vector<std::string> rnames = names_;
-    std::vector<LogicalType> rtypes = types_;
-    for (size_t p = 0; p < build_payload.size(); ++p) {
-      rnames.push_back(build_payload[p]);
-      rtypes.push_back(plan.payload_types[p]);
-    }
-    plan.residual =
-        residual(ColScope(std::move(rnames), std::move(rtypes)));
-  }
-  return plan;
-}
-
-PlanBuilder& PlanBuilder::HashJoin(
-    PlanBuilder build, std::vector<std::string> probe_keys,
-    std::vector<std::string> build_keys,
-    std::vector<std::string> build_payload, JoinKind kind,
-    std::function<ExprPtr(const ColScope&)> residual) {
-  MORSEL_CHECK(probe_keys.size() == build_keys.size());
-  const int num_keys = static_cast<int>(build_keys.size());
-  JoinBuildPlan plan =
-      PrepareJoinBuild(build, build_keys, build_payload, residual);
-
-  JoinState* js = query_->Own<JoinState>(plan.build_types, num_keys, kind,
-                                         query_->num_worker_slots());
-  HashBuildSink* build_sink = query_->Own<HashBuildSink>(js);
-  int build_job = build.CloseInto(build_sink, "join-build");
-  int insert_job = query_->AddJob(
-      std::make_unique<HashInsertJob>(query_->context(), "join-insert", js,
-                                      query_->engine()->queue_options()),
-      {build_job});
-
-  // Probe continues this pipeline.
-  std::vector<int> probe_cols;
-  for (const std::string& k : probe_keys) {
-    probe_cols.push_back(scope().Index(k));
-  }
-  std::vector<int> out_fields;
-  for (size_t p = 0; p < build_payload.size(); ++p) {
-    out_fields.push_back(num_keys + static_cast<int>(p));
-  }
-
-  ops_.push_back(std::make_unique<HashProbeOp>(
-      js, std::move(probe_cols), std::move(out_fields),
-      std::move(plan.residual)));
-  deps_.push_back(insert_job);
-
-  // Semi/anti emit probe columns only; other kinds append the payload.
-  if (kind != JoinKind::kSemi && kind != JoinKind::kAnti) {
-    for (size_t p = 0; p < build_payload.size(); ++p) {
-      names_.push_back(build_payload[p]);
-      types_.push_back(plan.payload_types[p]);
-      sorted_frac_.push_back(-1.0);
-    }
-  }
-  return *this;
-}
-
-PlanBuilder& PlanBuilder::MergeJoin(
-    PlanBuilder build, std::vector<std::string> probe_keys,
-    std::vector<std::string> build_keys,
-    std::vector<std::string> build_payload, JoinKind kind,
-    std::function<ExprPtr(const ColScope&)> residual) {
-  MORSEL_CHECK(probe_keys.size() == build_keys.size());
-  const int num_keys = static_cast<int>(build_keys.size());
-  JoinBuildPlan plan =
-      PrepareJoinBuild(build, build_keys, build_payload, residual);
-
-  std::vector<int> probe_cols;
-  for (const std::string& k : probe_keys) {
-    probe_cols.push_back(scope().Index(k));
-  }
-
-  // Oversubscribe the output partitioning (factor x workers): under
-  // separator skew a heavy partition is one morsel, so finer partitions
-  // keep the tail stealable instead of serializing on one worker.
-  const int num_parts =
-      query_->engine()->num_workers() *
-      std::max(1, query_->engine()->options().merge_partition_factor);
-  MergeJoinState* js = query_->Own<MergeJoinState>(
-      types_, std::move(probe_cols), plan.build_types, num_keys, kind,
-      query_->num_worker_slots(), num_parts);
-  js->set_residual(std::move(plan.residual));
-
-  // Build side: materialize NUMA-local runs, then sort each run.
-  RunMaterializeSink* build_sink =
-      query_->Own<RunMaterializeSink>(js->right());
-  int build_mat = build.CloseInto(build_sink, "merge-build-materialize");
-  int build_sort = query_->AddJob(
-      std::make_unique<LocalSortRunsJob>(
-          query_->context(), "merge-build-sort", js->right(),
-          query_->engine()->queue_options()),
-      {build_mat});
-
-  // Probe side: unlike the hash join's streaming probe, the merge join
-  // breaks this pipeline too — materialize and sort it the same way.
-  RunMaterializeSink* probe_sink =
-      query_->Own<RunMaterializeSink>(js->left());
-  int probe_mat = CloseInto(probe_sink, "merge-probe-materialize");
-  int probe_sort = query_->AddJob(
-      std::make_unique<LocalSortRunsJob>(
-          query_->context(), "merge-probe-sort", js->left(),
-          query_->engine()->queue_options()),
-      {probe_mat});
-
-  // Continue from the partition-merge-join source; partition planning
-  // happens in its MakeRanges once both sorts completed.
-  source_ = std::make_unique<MergeJoinSource>(js);
-  deps_ = {probe_sort, build_sort};
-  name_prefix_ = "partition-merge-join+";
-  // Each partition-morsel emits in key order, so downstream runs see few
-  // ascending key segments (absorbed by the natural-merge fast path);
-  // every other column's order is destroyed by the sort.
-  sorted_frac_.assign(names_.size(), -1.0);
-  for (const std::string& k : probe_keys) {
-    sorted_frac_[scope().Index(k)] = 1.0;
-  }
-  if (kind != JoinKind::kSemi && kind != JoinKind::kAnti) {
-    for (size_t p = 0; p < build_payload.size(); ++p) {
-      names_.push_back(build_payload[p]);
-      types_.push_back(plan.payload_types[p]);
-      sorted_frac_.push_back(-1.0);
-    }
-  }
-  return *this;
-}
-
-JoinStrategy PlanBuilder::ChooseJoinStrategy(
-    const PlanBuilder& build, const std::vector<std::string>& probe_keys,
-    const std::vector<std::string>& build_keys) const {
-  // Tiny inputs: the merge join's two extra materialize+sort pipelines
-  // cost more than any algorithmic edge — hash unconditionally.
-  constexpr double kMinRowsForMerge = 4096.0;
-  if (est_rows_ < kMinRowsForMerge || build.est_rows() < kMinRowsForMerge) {
-    return JoinStrategy::kHash;
-  }
-  // A small dimension build stays hash even when sorted: probing a
-  // cache-resident table beats materializing the whole probe side. The
-  // merge join's win region is a build side of comparable cardinality,
-  // where the hash join must construct and chain-walk a table as large
-  // as the probe's working set (BENCH_micro_merge_join presorted-bigbuild:
-  // merge ~1.6x faster; presorted small-build: hash ~1.5x faster).
-  constexpr double kMinBuildProbeRatio = 0.25;
-  if (build.est_rows() < kMinBuildProbeRatio * est_rows_) {
-    return JoinStrategy::kHash;
-  }
-  // Sortedness probe on the leading key column of both sides. Near-
-  // sorted inputs make the merge join's local sorts degenerate to
-  // detection scans (RunSet presorted / natural-merge fast paths) and
-  // its accesses sequential; on everything else the hash join leads by
-  // multiples (BENCH_micro_merge_join).
-  constexpr double kSortednessBar = 0.90;
-  if (SortedFracOf(probe_keys[0]) >= kSortednessBar &&
-      build.SortedFracOf(build_keys[0]) >= kSortednessBar) {
-    return JoinStrategy::kMerge;
-  }
-  return JoinStrategy::kHash;
-}
-
-PlanBuilder& PlanBuilder::Join(
-    PlanBuilder build, std::vector<std::string> probe_keys,
-    std::vector<std::string> build_keys,
-    std::vector<std::string> build_payload, JoinKind kind,
-    std::function<ExprPtr(const ColScope&)> residual,
-    std::optional<JoinStrategy> strategy) {
-  // Same invariant HashJoin/MergeJoin enforce, checked up front so the
-  // adaptive path fails a malformed plan cleanly instead of indexing
-  // into a too-short key list.
-  MORSEL_CHECK(probe_keys.size() == build_keys.size());
-  JoinStrategy s = strategy.has_value()
-                       ? *strategy
-                       : query_->engine()->options().join_strategy;
-  if (s == JoinStrategy::kAdaptive) {
-    s = probe_keys.empty()
-            ? JoinStrategy::kHash
-            : ChooseJoinStrategy(build, probe_keys, build_keys);
-  }
-  if (s == JoinStrategy::kMerge && kind != JoinKind::kRightOuterMark) {
-    return MergeJoin(std::move(build), std::move(probe_keys),
-                     std::move(build_keys), std::move(build_payload), kind,
-                     std::move(residual));
-  }
-  return HashJoin(std::move(build), std::move(probe_keys),
-                  std::move(build_keys), std::move(build_payload), kind,
-                  std::move(residual));
-}
-
-PlanBuilder& PlanBuilder::GroupBy(std::vector<std::string> keys,
-                                  std::vector<AggItem> aggs) {
-  // Phase-1 input chunk: [keys..., one input column per aggregate].
-  std::vector<ExprPtr> map_exprs;
-  std::vector<LogicalType> key_types;
-  for (const std::string& k : keys) {
-    map_exprs.push_back(Col(k));
-    key_types.push_back(ColType(k));
-  }
-  std::vector<AggSpec> specs;
-  for (size_t j = 0; j < aggs.size(); ++j) {
-    AggSpec spec;
-    spec.func = aggs[j].func;
-    spec.input_col = static_cast<int>(keys.size() + j);
-    if (aggs[j].input == nullptr) {
-      MORSEL_CHECK(aggs[j].func == AggFunc::kCount);
-      spec.input_type = LogicalType::kInt32;
-      map_exprs.push_back(ConstI32(0));  // placeholder, never read
-    } else {
-      spec.input_type = aggs[j].input->type();
-      map_exprs.push_back(std::move(aggs[j].input));
-    }
-    specs.push_back(std::move(spec));
-  }
-  ops_.push_back(std::make_unique<MapOp>(std::move(map_exprs)));
-
-  GroupByState* gs = query_->Own<GroupByState>(
-      key_types, specs, query_->num_worker_slots());
-  AggPhase1Sink* sink = query_->Own<AggPhase1Sink>(gs);
-  int phase1 = CloseInto(sink, "agg-phase1");
-
-  // Continue from the aggregation output.
-  source_ = std::make_unique<AggPartitionSource>(gs);
-  deps_ = {phase1};
-  names_ = std::move(keys);
-  types_ = key_types;
-  for (size_t j = 0; j < aggs.size(); ++j) {
-    names_.push_back(aggs[j].out_name);
-    types_.push_back(gs->state_type(static_cast<int>(j)));
-  }
-  // Group count guess; hash-partitioned output has no usable order.
-  est_rows_ = std::max(1.0, std::sqrt(est_rows_));
-  sorted_frac_.assign(names_.size(), -1.0);
-  return *this;
-}
-
-void PlanBuilder::OrderBy(std::vector<OrderItem> keys, int64_t limit) {
-  std::vector<SortKey> sort_keys;
-  for (const OrderItem& k : keys) {
-    sort_keys.push_back(SortKey{scope().Index(k.name), k.ascending});
-  }
-  SortState* ss = query_->Own<SortState>(types_, std::move(sort_keys),
-                                         query_->num_worker_slots(), limit);
-  // "in the case of top-k queries, each thread directly maintains a heap
-  // of k tuples" — small limits bypass the full sort.
-  constexpr int64_t kTopKThreshold = 8192;
-  if (limit >= 1 && limit <= kTopKThreshold) {
-    TopKSink* sink = query_->Own<TopKSink>(ss, limit);
-    CloseInto(sink, "topk");
-    query_->SetResultProvider([sink] { return sink->ToResult(); });
-    return;
-  }
-  RunMaterializeSink* sink = query_->Own<RunMaterializeSink>(ss->runs());
-  int mat = CloseInto(sink, "sort-materialize");
-  int merge_parts = query_->engine()->num_workers();
-  int local = query_->AddJob(
-      std::make_unique<LocalSortRunsJob>(
-          query_->context(), "local-sort", ss->runs(),
-          query_->engine()->queue_options(),
-          [ss, merge_parts] { ss->PlanMerge(merge_parts); }),
-      {mat});
-  query_->AddJob(
-      std::make_unique<MergeJob>(query_->context(), "merge", ss,
-                                 query_->engine()->queue_options()),
-      {local});
-  query_->SetResultProvider([ss] { return ss->ToResult(); });
-}
-
-void PlanBuilder::CollectResult() {
-  ResultSink* sink =
-      query_->Own<ResultSink>(types_, query_->num_worker_slots());
-  CloseInto(sink, "collect");
-  query_->SetResultProvider([sink] { return sink->TakeResult(); });
+int Query::SpliceJob(std::unique_ptr<PipelineJob> job,
+                     std::vector<int> deps, int gate) {
+  return qep_.SplicePipeline(std::move(job), std::move(deps), gate);
 }
 
 }  // namespace morsel

@@ -3,81 +3,29 @@
 
 #include <functional>
 #include <memory>
-#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/qep.h"
 #include "engine/engine.h"
-#include "exec/aggregation.h"
-#include "exec/hash_join.h"
-#include "exec/merge_join.h"
+#include "engine/logical_plan.h"
 #include "exec/result.h"
-#include "exec/sort.h"
-#include "storage/table.h"
 
 namespace morsel {
 
-class PlanBuilder;
-
-// Resolves column names to expressions in a given column scope (used for
-// residual join predicates whose scope is probe + build columns).
-class ColScope {
- public:
-  ColScope(std::vector<std::string> names, std::vector<LogicalType> types)
-      : names_(std::move(names)), types_(std::move(types)) {}
-
-  int Index(std::string_view name) const;
-  LogicalType Type(std::string_view name) const {
-    return types_[Index(name)];
-  }
-  ExprPtr Col(std::string_view name) const {
-    int i = Index(name);
-    return ColRef(i, types_[i]);
-  }
-  const std::vector<std::string>& names() const { return names_; }
-  const std::vector<LogicalType>& types() const { return types_; }
-
- private:
-  std::vector<std::string> names_;
-  std::vector<LogicalType> types_;
-};
-
-// A named output expression for projections.
-struct NamedExpr {
-  std::string name;
-  ExprPtr expr;
-};
-
-// Shorthand constructor (NamedExpr is move-only, so projection lists are
-// written Project(NE("a", ...), NE("b", ...)) rather than with braces).
-inline NamedExpr NE(std::string name, ExprPtr expr) {
-  return NamedExpr{std::move(name), std::move(expr)};
-}
-
-// One aggregate in a GROUP BY.
-struct AggItem {
-  AggFunc func;
-  ExprPtr input;  // nullptr for COUNT(*)
-  std::string out_name;
-};
-
-// One ORDER BY key by column name.
-struct OrderItem {
-  std::string name;
-  bool ascending = true;
-};
-
-// A query under construction and execution. Holds the QEP object (the
-// passive per-query state machine), the query context, and owns all
-// operator state (join hash tables, aggregation partitions, sort runs)
-// for the duration of the query.
+// One execution of a LogicalPlan. Holds the QEP object (the passive
+// per-query state machine), the query context, and owns all operator
+// state (join hash tables, aggregation partitions, sort runs) plus the
+// lowering pass that created them — including pipelines spliced in at
+// runtime by staged adaptive-join lowering (DESIGN §9).
 //
-// Usage:
-//   auto q = engine.CreateQuery();
-//   PlanBuilder pb = q->Scan(&lineitem, {"l_shipdate", "l_quantity"});
+// Plan construction is a separate, engine-independent layer
+// (engine/logical_plan.h); the physical lowering happens in SetPlan:
+//
+//   PlanBuilder pb = PlanBuilder::Scan(&lineitem, {...});
 //   pb.Filter(...).GroupBy(...);
-//   pb.CollectResult();                 // or pb.OrderBy(...)
+//   pb.CollectResult();
+//   auto q = engine.CreateQuery(pb.Build());  // CreateQuery + SetPlan
 //   ResultSet r = q->Execute();
 class Query {
  public:
@@ -90,9 +38,11 @@ class Query {
   Engine* engine() const { return engine_; }
   QueryContext* context() { return &context_; }
 
-  // Root of a plan: a NUMA-local partitioned table scan projecting
-  // `columns`.
-  PlanBuilder Scan(const Table* table, std::vector<std::string> columns);
+  // Lowers `plan` into this query's QEP (engine/lowering.h). Callable
+  // once, before Start(). The query keeps a reference to the shared
+  // plan tree for its lifetime (staged lowering reads it mid-run).
+  void SetPlan(const LogicalPlan& plan);
+  const LogicalPlan& plan() const { return plan_; }
 
   // --- execution -----------------------------------------------------------
   void Start();         // submits the first pipelines; returns immediately
@@ -105,14 +55,17 @@ class Query {
   // called at any time, including mid-execution.
   void SetMaxWorkers(int n) { context_.set_max_workers(n); }
 
-  // EXPLAIN-style dump of the pipeline DAG (valid once the plan is
-  // fully built, before or after execution).
+  // EXPLAIN-style dump of the pipeline DAG. Valid once a plan is set;
+  // pipelines a deferred adaptive join splices in at runtime appear as
+  // the query executes (their placeholder line carries the decision and
+  // whether runtime feedback revised the plan-time choice).
   std::string ExplainPlan() const { return qep_.Describe(); }
 
-  // --- internal (used by PlanBuilder) --------------------------------------
-  int AddExecJob(std::string name, std::unique_ptr<Pipeline> pipeline,
-                 std::vector<int> deps);
+  // --- internal (used by the lowering pass) --------------------------------
   int AddJob(std::unique_ptr<PipelineJob> job, std::vector<int> deps);
+  int SpliceJob(std::unique_ptr<PipelineJob> job, std::vector<int> deps,
+                int gate);
+  PipelineJob* job(int id) const { return qep_.pipeline(id); }
   template <typename T, typename... Args>
   T* Own(Args&&... args) {
     auto owned = std::make_unique<T>(std::forward<Args>(args)...);
@@ -132,145 +85,15 @@ class Query {
   Engine* engine_;
   QueryContext context_;
   QepObject qep_;
+  LogicalPlan plan_;
   bool started_ = false;
   std::function<ResultSet()> result_fn_;
-  // Type-erased owned operator state (JoinState, GroupByState, sinks...).
+  // Type-erased owned operator state (JoinState, GroupByState, sinks,
+  // the Lowering instance...). Appended to by the plan-time pass and by
+  // runtime splices; at most one splice runs at a time (single pending
+  // decision job per query) and teardown waits for completion, so no
+  // locking is needed.
   std::vector<std::unique_ptr<void, void (*)(void*)>> owned_;
-};
-
-// Fluent plan construction. A PlanBuilder represents the open (not yet
-// pipeline-broken) tail of a plan: a source, the operator chain built so
-// far, the QEP dependencies, and the column scope. Pipeline breakers
-// (join build sides, GROUP BY, ORDER BY) close pipelines into jobs.
-class PlanBuilder {
- public:
-  PlanBuilder(Query* query, std::unique_ptr<Source> source,
-              std::vector<std::string> names,
-              std::vector<LogicalType> types, std::vector<int> deps);
-
-  PlanBuilder(PlanBuilder&&) = default;
-  PlanBuilder& operator=(PlanBuilder&&) = default;
-
-  // --- column scope ---------------------------------------------------------
-  ExprPtr Col(std::string_view name) const { return scope().Col(name); }
-  LogicalType ColType(std::string_view name) const {
-    return scope().Type(name);
-  }
-  ColScope scope() const { return ColScope(names_, types_); }
-
-  // --- intra-pipeline operators ----------------------------------------------
-  PlanBuilder& Filter(ExprPtr predicate);
-  PlanBuilder& Project(std::vector<NamedExpr> exprs);
-  template <typename... Rest>
-  PlanBuilder& Project(NamedExpr first, Rest... rest) {
-    std::vector<NamedExpr> v;
-    v.reserve(1 + sizeof...(rest));
-    v.push_back(std::move(first));
-    (v.push_back(std::move(rest)), ...);
-    return Project(std::move(v));
-  }
-
-  // Hash join: `build` becomes the build side (materialize + insert
-  // pipelines); *this continues as the probe pipeline. Output columns are
-  // this side's columns followed by `build_payload` (renamed as-is) —
-  // except for semi/anti joins, whose output is the probe columns only.
-  // `residual`, if given, is built against the combined scope (probe
-  // columns + build keys + build payload) and filters matches.
-  PlanBuilder& HashJoin(
-      PlanBuilder build, std::vector<std::string> probe_keys,
-      std::vector<std::string> build_keys,
-      std::vector<std::string> build_payload, JoinKind kind,
-      std::function<ExprPtr(const ColScope&)> residual = nullptr);
-
-  // MPSM-style sort-merge equi-join (same signature shape and output
-  // semantics as HashJoin; kRightOuterMark is unsupported). Both sides
-  // materialize NUMA-local sorted runs, global separator keys range-
-  // partition them, and each output partition merge-joins as one
-  // independent morsel. Breaks *both* pipelines: the returned builder
-  // continues from the partition-merge-join source.
-  PlanBuilder& MergeJoin(
-      PlanBuilder build, std::vector<std::string> probe_keys,
-      std::vector<std::string> build_keys,
-      std::vector<std::string> build_payload, JoinKind kind,
-      std::function<ExprPtr(const ColScope&)> residual = nullptr);
-
-  // Strategy-dispatching join. The per-call `strategy` override wins;
-  // without one the engine's EngineOptions::join_strategy knob applies.
-  // kAdaptive resolves here, at plan time, from the builders' cardinality
-  // estimates and the sampled sortedness of the leading key column on
-  // each side (storage-side column stats, propagated through
-  // filters/projections): near-sorted inputs of useful size route to the
-  // merge join — whose local sorts then degenerate to detection scans —
-  // everything else to hash. Kinds the merge join does not support
-  // always fall back to hash.
-  PlanBuilder& Join(
-      PlanBuilder build, std::vector<std::string> probe_keys,
-      std::vector<std::string> build_keys,
-      std::vector<std::string> build_payload, JoinKind kind,
-      std::function<ExprPtr(const ColScope&)> residual = nullptr,
-      std::optional<JoinStrategy> strategy = std::nullopt);
-
-  // GROUP BY: breaks the pipeline (two-phase aggregation); the returned
-  // builder continues from the aggregation output with columns
-  // [keys..., agg outputs...].
-  PlanBuilder& GroupBy(std::vector<std::string> keys,
-                       std::vector<AggItem> aggs);
-
-  // --- terminals --------------------------------------------------------------
-  // ORDER BY [LIMIT]: parallel sort (§4.5) or top-k heap for small
-  // limits. Terminal: sets the query's result provider.
-  void OrderBy(std::vector<OrderItem> keys, int64_t limit = -1);
-  // Unordered terminal: collects all rows.
-  void CollectResult();
-
-  // --- planner statistics (heuristic, never affect semantics) ---------------
-  // Estimated output rows of the open pipeline tail.
-  double est_rows() const { return est_rows_; }
-  // Sortedness of column `name` in the current scope: in-order fraction
-  // of adjacent pairs ([0,1]), or -1 when unknown (derived columns).
-  double SortedFracOf(std::string_view name) const {
-    return sorted_frac_[scope().Index(name)];
-  }
-
- private:
-  friend class Query;
-
-  // Closes the current pipeline with the given sink; returns the job id.
-  int CloseInto(Sink* sink, const std::string& name);
-
-  // Resolves kAdaptive for one join (see Join).
-  JoinStrategy ChooseJoinStrategy(
-      const PlanBuilder& build, const std::vector<std::string>& probe_keys,
-      const std::vector<std::string>& build_keys) const;
-
-  // Shared join-planner prologue (both strategies must agree on it
-  // exactly — the differential tests depend on identical semantics):
-  // re-projects `build` to [keys..., payload...], and resolves the
-  // residual against this side's columns + the emitted payload.
-  struct JoinBuildPlan {
-    std::vector<LogicalType> build_types;    // [key types..., payload...]
-    std::vector<LogicalType> payload_types;
-    ExprPtr residual;                        // nullptr if none given
-  };
-  JoinBuildPlan PrepareJoinBuild(
-      PlanBuilder& build, const std::vector<std::string>& build_keys,
-      const std::vector<std::string>& build_payload,
-      const std::function<ExprPtr(const ColScope&)>& residual);
-
-  Query* query_;
-  std::unique_ptr<Source> source_;
-  std::vector<std::unique_ptr<Operator>> ops_;
-  std::vector<std::string> names_;
-  std::vector<LogicalType> types_;
-  std::vector<int> deps_;
-  // Planner statistics: seeded by Query::Scan from storage-side column
-  // stats, propagated through operators, consumed by ChooseJoinStrategy.
-  double est_rows_ = 0.0;
-  std::vector<double> sorted_frac_;  // one per scope column; -1 unknown
-  // Prepended to the next closed pipeline's job name; set when a
-  // non-scan source (partition merge join) starts the open pipeline so
-  // ExplainPlan names the whole segment.
-  std::string name_prefix_;
 };
 
 }  // namespace morsel

@@ -5,22 +5,26 @@
 
 namespace morsel {
 
-namespace {
-
-LogicalType StateTypeFor(const AggSpec& spec) {
-  switch (spec.func) {
+LogicalType AggStateType(AggFunc func, LogicalType input_type) {
+  switch (func) {
     case AggFunc::kCount:
       return LogicalType::kInt64;
     case AggFunc::kSum:
-      return spec.input_type == LogicalType::kDouble ? LogicalType::kDouble
-                                                     : LogicalType::kInt64;
+      return input_type == LogicalType::kDouble ? LogicalType::kDouble
+                                                : LogicalType::kInt64;
     case AggFunc::kMin:
     case AggFunc::kMax:
-      MORSEL_CHECK_MSG(spec.input_type != LogicalType::kString,
+      MORSEL_CHECK_MSG(input_type != LogicalType::kString,
                        "string min/max not supported");
-      return spec.input_type;
+      return input_type;
   }
   return LogicalType::kInt64;
+}
+
+namespace {
+
+LogicalType StateTypeFor(const AggSpec& spec) {
+  return AggStateType(spec.func, spec.input_type);
 }
 
 // Partition index: uses different hash bits than the local table's slot
@@ -295,6 +299,17 @@ void AggPhase1Sink::Finalize(ExecContext& ctx) {
     SpillLocal(local, static_cast<int>(w), local.rows->socket(),
                ctx.traffic());
   }
+}
+
+int64_t AggPhase1Sink::RowsProduced() const {
+  int64_t partials = 0;
+  for (int w = 0; w < state_->num_worker_slots(); ++w) {
+    for (int p = 0; p < state_->num_partitions(); ++p) {
+      RowBuffer* spill = state_->spill_if_exists(w, p);
+      if (spill != nullptr) partials += static_cast<int64_t>(spill->rows());
+    }
+  }
+  return partials;
 }
 
 std::vector<MorselRange> AggPartitionSource::MakeRanges(

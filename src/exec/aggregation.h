@@ -22,6 +22,11 @@ struct AggSpec {
   LogicalType input_type = LogicalType::kInt64;
 };
 
+// Accumulator (= output) type of one aggregate. Exposed so the logical
+// planner can derive a GROUP BY's output schema without instantiating
+// any operator state.
+LogicalType AggStateType(AggFunc func, LogicalType input_type);
+
 // Shared state of one grouped aggregation (§4.4, Figure 8): phase 1 does
 // thread-local pre-aggregation in a fixed-size hash table that spills
 // *partition-wise* when it fills up; phase 2 re-aggregates each partition
@@ -85,6 +90,12 @@ class AggPhase1Sink final : public Sink {
 
   void Consume(Chunk& chunk, ExecContext& ctx) override;
   void Finalize(ExecContext& ctx) override;  // spills all local tables
+  // Group-count estimate: total spilled partial-aggregate records. An
+  // upper bound on the final group count (the same group pre-aggregated
+  // by k workers spills k partials) but measured from the actual data —
+  // far tighter than the planner's sqrt(input) guess, and exactly what
+  // the adaptive-join runtime feedback wants from this breaker.
+  int64_t RowsProduced() const override;
 
  private:
   // Power-of-two local table size (entries); spill threshold is 3/4.

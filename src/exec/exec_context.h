@@ -11,6 +11,13 @@ struct ExecContext {
   WorkerContext* worker = nullptr;
   Arena arena;  // reset at each morsel boundary
 
+  // Rows this worker pushed into the pipeline's sink, across all of its
+  // morsels of the job. Contexts are per (job, worker), so the per-job
+  // total — the job's produced cardinality, feeding the runtime
+  // join-strategy feedback — is the sum over contexts, taken once in
+  // ExecPipelineJob::Finalize. No atomics on the hot path.
+  int64_t rows_to_sink = 0;
+
   // Engine-level toggles relevant to operators.
   bool use_tagging = true;    // §4.2 pointer-tag early filtering
   bool batched_probe = true;  // staged, prefetch-pipelined join probe

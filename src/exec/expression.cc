@@ -60,6 +60,9 @@ class ColRefExpr final : public Expr {
 
   int index() const { return index_; }
   int AsColumnIndex() const override { return index_; }
+  ExprPtr Clone() const override {
+    return std::make_unique<ColRefExpr>(index_, type());
+  }
 
  private:
   int index_;
@@ -75,6 +78,10 @@ class ConstExpr final : public Expr {
     std::fill(data, data + in.n, v_);
     out->type = type();
     out->data = data;
+  }
+
+  ExprPtr Clone() const override {
+    return std::make_unique<ConstExpr<T>>(type(), v_);
   }
 
  private:
@@ -97,6 +104,10 @@ class ConstStrExpr final : public Expr {
     std::fill(data, data + in.n, std::string_view(bytes, v_.size()));
     out->type = type();
     out->data = data;
+  }
+
+  ExprPtr Clone() const override {
+    return std::make_unique<ConstStrExpr>(v_);
   }
 
  private:
@@ -159,6 +170,10 @@ class ArithExpr final : public Expr {
     }
   }
 
+  ExprPtr Clone() const override {
+    return std::make_unique<ArithExpr>(op_, lhs_->Clone(), rhs_->Clone());
+  }
+
  private:
   ArithOp op_;
   ExprPtr lhs_, rhs_;
@@ -200,6 +215,10 @@ class CmpExpr final : public Expr {
     }
     out->type = LogicalType::kInt32;
     out->data = d;
+  }
+
+  ExprPtr Clone() const override {
+    return std::make_unique<CmpExpr>(op_, lhs_->Clone(), rhs_->Clone());
   }
 
  private:
@@ -257,6 +276,13 @@ class LogicExpr final : public Expr {
     out->data = d;
   }
 
+  ExprPtr Clone() const override {
+    std::vector<ExprPtr> ops;
+    ops.reserve(operands_.size());
+    for (const ExprPtr& e : operands_) ops.push_back(e->Clone());
+    return std::make_unique<LogicExpr>(is_and_, std::move(ops));
+  }
+
  private:
   bool is_and_;
   std::vector<ExprPtr> operands_;
@@ -277,6 +303,10 @@ class NotExpr final : public Expr {
     for (int i = 0; i < in.n; ++i) d[i] = o[i] == 0;
     out->type = LogicalType::kInt32;
     out->data = d;
+  }
+
+  ExprPtr Clone() const override {
+    return std::make_unique<NotExpr>(operand_->Clone());
   }
 
  private:
@@ -303,6 +333,10 @@ class LikeExpr final : public Expr {
     }
     out->type = LogicalType::kInt32;
     out->data = d;
+  }
+
+  ExprPtr Clone() const override {
+    return std::make_unique<LikeExpr>(input_->Clone(), pattern_, negate_);
   }
 
  private:
@@ -333,6 +367,10 @@ class InStrExpr final : public Expr {
     out->data = d;
   }
 
+  ExprPtr Clone() const override {
+    return std::make_unique<InStrExpr>(input_->Clone(), set_);
+  }
+
  private:
   ExprPtr input_;
   std::vector<std::string> set_;
@@ -355,6 +393,11 @@ class InI64Expr final : public Expr {
     for (int i = 0; i < in.n; ++i) d[i] = set_.count(GetI64(v, i)) > 0;
     out->type = LogicalType::kInt32;
     out->data = d;
+  }
+
+  ExprPtr Clone() const override {
+    std::vector<int64_t> set(set_.begin(), set_.end());
+    return std::make_unique<InI64Expr>(input_->Clone(), std::move(set));
   }
 
  private:
@@ -388,6 +431,10 @@ class SubstrExpr final : public Expr {
     }
     out->type = LogicalType::kString;
     out->data = d;
+  }
+
+  ExprPtr Clone() const override {
+    return std::make_unique<SubstrExpr>(input_->Clone(), start_, len_);
   }
 
  private:
@@ -449,6 +496,11 @@ class CaseWhenExpr final : public Expr {
     }
   }
 
+  ExprPtr Clone() const override {
+    return std::make_unique<CaseWhenExpr>(cond_->Clone(), then_->Clone(),
+                                          else_->Clone());
+  }
+
  private:
   ExprPtr cond_, then_, else_;
 };
@@ -468,6 +520,10 @@ class ExtractYearExpr final : public Expr {
     for (int i = 0; i < in.n; ++i) d[i] = DateYear(s[i]);
     out->type = LogicalType::kInt32;
     out->data = d;
+  }
+
+  ExprPtr Clone() const override {
+    return std::make_unique<ExtractYearExpr>(input_->Clone());
   }
 
  private:
@@ -492,6 +548,10 @@ class ToF64Expr final : public Expr {
     for (int i = 0; i < in.n; ++i) d[i] = GetF64(v, i);
     out->type = LogicalType::kDouble;
     out->data = d;
+  }
+
+  ExprPtr Clone() const override {
+    return std::make_unique<ToF64Expr>(input_->Clone());
   }
 
  private:

@@ -42,6 +42,12 @@ class Expr {
   // (sortedness, for the adaptive join choice) through projections.
   virtual int AsColumnIndex() const { return -1; }
 
+  // Deep copy. Expression trees are immutable after construction, so a
+  // LogicalPlan can hold one tree and hand every physical lowering its
+  // own copy (operators take ownership of the expressions they
+  // evaluate); Clone() of a shared plan node may run concurrently.
+  virtual std::unique_ptr<Expr> Clone() const = 0;
+
  private:
   LogicalType type_;
 };

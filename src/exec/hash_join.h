@@ -119,6 +119,13 @@ class HashInsertJob final : public PipelineJob {
 
   void RunMorsel(const Morsel& m, WorkerContext& wctx) override;
 
+  void Finalize(WorkerContext& wctx) override {
+    (void)wctx;
+    // Cardinality feedback: the fully built table's row count is the
+    // exact build-side cardinality of this join.
+    set_rows_produced(static_cast<int64_t>(state_->build_rows()));
+  }
+
  private:
   JoinState* state_;
   MorselQueue::Options opts_;

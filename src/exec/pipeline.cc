@@ -54,6 +54,17 @@ void ExecPipelineJob::Finalize(WorkerContext& wctx) {
   ExecContext& ctx = LocalContext(wctx);
   ctx.worker = &wctx;
   pipeline_->sink()->Finalize(ctx);
+  // Publish this stage's cardinality for runtime plan feedback: the
+  // sink's stage-specific figure when it has one, else the rows that
+  // reached the sink.
+  int64_t produced = pipeline_->sink()->RowsProduced();
+  if (produced < 0) {
+    produced = 0;
+    for (const std::unique_ptr<ExecContext>& c : contexts_) {
+      if (c != nullptr) produced += c->rows_to_sink;
+    }
+  }
+  set_rows_produced(produced);
 }
 
 }  // namespace morsel

@@ -47,6 +47,12 @@ class Sink {
   virtual void Consume(Chunk& chunk, ExecContext& ctx) = 0;
   // Single-threaded post-pass after the last morsel of the pipeline.
   virtual void Finalize(ExecContext& ctx) { (void)ctx; }
+  // Cardinality this breaker stage hands its downstream consumer, when
+  // the sink knows better than "rows consumed" (e.g. the
+  // pre-aggregation sink reports its group estimate instead of its
+  // input rows). -1 = no override; the job then publishes the consumed
+  // row count. Called once, after Finalize.
+  virtual int64_t RowsProduced() const { return -1; }
 };
 
 // Source -> ops -> sink. The executable form of one of the paper's
@@ -64,6 +70,7 @@ class Pipeline {
   void Push(Chunk& chunk, size_t from_op, ExecContext& ctx) {
     if (chunk.n == 0) return;
     if (from_op == ops_.size()) {
+      ctx.rows_to_sink += chunk.n;
       sink_->Consume(chunk, ctx);
       return;
     }

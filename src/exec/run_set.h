@@ -131,6 +131,17 @@ class RunSet {
   uint64_t PartRows(int part) const;
   uint64_t total_rows() const { return total_rows_; }
 
+  // Total rows materialized into the runs so far. Valid as soon as the
+  // materialize pipeline finished (total_rows() only freezes later, at
+  // partition planning); feeds runtime cardinality feedback.
+  uint64_t MaterializedRows() const {
+    uint64_t n = 0;
+    for (const std::unique_ptr<RowBuffer>& r : runs_) {
+      if (r != nullptr) n += r->rows();
+    }
+    return n;
+  }
+
   // Gathers partition `part` into `out` in global sort order: the
   // partition's per-run slices (each sorted) are concatenated and
   // natural-merged. One O(n log k) pass up front buys the consumer a
@@ -251,6 +262,8 @@ class LocalSortRunsJob final : public PipelineJob {
               " natural-merged";
     }
     set_info(info + "]");
+    // Cardinality feedback: rows materialized into this side's runs.
+    set_rows_produced(static_cast<int64_t>(runs_->MaterializedRows()));
     if (on_finalize_) on_finalize_();
   }
 

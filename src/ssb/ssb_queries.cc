@@ -16,12 +16,11 @@ using PredFn = std::function<ExprPtr(const PlanBuilder&)>;
 ResultSet FlightOne(Engine& e, const SsbData& db, const PredFn& date_pred,
                     int64_t disc_lo, int64_t disc_hi, int64_t qty_lo,
                     int64_t qty_hi) {
-  auto q = e.CreateQuery();
-  PlanBuilder d = q->Scan(db.date_dim.get(),
+  PlanBuilder d = PlanBuilder::Scan(db.date_dim.get(),
                           {"d_datekey", "d_year", "d_yearmonthnum",
                            "d_weeknuminyear"});
   d.Filter(date_pred(d));
-  PlanBuilder lo = q->Scan(db.lineorder.get(),
+  PlanBuilder lo = PlanBuilder::Scan(db.lineorder.get(),
                            {"lo_orderdate", "lo_discount", "lo_quantity",
                             "lo_extendedprice"});
   lo.Filter(And(Ge(lo.Col("lo_discount"), ConstI64(disc_lo)),
@@ -37,21 +36,20 @@ ResultSet FlightOne(Engine& e, const SsbData& db, const PredFn& date_pred,
                   "revenue"});
   lo.GroupBy({}, std::move(aggs));
   lo.CollectResult();
-  return q->Execute();
+  return e.CreateQuery(lo.Build())->Execute();
 }
 
 // Q2.x: part restriction x supplier region; group by (d_year, p_brand1).
 ResultSet FlightTwo(Engine& e, const SsbData& db, const PredFn& part_pred,
                     const char* supp_region) {
-  auto q = e.CreateQuery();
-  PlanBuilder part = q->Scan(db.part.get(),
+  PlanBuilder part = PlanBuilder::Scan(db.part.get(),
                              {"p_partkey", "p_category", "p_brand1"});
   part.Filter(part_pred(part));
-  PlanBuilder sup = q->Scan(db.supplier.get(), {"s_suppkey", "s_region"});
+  PlanBuilder sup = PlanBuilder::Scan(db.supplier.get(), {"s_suppkey", "s_region"});
   sup.Filter(Eq(sup.Col("s_region"), ConstStr(supp_region)));
-  PlanBuilder d = q->Scan(db.date_dim.get(), {"d_datekey", "d_year"});
+  PlanBuilder d = PlanBuilder::Scan(db.date_dim.get(), {"d_datekey", "d_year"});
 
-  PlanBuilder lo = q->Scan(db.lineorder.get(),
+  PlanBuilder lo = PlanBuilder::Scan(db.lineorder.get(),
                            {"lo_orderdate", "lo_partkey", "lo_suppkey",
                             "lo_revenue"});
   lo.HashJoin(std::move(part), {"lo_partkey"}, {"p_partkey"}, {"p_brand1"},
@@ -67,7 +65,7 @@ ResultSet FlightTwo(Engine& e, const SsbData& db, const PredFn& part_pred,
   aggs.push_back({AggFunc::kSum, lo.Col("lo_revenue"), "revenue"});
   lo.GroupBy({"d_year", "p_brand1"}, std::move(aggs));
   lo.OrderBy({{"d_year", true}, {"p_brand1", true}});
-  return q->Execute();
+  return e.CreateQuery(lo.Build())->Execute();
 }
 
 // Q3.x: customer x supplier geography; group by (cust geo, supp geo,
@@ -79,15 +77,14 @@ ResultSet FlightThree(Engine& e, const SsbData& db,
                       const PredFn& supp_pred, const std::string& supp_group,
                       const std::vector<std::string>& date_cols,
                       const PredFn& date_pred) {
-  auto q = e.CreateQuery();
-  PlanBuilder cust = q->Scan(db.customer.get(), cust_cols);
+  PlanBuilder cust = PlanBuilder::Scan(db.customer.get(), cust_cols);
   cust.Filter(cust_pred(cust));
-  PlanBuilder sup = q->Scan(db.supplier.get(), supp_cols);
+  PlanBuilder sup = PlanBuilder::Scan(db.supplier.get(), supp_cols);
   sup.Filter(supp_pred(sup));
-  PlanBuilder d = q->Scan(db.date_dim.get(), date_cols);
+  PlanBuilder d = PlanBuilder::Scan(db.date_dim.get(), date_cols);
   if (date_pred != nullptr) d.Filter(date_pred(d));
 
-  PlanBuilder lo = q->Scan(db.lineorder.get(),
+  PlanBuilder lo = PlanBuilder::Scan(db.lineorder.get(),
                            {"lo_orderdate", "lo_custkey", "lo_suppkey",
                             "lo_revenue"});
   lo.HashJoin(std::move(cust), {"lo_custkey"}, {"c_custkey"}, {cust_group},
@@ -101,7 +98,7 @@ ResultSet FlightThree(Engine& e, const SsbData& db,
   aggs.push_back({AggFunc::kSum, lo.Col("lo_revenue"), "revenue"});
   lo.GroupBy({cust_group, supp_group, "d_year"}, std::move(aggs));
   lo.OrderBy({{"d_year", true}, {"revenue", false}});
-  return q->Execute();
+  return e.CreateQuery(lo.Build())->Execute();
 }
 
 }  // namespace
@@ -119,17 +116,16 @@ const char* SsbQueryName(int index) {
 namespace {
 
 ResultSet Q4_1(Engine& e, const SsbData& db) {
-  auto q = e.CreateQuery();
-  PlanBuilder cust = q->Scan(db.customer.get(),
+  PlanBuilder cust = PlanBuilder::Scan(db.customer.get(),
                              {"c_custkey", "c_region", "c_nation"});
   cust.Filter(Eq(cust.Col("c_region"), ConstStr("AMERICA")));
-  PlanBuilder sup = q->Scan(db.supplier.get(), {"s_suppkey", "s_region"});
+  PlanBuilder sup = PlanBuilder::Scan(db.supplier.get(), {"s_suppkey", "s_region"});
   sup.Filter(Eq(sup.Col("s_region"), ConstStr("AMERICA")));
-  PlanBuilder part = q->Scan(db.part.get(), {"p_partkey", "p_mfgr"});
+  PlanBuilder part = PlanBuilder::Scan(db.part.get(), {"p_partkey", "p_mfgr"});
   part.Filter(InStr(part.Col("p_mfgr"), {"MFGR#1", "MFGR#2"}));
-  PlanBuilder d = q->Scan(db.date_dim.get(), {"d_datekey", "d_year"});
+  PlanBuilder d = PlanBuilder::Scan(db.date_dim.get(), {"d_datekey", "d_year"});
 
-  PlanBuilder lo = q->Scan(db.lineorder.get(),
+  PlanBuilder lo = PlanBuilder::Scan(db.lineorder.get(),
                            {"lo_orderdate", "lo_custkey", "lo_suppkey",
                             "lo_partkey", "lo_revenue", "lo_supplycost"});
   lo.HashJoin(std::move(cust), {"lo_custkey"}, {"c_custkey"}, {"c_nation"},
@@ -146,23 +142,22 @@ ResultSet Q4_1(Engine& e, const SsbData& db) {
                   "profit"});
   lo.GroupBy({"d_year", "c_nation"}, std::move(aggs));
   lo.OrderBy({{"d_year", true}, {"c_nation", true}});
-  return q->Execute();
+  return e.CreateQuery(lo.Build())->Execute();
 }
 
 ResultSet Q4_2(Engine& e, const SsbData& db) {
-  auto q = e.CreateQuery();
-  PlanBuilder cust = q->Scan(db.customer.get(), {"c_custkey", "c_region"});
+  PlanBuilder cust = PlanBuilder::Scan(db.customer.get(), {"c_custkey", "c_region"});
   cust.Filter(Eq(cust.Col("c_region"), ConstStr("AMERICA")));
-  PlanBuilder sup = q->Scan(db.supplier.get(),
+  PlanBuilder sup = PlanBuilder::Scan(db.supplier.get(),
                             {"s_suppkey", "s_region", "s_nation"});
   sup.Filter(Eq(sup.Col("s_region"), ConstStr("AMERICA")));
-  PlanBuilder part = q->Scan(db.part.get(),
+  PlanBuilder part = PlanBuilder::Scan(db.part.get(),
                              {"p_partkey", "p_mfgr", "p_category"});
   part.Filter(InStr(part.Col("p_mfgr"), {"MFGR#1", "MFGR#2"}));
-  PlanBuilder d = q->Scan(db.date_dim.get(), {"d_datekey", "d_year"});
+  PlanBuilder d = PlanBuilder::Scan(db.date_dim.get(), {"d_datekey", "d_year"});
   d.Filter(InI64(d.Col("d_year"), {1997, 1998}));
 
-  PlanBuilder lo = q->Scan(db.lineorder.get(),
+  PlanBuilder lo = PlanBuilder::Scan(db.lineorder.get(),
                            {"lo_orderdate", "lo_custkey", "lo_suppkey",
                             "lo_partkey", "lo_revenue", "lo_supplycost"});
   lo.HashJoin(std::move(cust), {"lo_custkey"}, {"c_custkey"}, {},
@@ -179,23 +174,22 @@ ResultSet Q4_2(Engine& e, const SsbData& db) {
                   "profit"});
   lo.GroupBy({"d_year", "s_nation", "p_category"}, std::move(aggs));
   lo.OrderBy({{"d_year", true}, {"s_nation", true}, {"p_category", true}});
-  return q->Execute();
+  return e.CreateQuery(lo.Build())->Execute();
 }
 
 ResultSet Q4_3(Engine& e, const SsbData& db) {
-  auto q = e.CreateQuery();
-  PlanBuilder cust = q->Scan(db.customer.get(), {"c_custkey", "c_region"});
+  PlanBuilder cust = PlanBuilder::Scan(db.customer.get(), {"c_custkey", "c_region"});
   cust.Filter(Eq(cust.Col("c_region"), ConstStr("AMERICA")));
-  PlanBuilder sup = q->Scan(db.supplier.get(),
+  PlanBuilder sup = PlanBuilder::Scan(db.supplier.get(),
                             {"s_suppkey", "s_nation", "s_city"});
   sup.Filter(Eq(sup.Col("s_nation"), ConstStr("UNITED STATES")));
-  PlanBuilder part = q->Scan(db.part.get(),
+  PlanBuilder part = PlanBuilder::Scan(db.part.get(),
                              {"p_partkey", "p_category", "p_brand1"});
   part.Filter(Eq(part.Col("p_category"), ConstStr("MFGR#14")));
-  PlanBuilder d = q->Scan(db.date_dim.get(), {"d_datekey", "d_year"});
+  PlanBuilder d = PlanBuilder::Scan(db.date_dim.get(), {"d_datekey", "d_year"});
   d.Filter(InI64(d.Col("d_year"), {1997, 1998}));
 
-  PlanBuilder lo = q->Scan(db.lineorder.get(),
+  PlanBuilder lo = PlanBuilder::Scan(db.lineorder.get(),
                            {"lo_orderdate", "lo_custkey", "lo_suppkey",
                             "lo_partkey", "lo_revenue", "lo_supplycost"});
   lo.HashJoin(std::move(cust), {"lo_custkey"}, {"c_custkey"}, {},
@@ -212,7 +206,7 @@ ResultSet Q4_3(Engine& e, const SsbData& db) {
                   "profit"});
   lo.GroupBy({"d_year", "s_city", "p_brand1"}, std::move(aggs));
   lo.OrderBy({{"d_year", true}, {"s_city", true}, {"p_brand1", true}});
-  return q->Execute();
+  return e.CreateQuery(lo.Build())->Execute();
 }
 
 }  // namespace

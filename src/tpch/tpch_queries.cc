@@ -13,28 +13,27 @@ namespace {
 using Names = std::vector<std::string>;
 
 // nation scan restricted to one name, projected to the key only.
-PlanBuilder NationKeyByName(Query* q, const TpchData& db,
+PlanBuilder NationKeyByName(const TpchData& db,
                             const std::string& name) {
-  PlanBuilder n = q->Scan(db.nation.get(), {"n_nationkey", "n_name"});
+  PlanBuilder n = PlanBuilder::Scan(db.nation.get(), {"n_nationkey", "n_name"});
   n.Filter(Eq(n.Col("n_name"), ConstStr(name)));
   return n;
 }
 
 // nations belonging to one region, projected to [n_nationkey, n_name].
-PlanBuilder NationsOfRegion(Query* q, const TpchData& db,
+PlanBuilder NationsOfRegion(const TpchData& db,
                             const std::string& region) {
-  PlanBuilder r = q->Scan(db.region.get(), {"r_regionkey", "r_name"});
+  PlanBuilder r = PlanBuilder::Scan(db.region.get(), {"r_regionkey", "r_name"});
   r.Filter(Eq(r.Col("r_name"), ConstStr(region)));
   PlanBuilder n =
-      q->Scan(db.nation.get(), {"n_nationkey", "n_regionkey", "n_name"});
+      PlanBuilder::Scan(db.nation.get(), {"n_nationkey", "n_regionkey", "n_name"});
   n.HashJoin(std::move(r), {"n_regionkey"}, {"r_regionkey"}, {},
              JoinKind::kSemi);
   return n;
 }
 
 ResultSet Q1(Engine& e, const TpchData& db) {
-  auto q = e.CreateQuery();
-  PlanBuilder pb = q->Scan(
+  PlanBuilder pb = PlanBuilder::Scan(
       db.lineitem.get(),
       {"l_returnflag", "l_linestatus", "l_quantity", "l_extendedprice",
        "l_discount", "l_tax", "l_shipdate"});
@@ -71,18 +70,17 @@ ResultSet Q1(Engine& e, const TpchData& db) {
   (void)cnt;
   pb.Project(std::move(proj));
   pb.OrderBy({{"l_returnflag", true}, {"l_linestatus", true}});
-  return q->Execute();
+  return e.CreateQuery(pb.Build())->Execute();
 }
 
 ResultSet Q2(Engine& e, const TpchData& db) {
-  auto q = e.CreateQuery();
 
   // Subquery: minimum supply cost per part among EUROPE suppliers.
-  PlanBuilder sup1 = q->Scan(db.supplier.get(), {"s_suppkey", "s_nationkey"});
-  sup1.HashJoin(NationsOfRegion(q.get(), db, "EUROPE"), {"s_nationkey"},
+  PlanBuilder sup1 = PlanBuilder::Scan(db.supplier.get(), {"s_suppkey", "s_nationkey"});
+  sup1.HashJoin(NationsOfRegion(db, "EUROPE"), {"s_nationkey"},
                 {"n_nationkey"}, {}, JoinKind::kSemi);
   PlanBuilder mincost =
-      q->Scan(db.partsupp.get(), {"ps_partkey", "ps_suppkey", "ps_supplycost"});
+      PlanBuilder::Scan(db.partsupp.get(), {"ps_partkey", "ps_suppkey", "ps_supplycost"});
   mincost.HashJoin(std::move(sup1), {"ps_suppkey"}, {"s_suppkey"}, {},
                    JoinKind::kSemi);
   std::vector<AggItem> min_agg;
@@ -92,19 +90,19 @@ ResultSet Q2(Engine& e, const TpchData& db) {
                    NE("min_cost", mincost.Col("min_cost")));
 
   // Main: qualifying parts joined with their EUROPE suppliers.
-  PlanBuilder part = q->Scan(db.part.get(),
+  PlanBuilder part = PlanBuilder::Scan(db.part.get(),
                              {"p_partkey", "p_mfgr", "p_size", "p_type"});
   part.Filter(And(Eq(part.Col("p_size"), ConstI64(15)),
                   Like(part.Col("p_type"), "%BRASS")));
 
-  PlanBuilder sup2 = q->Scan(
+  PlanBuilder sup2 = PlanBuilder::Scan(
       db.supplier.get(), {"s_suppkey", "s_name", "s_address", "s_nationkey",
                           "s_phone", "s_acctbal", "s_comment"});
-  sup2.HashJoin(NationsOfRegion(q.get(), db, "EUROPE"), {"s_nationkey"},
+  sup2.HashJoin(NationsOfRegion(db, "EUROPE"), {"s_nationkey"},
                 {"n_nationkey"}, {"n_name"}, JoinKind::kInner);
 
   PlanBuilder ps =
-      q->Scan(db.partsupp.get(), {"ps_partkey", "ps_suppkey", "ps_supplycost"});
+      PlanBuilder::Scan(db.partsupp.get(), {"ps_partkey", "ps_suppkey", "ps_supplycost"});
   ps.HashJoin(std::move(part), {"ps_partkey"}, {"p_partkey"}, {"p_mfgr"},
               JoinKind::kInner);
   ps.HashJoin(std::move(sup2), {"ps_suppkey"}, {"s_suppkey"},
@@ -129,20 +127,19 @@ ResultSet Q2(Engine& e, const TpchData& db) {
               {"s_name", true},
               {"p_partkey", true}},
              100);
-  return q->Execute();
+  return e.CreateQuery(ps.Build())->Execute();
 }
 
 ResultSet Q3(Engine& e, const TpchData& db) {
-  auto q = e.CreateQuery();
-  PlanBuilder cust = q->Scan(db.customer.get(), {"c_custkey", "c_mktsegment"});
+  PlanBuilder cust = PlanBuilder::Scan(db.customer.get(), {"c_custkey", "c_mktsegment"});
   cust.Filter(Eq(cust.Col("c_mktsegment"), ConstStr("BUILDING")));
-  PlanBuilder ord = q->Scan(
+  PlanBuilder ord = PlanBuilder::Scan(
       db.orders.get(), {"o_orderkey", "o_custkey", "o_orderdate",
                         "o_shippriority"});
   ord.Filter(Lt(ord.Col("o_orderdate"), ConstDate("1995-03-15")));
   ord.HashJoin(std::move(cust), {"o_custkey"}, {"c_custkey"}, {},
                JoinKind::kSemi);
-  PlanBuilder li = q->Scan(
+  PlanBuilder li = PlanBuilder::Scan(
       db.lineitem.get(),
       {"l_orderkey", "l_extendedprice", "l_discount", "l_shipdate"});
   li.Filter(Gt(li.Col("l_shipdate"), ConstDate("1995-03-15")));
@@ -160,15 +157,14 @@ ResultSet Q3(Engine& e, const TpchData& db) {
   li.GroupBy({"l_orderkey", "o_orderdate", "o_shippriority"},
              std::move(aggs));
   li.OrderBy({{"revenue", false}, {"o_orderdate", true}}, 10);
-  return q->Execute();
+  return e.CreateQuery(li.Build())->Execute();
 }
 
 ResultSet Q4(Engine& e, const TpchData& db) {
-  auto q = e.CreateQuery();
-  PlanBuilder li = q->Scan(db.lineitem.get(),
+  PlanBuilder li = PlanBuilder::Scan(db.lineitem.get(),
                            {"l_orderkey", "l_commitdate", "l_receiptdate"});
   li.Filter(Lt(li.Col("l_commitdate"), li.Col("l_receiptdate")));
-  PlanBuilder ord = q->Scan(db.orders.get(),
+  PlanBuilder ord = PlanBuilder::Scan(db.orders.get(),
                             {"o_orderkey", "o_orderdate", "o_orderpriority"});
   ord.Filter(And(Ge(ord.Col("o_orderdate"), ConstDate("1993-07-01")),
                  Lt(ord.Col("o_orderdate"), ConstDate("1993-10-01"))));
@@ -179,31 +175,30 @@ ResultSet Q4(Engine& e, const TpchData& db) {
   aggs.push_back({AggFunc::kCount, nullptr, "order_count"});
   ord.GroupBy({"o_orderpriority"}, std::move(aggs));
   ord.OrderBy({{"o_orderpriority", true}});
-  return q->Execute();
+  return e.CreateQuery(ord.Build())->Execute();
 }
 
 ResultSet Q5(Engine& e, const TpchData& db) {
-  auto q = e.CreateQuery();
-  PlanBuilder cust = q->Scan(db.customer.get(), {"c_custkey", "c_nationkey"});
+  PlanBuilder cust = PlanBuilder::Scan(db.customer.get(), {"c_custkey", "c_nationkey"});
   PlanBuilder ord =
-      q->Scan(db.orders.get(), {"o_orderkey", "o_custkey", "o_orderdate"});
+      PlanBuilder::Scan(db.orders.get(), {"o_orderkey", "o_custkey", "o_orderdate"});
   ord.Filter(And(Ge(ord.Col("o_orderdate"), ConstDate("1994-01-01")),
                  Lt(ord.Col("o_orderdate"), ConstDate("1995-01-01"))));
   ord.HashJoin(std::move(cust), {"o_custkey"}, {"c_custkey"},
                {"c_nationkey"}, JoinKind::kInner);
-  PlanBuilder li = q->Scan(
+  PlanBuilder li = PlanBuilder::Scan(
       db.lineitem.get(),
       {"l_orderkey", "l_suppkey", "l_extendedprice", "l_discount"});
   // Orderkey-clustered join (see Q3) — adaptive.
   li.Join(std::move(ord), {"l_orderkey"}, {"o_orderkey"},
           {"c_nationkey"}, JoinKind::kInner, nullptr,
           JoinStrategy::kAdaptive);
-  PlanBuilder sup = q->Scan(db.supplier.get(), {"s_suppkey", "s_nationkey"});
+  PlanBuilder sup = PlanBuilder::Scan(db.supplier.get(), {"s_suppkey", "s_nationkey"});
   li.HashJoin(std::move(sup), {"l_suppkey"}, {"s_suppkey"}, {"s_nationkey"},
               JoinKind::kInner, [](const ColScope& s) {
                 return Eq(s.Col("c_nationkey"), s.Col("s_nationkey"));
               });
-  li.HashJoin(NationsOfRegion(q.get(), db, "ASIA"), {"s_nationkey"},
+  li.HashJoin(NationsOfRegion(db, "ASIA"), {"s_nationkey"},
               {"n_nationkey"}, {"n_name"}, JoinKind::kInner);
   std::vector<AggItem> aggs;
   aggs.push_back({AggFunc::kSum,
@@ -212,12 +207,11 @@ ResultSet Q5(Engine& e, const TpchData& db) {
                   "revenue"});
   li.GroupBy({"n_name"}, std::move(aggs));
   li.OrderBy({{"revenue", false}});
-  return q->Execute();
+  return e.CreateQuery(li.Build())->Execute();
 }
 
 ResultSet Q6(Engine& e, const TpchData& db) {
-  auto q = e.CreateQuery();
-  PlanBuilder li = q->Scan(
+  PlanBuilder li = PlanBuilder::Scan(
       db.lineitem.get(),
       {"l_shipdate", "l_discount", "l_quantity", "l_extendedprice"});
   li.Filter(And(Ge(li.Col("l_shipdate"), ConstDate("1994-01-01")),
@@ -231,27 +225,26 @@ ResultSet Q6(Engine& e, const TpchData& db) {
                   "revenue"});
   li.GroupBy({}, std::move(aggs));
   li.CollectResult();
-  return q->Execute();
+  return e.CreateQuery(li.Build())->Execute();
 }
 
 ResultSet Q7(Engine& e, const TpchData& db) {
-  auto q = e.CreateQuery();
   auto nation_pair = [&](const char* key_name, const char* out_name) {
-    PlanBuilder n = q->Scan(db.nation.get(), {"n_nationkey", "n_name"});
+    PlanBuilder n = PlanBuilder::Scan(db.nation.get(), {"n_nationkey", "n_name"});
     n.Filter(InStr(n.Col("n_name"), {"FRANCE", "GERMANY"}));
     n.Project(NE(key_name, n.Col("n_nationkey")), NE(out_name, n.Col("n_name")));
     return n;
   };
-  PlanBuilder sup = q->Scan(db.supplier.get(), {"s_suppkey", "s_nationkey"});
+  PlanBuilder sup = PlanBuilder::Scan(db.supplier.get(), {"s_suppkey", "s_nationkey"});
   sup.HashJoin(nation_pair("n1_key", "supp_nation"), {"s_nationkey"},
                {"n1_key"}, {"supp_nation"}, JoinKind::kInner);
-  PlanBuilder cust = q->Scan(db.customer.get(), {"c_custkey", "c_nationkey"});
+  PlanBuilder cust = PlanBuilder::Scan(db.customer.get(), {"c_custkey", "c_nationkey"});
   cust.HashJoin(nation_pair("n2_key", "cust_nation"), {"c_nationkey"},
                 {"n2_key"}, {"cust_nation"}, JoinKind::kInner);
-  PlanBuilder ord = q->Scan(db.orders.get(), {"o_orderkey", "o_custkey"});
+  PlanBuilder ord = PlanBuilder::Scan(db.orders.get(), {"o_orderkey", "o_custkey"});
   ord.HashJoin(std::move(cust), {"o_custkey"}, {"c_custkey"},
                {"cust_nation"}, JoinKind::kInner);
-  PlanBuilder li = q->Scan(db.lineitem.get(),
+  PlanBuilder li = PlanBuilder::Scan(db.lineitem.get(),
                            {"l_orderkey", "l_suppkey", "l_shipdate",
                             "l_extendedprice", "l_discount"});
   li.Filter(And(Ge(li.Col("l_shipdate"), ConstDate("1995-01-01")),
@@ -275,29 +268,28 @@ ResultSet Q7(Engine& e, const TpchData& db) {
   aggs.push_back({AggFunc::kSum, li.Col("volume"), "revenue"});
   li.GroupBy({"supp_nation", "cust_nation", "l_year"}, std::move(aggs));
   li.OrderBy({{"supp_nation", true}, {"cust_nation", true}, {"l_year", true}});
-  return q->Execute();
+  return e.CreateQuery(li.Build())->Execute();
 }
 
 ResultSet Q8(Engine& e, const TpchData& db) {
-  auto q = e.CreateQuery();
-  PlanBuilder part = q->Scan(db.part.get(), {"p_partkey", "p_type"});
+  PlanBuilder part = PlanBuilder::Scan(db.part.get(), {"p_partkey", "p_type"});
   part.Filter(Eq(part.Col("p_type"), ConstStr("ECONOMY ANODIZED STEEL")));
 
-  PlanBuilder cust = q->Scan(db.customer.get(), {"c_custkey", "c_nationkey"});
-  cust.HashJoin(NationsOfRegion(q.get(), db, "AMERICA"), {"c_nationkey"},
+  PlanBuilder cust = PlanBuilder::Scan(db.customer.get(), {"c_custkey", "c_nationkey"});
+  cust.HashJoin(NationsOfRegion(db, "AMERICA"), {"c_nationkey"},
                 {"n_nationkey"}, {}, JoinKind::kSemi);
   PlanBuilder ord =
-      q->Scan(db.orders.get(), {"o_orderkey", "o_custkey", "o_orderdate"});
+      PlanBuilder::Scan(db.orders.get(), {"o_orderkey", "o_custkey", "o_orderdate"});
   ord.Filter(And(Ge(ord.Col("o_orderdate"), ConstDate("1995-01-01")),
                  Le(ord.Col("o_orderdate"), ConstDate("1996-12-31"))));
   ord.HashJoin(std::move(cust), {"o_custkey"}, {"c_custkey"}, {},
                JoinKind::kSemi);
 
-  PlanBuilder sup = q->Scan(db.supplier.get(), {"s_suppkey", "s_nationkey"});
+  PlanBuilder sup = PlanBuilder::Scan(db.supplier.get(), {"s_suppkey", "s_nationkey"});
   PlanBuilder all_nations =
-      q->Scan(db.nation.get(), {"n_nationkey", "n_name"});
+      PlanBuilder::Scan(db.nation.get(), {"n_nationkey", "n_name"});
 
-  PlanBuilder li = q->Scan(
+  PlanBuilder li = PlanBuilder::Scan(
       db.lineitem.get(),
       {"l_orderkey", "l_partkey", "l_suppkey", "l_extendedprice",
        "l_discount"});
@@ -326,20 +318,19 @@ ResultSet Q8(Engine& e, const TpchData& db) {
   li.Project(NE("o_year", li.Col("o_year")),
               NE("mkt_share", Div(li.Col("sum_brazil"), li.Col("sum_all"))));
   li.OrderBy({{"o_year", true}});
-  return q->Execute();
+  return e.CreateQuery(li.Build())->Execute();
 }
 
 ResultSet Q9(Engine& e, const TpchData& db) {
-  auto q = e.CreateQuery();
-  PlanBuilder part = q->Scan(db.part.get(), {"p_partkey", "p_name"});
+  PlanBuilder part = PlanBuilder::Scan(db.part.get(), {"p_partkey", "p_name"});
   part.Filter(Like(part.Col("p_name"), "%green%"));
-  PlanBuilder sup = q->Scan(db.supplier.get(), {"s_suppkey", "s_nationkey"});
-  PlanBuilder ps = q->Scan(db.partsupp.get(),
+  PlanBuilder sup = PlanBuilder::Scan(db.supplier.get(), {"s_suppkey", "s_nationkey"});
+  PlanBuilder ps = PlanBuilder::Scan(db.partsupp.get(),
                            {"ps_partkey", "ps_suppkey", "ps_supplycost"});
-  PlanBuilder ord = q->Scan(db.orders.get(), {"o_orderkey", "o_orderdate"});
-  PlanBuilder nat = q->Scan(db.nation.get(), {"n_nationkey", "n_name"});
+  PlanBuilder ord = PlanBuilder::Scan(db.orders.get(), {"o_orderkey", "o_orderdate"});
+  PlanBuilder nat = PlanBuilder::Scan(db.nation.get(), {"n_nationkey", "n_name"});
 
-  PlanBuilder li = q->Scan(
+  PlanBuilder li = PlanBuilder::Scan(
       db.lineitem.get(),
       {"l_orderkey", "l_partkey", "l_suppkey", "l_quantity",
        "l_extendedprice", "l_discount"});
@@ -365,16 +356,15 @@ ResultSet Q9(Engine& e, const TpchData& db) {
   aggs.push_back({AggFunc::kSum, li.Col("amount"), "sum_profit"});
   li.GroupBy({"nation", "o_year"}, std::move(aggs));
   li.OrderBy({{"nation", true}, {"o_year", false}});
-  return q->Execute();
+  return e.CreateQuery(li.Build())->Execute();
 }
 
 ResultSet Q10(Engine& e, const TpchData& db) {
-  auto q = e.CreateQuery();
-  PlanBuilder ord = q->Scan(db.orders.get(),
+  PlanBuilder ord = PlanBuilder::Scan(db.orders.get(),
                             {"o_orderkey", "o_custkey", "o_orderdate"});
   ord.Filter(And(Ge(ord.Col("o_orderdate"), ConstDate("1993-10-01")),
                  Lt(ord.Col("o_orderdate"), ConstDate("1994-01-01"))));
-  PlanBuilder li = q->Scan(
+  PlanBuilder li = PlanBuilder::Scan(
       db.lineitem.get(),
       {"l_orderkey", "l_extendedprice", "l_discount", "l_returnflag"});
   li.Filter(Eq(li.Col("l_returnflag"), ConstStr("R")));
@@ -387,14 +377,14 @@ ResultSet Q10(Engine& e, const TpchData& db) {
                       Sub(ConstF64(1.0), li.Col("l_discount"))),
                   "revenue"});
   li.GroupBy({"o_custkey"}, std::move(aggs));
-  PlanBuilder cust = q->Scan(
+  PlanBuilder cust = PlanBuilder::Scan(
       db.customer.get(), {"c_custkey", "c_name", "c_acctbal", "c_nationkey",
                           "c_address", "c_phone", "c_comment"});
   li.HashJoin(std::move(cust), {"o_custkey"}, {"c_custkey"},
               {"c_name", "c_acctbal", "c_nationkey", "c_address", "c_phone",
                "c_comment"},
               JoinKind::kInner);
-  PlanBuilder nat = q->Scan(db.nation.get(), {"n_nationkey", "n_name"});
+  PlanBuilder nat = PlanBuilder::Scan(db.nation.get(), {"n_nationkey", "n_name"});
   li.HashJoin(std::move(nat), {"c_nationkey"}, {"n_nationkey"}, {"n_name"},
               JoinKind::kInner);
   li.Project(NE("c_custkey", li.Col("o_custkey")),
@@ -406,18 +396,17 @@ ResultSet Q10(Engine& e, const TpchData& db) {
               NE("c_phone", li.Col("c_phone")),
               NE("c_comment", li.Col("c_comment")));
   li.OrderBy({{"revenue", false}}, 20);
-  return q->Execute();
+  return e.CreateQuery(li.Build())->Execute();
 }
 
 ResultSet Q11(Engine& e, const TpchData& db) {
   // Scalar subquery: total value of GERMANY's stock.
   double total = 0.0;
   {
-    auto q = e.CreateQuery();
-    PlanBuilder sup = q->Scan(db.supplier.get(), {"s_suppkey", "s_nationkey"});
-    sup.HashJoin(NationKeyByName(q.get(), db, "GERMANY"), {"s_nationkey"},
+    PlanBuilder sup = PlanBuilder::Scan(db.supplier.get(), {"s_suppkey", "s_nationkey"});
+    sup.HashJoin(NationKeyByName(db, "GERMANY"), {"s_nationkey"},
                  {"n_nationkey"}, {}, JoinKind::kSemi);
-    PlanBuilder ps = q->Scan(db.partsupp.get(),
+    PlanBuilder ps = PlanBuilder::Scan(db.partsupp.get(),
                              {"ps_partkey", "ps_suppkey", "ps_supplycost",
                               "ps_availqty"});
     ps.HashJoin(std::move(sup), {"ps_suppkey"}, {"s_suppkey"}, {},
@@ -429,18 +418,17 @@ ResultSet Q11(Engine& e, const TpchData& db) {
                     "total"});
     ps.GroupBy({}, std::move(aggs));
     ps.CollectResult();
-    ResultSet r = q->Execute();
+    ResultSet r = e.CreateQuery(ps.Build())->Execute();
     total = r.F64(0, 0);
   }
   // Spec scales the fraction with 1/SF.
   double threshold =
       total * 0.0001 / (db.scale_factor > 0 ? db.scale_factor : 1.0);
 
-  auto q = e.CreateQuery();
-  PlanBuilder sup = q->Scan(db.supplier.get(), {"s_suppkey", "s_nationkey"});
-  sup.HashJoin(NationKeyByName(q.get(), db, "GERMANY"), {"s_nationkey"},
+  PlanBuilder sup = PlanBuilder::Scan(db.supplier.get(), {"s_suppkey", "s_nationkey"});
+  sup.HashJoin(NationKeyByName(db, "GERMANY"), {"s_nationkey"},
                {"n_nationkey"}, {}, JoinKind::kSemi);
-  PlanBuilder ps = q->Scan(
+  PlanBuilder ps = PlanBuilder::Scan(
       db.partsupp.get(),
       {"ps_partkey", "ps_suppkey", "ps_supplycost", "ps_availqty"});
   ps.HashJoin(std::move(sup), {"ps_suppkey"}, {"s_suppkey"}, {},
@@ -452,12 +440,11 @@ ResultSet Q11(Engine& e, const TpchData& db) {
   ps.GroupBy({"ps_partkey"}, std::move(aggs));
   ps.Filter(Gt(ps.Col("value"), ConstF64(threshold)));
   ps.OrderBy({{"value", false}});
-  return q->Execute();
+  return e.CreateQuery(ps.Build())->Execute();
 }
 
 ResultSet Q12(Engine& e, const TpchData& db) {
-  auto q = e.CreateQuery();
-  PlanBuilder li = q->Scan(
+  PlanBuilder li = PlanBuilder::Scan(
       db.lineitem.get(),
       {"l_orderkey", "l_shipmode", "l_commitdate", "l_receiptdate",
        "l_shipdate"});
@@ -466,7 +453,7 @@ ResultSet Q12(Engine& e, const TpchData& db) {
                  Lt(li.Col("l_shipdate"), li.Col("l_commitdate")),
                  Ge(li.Col("l_receiptdate"), ConstDate("1994-01-01")),
                  Lt(li.Col("l_receiptdate"), ConstDate("1995-01-01"))));
-  PlanBuilder ord = q->Scan(db.orders.get(),
+  PlanBuilder ord = PlanBuilder::Scan(db.orders.get(),
                             {"o_orderkey", "o_orderpriority"});
   // Orderkey-clustered join (see Q3) — adaptive.
   ord.Join(std::move(li), {"o_orderkey"}, {"l_orderkey"},
@@ -486,35 +473,33 @@ ResultSet Q12(Engine& e, const TpchData& db) {
   aggs.push_back({AggFunc::kSum, ord.Col("low_line"), "low_line_count"});
   ord.GroupBy({"l_shipmode"}, std::move(aggs));
   ord.OrderBy({{"l_shipmode", true}});
-  return q->Execute();
+  return e.CreateQuery(ord.Build())->Execute();
 }
 
 ResultSet Q13(Engine& e, const TpchData& db) {
-  auto q = e.CreateQuery();
-  PlanBuilder ord = q->Scan(db.orders.get(), {"o_custkey", "o_comment"});
+  PlanBuilder ord = PlanBuilder::Scan(db.orders.get(), {"o_custkey", "o_comment"});
   ord.Filter(NotLike(ord.Col("o_comment"), "%special%requests%"));
   std::vector<AggItem> per_cust;
   per_cust.push_back({AggFunc::kCount, nullptr, "c_count"});
   ord.GroupBy({"o_custkey"}, std::move(per_cust));
 
-  PlanBuilder cust = q->Scan(db.customer.get(), {"c_custkey"});
+  PlanBuilder cust = PlanBuilder::Scan(db.customer.get(), {"c_custkey"});
   cust.HashJoin(std::move(ord), {"c_custkey"}, {"o_custkey"}, {"c_count"},
                 JoinKind::kLeftOuter);
   std::vector<AggItem> dist;
   dist.push_back({AggFunc::kCount, nullptr, "custdist"});
   cust.GroupBy({"c_count"}, std::move(dist));
   cust.OrderBy({{"custdist", false}, {"c_count", false}});
-  return q->Execute();
+  return e.CreateQuery(cust.Build())->Execute();
 }
 
 ResultSet Q14(Engine& e, const TpchData& db) {
-  auto q = e.CreateQuery();
-  PlanBuilder li = q->Scan(
+  PlanBuilder li = PlanBuilder::Scan(
       db.lineitem.get(),
       {"l_partkey", "l_extendedprice", "l_discount", "l_shipdate"});
   li.Filter(And(Ge(li.Col("l_shipdate"), ConstDate("1995-09-01")),
                 Lt(li.Col("l_shipdate"), ConstDate("1995-10-01"))));
-  PlanBuilder part = q->Scan(db.part.get(), {"p_partkey", "p_type"});
+  PlanBuilder part = PlanBuilder::Scan(db.part.get(), {"p_partkey", "p_type"});
   li.HashJoin(std::move(part), {"l_partkey"}, {"p_partkey"}, {"p_type"},
               JoinKind::kInner);
   ExprPtr revenue = Mul(li.Col("l_extendedprice"),
@@ -532,12 +517,12 @@ ResultSet Q14(Engine& e, const TpchData& db) {
                Div(Mul(ConstF64(100.0), li.Col("sum_promo")),
                    li.Col("sum_rev"))));
   li.CollectResult();
-  return q->Execute();
+  return e.CreateQuery(li.Build())->Execute();
 }
 
 // Shared Q15 revenue view: supplier revenue in 1996 Q1.
-PlanBuilder Q15RevenueView(Query* q, const TpchData& db) {
-  PlanBuilder li = q->Scan(
+PlanBuilder Q15RevenueView(const TpchData& db) {
+  PlanBuilder li = PlanBuilder::Scan(
       db.lineitem.get(),
       {"l_suppkey", "l_extendedprice", "l_discount", "l_shipdate"});
   li.Filter(And(Ge(li.Col("l_shipdate"), ConstDate("1996-01-01")),
@@ -555,38 +540,35 @@ ResultSet Q15(Engine& e, const TpchData& db) {
   // Scalar: the maximum supplier revenue.
   double max_rev = 0.0;
   {
-    auto q = e.CreateQuery();
-    PlanBuilder rev = Q15RevenueView(q.get(), db);
+    PlanBuilder rev = Q15RevenueView(db);
     std::vector<AggItem> aggs;
     aggs.push_back({AggFunc::kMax, rev.Col("total_revenue"), "max_rev"});
     rev.GroupBy({}, std::move(aggs));
     rev.CollectResult();
-    ResultSet r = q->Execute();
+    ResultSet r = e.CreateQuery(rev.Build())->Execute();
     max_rev = r.F64(0, 0);
   }
-  auto q = e.CreateQuery();
-  PlanBuilder rev = Q15RevenueView(q.get(), db);
+  PlanBuilder rev = Q15RevenueView(db);
   rev.Filter(Ge(rev.Col("total_revenue"), ConstF64(max_rev)));
-  PlanBuilder sup = q->Scan(db.supplier.get(),
+  PlanBuilder sup = PlanBuilder::Scan(db.supplier.get(),
                             {"s_suppkey", "s_name", "s_address", "s_phone"});
   sup.HashJoin(std::move(rev), {"s_suppkey"}, {"l_suppkey"},
                {"total_revenue"}, JoinKind::kInner);
   sup.OrderBy({{"s_suppkey", true}});
-  return q->Execute();
+  return e.CreateQuery(sup.Build())->Execute();
 }
 
 ResultSet Q16(Engine& e, const TpchData& db) {
-  auto q = e.CreateQuery();
-  PlanBuilder part = q->Scan(db.part.get(),
+  PlanBuilder part = PlanBuilder::Scan(db.part.get(),
                              {"p_partkey", "p_brand", "p_type", "p_size"});
   part.Filter(And(Ne(part.Col("p_brand"), ConstStr("Brand#45")),
                    NotLike(part.Col("p_type"), "MEDIUM POLISHED%"),
                    InI64(part.Col("p_size"),
                          {49, 14, 23, 45, 19, 3, 36, 9})));
-  PlanBuilder bad_sup = q->Scan(db.supplier.get(), {"s_suppkey", "s_comment"});
+  PlanBuilder bad_sup = PlanBuilder::Scan(db.supplier.get(), {"s_suppkey", "s_comment"});
   bad_sup.Filter(Like(bad_sup.Col("s_comment"), "%Customer%Complaints%"));
 
-  PlanBuilder ps = q->Scan(db.partsupp.get(), {"ps_partkey", "ps_suppkey"});
+  PlanBuilder ps = PlanBuilder::Scan(db.partsupp.get(), {"ps_partkey", "ps_suppkey"});
   ps.HashJoin(std::move(part), {"ps_partkey"}, {"p_partkey"},
               {"p_brand", "p_type", "p_size"}, JoinKind::kInner);
   ps.HashJoin(std::move(bad_sup), {"ps_suppkey"}, {"s_suppkey"}, {},
@@ -603,13 +585,12 @@ ResultSet Q16(Engine& e, const TpchData& db) {
               {"p_brand", true},
               {"p_type", true},
               {"p_size", true}});
-  return q->Execute();
+  return e.CreateQuery(ps.Build())->Execute();
 }
 
 ResultSet Q17(Engine& e, const TpchData& db) {
-  auto q = e.CreateQuery();
   // Per-part quantity threshold: 0.2 * avg(l_quantity).
-  PlanBuilder avgq = q->Scan(db.lineitem.get(), {"l_partkey", "l_quantity"});
+  PlanBuilder avgq = PlanBuilder::Scan(db.lineitem.get(), {"l_partkey", "l_quantity"});
   std::vector<AggItem> aggs;
   aggs.push_back({AggFunc::kSum, avgq.Col("l_quantity"), "sum_qty"});
   aggs.push_back({AggFunc::kCount, nullptr, "cnt"});
@@ -619,12 +600,12 @@ ResultSet Q17(Engine& e, const TpchData& db) {
                  Mul(ConstF64(0.2),
                      Div(avgq.Col("sum_qty"), ToF64(avgq.Col("cnt"))))));
 
-  PlanBuilder part = q->Scan(db.part.get(),
+  PlanBuilder part = PlanBuilder::Scan(db.part.get(),
                              {"p_partkey", "p_brand", "p_container"});
   part.Filter(And(Eq(part.Col("p_brand"), ConstStr("Brand#23")),
                   Eq(part.Col("p_container"), ConstStr("MED BOX"))));
 
-  PlanBuilder li = q->Scan(db.lineitem.get(),
+  PlanBuilder li = PlanBuilder::Scan(db.lineitem.get(),
                            {"l_partkey", "l_quantity", "l_extendedprice"});
   li.HashJoin(std::move(part), {"l_partkey"}, {"p_partkey"}, {},
               JoinKind::kSemi);
@@ -638,23 +619,22 @@ ResultSet Q17(Engine& e, const TpchData& db) {
   li.GroupBy({}, std::move(sum));
   li.Project(NE("avg_yearly", Div(li.Col("sum_price"), ConstF64(7.0))));
   li.CollectResult();
-  return q->Execute();
+  return e.CreateQuery(li.Build())->Execute();
 }
 
 ResultSet Q18(Engine& e, const TpchData& db) {
-  auto q = e.CreateQuery();
-  PlanBuilder big = q->Scan(db.lineitem.get(), {"l_orderkey", "l_quantity"});
+  PlanBuilder big = PlanBuilder::Scan(db.lineitem.get(), {"l_orderkey", "l_quantity"});
   std::vector<AggItem> aggs;
   aggs.push_back({AggFunc::kSum, big.Col("l_quantity"), "sum_qty"});
   big.GroupBy({"l_orderkey"}, std::move(aggs));
   big.Filter(Gt(big.Col("sum_qty"), ConstF64(300.0)));
 
-  PlanBuilder ord = q->Scan(
+  PlanBuilder ord = PlanBuilder::Scan(
       db.orders.get(),
       {"o_orderkey", "o_custkey", "o_orderdate", "o_totalprice"});
   ord.HashJoin(std::move(big), {"o_orderkey"}, {"l_orderkey"}, {"sum_qty"},
                JoinKind::kInner);
-  PlanBuilder cust = q->Scan(db.customer.get(), {"c_custkey", "c_name"});
+  PlanBuilder cust = PlanBuilder::Scan(db.customer.get(), {"c_custkey", "c_name"});
   ord.HashJoin(std::move(cust), {"o_custkey"}, {"c_custkey"}, {"c_name"},
                JoinKind::kInner);
   ord.Project(NE("c_name", ord.Col("c_name")),
@@ -664,18 +644,17 @@ ResultSet Q18(Engine& e, const TpchData& db) {
                NE("o_totalprice", ord.Col("o_totalprice")),
                NE("sum_qty", ord.Col("sum_qty")));
   ord.OrderBy({{"o_totalprice", false}, {"o_orderdate", true}}, 100);
-  return q->Execute();
+  return e.CreateQuery(ord.Build())->Execute();
 }
 
 ResultSet Q19(Engine& e, const TpchData& db) {
-  auto q = e.CreateQuery();
-  PlanBuilder li = q->Scan(
+  PlanBuilder li = PlanBuilder::Scan(
       db.lineitem.get(),
       {"l_partkey", "l_quantity", "l_extendedprice", "l_discount",
        "l_shipinstruct", "l_shipmode"});
   li.Filter(And(Eq(li.Col("l_shipinstruct"), ConstStr("DELIVER IN PERSON")),
                 InStr(li.Col("l_shipmode"), {"AIR", "REG AIR"})));
-  PlanBuilder part = q->Scan(db.part.get(),
+  PlanBuilder part = PlanBuilder::Scan(db.part.get(),
                              {"p_partkey", "p_brand", "p_container",
                               "p_size"});
   li.HashJoin(
@@ -709,12 +688,11 @@ ResultSet Q19(Engine& e, const TpchData& db) {
                   "revenue"});
   li.GroupBy({}, std::move(aggs));
   li.CollectResult();
-  return q->Execute();
+  return e.CreateQuery(li.Build())->Execute();
 }
 
 ResultSet Q20(Engine& e, const TpchData& db) {
-  auto q = e.CreateQuery();
-  PlanBuilder sumq = q->Scan(
+  PlanBuilder sumq = PlanBuilder::Scan(
       db.lineitem.get(), {"l_partkey", "l_suppkey", "l_quantity",
                           "l_shipdate"});
   sumq.Filter(And(Ge(sumq.Col("l_shipdate"), ConstDate("1994-01-01")),
@@ -723,10 +701,10 @@ ResultSet Q20(Engine& e, const TpchData& db) {
   aggs.push_back({AggFunc::kSum, sumq.Col("l_quantity"), "sq"});
   sumq.GroupBy({"l_partkey", "l_suppkey"}, std::move(aggs));
 
-  PlanBuilder part = q->Scan(db.part.get(), {"p_partkey", "p_name"});
+  PlanBuilder part = PlanBuilder::Scan(db.part.get(), {"p_partkey", "p_name"});
   part.Filter(Like(part.Col("p_name"), "forest%"));
 
-  PlanBuilder ps = q->Scan(db.partsupp.get(),
+  PlanBuilder ps = PlanBuilder::Scan(db.partsupp.get(),
                            {"ps_partkey", "ps_suppkey", "ps_availqty"});
   ps.HashJoin(std::move(part), {"ps_partkey"}, {"p_partkey"}, {},
               JoinKind::kSemi);
@@ -737,40 +715,39 @@ ResultSet Q20(Engine& e, const TpchData& db) {
                           Mul(ConstF64(0.5), s.Col("sq")));
               });
 
-  PlanBuilder sup = q->Scan(db.supplier.get(),
+  PlanBuilder sup = PlanBuilder::Scan(db.supplier.get(),
                             {"s_suppkey", "s_name", "s_address",
                              "s_nationkey"});
-  sup.HashJoin(NationKeyByName(q.get(), db, "CANADA"), {"s_nationkey"},
+  sup.HashJoin(NationKeyByName(db, "CANADA"), {"s_nationkey"},
                {"n_nationkey"}, {}, JoinKind::kSemi);
   sup.HashJoin(std::move(ps), {"s_suppkey"}, {"ps_suppkey"}, {},
                JoinKind::kSemi);
   sup.Project(NE("s_name", sup.Col("s_name")),
                NE("s_address", sup.Col("s_address")));
   sup.OrderBy({{"s_name", true}});
-  return q->Execute();
+  return e.CreateQuery(sup.Build())->Execute();
 }
 
 ResultSet Q21(Engine& e, const TpchData& db) {
-  auto q = e.CreateQuery();
-  PlanBuilder sup = q->Scan(db.supplier.get(),
+  PlanBuilder sup = PlanBuilder::Scan(db.supplier.get(),
                             {"s_suppkey", "s_name", "s_nationkey"});
-  sup.HashJoin(NationKeyByName(q.get(), db, "SAUDI ARABIA"),
+  sup.HashJoin(NationKeyByName(db, "SAUDI ARABIA"),
                {"s_nationkey"}, {"n_nationkey"}, {}, JoinKind::kSemi);
 
-  PlanBuilder ord_f = q->Scan(db.orders.get(),
+  PlanBuilder ord_f = PlanBuilder::Scan(db.orders.get(),
                               {"o_orderkey", "o_orderstatus"});
   ord_f.Filter(Eq(ord_f.Col("o_orderstatus"), ConstStr("F")));
 
-  PlanBuilder l2 = q->Scan(db.lineitem.get(), {"l_orderkey", "l_suppkey"});
+  PlanBuilder l2 = PlanBuilder::Scan(db.lineitem.get(), {"l_orderkey", "l_suppkey"});
   l2.Project(NE("lo2", l2.Col("l_orderkey")), NE("ls2", l2.Col("l_suppkey")));
 
-  PlanBuilder l3 = q->Scan(db.lineitem.get(),
+  PlanBuilder l3 = PlanBuilder::Scan(db.lineitem.get(),
                            {"l_orderkey", "l_suppkey", "l_commitdate",
                             "l_receiptdate"});
   l3.Filter(Gt(l3.Col("l_receiptdate"), l3.Col("l_commitdate")));
   l3.Project(NE("lo3", l3.Col("l_orderkey")), NE("ls3", l3.Col("l_suppkey")));
 
-  PlanBuilder l1 = q->Scan(db.lineitem.get(),
+  PlanBuilder l1 = PlanBuilder::Scan(db.lineitem.get(),
                            {"l_orderkey", "l_suppkey", "l_commitdate",
                             "l_receiptdate"});
   l1.Filter(Gt(l1.Col("l_receiptdate"), l1.Col("l_commitdate")));
@@ -790,7 +767,7 @@ ResultSet Q21(Engine& e, const TpchData& db) {
   aggs.push_back({AggFunc::kCount, nullptr, "numwait"});
   l1.GroupBy({"s_name"}, std::move(aggs));
   l1.OrderBy({{"numwait", false}, {"s_name", true}}, 100);
-  return q->Execute();
+  return e.CreateQuery(l1.Build())->Execute();
 }
 
 ResultSet Q22(Engine& e, const TpchData& db) {
@@ -799,8 +776,7 @@ ResultSet Q22(Engine& e, const TpchData& db) {
   // Scalar: average positive balance of customers in the code set.
   double avg_bal = 0.0;
   {
-    auto q = e.CreateQuery();
-    PlanBuilder cust = q->Scan(db.customer.get(), {"c_phone", "c_acctbal"});
+    PlanBuilder cust = PlanBuilder::Scan(db.customer.get(), {"c_phone", "c_acctbal"});
     cust.Filter(And(InStr(Substr(cust.Col("c_phone"), 1, 2), codes),
                     Gt(cust.Col("c_acctbal"), ConstF64(0.0))));
     std::vector<AggItem> aggs;
@@ -808,15 +784,14 @@ ResultSet Q22(Engine& e, const TpchData& db) {
     aggs.push_back({AggFunc::kCount, nullptr, "cnt"});
     cust.GroupBy({}, std::move(aggs));
     cust.CollectResult();
-    ResultSet r = q->Execute();
+    ResultSet r = e.CreateQuery(cust.Build())->Execute();
     if (r.I64(0, 1) > 0) {
       avg_bal = r.F64(0, 0) / static_cast<double>(r.I64(0, 1));
     }
   }
 
-  auto q = e.CreateQuery();
-  PlanBuilder ord = q->Scan(db.orders.get(), {"o_custkey"});
-  PlanBuilder cust = q->Scan(db.customer.get(),
+  PlanBuilder ord = PlanBuilder::Scan(db.orders.get(), {"o_custkey"});
+  PlanBuilder cust = PlanBuilder::Scan(db.customer.get(),
                              {"c_custkey", "c_phone", "c_acctbal"});
   cust.Filter(And(InStr(Substr(cust.Col("c_phone"), 1, 2), codes),
                   Gt(cust.Col("c_acctbal"), ConstF64(avg_bal))));
@@ -829,7 +804,7 @@ ResultSet Q22(Engine& e, const TpchData& db) {
   aggs.push_back({AggFunc::kSum, cust.Col("c_acctbal"), "totacctbal"});
   cust.GroupBy({"cntrycode"}, std::move(aggs));
   cust.OrderBy({{"cntrycode", true}});
-  return q->Execute();
+  return e.CreateQuery(cust.Build())->Execute();
 }
 
 }  // namespace

@@ -67,9 +67,8 @@ std::vector<std::string> RunCase(Engine& engine, const Table* probe,
                                  const Table* build, const JoinCase& c,
                                  std::optional<JoinStrategy> strategy,
                                  std::string* plan = nullptr) {
-  auto q = engine.CreateQuery();
-  PlanBuilder b = q->Scan(build, {"bk", "bv"});
-  PlanBuilder p = q->Scan(probe, {"pk", "pv"});
+  PlanBuilder b = PlanBuilder::Scan(build, {"bk", "bv"});
+  PlanBuilder p = PlanBuilder::Scan(probe, {"pk", "pv"});
   std::function<ExprPtr(const ColScope&)> residual;
   if (c.with_residual) {
     residual = [](const ColScope& s) {
@@ -78,6 +77,7 @@ std::vector<std::string> RunCase(Engine& engine, const Table* probe,
   }
   p.Join(std::move(b), {"pk"}, {"bk"}, {"bv"}, c.kind, residual, strategy);
   p.CollectResult();
+  auto q = engine.CreateQuery(p.Build());
   if (plan != nullptr) *plan = q->ExplainPlan();
   return SortedRows(q->Execute());
 }
@@ -186,14 +186,14 @@ TEST(AdaptiveJoin, PresortedPicksMergeAndSkipsLocalSort) {
   auto build =
       MakeKv(topo, MakeRows(kBuildRows, Shape::kPresorted, 43), "bk", "bv");
 
-  auto q = engine.CreateQuery();
-  PlanBuilder b = q->Scan(build.get(), {"bk", "bv"});
-  PlanBuilder p = q->Scan(probe.get(), {"pk", "pv"});
+  PlanBuilder b = PlanBuilder::Scan(build.get(), {"bk", "bv"});
+  PlanBuilder p = PlanBuilder::Scan(probe.get(), {"pk", "pv"});
   p.Join(std::move(b), {"pk"}, {"bk"}, {"bv"}, JoinKind::kInner, nullptr,
          JoinStrategy::kAdaptive);
   p.CollectResult();
+  auto q = engine.CreateQuery(p.Build());
 
-  // Plan-time: the stats must route this join to merge.
+  // Lowering-time: the stats must route this join to merge.
   std::string plan = q->ExplainPlan();
   EXPECT_NE(plan.find("partition-merge-join"), std::string::npos) << plan;
 

@@ -37,8 +37,7 @@ TEST(Aggregation, AllFunctionsMatchReference) {
     }
   }
   auto table = MakeKv(SmallTopo(), rows);
-  auto q = SmallEngine().CreateQuery();
-  PlanBuilder pb = q->Scan(table.get(), {"k", "v"});
+  PlanBuilder pb = PlanBuilder::Scan(table.get(), {"k", "v"});
   std::vector<AggItem> aggs;
   aggs.push_back({AggFunc::kCount, nullptr, "cnt"});
   aggs.push_back({AggFunc::kSum, pb.Col("v"), "sum"});
@@ -46,6 +45,7 @@ TEST(Aggregation, AllFunctionsMatchReference) {
   aggs.push_back({AggFunc::kMax, pb.Col("v"), "max"});
   pb.GroupBy({"k"}, std::move(aggs));
   pb.OrderBy({{"k", true}});
+  auto q = SmallEngine().CreateQuery(pb.Build());
   ResultSet r = q->Execute();
   ASSERT_EQ(r.num_rows(), static_cast<int64_t>(ref.size()));
   int64_t i = 0;
@@ -67,8 +67,7 @@ TEST(Aggregation, ManyGroupsForceSpills) {
   std::vector<std::pair<int64_t, int64_t>> rows;
   for (int64_t i = 0; i < n; ++i) rows.push_back({i % groups, 1});
   auto table = MakeKv(SmallTopo(), rows);
-  auto q = SmallEngine().CreateQuery();
-  PlanBuilder pb = q->Scan(table.get(), {"k", "v"});
+  PlanBuilder pb = PlanBuilder::Scan(table.get(), {"k", "v"});
   std::vector<AggItem> aggs;
   aggs.push_back({AggFunc::kCount, nullptr, "cnt"});
   aggs.push_back({AggFunc::kSum, pb.Col("v"), "sum"});
@@ -77,6 +76,7 @@ TEST(Aggregation, ManyGroupsForceSpills) {
   // every group must have count 4 = n / groups.
   pb.Filter(Ne(pb.Col("cnt"), ConstI64(n / groups)));
   pb.CollectResult();
+  auto q = SmallEngine().CreateQuery(pb.Build());
   ResultSet wrong = q->Execute();
   EXPECT_EQ(wrong.num_rows(), 0);
 }
@@ -89,8 +89,7 @@ TEST(Aggregation, GroupCountWithSpills) {
     rows.push_back({g, g});
   }
   auto table = MakeKv(SmallTopo(), rows);
-  auto q = SmallEngine().CreateQuery();
-  PlanBuilder pb = q->Scan(table.get(), {"k", "v"});
+  PlanBuilder pb = PlanBuilder::Scan(table.get(), {"k", "v"});
   std::vector<AggItem> aggs;
   aggs.push_back({AggFunc::kSum, pb.Col("v"), "sum"});
   pb.GroupBy({"k"}, std::move(aggs));
@@ -99,19 +98,20 @@ TEST(Aggregation, GroupCountWithSpills) {
   outer.push_back({AggFunc::kCount, nullptr, "cnt"});
   pb.GroupBy({}, std::move(outer));
   pb.CollectResult();
+  auto q = SmallEngine().CreateQuery(pb.Build());
   EXPECT_EQ(q->Execute().I64(0, 0), groups);
 }
 
 TEST(Aggregation, ScalarOverEmptyInputYieldsZeroRow) {
   auto table = MakeKv(SmallTopo(), {{1, 1}});
-  auto q = SmallEngine().CreateQuery();
-  PlanBuilder pb = q->Scan(table.get(), {"k", "v"});
+  PlanBuilder pb = PlanBuilder::Scan(table.get(), {"k", "v"});
   pb.Filter(Gt(pb.Col("k"), ConstI64(100)));  // filters everything
   std::vector<AggItem> aggs;
   aggs.push_back({AggFunc::kCount, nullptr, "cnt"});
   aggs.push_back({AggFunc::kSum, pb.Col("v"), "sum"});
   pb.GroupBy({}, std::move(aggs));
   pb.CollectResult();
+  auto q = SmallEngine().CreateQuery(pb.Build());
   ResultSet r = q->Execute();
   ASSERT_EQ(r.num_rows(), 1);  // SQL scalar-aggregate semantics
   EXPECT_EQ(r.I64(0, 0), 0);
@@ -120,13 +120,13 @@ TEST(Aggregation, ScalarOverEmptyInputYieldsZeroRow) {
 
 TEST(Aggregation, GroupedOverEmptyInputYieldsNothing) {
   auto table = MakeKv(SmallTopo(), {{1, 1}});
-  auto q = SmallEngine().CreateQuery();
-  PlanBuilder pb = q->Scan(table.get(), {"k", "v"});
+  PlanBuilder pb = PlanBuilder::Scan(table.get(), {"k", "v"});
   pb.Filter(Gt(pb.Col("k"), ConstI64(100)));
   std::vector<AggItem> aggs;
   aggs.push_back({AggFunc::kCount, nullptr, "cnt"});
   pb.GroupBy({"k"}, std::move(aggs));
   pb.CollectResult();
+  auto q = SmallEngine().CreateQuery(pb.Build());
   EXPECT_EQ(q->Execute().num_rows(), 0);
 }
 
@@ -143,12 +143,12 @@ TEST(Aggregation, DoubleSums) {
     expect[g] += x;
   }
   for (int p = 0; p < t.num_partitions(); ++p) t.SealPartition(p);
-  auto q = SmallEngine().CreateQuery();
-  PlanBuilder pb = q->Scan(&t, {"g", "x"});
+  PlanBuilder pb = PlanBuilder::Scan(&t, {"g", "x"});
   std::vector<AggItem> aggs;
   aggs.push_back({AggFunc::kSum, pb.Col("x"), "sum"});
   pb.GroupBy({"g"}, std::move(aggs));
   pb.OrderBy({{"g", true}});
+  auto q = SmallEngine().CreateQuery(pb.Build());
   ResultSet r = q->Execute();
   ASSERT_EQ(r.num_rows(), 3);
   for (int64_t g = 0; g < 3; ++g) {
@@ -166,13 +166,13 @@ TEST(Aggregation, ComputedStringGroupKeys) {
     t.StrCol(p, 0)->Append((i % 2 ? "xx-" : "yy-") + std::to_string(i));
   }
   for (int p = 0; p < t.num_partitions(); ++p) t.SealPartition(p);
-  auto q = SmallEngine().CreateQuery();
-  PlanBuilder pb = q->Scan(&t, {"s"});
+  PlanBuilder pb = PlanBuilder::Scan(&t, {"s"});
   pb.Project(NE("prefix", Substr(pb.Col("s"), 1, 2)));
   std::vector<AggItem> aggs;
   aggs.push_back({AggFunc::kCount, nullptr, "cnt"});
   pb.GroupBy({"prefix"}, std::move(aggs));
   pb.OrderBy({{"prefix", true}});
+  auto q = SmallEngine().CreateQuery(pb.Build());
   ResultSet r = q->Execute();
   ASSERT_EQ(r.num_rows(), 2);
   EXPECT_EQ(r.Str(0, 0), "xx");
@@ -189,13 +189,13 @@ TEST(Aggregation, MinMaxOnDates) {
     t.Int32Col(p, 0)->Append(MakeDate(1992, 1, 1) + static_cast<int>(i));
   }
   for (int p = 0; p < t.num_partitions(); ++p) t.SealPartition(p);
-  auto q = SmallEngine().CreateQuery();
-  PlanBuilder pb = q->Scan(&t, {"d"});
+  PlanBuilder pb = PlanBuilder::Scan(&t, {"d"});
   std::vector<AggItem> aggs;
   aggs.push_back({AggFunc::kMin, pb.Col("d"), "min_d"});
   aggs.push_back({AggFunc::kMax, pb.Col("d"), "max_d"});
   pb.GroupBy({}, std::move(aggs));
   pb.CollectResult();
+  auto q = SmallEngine().CreateQuery(pb.Build());
   ResultSet r = q->Execute();
   EXPECT_EQ(r.I32(0, 0), MakeDate(1992, 1, 1));
   EXPECT_EQ(r.I32(0, 1), MakeDate(1992, 1, 1) + 4999);

@@ -58,9 +58,8 @@ JoinResults RunBoth(const Table* probe, const Table* build, JoinKind kind,
                     bool with_residual) {
   JoinResults out;
   for (Engine* engine : {&BatchedEngine(), &ScalarEngine()}) {
-    auto q = engine->CreateQuery();
-    PlanBuilder b = q->Scan(build, {"bk", "bv"});
-    PlanBuilder p = q->Scan(probe, {"pk", "pv"});
+    PlanBuilder b = PlanBuilder::Scan(build, {"bk", "bv"});
+    PlanBuilder p = PlanBuilder::Scan(probe, {"pk", "pv"});
     std::vector<std::string> payload =
         (kind == JoinKind::kSemi || kind == JoinKind::kAnti)
             ? std::vector<std::string>{}
@@ -83,7 +82,7 @@ JoinResults RunBoth(const Table* probe, const Table* build, JoinKind kind,
       p.HashJoin(std::move(b), {"pk"}, {"bk"}, payload, kind);
     }
     p.CollectResult();
-    ResultSet r = q->Execute();
+    ResultSet r = engine->CreateQuery(p.Build())->Execute();
     auto rows = SortedRows(r);
     if (engine == &BatchedEngine()) {
       out.batched = std::move(rows);
@@ -254,12 +253,11 @@ TEST(BatchedProbe, MatchesScalarWithTaggingDisabled) {
   auto build = MakeKv(SmallTopo(), Numbers(120, 60), "bk", "bv");
   std::vector<std::vector<std::string>> results;
   for (Engine* engine : {untagged_batched, untagged_scalar}) {
-    auto q = engine->CreateQuery();
-    PlanBuilder b = q->Scan(build.get(), {"bk", "bv"});
-    PlanBuilder p = q->Scan(probe.get(), {"pk", "pv"});
+    PlanBuilder b = PlanBuilder::Scan(build.get(), {"bk", "bv"});
+    PlanBuilder p = PlanBuilder::Scan(probe.get(), {"pk", "pv"});
     p.HashJoin(std::move(b), {"pk"}, {"bk"}, {"bv"}, JoinKind::kInner);
     p.CollectResult();
-    ResultSet r = q->Execute();
+    ResultSet r = engine->CreateQuery(p.Build())->Execute();
     results.push_back(SortedRows(r));
   }
   EXPECT_FALSE(results[0].empty());

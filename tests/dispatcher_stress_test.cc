@@ -39,14 +39,13 @@ const Table* StressTable() {
 // COUNT(*), SUM(v) over the whole table: exactly kRows and
 // kRows*(kRows-1)/2 iff every morsel ran exactly once.
 std::unique_ptr<Query> BuildCountSumQuery(Engine& engine) {
-  auto q = engine.CreateQuery();
-  PlanBuilder p = q->Scan(StressTable(), {"k", "v"});
+  PlanBuilder p = PlanBuilder::Scan(StressTable(), {"k", "v"});
   std::vector<AggItem> aggs;
   aggs.push_back({AggFunc::kCount, nullptr, "cnt"});
   aggs.push_back({AggFunc::kSum, p.Col("v"), "sum_v"});
   p.GroupBy({}, std::move(aggs));
   p.CollectResult();
-  return q;
+  return engine.CreateQuery(p.Build());
 }
 
 void ExpectExactResult(Query* q) {
@@ -209,17 +208,16 @@ TEST(DispatcherStress, CancelAndChurnMergeJoinQueries) {
   Engine engine(SmallTopo(), opts);
 
   auto build_join_query = [&] {
-    auto q = engine.CreateQuery();
-    PlanBuilder b = q->Scan(StressTable(), {"k", "v"});
+    PlanBuilder b = PlanBuilder::Scan(StressTable(), {"k", "v"});
     b.Project(NE("bk", b.Col("k")), NE("bv", b.Col("v")));
     b.Filter(Lt(b.Col("bv"), ConstI64(kKeyRange)));  // one row per key
-    PlanBuilder p = q->Scan(StressTable(), {"k", "v"});
+    PlanBuilder p = PlanBuilder::Scan(StressTable(), {"k", "v"});
     p.Join(std::move(b), {"k"}, {"bk"}, {"bv"}, JoinKind::kInner);
     std::vector<AggItem> aggs;
     aggs.push_back({AggFunc::kCount, nullptr, "cnt"});
     p.GroupBy({}, std::move(aggs));
     p.CollectResult();
-    return q;
+    return engine.CreateQuery(p.Build());
   };
 
   constexpr int kQueries = 6;

@@ -26,12 +26,12 @@ std::unique_ptr<Table> BigTable(int64_t n) {
 }
 
 ResultSet RunGroupQuery(Engine& engine, const Table* t) {
-  auto q = engine.CreateQuery();
-  PlanBuilder pb = q->Scan(const_cast<Table*>(t), {"k", "v"});
+  PlanBuilder pb = PlanBuilder::Scan(const_cast<Table*>(t), {"k", "v"});
   std::vector<AggItem> aggs;
   aggs.push_back({AggFunc::kCount, nullptr, "cnt"});
   pb.GroupBy({"k"}, std::move(aggs));
   pb.OrderBy({{"k", true}});
+  auto q = engine.CreateQuery(pb.Build());
   return q->Execute();
 }
 
@@ -69,12 +69,12 @@ TEST(EngineVariants, StaticDivisionLimitsScanMorselCount) {
   // Plain scan-aggregate: with morsel size n/t the scan pipeline hands
   // out at most (#ranges bounded) + workers morsels; far below the
   // dynamic engine's n / 100k default count at this size.
-  auto q = engine.CreateQuery();
-  PlanBuilder pb = q->Scan(table.get(), {"k", "v"});
+  PlanBuilder pb = PlanBuilder::Scan(table.get(), {"k", "v"});
   std::vector<AggItem> aggs;
   aggs.push_back({AggFunc::kSum, pb.Col("v"), "s"});
   pb.GroupBy({}, std::move(aggs));
   pb.CollectResult();
+  auto q = engine.CreateQuery(pb.Build());
   q->Execute();
   // agg phase 2 adds 64 partition-morsels; the scan contributes <= ~8.
   EXPECT_LE(engine.pool()->TotalMorselsRun(), 64u + 16u);
@@ -126,15 +126,15 @@ TEST_P(CancellationFuzz, CancelAtRandomPoints) {
   auto table = BigTable(200000);
   Rng rng(GetParam());
   for (int round = 0; round < 8; ++round) {
-    auto q = engine.CreateQuery();
-    PlanBuilder build = q->Scan(table.get(), {"k", "v"});
+    PlanBuilder build = PlanBuilder::Scan(table.get(), {"k", "v"});
     build.Project(NE("bk", build.Col("k")), NE("bv", build.Col("v")));
-    PlanBuilder pb = q->Scan(table.get(), {"k", "v"});
+    PlanBuilder pb = PlanBuilder::Scan(table.get(), {"k", "v"});
     pb.HashJoin(std::move(build), {"k"}, {"bk"}, {"bv"}, JoinKind::kInner);
     std::vector<AggItem> aggs;
     aggs.push_back({AggFunc::kCount, nullptr, "cnt"});
     pb.GroupBy({"k"}, std::move(aggs));
     pb.CollectResult();
+    auto q = engine.CreateQuery(pb.Build());
     q->Start();
     std::this_thread::sleep_for(
         std::chrono::microseconds(rng.Uniform(0, 20000)));
@@ -158,12 +158,12 @@ TEST(EngineStress, DestructorCancelsRunningQuery) {
   Engine engine(SmallTopo(), opts);
   auto table = BigTable(300000);
   {
-    auto q = engine.CreateQuery();
-    PlanBuilder pb = q->Scan(table.get(), {"k", "v"});
+    PlanBuilder pb = PlanBuilder::Scan(table.get(), {"k", "v"});
     std::vector<AggItem> aggs;
     aggs.push_back({AggFunc::kCount, nullptr, "cnt"});
     pb.GroupBy({"k"}, std::move(aggs));
     pb.CollectResult();
+    auto q = engine.CreateQuery(pb.Build());
     q->Start();
     // Query handle destroyed while running: must cancel + drain safely.
   }
@@ -175,15 +175,15 @@ TEST(EnginePlan, ExplainShowsPipelineDag) {
   Engine engine(SmallTopo(), EngineOptions{});
   auto fact = BigTable(100);
   auto dim = BigTable(10);
-  auto q = engine.CreateQuery();
-  PlanBuilder build = q->Scan(dim.get(), {"k", "v"});
+  PlanBuilder build = PlanBuilder::Scan(dim.get(), {"k", "v"});
   build.Project(NE("bk", build.Col("k")), NE("bv", build.Col("v")));
-  PlanBuilder pb = q->Scan(fact.get(), {"k", "v"});
+  PlanBuilder pb = PlanBuilder::Scan(fact.get(), {"k", "v"});
   pb.HashJoin(std::move(build), {"k"}, {"bk"}, {"bv"}, JoinKind::kInner);
   std::vector<AggItem> aggs;
   aggs.push_back({AggFunc::kCount, nullptr, "cnt"});
   pb.GroupBy({"k"}, std::move(aggs));
   pb.OrderBy({{"k", true}});
+  auto q = engine.CreateQuery(pb.Build());
   std::string plan = q->ExplainPlan();
   // build -> insert -> probe/agg-phase1 -> agg source pipeline ->
   // sort jobs; dependencies must appear.
@@ -200,12 +200,12 @@ TEST(EngineElasticity, PriorityChangeMidFlight) {
   opts.morsel_size = 256;
   Engine engine(SmallTopo(), opts);
   auto table = BigTable(200000);
-  auto q = engine.CreateQuery(/*priority=*/0.5);
-  PlanBuilder pb = q->Scan(table.get(), {"k", "v"});
+  PlanBuilder pb = PlanBuilder::Scan(table.get(), {"k", "v"});
   std::vector<AggItem> aggs;
   aggs.push_back({AggFunc::kCount, nullptr, "cnt"});
   pb.GroupBy({"k"}, std::move(aggs));
   pb.CollectResult();
+  auto q = engine.CreateQuery(pb.Build(), 0.5);
   q->Start();
   q->context()->set_priority(10.0);  // boost at a morsel boundary
   q->Wait();
@@ -234,26 +234,26 @@ TEST(EngineElasticity, PriorityQueryGetsShare) {
   Engine engine(SmallTopo(), opts);
   auto table = BigTable(400000);
   // Low-priority long query running...
-  auto lo = engine.CreateQuery(/*priority=*/1.0);
+  PlanBuilder lo_pb = PlanBuilder::Scan(table.get(), {"k", "v"});
   {
-    PlanBuilder pb = lo->Scan(table.get(), {"k", "v"});
     std::vector<AggItem> aggs;
     aggs.push_back({AggFunc::kCount, nullptr, "cnt"});
-    pb.GroupBy({"k"}, std::move(aggs));
-    pb.CollectResult();
+    lo_pb.GroupBy({"k"}, std::move(aggs));
+    lo_pb.CollectResult();
   }
+  auto lo = engine.CreateQuery(lo_pb.Build(), 1.0);
   lo->Start();
   // ...a high-priority query cuts through and finishes while the long
   // one is still in flight (not guaranteed on a loaded host, so only
   // assert it completes and the engine stays consistent).
-  auto hi = engine.CreateQuery(/*priority=*/8.0);
+  PlanBuilder hi_pb = PlanBuilder::Scan(table.get(), {"k", "v"});
   {
-    PlanBuilder pb = hi->Scan(table.get(), {"k", "v"});
     std::vector<AggItem> aggs;
-    aggs.push_back({AggFunc::kSum, pb.Col("v"), "s"});
-    pb.GroupBy({}, std::move(aggs));
-    pb.CollectResult();
+    aggs.push_back({AggFunc::kSum, hi_pb.Col("v"), "s"});
+    hi_pb.GroupBy({}, std::move(aggs));
+    hi_pb.CollectResult();
   }
+  auto hi = engine.CreateQuery(hi_pb.Build(), 8.0);
   ResultSet hr = hi->Execute();
   EXPECT_EQ(hr.num_rows(), 1);
   lo->Wait();

@@ -34,15 +34,15 @@ TEST(HashJoin, InnerMultiplicity) {
   }
   auto build = MakeKv(SmallTopo(), build_rows, "bk", "bv");
 
-  auto q = SmallEngine().CreateQuery();
-  PlanBuilder b = q->Scan(build.get(), {"bk", "bv"});
-  PlanBuilder p = q->Scan(probe.get(), {"pk", "pv"});
+  PlanBuilder b = PlanBuilder::Scan(build.get(), {"bk", "bv"});
+  PlanBuilder p = PlanBuilder::Scan(probe.get(), {"pk", "pv"});
   p.HashJoin(std::move(b), {"pk"}, {"bk"}, {"bv"}, JoinKind::kInner);
   std::vector<AggItem> aggs;
   aggs.push_back({AggFunc::kCount, nullptr, "cnt"});
   aggs.push_back({AggFunc::kSum, p.Col("bv"), "sum_bv"});
   p.GroupBy({"pk"}, std::move(aggs));
   p.OrderBy({{"pk", true}});
+  auto q = SmallEngine().CreateQuery(p.Build());
   ResultSet r = q->Execute();
 
   // 5 matching keys, each probe row matches 2 build rows.
@@ -61,14 +61,14 @@ TEST(HashJoin, SemiAndAntiArePartitions) {
   auto build = MakeKv(SmallTopo(), Numbers(500, 5), "bk", "bv");
 
   auto count_join = [&](JoinKind kind) {
-    auto q = SmallEngine().CreateQuery();
-    PlanBuilder b = q->Scan(build.get(), {"bk", "bv"});
-    PlanBuilder p = q->Scan(probe.get(), {"pk", "pv"});
+    PlanBuilder b = PlanBuilder::Scan(build.get(), {"bk", "bv"});
+    PlanBuilder p = PlanBuilder::Scan(probe.get(), {"pk", "pv"});
     p.HashJoin(std::move(b), {"pk"}, {"bk"}, {}, kind);
     std::vector<AggItem> aggs;
     aggs.push_back({AggFunc::kCount, nullptr, "cnt"});
     p.GroupBy({}, std::move(aggs));
     p.CollectResult();
+    auto q = SmallEngine().CreateQuery(p.Build());
     return q->Execute().I64(0, 0);
   };
   int64_t semi = count_join(JoinKind::kSemi);
@@ -81,11 +81,11 @@ TEST(HashJoin, SemiAndAntiArePartitions) {
 TEST(HashJoin, LeftOuterPadsMisses) {
   auto probe = MakeKv(SmallTopo(), {{1, 10}, {2, 20}, {3, 30}}, "pk", "pv");
   auto build = MakeKv(SmallTopo(), {{2, 200}}, "bk", "bv");
-  auto q = SmallEngine().CreateQuery();
-  PlanBuilder b = q->Scan(build.get(), {"bk", "bv"});
-  PlanBuilder p = q->Scan(probe.get(), {"pk", "pv"});
+  PlanBuilder b = PlanBuilder::Scan(build.get(), {"bk", "bv"});
+  PlanBuilder p = PlanBuilder::Scan(probe.get(), {"pk", "pv"});
   p.HashJoin(std::move(b), {"pk"}, {"bk"}, {"bv"}, JoinKind::kLeftOuter);
   p.OrderBy({{"pk", true}});
+  auto q = SmallEngine().CreateQuery(p.Build());
   ResultSet r = q->Execute();
   ASSERT_EQ(r.num_rows(), 3);
   EXPECT_EQ(r.I64(0, 2), 0);    // miss padded with type default
@@ -96,9 +96,8 @@ TEST(HashJoin, LeftOuterPadsMisses) {
 TEST(HashJoin, ResidualOnInner) {
   auto probe = MakeKv(SmallTopo(), Numbers(100, 10), "pk", "pv");
   auto build = MakeKv(SmallTopo(), Numbers(10, 10), "bk", "bv");
-  auto q = SmallEngine().CreateQuery();
-  PlanBuilder b = q->Scan(build.get(), {"bk", "bv"});
-  PlanBuilder p = q->Scan(probe.get(), {"pk", "pv"});
+  PlanBuilder b = PlanBuilder::Scan(build.get(), {"bk", "bv"});
+  PlanBuilder p = PlanBuilder::Scan(probe.get(), {"pk", "pv"});
   // join on key, residual keeps only pv < 50
   p.HashJoin(std::move(b), {"pk"}, {"bk"}, {"bv"}, JoinKind::kInner,
              [](const ColScope& s) {
@@ -108,6 +107,7 @@ TEST(HashJoin, ResidualOnInner) {
   aggs.push_back({AggFunc::kCount, nullptr, "cnt"});
   p.GroupBy({}, std::move(aggs));
   p.CollectResult();
+  auto q = SmallEngine().CreateQuery(p.Build());
   EXPECT_EQ(q->Execute().I64(0, 0), 50);
 }
 
@@ -119,15 +119,15 @@ TEST(HashJoin, ResidualOnSemiAnti) {
                       {{1, 100}, {1, 101}, {2, 200}, {3, 300}},
                       "bk", "bv");
   auto run = [&](JoinKind kind) {
-    auto q = SmallEngine().CreateQuery();
-    PlanBuilder b = q->Scan(build.get(), {"bk", "bv"});
-    PlanBuilder p = q->Scan(probe.get(), {"pk", "pv"});
+    PlanBuilder b = PlanBuilder::Scan(build.get(), {"bk", "bv"});
+    PlanBuilder p = PlanBuilder::Scan(probe.get(), {"pk", "pv"});
     // exists/not-exists build row with same key but different payload
     p.HashJoin(std::move(b), {"pk"}, {"bk"}, {"bv"}, kind,
                [](const ColScope& s) {
                  return Ne(s.Col("bv"), s.Col("pv"));
                });
     p.OrderBy({{"pk", true}});
+    auto q = SmallEngine().CreateQuery(p.Build());
     return q->Execute();
   };
   ResultSet semi = run(JoinKind::kSemi);
@@ -154,11 +154,10 @@ TEST(HashJoin, MultiColumnKeys) {
   }
   for (int p = 0; p < t.num_partitions(); ++p) t.SealPartition(p);
 
-  auto q = SmallEngine().CreateQuery();
-  PlanBuilder build = q->Scan(&t, {"a", "b", "v"});
+  PlanBuilder build = PlanBuilder::Scan(&t, {"a", "b", "v"});
   build.Project(NE("ba", build.Col("a")), NE("bb", build.Col("b")),
                  NE("bv", build.Col("v")));
-  PlanBuilder probe = q->Scan(&t, {"a", "b", "v"});
+  PlanBuilder probe = PlanBuilder::Scan(&t, {"a", "b", "v"});
   probe.HashJoin(std::move(build), {"a", "b"}, {"ba", "bb"}, {"bv"},
                  JoinKind::kInner);
   // (a,b) is unique: self-join on both keys is the identity.
@@ -167,6 +166,7 @@ TEST(HashJoin, MultiColumnKeys) {
   aggs.push_back({AggFunc::kCount, nullptr, "cnt"});
   probe.GroupBy({}, std::move(aggs));
   probe.CollectResult();
+  auto q = SmallEngine().CreateQuery(probe.Build());
   EXPECT_EQ(q->Execute().I64(0, 0), 100);
 }
 
@@ -187,12 +187,11 @@ TEST(HashJoin, ComputedStringKeysSurviveArenaReset) {
   }
   for (int p = 0; p < t.num_partitions(); ++p) t.SealPartition(p);
 
-  auto q = SmallEngine().CreateQuery();
-  PlanBuilder build = q->Scan(&t, {"name", "v"});
+  PlanBuilder build = PlanBuilder::Scan(&t, {"name", "v"});
   build.Project(
       NE("bkey", Substr(build.Col("name"), 1, 2)),
        NE("bv", build.Col("v")));
-  PlanBuilder probe = q->Scan(&t, {"name", "v"});
+  PlanBuilder probe = PlanBuilder::Scan(&t, {"name", "v"});
   probe.Project(
       NE("pkey", Substr(probe.Col("name"), 1, 2)),
        NE("pv", probe.Col("v")));
@@ -201,6 +200,7 @@ TEST(HashJoin, ComputedStringKeysSurviveArenaReset) {
   aggs.push_back({AggFunc::kCount, nullptr, "cnt"});
   probe.GroupBy({"pkey"}, std::move(aggs));
   probe.OrderBy({{"pkey", true}});
+  auto q = SmallEngine().CreateQuery(probe.Build());
   ResultSet r = q->Execute();
   ASSERT_EQ(r.num_rows(), 4);
   for (int64_t i = 0; i < 4; ++i) {
@@ -212,11 +212,11 @@ TEST(HashJoin, ComputedStringKeysSurviveArenaReset) {
 TEST(HashJoin, EmptyBuildSide) {
   auto probe = MakeKv(SmallTopo(), Numbers(100, 10), "pk", "pv");
   auto build = MakeKv(SmallTopo(), {}, "bk", "bv");
-  auto q = SmallEngine().CreateQuery();
-  PlanBuilder b = q->Scan(build.get(), {"bk", "bv"});
-  PlanBuilder p = q->Scan(probe.get(), {"pk", "pv"});
+  PlanBuilder b = PlanBuilder::Scan(build.get(), {"bk", "bv"});
+  PlanBuilder p = PlanBuilder::Scan(probe.get(), {"pk", "pv"});
   p.HashJoin(std::move(b), {"pk"}, {"bk"}, {"bv"}, JoinKind::kInner);
   p.CollectResult();
+  auto q = SmallEngine().CreateQuery(p.Build());
   EXPECT_EQ(q->Execute().num_rows(), 0);
 }
 

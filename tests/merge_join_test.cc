@@ -42,15 +42,15 @@ void ExpectJoinsAgree(
     std::function<ExprPtr(const ColScope&)> residual = nullptr,
     std::vector<std::string> payload = {"bv"}) {
   auto run = [&](bool merge) {
-    auto q = SmallEngine().CreateQuery();
-    PlanBuilder b = q->Scan(build, {"bk", "bv"});
-    PlanBuilder p = q->Scan(probe, {"pk", "pv"});
+    PlanBuilder b = PlanBuilder::Scan(build, {"bk", "bv"});
+    PlanBuilder p = PlanBuilder::Scan(probe, {"pk", "pv"});
     if (merge) {
       p.MergeJoin(std::move(b), {"pk"}, {"bk"}, payload, kind, residual);
     } else {
       p.HashJoin(std::move(b), {"pk"}, {"bk"}, payload, kind, residual);
     }
     p.CollectResult();
+    auto q = SmallEngine().CreateQuery(p.Build());
     return SortedRows(q->Execute());
   };
   SCOPED_TRACE(std::string("kind=") + KindName(kind));
@@ -190,11 +190,10 @@ TEST(MergeJoin, MultiColumnKeysSelfJoin) {
   }
   for (int p = 0; p < t.num_partitions(); ++p) t.SealPartition(p);
 
-  auto q = SmallEngine().CreateQuery();
-  PlanBuilder build = q->Scan(&t, {"a", "b", "v"});
+  PlanBuilder build = PlanBuilder::Scan(&t, {"a", "b", "v"});
   build.Project(NE("ba", build.Col("a")), NE("bb", build.Col("b")),
                 NE("bv", build.Col("v")));
-  PlanBuilder probe = q->Scan(&t, {"a", "b", "v"});
+  PlanBuilder probe = PlanBuilder::Scan(&t, {"a", "b", "v"});
   probe.MergeJoin(std::move(build), {"a", "b"}, {"ba", "bb"}, {"bv"},
                   JoinKind::kInner);
   // (a, b) is unique: the self-join on both keys is the identity.
@@ -203,17 +202,18 @@ TEST(MergeJoin, MultiColumnKeysSelfJoin) {
   aggs.push_back({AggFunc::kCount, nullptr, "cnt"});
   probe.GroupBy({}, std::move(aggs));
   probe.CollectResult();
+  auto q = SmallEngine().CreateQuery(probe.Build());
   EXPECT_EQ(q->Execute().I64(0, 0), 400);
 }
 
 TEST(MergeJoin, LeftOuterPadsMisses) {
   auto probe = MakeKv(SmallTopo(), {{1, 10}, {2, 20}, {3, 30}}, "pk", "pv");
   auto build = MakeKv(SmallTopo(), {{2, 200}}, "bk", "bv");
-  auto q = SmallEngine().CreateQuery();
-  PlanBuilder b = q->Scan(build.get(), {"bk", "bv"});
-  PlanBuilder p = q->Scan(probe.get(), {"pk", "pv"});
+  PlanBuilder b = PlanBuilder::Scan(build.get(), {"bk", "bv"});
+  PlanBuilder p = PlanBuilder::Scan(probe.get(), {"pk", "pv"});
   p.MergeJoin(std::move(b), {"pk"}, {"bk"}, {"bv"}, JoinKind::kLeftOuter);
   p.OrderBy({{"pk", true}});
+  auto q = SmallEngine().CreateQuery(p.Build());
   ResultSet r = q->Execute();
   ASSERT_EQ(r.num_rows(), 3);
   EXPECT_EQ(r.I64(0, 2), 0);    // miss padded with type default
@@ -224,11 +224,11 @@ TEST(MergeJoin, LeftOuterPadsMisses) {
 TEST(MergeJoin, ExplainShowsPartitionMergeJoinDag) {
   auto probe = MakeKv(SmallTopo(), {{1, 10}}, "pk", "pv");
   auto build = MakeKv(SmallTopo(), {{1, 100}}, "bk", "bv");
-  auto q = SmallEngine().CreateQuery();
-  PlanBuilder b = q->Scan(build.get(), {"bk", "bv"});
-  PlanBuilder p = q->Scan(probe.get(), {"pk", "pv"});
+  PlanBuilder b = PlanBuilder::Scan(build.get(), {"bk", "bv"});
+  PlanBuilder p = PlanBuilder::Scan(probe.get(), {"pk", "pv"});
   p.MergeJoin(std::move(b), {"pk"}, {"bk"}, {"bv"}, JoinKind::kInner);
   p.CollectResult();
+  auto q = SmallEngine().CreateQuery(p.Build());
   std::string plan = q->ExplainPlan();
   // materialize -> local-sort (both sides) -> partition merge join.
   EXPECT_NE(plan.find("merge-build-materialize"), std::string::npos) << plan;
@@ -249,11 +249,11 @@ TEST(MergeJoin, JoinStrategyKnobDispatches) {
     opts.num_workers = 4;
     opts.join_strategy = strategy;
     Engine engine(SmallTopo(), opts);
-    auto q = engine.CreateQuery();
-    PlanBuilder b = q->Scan(build.get(), {"bk", "bv"});
-    PlanBuilder p = q->Scan(probe.get(), {"pk", "pv"});
+    PlanBuilder b = PlanBuilder::Scan(build.get(), {"bk", "bv"});
+    PlanBuilder p = PlanBuilder::Scan(probe.get(), {"pk", "pv"});
     p.Join(std::move(b), {"pk"}, {"bk"}, {"bv"}, JoinKind::kInner);
     p.CollectResult();
+    auto q = engine.CreateQuery(p.Build());
     std::string plan = q->ExplainPlan();
     ResultSet r = q->Execute();
     return std::make_pair(plan, SortedRows(r));
@@ -276,9 +276,8 @@ TEST(MergeJoin, DownstreamAggregationAndSort) {
   auto probe = MakeKv(SmallTopo(), probe_rows, "pk", "pv");
   auto build = MakeKv(SmallTopo(), build_rows, "bk", "bv");
   auto run = [&](bool merge) {
-    auto q = SmallEngine().CreateQuery();
-    PlanBuilder b = q->Scan(build.get(), {"bk", "bv"});
-    PlanBuilder p = q->Scan(probe.get(), {"pk", "pv"});
+    PlanBuilder b = PlanBuilder::Scan(build.get(), {"bk", "bv"});
+    PlanBuilder p = PlanBuilder::Scan(probe.get(), {"pk", "pv"});
     if (merge) {
       p.MergeJoin(std::move(b), {"pk"}, {"bk"}, {"bv"}, JoinKind::kInner);
     } else {
@@ -289,6 +288,7 @@ TEST(MergeJoin, DownstreamAggregationAndSort) {
     aggs.push_back({AggFunc::kSum, p.Col("bv"), "sum_bv"});
     p.GroupBy({"pk"}, std::move(aggs));
     p.OrderBy({{"pk", true}});
+    auto q = SmallEngine().CreateQuery(p.Build());
     ResultSet r = q->Execute();
     std::vector<std::string> rows;
     for (int64_t i = 0; i < r.num_rows(); ++i) rows.push_back(r.RowToString(i));

@@ -1,0 +1,252 @@
+// Staged lowering + runtime cardinality feedback (DESIGN §9):
+//  - differential: on plans whose adaptive join sits downstream of a
+//    pipeline breaker, feedback-on == feedback-off == forced-hash ==
+//    forced-merge across join kinds, data shapes and residuals — the
+//    decision point (plan time vs pipeline boundary) may never change
+//    semantics, only the pipeline shape;
+//  - a deliberately wrong plan-time estimate (a filter whose actual
+//    selectivity is far from the 0.33 guess, ahead of the build side's
+//    breaker) is *corrected* at the pipeline boundary and flips the
+//    strategy — in both directions (merge->hash and hash->merge),
+//    asserted via the decision job's ExplainPlan annotation;
+//  - the stat-decay fix: sortedness propagated through a hash-probe
+//    output decays per probe, so deep join trees downstream of hash
+//    probes stop qualifying for merge.
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "test_util.h"
+
+namespace morsel {
+namespace {
+
+using testutil::MakeKv;
+using testutil::SmallTopo;
+using testutil::SortedRows;
+
+std::vector<std::pair<int64_t, int64_t>> AscRows(int64_t n,
+                                                 int64_t key_step = 1) {
+  std::vector<std::pair<int64_t, int64_t>> rows;
+  for (int64_t i = 0; i < n; ++i) rows.push_back({i / key_step, i});
+  return rows;
+}
+
+// The deferred shape: the adaptive join's build side is the output of an
+// inner (forced-merge) join, so its cardinality is only known once the
+// inner join's inputs materialized — and a filter on the inner probe
+// side makes the plan-time estimate wrong by `filter_limit`.
+//   probe:  scan P (sorted, probe_rows)
+//   build:  (scan A (sorted, a_rows) |> Filter(v < filter_limit))
+//             MERGE-JOIN (scan B (sorted, b_rows))
+//   P  ADAPTIVE-JOIN  build   [kind, residual?]  |> collect
+struct DeferredShape {
+  int64_t probe_rows = 20000;
+  int64_t a_rows = 40000;
+  int64_t b_rows = 12000;
+  int64_t filter_limit = 100;  // actual rows surviving the filter
+  bool shuffled_probe = false;
+};
+
+std::vector<std::string> RunShape(
+    Engine& engine, const Table* p, const Table* a, const Table* b,
+    const DeferredShape& shape, JoinKind kind, bool with_residual,
+    std::optional<JoinStrategy> outer_strategy, std::string* plan_out) {
+  PlanBuilder inner_build = PlanBuilder::Scan(b, {"bk", "bv"});
+  PlanBuilder build = PlanBuilder::Scan(a, {"ak", "av"});
+  build.Filter(Lt(build.Col("av"), ConstI64(shape.filter_limit)));
+  build.MergeJoin(std::move(inner_build), {"ak"}, {"bk"}, {"bv"},
+                  JoinKind::kInner);
+  PlanBuilder probe = PlanBuilder::Scan(p, {"pk", "pv"});
+  std::function<ExprPtr(const ColScope&)> residual;
+  if (with_residual) {
+    residual = [](const ColScope& s) {
+      return Lt(Sub(s.Col("bv"), s.Col("pv")), ConstI64(1 << 20));
+    };
+  }
+  probe.Join(std::move(build), {"pk"}, {"ak"}, {"bv"}, kind, residual,
+             outer_strategy);
+  probe.CollectResult();
+  auto q = engine.CreateQuery(probe.Build());
+  std::vector<std::string> rows = SortedRows(q->Execute());
+  if (plan_out != nullptr) *plan_out = q->ExplainPlan();
+  return rows;
+}
+
+TEST(PlanFeedback, DifferentialAcrossKindsAndDecisionPoints) {
+  DeferredShape shape;
+  constexpr JoinKind kKinds[] = {JoinKind::kInner, JoinKind::kSemi,
+                                 JoinKind::kAnti, JoinKind::kLeftOuter};
+  for (bool shuffled : {false, true}) {
+    auto p_rows = AscRows(shape.probe_rows, 2);
+    if (shuffled) {
+      // Destroys the probe-side order: the adaptive choice must land on
+      // hash regardless of when it is made.
+      for (auto& r : p_rows) r.first = (r.first * 2654435761u) % 9973;
+    }
+    auto p = MakeKv(SmallTopo(), p_rows, "pk", "pv");
+    auto a = MakeKv(SmallTopo(), AscRows(shape.a_rows), "ak", "av");
+    auto b = MakeKv(SmallTopo(), AscRows(shape.b_rows), "bk", "bv");
+    for (JoinKind kind : kKinds) {
+      for (bool with_residual : {false, true}) {
+        SCOPED_TRACE("kind=" + std::to_string(static_cast<int>(kind)) +
+                     " shuffled=" + std::to_string(shuffled) +
+                     " residual=" + std::to_string(with_residual));
+        std::vector<std::vector<std::string>> results;
+        for (int variant = 0; variant < 4; ++variant) {
+          EngineOptions opts;
+          opts.morsel_size = 512;
+          opts.runtime_feedback = variant != 1;  // 1 = feedback off
+          Engine engine(SmallTopo(), opts);
+          std::optional<JoinStrategy> strategy = JoinStrategy::kAdaptive;
+          if (variant == 2) strategy = JoinStrategy::kHash;
+          if (variant == 3) strategy = JoinStrategy::kMerge;
+          results.push_back(RunShape(engine, p.get(), a.get(), b.get(),
+                                     shape, kind, with_residual, strategy,
+                                     nullptr));
+        }
+        EXPECT_EQ(results[0], results[1]) << "feedback on vs off";
+        EXPECT_EQ(results[0], results[2]) << "adaptive vs forced hash";
+        EXPECT_EQ(results[0], results[3]) << "adaptive vs forced merge";
+      }
+    }
+  }
+}
+
+// Wrong estimate, direction 1: the plan-time stats say the build side is
+// big (a_rows * 0.33 = 13.2k sorted rows vs 20k probe -> merge), but the
+// filter actually passes only 100 rows. The pipeline boundary must
+// revise the choice to hash.
+TEST(PlanFeedback, WrongEstimateFlipsMergeToHash) {
+  DeferredShape shape;  // defaults: est 13.2k build, actual 100
+  auto p = MakeKv(SmallTopo(), AscRows(shape.probe_rows, 2), "pk", "pv");
+  auto a = MakeKv(SmallTopo(), AscRows(shape.a_rows), "ak", "av");
+  auto b = MakeKv(SmallTopo(), AscRows(shape.b_rows), "bk", "bv");
+
+  std::string plan_on, plan_off;
+  std::vector<std::string> rows_on, rows_off;
+  {
+    EngineOptions opts;
+    opts.morsel_size = 512;
+    Engine engine(SmallTopo(), opts);
+    rows_on = RunShape(engine, p.get(), a.get(), b.get(), shape,
+                       JoinKind::kInner, false, JoinStrategy::kAdaptive,
+                       &plan_on);
+  }
+  {
+    EngineOptions opts;
+    opts.morsel_size = 512;
+    opts.runtime_feedback = false;
+    Engine engine(SmallTopo(), opts);
+    rows_off = RunShape(engine, p.get(), a.get(), b.get(), shape,
+                        JoinKind::kInner, false, JoinStrategy::kAdaptive,
+                        &plan_off);
+  }
+  EXPECT_EQ(rows_on, rows_off);
+
+  // Feedback on: a decision placeholder defers the choice, reads the
+  // actual build cardinality (100 rows), and revises merge -> hash.
+  EXPECT_NE(plan_on.find("adaptive-join-decide"), std::string::npos)
+      << plan_on;
+  EXPECT_NE(plan_on.find("[adaptive->hash:"), std::string::npos) << plan_on;
+  EXPECT_NE(plan_on.find("runtime-revised plan-time=merge"),
+            std::string::npos)
+      << plan_on;
+  EXPECT_NE(plan_on.find("join-insert"), std::string::npos) << plan_on;
+
+  // Feedback off: the same plan resolves eagerly from the (wrong)
+  // estimates and picks merge at lowering time.
+  EXPECT_EQ(plan_off.find("adaptive-join-decide"), std::string::npos)
+      << plan_off;
+  EXPECT_NE(plan_off.find("[adaptive->merge:"), std::string::npos)
+      << plan_off;
+  EXPECT_NE(plan_off.find("plan-time"), std::string::npos) << plan_off;
+}
+
+// Wrong estimate, direction 2: the filter passes everything, so the 0.33
+// guess *under*-estimates the build side below the merge size floor
+// (12k * 0.33 = 3.96k < 4096 -> hash), while the actual 12k sorted rows
+// against a 14k sorted probe are exactly merge's win region.
+TEST(PlanFeedback, WrongEstimateFlipsHashToMerge) {
+  DeferredShape shape;
+  shape.probe_rows = 14000;
+  shape.a_rows = 12000;
+  shape.b_rows = 12000;
+  shape.filter_limit = 1 << 30;  // passes every row
+  auto p = MakeKv(SmallTopo(), AscRows(shape.probe_rows), "pk", "pv");
+  auto a = MakeKv(SmallTopo(), AscRows(shape.a_rows), "ak", "av");
+  auto b = MakeKv(SmallTopo(), AscRows(shape.b_rows), "bk", "bv");
+
+  std::string plan_on, plan_off;
+  std::vector<std::string> rows_on, rows_off;
+  {
+    EngineOptions opts;
+    opts.morsel_size = 512;
+    Engine engine(SmallTopo(), opts);
+    rows_on = RunShape(engine, p.get(), a.get(), b.get(), shape,
+                       JoinKind::kInner, false, JoinStrategy::kAdaptive,
+                       &plan_on);
+  }
+  {
+    EngineOptions opts;
+    opts.morsel_size = 512;
+    opts.runtime_feedback = false;
+    Engine engine(SmallTopo(), opts);
+    rows_off = RunShape(engine, p.get(), a.get(), b.get(), shape,
+                        JoinKind::kInner, false, JoinStrategy::kAdaptive,
+                        &plan_off);
+  }
+  EXPECT_EQ(rows_on, rows_off);
+  EXPECT_NE(plan_on.find("[adaptive->merge:"), std::string::npos)
+      << plan_on;
+  EXPECT_NE(plan_on.find("runtime-revised plan-time=hash"),
+            std::string::npos)
+      << plan_on;
+  EXPECT_NE(plan_off.find("[adaptive->hash:"), std::string::npos)
+      << plan_off;
+}
+
+// Stat decay: a perfectly sorted probe column that crossed one hash
+// probe no longer reads 1.0. One hop (0.95) still clears the 0.90 merge
+// bar; three hops (0.857) must not. Verified through the adaptive
+// choice itself: a sorted-inputs join downstream of three stacked hash
+// joins picks hash, while the same join downstream of one still picks
+// merge.
+TEST(PlanFeedback, HashProbeDecaysSortednessStat) {
+  EngineOptions opts;
+  opts.morsel_size = 512;
+  opts.runtime_feedback = false;  // isolate the plan-time stat path
+  Engine engine(SmallTopo(), opts);
+  auto p = MakeKv(SmallTopo(), AscRows(20000), "pk", "pv");
+  auto big = MakeKv(SmallTopo(), AscRows(8000), "bk", "bv");
+
+  auto run_with_hops = [&](int hops) {
+    PlanBuilder probe = PlanBuilder::Scan(p.get(), {"pk", "pv"});
+    for (int h = 0; h < hops; ++h) {
+      // Self-joins on the sorted key: each one keeps the rows but sends
+      // them through a hash probe.
+      PlanBuilder d = PlanBuilder::Scan(p.get(), {"pk", "pv"});
+      d.Project(NE("dk", d.Col("pk")), NE("dv", d.Col("pv")));
+      probe.HashJoin(std::move(d), {"pk"}, {"dk"}, {}, JoinKind::kSemi);
+    }
+    PlanBuilder b = PlanBuilder::Scan(big.get(), {"bk", "bv"});
+    probe.Join(std::move(b), {"pk"}, {"bk"}, {"bv"}, JoinKind::kInner,
+               nullptr, JoinStrategy::kAdaptive);
+    probe.CollectResult();
+    auto q = engine.CreateQuery(probe.Build());
+    return q->ExplainPlan();
+  };
+
+  std::string one_hop = run_with_hops(1);
+  EXPECT_NE(one_hop.find("[adaptive->merge:"), std::string::npos)
+      << one_hop;
+  std::string three_hops = run_with_hops(3);
+  EXPECT_NE(three_hops.find("[adaptive->hash:"), std::string::npos)
+      << three_hops;
+}
+
+}  // namespace
+}  // namespace morsel

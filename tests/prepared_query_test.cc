@@ -1,0 +1,184 @@
+// PreparedQuery: one immutable LogicalPlan, many executions.
+//  - sequential: a plan built once lowers and executes repeatedly (the
+//    heavy-traffic shape), matching a fresh per-request query exactly;
+//  - concurrent: 8 executions of one PreparedQuery race under
+//    SetMaxWorkers churn and must all return identical results;
+//  - the same holds for a plan with a *deferred* adaptive join, where
+//    every execution runs its own runtime decision + QEP splice;
+//  - lowering never mutates the plan: expression trees are cloned, so
+//    executions are independent.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "test_util.h"
+
+namespace morsel {
+namespace {
+
+using testutil::MakeKv;
+using testutil::SmallTopo;
+using testutil::SortedRows;
+
+constexpr int64_t kFactRows = 60000;
+constexpr int64_t kKeyRange = 256;
+
+const Table* Fact() {
+  static Table* t = [] {
+    std::vector<std::pair<int64_t, int64_t>> rows;
+    for (int64_t i = 0; i < kFactRows; ++i) {
+      rows.push_back({i % kKeyRange, i});
+    }
+    return MakeKv(SmallTopo(), rows, "k", "v").release();
+  }();
+  return t;
+}
+
+const Table* Dim() {
+  static Table* t = [] {
+    std::vector<std::pair<int64_t, int64_t>> rows;
+    for (int64_t k = 0; k < kKeyRange - 30; ++k) rows.push_back({k, k * 7});
+    return MakeKv(SmallTopo(), rows, "dk", "dv").release();
+  }();
+  return t;
+}
+
+// scan(fact) |> filter |> hash-join(dim) |> group-by |> order-by
+LogicalPlan JoinAggPlan() {
+  PlanBuilder d = PlanBuilder::Scan(Dim(), {"dk", "dv"});
+  PlanBuilder p = PlanBuilder::Scan(Fact(), {"k", "v"});
+  p.Filter(Lt(p.Col("v"), ConstI64(kFactRows - 777)));
+  p.HashJoin(std::move(d), {"k"}, {"dk"}, {"dv"}, JoinKind::kInner);
+  std::vector<AggItem> aggs;
+  aggs.push_back({AggFunc::kCount, nullptr, "cnt"});
+  aggs.push_back({AggFunc::kSum, p.Col("dv"), "sum_dv"});
+  p.GroupBy({"k"}, std::move(aggs));
+  p.OrderBy({{"k", true}});
+  return p.Build();
+}
+
+// A plan whose adaptive join defers to the pipeline boundary: the build
+// side is a group-by output, so each execution runs a decision job and
+// splices the chosen join into its own QEP.
+LogicalPlan DeferredAdaptivePlan() {
+  PlanBuilder b = PlanBuilder::Scan(Fact(), {"k", "v"});
+  std::vector<AggItem> aggs;
+  aggs.push_back({AggFunc::kMax, b.Col("v"), "max_v"});
+  b.GroupBy({"k"}, std::move(aggs));
+  PlanBuilder p = PlanBuilder::Scan(Fact(), {"k", "v"});
+  p.Join(std::move(b), {"k"}, {"k"}, {"max_v"}, JoinKind::kInner, nullptr,
+         JoinStrategy::kAdaptive);
+  std::vector<AggItem> outer;
+  outer.push_back({AggFunc::kCount, nullptr, "cnt"});
+  outer.push_back({AggFunc::kSum, p.Col("max_v"), "sum_max"});
+  p.GroupBy({}, std::move(outer));
+  p.CollectResult();
+  return p.Build();
+}
+
+TEST(PreparedQuery, SequentialReExecutionMatchesFresh) {
+  EngineOptions opts;
+  opts.morsel_size = 512;
+  Engine engine(SmallTopo(), opts);
+  LogicalPlan plan = JoinAggPlan();
+  PreparedQuery pq = engine.Prepare(plan);
+  ASSERT_TRUE(pq.valid());
+
+  std::vector<std::string> fresh =
+      SortedRows(engine.CreateQuery(plan)->Execute());
+  ASSERT_FALSE(fresh.empty());
+  for (int round = 0; round < 3; ++round) {
+    EXPECT_EQ(SortedRows(pq.Execute()), fresh) << "round " << round;
+  }
+  // The prepared plan still explains like any query.
+  auto q = pq.MakeQuery();
+  EXPECT_NE(q->ExplainPlan().find("join-insert"), std::string::npos);
+}
+
+TEST(PreparedQuery, EightConcurrentExecutionsUnderChurn) {
+  EngineOptions opts;
+  opts.morsel_size = 256;  // many morsel boundaries for the churn
+  opts.num_workers = 4;
+  Engine engine(SmallTopo(), opts);
+  PreparedQuery pq = engine.Prepare(JoinAggPlan());
+  std::vector<std::string> expected = SortedRows(pq.Execute());
+
+  constexpr int kConcurrent = 8;
+  std::vector<std::unique_ptr<Query>> queries;
+  for (int i = 0; i < kConcurrent; ++i) {
+    queries.push_back(pq.MakeQuery(/*priority=*/1.0 + i % 3));
+  }
+  for (auto& q : queries) q->Start();
+
+  std::atomic<bool> stop{false};
+  std::thread churn([&] {
+    Rng rng(1234);
+    while (!stop.load(std::memory_order_relaxed)) {
+      for (auto& q : queries) {
+        q->SetMaxWorkers(static_cast<int>(rng.Uniform(1, 6)));
+      }
+      std::this_thread::yield();
+    }
+  });
+  for (auto& q : queries) q->Wait();
+  stop.store(true);
+  churn.join();
+
+  for (auto& q : queries) {
+    ASSERT_TRUE(q->context()->error().empty());
+    EXPECT_EQ(SortedRows(q->TakeResult()), expected);
+  }
+}
+
+TEST(PreparedQuery, DeferredAdaptiveJoinReExecutesIdentically) {
+  EngineOptions opts;
+  opts.morsel_size = 512;
+  opts.num_workers = 4;
+  Engine engine(SmallTopo(), opts);
+  PreparedQuery pq = engine.Prepare(DeferredAdaptivePlan());
+
+  // Reference from a feedback-off engine: the decision point must not
+  // change the rows.
+  std::vector<std::string> expected;
+  {
+    EngineOptions off = opts;
+    off.runtime_feedback = false;
+    Engine ref(SmallTopo(), off);
+    expected = SortedRows(ref.CreateQuery(pq.plan())->Execute());
+  }
+
+  // Sequential re-execution, checking the splice actually happened.
+  for (int round = 0; round < 2; ++round) {
+    auto q = pq.MakeQuery();
+    EXPECT_EQ(q->ExplainPlan().find("[adaptive->"), std::string::npos)
+        << "decision must not be taken before execution";
+    EXPECT_EQ(SortedRows(q->Execute()), expected);
+    std::string plan = q->ExplainPlan();
+    EXPECT_NE(plan.find("adaptive-join-decide"), std::string::npos) << plan;
+    EXPECT_NE(plan.find("[adaptive->"), std::string::npos) << plan;
+  }
+
+  // Concurrent executions, each with its own decision + splice.
+  constexpr int kConcurrent = 8;
+  std::vector<std::unique_ptr<Query>> queries;
+  for (int i = 0; i < kConcurrent; ++i) queries.push_back(pq.MakeQuery());
+  for (auto& q : queries) q->Start();
+  Rng rng(77);
+  for (auto& q : queries) {
+    q->SetMaxWorkers(static_cast<int>(rng.Uniform(1, 5)));
+  }
+  for (auto& q : queries) q->Wait();
+  for (auto& q : queries) {
+    ASSERT_TRUE(q->context()->error().empty());
+    EXPECT_EQ(SortedRows(q->TakeResult()), expected);
+  }
+}
+
+}  // namespace
+}  // namespace morsel

@@ -33,10 +33,9 @@ using testutil::SortedRows;
 // and sort at once.
 ResultSet RunWorkload(Engine& engine, const Table* fact,
                       const Table* dim) {
-  auto q = engine.CreateQuery();
-  PlanBuilder build = q->Scan(const_cast<Table*>(dim), {"k", "v"});
+  PlanBuilder build = PlanBuilder::Scan(dim, {"k", "v"});
   build.Project(NE("dk", build.Col("k")), NE("dv", build.Col("v")));
-  PlanBuilder pb = q->Scan(const_cast<Table*>(fact), {"k", "v"});
+  PlanBuilder pb = PlanBuilder::Scan(fact, {"k", "v"});
   pb.Filter(Lt(pb.Col("v"), ConstI64(90000)));
   pb.HashJoin(std::move(build), {"k"}, {"dk"}, {"dv"}, JoinKind::kInner);
   std::vector<AggItem> aggs;
@@ -45,7 +44,7 @@ ResultSet RunWorkload(Engine& engine, const Table* fact,
   aggs.push_back({AggFunc::kMax, pb.Col("v"), "max_v"});
   pb.GroupBy({"k"}, std::move(aggs));
   pb.OrderBy({{"k", true}});
-  return q->Execute();
+  return engine.CreateQuery(pb.Build())->Execute();
 }
 
 struct Tables {
@@ -155,6 +154,14 @@ struct RandomPlanSpec {
   bool with_residual = false;
   bool with_group_by = false;
   bool with_order_by = false;
+  // Logical-plan redesign dimensions: staged adaptive lowering on/off,
+  // prepared-plan re-execution vs a fresh query, and an extra adaptive
+  // join *after* the group-by — the shape whose build/probe cardinality
+  // only becomes known at the pipeline boundary, so runtime feedback
+  // (and the QEP splice path) actually engages.
+  bool runtime_feedback = true;
+  bool prepared = false;
+  bool second_join = false;
   // scheduling knobs for the tested engine
   int morsel_size = 512;
   int workers = 4;
@@ -188,6 +195,9 @@ RandomPlanSpec DrawSpec(uint64_t seed) {
   s.numa_aware = rng.Bernoulli(0.8);
   s.steal = rng.Bernoulli(0.8);
   s.tagging = rng.Bernoulli(0.8);
+  s.runtime_feedback = rng.Bernoulli(0.5);
+  s.prepared = rng.Bernoulli(0.5);
+  s.second_join = rng.Bernoulli(0.35);
   // No liveness constraint on steal/workers: sockets without a live
   // worker hand their morsels to remote workers (the dispatcher's
   // no-steal fallback), so any combination must complete.
@@ -208,6 +218,7 @@ std::vector<std::string> RunSpec(const RandomPlanSpec& spec,
     opts.numa_aware = spec.numa_aware;
     opts.steal = spec.steal;
     opts.tagging = spec.tagging;
+    opts.runtime_feedback = spec.runtime_feedback;
     // Half the specs exercise the engine-wide knob, half the per-join
     // override (with a deliberately contrary knob it must beat).
     opts.join_strategy =
@@ -239,12 +250,18 @@ std::vector<std::string> RunSpec(const RandomPlanSpec& spec,
     std::stable_sort(probe_rows.begin(), probe_rows.end(), by_key);
     std::stable_sort(build_rows.begin(), build_rows.end(), by_key);
   }
+  // Second-join dimension table (drawn unconditionally so the RNG
+  // stream — and thus the other tables — stays identical per seed).
+  std::vector<std::pair<int64_t, int64_t>> dim2_rows;
+  for (int64_t i = 0; i < 600; ++i) {
+    dim2_rows.push_back({data_rng.Uniform(0, spec.key_range + 20), i});
+  }
   auto probe = MakeKv(testutil::SmallTopo(), probe_rows, "pk", "pv");
   auto build = MakeKv(testutil::SmallTopo(), build_rows, "bk", "bv");
+  auto dim2 = MakeKv(testutil::SmallTopo(), dim2_rows, "b2k", "b2v");
 
-  auto q = engine.CreateQuery();
-  PlanBuilder b = q->Scan(build.get(), {"bk", "bv"});
-  PlanBuilder p = q->Scan(probe.get(), {"pk", "pv"});
+  PlanBuilder b = PlanBuilder::Scan(build.get(), {"bk", "bv"});
+  PlanBuilder p = PlanBuilder::Scan(probe.get(), {"pk", "pv"});
   std::function<ExprPtr(const ColScope&)> residual;
   if (spec.with_residual) {
     residual = [](const ColScope& s) {
@@ -266,12 +283,32 @@ std::vector<std::string> RunSpec(const RandomPlanSpec& spec,
         {AggFunc::kSum, p.Col(has_payload ? "bv" : "pv"), "s"});
     p.GroupBy({"pk"}, std::move(aggs));
   }
+  if (spec.second_join) {
+    // Joins the (possibly aggregated) output with a second dimension:
+    // downstream of a group-by this join's input cardinality is only
+    // known at the pipeline boundary, exercising the deferred-decision
+    // splice under every scheduling configuration drawn above.
+    PlanBuilder b2 = PlanBuilder::Scan(dim2.get(), {"b2k", "b2v"});
+    p.Join(std::move(b2), {"pk"}, {"b2k"}, {"b2v"}, JoinKind::kInner,
+           nullptr,
+           reference ? std::nullopt
+                     : std::optional<JoinStrategy>(JoinStrategy::kAdaptive));
+  }
   if (spec.with_order_by) {
     p.OrderBy({{"pk", true}});
   } else {
     p.CollectResult();
   }
-  return SortedRows(q->Execute());
+  LogicalPlan plan = p.Build();
+  if (!reference && spec.prepared) {
+    // Prepared-vs-fresh: one plan, lowered twice; both executions must
+    // agree with each other (and with the fresh reference run).
+    PreparedQuery pq = engine.Prepare(plan);
+    std::vector<std::string> first = SortedRows(pq.Execute());
+    EXPECT_EQ(first, SortedRows(pq.Execute()));
+    return first;
+  }
+  return SortedRows(engine.CreateQuery(plan)->Execute());
 }
 
 TEST(RandomizedPlans, MatchVolcanoReference) {

@@ -33,14 +33,14 @@ TEST(Smoke, ScanFilterAggregate) {
   Engine engine(topo, opts);
   auto table = MakeNumbers(topo, 100000);
 
-  auto q = engine.CreateQuery();
-  PlanBuilder pb = q->Scan(table.get(), {"id", "val", "grp"});
+  PlanBuilder pb = PlanBuilder::Scan(table.get(), {"id", "val", "grp"});
   pb.Filter(Lt(pb.Col("id"), ConstI64(50000)));
   std::vector<AggItem> aggs;
   aggs.push_back({AggFunc::kCount, nullptr, "cnt"});
   aggs.push_back({AggFunc::kSum, pb.Col("val"), "sum_val"});
   pb.GroupBy({"grp"}, std::move(aggs));
   pb.OrderBy({{"grp", true}});
+  auto q = engine.CreateQuery(pb.Build());
   ResultSet r = q->Execute();
 
   ASSERT_EQ(r.num_rows(), 10);
@@ -65,15 +65,15 @@ TEST(Smoke, HashJoin) {
   }
   for (int p = 0; p < dim.num_partitions(); ++p) dim.SealPartition(p);
 
-  auto q = engine.CreateQuery();
-  PlanBuilder build = q->Scan(&dim, {"g", "w"});
-  PlanBuilder pb = q->Scan(t.get(), {"id", "grp"});
+  PlanBuilder build = PlanBuilder::Scan(&dim, {"g", "w"});
+  PlanBuilder pb = PlanBuilder::Scan(t.get(), {"id", "grp"});
   pb.HashJoin(std::move(build), {"grp"}, {"g"}, {"w"}, JoinKind::kInner);
   std::vector<AggItem> aggs;
   aggs.push_back({AggFunc::kSum, pb.Col("w"), "sum_w"});
   aggs.push_back({AggFunc::kCount, nullptr, "cnt"});
   pb.GroupBy({}, std::move(aggs));
   pb.CollectResult();
+  auto q = engine.CreateQuery(pb.Build());
   ResultSet r = q->Execute();
 
   ASSERT_EQ(r.num_rows(), 1);

@@ -29,9 +29,9 @@ std::vector<std::pair<int64_t, int64_t>> RandomRows(int64_t n,
 TEST(Sort, FullSortAscending) {
   auto rows = RandomRows(50000, 1);
   auto table = MakeKv(SmallTopo(), rows);
-  auto q = SmallEngine().CreateQuery();
-  PlanBuilder pb = q->Scan(table.get(), {"k", "v"});
+  PlanBuilder pb = PlanBuilder::Scan(table.get(), {"k", "v"});
   pb.OrderBy({{"k", true}});
+  auto q = SmallEngine().CreateQuery(pb.Build());
   ResultSet r = q->Execute();
   ASSERT_EQ(r.num_rows(), 50000);
   for (int64_t i = 1; i < r.num_rows(); ++i) {
@@ -50,9 +50,9 @@ TEST(Sort, DescendingAndSecondaryKey) {
   std::vector<std::pair<int64_t, int64_t>> rows;
   for (int64_t i = 0; i < 10000; ++i) rows.push_back({i % 100, i});
   auto table = MakeKv(SmallTopo(), rows);
-  auto q = SmallEngine().CreateQuery();
-  PlanBuilder pb = q->Scan(table.get(), {"k", "v"});
+  PlanBuilder pb = PlanBuilder::Scan(table.get(), {"k", "v"});
   pb.OrderBy({{"k", false}, {"v", true}});
+  auto q = SmallEngine().CreateQuery(pb.Build());
   ResultSet r = q->Execute();
   ASSERT_EQ(r.num_rows(), 10000);
   for (int64_t i = 1; i < r.num_rows(); ++i) {
@@ -75,9 +75,9 @@ TEST(Sort, StringKeys) {
     t.StrCol(p, 0)->Append(s);
   }
   for (int p = 0; p < t.num_partitions(); ++p) t.SealPartition(p);
-  auto q = SmallEngine().CreateQuery();
-  PlanBuilder pb = q->Scan(&t, {"s"});
+  PlanBuilder pb = PlanBuilder::Scan(&t, {"s"});
   pb.OrderBy({{"s", true}});
+  auto q = SmallEngine().CreateQuery(pb.Build());
   ResultSet r = q->Execute();
   ASSERT_EQ(r.num_rows(), 20000);
   for (int64_t i = 1; i < r.num_rows(); ++i) {
@@ -87,17 +87,17 @@ TEST(Sort, StringKeys) {
 
 TEST(Sort, LimitLargerThanInput) {
   auto table = MakeKv(SmallTopo(), RandomRows(50, 2));
-  auto q = SmallEngine().CreateQuery();
-  PlanBuilder pb = q->Scan(table.get(), {"k", "v"});
+  PlanBuilder pb = PlanBuilder::Scan(table.get(), {"k", "v"});
   pb.OrderBy({{"k", true}}, 1000);
+  auto q = SmallEngine().CreateQuery(pb.Build());
   EXPECT_EQ(q->Execute().num_rows(), 50);
 }
 
 TEST(Sort, EmptyInput) {
   auto table = MakeKv(SmallTopo(), {});
-  auto q = SmallEngine().CreateQuery();
-  PlanBuilder pb = q->Scan(table.get(), {"k", "v"});
+  PlanBuilder pb = PlanBuilder::Scan(table.get(), {"k", "v"});
   pb.OrderBy({{"k", true}});
+  auto q = SmallEngine().CreateQuery(pb.Build());
   EXPECT_EQ(q->Execute().num_rows(), 0);
 }
 
@@ -121,10 +121,9 @@ TEST_P(TopKProperty, MatchesFullSortHead) {
   auto table = MakeKv(SmallTopo(), rows);
 
   auto run = [&](int64_t limit) {
-    auto q = SmallEngine().CreateQuery();
-    PlanBuilder pb = q->Scan(table.get(), {"k", "v"});
+    PlanBuilder pb = PlanBuilder::Scan(table.get(), {"k", "v"});
     pb.OrderBy({{"k", false}}, limit);  // descending exercises heap order
-    return q->Execute();
+    return SmallEngine().CreateQuery(pb.Build())->Execute();
   };
   ResultSet topk = run(k);          // k <= 8192 -> heap path
   ResultSet full = run(-1);         // full merge path
@@ -145,9 +144,9 @@ TEST(Sort, ManyRunsSmallMorsels) {
   opts.morsel_size = 64;
   Engine engine(SmallTopo(), opts);
   auto table = MakeKv(SmallTopo(), RandomRows(20000, 4));
-  auto q = engine.CreateQuery();
-  PlanBuilder pb = q->Scan(table.get(), {"k", "v"});
+  PlanBuilder pb = PlanBuilder::Scan(table.get(), {"k", "v"});
   pb.OrderBy({{"k", true}});
+  auto q = engine.CreateQuery(pb.Build());
   ResultSet r = q->Execute();
   ASSERT_EQ(r.num_rows(), 20000);
   for (int64_t i = 1; i < r.num_rows(); ++i) {
@@ -160,9 +159,9 @@ TEST(Sort, DuplicateKeysLoseNoRows) {
   std::vector<std::pair<int64_t, int64_t>> rows;
   for (int64_t i = 0; i < 30000; ++i) rows.push_back({42, i});
   auto table = MakeKv(SmallTopo(), rows);
-  auto q = SmallEngine().CreateQuery();
-  PlanBuilder pb = q->Scan(table.get(), {"k", "v"});
+  PlanBuilder pb = PlanBuilder::Scan(table.get(), {"k", "v"});
   pb.OrderBy({{"k", true}});
+  auto q = SmallEngine().CreateQuery(pb.Build());
   ResultSet r = q->Execute();
   ASSERT_EQ(r.num_rows(), 30000);
   std::vector<char> seen(30000, 0);
