@@ -13,6 +13,10 @@
 #   BENCH_micro_plan_lowering.json — logical-plan build / physical
 #                                    lowering / PreparedQuery
 #                                    re-execution loop (API-layer cost)
+#   BENCH_micro_filter.json        — selection-vector vs eager filter
+#                                    chains, zone-map morsel skipping
+#                                    (sorted vs shuffled), adaptive vs
+#                                    static conjunct order
 #
 # A binary whose benchmarks are all excluded by the filter leaves its
 # checked-in report untouched (the trajectory files must never be
@@ -54,3 +58,4 @@ run_one() {
 run_one micro_hash_table
 run_one micro_merge_join
 run_one micro_plan_lowering
+run_one micro_filter

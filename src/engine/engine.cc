@@ -43,7 +43,24 @@ PreparedQuery Engine::Prepare(LogicalPlan plan) {
 
 std::unique_ptr<Query> PreparedQuery::MakeQuery(double priority) const {
   MORSEL_CHECK_MSG(valid(), "PreparedQuery is empty");
-  return engine_->CreateQuery(plan_, priority);
+  if (!PlanIsStale(plan_)) {
+    return engine_->CreateQuery(plan_, priority);
+  }
+  // A SealPartition happened after the plan snapshot: the frozen scan
+  // statistics (and anything derived from them at lowering time) no
+  // longer describe the data.
+  MORSEL_CHECK_MSG(
+      engine_->options().prepared_stale != PreparedStalePolicy::kError,
+      "prepared plan is stale (table sealed after Prepare)");
+  LogicalPlan fresh;
+  {
+    std::lock_guard<std::mutex> lock(refresh_->mu);
+    if (!refresh_->plan.valid() || PlanIsStale(refresh_->plan)) {
+      refresh_->plan = RefreshScanStats(plan_);
+    }
+    fresh = refresh_->plan;  // cheap: shared tree
+  }
+  return engine_->CreateQuery(fresh, priority);
 }
 
 ResultSet PreparedQuery::Execute(double priority) const {

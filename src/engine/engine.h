@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <memory>
+#include <mutex>
 
 #include "core/dispatcher.h"
 #include "core/morsel_queue.h"
@@ -17,6 +18,14 @@ namespace morsel {
 
 class Query;
 class PreparedQuery;
+
+// What PreparedQuery does when the plan's build-time storage snapshot
+// (scan statistics, zone-map extraction inputs, table epochs) predates
+// a SealPartition on a scanned table.
+enum class PreparedStalePolicy {
+  kRelower,  // transparently re-snapshot the scan stats and lower that
+  kError,    // abort: the caller must re-Prepare after bulk loads
+};
 
 // Engine-wide execution options; the toggles reproduce the engine
 // variants of Figure 11 and §5.4:
@@ -36,6 +45,17 @@ struct EngineOptions {
   bool tagging = true;        // §4.2 hash-table pointer tags
   bool batched_probe = true;  // staged, prefetch-pipelined join probe;
                               // false = row-at-a-time ablation baseline
+  // Selection-vector filter execution (DESIGN.md §10): conjuncts after
+  // the first evaluate surviving rows only and column compaction is
+  // deferred to the consumer. false = the eager evaluate-everything,
+  // compact-per-filter baseline.
+  bool selection_vectors = true;
+  // Per-morsel zone-map consultation on scans: SARGable conjuncts skip
+  // morsels their min/max rule out and drop out of fully-accepted
+  // morsels. false = scan every morsel wholesale.
+  bool zone_maps = true;
+  // Staleness handling for prepared plans (Table::epoch mismatch).
+  PreparedStalePolicy prepared_stale = PreparedStalePolicy::kRelower;
   // Merge-join output partitions per worker: partitions = factor x
   // workers, so skewed partitions stay stealable instead of turning
   // into one-morsel monoliths. 1 = the coarse one-partition-per-worker
@@ -133,11 +153,20 @@ class Engine {
 // expressions) — they share the engine's workers like any other
 // concurrent queries. The PreparedQuery must not outlive the Engine or
 // the scanned Tables; it may outlive every Query it produced.
+//
+// Staleness: the plan snapshots each scanned table's epoch (and
+// statistics) at build time. When a SealPartition has happened since —
+// a bulk load changed the data under the frozen stats — MakeQuery
+// either transparently re-snapshots the scan statistics and lowers the
+// refreshed plan (PreparedStalePolicy::kRelower, cached until the next
+// epoch bump) or aborts (kError), per EngineOptions::prepared_stale.
 class PreparedQuery {
  public:
   PreparedQuery() = default;
   PreparedQuery(Engine* engine, LogicalPlan plan)
-      : engine_(engine), plan_(std::move(plan)) {}
+      : engine_(engine),
+        plan_(std::move(plan)),
+        refresh_(std::make_shared<Refresh>()) {}
 
   bool valid() const { return engine_ != nullptr && plan_.valid(); }
   const LogicalPlan& plan() const { return plan_; }
@@ -148,8 +177,16 @@ class PreparedQuery {
   ResultSet Execute(double priority = 1.0) const;
 
  private:
+  // Shared across copies of this PreparedQuery so every handle sees the
+  // refreshed snapshot at most once per epoch bump.
+  struct Refresh {
+    std::mutex mu;
+    LogicalPlan plan;  // valid() once a stale execution refreshed it
+  };
+
   Engine* engine_ = nullptr;
   LogicalPlan plan_;
+  std::shared_ptr<Refresh> refresh_;
 };
 
 }  // namespace morsel

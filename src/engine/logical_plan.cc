@@ -24,9 +24,69 @@ int CountNodes(const LogicalNode* n) {
   return 1 + CountNodes(n->input.get()) + CountNodes(n->build.get());
 }
 
+bool NodeIsStale(const LogicalNode* n) {
+  if (n == nullptr) return false;
+  if (n->kind == LogicalNode::Kind::kScan &&
+      n->table->epoch() != n->table_epoch) {
+    return true;
+  }
+  return NodeIsStale(n->input.get()) || NodeIsStale(n->build.get());
+}
+
+// Deep copy with fresh scan statistics. Every leaf is a scan, so no
+// subtree can be structurally shared with the original.
+std::shared_ptr<const LogicalNode> RefreshNode(const LogicalNode* n) {
+  auto out = std::make_shared<LogicalNode>();
+  out->kind = n->kind;
+  if (n->input != nullptr) out->input = RefreshNode(n->input.get());
+  if (n->build != nullptr) out->build = RefreshNode(n->build.get());
+  out->names = n->names;
+  out->types = n->types;
+  out->table = n->table;
+  out->column_ids = n->column_ids;
+  if (n->kind == LogicalNode::Kind::kScan) {
+    out->scan_rows = static_cast<double>(n->table->NumRows());
+    for (int col : n->column_ids) {
+      out->scan_sorted_frac.push_back(
+          n->table->ColumnSortedFraction(col));
+    }
+    out->table_epoch = n->table->epoch();
+  } else {
+    out->scan_rows = n->scan_rows;
+    out->scan_sorted_frac = n->scan_sorted_frac;
+    out->table_epoch = n->table_epoch;
+  }
+  if (n->predicate != nullptr) out->predicate = n->predicate->Clone();
+  for (const ExprPtr& e : n->exprs) out->exprs.push_back(e->Clone());
+  out->probe_keys = n->probe_keys;
+  out->build_keys = n->build_keys;
+  out->build_payload = n->build_payload;
+  out->join_kind = n->join_kind;
+  out->strategy = n->strategy;
+  out->residual = n->residual;
+  out->group_keys = n->group_keys;
+  for (const AggItem& a : n->aggs) {
+    out->aggs.push_back(AggItem{
+        a.func, a.input != nullptr ? a.input->Clone() : nullptr,
+        a.out_name});
+  }
+  out->order_keys = n->order_keys;
+  out->limit = n->limit;
+  return out;
+}
+
 }  // namespace
 
 int LogicalPlan::num_nodes() const { return CountNodes(root_.get()); }
+
+bool PlanIsStale(const LogicalPlan& plan) {
+  return plan.valid() && NodeIsStale(plan.root());
+}
+
+LogicalPlan RefreshScanStats(const LogicalPlan& plan) {
+  MORSEL_CHECK(plan.valid());
+  return LogicalPlan(RefreshNode(plan.root()));
+}
 
 PlanBuilder PlanBuilder::Scan(const Table* table,
                               std::vector<std::string> columns) {
@@ -45,6 +105,7 @@ PlanBuilder PlanBuilder::Scan(const Table* table,
   }
   node->names = std::move(columns);
   node->scan_rows = static_cast<double>(table->NumRows());
+  node->table_epoch = table->epoch();
   return PlanBuilder(std::move(node));
 }
 

@@ -116,11 +116,14 @@ struct LogicalNode {
 
   // kScan. Plan-time statistics are sampled once, when the builder
   // creates the node (storage-side cached sortedness probe); a prepared
-  // plan keeps using them across executions.
+  // plan keeps using them across executions. `table_epoch` records the
+  // table's data version at sampling time so PreparedQuery can detect
+  // plans whose snapshot predates a bulk load (PlanIsStale below).
   const Table* table = nullptr;
   std::vector<int> column_ids;
   double scan_rows = 0.0;
   std::vector<double> scan_sorted_frac;
+  uint64_t table_epoch = 0;
 
   // kFilter
   ExprPtr predicate;
@@ -175,11 +178,23 @@ class LogicalPlan {
 
  private:
   friend class PlanBuilder;
+  friend LogicalPlan RefreshScanStats(const LogicalPlan& plan);
   explicit LogicalPlan(std::shared_ptr<const LogicalNode> root)
       : root_(std::move(root)) {}
 
   std::shared_ptr<const LogicalNode> root_;
 };
+
+// True when any scan node's build-time epoch snapshot differs from the
+// live Table::epoch() — i.e. a SealPartition has happened since the
+// plan (and its frozen scan statistics) was built.
+bool PlanIsStale(const LogicalPlan& plan);
+
+// A structurally identical plan whose scan nodes carry freshly sampled
+// statistics (row counts, sortedness, epochs). Deep-copies the node
+// tree and clones every expression; the result is as shareable and
+// immutable as a freshly built plan.
+LogicalPlan RefreshScanStats(const LogicalPlan& plan);
 
 // Fluent construction of a LogicalPlan. A PlanBuilder represents the
 // open tail of a plan under construction: purely a logical-tree cursor —

@@ -81,8 +81,10 @@ std::vector<const LogicalNode*> Lowering::ChainOf(const LogicalNode* tail) {
 Lowering::OpenPipe Lowering::StartChain(const LogicalNode* scan) {
   MORSEL_CHECK(scan->kind == LogicalNode::Kind::kScan);
   OpenPipe pipe;
-  pipe.source =
+  auto source =
       std::make_unique<TableScanSource>(scan->table, scan->column_ids);
+  pipe.scan_source = source.get();
+  pipe.source = std::move(source);
   pipe.names = scan->names;
   pipe.types = scan->types;
   pipe.est_rows = scan->scan_rows;
@@ -304,6 +306,7 @@ Lowering::JoinBuildPlan Lowering::PrepareJoinBuild(const LogicalNode* n,
     bfracs.push_back(build.sorted_frac[idx]);
   }
   build.ops.push_back(std::make_unique<MapOp>(std::move(list)));
+  build.scan_source = nullptr;
   build.names = std::move(bnames);
   build.types = std::move(btypes);
   build.sorted_frac = std::move(bfracs);
@@ -317,8 +320,8 @@ Lowering::JoinBuildPlan Lowering::PrepareJoinBuild(const LogicalNode* n,
       rnames.push_back(n->build_payload[p]);
       rtypes.push_back(plan.payload_types[p]);
     }
-    plan.residual = n->residual(ColScope(std::move(rnames),
-                                         std::move(rtypes)));
+    plan.residual = FoldConstants(n->residual(
+        ColScope(std::move(rnames), std::move(rtypes))));
   }
   return plan;
 }
@@ -422,6 +425,7 @@ Lowering::OpenPipe Lowering::LowerResolvedJoin(const LogicalNode* n,
   probe.ops.push_back(std::make_unique<HashProbeOp>(
       js, std::move(probe_cols), std::move(out_fields),
       std::move(plan.residual)));
+  probe.scan_source = nullptr;  // scope widened past the scan columns
   probe.deps.push_back(insert_job);
   // Stat decay: the batched probe preserves probe order only up to
   // within-chunk reordering, so downstream sortedness claims fade with
@@ -441,11 +445,68 @@ Lowering::OpenPipe Lowering::LowerResolvedJoin(const LogicalNode* n,
 }
 
 void Lowering::LowerFilter(const LogicalNode* n, OpenPipe& pipe) {
-  pipe.ops.push_back(std::make_unique<FilterOp>(n->predicate->Clone()));
+  // Split the predicate into its top-level conjuncts so FilterOp can
+  // short-circuit, reorder and zone-map-elide them independently, and
+  // fold column-free subtrees to literals while we are at it.
+  std::vector<ExprPtr> conjuncts = SplitConjuncts(*n->predicate);
+  std::vector<ExprPtr> kept;
+  std::vector<int> slots;
+  for (ExprPtr& raw : conjuncts) {
+    ExprPtr c = FoldConstants(std::move(raw));
+    int64_t iv;
+    double dv;
+    bool is_int;
+    if (c->AsConstNumeric(&iv, &dv, &is_int) &&
+        (is_int ? iv != 0 : dv != 0)) {
+      continue;  // constant-true conjunct: nothing to evaluate
+    }
+    int slot = -1;
+    if (engine_->options().zone_maps && pipe.scan_source != nullptr) {
+      Sarg sarg;
+      if (c->ExtractSarg(&sarg)) {
+        slot = RegisterSarg(sarg, pipe);
+      }
+    }
+    slots.push_back(slot);
+    kept.push_back(std::move(c));
+  }
+  if (!kept.empty()) {
+    pipe.ops.push_back(
+        std::make_unique<FilterOp>(std::move(kept), std::move(slots)));
+  }
   // Generic selectivity guess; filtering preserves row order, so the
   // per-column sortedness statistics stand.
   pipe.est_rows *= kFilterSelectivity;
   pipe.feeder_mult *= kFilterSelectivity;
+}
+
+int Lowering::RegisterSarg(const Sarg& sarg, OpenPipe& pipe) {
+  // Match the literal representation to the storage type: integer
+  // bounds for integer columns, an exactly-representable double for
+  // double columns. Anything else stays a per-row conjunct — zone-map
+  // verdicts must never lose precision.
+  ScanSarg out;
+  out.chunk_col = sarg.col;
+  out.op = sarg.op;
+  switch (pipe.types[sarg.col]) {
+    case LogicalType::kInt32:
+    case LogicalType::kInt64:
+      if (!sarg.lit_is_int) return -1;
+      out.i64 = sarg.i64;
+      break;
+    case LogicalType::kDouble:
+      if (sarg.lit_is_int) {
+        constexpr int64_t kExactDouble = int64_t{1} << 53;
+        if (sarg.i64 > kExactDouble || sarg.i64 < -kExactDouble) return -1;
+        out.f64 = static_cast<double>(sarg.i64);
+      } else {
+        out.f64 = sarg.f64;
+      }
+      break;
+    case LogicalType::kString:
+      return -1;
+  }
+  return pipe.scan_source->AddSarg(out);
 }
 
 void Lowering::LowerProject(const LogicalNode* n, OpenPipe& pipe) {
@@ -456,9 +517,10 @@ void Lowering::LowerProject(const LogicalNode* n, OpenPipe& pipe) {
     // projection; computed columns are unknown.
     int src = e->AsColumnIndex();
     fracs.push_back(src >= 0 ? pipe.sorted_frac[src] : -1.0);
-    list.push_back(e->Clone());
+    list.push_back(FoldConstants(e->Clone()));
   }
   pipe.ops.push_back(std::make_unique<MapOp>(std::move(list)));
+  pipe.scan_source = nullptr;  // scope reshaped: no more SARG windows
   pipe.names = n->names;
   pipe.types = n->types;
   pipe.sorted_frac = std::move(fracs);
@@ -486,11 +548,12 @@ Lowering::OpenPipe Lowering::LowerGroupBy(const LogicalNode* n,
       map_exprs.push_back(ConstI32(0));  // placeholder, never read
     } else {
       spec.input_type = a.input->type();
-      map_exprs.push_back(a.input->Clone());
+      map_exprs.push_back(FoldConstants(a.input->Clone()));
     }
     specs.push_back(spec);
   }
   pipe.ops.push_back(std::make_unique<MapOp>(std::move(map_exprs)));
+  pipe.scan_source = nullptr;
 
   GroupByState* gs = query_->Own<GroupByState>(
       key_types, specs, query_->num_worker_slots());
@@ -565,10 +628,11 @@ int Lowering::ClosePipe(OpenPipe& pipe, Sink* sink,
       query_->context(), std::move(full_name), std::move(pipeline),
       engine_->queue_options(), opts.tagging,
       opts.static_division ? engine_->num_workers() : 0,
-      opts.batched_probe);
+      opts.batched_probe, opts.selection_vectors);
   int id = EmitJob(std::move(job), std::move(pipe.deps));
   pipe.deps.clear();
   pipe.ops.clear();
+  pipe.scan_source = nullptr;
   return id;
 }
 

@@ -15,6 +15,7 @@ namespace morsel {
 class Engine;
 class Query;
 class AdaptiveDecisionJob;
+class TableScanSource;
 
 // The physical lowering pass: walks an immutable LogicalPlan and
 // produces the QEP pipelines, jobs and operator state a Query executes
@@ -56,6 +57,11 @@ class Lowering {
     std::unique_ptr<Source> source;
     std::vector<std::unique_ptr<Operator>> ops;
     std::vector<int> deps;
+    // Set while the pipe is a table scan followed only by filters: the
+    // window in which filter conjuncts may register zone-map SARGs
+    // (their column indices still name scan output columns). Cleared
+    // by any operator that reshapes the scope (projection, join probe).
+    TableScanSource* scan_source = nullptr;
     // Prepended to the next closed pipeline's job name (set when a
     // non-scan source starts the pipe, so ExplainPlan names the whole
     // segment).
@@ -98,6 +104,9 @@ class Lowering {
   OpenPipe LowerSubtree(const LogicalNode* tail);
 
   void LowerFilter(const LogicalNode* n, OpenPipe& pipe);
+  // Registers a SARGable conjunct with the pipe's scan for zone-map
+  // checking; returns the mask slot or -1 (type mismatch, slot budget).
+  int RegisterSarg(const Sarg& sarg, OpenPipe& pipe);
   void LowerProject(const LogicalNode* n, OpenPipe& pipe);
   OpenPipe LowerGroupBy(const LogicalNode* n, OpenPipe pipe);
   // Resolves kAdaptive (using feedback from completed feeders, plan

@@ -246,7 +246,11 @@ void AggPhase1Sink::Consume(Chunk& chunk, ExecContext& ctx) {
   const TupleLayout& layout = state_->layout();
   const int wid = ctx.worker->worker_id;
 
-  for (int i = 0; i < chunk.n; ++i) {
+  // Reads keys and aggregate inputs through the selection vector — the
+  // per-row hash-table walk never needs dense columns.
+  const int active = chunk.ActiveRows();
+  for (int k2 = 0; k2 < active; ++k2) {
+    const int i = chunk.RowAt(k2);
     uint64_t h = HashRow(chunk, key_cols_, i);
     uint32_t slot = static_cast<uint32_t>(h) & (kLocalSlots - 1);
     uint8_t* found = nullptr;

@@ -42,14 +42,43 @@ struct Vector {
   }
 };
 
-// A batch of rows flowing through a pipeline: `n` rows over parallel
-// column vectors.
+class Arena;
+
+// A batch of rows flowing through a pipeline: `n` physical rows over
+// parallel column vectors, with an optional *selection vector*
+// (Vectorwise-style, DESIGN.md §10). When `sel` is non-null the chunk's
+// logical rows are the physical positions sel[0..sel_n) — strictly
+// ascending indices into [0, n). Vectors keep their full physical
+// length; unselected positions hold stale values that must never be
+// read. `sel` storage lives in the per-worker Arena (morsel lifetime).
+//
+// Producers that drop rows (FilterOp) narrow `sel` instead of
+// gather-compacting every column; consumers either iterate RowAt(k) for
+// k in [0, ActiveRows()) or call Compact() once when they need dense
+// data (bulk column-wise sinks, the batched join probe).
 struct Chunk {
   int n = 0;
   std::vector<Vector> cols;
+  const int32_t* sel = nullptr;
+  int sel_n = 0;
 
   int num_cols() const { return static_cast<int>(cols.size()); }
+  bool dense() const { return sel == nullptr; }
+  int ActiveRows() const { return sel != nullptr ? sel_n : n; }
+  int RowAt(int k) const { return sel != nullptr ? sel[k] : k; }
+
+  // Gathers every column through `sel` into dense arena vectors and
+  // drops the selection (n becomes sel_n). No-op on dense chunks.
+  void Compact(Arena* arena);
 };
+
+// Gathers rows `idx[0..count)` of `v` into a dense arena array.
+Vector GatherVector(const Vector& v, const int32_t* idx, int count,
+                    Arena* arena);
+
+// Gathers all columns of `in` by the index list into `out` (dense).
+void GatherChunk(const Chunk& in, const int32_t* idx, int count,
+                 Arena* arena, Chunk* out);
 
 // Bump allocator for chunk-lifetime temporaries. One per worker; reset at
 // every morsel boundary. Blocks are retained across resets so steady-state

@@ -22,6 +22,16 @@ struct ExecContext {
   bool use_tagging = true;    // §4.2 pointer-tag early filtering
   bool batched_probe = true;  // staged, prefetch-pipelined join probe
                               // (DESIGN.md §5); false = row-at-a-time
+  bool selection_vectors = true;  // lazy sel-vector filters (DESIGN.md
+                                  // §10); false = eager per-filter
+                                  // compaction
+
+  // Per-morsel zone-map verdicts (DESIGN.md §10): bit `s` set means the
+  // scan proved every row of the current morsel satisfies the conjunct
+  // registered under sarg slot `s`, so FilterOp skips it. Written by
+  // TableScanSource::RunMorsel at each morsel start; meaningful only
+  // within that morsel's pipeline ops (same job, same worker).
+  uint32_t sarg_accept_mask = 0;
 
   int socket() const { return worker->socket; }
   TrafficCounters* traffic() const { return worker->traffic; }

@@ -48,6 +48,19 @@ inline double GetF64(const Vector& v, int i) {
   }
 }
 
+// Selected-row iteration: runs `body(i)` for every selected physical
+// position of `in`.
+template <typename Fn>
+inline void ForSelected(const Chunk& in, const Fn& body) {
+  const int cnt = in.ActiveRows();
+  const int32_t* sel = in.sel;
+  if (sel == nullptr) {
+    for (int i = 0; i < cnt; ++i) body(i);
+  } else {
+    for (int k = 0; k < cnt; ++k) body(sel[k]);
+  }
+}
+
 class ColRefExpr final : public Expr {
  public:
   ColRefExpr(int index, LogicalType type) : Expr(type), index_(index) {}
@@ -74,10 +87,26 @@ class ConstExpr final : public Expr {
   ConstExpr(LogicalType type, T v) : Expr(type), v_(v) {}
 
   void Eval(const Chunk& in, ExecContext& ctx, Vector* out) const override {
+    // Fills all physical positions: cheaper than walking a selection
+    // and keeps the vector valid under any sel.
     T* data = ctx.arena.AllocArray<T>(in.n);
     std::fill(data, data + in.n, v_);
     out->type = type();
     out->data = data;
+  }
+
+  bool AsConstNumeric(int64_t* iv, double* dv,
+                      bool* is_int) const override {
+    if constexpr (std::is_same_v<T, double>) {
+      *iv = 0;
+      *dv = v_;
+      *is_int = false;
+    } else {
+      *iv = static_cast<int64_t>(v_);
+      *dv = static_cast<double>(v_);
+      *is_int = true;
+    }
+    return true;
   }
 
   ExprPtr Clone() const override {
@@ -129,7 +158,7 @@ class ArithExpr final : public Expr {
     out->type = type();
     if (type() == LogicalType::kDouble) {
       double* d = ctx.arena.AllocArray<double>(in.n);
-      for (int i = 0; i < in.n; ++i) {
+      ForSelected(in, [&](int i) {
         double a = GetF64(l, i), b = GetF64(r, i);
         switch (op_) {
           case ArithOp::kAdd:
@@ -145,11 +174,11 @@ class ArithExpr final : public Expr {
             d[i] = a / b;
             break;
         }
-      }
+      });
       out->data = d;
     } else {
       int64_t* d = ctx.arena.AllocArray<int64_t>(in.n);
-      for (int i = 0; i < in.n; ++i) {
+      ForSelected(in, [&](int i) {
         int64_t a = GetI64(l, i), b = GetI64(r, i);
         switch (op_) {
           case ArithOp::kAdd:
@@ -165,9 +194,14 @@ class ArithExpr final : public Expr {
             d[i] = b == 0 ? 0 : a / b;
             break;
         }
-      }
+      });
       out->data = d;
     }
+  }
+
+  void ForEachChild(const std::function<void(ExprPtr&)>& fn) override {
+    fn(lhs_);
+    fn(rhs_);
   }
 
   ExprPtr Clone() const override {
@@ -200,21 +234,48 @@ class CmpExpr final : public Expr {
     if (string_) {
       const std::string_view* a = l.str();
       const std::string_view* b = r.str();
-      for (int i = 0; i < in.n; ++i) d[i] = Test(a[i].compare(b[i]));
+      ForSelected(in, [&](int i) { d[i] = Test(a[i].compare(b[i])); });
     } else if (l.type == LogicalType::kDouble ||
                r.type == LogicalType::kDouble) {
-      for (int i = 0; i < in.n; ++i) {
+      ForSelected(in, [&](int i) {
         double a = GetF64(l, i), b = GetF64(r, i);
         d[i] = Test(a < b ? -1 : (a > b ? 1 : 0));
-      }
+      });
     } else {
-      for (int i = 0; i < in.n; ++i) {
+      ForSelected(in, [&](int i) {
         int64_t a = GetI64(l, i), b = GetI64(r, i);
         d[i] = Test(a < b ? -1 : (a > b ? 1 : 0));
-      }
+      });
     }
     out->type = LogicalType::kInt32;
     out->data = d;
+  }
+
+  bool ExtractSarg(Sarg* out) const override {
+    if (string_ || op_ == CmpOp::kNe) return false;
+    int64_t iv;
+    double dv;
+    bool ii;
+    const int lc = lhs_->AsColumnIndex();
+    const int rc = rhs_->AsColumnIndex();
+    if (lc >= 0 && rhs_->AsConstNumeric(&iv, &dv, &ii)) {
+      out->op = op_;
+      out->col = lc;
+    } else if (rc >= 0 && lhs_->AsConstNumeric(&iv, &dv, &ii)) {
+      out->op = Flip(op_);
+      out->col = rc;
+    } else {
+      return false;
+    }
+    out->lit_is_int = ii;
+    out->i64 = iv;
+    out->f64 = dv;
+    return true;
+  }
+
+  void ForEachChild(const std::function<void(ExprPtr&)>& fn) override {
+    fn(lhs_);
+    fn(rhs_);
   }
 
   ExprPtr Clone() const override {
@@ -222,6 +283,21 @@ class CmpExpr final : public Expr {
   }
 
  private:
+  static CmpOp Flip(CmpOp op) {
+    switch (op) {
+      case CmpOp::kLt:
+        return CmpOp::kGt;
+      case CmpOp::kLe:
+        return CmpOp::kGe;
+      case CmpOp::kGt:
+        return CmpOp::kLt;
+      case CmpOp::kGe:
+        return CmpOp::kLe;
+      default:
+        return op;  // kEq / kNe are symmetric
+    }
+  }
+
   int32_t Test(int c) const {
     switch (op_) {
       case CmpOp::kEq:
@@ -258,22 +334,53 @@ class LogicExpr final : public Expr {
   }
 
   void Eval(const Chunk& in, ExecContext& ctx, Vector* out) const override {
+    // Short-circuit evaluation through nested selections: operand k+1
+    // sees only the rows operand k left undecided (still true for AND,
+    // still false for OR).
     int32_t* d = ctx.arena.AllocArray<int32_t>(in.n);
     Vector v;
     operands_[0]->Eval(in, ctx, &v);
     const int32_t* first = v.i32();
-    for (int i = 0; i < in.n; ++i) d[i] = first[i] != 0;
-    for (size_t k = 1; k < operands_.size(); ++k) {
-      operands_[k]->Eval(in, ctx, &v);
+    const int cnt = in.ActiveRows();
+    int32_t* live = ctx.arena.AllocArray<int32_t>(cnt);
+    int nlive = 0;
+    ForSelected(in, [&](int i) {
+      const bool t = first[i] != 0;
+      d[i] = t;
+      if (t == is_and_) live[nlive++] = i;
+    });
+    for (size_t k = 1; k < operands_.size() && nlive > 0; ++k) {
+      Chunk view = in;
+      view.sel = live;
+      view.sel_n = nlive;
+      operands_[k]->Eval(view, ctx, &v);
       const int32_t* o = v.i32();
-      if (is_and_) {
-        for (int i = 0; i < in.n; ++i) d[i] = d[i] & (o[i] != 0);
-      } else {
-        for (int i = 0; i < in.n; ++i) d[i] = d[i] | (o[i] != 0);
+      int m = 0;
+      for (int j = 0; j < nlive; ++j) {
+        const int32_t i = live[j];
+        const bool t = o[i] != 0;
+        if (t == is_and_) {
+          live[m++] = i;  // still undecided
+        } else {
+          d[i] = !is_and_;  // AND: a false settles 0; OR: a true settles 1
+        }
       }
+      nlive = m;
     }
     out->type = LogicalType::kInt32;
     out->data = d;
+  }
+
+  void CollectConjuncts(std::vector<ExprPtr>* out) const override {
+    if (!is_and_) {
+      Expr::CollectConjuncts(out);
+      return;
+    }
+    for (const ExprPtr& e : operands_) e->CollectConjuncts(out);
+  }
+
+  void ForEachChild(const std::function<void(ExprPtr&)>& fn) override {
+    for (ExprPtr& e : operands_) fn(e);
   }
 
   ExprPtr Clone() const override {
@@ -300,9 +407,13 @@ class NotExpr final : public Expr {
     operand_->Eval(in, ctx, &v);
     const int32_t* o = v.i32();
     int32_t* d = ctx.arena.AllocArray<int32_t>(in.n);
-    for (int i = 0; i < in.n; ++i) d[i] = o[i] == 0;
+    ForSelected(in, [&](int i) { d[i] = o[i] == 0; });
     out->type = LogicalType::kInt32;
     out->data = d;
+  }
+
+  void ForEachChild(const std::function<void(ExprPtr&)>& fn) override {
+    fn(operand_);
   }
 
   ExprPtr Clone() const override {
@@ -328,11 +439,14 @@ class LikeExpr final : public Expr {
     input_->Eval(in, ctx, &v);
     const std::string_view* s = v.str();
     int32_t* d = ctx.arena.AllocArray<int32_t>(in.n);
-    for (int i = 0; i < in.n; ++i) {
-      d[i] = LikeMatch(s[i], pattern_) != negate_;
-    }
+    ForSelected(in,
+                [&](int i) { d[i] = LikeMatch(s[i], pattern_) != negate_; });
     out->type = LogicalType::kInt32;
     out->data = d;
+  }
+
+  void ForEachChild(const std::function<void(ExprPtr&)>& fn) override {
+    fn(input_);
   }
 
   ExprPtr Clone() const override {
@@ -345,14 +459,24 @@ class LikeExpr final : public Expr {
   bool negate_;
 };
 
+// Heterogeneous lookup so IN probes never materialize a std::string per
+// row.
+struct TransparentStrHash {
+  using is_transparent = void;
+  size_t operator()(std::string_view s) const {
+    return std::hash<std::string_view>{}(s);
+  }
+};
+using StrLookup =
+    std::unordered_set<std::string, TransparentStrHash, std::equal_to<>>;
+
 class InStrExpr final : public Expr {
  public:
-  InStrExpr(ExprPtr input, std::vector<std::string> set)
+  InStrExpr(ExprPtr input, std::shared_ptr<const StrLookup> lookup)
       : Expr(LogicalType::kInt32),
         input_(std::move(input)),
-        set_(std::move(set)) {
+        lookup_(std::move(lookup)) {
     MORSEL_CHECK(input_->type() == LogicalType::kString);
-    for (const std::string& s : set_) lookup_.insert(s);
   }
 
   void Eval(const Chunk& in, ExecContext& ctx, Vector* out) const override {
@@ -360,29 +484,35 @@ class InStrExpr final : public Expr {
     input_->Eval(in, ctx, &v);
     const std::string_view* s = v.str();
     int32_t* d = ctx.arena.AllocArray<int32_t>(in.n);
-    for (int i = 0; i < in.n; ++i) {
-      d[i] = lookup_.count(std::string(s[i])) > 0;
-    }
+    ForSelected(in,
+                [&](int i) { d[i] = lookup_->find(s[i]) != lookup_->end(); });
     out->type = LogicalType::kInt32;
     out->data = d;
   }
 
+  void ForEachChild(const std::function<void(ExprPtr&)>& fn) override {
+    fn(input_);
+  }
+
   ExprPtr Clone() const override {
-    return std::make_unique<InStrExpr>(input_->Clone(), set_);
+    // The lookup set is immutable and shared: clones (one per lowering,
+    // i.e. per execution of a prepared plan) reuse the set built when
+    // the plan was constructed.
+    return std::make_unique<InStrExpr>(input_->Clone(), lookup_);
   }
 
  private:
   ExprPtr input_;
-  std::vector<std::string> set_;
-  std::unordered_set<std::string> lookup_;
+  std::shared_ptr<const StrLookup> lookup_;
 };
 
 class InI64Expr final : public Expr {
  public:
-  InI64Expr(ExprPtr input, std::vector<int64_t> set)
+  InI64Expr(ExprPtr input,
+            std::shared_ptr<const std::unordered_set<int64_t>> lookup)
       : Expr(LogicalType::kInt32),
         input_(std::move(input)),
-        set_(set.begin(), set.end()) {
+        lookup_(std::move(lookup)) {
     MORSEL_CHECK(IsNumeric(input_->type()));
   }
 
@@ -390,19 +520,22 @@ class InI64Expr final : public Expr {
     Vector v;
     input_->Eval(in, ctx, &v);
     int32_t* d = ctx.arena.AllocArray<int32_t>(in.n);
-    for (int i = 0; i < in.n; ++i) d[i] = set_.count(GetI64(v, i)) > 0;
+    ForSelected(in, [&](int i) { d[i] = lookup_->count(GetI64(v, i)) > 0; });
     out->type = LogicalType::kInt32;
     out->data = d;
   }
 
+  void ForEachChild(const std::function<void(ExprPtr&)>& fn) override {
+    fn(input_);
+  }
+
   ExprPtr Clone() const override {
-    std::vector<int64_t> set(set_.begin(), set_.end());
-    return std::make_unique<InI64Expr>(input_->Clone(), std::move(set));
+    return std::make_unique<InI64Expr>(input_->Clone(), lookup_);
   }
 
  private:
   ExprPtr input_;
-  std::unordered_set<int64_t> set_;
+  std::shared_ptr<const std::unordered_set<int64_t>> lookup_;
 };
 
 class SubstrExpr final : public Expr {
@@ -421,16 +554,20 @@ class SubstrExpr final : public Expr {
     input_->Eval(in, ctx, &v);
     const std::string_view* s = v.str();
     auto* d = ctx.arena.AllocArray<std::string_view>(in.n);
-    for (int i = 0; i < in.n; ++i) {
+    ForSelected(in, [&](int i) {
       size_t b = static_cast<size_t>(start_ - 1);
       if (b >= s[i].size()) {
         d[i] = std::string_view();
       } else {
         d[i] = s[i].substr(b, static_cast<size_t>(len_));
       }
-    }
+    });
     out->type = LogicalType::kString;
     out->data = d;
+  }
+
+  void ForEachChild(const std::function<void(ExprPtr&)>& fn) override {
+    fn(input_);
   }
 
   ExprPtr Clone() const override {
@@ -458,42 +595,44 @@ class CaseWhenExpr final : public Expr {
     cond_->Eval(in, ctx, &c);
     then_->Eval(in, ctx, &t);
     else_->Eval(in, ctx, &e);
-    const int32_t* sel = c.i32();
+    const int32_t* cond = c.i32();
     out->type = type();
     switch (type()) {
       case LogicalType::kInt32: {
         int32_t* d = ctx.arena.AllocArray<int32_t>(in.n);
-        for (int i = 0; i < in.n; ++i) {
-          d[i] = sel[i] ? t.i32()[i] : e.i32()[i];
-        }
+        ForSelected(in,
+                    [&](int i) { d[i] = cond[i] ? t.i32()[i] : e.i32()[i]; });
         out->data = d;
         break;
       }
       case LogicalType::kInt64: {
         int64_t* d = ctx.arena.AllocArray<int64_t>(in.n);
-        for (int i = 0; i < in.n; ++i) {
-          d[i] = sel[i] ? t.i64()[i] : e.i64()[i];
-        }
+        ForSelected(in,
+                    [&](int i) { d[i] = cond[i] ? t.i64()[i] : e.i64()[i]; });
         out->data = d;
         break;
       }
       case LogicalType::kDouble: {
         double* d = ctx.arena.AllocArray<double>(in.n);
-        for (int i = 0; i < in.n; ++i) {
-          d[i] = sel[i] ? t.f64()[i] : e.f64()[i];
-        }
+        ForSelected(in,
+                    [&](int i) { d[i] = cond[i] ? t.f64()[i] : e.f64()[i]; });
         out->data = d;
         break;
       }
       case LogicalType::kString: {
         auto* d = ctx.arena.AllocArray<std::string_view>(in.n);
-        for (int i = 0; i < in.n; ++i) {
-          d[i] = sel[i] ? t.str()[i] : e.str()[i];
-        }
+        ForSelected(in,
+                    [&](int i) { d[i] = cond[i] ? t.str()[i] : e.str()[i]; });
         out->data = d;
         break;
       }
     }
+  }
+
+  void ForEachChild(const std::function<void(ExprPtr&)>& fn) override {
+    fn(cond_);
+    fn(then_);
+    fn(else_);
   }
 
   ExprPtr Clone() const override {
@@ -517,9 +656,13 @@ class ExtractYearExpr final : public Expr {
     input_->Eval(in, ctx, &v);
     const int32_t* s = v.i32();
     int32_t* d = ctx.arena.AllocArray<int32_t>(in.n);
-    for (int i = 0; i < in.n; ++i) d[i] = DateYear(s[i]);
+    ForSelected(in, [&](int i) { d[i] = DateYear(s[i]); });
     out->type = LogicalType::kInt32;
     out->data = d;
+  }
+
+  void ForEachChild(const std::function<void(ExprPtr&)>& fn) override {
+    fn(input_);
   }
 
   ExprPtr Clone() const override {
@@ -545,9 +688,13 @@ class ToF64Expr final : public Expr {
       return;
     }
     double* d = ctx.arena.AllocArray<double>(in.n);
-    for (int i = 0; i < in.n; ++i) d[i] = GetF64(v, i);
+    ForSelected(in, [&](int i) { d[i] = GetF64(v, i); });
     out->type = LogicalType::kDouble;
     out->data = d;
+  }
+
+  void ForEachChild(const std::function<void(ExprPtr&)>& fn) override {
+    fn(input_);
   }
 
   ExprPtr Clone() const override {
@@ -558,7 +705,51 @@ class ToF64Expr final : public Expr {
   ExprPtr input_;
 };
 
+bool HasColumnRefs(Expr* e) {
+  if (e->AsColumnIndex() >= 0) return true;
+  bool found = false;
+  e->ForEachChild([&](ExprPtr& c) {
+    if (!found && HasColumnRefs(c.get())) found = true;
+  });
+  return found;
+}
+
 }  // namespace
+
+void Expr::CollectConjuncts(std::vector<ExprPtr>* out) const {
+  out->push_back(Clone());
+}
+
+std::vector<ExprPtr> SplitConjuncts(const Expr& predicate) {
+  std::vector<ExprPtr> out;
+  predicate.CollectConjuncts(&out);
+  return out;
+}
+
+ExprPtr FoldConstants(ExprPtr e) {
+  if (!HasColumnRefs(e.get())) {
+    // Column-free subtree: evaluate it once on a single-row dummy chunk
+    // (expression evaluation only touches ctx.arena) and keep the
+    // literal.
+    ExecContext ctx;
+    Chunk dummy;
+    dummy.n = 1;
+    Vector v;
+    e->Eval(dummy, ctx, &v);
+    switch (e->type()) {
+      case LogicalType::kInt32:
+        return ConstI32(v.i32()[0]);
+      case LogicalType::kInt64:
+        return ConstI64(v.i64()[0]);
+      case LogicalType::kDouble:
+        return ConstF64(v.f64()[0]);
+      case LogicalType::kString:
+        return ConstStr(std::string(v.str()[0]));
+    }
+  }
+  e->ForEachChild([](ExprPtr& c) { c = FoldConstants(std::move(c)); });
+  return e;
+}
 
 ExprPtr ColRef(int index, LogicalType type) {
   return std::make_unique<ColRefExpr>(index, type);
@@ -613,10 +804,17 @@ ExprPtr NotLike(ExprPtr input, std::string pattern) {
                                     true);
 }
 ExprPtr InStr(ExprPtr input, std::vector<std::string> set) {
-  return std::make_unique<InStrExpr>(std::move(input), std::move(set));
+  // The lookup table is built once here (plan construction) and shared
+  // by every clone, so repeated lowerings of a prepared plan never
+  // rebuild it.
+  auto lookup = std::make_shared<StrLookup>();
+  for (std::string& s : set) lookup->insert(std::move(s));
+  return std::make_unique<InStrExpr>(std::move(input), std::move(lookup));
 }
 ExprPtr InI64(ExprPtr input, std::vector<int64_t> set) {
-  return std::make_unique<InI64Expr>(std::move(input), std::move(set));
+  auto lookup = std::make_shared<std::unordered_set<int64_t>>(set.begin(),
+                                                              set.end());
+  return std::make_unique<InI64Expr>(std::move(input), std::move(lookup));
 }
 ExprPtr Substr(ExprPtr input, int start, int len) {
   return std::make_unique<SubstrExpr>(std::move(input), start, len);

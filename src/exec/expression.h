@@ -1,6 +1,7 @@
 #ifndef MORSELDB_EXEC_EXPRESSION_H_
 #define MORSELDB_EXEC_EXPRESSION_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -12,6 +13,24 @@
 #include "storage/types.h"
 
 namespace morsel {
+
+enum class CmpOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+// A SARGable conjunct: `column <op> literal` with the column on the
+// left (extraction normalizes the orientation). The literal carries
+// both representations; `lit_is_int` says which is exact. Consumed by
+// the lowering pass to register zone-map checks with the scan
+// (storage/column.h, exec/scan.h).
+struct Sarg {
+  CmpOp op = CmpOp::kEq;
+  int col = -1;
+  bool lit_is_int = false;
+  int64_t i64 = 0;
+  double f64 = 0.0;
+};
+
+class Expr;
+using ExprPtr = std::unique_ptr<Expr>;
 
 // Vectorized expression tree evaluated over chunks. Types are resolved
 // and checked at construction time; evaluation is a tight loop per node
@@ -31,9 +50,13 @@ class Expr {
 
   LogicalType type() const { return type_; }
 
-  // Evaluates rows [0, in.n); `out` receives a vector of exactly in.n
-  // values of type(). Output storage comes from ctx.arena unless the
-  // node can forward an existing vector (column references do).
+  // Evaluates the chunk's selected rows; `out` receives a vector of
+  // in.n physical positions of type(), with values defined at the
+  // selected positions only (all of [0, in.n) when the chunk is dense).
+  // Output storage comes from ctx.arena unless the node can forward an
+  // existing vector (column references do). AND/OR nodes additionally
+  // short-circuit: operands after the first see only the rows the
+  // earlier operands left undecided.
   virtual void Eval(const Chunk& in, ExecContext& ctx,
                     Vector* out) const = 0;
 
@@ -41,6 +64,35 @@ class Expr {
   // otherwise. Lets the planner propagate per-column statistics
   // (sortedness, for the adaptive join choice) through projections.
   virtual int AsColumnIndex() const { return -1; }
+
+  // When this node is a numeric literal, yields both representations
+  // (`*is_int` false means only *dv is exact). Feeds constant-true
+  // conjunct elimination and SARG extraction in the lowering pass.
+  virtual bool AsConstNumeric(int64_t* iv, double* dv,
+                              bool* is_int) const {
+    (void)iv;
+    (void)dv;
+    (void)is_int;
+    return false;
+  }
+
+  // When this node is `column <cmp> numeric literal` (either
+  // orientation), fills `*out` with the normalized form. kNe and string
+  // comparisons are not SARGable.
+  virtual bool ExtractSarg(Sarg* out) const {
+    (void)out;
+    return false;
+  }
+
+  // Yields mutable references to this node's child expressions;
+  // constant folding rewrites them in place.
+  virtual void ForEachChild(const std::function<void(ExprPtr&)>& fn) {
+    (void)fn;
+  }
+
+  // Appends this predicate's top-level AND conjuncts (clones) to `out`;
+  // non-AND nodes append themselves whole.
+  virtual void CollectConjuncts(std::vector<ExprPtr>* out) const;
 
   // Deep copy. Expression trees are immutable after construction, so a
   // LogicalPlan can hold one tree and hand every physical lowering its
@@ -52,7 +104,17 @@ class Expr {
   LogicalType type_;
 };
 
-using ExprPtr = std::unique_ptr<Expr>;
+// Clones of the predicate's top-level AND conjuncts (the predicate
+// itself when it is not a conjunction). The lowering pass splits filter
+// predicates with this so each conjunct filters — and reorders —
+// independently.
+std::vector<ExprPtr> SplitConjuncts(const Expr& predicate);
+
+// Plan-time constant folding: replaces every subtree without column
+// references by the literal it evaluates to (and recurses into mixed
+// subtrees). Arithmetic on literals, IN over a constant input, LIKE of
+// a constant string etc. then cost nothing per chunk.
+ExprPtr FoldConstants(ExprPtr e);
 
 // --- leaf nodes -----------------------------------------------------------
 
@@ -85,7 +147,6 @@ inline ExprPtr Div(ExprPtr a, ExprPtr b) {
 
 // --- comparisons (numeric with promotion, or string/string) ---------------
 
-enum class CmpOp { kEq, kNe, kLt, kLe, kGt, kGe };
 ExprPtr Cmp(CmpOp op, ExprPtr lhs, ExprPtr rhs);
 inline ExprPtr Eq(ExprPtr a, ExprPtr b) {
   return Cmp(CmpOp::kEq, std::move(a), std::move(b));

@@ -95,7 +95,11 @@ void HashBuildSink::Consume(Chunk& chunk, ExecContext& ctx) {
   const TupleLayout& layout = state_->layout();
   int wid = ctx.worker->worker_id;
   RowBuffer* buf = state_->buffer(wid, ctx.socket());
-  for (int i = 0; i < chunk.n; ++i) {
+  // Reads through the selection vector: materializing row-wise anyway,
+  // a gather-compaction of every column first would be pure overhead.
+  const int active = chunk.ActiveRows();
+  for (int k = 0; k < active; ++k) {
+    const int i = chunk.RowAt(k);
     uint8_t* row = buf->AppendRow();
     TupleLayout::SetNext(row, nullptr);
     TupleLayout::SetHash(row, HashRow(chunk, key_cols_, i));
@@ -114,7 +118,7 @@ void HashBuildSink::Consume(Chunk& chunk, ExecContext& ctx) {
   }
   // Materialization writes NUMA-locally (§2, Figure 3).
   ctx.traffic()->OnWrite(ctx.socket(), ctx.socket(),
-                         uint64_t{static_cast<uint64_t>(chunk.n)} *
+                         uint64_t{static_cast<uint64_t>(active)} *
                              layout.row_size());
 }
 
@@ -414,6 +418,10 @@ void HashProbeOp::ProbeBatched(const Chunk& chunk, const uint64_t* hashes,
 
 void HashProbeOp::Process(Chunk& chunk, ExecContext& ctx,
                           Pipeline& pipeline, int self_index) {
+  // The staged probe pipeline indexes rows physically (prefetch sweeps,
+  // candidate row ids, match flags): request one dense gather up front
+  // instead of threading the selection through every stage.
+  chunk.Compact(&ctx.arena);
   const uint64_t* hashes = HashRows(chunk, probe_key_cols_, ctx);
   JoinKind kind = state_->kind();
   const bool track_matches = kind != JoinKind::kInner &&

@@ -1,54 +1,38 @@
 #include "exec/operators.h"
 
+#include <algorithm>
 #include <bit>
+#include <chrono>
 
 namespace morsel {
 
-Vector GatherVector(const Vector& v, const int32_t* idx, int count,
-                    Arena* arena) {
-  Vector out;
-  out.type = v.type;
-  switch (v.type) {
-    case LogicalType::kInt32: {
-      int32_t* d = arena->AllocArray<int32_t>(count);
-      const int32_t* s = v.i32();
-      for (int i = 0; i < count; ++i) d[i] = s[idx[i]];
-      out.data = d;
-      break;
-    }
-    case LogicalType::kInt64: {
-      int64_t* d = arena->AllocArray<int64_t>(count);
-      const int64_t* s = v.i64();
-      for (int i = 0; i < count; ++i) d[i] = s[idx[i]];
-      out.data = d;
-      break;
-    }
-    case LogicalType::kDouble: {
-      double* d = arena->AllocArray<double>(count);
-      const double* s = v.f64();
-      for (int i = 0; i < count; ++i) d[i] = s[idx[i]];
-      out.data = d;
-      break;
-    }
-    case LogicalType::kString: {
-      auto* d = arena->AllocArray<std::string_view>(count);
-      const std::string_view* s = v.str();
-      for (int i = 0; i < count; ++i) d[i] = s[idx[i]];
-      out.data = d;
-      break;
-    }
-  }
-  return out;
+namespace {
+
+inline uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
 }
 
-void GatherChunk(const Chunk& in, const int32_t* idx, int count,
-                 Arena* arena, Chunk* out) {
-  out->n = count;
-  out->cols.resize(in.cols.size());
-  for (size_t c = 0; c < in.cols.size(); ++c) {
-    out->cols[c] = GatherVector(in.cols[c], idx, count, arena);
+inline uint64_t IdentityOrder(size_t count) {
+  // The packed word holds at most kMaxAdaptive (8) conjunct indices;
+  // larger conjunctions never read the order (adaptive_ is false).
+  if (count > FilterOp::kMaxAdaptive) count = FilterOp::kMaxAdaptive;
+  uint64_t order = 0;
+  for (size_t r = 0; r < count; ++r) {
+    order |= static_cast<uint64_t>(r) << (8 * r);
   }
+  return order;
 }
+
+std::vector<ExprPtr> SingleConjunct(ExprPtr predicate) {
+  std::vector<ExprPtr> v;
+  v.push_back(std::move(predicate));
+  return v;
+}
+
+}  // namespace
 
 uint64_t HashRow(const Chunk& chunk, const std::vector<int>& key_cols,
                  int i) {
@@ -80,6 +64,7 @@ uint64_t HashRow(const Chunk& chunk, const std::vector<int>& key_cols,
 const uint64_t* HashRows(const Chunk& chunk,
                          const std::vector<int>& key_cols,
                          ExecContext& ctx) {
+  MORSEL_DCHECK(chunk.dense());
   uint64_t* hashes = ctx.arena.AllocArray<uint64_t>(chunk.n);
   for (int i = 0; i < chunk.n; ++i) {
     hashes[i] = HashRow(chunk, key_cols, i);
@@ -87,17 +72,139 @@ const uint64_t* HashRows(const Chunk& chunk,
   return hashes;
 }
 
-FilterOp::FilterOp(ExprPtr predicate) : predicate_(std::move(predicate)) {
-  MORSEL_CHECK(predicate_->type() == LogicalType::kInt32);
+FilterOp::FilterOp(ExprPtr predicate)
+    : FilterOp(SingleConjunct(std::move(predicate)), {-1}) {}
+
+FilterOp::FilterOp(std::vector<ExprPtr> conjuncts,
+                   std::vector<int> sarg_slots)
+    : conjuncts_(std::move(conjuncts)), sarg_slots_(std::move(sarg_slots)) {
+  MORSEL_CHECK(!conjuncts_.empty());
+  MORSEL_CHECK(sarg_slots_.size() == conjuncts_.size());
+  for (const ExprPtr& c : conjuncts_) {
+    MORSEL_CHECK(c->type() == LogicalType::kInt32);
+  }
+  adaptive_ =
+      conjuncts_.size() >= 2 && conjuncts_.size() <= kMaxAdaptive;
+  order_.store(IdentityOrder(conjuncts_.size()),
+               std::memory_order_relaxed);
+  stats_ = std::make_unique<ConjunctStats[]>(conjuncts_.size());
 }
 
-void FilterOp::Process(Chunk& chunk, ExecContext& ctx, Pipeline& pipeline,
-                       int self_index) {
-  Vector flags;
-  predicate_->Eval(chunk, ctx, &flags);
-  const int32_t* f = flags.i32();
+void FilterOp::Rerank() {
+  // Rank conjuncts by cost per *dropped* row: cheap, selective
+  // conjuncts first. Pure heuristic — any order is correct — so all
+  // counter reads are relaxed and a racing re-rank is harmless.
+  const size_t k = conjuncts_.size();
+  double score[kMaxAdaptive];
+  for (size_t i = 0; i < k; ++i) {
+    const uint64_t in = stats_[i].rows_in.load(std::memory_order_relaxed);
+    if (in < kMinRowsForRerank) return;  // not enough signal yet
+    const uint64_t out =
+        stats_[i].rows_out.load(std::memory_order_relaxed);
+    const uint64_t ns = stats_[i].nanos.load(std::memory_order_relaxed);
+    const double cost = static_cast<double>(ns) / static_cast<double>(in);
+    const double pass =
+        static_cast<double>(out) / static_cast<double>(in);
+    score[i] = cost / std::max(0.05, 1.0 - pass);
+  }
+  size_t idx[kMaxAdaptive];
+  for (size_t i = 0; i < k; ++i) idx[i] = i;
+  std::stable_sort(idx, idx + k,
+                   [&](size_t a, size_t b) { return score[a] < score[b]; });
+  uint64_t order = 0;
+  for (size_t r = 0; r < k; ++r) {
+    order |= static_cast<uint64_t>(idx[r]) << (8 * r);
+  }
+  order_.store(order, std::memory_order_relaxed);
+}
+
+void FilterOp::ProcessSelection(Chunk& chunk, ExecContext& ctx,
+                                Pipeline& pipeline, int self_index) {
+  const uint64_t order = order_.load(std::memory_order_relaxed);
+  // Cost x selectivity observations only matter when there is an order
+  // to learn, and 1-in-8 chunks is plenty of signal: single-conjunct
+  // filters and the 7 unobserved chunks skip the clock and the shared
+  // counter traffic entirely.
+  const uint64_t ticket =
+      adaptive_ ? chunks_.fetch_add(1, std::memory_order_relaxed) : 0;
+  const bool observe = adaptive_ && (ticket & 7) == 0;
+  const int32_t* sel = chunk.sel;
+  int active = chunk.ActiveRows();
+  for (size_t r = 0; r < conjuncts_.size() && active > 0; ++r) {
+    const size_t c =
+        adaptive_ ? static_cast<size_t>((order >> (8 * r)) & 0xff) : r;
+    const int slot = sarg_slots_[c];
+    if (slot >= 0 && ((ctx.sarg_accept_mask >> slot) & 1) != 0) {
+      continue;  // the scan's zone check proved this conjunct true
+    }
+    const uint64_t t0 = observe ? NowNanos() : 0;
+    Chunk view = chunk;
+    view.sel = sel;
+    view.sel_n = sel != nullptr ? active : 0;
+    Vector flags;
+    conjuncts_[c]->Eval(view, ctx, &flags);
+    const int32_t* f = flags.i32();
+    int32_t* next = ctx.arena.AllocArray<int32_t>(active);
+    int passed = 0;
+    if (sel != nullptr) {
+      for (int k = 0; k < active; ++k) {
+        const int32_t row = sel[k];
+        if (f[row] != 0) next[passed++] = row;
+      }
+    } else {
+      for (int k = 0; k < active; ++k) {
+        if (f[k] != 0) next[passed++] = k;
+      }
+    }
+    if (observe) {
+      stats_[c].rows_in.fetch_add(static_cast<uint64_t>(active),
+                                  std::memory_order_relaxed);
+      stats_[c].rows_out.fetch_add(static_cast<uint64_t>(passed),
+                                   std::memory_order_relaxed);
+      stats_[c].nanos.fetch_add(NowNanos() - t0,
+                                std::memory_order_relaxed);
+    }
+    if (passed != active) {
+      sel = next;
+      active = passed;
+    }
+    // All rows passed: keep the current selection (a dense chunk stays
+    // dense rather than picking up an identity selection).
+  }
+  if (adaptive_ && ticket % kRerankInterval == kRerankInterval - 1) {
+    Rerank();
+  }
+  chunk.sel = sel;
+  chunk.sel_n = sel != nullptr ? active : 0;
+  pipeline.Push(chunk, self_index + 1, ctx);
+}
+
+void FilterOp::ProcessEager(Chunk& chunk, ExecContext& ctx,
+                            Pipeline& pipeline, int self_index) {
+  // Seed behavior: every conjunct evaluates over all rows, then one
+  // gather-compaction of every column. Chunks are always dense in this
+  // mode (FilterOp is the only producer of selections).
+  MORSEL_DCHECK(chunk.dense());
+  int32_t* merged = nullptr;
+  for (size_t c = 0; c < conjuncts_.size(); ++c) {
+    const int slot = sarg_slots_[c];
+    if (slot >= 0 && ((ctx.sarg_accept_mask >> slot) & 1) != 0) continue;
+    Vector flags;
+    conjuncts_[c]->Eval(chunk, ctx, &flags);
+    const int32_t* f = flags.i32();
+    if (merged == nullptr) {
+      merged = ctx.arena.AllocArray<int32_t>(chunk.n);
+      for (int i = 0; i < chunk.n; ++i) merged[i] = f[i] != 0;
+    } else {
+      for (int i = 0; i < chunk.n; ++i) merged[i] &= f[i] != 0;
+    }
+  }
+  if (merged == nullptr) {  // every conjunct zone-accepted
+    pipeline.Push(chunk, self_index + 1, ctx);
+    return;
+  }
   int passed = 0;
-  for (int i = 0; i < chunk.n; ++i) passed += f[i] != 0;
+  for (int i = 0; i < chunk.n; ++i) passed += merged[i];
   if (passed == chunk.n) {
     pipeline.Push(chunk, self_index + 1, ctx);
     return;
@@ -106,19 +213,33 @@ void FilterOp::Process(Chunk& chunk, ExecContext& ctx, Pipeline& pipeline,
   int32_t* idx = ctx.arena.AllocArray<int32_t>(passed);
   int out = 0;
   for (int i = 0; i < chunk.n; ++i) {
-    if (f[i] != 0) idx[out++] = i;
+    if (merged[i] != 0) idx[out++] = i;
   }
   Chunk compacted;
   GatherChunk(chunk, idx, passed, &ctx.arena, &compacted);
   pipeline.Push(compacted, self_index + 1, ctx);
 }
 
+void FilterOp::Process(Chunk& chunk, ExecContext& ctx, Pipeline& pipeline,
+                       int self_index) {
+  if (ctx.selection_vectors) {
+    ProcessSelection(chunk, ctx, pipeline, self_index);
+  } else {
+    ProcessEager(chunk, ctx, pipeline, self_index);
+  }
+}
+
 MapOp::MapOp(std::vector<ExprPtr> exprs) : exprs_(std::move(exprs)) {}
 
 void MapOp::Process(Chunk& chunk, ExecContext& ctx, Pipeline& pipeline,
                     int self_index) {
+  // Expressions evaluate through the selection (computed vectors are
+  // defined at selected positions only); the output chunk carries the
+  // input's selection unchanged.
   Chunk out;
   out.n = chunk.n;
+  out.sel = chunk.sel;
+  out.sel_n = chunk.sel_n;
   out.cols.resize(exprs_.size());
   for (size_t e = 0; e < exprs_.size(); ++e) {
     exprs_[e]->Eval(chunk, ctx, &out.cols[e]);

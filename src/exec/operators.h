@@ -1,6 +1,7 @@
 #ifndef MORSELDB_EXEC_OPERATORS_H_
 #define MORSELDB_EXEC_OPERATORS_H_
 
+#include <atomic>
 #include <memory>
 #include <vector>
 
@@ -11,14 +12,7 @@
 namespace morsel {
 
 // --- shared vector utilities ------------------------------------------------
-
-// Gathers rows `idx[0..count)` of `v` into a dense arena array.
-Vector GatherVector(const Vector& v, const int32_t* idx, int count,
-                    Arena* arena);
-
-// Gathers all columns of `in` by the index list into `out`.
-void GatherChunk(const Chunk& in, const int32_t* idx, int count,
-                 Arena* arena, Chunk* out);
+// (GatherVector / GatherChunk / Chunk::Compact live in exec/chunk.h.)
 
 // Hash of row `i` over the given columns (multi-column keys combine).
 uint64_t HashRow(const Chunk& chunk, const std::vector<int>& key_cols,
@@ -38,16 +32,63 @@ const uint64_t* HashRows(const Chunk& chunk,
 
 // --- basic operators ---------------------------------------------------------
 
-// Drops rows whose predicate (an int32 0/1 expression) is false.
-// Compacting gather only runs when at least one row fails.
+// Drops rows that fail a conjunction of predicates (int32 0/1
+// expressions). Two execution modes (ExecContext::selection_vectors):
+//
+//  - selection-vector mode (default): the chunk's `sel` is narrowed in
+//    place, conjunct by conjunct, so conjuncts after the first evaluate
+//    only the rows still alive (AND short-circuit) and column
+//    compaction is deferred to whichever consumer needs dense data.
+//    Per-conjunct cost x selectivity counters feed a periodic re-rank,
+//    so the cheapest-per-dropped-row conjunct runs first regardless of
+//    the order the query author wrote.
+//  - eager mode (`selection_vectors=false` ablation, the seed
+//    behavior): every conjunct evaluates over all rows, the flags are
+//    AND-merged, and all columns gather-compact once per FilterOp.
+//
+// A conjunct may carry a zone-map slot (engine/lowering.h): when the
+// scan's per-morsel zone check proved the morsel satisfies that
+// conjunct entirely, the matching bit of ExecContext::sarg_accept_mask
+// is set and the conjunct is skipped for every chunk of the morsel.
 class FilterOp final : public Operator {
  public:
   explicit FilterOp(ExprPtr predicate);
+  FilterOp(std::vector<ExprPtr> conjuncts, std::vector<int> sarg_slots);
   void Process(Chunk& chunk, ExecContext& ctx, Pipeline& pipeline,
                int self_index) override;
 
+  // Conjunct cap for adaptive reordering (the packed-order word holds 8
+  // bits per conjunct); larger conjunctions keep their static order.
+  static constexpr size_t kMaxAdaptive = 8;
+  // Chunks between re-ranks (observations are sampled on 1-in-8 of
+  // them), and the per-conjunct observation floor below which the
+  // order is left alone (noise guard).
+  static constexpr uint64_t kRerankInterval = 64;
+  static constexpr uint64_t kMinRowsForRerank = 4096;
+
  private:
-  ExprPtr predicate_;
+  void ProcessSelection(Chunk& chunk, ExecContext& ctx, Pipeline& pipeline,
+                        int self_index);
+  void ProcessEager(Chunk& chunk, ExecContext& ctx, Pipeline& pipeline,
+                    int self_index);
+  void Rerank();
+
+  struct ConjunctStats {
+    std::atomic<uint64_t> rows_in{0};
+    std::atomic<uint64_t> rows_out{0};
+    std::atomic<uint64_t> nanos{0};
+  };
+
+  std::vector<ExprPtr> conjuncts_;
+  std::vector<int> sarg_slots_;  // per conjunct; -1 = no zone-map slot
+  bool adaptive_ = false;        // 2..kMaxAdaptive conjuncts
+  // Evaluation order, 8 bits per rank (conjunct index at rank r is byte
+  // r). Written by Rerank() on whichever worker crosses the interval;
+  // read relaxed by every Process — any torn-free snapshot is a valid
+  // order, so plain atomics suffice.
+  std::atomic<uint64_t> order_{0};
+  std::atomic<uint64_t> chunks_{0};
+  std::unique_ptr<ConjunctStats[]> stats_;
 };
 
 // Replaces the chunk's columns with the given expressions (projection /

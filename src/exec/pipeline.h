@@ -24,6 +24,9 @@ class Source {
   virtual std::vector<MorselRange> MakeRanges(const Topology& topo) = 0;
   virtual void RunMorsel(const Morsel& m, Pipeline& pipeline,
                          ExecContext& ctx) = 0;
+  // Optional runtime annotation for ExplainPlan, read once by the
+  // job's Finalize (e.g. the scan's zone-map skip tally). Empty = none.
+  virtual std::string RuntimeInfo() const { return std::string(); }
 };
 
 // An intra-pipeline operator. Receives an input chunk and pushes zero or
@@ -68,9 +71,9 @@ class Pipeline {
 
   // Pushes a chunk through ops [from_op ..] and finally the sink.
   void Push(Chunk& chunk, size_t from_op, ExecContext& ctx) {
-    if (chunk.n == 0) return;
+    if (chunk.ActiveRows() == 0) return;
     if (from_op == ops_.size()) {
-      ctx.rows_to_sink += chunk.n;
+      ctx.rows_to_sink += chunk.ActiveRows();
       sink_->Consume(chunk, ctx);
       return;
     }
@@ -92,7 +95,8 @@ class ExecPipelineJob : public PipelineJob {
                   std::unique_ptr<Pipeline> pipeline,
                   MorselQueue::Options queue_opts, bool use_tagging,
                   int static_division_workers = 0,
-                  bool batched_probe = true);
+                  bool batched_probe = true,
+                  bool selection_vectors = true);
 
   void Prepare(const Topology& topo) override;
   void RunMorsel(const Morsel& m, WorkerContext& wctx) override;
@@ -107,6 +111,7 @@ class ExecPipelineJob : public PipelineJob {
   MorselQueue::Options queue_opts_;
   bool use_tagging_;
   bool batched_probe_;
+  bool selection_vectors_;
   // Volcano emulation (§5.4): morsel size forced to ceil(n / workers).
   int static_division_workers_;
   std::vector<std::unique_ptr<ExecContext>> contexts_;

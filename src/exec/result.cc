@@ -99,6 +99,8 @@ ResultSink::ResultSink(std::vector<LogicalType> types, int num_worker_slots)
 void ResultSink::Consume(Chunk& chunk, ExecContext& ctx) {
   std::unique_ptr<ResultSet>& local = per_worker_[ctx.worker->worker_id];
   if (local == nullptr) local = std::make_unique<ResultSet>(types_);
+  // AppendChunk copies columns wholesale; densify first.
+  chunk.Compact(&ctx.arena);
   local->AppendChunk(chunk);
   // Result rows are written into worker-local memory.
   uint64_t bytes = 0;

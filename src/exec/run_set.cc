@@ -244,6 +244,9 @@ void RunMaterializeSink::Consume(Chunk& chunk, ExecContext& ctx) {
   int wid = ctx.worker->worker_id;
   RowBuffer* buf = runs_->run(wid, ctx.socket());
   MORSEL_CHECK(chunk.num_cols() == layout.num_fields());
+  // The bulk column-wise fill below wants dense vectors: one gather of
+  // the surviving rows beats a per-row selection indirection here.
+  chunk.Compact(&ctx.arena);
   const int n = chunk.n;
   if (n == 0) return;
   const size_t rs = static_cast<size_t>(layout.row_size());

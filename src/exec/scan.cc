@@ -1,6 +1,7 @@
 #include "exec/scan.h"
 
 #include <algorithm>
+#include <cstdio>
 
 namespace morsel {
 
@@ -8,11 +9,90 @@ namespace {
 // Granularity at which interleaved-placement tables alternate sockets;
 // keep in sync with Table::SocketOfRange.
 constexpr uint64_t kInterleaveRows = 8192;
+
+enum class ZoneVerdict {
+  kSkip,       // no row in the range can satisfy the conjunct
+  kAcceptAll,  // every row in the range satisfies the conjunct
+  kPartial,    // undecided — evaluate per row
+};
+
+// Verdict for `value <op> lit` given the (conservative) range
+// [mn, mx] the zone maps report for the morsel.
+template <typename V>
+ZoneVerdict RangeVerdict(CmpOp op, V mn, V mx, V lit) {
+  switch (op) {
+    case CmpOp::kLt:
+      if (mx < lit) return ZoneVerdict::kAcceptAll;
+      if (mn >= lit) return ZoneVerdict::kSkip;
+      break;
+    case CmpOp::kLe:
+      if (mx <= lit) return ZoneVerdict::kAcceptAll;
+      if (mn > lit) return ZoneVerdict::kSkip;
+      break;
+    case CmpOp::kGt:
+      if (mn > lit) return ZoneVerdict::kAcceptAll;
+      if (mx <= lit) return ZoneVerdict::kSkip;
+      break;
+    case CmpOp::kGe:
+      if (mn >= lit) return ZoneVerdict::kAcceptAll;
+      if (mx < lit) return ZoneVerdict::kSkip;
+      break;
+    case CmpOp::kEq:
+      if (lit < mn || lit > mx) return ZoneVerdict::kSkip;
+      if (mn == mx && mn == lit) return ZoneVerdict::kAcceptAll;
+      break;
+    case CmpOp::kNe:
+      break;  // never registered
+  }
+  return ZoneVerdict::kPartial;
+}
+
+ZoneVerdict CheckSarg(const ScanSarg& s, const Column* col, uint64_t begin,
+                      uint64_t end) {
+  switch (col->type()) {
+    case LogicalType::kInt32:
+    case LogicalType::kInt64: {
+      int64_t mn, mx;
+      if (!col->ZoneMinMaxI64(begin, end, &mn, &mx)) {
+        return ZoneVerdict::kPartial;
+      }
+      return RangeVerdict<int64_t>(s.op, mn, mx, s.i64);
+    }
+    case LogicalType::kDouble: {
+      double mn, mx;
+      if (!col->ZoneMinMaxF64(begin, end, &mn, &mx)) {
+        return ZoneVerdict::kPartial;
+      }
+      return RangeVerdict<double>(s.op, mn, mx, s.f64);
+    }
+    case LogicalType::kString:
+      return ZoneVerdict::kPartial;
+  }
+  return ZoneVerdict::kPartial;
+}
+
 }  // namespace
 
 TableScanSource::TableScanSource(const Table* table,
                                  std::vector<int> column_ids)
     : table_(table), column_ids_(std::move(column_ids)) {}
+
+int TableScanSource::AddSarg(const ScanSarg& sarg) {
+  if (sargs_.size() >= 32) return -1;  // mask is 32 bits wide
+  sargs_.push_back(sarg);
+  return static_cast<int>(sargs_.size()) - 1;
+}
+
+std::string TableScanSource::RuntimeInfo() const {
+  if (sargs_.empty()) return std::string();
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "[zonemap: skipped %llu/%llu morsels]",
+                static_cast<unsigned long long>(
+                    morsels_skipped_.load(std::memory_order_relaxed)),
+                static_cast<unsigned long long>(
+                    morsels_seen_.load(std::memory_order_relaxed)));
+  return buf;
+}
 
 std::vector<MorselRange> TableScanSource::MakeRanges(const Topology& topo) {
   (void)topo;
@@ -37,6 +117,27 @@ std::vector<MorselRange> TableScanSource::MakeRanges(const Topology& topo) {
 void TableScanSource::RunMorsel(const Morsel& m, Pipeline& pipeline,
                                 ExecContext& ctx) {
   const int p = m.partition;
+  ctx.sarg_accept_mask = 0;
+  if (!sargs_.empty()) {
+    morsels_seen_.fetch_add(1, std::memory_order_relaxed);
+    uint32_t accept = 0;
+    for (size_t s = 0; s < sargs_.size(); ++s) {
+      const Column* col = table_->column(p, column_ids_[sargs_[s].chunk_col]);
+      switch (CheckSarg(sargs_[s], col, m.begin, m.end)) {
+        case ZoneVerdict::kSkip:
+          // Some conjunct can never hold here: elide the whole morsel
+          // without touching a single row.
+          morsels_skipped_.fetch_add(1, std::memory_order_relaxed);
+          return;
+        case ZoneVerdict::kAcceptAll:
+          accept |= uint32_t{1} << s;
+          break;
+        case ZoneVerdict::kPartial:
+          break;
+      }
+    }
+    ctx.sarg_accept_mask = accept;
+  }
   for (uint64_t begin = m.begin; begin < m.end; begin += kChunkCapacity) {
     uint64_t end = std::min(begin + kChunkCapacity, m.end);
     int n = static_cast<int>(end - begin);

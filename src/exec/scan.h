@@ -1,17 +1,39 @@
 #ifndef MORSELDB_EXEC_SCAN_H_
 #define MORSELDB_EXEC_SCAN_H_
 
+#include <atomic>
+#include <string>
 #include <vector>
 
+#include "exec/expression.h"
 #include "exec/pipeline.h"
 #include "storage/table.h"
 
 namespace morsel {
 
+// A zone-map-checkable conjunct registered by the lowering pass:
+// `scan output column <op> literal`, with the literal representation
+// matched to the column type (integer literal for integer columns,
+// exactly-representable double for double columns — the lowering
+// rejects anything else).
+struct ScanSarg {
+  int chunk_col = -1;  // index into the scan's output columns
+  CmpOp op = CmpOp::kEq;
+  int64_t i64 = 0;
+  double f64 = 0.0;
+};
+
 // NUMA-local table scan (§4.3): morsel ranges follow the table's
 // partitioning and placement tags, so the dispatcher can hand each worker
 // ranges resident on its own socket. String columns materialize
 // string_view arrays in the arena; fixed-width columns are zero-copy.
+//
+// Registered SARGs turn the scan into a morsel-granular filter
+// (DESIGN.md §10): each RunMorsel consults the storage zone maps over
+// the morsel's row range and either skips the morsel outright (some
+// conjunct can never hold), marks conjuncts the whole morsel satisfies
+// in ExecContext::sarg_accept_mask (FilterOp then skips them per
+// chunk), or falls through to normal per-row filtering.
 class TableScanSource final : public Source {
  public:
   TableScanSource(const Table* table, std::vector<int> column_ids);
@@ -19,10 +41,20 @@ class TableScanSource final : public Source {
   std::vector<MorselRange> MakeRanges(const Topology& topo) override;
   void RunMorsel(const Morsel& m, Pipeline& pipeline,
                  ExecContext& ctx) override;
+  // "[zonemap: skipped k/n morsels]" once SARGs are registered.
+  std::string RuntimeInfo() const override;
+
+  // Registers a conjunct for zone-map checking; returns its bit slot in
+  // ExecContext::sarg_accept_mask, or -1 when the 32-slot budget is
+  // exhausted. Called at lowering time, before execution starts.
+  int AddSarg(const ScanSarg& sarg);
 
  private:
   const Table* table_;
   std::vector<int> column_ids_;
+  std::vector<ScanSarg> sargs_;
+  std::atomic<uint64_t> morsels_seen_{0};
+  std::atomic<uint64_t> morsels_skipped_{0};
 };
 
 }  // namespace morsel

@@ -113,9 +113,12 @@ void TopKSink::Consume(Chunk& chunk, ExecContext& ctx) {
   if (heaps_[wid] == nullptr) heaps_[wid] = std::make_unique<Heap>();
   Heap& heap = *heaps_[wid];
 
-  // Assemble each row in a stack buffer, then offer it to the heap.
+  // Assemble each row in a stack buffer, then offer it to the heap;
+  // reads through the selection vector.
   std::vector<uint8_t> row(layout.row_size());
-  for (int i = 0; i < chunk.n; ++i) {
+  const int active = chunk.ActiveRows();
+  for (int k = 0; k < active; ++k) {
+    const int i = chunk.RowAt(k);
     TupleLayout::SetNext(row.data(), nullptr);
     TupleLayout::SetHash(row.data(), 0);
     for (int f = 0; f < layout.num_fields(); ++f) {

@@ -2,14 +2,25 @@
 #define MORSELDB_STORAGE_COLUMN_H_
 
 #include <atomic>
+#include <cmath>
+#include <limits>
 #include <memory>
 #include <string_view>
+#include <type_traits>
+#include <utility>
+#include <vector>
 
 #include "common/macros.h"
 #include "numa/allocator.h"
 #include "storage/types.h"
 
 namespace morsel {
+
+// Zone-map granularity: min/max per block of this many rows, recorded
+// at SealPartition. Scans aggregate the blocks covering a morsel to
+// skip it (predicate can never hold) or accept it wholesale (predicate
+// always holds, so the conjunct is dropped for the morsel's chunks).
+inline constexpr size_t kZoneMapBlockRows = 4096;
 
 // Shared implementation of the sampled sortedness probe: fraction of
 // adjacent row pairs in non-descending order, estimated from evenly
@@ -76,6 +87,34 @@ class Column {
     sorted_frac_.store(-1.0, std::memory_order_relaxed);
   }
 
+  // --- zone maps (DESIGN.md §10) -----------------------------------------
+  // Rebuilds the per-block min/max entries over the current rows.
+  // Called from SealPartition (single-threaded load phase); reads are
+  // lock-free afterwards, like the data itself. No-op for strings.
+  virtual void BuildZoneMaps() {}
+  // Combined min/max of the zone-map blocks covering rows
+  // [begin, end) — a conservative superset of the actual value range
+  // (blocks straddling the boundary contribute whole). False when no
+  // zone maps cover the range (strings, or rows appended after the
+  // last build) or the value domain does not match; callers must then
+  // treat the range as "anything possible".
+  virtual bool ZoneMinMaxI64(size_t begin, size_t end, int64_t* mn,
+                             int64_t* mx) const {
+    (void)begin;
+    (void)end;
+    (void)mn;
+    (void)mx;
+    return false;
+  }
+  virtual bool ZoneMinMaxF64(size_t begin, size_t end, double* mn,
+                             double* mx) const {
+    (void)begin;
+    (void)end;
+    (void)mn;
+    (void)mx;
+    return false;
+  }
+
  protected:
   virtual double ComputeSortedFraction() const = 0;
 
@@ -116,6 +155,64 @@ class TypedColumn final : public Column {
   T* mutable_raw() { return data_.data(); }
   void Reserve(size_t n) { data_.reserve(n); }
 
+  void BuildZoneMaps() override {
+    const size_t n = data_.size();
+    const T* d = data_.data();
+    zones_.clear();
+    zones_.reserve((n + kZoneMapBlockRows - 1) / kZoneMapBlockRows);
+    for (size_t b = 0; b < n; b += kZoneMapBlockRows) {
+      const size_t e = b + kZoneMapBlockRows < n ? b + kZoneMapBlockRows : n;
+      T mn = d[b], mx = d[b];
+      [[maybe_unused]] bool poisoned = false;
+      for (size_t i = b + 1; i < e; ++i) {
+        if (d[i] < mn) mn = d[i];
+        if (d[i] > mx) mx = d[i];
+      }
+      if constexpr (std::is_floating_point_v<T>) {
+        // NaN never wins a </> comparison, so it would silently fall
+        // outside [mn, mx] and an accept-all/skip verdict over the
+        // block would be unsound. Poison such blocks to (-inf, +inf):
+        // every verdict degrades to "partial" and the rows are
+        // filtered normally.
+        for (size_t i = b; i < e && !poisoned; ++i) {
+          poisoned = std::isnan(d[i]);
+        }
+        if (poisoned) {
+          mn = -std::numeric_limits<T>::infinity();
+          mx = std::numeric_limits<T>::infinity();
+        }
+      }
+      zones_.push_back({mn, mx});
+    }
+    zone_rows_ = n;
+  }
+
+  bool ZoneMinMaxI64(size_t begin, size_t end, int64_t* mn,
+                     int64_t* mx) const override {
+    if constexpr (std::is_same_v<T, double>) {
+      return false;
+    } else {
+      T lo, hi;
+      if (!ZoneRange(begin, end, &lo, &hi)) return false;
+      *mn = static_cast<int64_t>(lo);
+      *mx = static_cast<int64_t>(hi);
+      return true;
+    }
+  }
+
+  bool ZoneMinMaxF64(size_t begin, size_t end, double* mn,
+                     double* mx) const override {
+    if constexpr (std::is_same_v<T, double>) {
+      T lo, hi;
+      if (!ZoneRange(begin, end, &lo, &hi)) return false;
+      *mn = lo;
+      *mx = hi;
+      return true;
+    } else {
+      return false;
+    }
+  }
+
  protected:
   double ComputeSortedFraction() const override {
     const T* d = data_.data();
@@ -124,7 +221,23 @@ class TypedColumn final : public Column {
   }
 
  private:
+  bool ZoneRange(size_t begin, size_t end, T* mn, T* mx) const {
+    if (begin >= end || end > zone_rows_) return false;
+    const size_t b0 = begin / kZoneMapBlockRows;
+    const size_t b1 = (end - 1) / kZoneMapBlockRows;
+    T lo = zones_[b0].first, hi = zones_[b0].second;
+    for (size_t b = b0 + 1; b <= b1; ++b) {
+      if (zones_[b].first < lo) lo = zones_[b].first;
+      if (zones_[b].second > hi) hi = zones_[b].second;
+    }
+    *mn = lo;
+    *mx = hi;
+    return true;
+  }
+
   NumaVector<T> data_;
+  std::vector<std::pair<T, T>> zones_;  // per-block [min, max]
+  size_t zone_rows_ = 0;                // rows covered by zones_
 };
 
 using Int32Column = TypedColumn<int32_t>;

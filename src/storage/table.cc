@@ -58,8 +58,10 @@ void Table::SealPartition(int p) {
                      "ragged partition: column lengths differ");
     // Appends since the last seal invalidate cached column statistics.
     col->InvalidateStats();
+    col->BuildZoneMaps();
   }
   part.rows = rows;
+  epoch_.fetch_add(1, std::memory_order_acq_rel);
 }
 
 double Table::ColumnSortedFraction(int col) const {

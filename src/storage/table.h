@@ -1,6 +1,7 @@
 #ifndef MORSELDB_STORAGE_TABLE_H_
 #define MORSELDB_STORAGE_TABLE_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -95,8 +96,15 @@ class Table {
 
   // Marks a partition's row count after a burst of appends. All columns
   // of the partition must have equal length. Invalidates cached column
-  // statistics (sortedness) for the partition.
+  // statistics (sortedness), rebuilds the partition's zone maps, and
+  // bumps the table epoch (prepared-plan staleness detection).
   void SealPartition(int p);
+
+  // Monotonic data-version counter, bumped by every SealPartition. A
+  // LogicalPlan snapshots it at build time; PreparedQuery compares the
+  // snapshot against the live value to detect plans whose frozen scan
+  // statistics predate a bulk load (engine.h, PreparedStalePolicy).
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
 
   // Sortedness of column `col` (row-weighted average over partitions of
   // the sampled adjacent-pair in-order fraction, 1.0 = fully sorted
@@ -128,6 +136,7 @@ class Table {
   Placement placement_;
   int num_sockets_;
   std::vector<Partition> parts_;
+  std::atomic<uint64_t> epoch_{0};
 };
 
 }  // namespace morsel

@@ -180,5 +180,85 @@ TEST(PreparedQuery, DeferredAdaptiveJoinReExecutesIdentically) {
   }
 }
 
+// --- staleness epoch ---------------------------------------------------------
+//
+// Table bumps an epoch on SealPartition; a prepared plan snapshots it
+// at build time. Executing a stale plan re-snapshots the scan stats and
+// lowers the refreshed plan (kRelower, the default) or aborts (kError).
+
+std::unique_ptr<Table> SmallSortedKv(int64_t rows) {
+  std::vector<std::pair<int64_t, int64_t>> data;
+  for (int64_t i = 0; i < rows; ++i) data.push_back({i, i * 2});
+  return MakeKv(SmallTopo(), data, "k", "v");
+}
+
+void BulkAppendSorted(Table* t, int64_t from, int64_t to) {
+  // Keys continue ascending, so per-partition order stays sorted.
+  for (int64_t i = from; i < to; ++i) {
+    int p = static_cast<int>(i % t->num_partitions());
+    t->Int64Col(p, 0)->Append(i);
+    t->Int64Col(p, 1)->Append(i * 2);
+  }
+  for (int p = 0; p < t->num_partitions(); ++p) t->SealPartition(p);
+}
+
+TEST(PreparedQuery, StaleEpochRelowersWithFreshStats) {
+  EngineOptions opts;
+  opts.morsel_size = 512;
+  opts.runtime_feedback = false;  // decisions from plan-time stats only
+  Engine engine(SmallTopo(), opts);
+
+  // Both sides tiny at Prepare time: the adaptive join resolves to hash
+  // (below the merge row floor), and the plan freezes those stats.
+  auto probe = SmallSortedKv(600);
+  auto build = SmallSortedKv(500);
+  PlanBuilder b = PlanBuilder::Scan(build.get(), {"k", "v"});
+  PlanBuilder p = PlanBuilder::Scan(probe.get(), {"k", "v"});
+  p.Join(std::move(b), {"k"}, {"k"}, {"v"}, JoinKind::kInner, nullptr,
+         JoinStrategy::kAdaptive);
+  p.CollectResult();
+  PreparedQuery pq = engine.Prepare(p.Build());
+
+  {
+    auto q = pq.MakeQuery();
+    std::string plan = q->ExplainPlan();
+    EXPECT_NE(plan.find("[adaptive->hash"), std::string::npos) << plan;
+    EXPECT_EQ(SortedRows(q->Execute()).size(), 500u);
+  }
+
+  // Bulk load: both sides grow large, sorted — merge territory. The
+  // epochs moved, so the next prepared execution must re-snapshot
+  // instead of running with the frozen tiny-table stats.
+  BulkAppendSorted(probe.get(), 600, 40000);
+  BulkAppendSorted(build.get(), 500, 30000);
+
+  auto q = pq.MakeQuery();
+  std::string plan = q->ExplainPlan();
+  EXPECT_NE(plan.find("[adaptive->merge"), std::string::npos)
+      << "stale stats not refreshed:\n"
+      << plan;
+  EXPECT_EQ(SortedRows(q->Execute()).size(), 30000u);
+
+  // The refresh is cached: a further execution (no new seal) agrees.
+  EXPECT_EQ(SortedRows(pq.Execute()).size(), 30000u);
+}
+
+TEST(PreparedQuery, StaleEpochErrorPolicyAborts) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  EngineOptions opts;
+  opts.morsel_size = 512;
+  opts.prepared_stale = PreparedStalePolicy::kError;
+  Engine engine(SmallTopo(), opts);
+  auto t = SmallSortedKv(2000);
+  PlanBuilder pb = PlanBuilder::Scan(t.get(), {"k", "v"});
+  pb.Filter(Lt(pb.Col("k"), ConstI64(1000)));
+  pb.CollectResult();
+  PreparedQuery pq = engine.Prepare(pb.Build());
+  EXPECT_EQ(SortedRows(pq.Execute()).size(), 1000u);
+
+  BulkAppendSorted(t.get(), 2000, 3000);
+  EXPECT_DEATH(pq.Execute(), "stale");
+}
+
 }  // namespace
 }  // namespace morsel

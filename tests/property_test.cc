@@ -162,6 +162,12 @@ struct RandomPlanSpec {
   bool runtime_feedback = true;
   bool prepared = false;
   bool second_join = false;
+  // Selection-vector / zone-map dimensions: the tested engine draws the
+  // lazy-filter ablation flag, and `range_filter` adds a SARGable
+  // range predicate on pv — ascending per partition, so zone maps
+  // actually skip morsels (the reference always runs eager, zone-off).
+  bool selection_vectors = true;
+  bool range_filter = false;
   // scheduling knobs for the tested engine
   int morsel_size = 512;
   int workers = 4;
@@ -198,6 +204,8 @@ RandomPlanSpec DrawSpec(uint64_t seed) {
   s.runtime_feedback = rng.Bernoulli(0.5);
   s.prepared = rng.Bernoulli(0.5);
   s.second_join = rng.Bernoulli(0.35);
+  s.selection_vectors = rng.Bernoulli(0.5);
+  s.range_filter = rng.Bernoulli(0.5);
   // No liveness constraint on steal/workers: sockets without a live
   // worker hand their morsels to remote workers (the dispatcher's
   // no-steal fallback), so any combination must complete.
@@ -208,10 +216,15 @@ std::vector<std::string> RunSpec(const RandomPlanSpec& spec,
                                  bool reference) {
   EngineOptions opts;
   if (reference) {
-    // Volcano-emulation backend, single worker: the fixed oracle.
+    // Volcano-emulation backend, single worker: the fixed oracle — it
+    // also runs the pre-selection-vector eager filter path with zone
+    // maps off, so the tested engine's elisions face an independent
+    // implementation.
     opts = MakeVolcanoOptions();
     opts.num_workers = 1;
     opts.join_strategy = JoinStrategy::kHash;
+    opts.selection_vectors = false;
+    opts.zone_maps = false;
   } else {
     opts.morsel_size = spec.morsel_size;
     opts.num_workers = spec.workers;
@@ -219,6 +232,7 @@ std::vector<std::string> RunSpec(const RandomPlanSpec& spec,
     opts.steal = spec.steal;
     opts.tagging = spec.tagging;
     opts.runtime_feedback = spec.runtime_feedback;
+    opts.selection_vectors = spec.selection_vectors;
     // Half the specs exercise the engine-wide knob, half the per-join
     // override (with a deliberately contrary knob it must beat).
     opts.join_strategy =
@@ -262,6 +276,14 @@ std::vector<std::string> RunSpec(const RandomPlanSpec& spec,
 
   PlanBuilder b = PlanBuilder::Scan(build.get(), {"bk", "bv"});
   PlanBuilder p = PlanBuilder::Scan(probe.get(), {"pk", "pv"});
+  if (spec.range_filter && spec.probe_rows > 0) {
+    // pv == row index, ascending within each partition: a SARGable
+    // two-conjunct range on a sorted scan column — the zone-map
+    // morsel-skip shape (skips, full-accepts and partials all occur
+    // depending on the drawn morsel size).
+    p.Filter(Between(p.Col("pv"), ConstI64(spec.probe_rows / 10),
+                     ConstI64((spec.probe_rows * 3) / 4)));
+  }
   std::function<ExprPtr(const ColScope&)> residual;
   if (spec.with_residual) {
     residual = [](const ColScope& s) {
