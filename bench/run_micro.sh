@@ -17,6 +17,10 @@
 #                                    chains, zone-map morsel skipping
 #                                    (sorted vs shuffled), adaptive vs
 #                                    static conjunct order
+#   BENCH_micro_cancel.json        — Cancel()->drained latency p50/p99 on
+#                                    one-morsel merge-join monoliths,
+#                                    interrupt checkpoints on vs off, plus
+#                                    the uncancelled checkpoint overhead
 #
 # A binary whose benchmarks are all excluded by the filter leaves its
 # checked-in report untouched (the trajectory files must never be
@@ -59,3 +63,4 @@ run_one micro_hash_table
 run_one micro_merge_join
 run_one micro_plan_lowering
 run_one micro_filter
+run_one micro_cancel

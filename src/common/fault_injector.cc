@@ -1,0 +1,25 @@
+#include "common/fault_injector.h"
+
+#include "common/rng.h"
+
+namespace morsel {
+
+FaultInjector::FaultInjector(const FaultInjectionOptions& opts) {
+  if (!opts.enabled) return;
+  Rng rng(opts.seed);
+  fail_alloc_at_ = opts.fail_alloc_nth;
+  if (opts.cancel_within_morsels > 0) {
+    cancel_at_ = rng.Uniform(1, opts.cancel_within_morsels);
+  }
+  if (opts.deadline_within_morsels > 0) {
+    deadline_at_ = rng.Uniform(1, opts.deadline_within_morsels);
+    // A cancel and a deadline drawn onto the same morsel would race for
+    // first-wins; nudge the deadline so each run has one unambiguous
+    // expected fault class per checkpoint.
+    if (deadline_at_ == cancel_at_) ++deadline_at_;
+  }
+  stall_every_ = opts.stall_every_checks;
+  stall_us_ = opts.stall_us;
+}
+
+}  // namespace morsel

@@ -1,0 +1,89 @@
+#ifndef MORSELDB_COMMON_FAULT_INJECTOR_H_
+#define MORSELDB_COMMON_FAULT_INJECTOR_H_
+
+// Deterministic, seeded fault injection for chaos-testing the failure
+// paths. One FaultInjector lives per query execution (constructed from
+// EngineOptions::fault_injection by Query) and is consulted at the two
+// governed checkpoint kinds:
+//
+//  - allocation checkpoints (NumaAlloc under a governor scope):
+//    OnTrackedAlloc() trips the Nth tracked allocation with
+//    std::bad_alloc, exercising the out-of-memory path at a precise,
+//    reproducible point;
+//  - morsel / interrupt checkpoints (worker morsel pickup,
+//    ExecContext::CheckInterrupt): OnMorselStart() force-cancels or
+//    force-expires the query at a seed-randomized morsel count,
+//    OnInterruptCheck() stalls the calling worker to simulate a slow or
+//    wedged core.
+//
+// All trip points are derived from the seed up front, so a given
+// (plan, options, seed) replays the identical fault.
+
+#include <atomic>
+#include <cstdint>
+
+namespace morsel {
+
+struct FaultInjectionOptions {
+  bool enabled = false;
+  uint64_t seed = 1;
+  // Throw std::bad_alloc from exactly the Nth governed allocation
+  // (1-based; 0 = never).
+  int64_t fail_alloc_nth = 0;
+  // Force-cancel the query at a morsel count drawn uniformly from
+  // [1, cancel_within_morsels] (0 = never).
+  int64_t cancel_within_morsels = 0;
+  // Force a deadline expiry at a morsel count drawn uniformly from
+  // [1, deadline_within_morsels] (0 = never).
+  int64_t deadline_within_morsels = 0;
+  // Stall the calling worker for stall_us at every stall_every_checks-th
+  // interrupt checkpoint (0 = never).
+  int64_t stall_every_checks = 0;
+  int64_t stall_us = 100;
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultInjectionOptions& opts);
+
+  // Allocation checkpoint: true => this allocation must fail
+  // (fires exactly once).
+  bool OnTrackedAlloc() {
+    if (fail_alloc_at_ == 0) return false;
+    return allocs_.fetch_add(1, std::memory_order_relaxed) + 1 ==
+           fail_alloc_at_;
+  }
+
+  enum class MorselFault { kNone, kCancel, kDeadline };
+
+  // Morsel checkpoint: which fault, if any, to apply to the query now
+  // (each fires exactly once).
+  MorselFault OnMorselStart() {
+    if (cancel_at_ == 0 && deadline_at_ == 0) return MorselFault::kNone;
+    int64_t n = morsels_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (n == cancel_at_) return MorselFault::kCancel;
+    if (n == deadline_at_) return MorselFault::kDeadline;
+    return MorselFault::kNone;
+  }
+
+  // Interrupt checkpoint: microseconds the caller must stall (0 = none).
+  int64_t OnInterruptCheck() {
+    if (stall_every_ == 0) return 0;
+    int64_t n = checks_.fetch_add(1, std::memory_order_relaxed) + 1;
+    return n % stall_every_ == 0 ? stall_us_ : 0;
+  }
+
+ private:
+  int64_t fail_alloc_at_ = 0;
+  int64_t cancel_at_ = 0;
+  int64_t deadline_at_ = 0;
+  int64_t stall_every_ = 0;
+  int64_t stall_us_ = 0;
+  std::atomic<int64_t> allocs_{0};
+  std::atomic<int64_t> morsels_{0};
+  std::atomic<int64_t> checks_{0};
+};
+
+}  // namespace morsel
+
+#endif  // MORSELDB_COMMON_FAULT_INJECTOR_H_

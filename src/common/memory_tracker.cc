@@ -1,0 +1,51 @@
+#include "common/memory_tracker.h"
+
+namespace morsel {
+
+namespace {
+thread_local AllocationGovernor* t_governor = nullptr;
+}  // namespace
+
+bool AllocationGovernor::Charge(int64_t bytes) {
+  if (reserved >= bytes) {
+    reserved -= bytes;
+    return true;
+  }
+  int64_t want = bytes - reserved + kSlackQuantum;
+  if (tracker->TryCharge(want)) {
+    reserved = kSlackQuantum;
+    return true;
+  }
+  // Near the budget the quantum may not fit; retry for the exact need
+  // so a query is only aborted when the allocation itself cannot fit.
+  if (tracker->TryCharge(bytes - reserved)) {
+    reserved = 0;
+    return true;
+  }
+  return false;
+}
+
+void AllocationGovernor::Free(int64_t bytes) {
+  tracker->Release(bytes);
+}
+
+ScopedAllocationGovernor::ScopedAllocationGovernor(MemoryTracker* tracker,
+                                                   FaultInjector* injector)
+    : prev_(t_governor) {
+  gov_.tracker = tracker;
+  gov_.injector = injector;
+  t_governor = &gov_;
+}
+
+ScopedAllocationGovernor::~ScopedAllocationGovernor() {
+  if (gov_.tracker != nullptr && gov_.reserved > 0) {
+    gov_.tracker->Release(gov_.reserved);
+  }
+  t_governor = prev_;
+}
+
+AllocationGovernor* ScopedAllocationGovernor::Current() {
+  return t_governor;
+}
+
+}  // namespace morsel

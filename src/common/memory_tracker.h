@@ -1,0 +1,110 @@
+#ifndef MORSELDB_COMMON_MEMORY_TRACKER_H_
+#define MORSELDB_COMMON_MEMORY_TRACKER_H_
+
+// Per-query memory accounting. One MemoryTracker lives on the
+// QueryContext; every NumaAlloc/NumaFree performed *on behalf of that
+// query* (worker morsel execution, job Finalize, lowering) charges or
+// releases it via a thread-local AllocationGovernor installed by a
+// ScopedAllocationGovernor around those boundaries. That indirection is
+// what lets one hook cover Arena blocks, RowBuffer (NumaVector) growth,
+// and TaggedHashTable slot arrays without threading a tracker pointer
+// through every constructor.
+//
+// Hot-path cost: charges are *reservation-batched* — each governor
+// scope holds up to kSlackQuantum bytes of locally reserved budget, so
+// a run of small allocations touches the shared atomic once per
+// quantum, not once per allocation. Frees release straight to the
+// tracker (they are rare relative to bump-pointer allocations).
+//
+// Query teardown frees (operator state destroyed by ~Query) run outside
+// any governor scope and deliberately skip release: the tracker dies
+// with the query, and the process-wide NumaAllocatedBytes() counter —
+// which the leak checks assert on — is maintained unconditionally
+// inside NumaAlloc/NumaFree, not here.
+
+#include <atomic>
+#include <cstdint>
+
+namespace morsel {
+
+class FaultInjector;
+
+class MemoryTracker {
+ public:
+  // budget_bytes == 0 means unlimited (accounting only).
+  explicit MemoryTracker(int64_t budget_bytes = 0)
+      : budget_(budget_bytes) {}
+
+  // Pre-execution configuration only; never changed while workers run.
+  void set_budget(int64_t bytes) { budget_ = bytes; }
+
+  // Charges `bytes`; returns false (charging nothing) when the charge
+  // would push usage past the budget. The caller aborts the query.
+  bool TryCharge(int64_t bytes) {
+    int64_t now =
+        used_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    if (budget_ > 0 && now > budget_) {
+      used_.fetch_sub(bytes, std::memory_order_relaxed);
+      return false;
+    }
+    int64_t peak = peak_.load(std::memory_order_relaxed);
+    while (now > peak &&
+           !peak_.compare_exchange_weak(peak, now,
+                                        std::memory_order_relaxed)) {
+    }
+    return true;
+  }
+
+  void Release(int64_t bytes) {
+    used_.fetch_sub(bytes, std::memory_order_relaxed);
+  }
+
+  int64_t used() const { return used_.load(std::memory_order_relaxed); }
+  int64_t peak() const { return peak_.load(std::memory_order_relaxed); }
+  int64_t budget() const { return budget_; }
+
+ private:
+  int64_t budget_;
+  std::atomic<int64_t> used_{0};
+  std::atomic<int64_t> peak_{0};
+};
+
+// Thread-local allocation-governance record consulted by
+// NumaAlloc/NumaFree. Null members mean "ungoverned" for that concern.
+struct AllocationGovernor {
+  MemoryTracker* tracker = nullptr;
+  FaultInjector* injector = nullptr;
+  int64_t reserved = 0;  // charged to tracker but not yet handed out
+
+  // Batched charge against `tracker` (which must be non-null). Returns
+  // false when the budget is exhausted; nothing is charged in that case.
+  bool Charge(int64_t bytes);
+  void Free(int64_t bytes);
+
+  static constexpr int64_t kSlackQuantum = 256 * 1024;
+};
+
+// RAII installer: pushes {tracker, injector} as the calling thread's
+// governor for the scope, restoring the previous one (scopes nest — a
+// worker-level scope stays installed across an inner Finalize scope of
+// the same query) and returning unused reservation on exit.
+class ScopedAllocationGovernor {
+ public:
+  ScopedAllocationGovernor(MemoryTracker* tracker, FaultInjector* injector);
+  ~ScopedAllocationGovernor();
+
+  ScopedAllocationGovernor(const ScopedAllocationGovernor&) = delete;
+  ScopedAllocationGovernor& operator=(const ScopedAllocationGovernor&) =
+      delete;
+
+  // The innermost governor installed on this thread, or nullptr.
+  static AllocationGovernor* Current();
+
+ private:
+  AllocationGovernor gov_;
+  AllocationGovernor* prev_;
+};
+
+}  // namespace morsel
+
+#endif  // MORSELDB_COMMON_MEMORY_TRACKER_H_

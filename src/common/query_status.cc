@@ -1,0 +1,26 @@
+#include "common/query_status.h"
+
+namespace morsel {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "kOk";
+    case StatusCode::kCancelled:
+      return "kCancelled";
+    case StatusCode::kDeadlineExceeded:
+      return "kDeadlineExceeded";
+    case StatusCode::kMemoryExceeded:
+      return "kMemoryExceeded";
+    case StatusCode::kInternal:
+      return "kInternal";
+  }
+  return "k?";
+}
+
+std::string QueryStatus::ToString() const {
+  if (message.empty()) return StatusCodeName(code);
+  return std::string(StatusCodeName(code)) + ": " + message;
+}
+
+}  // namespace morsel

@@ -1,0 +1,69 @@
+#ifndef MORSELDB_COMMON_QUERY_STATUS_H_
+#define MORSELDB_COMMON_QUERY_STATUS_H_
+
+// Structured terminal disposition of one query execution. Replaces the
+// old first-wins error *string* on QueryContext so callers can branch
+// on the failure class (retry a deadline, surface a budget breach,
+// treat cancellation as benign) without parsing messages.
+
+#include <exception>
+#include <string>
+#include <utility>
+
+namespace morsel {
+
+enum class StatusCode {
+  kOk = 0,
+  kCancelled,
+  kDeadlineExceeded,
+  kMemoryExceeded,
+  kInternal,
+};
+
+const char* StatusCodeName(StatusCode code);
+
+struct QueryStatus {
+  StatusCode code = StatusCode::kOk;
+  std::string message;
+
+  bool ok() const { return code == StatusCode::kOk; }
+  // "kMemoryExceeded: query memory budget exceeded (...)"; "kOk" alone.
+  std::string ToString() const;
+
+  static QueryStatus Ok() { return {}; }
+  static QueryStatus Cancelled(std::string msg = "query cancelled") {
+    return {StatusCode::kCancelled, std::move(msg)};
+  }
+  static QueryStatus DeadlineExceeded(
+      std::string msg = "query deadline exceeded") {
+    return {StatusCode::kDeadlineExceeded, std::move(msg)};
+  }
+  static QueryStatus MemoryExceeded(std::string msg) {
+    return {StatusCode::kMemoryExceeded, std::move(msg)};
+  }
+  static QueryStatus Internal(std::string msg) {
+    return {StatusCode::kInternal, std::move(msg)};
+  }
+};
+
+// The one sanctioned exception in this codebase (see common/macros.h).
+// Thrown only from governed checkpoints — the allocation hook in
+// NumaAlloc and ExecContext::CheckInterrupt — and caught at exactly the
+// worker / Finalize / Prepare boundaries, where it becomes the query's
+// QueryStatus and cancels the QEP. It must never escape those
+// boundaries and never crosses a public API.
+class QueryAbort : public std::exception {
+ public:
+  explicit QueryAbort(QueryStatus status) : status_(std::move(status)) {}
+  const QueryStatus& status() const { return status_; }
+  const char* what() const noexcept override {
+    return status_.message.c_str();
+  }
+
+ private:
+  QueryStatus status_;
+};
+
+}  // namespace morsel
+
+#endif  // MORSELDB_COMMON_QUERY_STATUS_H_

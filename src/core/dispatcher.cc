@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "common/memory_tracker.h"
+#include "common/query_status.h"
 #include "common/timer.h"
 #include "core/qep.h"
 
@@ -33,7 +35,6 @@ void Dispatcher::Submit(PipelineJob* job, WorkerContext& ctx) {
 }
 
 PipelineJob* Dispatcher::PickJob(WorkerContext& ctx) {
-  (void)ctx;
   PipelineJob* best = nullptr;
   double best_score = 0.0;
   for (auto& slot : slots_) {
@@ -41,7 +42,20 @@ PipelineJob* Dispatcher::PickJob(WorkerContext& ctx) {
     if (job == nullptr) continue;
     if (job->completed.load(std::memory_order_acquire)) continue;
     QueryContext* q = job->query();
-    if (q->cancelled()) continue;
+    // Deadline enforcement happens here, at the hand-out point: the
+    // first worker to look at an expired query's job errors it (which
+    // implies Cancel), so no further morsels go out.
+    if (q->DeadlineExpired() && !q->cancelled()) {
+      q->SetError(QueryStatus::DeadlineExceeded());
+    }
+    if (q->cancelled()) {
+      // Fail-fast liveness: a query cancelled via SetError (worker
+      // fault, deadline) may have sibling jobs with no outstanding
+      // morsels that nobody else will ever complete — nudge them
+      // through the drain here instead of skipping silently.
+      TryComplete(job, ctx);
+      continue;
+    }
     int active = q->active_workers().load(std::memory_order_relaxed);
     if (active >= q->max_workers()) continue;
     if (job->queue() == nullptr || job->queue()->Exhausted()) continue;
@@ -123,7 +137,27 @@ void Dispatcher::TryComplete(PipelineJob* job, WorkerContext& ctx) {
   if (done != out) return;
   if (job->completed.exchange(true, std::memory_order_acq_rel)) return;
   RemoveJob(job);
-  if (!job->query()->cancelled()) job->Finalize(ctx);
+  QueryContext* q = job->query();
+  // Finalize only on a clean query: a cancelled or errored query must
+  // not run completion logic (adaptive decisions would splice pipelines
+  // on top of garbage state). Finalize itself allocates (hash-table
+  // creation, merge pre-sizing), so it runs governed and
+  // exception-guarded like worker morsel execution; a throw becomes the
+  // query's status and the QEP drains via PipelineFinished below.
+  if (!q->cancelled() && !q->has_error()) {
+    ScopedAllocationGovernor governor(&q->memory_tracker(),
+                                      q->fault_injector());
+    try {
+      job->Finalize(ctx);
+    } catch (const QueryAbort& e) {
+      q->SetError(e.status());
+    } catch (const std::bad_alloc&) {
+      q->SetError(QueryStatus::MemoryExceeded("out of memory"));
+    } catch (const std::exception& e) {
+      q->SetError(QueryStatus::Internal(
+          std::string("pipeline finalize failed: ") + e.what()));
+    }
+  }
   if (DebugJobs()) {
     std::fprintf(stderr, "[job] q%d %-18s %8.2f ms  %llu morsels\n",
                  job->query()->id(), job->name().c_str(),

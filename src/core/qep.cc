@@ -1,6 +1,10 @@
 #include "core/qep.h"
 
+#include <new>
 #include <string>
+
+#include "common/memory_tracker.h"
+#include "common/query_status.h"
 
 namespace morsel {
 
@@ -116,7 +120,29 @@ void QepObject::Start(WorkerContext& ctx) {
 
 void QepObject::SubmitNode(int id, WorkerContext& ctx) {
   Node& node = *nodes_[id];
-  node.job->Prepare(dispatcher_->topology());
+  // Prepare allocates per-worker state (and may be the first place a
+  // memory budget trips); guard it like worker execution. On failure
+  // the node resolves immediately — the query is already cancelled via
+  // SetError, so dependents drain instead of submitting.
+  {
+    QueryContext* q = query_;
+    ScopedAllocationGovernor governor(&q->memory_tracker(),
+                                      q->fault_injector());
+    try {
+      node.job->Prepare(dispatcher_->topology());
+    } catch (const QueryAbort& e) {
+      q->SetError(e.status());
+    } catch (const std::bad_alloc&) {
+      q->SetError(QueryStatus::MemoryExceeded("out of memory"));
+    } catch (const std::exception& e) {
+      q->SetError(QueryStatus::Internal(
+          std::string("pipeline prepare failed: ") + e.what()));
+    }
+    if (q->has_error()) {
+      ResolveNode(id, ctx);
+      return;
+    }
+  }
   dispatcher_->Submit(node.job.get(), ctx);
 }
 
@@ -154,8 +180,9 @@ void QepObject::ResolveNode(int id, WorkerContext& ctx) {
   }
 
   if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-    if (query_->cancelled() && query_->error().empty()) {
-      query_->SetError("query cancelled");
+    if (query_->cancelled() && !query_->has_error()) {
+      // Plain user cancellation (no structured error set by a fault).
+      query_->SetError(QueryStatus::Cancelled());
     }
     query_->MarkDone();
   }

@@ -1,7 +1,12 @@
 #include "core/worker_pool.h"
 
 #include <algorithm>
+#include <new>
+#include <string>
 
+#include "common/fault_injector.h"
+#include "common/memory_tracker.h"
+#include "common/query_status.h"
 #include "common/timer.h"
 #include "numa/pinning.h"
 
@@ -63,10 +68,49 @@ void WorkerPool::WorkerLoop(int worker_id) {
     bool got = dispatcher_->GetTask(ctx, &m);
     ctx.dispatcher_section.fetch_add(1, std::memory_order_acq_rel);
     if (got) {
+      QueryContext* q = m.job->query();
+      // Deterministic fault checkpoint: the injector may order a forced
+      // cancel or deadline expiry at this morsel count.
+      if (FaultInjector* fi = q->fault_injector()) {
+        switch (fi->OnMorselStart()) {
+          case FaultInjector::MorselFault::kCancel:
+            q->SetError(QueryStatus::Cancelled());
+            break;
+          case FaultInjector::MorselFault::kDeadline:
+            q->SetError(QueryStatus::DeadlineExceeded());
+            break;
+          case FaultInjector::MorselFault::kNone:
+            break;
+        }
+      }
       // RunMorsel needs no section: the job cannot complete while this
       // worker's morsel is outstanding (finished < handed_out).
+      //
+      // Execution is governed (per-query memory charging + fault
+      // injection, see memory_tracker.h) and exception-guarded: any
+      // throw — QueryAbort from a governed checkpoint, bad_alloc from
+      // anywhere — becomes the query's structured error and cancels it;
+      // the morsel then counts as finished so the drain stays balanced.
+      // A morsel handed out just before cancellation is skipped rather
+      // than run: the query's result is already void, and skipping is
+      // what makes cancellation latency a hand-out-time property.
       int64_t t0 = WallTimer::NowMicros();
-      m.job->RunMorsel(m, ctx);
+      if (!q->cancelled()) {
+        ScopedAllocationGovernor governor(&q->memory_tracker(),
+                                          q->fault_injector());
+        try {
+          m.job->RunMorsel(m, ctx);
+        } catch (const QueryAbort& e) {
+          q->SetError(e.status());
+        } catch (const std::bad_alloc&) {
+          q->SetError(QueryStatus::MemoryExceeded("out of memory"));
+        } catch (const std::exception& e) {
+          q->SetError(QueryStatus::Internal(
+              std::string("morsel execution failed: ") + e.what()));
+        } catch (...) {
+          q->SetError(QueryStatus::Internal("morsel execution failed"));
+        }
+      }
       int64_t t1 = WallTimer::NowMicros();
       if (ctx.core == opts_.slow_core && opts_.slow_factor > 1.0) {
         // Injected disturbance: stretch this morsel as if the core ran
@@ -90,6 +134,12 @@ void WorkerPool::WorkerLoop(int worker_id) {
       // query, wake the client, and let it free the job under us.
       ctx.dispatcher_section.fetch_add(1, std::memory_order_acq_rel);
       dispatcher_->FinishMorsel(m, ctx);
+      if (q->has_error()) {
+        // An errored query's sibling jobs may have no outstanding
+        // morsels left; sweep them through the drain so the QEP
+        // resolves instead of waiting on a pick that will never come.
+        dispatcher_->CancelQuery(q, ctx);
+      }
       ctx.dispatcher_section.fetch_add(1, std::memory_order_acq_rel);
     } else {
       dispatcher_->WaitForWork(epoch, shutdown_);

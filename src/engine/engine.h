@@ -5,6 +5,7 @@
 #include <memory>
 #include <mutex>
 
+#include "common/fault_injector.h"
 #include "core/dispatcher.h"
 #include "core/morsel_queue.h"
 #include "core/trace.h"
@@ -79,6 +80,24 @@ struct EngineOptions {
   // runs `slow_core_factor`x slower per morsel. -1 = disabled.
   int simulate_slow_core = -1;
   double slow_core_factor = 2.0;
+  // --- resource governance & fault tolerance (DESIGN §11) --------------
+  // Per-query memory budget charged by the query's MemoryTracker at
+  // every governed NumaAlloc (arena blocks, row buffers, hash tables,
+  // sort runs); 0 = unlimited. A breach aborts the query with
+  // StatusCode::kMemoryExceeded.
+  int64_t memory_budget_bytes = 0;
+  // Wall-clock deadline per query, measured from Start(); 0 = none.
+  // Enforced at dispatcher hand-out and at interrupt checkpoints
+  // (StatusCode::kDeadlineExceeded). Query::SetDeadline overrides.
+  int64_t deadline_ms = 0;
+  // Chunk-granularity cancellation/deadline checkpoints inside long
+  // jobs (merge-join partition joins, sorts, hash builds): cancellation
+  // latency becomes chunk-length instead of morsel-length. false = the
+  // morsel-boundary-only baseline (bench ablation).
+  bool interrupt_checkpoints = true;
+  // Deterministic per-query fault injection for chaos testing
+  // (common/fault_injector.h); disabled by default.
+  FaultInjectionOptions fault_injection;
 };
 
 // Top-level execution environment: the (possibly simulated) NUMA

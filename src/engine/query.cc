@@ -1,5 +1,7 @@
 #include "engine/query.h"
 
+#include <new>
+
 #include "engine/lowering.h"
 
 namespace morsel {
@@ -10,6 +12,13 @@ Query::Query(Engine* engine, int id, double priority)
       qep_(&context_, engine->dispatcher(),
            engine->options().serialize_roots) {
   context_.set_num_worker_slots(engine->pool()->num_worker_slots());
+  const EngineOptions& opts = engine->options();
+  context_.set_memory_budget(opts.memory_budget_bytes);
+  context_.set_interrupt_checkpoints(opts.interrupt_checkpoints);
+  if (opts.fault_injection.enabled) {
+    context_.set_fault_injector(
+        std::make_unique<FaultInjector>(opts.fault_injection));
+  }
 }
 
 Query::~Query() {
@@ -33,13 +42,39 @@ void Query::SetPlan(const LogicalPlan& plan) {
   // placeholder). Over-reserving costs pointer slots only.
   qep_.ReserveSplice(5 * plan_.num_nodes() + 8);
   Lowering* lowering = Own<Lowering>(this, plan_.root());
-  lowering->Run();
+  // Lowering allocates operator state (per-worker row buffers, arenas),
+  // so it runs governed like execution; a budget breach or injected
+  // allocation fault here errors the query instead of crashing, and
+  // Start() then drains to a status-carrying empty result.
+  ScopedAllocationGovernor governor(&context_.memory_tracker(),
+                                    context_.fault_injector());
+  try {
+    lowering->Run();
+  } catch (const QueryAbort& e) {
+    context_.SetError(e.status());
+  } catch (const std::bad_alloc&) {
+    context_.SetError(QueryStatus::MemoryExceeded("out of memory"));
+  } catch (const std::exception& e) {
+    context_.SetError(QueryStatus::Internal(
+        std::string("plan lowering failed: ") + e.what()));
+  }
 }
 
 void Query::Start() {
   MORSEL_CHECK_MSG(!started_, "query already started");
   MORSEL_CHECK_MSG(plan_.valid(), "Start without a plan");
   started_ = true;
+  // A query that already errored during lowering has a partial QEP;
+  // don't submit it — resolve to done so Wait/Execute return the status.
+  if (context_.has_error()) {
+    context_.MarkDone();
+    return;
+  }
+  if (engine_->options().deadline_ms > 0 && !context_.has_deadline()) {
+    context_.SetDeadline(
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(engine_->options().deadline_ms));
+  }
   qep_.Start(engine_->pool()->external_context());
 }
 
@@ -52,10 +87,31 @@ ResultSet Query::Execute() {
 }
 
 ResultSet Query::TakeResult() {
-  MORSEL_CHECK_MSG(context_.error().empty(), context_.error().c_str());
+  QueryStatus st = context_.status();
+  if (!st.ok()) {
+    // Failed execution: sinks were never finalized, so there is no
+    // result to take — surface the structured status instead.
+    ResultSet r;
+    r.set_status(std::move(st));
+    return r;
+  }
   MORSEL_CHECK_MSG(result_fn_ != nullptr,
                    "plan has no terminal (OrderBy/CollectResult)");
   return result_fn_();
+}
+
+std::string Query::ExplainPlan() const {
+  std::string out = qep_.Describe();
+  int64_t peak = context_.memory_tracker().peak();
+  if (peak > 0) {
+    out += "[peak-memory: " + std::to_string(peak) + " bytes";
+    if (context_.memory_tracker().budget() > 0) {
+      out += " / budget " +
+             std::to_string(context_.memory_tracker().budget());
+    }
+    out += "]\n";
+  }
+  return out;
 }
 
 void Query::Cancel() {

@@ -1,6 +1,7 @@
 #ifndef MORSELDB_ENGINE_QUERY_H_
 #define MORSELDB_ENGINE_QUERY_H_
 
+#include <chrono>
 #include <functional>
 #include <memory>
 #include <string>
@@ -47,19 +48,44 @@ class Query {
   // --- execution -----------------------------------------------------------
   void Start();         // submits the first pipelines; returns immediately
   void Wait();          // blocks until all pipelines completed
+  // Bounded wait; true iff the query finished within `timeout`. Lets
+  // callers poll long queries without blocking forever.
+  template <typename Rep, typename Period>
+  bool WaitFor(std::chrono::duration<Rep, Period> timeout) {
+    return context_.WaitFor(timeout);
+  }
   ResultSet Execute();  // Start + Wait + TakeResult
+  // On a clean query, the collected result. On a failed one (cancel,
+  // deadline, budget breach, internal error) an empty ResultSet whose
+  // status() carries the structured error — never a process abort.
   ResultSet TakeResult();
   void Cancel();        // §3.2: takes effect at morsel boundaries
+  // Terminal status of this execution (kOk while still running).
+  QueryStatus status() const { return context_.status(); }
 
   // Elasticity (§3.1): caps the number of workers on this query; can be
   // called at any time, including mid-execution.
   void SetMaxWorkers(int n) { context_.set_max_workers(n); }
 
+  // --- resource governance (DESIGN §11) ------------------------------------
+  // Per-query overrides of the EngineOptions defaults. Budget and fault
+  // injection must be set before Start (the budget additionally before
+  // SetPlan to govern lowering-time allocations); the deadline may be
+  // tightened at any time.
+  void SetMemoryBudget(int64_t bytes) { context_.set_memory_budget(bytes); }
+  void SetDeadline(std::chrono::milliseconds after) {
+    context_.SetDeadline(std::chrono::steady_clock::now() + after);
+  }
+  void SetFaultInjection(const FaultInjectionOptions& opts) {
+    context_.set_fault_injector(std::make_unique<FaultInjector>(opts));
+  }
+
   // EXPLAIN-style dump of the pipeline DAG. Valid once a plan is set;
   // pipelines a deferred adaptive join splices in at runtime appear as
   // the query executes (their placeholder line carries the decision and
-  // whether runtime feedback revised the plan-time choice).
-  std::string ExplainPlan() const { return qep_.Describe(); }
+  // whether runtime feedback revised the plan-time choice). After
+  // execution, a final line reports the tracked peak memory.
+  std::string ExplainPlan() const;
 
   // --- internal (used by the lowering pass) --------------------------------
   int AddJob(std::unique_ptr<PipelineJob> job, std::vector<int> deps);

@@ -1,15 +1,39 @@
 #ifndef MORSELDB_EXEC_EXEC_CONTEXT_H_
 #define MORSELDB_EXEC_EXEC_CONTEXT_H_
 
+#include "core/query_context.h"
 #include "core/worker_context.h"
 #include "exec/chunk.h"
 
 namespace morsel {
 
+// Interrupt checkpoint for long-running work that executes outside an
+// ExecContext (local sort runs, k-way merge parts): throws QueryAbort —
+// caught at the worker/Finalize boundary — when `q` is cancelled,
+// errored, or past its deadline, and applies any injected worker stall.
+// No-op when q is null or checkpoints are disabled. Callers poll at
+// chunk-ish granularity (~1k rows); see DESIGN §11 for placement rules.
+void CheckQueryInterrupt(QueryContext* q);
+
 // Per-worker, per-job execution state threaded through operators.
 struct ExecContext {
   WorkerContext* worker = nullptr;
+  QueryContext* query = nullptr;  // owning query; set by the job
   Arena arena;  // reset at each morsel boundary
+
+  // Chunk-granularity cancellation checkpoint (DESIGN §11): one relaxed
+  // load on the fast path, deadline/injector work every 64th call.
+  // Throws QueryAbort like CheckQueryInterrupt. Long jobs whose morsels
+  // are partition-sized monoliths (merge-join partition joins, sorts,
+  // hash builds) call this so cancellation latency is chunk-length, not
+  // morsel-length.
+  void CheckInterrupt() {
+    if (query == nullptr || !query->interrupt_checkpoints()) return;
+    if (query->cancelled() || (++interrupt_ticks_ & 0x3F) == 0) {
+      CheckQueryInterrupt(query);
+    }
+  }
+  uint32_t interrupt_ticks_ = 0;
 
   // Rows this worker pushed into the pipeline's sink, across all of its
   // morsels of the job. Contexts are per (job, worker), so the per-job

@@ -139,6 +139,10 @@ void HashInsertJob::RunMorsel(const Morsel& m, WorkerContext& wctx) {
   constexpr uint64_t kSlotAhead = 4;
   SocketTally slot_writes;
   for (uint64_t i = m.begin; i < m.end; ++i) {
+    // Insert morsels can be large; checkpoint per ~4k rows so a build
+    // aborts promptly (DESIGN §11). A half-populated table is fine: an
+    // aborted query never probes it.
+    if ((i & 0xFFF) == 0) CheckQueryInterrupt(query());
     if (i + kRowAhead < m.end) MORSEL_PREFETCH(buf->row(i + kRowAhead));
     if (i + kSlotAhead < m.end) {
       ht->PrefetchSlot(TupleLayout::GetHash(buf->row(i + kSlotAhead)));

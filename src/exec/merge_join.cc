@@ -154,6 +154,9 @@ void MergeJoinState::FlushMatches(
     Pipeline& pipeline) {
   const int count = static_cast<int>(cand_left.size());
   if (count == 0) return;
+  // Skewed keys emit many chunks per left row; per-chunk checkpointing
+  // here keeps cancellation latency bounded even inside one hot group.
+  ctx.CheckInterrupt();
   Chunk combined;
   combined.n = count;
   DecodeRowsToColumns(left_.layout(), cand_left.data(), count,
@@ -263,7 +266,9 @@ void MergeJoinState::JoinPart(int part, Pipeline& pipeline,
   // Slice traffic is tallied inside the flatten.
   SocketTally reads;
   std::vector<const uint8_t*> lrows, rrows;
+  ctx.CheckInterrupt();
   left_.FlattenPart(part, &lrows, &reads);
+  ctx.CheckInterrupt();
   right_.FlattenPart(part, &rrows, &reads);
   reads.FlushReads(ctx.traffic(), ctx.socket(), ctx.num_sockets());
 
@@ -304,6 +309,10 @@ void MergeJoinState::JoinPart(int part, Pipeline& pipeline,
   bool have_group = false;
 
   for (size_t li = 0; li < ln; ++li) {
+    // One output partition is one morsel, so a long partition join is
+    // exactly the morsel-sized cancellation blind spot DESIGN §11
+    // closes: checkpoint at chunk-ish granularity.
+    if ((li & 0x3FF) == 0) ctx.CheckInterrupt();
     const uint8_t* l = lrows[li];
 
     // Position the right group at the smallest key >= l's key.

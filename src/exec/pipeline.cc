@@ -39,6 +39,7 @@ ExecContext& ExecPipelineJob::LocalContext(WorkerContext& wctx) {
   if (slot == nullptr) {
     slot = std::make_unique<ExecContext>();
     slot->worker = &wctx;
+    slot->query = query();
     slot->use_tagging = use_tagging_;
     slot->batched_probe = batched_probe_;
     slot->selection_vectors = selection_vectors_;

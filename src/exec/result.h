@@ -3,8 +3,10 @@
 
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/query_status.h"
 #include "exec/pipeline.h"
 #include "exec/tuple.h"
 #include "storage/types.h"
@@ -22,6 +24,13 @@ class ResultSet {
   int64_t num_rows() const { return num_rows_; }
   int num_cols() const { return static_cast<int>(types_.size()); }
   LogicalType type(int c) const { return types_[c]; }
+
+  // Terminal status of the producing execution. A failed query (cancel,
+  // deadline, budget, internal error) yields an *empty* ResultSet
+  // carrying the non-ok status instead of aborting the process.
+  bool ok() const { return status_.ok(); }
+  const QueryStatus& status() const { return status_; }
+  void set_status(QueryStatus s) { status_ = std::move(s); }
 
   int32_t I32(int64_t r, int c) const { return cols_[c].i32[r]; }
   int64_t I64(int64_t r, int c) const { return cols_[c].i64[r]; }
@@ -49,6 +58,7 @@ class ResultSet {
   std::vector<LogicalType> types_;
   std::vector<ColumnData> cols_;
   int64_t num_rows_ = 0;
+  QueryStatus status_;
 };
 
 // Final pipeline sink collecting result rows into per-worker buffers,

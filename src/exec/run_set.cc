@@ -81,7 +81,7 @@ std::vector<MorselRange> RunSet::LocalSortRanges() const {
   return out;
 }
 
-void RunSet::SortRun(int run_index) {
+void RunSet::SortRun(int run_index, QueryContext* interrupt) {
   RowBuffer* buf = runs_[run_index].get();
   std::vector<uint32_t>& order = order_[run_index];
   const size_t n = buf->rows();
@@ -89,6 +89,15 @@ void RunSet::SortRun(int run_index) {
   for (size_t i = 0; i < n; ++i) {
     order[i] = static_cast<uint32_t>(i);
   }
+  // A run sort is one morsel; poll the interrupt checkpoint from the
+  // comparator so cancellation lands mid-sort, not after it (DESIGN
+  // §11). Safe to abandon by throwing: only the index permutation is
+  // partially built, and an aborted query never reads it.
+  uint32_t ticks = 0;
+  auto checked_less = [&](const uint8_t* a, const uint8_t* b) {
+    if ((++ticks & 0x3FF) == 0) CheckQueryInterrupt(interrupt);
+    return Less(a, b);
+  };
   // Presorted-run detection: morsel hand-out within a range is monotone
   // and operators preserve row order, so a run fed from (nearly) sorted
   // storage arrives as a concatenation of a few ascending segments —
@@ -98,7 +107,7 @@ void RunSet::SortRun(int run_index) {
   constexpr size_t kMaxNaturalSegments = 32;
   std::vector<size_t> bounds{0};
   for (size_t i = 1; i < n && bounds.size() <= kMaxNaturalSegments; ++i) {
-    if (Less(buf->row(i), buf->row(i - 1))) {
+    if (checked_less(buf->row(i), buf->row(i - 1))) {
       bounds.push_back(i);
     }
   }
@@ -108,7 +117,7 @@ void RunSet::SortRun(int run_index) {
     return;
   }
   auto cmp = [&](uint32_t x, uint32_t y) {
-    return Less(buf->row(x), buf->row(y));
+    return checked_less(buf->row(x), buf->row(y));
   };
   if (bounds.size() <= kMaxNaturalSegments) {
     // Few segments: natural merge, O(n log segments) vs O(n log n).

@@ -90,8 +90,10 @@ class RunSet {
   // already sorted — or as a concatenation of a few ascending segments,
   // the shape morsel-wise materialization of (nearly) sorted inputs
   // produces — skip the O(n log n) sort for a detection scan plus an
-  // optional natural merge of the segments.
-  void SortRun(int run_index);
+  // optional natural merge of the segments. `interrupt` (optional) is
+  // polled at chunk granularity from the comparator so cancellation
+  // does not wait out a whole run sort (DESIGN §11).
+  void SortRun(int run_index, QueryContext* interrupt = nullptr);
 
   // --- local-sort statistics (valid once all SortRun calls finished) -------
   // Number of runs found fully sorted (sort pass skipped entirely).
@@ -247,7 +249,7 @@ class LocalSortRunsJob final : public PipelineJob {
   }
   void RunMorsel(const Morsel& m, WorkerContext& wctx) override {
     (void)wctx;
-    runs_->SortRun(m.partition);
+    runs_->SortRun(m.partition, query());
   }
   void Finalize(WorkerContext& wctx) override {
     (void)wctx;

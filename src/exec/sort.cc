@@ -52,11 +52,18 @@ std::vector<MorselRange> SortState::MergeRanges(const Topology& topo) const {
   return out;
 }
 
-void SortState::MergePart(int part, WorkerContext& wctx) {
+void SortState::MergePart(int part, WorkerContext& wctx,
+                          QueryContext* interrupt) {
   const TupleLayout& layout = runs_.layout();
   uint64_t out_pos = out_offsets_[part];
   SocketTally run_reads;
+  uint64_t ticks = 0;
   for (RunSet::PartCursor cur(&runs_, part); !cur.AtEnd(); cur.Advance()) {
+    // One output part is one morsel; checkpoint per ~1k merged rows so
+    // cancellation does not wait out the whole k-way merge (DESIGN §11).
+    // Safe to abandon mid-part: the output region is only read by
+    // ToResult after a clean finish.
+    if ((ticks++ & 0x3FF) == 0) CheckQueryInterrupt(interrupt);
     std::memcpy(output_->row(out_pos), cur.row(), layout.row_size());
     run_reads.Add(runs_.run_by_index(cur.run_id())->socket(),
                   layout.row_size());

@@ -48,7 +48,9 @@ class SortState {
   void PlanMerge(int num_parts);
   std::vector<MorselRange> MergeRanges(const Topology& topo) const;
   // Merges output part `part` (synchronization-free region of output).
-  void MergePart(int part, WorkerContext& wctx);
+  // `interrupt` (optional) is polled per ~1k rows (DESIGN §11).
+  void MergePart(int part, WorkerContext& wctx,
+                 QueryContext* interrupt = nullptr);
 
   // Final sorted rows (valid after all merge morsels completed).
   const RowBuffer& output() const { return *output_; }
@@ -105,7 +107,7 @@ class MergeJob final : public PipelineJob {
                                             opts_));
   }
   void RunMorsel(const Morsel& m, WorkerContext& wctx) override {
-    state_->MergePart(m.partition, wctx);
+    state_->MergePart(m.partition, wctx, query());
   }
 
  private:

@@ -2,6 +2,11 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <new>
+
+#include "common/fault_injector.h"
+#include "common/memory_tracker.h"
+#include "common/query_status.h"
 
 namespace morsel {
 
@@ -14,8 +19,36 @@ void* NumaAlloc(size_t bytes, int socket) {
   if (bytes == 0) bytes = kCacheLineSize;
   // Round up so aligned_alloc's size-multiple-of-alignment rule holds.
   size_t rounded = (bytes + kCacheLineSize - 1) & ~size_t{kCacheLineSize - 1};
+  // Query-governed checkpoint: when this thread is executing on behalf
+  // of a query (ScopedAllocationGovernor installed around morsel
+  // execution / Finalize / lowering), the allocation charges the
+  // query's MemoryTracker and may be tripped by its FaultInjector. The
+  // throws below are the sanctioned QueryAbort path (query_status.h):
+  // callers between here and the worker/Finalize/Prepare boundaries
+  // must be exception-safe, and the boundary converts the throw into a
+  // structured error that cancels the query.
+  if (AllocationGovernor* g = ScopedAllocationGovernor::Current()) {
+    if (g->injector != nullptr && g->injector->OnTrackedAlloc()) {
+      throw std::bad_alloc();
+    }
+    if (g->tracker != nullptr &&
+        !g->Charge(static_cast<int64_t>(rounded))) {
+      throw QueryAbort(QueryStatus::MemoryExceeded(
+          "query memory budget exceeded"));
+    }
+  }
   void* p = std::aligned_alloc(kCacheLineSize, rounded);
-  MORSEL_CHECK_MSG(p != nullptr, "out of memory");
+  if (p == nullptr) {
+    // Under a governor the boundary handler turns this into a
+    // kMemoryExceeded query error; outside one (storage loads, test
+    // setup) the process-fatal check is unchanged behaviour.
+    if (AllocationGovernor* g = ScopedAllocationGovernor::Current()) {
+      // Return the charge to scope slack (released on scope exit).
+      if (g->tracker != nullptr) g->reserved += static_cast<int64_t>(rounded);
+      throw std::bad_alloc();
+    }
+    MORSEL_CHECK_MSG(p != nullptr, "out of memory");
+  }
   g_allocated_bytes.fetch_add(rounded, std::memory_order_relaxed);
   return p;
 }
@@ -25,6 +58,13 @@ void NumaFree(void* p, size_t bytes) {
   if (bytes == 0) bytes = kCacheLineSize;
   size_t rounded = (bytes + kCacheLineSize - 1) & ~size_t{kCacheLineSize - 1};
   g_allocated_bytes.fetch_sub(rounded, std::memory_order_relaxed);
+  if (AllocationGovernor* g = ScopedAllocationGovernor::Current()) {
+    // Frees during query execution (RowBuffer regrow, per-morsel state)
+    // run under the same query's governor and return the charge; query
+    // teardown runs ungoverned and deliberately skips it (the tracker
+    // dies with the query — see memory_tracker.h).
+    if (g->tracker != nullptr) g->Free(static_cast<int64_t>(rounded));
+  }
   std::free(p);
 }
 

@@ -245,5 +245,82 @@ TEST(DispatcherStress, CancelAndChurnMergeJoinQueries) {
   }
 }
 
+// Error-path churn (DESIGN §11): a random subset of concurrent queries
+// hits injected faults (cancel / deadline / failed allocation) while
+// SetMaxWorkers oscillates on all of them. Faulted queries must drain
+// with the matching structured status; survivors must still produce the
+// exact aggregates — a fault in one query must never corrupt another.
+TEST(DispatcherStress, InjectedFaultChurnSurvivorsExact) {
+  EngineOptions opts;
+  opts.morsel_size = 256;
+  opts.num_workers = 4;
+  Engine engine(SmallTopo(), opts);
+
+  Rng rng(2026);
+  for (int round = 0; round < 4; ++round) {
+    constexpr int kQueries = 9;
+    std::vector<std::unique_ptr<Query>> queries;
+    std::vector<StatusCode> expected;  // expected code if the trip fires
+    for (int i = 0; i < kQueries; ++i) {
+      auto q = BuildCountSumQuery(engine);
+      FaultInjectionOptions fault;
+      fault.enabled = true;
+      fault.seed = rng.Uniform(1, 1u << 30);
+      switch (i % 3) {
+        case 0:
+          fault.cancel_within_morsels = 300;
+          expected.push_back(StatusCode::kCancelled);
+          break;
+        case 1:
+          fault.deadline_within_morsels = 300;
+          expected.push_back(StatusCode::kDeadlineExceeded);
+          break;
+        default:
+          fault.enabled = false;  // clean control query
+          expected.push_back(StatusCode::kOk);
+          break;
+      }
+      if (fault.enabled) q->SetFaultInjection(fault);
+      queries.push_back(std::move(q));
+    }
+    for (auto& q : queries) q->Start();
+
+    std::atomic<bool> stop{false};
+    std::thread churn([&] {
+      Rng churn_rng(round + 1);
+      while (!stop.load(std::memory_order_relaxed)) {
+        for (auto& q : queries) {
+          q->SetMaxWorkers(static_cast<int>(churn_rng.Uniform(1, 6)));
+        }
+        std::this_thread::yield();
+      }
+    });
+    auto all_done = std::async(std::launch::async, [&] {
+      for (auto& q : queries) q->Wait();
+    });
+    bool completed = all_done.wait_for(std::chrono::seconds(120)) ==
+                     std::future_status::ready;
+    stop.store(true);
+    churn.join();
+    ASSERT_TRUE(completed) << "faulted churn round " << round << " hung";
+
+    for (int i = 0; i < kQueries; ++i) {
+      Query* q = queries[i].get();
+      QueryStatus st = q->status();
+      if (expected[i] == StatusCode::kOk) {
+        ASSERT_TRUE(st.ok()) << st.ToString();
+        ExpectExactResult(q);
+      } else if (st.ok()) {
+        // Trip point landed past the query's morsel count: a clean
+        // finish — which must then be exact.
+        ExpectExactResult(q);
+      } else {
+        EXPECT_EQ(st.code, expected[i]) << st.ToString();
+        EXPECT_EQ(q->TakeResult().num_rows(), 0);
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace morsel

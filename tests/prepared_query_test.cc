@@ -180,6 +180,67 @@ TEST(PreparedQuery, DeferredAdaptiveJoinReExecutesIdentically) {
   }
 }
 
+// Error-path churn (DESIGN §11): concurrent executions of one
+// PreparedQuery where half carry injected faults, under SetMaxWorkers
+// churn. Faulted executions drain with a structured status; surviving
+// executions of the very same shared plan stay exact, and the plan
+// remains reusable afterwards.
+TEST(PreparedQuery, InjectedFaultChurnLeavesSurvivorsExact) {
+  EngineOptions opts;
+  opts.morsel_size = 256;
+  opts.num_workers = 4;
+  Engine engine(SmallTopo(), opts);
+  PreparedQuery pq = engine.Prepare(JoinAggPlan());
+  std::vector<std::string> expected = SortedRows(pq.Execute());
+  ASSERT_FALSE(expected.empty());
+
+  Rng rng(515);
+  for (int round = 0; round < 3; ++round) {
+    constexpr int kConcurrent = 8;
+    std::vector<std::unique_ptr<Query>> queries;
+    for (int i = 0; i < kConcurrent; ++i) {
+      auto q = pq.MakeQuery();
+      if (i % 2 == 0) {
+        FaultInjectionOptions fault;
+        fault.enabled = true;
+        fault.seed = rng.Uniform(1, 1u << 30);
+        fault.cancel_within_morsels = 250;
+        q->SetFaultInjection(fault);
+      }
+      queries.push_back(std::move(q));
+    }
+    for (auto& q : queries) q->Start();
+    std::atomic<bool> stop{false};
+    std::thread churn([&] {
+      Rng churn_rng(round + 11);
+      while (!stop.load(std::memory_order_relaxed)) {
+        for (auto& q : queries) {
+          q->SetMaxWorkers(static_cast<int>(churn_rng.Uniform(1, 6)));
+        }
+        std::this_thread::yield();
+      }
+    });
+    for (auto& q : queries) q->Wait();
+    stop.store(true);
+    churn.join();
+
+    for (int i = 0; i < kConcurrent; ++i) {
+      QueryStatus st = queries[i]->status();
+      if (i % 2 != 0) {
+        ASSERT_TRUE(st.ok()) << st.ToString();
+      }
+      if (st.ok()) {
+        EXPECT_EQ(SortedRows(queries[i]->TakeResult()), expected)
+            << "round " << round << " query " << i;
+      } else {
+        EXPECT_EQ(st.code, StatusCode::kCancelled) << st.ToString();
+      }
+    }
+  }
+  // The shared plan survived every faulted execution.
+  EXPECT_EQ(SortedRows(pq.Execute()), expected);
+}
+
 // --- staleness epoch ---------------------------------------------------------
 //
 // Table bumps an epoch on SealPartition; a prepared plan snapshots it

@@ -1,0 +1,263 @@
+// Query resource governance (DESIGN §11): structured statuses, memory
+// budgets, deadlines, bounded waits, and the fail-fast contract that an
+// errored query never runs pipeline Finalize (and therefore never
+// splices adaptive pipelines on top of garbage state).
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/query_status.h"
+#include "numa/allocator.h"
+#include "test_util.h"
+
+namespace morsel {
+namespace {
+
+using testutil::MakeKv;
+using testutil::SmallTopo;
+using testutil::SortedRows;
+
+constexpr int64_t kRows = 120000;
+constexpr int64_t kKeyRange = 512;
+
+const Table* BigTable() {
+  static Table* t = [] {
+    std::vector<std::pair<int64_t, int64_t>> rows;
+    for (int64_t i = 0; i < kRows; ++i) rows.push_back({i % kKeyRange, i});
+    return MakeKv(SmallTopo(), rows).release();
+  }();
+  return t;
+}
+
+// Self-join output cardinality: key k appears n_k times on both sides,
+// so the join emits sum(n_k^2) rows — with kRows = 512*234 + 192 that
+// is 192 keys of 235 rows and 320 of 234.
+constexpr int64_t kJoinRows =
+    192 * 235 * 235 + (kKeyRange - 192) * 234 * 234;
+
+// A deliberately heavy query: merge join (two sorts + one-morsel
+// partition joins) feeding an aggregation — the shape where both
+// allocation pressure and long-running morsels occur.
+LogicalPlan HeavyMergeJoinPlan() {
+  PlanBuilder b = PlanBuilder::Scan(BigTable(), {"k", "v"});
+  b.Project(NE("bk", b.Col("k")), NE("bv", b.Col("v")));
+  PlanBuilder p = PlanBuilder::Scan(BigTable(), {"k", "v"});
+  p.Join(std::move(b), {"k"}, {"bk"}, {"bv"}, JoinKind::kInner, nullptr,
+         JoinStrategy::kMerge);
+  std::vector<AggItem> aggs;
+  aggs.push_back({AggFunc::kCount, nullptr, "cnt"});
+  aggs.push_back({AggFunc::kSum, p.Col("bv"), "sum_bv"});
+  p.GroupBy({}, std::move(aggs));
+  p.CollectResult();
+  return p.Build();
+}
+
+LogicalPlan CountSumPlan() {
+  PlanBuilder p = PlanBuilder::Scan(BigTable(), {"k", "v"});
+  std::vector<AggItem> aggs;
+  aggs.push_back({AggFunc::kCount, nullptr, "cnt"});
+  aggs.push_back({AggFunc::kSum, p.Col("v"), "sum_v"});
+  p.GroupBy({}, std::move(aggs));
+  p.CollectResult();
+  return p.Build();
+}
+
+TEST(QueryStatusModel, CodesNamesAndAbort) {
+  EXPECT_TRUE(QueryStatus::Ok().ok());
+  EXPECT_EQ(QueryStatus::Ok().ToString(), "kOk");
+  QueryStatus c = QueryStatus::Cancelled();
+  EXPECT_FALSE(c.ok());
+  EXPECT_EQ(c.code, StatusCode::kCancelled);
+  EXPECT_EQ(c.message, "query cancelled");
+  EXPECT_EQ(std::string(StatusCodeName(StatusCode::kMemoryExceeded)),
+            "kMemoryExceeded");
+  QueryStatus d = QueryStatus::DeadlineExceeded();
+  EXPECT_EQ(d.ToString(), "kDeadlineExceeded: query deadline exceeded");
+  QueryAbort abort(QueryStatus::Internal("boom"));
+  EXPECT_EQ(std::string(abort.what()), "boom");
+  EXPECT_EQ(abort.status().code, StatusCode::kInternal);
+}
+
+TEST(QueryStatusModel, FirstErrorWinsAndImpliesCancel) {
+  EngineOptions opts;
+  Engine engine(SmallTopo(), opts);
+  auto q = engine.CreateQuery();
+  q->context()->SetError(QueryStatus::DeadlineExceeded());
+  EXPECT_TRUE(q->context()->cancelled()) << "SetError must imply Cancel";
+  q->context()->SetError(QueryStatus::Internal("late"));
+  EXPECT_EQ(q->status().code, StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(q->context()->error(), "query deadline exceeded");
+}
+
+TEST(QueryStatus, CancelledQueryCarriesStructuredStatus) {
+  EngineOptions opts;
+  opts.morsel_size = 512;
+  opts.num_workers = 4;
+  Engine engine(SmallTopo(), opts);
+  auto q = engine.CreateQuery(HeavyMergeJoinPlan());
+  q->Start();
+  q->Cancel();
+  q->Wait();
+  if (!q->status().ok()) {
+    EXPECT_EQ(q->status().code, StatusCode::kCancelled);
+    ResultSet r = q->TakeResult();
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(r.num_rows(), 0);
+    EXPECT_EQ(r.status().code, StatusCode::kCancelled);
+  }
+}
+
+TEST(QueryStatus, ImmediateDeadlineExpiresDeterministically) {
+  EngineOptions opts;
+  opts.morsel_size = 512;
+  Engine engine(SmallTopo(), opts);
+  auto q = engine.CreateQuery(CountSumPlan());
+  // Already-expired deadline: the dispatcher must refuse every hand-out.
+  q->SetDeadline(std::chrono::milliseconds(0));
+  ResultSet r = q->Execute();
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code, StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(q->context()->error(), "query deadline exceeded");
+}
+
+TEST(QueryStatus, EngineWideDeadlineAppliesToEveryQuery) {
+  EngineOptions opts;
+  opts.morsel_size = 512;
+  opts.num_workers = 4;
+  opts.deadline_ms = 1;  // far below the heavy join's runtime
+  Engine engine(SmallTopo(), opts);
+  auto q = engine.CreateQuery(HeavyMergeJoinPlan());
+  ResultSet r = q->Execute();
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code, StatusCode::kDeadlineExceeded);
+}
+
+TEST(QueryStatus, MemoryBudgetBreachAbortsWithStatus) {
+  EngineOptions opts;
+  opts.morsel_size = 512;
+  opts.num_workers = 4;
+  opts.memory_budget_bytes = 64 * 1024;  // below one arena block
+  Engine engine(SmallTopo(), opts);
+  size_t before = NumaAllocatedBytes();
+  {
+    auto q = engine.CreateQuery(HeavyMergeJoinPlan());
+    ResultSet r = q->Execute();
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code, StatusCode::kMemoryExceeded);
+    EXPECT_NE(q->context()->error().find("memory"), std::string::npos);
+  }
+  // Everything the aborted query allocated must be returned.
+  EXPECT_EQ(NumaAllocatedBytes(), before);
+
+  // The engine stays fully usable; an unbudgeted query still succeeds.
+  auto ok = engine.CreateQuery(CountSumPlan());
+  ok->SetMemoryBudget(0);
+  ResultSet r = ok->Execute();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.I64(0, 0), kRows);
+}
+
+TEST(QueryStatus, GenerousBudgetSucceedsAndReportsPeak) {
+  EngineOptions opts;
+  opts.morsel_size = 512;
+  opts.num_workers = 4;
+  Engine engine(SmallTopo(), opts);
+  auto q = engine.CreateQuery();
+  q->SetMemoryBudget(int64_t{2} * 1024 * 1024 * 1024);
+  q->SetPlan(HeavyMergeJoinPlan());
+  ResultSet r = q->Execute();
+  ASSERT_TRUE(r.ok()) << q->status().ToString();
+  EXPECT_EQ(r.I64(0, 0), kJoinRows);
+  int64_t peak = q->context()->memory_tracker().peak();
+  EXPECT_GT(peak, 0);
+  std::string plan = q->ExplainPlan();
+  EXPECT_NE(plan.find("peak-memory: " + std::to_string(peak)),
+            std::string::npos)
+      << plan;
+  EXPECT_NE(plan.find("budget"), std::string::npos) << plan;
+}
+
+TEST(QueryStatus, WaitForBoundsTheWait) {
+  EngineOptions opts;
+  opts.morsel_size = 512;
+  opts.num_workers = 2;
+  Engine engine(SmallTopo(), opts);
+  auto q = engine.CreateQuery(HeavyMergeJoinPlan());
+  q->Start();
+  // Zero-duration poll must return immediately; the heavy join cannot
+  // have finished yet (workers have not even warmed the first sort).
+  q->WaitFor(std::chrono::milliseconds(0));
+  bool done = q->WaitFor(std::chrono::seconds(60));
+  ASSERT_TRUE(done) << "query did not finish within 60s";
+  ResultSet r = q->TakeResult();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.I64(0, 0), kJoinRows);
+}
+
+// Regression (fail-fast gap): an errored query must not run pipeline
+// Finalize — and in particular must never splice adaptive pipelines.
+// The local-sort job's Finalize stamps "[presorted ...]" into the
+// EXPLAIN line and an adaptive decision's Finalize stamps
+// "[adaptive->...]"; neither may appear on a query forced to fail at
+// its very first morsel.
+TEST(QueryStatus, ErroredQueryNeverFinalizesOrSplices) {
+  EngineOptions opts;
+  opts.morsel_size = 512;
+  opts.num_workers = 4;
+  Engine engine(SmallTopo(), opts);
+
+  // Deferred adaptive join: build side behind a group-by, so the
+  // decision job (and its splice) sits at a pipeline boundary.
+  PlanBuilder b = PlanBuilder::Scan(BigTable(), {"k", "v"});
+  std::vector<AggItem> aggs;
+  aggs.push_back({AggFunc::kMax, b.Col("v"), "max_v"});
+  b.GroupBy({"k"}, std::move(aggs));
+  PlanBuilder p = PlanBuilder::Scan(BigTable(), {"k", "v"});
+  p.Join(std::move(b), {"k"}, {"k"}, {"max_v"}, JoinKind::kInner, nullptr,
+         JoinStrategy::kAdaptive);
+  p.OrderBy({{"k", true}});
+  LogicalPlan plan = p.Build();
+
+  auto q = engine.CreateQuery();
+  FaultInjectionOptions fault;
+  fault.enabled = true;
+  fault.seed = 7;
+  fault.cancel_within_morsels = 1;  // trip on the very first morsel
+  q->SetFaultInjection(fault);
+  q->SetPlan(plan);
+  ResultSet r = q->Execute();
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code, StatusCode::kCancelled);
+  std::string explain = q->ExplainPlan();
+  EXPECT_EQ(explain.find("[presorted"), std::string::npos) << explain;
+  EXPECT_EQ(explain.find("[adaptive->"), std::string::npos) << explain;
+}
+
+TEST(QueryStatus, InjectedAllocFailureBecomesMemoryExceeded) {
+  EngineOptions opts;
+  opts.morsel_size = 512;
+  opts.num_workers = 4;
+  Engine engine(SmallTopo(), opts);
+  size_t before = NumaAllocatedBytes();
+  for (int run = 0; run < 2; ++run) {
+    auto q = engine.CreateQuery();
+    FaultInjectionOptions fault;
+    fault.enabled = true;
+    fault.seed = 11;
+    fault.fail_alloc_nth = 3;
+    q->SetFaultInjection(fault);
+    q->SetPlan(HeavyMergeJoinPlan());
+    ResultSet r = q->Execute();
+    // Deterministic replay: both runs trip the same allocation.
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code, StatusCode::kMemoryExceeded) << "run " << run;
+  }
+  EXPECT_EQ(NumaAllocatedBytes(), before);
+}
+
+}  // namespace
+}  // namespace morsel
