@@ -21,6 +21,16 @@
 #                                    one-morsel merge-join monoliths,
 #                                    interrupt checkpoints on vs off, plus
 #                                    the uncancelled checkpoint overhead
+#   BENCH_serve_mixed.json         — TCP serving front end: per-query
+#                                    latency p50/p99 + throughput for
+#                                    1024 mixed TPC-H/SSB sessions,
+#                                    tuned vs loose admission, plus the
+#                                    kill-mid-EXECUTE leak check
+#                                    (MORSEL_SERVE_SMOKE=1 -> 64-session
+#                                    smoke written to
+#                                    BENCH_serve_mixed_smoke.json so the
+#                                    checked-in trajectory stays a full
+#                                    run)
 #
 # A binary whose benchmarks are all excluded by the filter leaves its
 # checked-in report untouched (the trajectory files must never be
@@ -64,3 +74,16 @@ run_one micro_merge_join
 run_one micro_plan_lowering
 run_one micro_filter
 run_one micro_cancel
+
+# serve_mixed is not a Google Benchmark binary: it drives the TCP
+# serving front end with its own main() and emits its JSON directly.
+SERVE_BIN="$BUILD_DIR/bench/serve_mixed"
+if [[ ! -x "$SERVE_BIN" ]]; then
+  echo "error: $SERVE_BIN not built; run: cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
+  exit 1
+fi
+if [[ "${MORSEL_SERVE_SMOKE:-0}" == "1" ]]; then
+  "$SERVE_BIN" --smoke --out=BENCH_serve_mixed_smoke.json
+else
+  "$SERVE_BIN" --out=BENCH_serve_mixed.json
+fi

@@ -1,0 +1,418 @@
+// serve_mixed: the TCP query-serving front end under a large population
+// of concurrent sessions running a mixed TPC-H/SSB-shaped statement set
+// (DESIGN.md §12). Each client session connects, PREPAREs its
+// statements (hitting the shared fingerprint cache), then runs
+// EXECUTE/FETCH round trips back-to-back; the bench reports end-to-end
+// per-query latency percentiles and aggregate throughput for two
+// admission arms over the same offered load:
+//
+//   tuned  — max_concurrent sized to the worker pool: overload waits in
+//            the FIFO admission queue instead of thrashing the
+//            dispatcher, which is what keeps p99 bounded at 2x+
+//            overload;
+//   loose  — max_concurrent near the dispatcher's job-table capacity,
+//            i.e. admission effectively out of the way (truly unlimited
+//            would abort on the fixed 128-slot job table).
+//
+// A final chapter kills clients mid-EXECUTE and verifies the server
+// drains the abandoned queries back to the NumaAllocatedBytes()
+// baseline.
+//
+// Output: BENCH_serve_mixed.json (see bench/run_micro.sh).
+//
+//   serve_mixed [--smoke] [--sessions=N] [--queries=N] [--out=PATH]
+//     --smoke   64 sessions, 2 queries each (CI-sized)
+//     default   1024 sessions, 6 queries each
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "numa/allocator.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "ssb/ssb.h"
+#include "tpch/tpch.h"
+
+namespace morsel {
+namespace {
+
+using server::Client;
+using server::Server;
+using server::ServerOptions;
+
+// --- statement set -----------------------------------------------------------
+// Hand-built plans shaped like the repo's TPC-H / SSB reproductions
+// (morselDB has no SQL front end; servers register statements by name).
+
+LogicalPlan TpchQ6Shape(const TpchData& db) {
+  PlanBuilder li = PlanBuilder::Scan(
+      db.lineitem.get(),
+      {"l_shipdate", "l_discount", "l_quantity", "l_extendedprice"});
+  li.Filter(And(Ge(li.Col("l_shipdate"), ConstDate("1994-01-01")),
+                Lt(li.Col("l_shipdate"), ConstDate("1995-01-01")),
+                Ge(li.Col("l_discount"), ConstF64(0.05)),
+                Le(li.Col("l_discount"), ConstF64(0.07)),
+                Lt(li.Col("l_quantity"), ConstF64(24.0))));
+  std::vector<AggItem> aggs;
+  aggs.push_back({AggFunc::kSum,
+                  Mul(li.Col("l_extendedprice"), li.Col("l_discount")),
+                  "revenue"});
+  li.GroupBy({}, std::move(aggs));
+  li.CollectResult();
+  return li.Build();
+}
+
+LogicalPlan TpchQ1Shape(const TpchData& db) {
+  PlanBuilder li = PlanBuilder::Scan(
+      db.lineitem.get(), {"l_returnflag", "l_linestatus", "l_quantity",
+                          "l_extendedprice", "l_shipdate"});
+  li.Filter(Le(li.Col("l_shipdate"), ConstDate("1998-09-02")));
+  std::vector<AggItem> aggs;
+  aggs.push_back({AggFunc::kSum, li.Col("l_quantity"), "sum_qty"});
+  aggs.push_back({AggFunc::kSum, li.Col("l_extendedprice"), "sum_price"});
+  aggs.push_back({AggFunc::kCount, nullptr, "count_order"});
+  li.GroupBy({"l_returnflag", "l_linestatus"}, std::move(aggs));
+  li.CollectResult();
+  return li.Build();
+}
+
+LogicalPlan TpchOrdersTopShape(const TpchData& db) {
+  PlanBuilder o = PlanBuilder::Scan(
+      db.orders.get(), {"o_orderkey", "o_orderdate", "o_totalprice"});
+  o.Filter(And(Ge(o.Col("o_orderdate"), ConstDate("1995-01-01")),
+               Lt(o.Col("o_orderdate"), ConstDate("1996-01-01"))));
+  o.OrderBy({{"o_totalprice", /*ascending=*/false}}, /*limit=*/10);
+  return o.Build();
+}
+
+LogicalPlan SsbQ11Shape(const SsbData& db) {
+  PlanBuilder d =
+      PlanBuilder::Scan(db.date_dim.get(), {"d_datekey", "d_year"});
+  d.Filter(Eq(d.Col("d_year"), ConstI64(1993)));
+  PlanBuilder lo = PlanBuilder::Scan(
+      db.lineorder.get(), {"lo_orderdate", "lo_discount", "lo_quantity",
+                           "lo_extendedprice", "lo_revenue"});
+  lo.Filter(And(Ge(lo.Col("lo_discount"), ConstI64(1)),
+                Le(lo.Col("lo_discount"), ConstI64(3)),
+                Lt(lo.Col("lo_quantity"), ConstI64(25))));
+  lo.Join(std::move(d), {"lo_orderdate"}, {"d_datekey"}, {},
+          JoinKind::kInner);
+  std::vector<AggItem> aggs;
+  aggs.push_back({AggFunc::kSum, lo.Col("lo_revenue"), "revenue"});
+  lo.GroupBy({}, std::move(aggs));
+  lo.CollectResult();
+  return lo.Build();
+}
+
+LogicalPlan SsbGroupShape(const SsbData& db) {
+  PlanBuilder lo = PlanBuilder::Scan(
+      db.lineorder.get(), {"lo_discount", "lo_quantity", "lo_revenue"});
+  std::vector<AggItem> aggs;
+  aggs.push_back({AggFunc::kSum, lo.Col("lo_revenue"), "revenue"});
+  aggs.push_back({AggFunc::kCount, nullptr, "n"});
+  lo.GroupBy({"lo_discount"}, std::move(aggs));
+  lo.CollectResult();
+  return lo.Build();
+}
+
+const char* const kStatementNames[] = {"tpch_q6", "tpch_q1", "tpch_top",
+                                       "ssb_q11", "ssb_group"};
+constexpr int kNumStatements = 5;
+
+void RegisterAll(Server& server, const TpchData& tpch, const SsbData& ssb) {
+  server.RegisterStatement("tpch_q6", TpchQ6Shape(tpch));
+  server.RegisterStatement("tpch_q1", TpchQ1Shape(tpch));
+  server.RegisterStatement("tpch_top", TpchOrdersTopShape(tpch));
+  server.RegisterStatement("ssb_q11", SsbQ11Shape(ssb));
+  server.RegisterStatement("ssb_group", SsbGroupShape(ssb));
+}
+
+// --- load arms ---------------------------------------------------------------
+
+struct ArmResult {
+  std::string name;
+  int max_concurrent = 0;
+  int64_t queries_ok = 0;
+  int64_t queries_failed = 0;
+  int64_t sessions_connected = 0;
+  double elapsed_s = 0;
+  double qps = 0;
+  double p50_us = 0;
+  double p95_us = 0;
+  double p99_us = 0;
+  server::AdmissionController::Stats admission;
+};
+
+double Percentile(std::vector<double>& xs, double p) {
+  if (xs.empty()) return 0;
+  size_t idx = static_cast<size_t>(p * static_cast<double>(xs.size() - 1));
+  std::nth_element(xs.begin(), xs.begin() + static_cast<long>(idx),
+                   xs.end());
+  return xs[idx];
+}
+
+ArmResult RunArm(const std::string& name, Engine& engine,
+                 const TpchData& tpch, const SsbData& ssb, int sessions,
+                 int queries_per_session, int max_concurrent) {
+  ArmResult res;
+  res.name = name;
+  res.max_concurrent = max_concurrent;
+
+  ServerOptions opts;
+  opts.max_sessions = sessions + 8;
+  opts.backlog = 512;
+  opts.admission.max_concurrent = max_concurrent;
+  opts.admission.max_queued = sessions + 8;  // wait, don't shed
+  opts.admission.queue_timeout_ms = 120'000;
+  Server server(&engine, opts);
+  RegisterAll(server, tpch, ssb);
+  if (!server.Start()) {
+    std::fprintf(stderr, "serve_mixed: server failed to start\n");
+    std::exit(1);
+  }
+  const int port = server.port();
+
+  std::mutex lat_mu;
+  std::vector<double> latencies_us;
+  latencies_us.reserve(static_cast<size_t>(sessions) * queries_per_session);
+  std::atomic<int64_t> ok{0}, failed{0}, connected{0};
+
+  WallTimer timer;
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(sessions));
+  for (int s = 0; s < sessions; ++s) {
+    threads.emplace_back([&, s] {
+      Client c;
+      // The connect storm can transiently overflow the listen backlog;
+      // retry briefly before giving up on this session.
+      bool up = false;
+      for (int attempt = 0; attempt < 50 && !up; ++attempt) {
+        up = c.Connect(port).ok();
+        if (!up) std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+      if (!up) {
+        failed.fetch_add(queries_per_session);
+        return;
+      }
+      connected.fetch_add(1);
+      std::vector<uint32_t> stmt_ids;
+      for (int i = 0; i < kNumStatements; ++i) {
+        Client::Prepared p = c.Prepare(kStatementNames[i]);
+        if (!p.status.ok()) {
+          failed.fetch_add(queries_per_session);
+          return;
+        }
+        stmt_ids.push_back(p.stmt_id);
+      }
+      std::vector<double> local;
+      local.reserve(static_cast<size_t>(queries_per_session));
+      for (int qn = 0; qn < queries_per_session; ++qn) {
+        const uint32_t stmt = stmt_ids[(s + qn) % kNumStatements];
+        const int64_t t0 = WallTimer::NowMicros();
+        Client::Executing e = c.Execute(stmt);
+        if (!e.status.ok()) {
+          failed.fetch_add(1);
+          continue;
+        }
+        Client::RowBatch rb = c.Fetch(e.query_id);
+        if (!rb.status.ok()) {
+          failed.fetch_add(1);
+          continue;
+        }
+        local.push_back(static_cast<double>(WallTimer::NowMicros() - t0));
+        ok.fetch_add(1);
+      }
+      c.Close();
+      std::lock_guard<std::mutex> lk(lat_mu);
+      latencies_us.insert(latencies_us.end(), local.begin(), local.end());
+    });
+  }
+  for (auto& t : threads) t.join();
+  res.elapsed_s = timer.ElapsedSeconds();
+  res.admission = server.admission().stats();
+  server.Stop();
+
+  res.queries_ok = ok.load();
+  res.queries_failed = failed.load();
+  res.sessions_connected = connected.load();
+  res.qps = res.elapsed_s > 0
+                ? static_cast<double>(res.queries_ok) / res.elapsed_s
+                : 0;
+  res.p50_us = Percentile(latencies_us, 0.50);
+  res.p95_us = Percentile(latencies_us, 0.95);
+  res.p99_us = Percentile(latencies_us, 0.99);
+  return res;
+}
+
+// Kills clients mid-EXECUTE and measures whether the server drains the
+// abandoned queries without leaking. Returns the leak in bytes (0 = ok).
+int64_t RunKillChapter(Engine& engine, const TpchData& tpch,
+                       const SsbData& ssb, int kills) {
+  const size_t baseline = NumaAllocatedBytes();
+  {
+    ServerOptions opts;
+    opts.max_sessions = kills + 8;
+    Server server(&engine, opts);
+    RegisterAll(server, tpch, ssb);
+    if (!server.Start()) return -1;
+    std::vector<std::thread> threads;
+    for (int i = 0; i < kills; ++i) {
+      threads.emplace_back([&, i] {
+        Client c;
+        if (!c.Connect(server.port()).ok()) return;
+        Client::Prepared p =
+            c.Prepare(kStatementNames[i % kNumStatements]);
+        if (!p.status.ok()) return;
+        c.Execute(p.stmt_id);
+        c.Kill();  // vanish with the query in flight
+      });
+    }
+    for (auto& t : threads) t.join();
+    server.Stop();  // joins sessions after they drained the abandons
+  }
+  return static_cast<int64_t>(NumaAllocatedBytes()) -
+         static_cast<int64_t>(baseline);
+}
+
+void EmitJson(const char* path, int sessions, int queries_per_session,
+              int workers, double tpch_sf, double ssb_sf,
+              const std::vector<ArmResult>& arms, int64_t kill_leak,
+              int kills) {
+  FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "serve_mixed: cannot write %s\n", path);
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"benchmark\": \"serve_mixed\",\n");
+  std::fprintf(f, "  \"sessions\": %d,\n", sessions);
+  std::fprintf(f, "  \"queries_per_session\": %d,\n", queries_per_session);
+  std::fprintf(f, "  \"statements\": %d,\n", kNumStatements);
+  std::fprintf(f, "  \"workers\": %d,\n", workers);
+  std::fprintf(f, "  \"tpch_sf\": %.4f,\n", tpch_sf);
+  std::fprintf(f, "  \"ssb_sf\": %.4f,\n", ssb_sf);
+  std::fprintf(f, "  \"arms\": [\n");
+  for (size_t i = 0; i < arms.size(); ++i) {
+    const ArmResult& a = arms[i];
+    std::fprintf(f, "    {\n");
+    std::fprintf(f, "      \"name\": \"%s\",\n", a.name.c_str());
+    std::fprintf(f, "      \"max_concurrent\": %d,\n", a.max_concurrent);
+    std::fprintf(f, "      \"sessions_connected\": %lld,\n",
+                 static_cast<long long>(a.sessions_connected));
+    std::fprintf(f, "      \"queries_ok\": %lld,\n",
+                 static_cast<long long>(a.queries_ok));
+    std::fprintf(f, "      \"queries_failed\": %lld,\n",
+                 static_cast<long long>(a.queries_failed));
+    std::fprintf(f, "      \"elapsed_s\": %.3f,\n", a.elapsed_s);
+    std::fprintf(f, "      \"qps\": %.1f,\n", a.qps);
+    std::fprintf(f, "      \"latency_p50_us\": %.0f,\n", a.p50_us);
+    std::fprintf(f, "      \"latency_p95_us\": %.0f,\n", a.p95_us);
+    std::fprintf(f, "      \"latency_p99_us\": %.0f,\n", a.p99_us);
+    std::fprintf(f, "      \"admission_admitted\": %llu,\n",
+                 static_cast<unsigned long long>(a.admission.admitted));
+    std::fprintf(f, "      \"admission_queued\": %llu,\n",
+                 static_cast<unsigned long long>(a.admission.queued));
+    std::fprintf(f, "      \"admission_rejected\": %llu,\n",
+                 static_cast<unsigned long long>(a.admission.rejected));
+    std::fprintf(f, "      \"admission_timed_out\": %llu\n",
+                 static_cast<unsigned long long>(a.admission.timed_out));
+    std::fprintf(f, "    }%s\n", i + 1 < arms.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"kill_mid_execute_sessions\": %d,\n", kills);
+  std::fprintf(f, "  \"kill_leak_bytes\": %lld\n",
+               static_cast<long long>(kill_leak));
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
+}
+
+int Main(int argc, char** argv) {
+  int sessions = 1024;
+  int queries_per_session = 6;
+  const char* out_path = "BENCH_serve_mixed.json";
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strcmp(a, "--smoke") == 0) {
+      sessions = 64;
+      queries_per_session = 2;
+    } else if (std::strncmp(a, "--sessions=", 11) == 0) {
+      sessions = std::max(1, std::atoi(a + 11));
+    } else if (std::strncmp(a, "--queries=", 10) == 0) {
+      queries_per_session = std::max(1, std::atoi(a + 10));
+    } else if (std::strncmp(a, "--out=", 6) == 0) {
+      out_path = a + 6;
+    } else {
+      std::fprintf(stderr, "unknown arg: %s\n", a);
+      return 1;
+    }
+  }
+
+  bench::PrintHeader("serve_mixed — TCP serving front end under load",
+                     "DESIGN.md §12 (query-serving front end)");
+  Topology topo = bench::BenchTopology();
+  const int workers = bench::GetWorkers(topo.total_cores());
+  const double tpch_sf = bench::GetSf(0.01);
+  const double ssb_sf = tpch_sf * 2;
+  std::printf("sessions=%d queries/session=%d workers=%d\n", sessions,
+              queries_per_session, workers);
+  std::printf("generating TPC-H sf=%.3f + SSB sf=%.3f ...\n", tpch_sf,
+              ssb_sf);
+  TpchData tpch = GenerateTpch(tpch_sf, topo);
+  SsbData ssb = GenerateSsb(ssb_sf, topo);
+
+  Engine engine(topo, [&] {
+    EngineOptions o;
+    o.num_workers = workers;
+    return o;
+  }());
+
+  // Tuned: concurrency matched to the pool, overload waits its turn.
+  // Loose: admission out of the way (capped only by the dispatcher's
+  // fixed job table, which a truly unlimited arm would overflow).
+  const int tuned = std::max(2, workers);
+  const int loose = 96;
+  std::vector<ArmResult> arms;
+  for (const auto& [name, cap] :
+       {std::pair<const char*, int>{"tuned_admission", tuned},
+        std::pair<const char*, int>{"loose_admission", loose}}) {
+    std::printf("\n--- arm %s (max_concurrent=%d) ---\n", name, cap);
+    ArmResult r = RunArm(name, engine, tpch, ssb, sessions,
+                         queries_per_session, cap);
+    std::printf(
+        "sessions=%lld ok=%lld failed=%lld elapsed=%.2fs qps=%.1f\n"
+        "latency p50=%.1fms p95=%.1fms p99=%.1fms  "
+        "(admitted=%llu queued=%llu)\n",
+        static_cast<long long>(r.sessions_connected),
+        static_cast<long long>(r.queries_ok),
+        static_cast<long long>(r.queries_failed), r.elapsed_s, r.qps,
+        r.p50_us / 1000, r.p95_us / 1000, r.p99_us / 1000,
+        static_cast<unsigned long long>(r.admission.admitted),
+        static_cast<unsigned long long>(r.admission.queued));
+    arms.push_back(std::move(r));
+  }
+
+  const int kills = std::min(sessions, 32);
+  std::printf("\n--- kill chapter: %d clients vanish mid-EXECUTE ---\n",
+              kills);
+  const int64_t leak = RunKillChapter(engine, tpch, ssb, kills);
+  std::printf("drained to baseline: %s (delta=%lld bytes)\n",
+              leak == 0 ? "yes" : "NO", static_cast<long long>(leak));
+
+  EmitJson(out_path, sessions, queries_per_session, workers, tpch_sf,
+           ssb_sf, arms, leak, kills);
+  return leak == 0 ? 0 : 2;
+}
+
+}  // namespace
+}  // namespace morsel
+
+int main(int argc, char** argv) { return morsel::Main(argc, argv); }

@@ -14,8 +14,52 @@ const char* StatusCodeName(StatusCode code) {
       return "kMemoryExceeded";
     case StatusCode::kInternal:
       return "kInternal";
+    case StatusCode::kAdmissionRejected:
+      return "kAdmissionRejected";
+    case StatusCode::kAdmissionTimeout:
+      return "kAdmissionTimeout";
   }
   return "k?";
+}
+
+int32_t StatusCodeToWire(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return 0;
+    case StatusCode::kCancelled:
+      return 1;
+    case StatusCode::kDeadlineExceeded:
+      return 2;
+    case StatusCode::kMemoryExceeded:
+      return 3;
+    case StatusCode::kInternal:
+      return 4;
+    case StatusCode::kAdmissionRejected:
+      return 5;
+    case StatusCode::kAdmissionTimeout:
+      return 6;
+  }
+  return 4;
+}
+
+StatusCode StatusCodeFromWire(int32_t wire) {
+  switch (wire) {
+    case 0:
+      return StatusCode::kOk;
+    case 1:
+      return StatusCode::kCancelled;
+    case 2:
+      return StatusCode::kDeadlineExceeded;
+    case 3:
+      return StatusCode::kMemoryExceeded;
+    case 4:
+      return StatusCode::kInternal;
+    case 5:
+      return StatusCode::kAdmissionRejected;
+    case 6:
+      return StatusCode::kAdmissionTimeout;
+  }
+  return StatusCode::kInternal;
 }
 
 std::string QueryStatus::ToString() const {

@@ -6,6 +6,7 @@
 // on the failure class (retry a deadline, surface a budget breach,
 // treat cancellation as benign) without parsing messages.
 
+#include <cstdint>
 #include <exception>
 #include <string>
 #include <utility>
@@ -18,9 +19,21 @@ enum class StatusCode {
   kDeadlineExceeded,
   kMemoryExceeded,
   kInternal,
+  // Admission-control dispositions (server front end, DESIGN §12).
+  // These describe queries that never started executing: the admission
+  // controller either rejected outright (queue full / over capacity) or
+  // timed the query out of the wait queue.
+  kAdmissionRejected,
+  kAdmissionTimeout,
 };
 
 const char* StatusCodeName(StatusCode code);
+
+// Stable wire encoding for the server protocol (src/server/wire.h).
+// Values are frozen independently of the enum's declaration order:
+// append-only, never renumber. Unknown wire values decode to kInternal.
+int32_t StatusCodeToWire(StatusCode code);
+StatusCode StatusCodeFromWire(int32_t wire);
 
 struct QueryStatus {
   StatusCode code = StatusCode::kOk;
@@ -43,6 +56,12 @@ struct QueryStatus {
   }
   static QueryStatus Internal(std::string msg) {
     return {StatusCode::kInternal, std::move(msg)};
+  }
+  static QueryStatus AdmissionRejected(std::string msg) {
+    return {StatusCode::kAdmissionRejected, std::move(msg)};
+  }
+  static QueryStatus AdmissionTimeout(std::string msg) {
+    return {StatusCode::kAdmissionTimeout, std::move(msg)};
   }
 };
 

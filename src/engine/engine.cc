@@ -41,10 +41,18 @@ PreparedQuery Engine::Prepare(LogicalPlan plan) {
   return PreparedQuery(this, std::move(plan));
 }
 
-std::unique_ptr<Query> PreparedQuery::MakeQuery(double priority) const {
+std::unique_ptr<Query> PreparedQuery::MakeQuery(
+    double priority, int64_t memory_budget_bytes) const {
   MORSEL_CHECK_MSG(valid(), "PreparedQuery is empty");
+  // Budget installs before SetPlan so lowering allocations are governed.
+  auto lower = [&](const LogicalPlan& plan) {
+    std::unique_ptr<Query> q = engine_->CreateQuery(priority);
+    if (memory_budget_bytes > 0) q->SetMemoryBudget(memory_budget_bytes);
+    q->SetPlan(plan);
+    return q;
+  };
   if (!PlanIsStale(plan_)) {
-    return engine_->CreateQuery(plan_, priority);
+    return lower(plan_);
   }
   // A SealPartition happened after the plan snapshot: the frozen scan
   // statistics (and anything derived from them at lowering time) no
@@ -60,7 +68,7 @@ std::unique_ptr<Query> PreparedQuery::MakeQuery(double priority) const {
     }
     fresh = refresh_->plan;  // cheap: shared tree
   }
-  return engine_->CreateQuery(fresh, priority);
+  return lower(fresh);
 }
 
 ResultSet PreparedQuery::Execute(double priority) const {

@@ -191,7 +191,12 @@ class PreparedQuery {
   const LogicalPlan& plan() const { return plan_; }
 
   // A fresh lowered (not yet started) execution of the plan.
-  std::unique_ptr<Query> MakeQuery(double priority = 1.0) const;
+  // `memory_budget_bytes > 0` installs the per-query budget *before*
+  // lowering, so plan-time allocations are governed too — the server's
+  // per-session budgets need that ordering, which SetMemoryBudget on
+  // the returned Query could not provide.
+  std::unique_ptr<Query> MakeQuery(double priority = 1.0,
+                                   int64_t memory_budget_bytes = 0) const;
   // One-shot convenience: MakeQuery + Execute. Thread-safe.
   ResultSet Execute(double priority = 1.0) const;
 

@@ -1,5 +1,6 @@
 #include "engine/logical_plan.h"
 
+#include "common/hash.h"
 #include "common/macros.h"
 
 namespace morsel {
@@ -75,9 +76,118 @@ std::shared_ptr<const LogicalNode> RefreshNode(const LogicalNode* n) {
   return out;
 }
 
+// --- PlanFingerprint -------------------------------------------------------
+
+void FpU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+template <typename T>
+void FpVal(std::string* out, T v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof v);
+}
+void FpStr(std::string* out, std::string_view s) {
+  FpVal(out, static_cast<uint32_t>(s.size()));
+  out->append(s.data(), s.size());
+}
+void FpStrs(std::string* out, const std::vector<std::string>& v) {
+  FpVal(out, static_cast<uint32_t>(v.size()));
+  for (const std::string& s : v) FpStr(out, s);
+}
+
+void FingerprintNode(const LogicalNode* n, std::string* out) {
+  if (n == nullptr) {
+    FpU8(out, 0);
+    return;
+  }
+  FpU8(out, static_cast<uint8_t>(n->kind) + 1);
+  FpStrs(out, n->names);
+  FpVal(out, static_cast<uint32_t>(n->types.size()));
+  for (LogicalType t : n->types) FpU8(out, static_cast<uint8_t>(t));
+  switch (n->kind) {
+    case LogicalNode::Kind::kScan:
+      // Table identity, not contents: two plans over the same Table
+      // object dedupe; statistics and epochs stay out so refreshed
+      // copies of a plan keep their cache slot.
+      FpVal(out, reinterpret_cast<uintptr_t>(n->table));
+      FpVal(out, static_cast<uint32_t>(n->column_ids.size()));
+      for (int c : n->column_ids) FpVal(out, static_cast<int32_t>(c));
+      break;
+    case LogicalNode::Kind::kFilter:
+      n->predicate->AppendFingerprint(out);
+      break;
+    case LogicalNode::Kind::kProject:
+      FpVal(out, static_cast<uint32_t>(n->exprs.size()));
+      for (const ExprPtr& e : n->exprs) e->AppendFingerprint(out);
+      break;
+    case LogicalNode::Kind::kJoin: {
+      FpStrs(out, n->probe_keys);
+      FpStrs(out, n->build_keys);
+      FpStrs(out, n->build_payload);
+      FpU8(out, static_cast<uint8_t>(n->join_kind));
+      FpU8(out, n->strategy.has_value()
+                    ? static_cast<uint8_t>(*n->strategy) + 1
+                    : 0);
+      if (n->residual != nullptr) {
+        // The factory is opaque; fingerprint the tree it produces
+        // against this node's residual scope (probe columns + build
+        // payload), mirroring the lowering pass. The contract that it
+        // be a pure function of the scope makes this faithful.
+        std::vector<std::string> rnames = n->input->names;
+        std::vector<LogicalType> rtypes = n->input->types;
+        for (const std::string& p : n->build_payload) {
+          int bi = IndexOfName(n->build->names, p);
+          rnames.push_back(p);
+          rtypes.push_back(n->build->types[bi]);
+        }
+        ExprPtr r = n->residual(ColScope(std::move(rnames),
+                                         std::move(rtypes)));
+        FpU8(out, 1);
+        r->AppendFingerprint(out);
+      } else {
+        FpU8(out, 0);
+      }
+      break;
+    }
+    case LogicalNode::Kind::kGroupBy:
+      FpStrs(out, n->group_keys);
+      FpVal(out, static_cast<uint32_t>(n->aggs.size()));
+      for (const AggItem& a : n->aggs) {
+        FpU8(out, static_cast<uint8_t>(a.func));
+        FpStr(out, a.out_name);
+        if (a.input != nullptr) {
+          FpU8(out, 1);
+          a.input->AppendFingerprint(out);
+        } else {
+          FpU8(out, 0);
+        }
+      }
+      break;
+    case LogicalNode::Kind::kOrderBy:
+      FpVal(out, static_cast<uint32_t>(n->order_keys.size()));
+      for (const OrderItem& o : n->order_keys) {
+        FpStr(out, o.name);
+        FpU8(out, o.ascending ? 1 : 0);
+      }
+      FpVal(out, static_cast<int64_t>(n->limit));
+      break;
+    case LogicalNode::Kind::kCollect:
+      break;
+  }
+  FingerprintNode(n->input.get(), out);
+  FingerprintNode(n->build.get(), out);
+}
+
 }  // namespace
 
 int LogicalPlan::num_nodes() const { return CountNodes(root_.get()); }
+
+uint64_t PlanFingerprint(const LogicalPlan& plan) {
+  MORSEL_CHECK(plan.valid());
+  std::string bytes;
+  bytes.reserve(256);
+  FingerprintNode(plan.root(), &bytes);
+  return HashBytes(bytes.data(), bytes.size());
+}
 
 bool PlanIsStale(const LogicalPlan& plan) {
   return plan.valid() && NodeIsStale(plan.root());

@@ -196,6 +196,18 @@ bool PlanIsStale(const LogicalPlan& plan);
 // immutable as a freshly built plan.
 LogicalPlan RefreshScanStats(const LogicalPlan& plan);
 
+// Structural 64-bit fingerprint: two plans fingerprint equally iff
+// their node trees match — same shapes, same tables (by identity), same
+// column lists, same expressions including literals, same join/group/
+// order configuration. Scan *statistics* (row counts, sortedness,
+// epoch snapshots) are deliberately excluded, so a RefreshScanStats
+// copy keeps its fingerprint. Residual join predicates are fingerprinted
+// by invoking the factory against the node's residual scope (it must be
+// pure, which the LogicalNode contract already requires). This is the
+// key of the server's prepared-statement cache (src/server/stmt_cache.h);
+// process-local only — never persist it.
+uint64_t PlanFingerprint(const LogicalPlan& plan);
+
 // Fluent construction of a LogicalPlan. A PlanBuilder represents the
 // open tail of a plan under construction: purely a logical-tree cursor —
 // no pipelines, jobs or operator state exist until the plan is lowered

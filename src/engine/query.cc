@@ -95,6 +95,17 @@ ResultSet Query::TakeResult() {
     r.set_status(std::move(st));
     return r;
   }
+  // Single-shot: the provider moves the sink's buffer out, so a second
+  // taker — possible once concurrent waiters exist (the server's FETCH
+  // path races a session-teardown drain) — must not observe a silently
+  // empty moved-from result, and two concurrent takers must not race on
+  // the move itself. First exchange wins; everyone else gets a
+  // structured error.
+  if (result_taken_.exchange(true, std::memory_order_acq_rel)) {
+    ResultSet r;
+    r.set_status(QueryStatus::Internal("result already consumed"));
+    return r;
+  }
   MORSEL_CHECK_MSG(result_fn_ != nullptr,
                    "plan has no terminal (OrderBy/CollectResult)");
   return result_fn_();

@@ -1,6 +1,7 @@
 #ifndef MORSELDB_ENGINE_QUERY_H_
 #define MORSELDB_ENGINE_QUERY_H_
 
+#include <atomic>
 #include <chrono>
 #include <functional>
 #include <memory>
@@ -58,6 +59,9 @@ class Query {
   // On a clean query, the collected result. On a failed one (cancel,
   // deadline, budget breach, internal error) an empty ResultSet whose
   // status() carries the structured error — never a process abort.
+  // Single-shot and safe against concurrent callers: exactly one caller
+  // gets the rows, later/losing callers get an empty ResultSet with a
+  // kInternal "result already consumed" status.
   ResultSet TakeResult();
   void Cancel();        // §3.2: takes effect at morsel boundaries
   // Terminal status of this execution (kOk while still running).
@@ -113,6 +117,7 @@ class Query {
   QepObject qep_;
   LogicalPlan plan_;
   bool started_ = false;
+  std::atomic<bool> result_taken_{false};
   std::function<ResultSet()> result_fn_;
   // Type-erased owned operator state (JoinState, GroupByState, sinks,
   // the Lowering instance...). Appended to by the plan-time pass and by

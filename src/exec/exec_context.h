@@ -1,11 +1,45 @@
 #ifndef MORSELDB_EXEC_EXEC_CONTEXT_H_
 #define MORSELDB_EXEC_EXEC_CONTEXT_H_
 
+#include <cstdint>
+#include <vector>
+
 #include "core/query_context.h"
 #include "core/worker_context.h"
 #include "exec/chunk.h"
 
 namespace morsel {
+
+// Dynamic bitset over SARG slots. The common case (a handful of
+// zone-checkable conjuncts) lives in one inline word; scans with more
+// than 64 registered SARGs spill into a heap vector that is sized once
+// on first Set and then reused across morsels — Clear() zeroes in
+// place, it never deallocates.
+class SargAcceptMask {
+ public:
+  void Clear() {
+    inline_ = 0;
+    for (uint64_t& w : spill_) w = 0;
+  }
+  void Set(int slot) {
+    if (slot < 64) {
+      inline_ |= uint64_t{1} << slot;
+      return;
+    }
+    const size_t w = static_cast<size_t>(slot) / 64 - 1;
+    if (w >= spill_.size()) spill_.resize(w + 1, 0);
+    spill_[w] |= uint64_t{1} << (slot % 64);
+  }
+  bool Test(int slot) const {
+    if (slot < 64) return ((inline_ >> slot) & 1) != 0;
+    const size_t w = static_cast<size_t>(slot) / 64 - 1;
+    return w < spill_.size() && ((spill_[w] >> (slot % 64)) & 1) != 0;
+  }
+
+ private:
+  uint64_t inline_ = 0;
+  std::vector<uint64_t> spill_;
+};
 
 // Interrupt checkpoint for long-running work that executes outside an
 // ExecContext (local sort runs, k-way merge parts): throws QueryAbort —
@@ -55,7 +89,7 @@ struct ExecContext {
   // registered under sarg slot `s`, so FilterOp skips it. Written by
   // TableScanSource::RunMorsel at each morsel start; meaningful only
   // within that morsel's pipeline ops (same job, same worker).
-  uint32_t sarg_accept_mask = 0;
+  SargAcceptMask sarg_accept_mask;
 
   int socket() const { return worker->socket; }
   TrafficCounters* traffic() const { return worker->traffic; }

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <unordered_set>
 
+#include "common/hash.h"
 #include "common/macros.h"
 #include "common/string_util.h"
 
@@ -61,6 +62,18 @@ inline void ForSelected(const Chunk& in, const Fn& body) {
   }
 }
 
+// AppendFingerprint encoding helpers: fixed-width raw bytes (host
+// order — fingerprints are process-local cache keys, never persisted
+// or sent on the wire).
+template <typename T>
+inline void FpVal(std::string* out, T v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof v);
+}
+inline void FpStr(std::string* out, std::string_view s) {
+  FpVal(out, static_cast<uint32_t>(s.size()));
+  out->append(s.data(), s.size());
+}
+
 class ColRefExpr final : public Expr {
  public:
   ColRefExpr(int index, LogicalType type) : Expr(type), index_(index) {}
@@ -75,6 +88,12 @@ class ColRefExpr final : public Expr {
   int AsColumnIndex() const override { return index_; }
   ExprPtr Clone() const override {
     return std::make_unique<ColRefExpr>(index_, type());
+  }
+
+  void AppendFingerprint(std::string* out) const override {
+    FpVal(out, uint8_t{1});
+    FpVal(out, static_cast<uint8_t>(type()));
+    FpVal(out, static_cast<int32_t>(index_));
   }
 
  private:
@@ -113,6 +132,12 @@ class ConstExpr final : public Expr {
     return std::make_unique<ConstExpr<T>>(type(), v_);
   }
 
+  void AppendFingerprint(std::string* out) const override {
+    FpVal(out, uint8_t{2});
+    FpVal(out, static_cast<uint8_t>(type()));
+    FpVal(out, v_);
+  }
+
  private:
   T v_;
 };
@@ -137,6 +162,11 @@ class ConstStrExpr final : public Expr {
 
   ExprPtr Clone() const override {
     return std::make_unique<ConstStrExpr>(v_);
+  }
+
+  void AppendFingerprint(std::string* out) const override {
+    FpVal(out, uint8_t{3});
+    FpStr(out, v_);
   }
 
  private:
@@ -206,6 +236,13 @@ class ArithExpr final : public Expr {
 
   ExprPtr Clone() const override {
     return std::make_unique<ArithExpr>(op_, lhs_->Clone(), rhs_->Clone());
+  }
+
+  void AppendFingerprint(std::string* out) const override {
+    FpVal(out, uint8_t{4});
+    FpVal(out, static_cast<uint8_t>(op_));
+    lhs_->AppendFingerprint(out);
+    rhs_->AppendFingerprint(out);
   }
 
  private:
@@ -280,6 +317,13 @@ class CmpExpr final : public Expr {
 
   ExprPtr Clone() const override {
     return std::make_unique<CmpExpr>(op_, lhs_->Clone(), rhs_->Clone());
+  }
+
+  void AppendFingerprint(std::string* out) const override {
+    FpVal(out, uint8_t{5});
+    FpVal(out, static_cast<uint8_t>(op_));
+    lhs_->AppendFingerprint(out);
+    rhs_->AppendFingerprint(out);
   }
 
  private:
@@ -390,6 +434,13 @@ class LogicExpr final : public Expr {
     return std::make_unique<LogicExpr>(is_and_, std::move(ops));
   }
 
+  void AppendFingerprint(std::string* out) const override {
+    FpVal(out, uint8_t{6});
+    FpVal(out, static_cast<uint8_t>(is_and_));
+    FpVal(out, static_cast<uint32_t>(operands_.size()));
+    for (const ExprPtr& e : operands_) e->AppendFingerprint(out);
+  }
+
  private:
   bool is_and_;
   std::vector<ExprPtr> operands_;
@@ -418,6 +469,11 @@ class NotExpr final : public Expr {
 
   ExprPtr Clone() const override {
     return std::make_unique<NotExpr>(operand_->Clone());
+  }
+
+  void AppendFingerprint(std::string* out) const override {
+    FpVal(out, uint8_t{7});
+    operand_->AppendFingerprint(out);
   }
 
  private:
@@ -451,6 +507,13 @@ class LikeExpr final : public Expr {
 
   ExprPtr Clone() const override {
     return std::make_unique<LikeExpr>(input_->Clone(), pattern_, negate_);
+  }
+
+  void AppendFingerprint(std::string* out) const override {
+    FpVal(out, uint8_t{8});
+    FpVal(out, static_cast<uint8_t>(negate_));
+    FpStr(out, pattern_);
+    input_->AppendFingerprint(out);
   }
 
  private:
@@ -501,6 +564,17 @@ class InStrExpr final : public Expr {
     return std::make_unique<InStrExpr>(input_->Clone(), lookup_);
   }
 
+  void AppendFingerprint(std::string* out) const override {
+    FpVal(out, uint8_t{9});
+    // The lookup set is unordered: sum the element hashes so iteration
+    // order cannot leak into the fingerprint.
+    uint64_t h = 0;
+    for (const std::string& v : *lookup_) h += HashString(v);
+    FpVal(out, static_cast<uint32_t>(lookup_->size()));
+    FpVal(out, h);
+    input_->AppendFingerprint(out);
+  }
+
  private:
   ExprPtr input_;
   std::shared_ptr<const StrLookup> lookup_;
@@ -531,6 +605,15 @@ class InI64Expr final : public Expr {
 
   ExprPtr Clone() const override {
     return std::make_unique<InI64Expr>(input_->Clone(), lookup_);
+  }
+
+  void AppendFingerprint(std::string* out) const override {
+    FpVal(out, uint8_t{10});
+    uint64_t h = 0;
+    for (int64_t v : *lookup_) h += Hash64(static_cast<uint64_t>(v));
+    FpVal(out, static_cast<uint32_t>(lookup_->size()));
+    FpVal(out, h);
+    input_->AppendFingerprint(out);
   }
 
  private:
@@ -572,6 +655,13 @@ class SubstrExpr final : public Expr {
 
   ExprPtr Clone() const override {
     return std::make_unique<SubstrExpr>(input_->Clone(), start_, len_);
+  }
+
+  void AppendFingerprint(std::string* out) const override {
+    FpVal(out, uint8_t{11});
+    FpVal(out, static_cast<int32_t>(start_));
+    FpVal(out, static_cast<int32_t>(len_));
+    input_->AppendFingerprint(out);
   }
 
  private:
@@ -640,6 +730,13 @@ class CaseWhenExpr final : public Expr {
                                           else_->Clone());
   }
 
+  void AppendFingerprint(std::string* out) const override {
+    FpVal(out, uint8_t{12});
+    cond_->AppendFingerprint(out);
+    then_->AppendFingerprint(out);
+    else_->AppendFingerprint(out);
+  }
+
  private:
   ExprPtr cond_, then_, else_;
 };
@@ -667,6 +764,11 @@ class ExtractYearExpr final : public Expr {
 
   ExprPtr Clone() const override {
     return std::make_unique<ExtractYearExpr>(input_->Clone());
+  }
+
+  void AppendFingerprint(std::string* out) const override {
+    FpVal(out, uint8_t{13});
+    input_->AppendFingerprint(out);
   }
 
  private:
@@ -699,6 +801,11 @@ class ToF64Expr final : public Expr {
 
   ExprPtr Clone() const override {
     return std::make_unique<ToF64Expr>(input_->Clone());
+  }
+
+  void AppendFingerprint(std::string* out) const override {
+    FpVal(out, uint8_t{14});
+    input_->AppendFingerprint(out);
   }
 
  private:

@@ -100,6 +100,15 @@ class Expr {
   // evaluate); Clone() of a shared plan node may run concurrently.
   virtual std::unique_ptr<Expr> Clone() const = 0;
 
+  // Appends a stable byte encoding of this node — tag, parameters,
+  // literals, children — to `*out`. Two trees append identical bytes
+  // iff they are structurally identical; IN-set elements combine
+  // order-independently (the sets are unordered). Feeds PlanFingerprint
+  // (engine/logical_plan.h), the key of the server's prepared-statement
+  // cache, so literals MUST participate: `x < 5` and `x < 6` must not
+  // collide.
+  virtual void AppendFingerprint(std::string* out) const = 0;
+
  private:
   LogicalType type_;
 };

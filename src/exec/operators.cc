@@ -134,7 +134,7 @@ void FilterOp::ProcessSelection(Chunk& chunk, ExecContext& ctx,
     const size_t c =
         adaptive_ ? static_cast<size_t>((order >> (8 * r)) & 0xff) : r;
     const int slot = sarg_slots_[c];
-    if (slot >= 0 && ((ctx.sarg_accept_mask >> slot) & 1) != 0) {
+    if (slot >= 0 && ctx.sarg_accept_mask.Test(slot)) {
       continue;  // the scan's zone check proved this conjunct true
     }
     const uint64_t t0 = observe ? NowNanos() : 0;
@@ -188,7 +188,7 @@ void FilterOp::ProcessEager(Chunk& chunk, ExecContext& ctx,
   int32_t* merged = nullptr;
   for (size_t c = 0; c < conjuncts_.size(); ++c) {
     const int slot = sarg_slots_[c];
-    if (slot >= 0 && ((ctx.sarg_accept_mask >> slot) & 1) != 0) continue;
+    if (slot >= 0 && ctx.sarg_accept_mask.Test(slot)) continue;
     Vector flags;
     conjuncts_[c]->Eval(chunk, ctx, &flags);
     const int32_t* f = flags.i32();

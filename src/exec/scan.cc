@@ -78,7 +78,8 @@ TableScanSource::TableScanSource(const Table* table,
     : table_(table), column_ids_(std::move(column_ids)) {}
 
 int TableScanSource::AddSarg(const ScanSarg& sarg) {
-  if (sargs_.size() >= 32) return -1;  // mask is 32 bits wide
+  // Slots are unbounded: SargAcceptMask grows on demand, so wide
+  // conjunctions (string-heavy / generated predicates) all zone-check.
   sargs_.push_back(sarg);
   return static_cast<int>(sargs_.size()) - 1;
 }
@@ -117,26 +118,25 @@ std::vector<MorselRange> TableScanSource::MakeRanges(const Topology& topo) {
 void TableScanSource::RunMorsel(const Morsel& m, Pipeline& pipeline,
                                 ExecContext& ctx) {
   const int p = m.partition;
-  ctx.sarg_accept_mask = 0;
+  ctx.sarg_accept_mask.Clear();
   if (!sargs_.empty()) {
     morsels_seen_.fetch_add(1, std::memory_order_relaxed);
-    uint32_t accept = 0;
     for (size_t s = 0; s < sargs_.size(); ++s) {
       const Column* col = table_->column(p, column_ids_[sargs_[s].chunk_col]);
       switch (CheckSarg(sargs_[s], col, m.begin, m.end)) {
         case ZoneVerdict::kSkip:
           // Some conjunct can never hold here: elide the whole morsel
-          // without touching a single row.
+          // without touching a single row. Bits set so far are harmless:
+          // the next morsel's Clear() resets them before any op reads.
           morsels_skipped_.fetch_add(1, std::memory_order_relaxed);
           return;
         case ZoneVerdict::kAcceptAll:
-          accept |= uint32_t{1} << s;
+          ctx.sarg_accept_mask.Set(static_cast<int>(s));
           break;
         case ZoneVerdict::kPartial:
           break;
       }
     }
-    ctx.sarg_accept_mask = accept;
   }
   for (uint64_t begin = m.begin; begin < m.end; begin += kChunkCapacity) {
     uint64_t end = std::min(begin + kChunkCapacity, m.end);

@@ -45,8 +45,8 @@ class TableScanSource final : public Source {
   std::string RuntimeInfo() const override;
 
   // Registers a conjunct for zone-map checking; returns its bit slot in
-  // ExecContext::sarg_accept_mask, or -1 when the 32-slot budget is
-  // exhausted. Called at lowering time, before execution starts.
+  // ExecContext::sarg_accept_mask. Slots are unbounded — the mask is a
+  // dynamic bitset. Called at lowering time, before execution starts.
   int AddSarg(const ScanSarg& sarg);
 
  private:

@@ -1,0 +1,98 @@
+#include "server/admission.h"
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+
+namespace morsel::server {
+
+bool AdmissionController::HasCapacity(int64_t reserve_bytes) const {
+  if (running_ >= opts_.max_concurrent) return false;
+  if (opts_.max_reserved_bytes > 0 &&
+      reserved_ + reserve_bytes > opts_.max_reserved_bytes) {
+    return false;
+  }
+  return true;
+}
+
+QueryStatus AdmissionController::Admit(int64_t reserve_bytes, bool* queued) {
+  if (queued != nullptr) *queued = false;
+  std::unique_lock<std::mutex> lk(mu_);
+  if (opts_.max_reserved_bytes > 0 &&
+      reserve_bytes > opts_.max_reserved_bytes) {
+    // Could never be satisfied, even on an idle server: reject rather
+    // than letting the caller camp in the queue until timeout.
+    ++totals_.rejected;
+    return QueryStatus::AdmissionRejected(
+        "query memory reservation (" + std::to_string(reserve_bytes) +
+        " bytes) exceeds the server's total admission budget (" +
+        std::to_string(opts_.max_reserved_bytes) + ")");
+  }
+  if (queue_.empty() && HasCapacity(reserve_bytes)) {
+    ++running_;
+    reserved_ += reserve_bytes;
+    ++totals_.admitted;
+    return QueryStatus::Ok();
+  }
+  if (static_cast<int>(queue_.size()) >= opts_.max_queued) {
+    ++totals_.rejected;
+    return QueryStatus::AdmissionRejected(
+        "admission queue full (" + std::to_string(queue_.size()) +
+        " waiting, " + std::to_string(running_) + " running)");
+  }
+  const uint64_t me = next_ticket_++;
+  queue_.push_back(me);
+  ++totals_.queued;
+  if (queued != nullptr) *queued = true;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(opts_.queue_timeout_ms);
+  while (true) {
+    if (!queue_.empty() && queue_.front() == me &&
+        HasCapacity(reserve_bytes)) {
+      queue_.pop_front();
+      ++running_;
+      reserved_ += reserve_bytes;
+      ++totals_.admitted;
+      // The next waiter may fit too (capacity is multi-dimensional).
+      cv_.notify_all();
+      return QueryStatus::Ok();
+    }
+    if (cv_.wait_until(lk, deadline) == std::cv_status::timeout) {
+      // Re-check once under the lock: the notify may have raced the
+      // clock.
+      if (!queue_.empty() && queue_.front() == me &&
+          HasCapacity(reserve_bytes)) {
+        continue;
+      }
+      queue_.erase(std::find(queue_.begin(), queue_.end(), me));
+      ++totals_.timed_out;
+      // Our departure may unblock the new head.
+      cv_.notify_all();
+      return QueryStatus::AdmissionTimeout(
+          "no admission capacity within " +
+          std::to_string(opts_.queue_timeout_ms) + " ms (" +
+          std::to_string(running_) + " running, " +
+          std::to_string(queue_.size()) + " waiting)");
+    }
+  }
+}
+
+void AdmissionController::Release(int64_t reserve_bytes) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    --running_;
+    reserved_ -= reserve_bytes;
+  }
+  cv_.notify_all();
+}
+
+AdmissionController::Stats AdmissionController::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  Stats s = totals_;
+  s.running = running_;
+  s.waiting = static_cast<int>(queue_.size());
+  s.reserved_bytes = reserved_;
+  return s;
+}
+
+}  // namespace morsel::server

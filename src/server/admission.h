@@ -1,0 +1,86 @@
+#ifndef MORSELDB_SERVER_ADMISSION_H_
+#define MORSELDB_SERVER_ADMISSION_H_
+
+// Admission control for the query-serving front end (DESIGN.md §12).
+// Bounds two things across all sessions: the number of concurrently
+// *executing* queries (the dispatcher's job table and the worker pool
+// are shared resources — a thousand simultaneously started queries
+// would thrash both and blow every tail latency) and the total memory
+// the admitted queries have reserved via their per-query budgets.
+//
+// Over-capacity arrivals wait in a FIFO queue up to a configurable
+// timeout; a full queue rejects immediately. Both dispositions surface
+// as structured QueryStatus codes (kAdmissionTimeout /
+// kAdmissionRejected) that encode onto the wire, so clients can
+// distinguish "retry later" from "shed load elsewhere".
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+
+#include "common/query_status.h"
+
+namespace morsel::server {
+
+struct AdmissionOptions {
+  // Concurrently executing queries. Keep well under the dispatcher's
+  // job-table capacity (core/dispatcher.h kMaxJobs): each running query
+  // occupies one or two pipeline-job slots at a time.
+  int max_concurrent = 32;
+  // Sum of admitted queries' memory reservations; 0 = unlimited.
+  // Queries admitted without a budget reserve nothing.
+  int64_t max_reserved_bytes = 0;
+  // Arrivals waiting for capacity beyond this are rejected outright.
+  int max_queued = 256;
+  // How long an arrival may wait in the queue before timing out.
+  int64_t queue_timeout_ms = 10'000;
+};
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionOptions opts)
+      : opts_(std::move(opts)) {}
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  // Blocks until this query may start, reserving one execution slot and
+  // `reserve_bytes` of budget. Ok => the caller MUST eventually call
+  // Release(reserve_bytes) — after the query's operator state is
+  // destroyed, not merely finished, so the reservation covers the whole
+  // memory lifetime. `*queued`, if given, reports whether the caller
+  // had to wait. Non-ok (kAdmissionRejected / kAdmissionTimeout) =>
+  // nothing is held.
+  QueryStatus Admit(int64_t reserve_bytes, bool* queued = nullptr);
+  void Release(int64_t reserve_bytes);
+
+  struct Stats {
+    uint64_t admitted = 0;   // total admitted (incl. after queueing)
+    uint64_t queued = 0;     // admissions that had to wait
+    uint64_t rejected = 0;   // queue full or impossible reservation
+    uint64_t timed_out = 0;  // gave up waiting
+    int running = 0;
+    int waiting = 0;
+    int64_t reserved_bytes = 0;
+  };
+  Stats stats() const;
+
+  const AdmissionOptions& options() const { return opts_; }
+
+ private:
+  bool HasCapacity(int64_t reserve_bytes) const;  // call under mu_
+
+  const AdmissionOptions opts_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<uint64_t> queue_;  // FIFO tickets of waiting arrivals
+  uint64_t next_ticket_ = 0;
+  int running_ = 0;
+  int64_t reserved_ = 0;
+  Stats totals_;
+};
+
+}  // namespace morsel::server
+
+#endif  // MORSELDB_SERVER_ADMISSION_H_

@@ -1,0 +1,173 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace morsel::server {
+
+namespace {
+QueryStatus TransportError(const char* what) {
+  return QueryStatus::Internal(std::string("transport: ") + what);
+}
+}  // namespace
+
+QueryStatus Client::Connect(int port, const SessionLimits& limits) {
+  Kill();
+  fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) return TransportError("socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    Kill();
+    return TransportError("connect() failed");
+  }
+  const int one = 1;
+  setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  WireWriter w(MsgType::kHello);
+  w.U32(kProtocolVersion);
+  w.F64(limits.priority);
+  w.I64(limits.memory_budget_bytes);
+  w.I64(limits.deadline_ms);
+  w.I32(limits.max_workers);
+  QueryStatus st = RoundTrip(w.Finish(), MsgType::kHelloOk);
+  if (!st.ok()) Kill();
+  return st;
+}
+
+QueryStatus Client::RoundTrip(const std::string& frame, MsgType expect) {
+  if (fd_ < 0) return TransportError("not connected");
+  if (!SendFrame(fd_, frame)) return TransportError("send failed");
+  switch (ReadFrame(fd_, &resp_type_, &resp_, -1)) {
+    case ReadResult::kOk:
+      break;
+    case ReadResult::kEof:
+      return TransportError("connection closed by server");
+    default:
+      return TransportError("read failed");
+  }
+  if (resp_type_ == static_cast<uint8_t>(MsgType::kError)) {
+    WireReader r(resp_.data(), resp_.size());
+    const StatusCode code = StatusCodeFromWire(r.I32());
+    std::string msg = r.Str();
+    if (!r.ok()) return TransportError("malformed error frame");
+    return QueryStatus{code, std::move(msg)};
+  }
+  if (resp_type_ != static_cast<uint8_t>(expect)) {
+    return TransportError("unexpected response type");
+  }
+  return QueryStatus::Ok();
+}
+
+Client::Prepared Client::Prepare(const std::string& statement_name) {
+  Prepared out;
+  WireWriter w(MsgType::kPrepare);
+  w.Str(statement_name);
+  out.status = RoundTrip(w.Finish(), MsgType::kPrepared);
+  if (!out.status.ok()) return out;
+  WireReader r(resp_.data(), resp_.size());
+  out.stmt_id = r.U32();
+  out.fingerprint = r.U64();
+  out.cache_hit = r.U8() != 0;
+  const uint16_t ncols = r.U16();
+  for (uint16_t c = 0; c < ncols; ++c) {
+    out.col_types.push_back(static_cast<LogicalType>(r.U8()));
+    out.col_names.push_back(r.Str());
+  }
+  if (!r.ok()) out.status = TransportError("malformed PREPARED frame");
+  return out;
+}
+
+Client::Executing Client::Execute(uint32_t stmt_id, double priority,
+                                  int64_t memory_budget_bytes,
+                                  int64_t deadline_ms) {
+  Executing out;
+  WireWriter w(MsgType::kExecute);
+  w.U32(stmt_id);
+  w.F64(priority);
+  w.I64(memory_budget_bytes);
+  w.I64(deadline_ms);
+  out.status = RoundTrip(w.Finish(), MsgType::kExecuting);
+  if (!out.status.ok()) return out;
+  WireReader r(resp_.data(), resp_.size());
+  out.query_id = r.U64();
+  out.queued = r.U8() != 0;
+  if (!r.ok()) out.status = TransportError("malformed EXECUTING frame");
+  return out;
+}
+
+Client::RowBatch Client::Fetch(uint64_t query_id, uint32_t max_rows) {
+  RowBatch out;
+  WireWriter w(MsgType::kFetch);
+  w.U64(query_id);
+  w.U32(max_rows);
+  out.status = RoundTrip(w.Finish(), MsgType::kRows);
+  if (!out.status.ok()) return out;
+  WireReader r(resp_.data(), resp_.size());
+  out.done = r.U8() != 0;
+  out.num_rows = r.U32();
+  const uint16_t ncols = r.U16();
+  out.cols.resize(ncols);
+  for (uint16_t c = 0; c < ncols && r.ok(); ++c) {
+    Column& col = out.cols[c];
+    col.type = static_cast<LogicalType>(r.U8());
+    for (int64_t i = 0; i < out.num_rows; ++i) {
+      switch (col.type) {
+        case LogicalType::kInt32:
+          col.ints.push_back(r.I32());
+          break;
+        case LogicalType::kInt64:
+          col.ints.push_back(r.I64());
+          break;
+        case LogicalType::kDouble:
+          col.doubles.push_back(r.F64());
+          break;
+        case LogicalType::kString:
+          col.strings.push_back(r.Str());
+          break;
+      }
+    }
+  }
+  if (!r.ok()) out.status = TransportError("malformed ROWS frame");
+  return out;
+}
+
+QueryStatus Client::Cancel(uint64_t query_id) {
+  WireWriter w(MsgType::kCancel);
+  w.U64(query_id);
+  return RoundTrip(w.Finish(), MsgType::kOk);
+}
+
+void Client::Close() {
+  if (fd_ < 0) return;
+  WireWriter w(MsgType::kClose);
+  RoundTrip(w.Finish(), MsgType::kOk);  // best-effort goodbye
+  Kill();
+}
+
+void Client::Kill() {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool Client::SendRaw(const void* data, size_t n) {
+  if (fd_ < 0) return false;
+  std::string frame(static_cast<const char*>(data), n);
+  return SendFrame(fd_, frame);
+}
+
+ReadResult Client::ReadResponse(uint8_t* type, std::vector<uint8_t>* payload,
+                                int timeout_ms) {
+  if (fd_ < 0) return ReadResult::kError;
+  return ReadFrame(fd_, type, payload, timeout_ms);
+}
+
+}  // namespace morsel::server

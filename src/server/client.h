@@ -1,0 +1,103 @@
+#ifndef MORSELDB_SERVER_CLIENT_H_
+#define MORSELDB_SERVER_CLIENT_H_
+
+// Blocking client for the query-serving protocol (server/wire.h). Used
+// by the server tests and bench/serve_mixed.cc; one Client is one
+// session and must be driven from one thread. Error handling is
+// status-based throughout: transport failures surface as kInternal
+// statuses, server-side dispositions (admission, deadline, cancel...)
+// arrive as their wire-decoded structured codes.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/query_status.h"
+#include "server/session.h"
+#include "server/wire.h"
+#include "storage/types.h"
+
+namespace morsel::server {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client() { Kill(); }
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  // Connects to 127.0.0.1:port and performs the HELLO handshake with
+  // `limits` as the session defaults (non-positive fields keep the
+  // server's). Non-ok on refusal (e.g. the server's session limit).
+  QueryStatus Connect(int port, const SessionLimits& limits = {});
+
+  struct Prepared {
+    QueryStatus status;
+    uint32_t stmt_id = 0;
+    uint64_t fingerprint = 0;
+    bool cache_hit = false;
+    std::vector<std::string> col_names;
+    std::vector<LogicalType> col_types;
+  };
+  Prepared Prepare(const std::string& statement_name);
+
+  struct Executing {
+    QueryStatus status;
+    uint64_t query_id = 0;
+    bool queued = false;  // waited in the admission queue
+  };
+  // Per-query overrides; <= 0 defers to the session defaults.
+  Executing Execute(uint32_t stmt_id, double priority = 0,
+                    int64_t memory_budget_bytes = 0,
+                    int64_t deadline_ms = 0);
+
+  struct Column {
+    LogicalType type = LogicalType::kInt64;
+    std::vector<int64_t> ints;        // kInt32 / kInt64
+    std::vector<double> doubles;      // kDouble
+    std::vector<std::string> strings; // kString
+  };
+  struct RowBatch {
+    QueryStatus status;
+    bool done = false;
+    int64_t num_rows = 0;
+    std::vector<Column> cols;
+  };
+  // Blocks until the query finishes server-side, then pages rows.
+  // max_rows 0 = everything remaining in one batch.
+  RowBatch Fetch(uint64_t query_id, uint32_t max_rows = 0);
+
+  // Convenience: Fetch until done, concatenating counts (columns of the
+  // last batch are kept). For result correctness checks use max_rows=0.
+  QueryStatus Cancel(uint64_t query_id);
+
+  // Graceful end: CLOSE + wait for the ack + close the socket.
+  void Close();
+  // Abrupt end: closes the socket with no protocol goodbye — from the
+  // server's side the client vanished mid-whatever (the disconnect
+  // -mid-EXECUTE test path).
+  void Kill();
+
+  bool connected() const { return fd_ >= 0; }
+
+  // Test hook: ships arbitrary bytes down the socket, bypassing the
+  // framing layer — malformed/oversized-frame coverage.
+  bool SendRaw(const void* data, size_t n);
+  // Test hook: reads one server frame (for driving the protocol
+  // manually after SendRaw).
+  ReadResult ReadResponse(uint8_t* type, std::vector<uint8_t>* payload,
+                          int timeout_ms = -1);
+
+ private:
+  // Sends `frame` and reads the next response frame into type_/payload_.
+  QueryStatus RoundTrip(const std::string& frame, MsgType expect);
+
+  int fd_ = -1;
+  uint8_t resp_type_ = 0;
+  std::vector<uint8_t> resp_;
+};
+
+}  // namespace morsel::server
+
+#endif  // MORSELDB_SERVER_CLIENT_H_

@@ -1,0 +1,31 @@
+#include "server/stmt_cache.h"
+
+namespace morsel::server {
+
+std::shared_ptr<const StatementCache::Entry> StatementCache::GetOrPrepare(
+    const LogicalPlan& plan, bool* cache_hit) {
+  const uint64_t fp = PlanFingerprint(plan);
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = entries_.find(fp);
+  if (it != entries_.end()) {
+    ++hits_;
+    if (cache_hit != nullptr) *cache_hit = true;
+    return it->second;
+  }
+  ++misses_;
+  if (cache_hit != nullptr) *cache_hit = false;
+  auto entry = std::make_shared<Entry>();
+  entry->fingerprint = fp;
+  entry->prepared = engine_->Prepare(plan);
+  entry->names = plan.output_names();
+  entry->types = plan.output_types();
+  entries_.emplace(fp, entry);
+  return entry;
+}
+
+StatementCache::Stats StatementCache::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return Stats{hits_, misses_, entries_.size()};
+}
+
+}  // namespace morsel::server

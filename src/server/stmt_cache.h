@@ -1,0 +1,64 @@
+#ifndef MORSELDB_SERVER_STMT_CACHE_H_
+#define MORSELDB_SERVER_STMT_CACHE_H_
+
+// Prepared-statement cache keyed on plan fingerprint (DESIGN.md §12).
+// Sessions that PREPARE structurally identical plans — the common shape
+// under heavy traffic: thousands of connections running the same
+// parameter-less statement set — share one PreparedQuery. That shares
+// more than the Prepare call: PreparedQuery's epoch-refresh state is
+// per-handle-group, so when a bulk load bumps a Table::epoch(), the
+// RefreshScanStats re-snapshot runs once for the whole server instead
+// of once per session (the staleness check itself stays inside
+// PreparedQuery::MakeQuery, which every EXECUTE goes through — a cache
+// hit can never serve a stale splice).
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/engine.h"
+#include "engine/logical_plan.h"
+
+namespace morsel::server {
+
+class StatementCache {
+ public:
+  struct Entry {
+    uint64_t fingerprint = 0;
+    PreparedQuery prepared;
+    // Output schema, captured once for kPrepared responses.
+    std::vector<std::string> names;
+    std::vector<LogicalType> types;
+  };
+
+  explicit StatementCache(Engine* engine) : engine_(engine) {}
+
+  // The shared entry for `plan`, preparing and caching on first sight.
+  // `*cache_hit` (optional) reports whether the plan was deduplicated.
+  // Thread-safe; the returned entry is immutable and safe to use from
+  // any number of sessions concurrently (PreparedQuery::MakeQuery is
+  // const and internally synchronized).
+  std::shared_ptr<const Entry> GetOrPrepare(const LogicalPlan& plan,
+                                            bool* cache_hit = nullptr);
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    size_t entries = 0;
+  };
+  Stats stats() const;
+
+ private:
+  Engine* engine_;
+  mutable std::mutex mu_;
+  std::unordered_map<uint64_t, std::shared_ptr<const Entry>> entries_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace morsel::server
+
+#endif  // MORSELDB_SERVER_STMT_CACHE_H_

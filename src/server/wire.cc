@@ -1,0 +1,143 @@
+#include "server/wire.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace morsel::server {
+
+void WireWriter::F64(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof bits);
+  U64(bits);
+}
+
+const std::string& WireWriter::Finish() {
+  const uint32_t len = static_cast<uint32_t>(buf_.size() - 4);
+  for (size_t i = 0; i < 4; ++i) {
+    buf_[i] = static_cast<char>((len >> (8 * i)) & 0xff);
+  }
+  return buf_;
+}
+
+uint8_t WireReader::U8() {
+  if (p_ == end_) {
+    ok_ = false;
+    return 0;
+  }
+  return *p_++;
+}
+
+uint64_t WireReader::ReadLE(size_t n) {
+  if (static_cast<size_t>(end_ - p_) < n) {
+    ok_ = false;
+    p_ = end_;
+    return 0;
+  }
+  uint64_t v = 0;
+  for (size_t i = 0; i < n; ++i) v |= static_cast<uint64_t>(p_[i]) << (8 * i);
+  p_ += n;
+  return v;
+}
+
+double WireReader::F64() {
+  const uint64_t bits = U64();
+  double v;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+std::string WireReader::Str() {
+  const uint32_t n = U32();
+  if (!ok_ || static_cast<size_t>(end_ - p_) < n) {
+    ok_ = false;
+    p_ = end_;
+    return std::string();
+  }
+  std::string s(reinterpret_cast<const char*>(p_), n);
+  p_ += n;
+  return s;
+}
+
+const uint8_t* WireReader::raw(size_t n) {
+  if (static_cast<size_t>(end_ - p_) < n) {
+    ok_ = false;
+    p_ = end_;
+    return nullptr;
+  }
+  const uint8_t* r = p_;
+  p_ += n;
+  return r;
+}
+
+bool SendFrame(int fd, const std::string& frame) {
+  const char* p = frame.data();
+  size_t left = frame.size();
+  while (left > 0) {
+    const ssize_t n = send(fd, p, left, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += n;
+    left -= static_cast<size_t>(n);
+  }
+  return true;
+}
+
+namespace {
+
+// Reads exactly `len` bytes; poll-gated so a stalled peer cannot wedge
+// the session thread forever when a timeout is configured.
+ReadResult ReadExact(int fd, uint8_t* out, size_t len, int timeout_ms) {
+  size_t got = 0;
+  while (got < len) {
+    if (timeout_ms >= 0) {
+      pollfd pfd{fd, POLLIN, 0};
+      const int pr = poll(&pfd, 1, timeout_ms);
+      if (pr < 0) {
+        if (errno == EINTR) continue;
+        return ReadResult::kError;
+      }
+      if (pr == 0) return ReadResult::kTimeout;
+    }
+    const ssize_t n = recv(fd, out + got, len - got, 0);
+    if (n == 0) return ReadResult::kEof;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ReadResult::kError;
+    }
+    got += static_cast<size_t>(n);
+  }
+  return ReadResult::kOk;
+}
+
+}  // namespace
+
+ReadResult ReadFrame(int fd, uint8_t* type, std::vector<uint8_t>* payload,
+                     int timeout_ms) {
+  uint8_t hdr[4];
+  ReadResult r = ReadExact(fd, hdr, 4, timeout_ms);
+  if (r != ReadResult::kOk) return r;
+  const uint32_t len = static_cast<uint32_t>(hdr[0]) |
+                       static_cast<uint32_t>(hdr[1]) << 8 |
+                       static_cast<uint32_t>(hdr[2]) << 16 |
+                       static_cast<uint32_t>(hdr[3]) << 24;
+  if (len == 0 || len > kMaxFramePayload) return ReadResult::kOversized;
+  // A partial frame after the prefix is a protocol error, not a timeout:
+  // the stream cannot be resynchronized mid-frame.
+  r = ReadExact(fd, type, 1, timeout_ms);
+  if (r != ReadResult::kOk) return r == ReadResult::kEof ? ReadResult::kError : r;
+  payload->resize(len - 1);
+  if (len > 1) {
+    r = ReadExact(fd, payload->data(), len - 1, timeout_ms);
+    if (r != ReadResult::kOk) {
+      return r == ReadResult::kEof ? ReadResult::kError : r;
+    }
+  }
+  return ReadResult::kOk;
+}
+
+}  // namespace morsel::server

@@ -1,0 +1,141 @@
+#ifndef MORSELDB_SERVER_WIRE_H_
+#define MORSELDB_SERVER_WIRE_H_
+
+// Length-prefixed binary framing for the query-serving protocol
+// (DESIGN.md §12). One frame on the wire is
+//
+//   u32 payload_len (little-endian) | u8 msg_type | payload bytes
+//
+// where payload_len counts the type byte plus the payload. Integers are
+// little-endian fixed-width; strings are u32 length + raw bytes. The
+// network layer stays off the query hot path (Rödiger et al.): frames
+// are assembled in user-space buffers and shipped with one send() —
+// workers never touch a socket.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace morsel::server {
+
+// Hard per-frame ceiling. A declared length beyond this is treated as a
+// protocol violation and the connection is dropped without a response —
+// after an oversized prefix the stream cannot be resynchronized, and
+// trusting it would let one client make the server allocate 4 GiB.
+constexpr uint32_t kMaxFramePayload = 16u << 20;
+
+constexpr uint32_t kProtocolVersion = 1;
+
+enum class MsgType : uint8_t {
+  // client -> server
+  kHello = 1,    // u32 version | f64 priority | i64 budget | i64
+                 // deadline_ms | i32 max_workers  (session defaults;
+                 // <= 0 keeps the server-side default)
+  kPrepare = 2,  // str statement_name
+  kExecute = 3,  // u32 stmt_id | f64 priority | i64 budget | i64
+                 // deadline_ms  (per-query overrides; <= 0 = session
+                 // default)
+  kFetch = 4,    // u64 query_id | u32 max_rows (0 = all remaining)
+  kCancel = 5,   // u64 query_id
+  kClose = 6,    // (empty) graceful session end
+
+  // server -> client
+  kHelloOk = 16,    // u32 version | u64 session_id
+  kPrepared = 17,   // u32 stmt_id | u64 fingerprint | u8 cache_hit |
+                    // u16 ncols | ncols x (u8 type | str name)
+  kExecuting = 18,  // u64 query_id | u8 queued (1 = waited in the
+                    // admission queue before starting)
+  kRows = 19,       // u8 done | u32 nrows | u16 ncols | ncols x
+                    // (u8 type | column data: raw i32/i64/f64 array,
+                    // strings length-prefixed each)
+  kOk = 20,         // (empty) ack for kCancel / kClose
+  kError = 21,      // i32 wire status code (query_status.h) | str message
+};
+
+// Appends fixed-width little-endian values into a frame buffer; Finish
+// patches the length prefix and yields the ready-to-send bytes.
+class WireWriter {
+ public:
+  explicit WireWriter(MsgType type) {
+    buf_.assign(4, '\0');  // length prefix, patched in Finish
+    U8(static_cast<uint8_t>(type));
+  }
+
+  void U8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void U16(uint16_t v) { AppendLE(v); }
+  void U32(uint32_t v) { AppendLE(v); }
+  void U64(uint64_t v) { AppendLE(v); }
+  void I32(int32_t v) { AppendLE(static_cast<uint32_t>(v)); }
+  void I64(int64_t v) { AppendLE(static_cast<uint64_t>(v)); }
+  void F64(double v);
+  void Str(const std::string& s) {
+    U32(static_cast<uint32_t>(s.size()));
+    buf_.append(s);
+  }
+  void Bytes(const void* data, size_t n) {
+    buf_.append(static_cast<const char*>(data), n);
+  }
+
+  // Patches the length prefix; the buffer stays valid until the writer
+  // is destroyed or reused.
+  const std::string& Finish();
+
+ private:
+  template <typename T>
+  void AppendLE(T v) {
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+  }
+  std::string buf_;
+};
+
+// Bounds-checked decoder over one frame's payload (after the type
+// byte). Any overrun sets ok() false and yields zeros/empties from then
+// on — callers check ok() once at the end instead of per field, and a
+// malformed frame can never read out of bounds.
+class WireReader {
+ public:
+  WireReader(const uint8_t* data, size_t len) : p_(data), end_(data + len) {}
+
+  uint8_t U8();
+  uint16_t U16() { return static_cast<uint16_t>(ReadLE(2)); }
+  uint32_t U32() { return static_cast<uint32_t>(ReadLE(4)); }
+  uint64_t U64() { return ReadLE(8); }
+  int32_t I32() { return static_cast<int32_t>(U32()); }
+  int64_t I64() { return static_cast<int64_t>(U64()); }
+  double F64();
+  std::string Str();
+
+  bool ok() const { return ok_; }
+  bool AtEnd() const { return p_ == end_; }
+  size_t remaining() const { return static_cast<size_t>(end_ - p_); }
+  const uint8_t* raw(size_t n);  // nullptr (and !ok) if fewer remain
+
+ private:
+  uint64_t ReadLE(size_t n);
+  const uint8_t* p_;
+  const uint8_t* end_;
+  bool ok_ = true;
+};
+
+enum class ReadResult {
+  kOk,
+  kEof,        // orderly close (or half-close) from the peer
+  kError,      // socket error / frame shorter than its length prefix
+  kTimeout,    // no complete frame within the poll timeout
+  kOversized,  // declared length > kMaxFramePayload: drop the stream
+};
+
+// Blocking frame I/O. SendFrame writes the whole buffer (MSG_NOSIGNAL:
+// a vanished peer surfaces as `false`, never SIGPIPE). ReadFrame reads
+// one whole frame; `timeout_ms` < 0 blocks indefinitely, otherwise it
+// bounds the wait for each chunk (poll), so an idle or wedged peer
+// surfaces as kTimeout — the half-open-connection reaper.
+bool SendFrame(int fd, const std::string& frame);
+ReadResult ReadFrame(int fd, uint8_t* type, std::vector<uint8_t>* payload,
+                     int timeout_ms);
+
+}  // namespace morsel::server
+
+#endif  // MORSELDB_SERVER_WIRE_H_

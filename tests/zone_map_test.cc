@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "exec/exec_context.h"
 #include "storage/column.h"
 #include "test_util.h"
 
@@ -273,6 +274,71 @@ TEST(ZoneMaps, ColumnZoneMinMaxApi) {
   // Double accessor on an int column: domain mismatch.
   double dmn, dmx;
   EXPECT_FALSE(col.ZoneMinMaxF64(0, 10, &dmn, &dmx));
+}
+
+// --- sarg slot budget --------------------------------------------------------
+
+// The accept mask used to be a single uint64_t capped at 32 slots;
+// conjunct 33+ silently lost its zone-map skip. These pin the lifted
+// budget: a conjunction wide enough to exhaust the old cap must still
+// skip on a selective trailing conjunct, and return exact rows.
+
+TEST(ZoneMaps, FortyConjunctsStillSkipOnTrailingSarg) {
+  auto t = MakeDates(100000, /*sorted=*/true);
+  std::string explain = ExpectSameRows([&] {
+    PlanBuilder pb = PlanBuilder::Scan(t.get(), {"d", "v"});
+    // 39 always-true range conjuncts burn the low slots...
+    std::vector<ExprPtr> conj;
+    for (int i = 0; i < 39; ++i) {
+      conj.push_back(Ge(pb.Col("d"), ConstI32(-1 - i)));
+    }
+    // ...then the only selective one lands at slot >= 39, past the old
+    // 32-slot cap. Between contributes two more sargs on top.
+    conj.push_back(Between(pb.Col("d"), ConstI32(2000), ConstI32(2100)));
+    pb.Filter(And(std::move(conj)));
+    pb.CollectResult();
+    return pb.Build();
+  });
+  EXPECT_GT(SkippedOf(explain), 0u) << explain;
+}
+
+TEST(ZoneMaps, SeventyConjunctsSpillPastInlineWord) {
+  // Past slot 63 the mask spills into heap words; same contract.
+  auto t = MakeDates(100000, /*sorted=*/true);
+  std::string explain = ExpectSameRows([&] {
+    PlanBuilder pb = PlanBuilder::Scan(t.get(), {"d", "v"});
+    std::vector<ExprPtr> conj;
+    for (int i = 0; i < 69; ++i) {
+      conj.push_back(Ge(pb.Col("d"), ConstI32(-1 - i)));
+    }
+    conj.push_back(Between(pb.Col("d"), ConstI32(2000), ConstI32(2100)));
+    pb.Filter(And(std::move(conj)));
+    pb.CollectResult();
+    return pb.Build();
+  });
+  EXPECT_GT(SkippedOf(explain), 0u) << explain;
+}
+
+TEST(ZoneMaps, SargAcceptMaskBits) {
+  SargAcceptMask m;
+  const int slots[] = {0, 31, 63, 64, 100, 127, 128, 300};
+  for (int s : slots) EXPECT_FALSE(m.Test(s));
+  for (int s : slots) m.Set(s);
+  for (int s : slots) EXPECT_TRUE(m.Test(s)) << s;
+  // Neighbours stay clear (no word-offset arithmetic slip).
+  EXPECT_FALSE(m.Test(1));
+  EXPECT_FALSE(m.Test(62));
+  EXPECT_FALSE(m.Test(65));
+  EXPECT_FALSE(m.Test(99));
+  EXPECT_FALSE(m.Test(126));
+  EXPECT_FALSE(m.Test(129));
+  EXPECT_FALSE(m.Test(299));
+  EXPECT_FALSE(m.Test(301));
+  m.Clear();
+  for (int s : slots) EXPECT_FALSE(m.Test(s)) << s;
+  // Clear keeps capacity: re-Set of a spilled slot needs no growth.
+  m.Set(300);
+  EXPECT_TRUE(m.Test(300));
 }
 
 }  // namespace
