@@ -1,0 +1,159 @@
+// Adaptive group-by phase 1 (DESIGN.md §13) on the full engine path
+// (scan -> group-by -> filter -> count): the same 2M-row aggregation
+// under the three phase-1 arms —
+//
+//  - adaptive (default): workers start in thread-local pre-aggregation
+//    and switch to radix-partition-then-aggregate when the observed
+//    groups/rows ratio crosses the switch threshold;
+//  - forced-local (adaptive_agg=false): the fixed two-phase baseline,
+//    local tables spilling partials on overflow;
+//  - forced-radix (agg_radix_switch_ratio=0): every worker scatters
+//    from the first row.
+//
+// across the distributions the switch heuristic must tell apart: few
+// groups (pre-aggregation collapses everything locally), uniform high
+// cardinality (the local table thrashes, radix wins), skew (hot keys
+// collapse, the tail spills) and a mid-stream shift (workers must
+// change their mind). The bar (ISSUE/DESIGN §13): adaptive within
+// 1.1x of the better forced arm everywhere, and >=1.5x over
+// forced-local on high cardinality.
+//
+// Emitted as BENCH_micro_groupby.json by bench/run_micro.sh so the
+// aggregation trajectory is tracked PR over PR.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "engine/engine.h"
+#include "engine/query.h"
+#include "numa/topology.h"
+#include "storage/table.h"
+
+namespace morsel {
+namespace {
+
+constexpr int64_t kRows = 2 << 20;  // 2M
+
+const Topology& BenchTopo() {
+  // Single worker: per-row phase-1 costs, not parallel scaling — on
+  // the 1-core bench container oversubscribed workers would only add
+  // scheduler noise to the arm-over-arm ratios.
+  static Topology topo(1, 1, InterconnectKind::kFullyConnected);
+  return topo;
+}
+
+enum class Dist { kFew, kHighCard, kSkew, kShift };
+
+std::unique_ptr<Table> MakeDistTable(Dist d) {
+  Schema schema({{"k", LogicalType::kInt64}, {"v", LogicalType::kInt64}});
+  auto t = std::make_unique<Table>("g", schema, BenchTopo());
+  Rng rng(4242);
+  for (int64_t i = 0; i < kRows; ++i) {
+    int64_t k = 0;
+    switch (d) {
+      case Dist::kFew:
+        k = rng.Uniform(0, 63);
+        break;
+      case Dist::kHighCard:
+        k = rng.Uniform(0, kRows - 1);  // ~1.3M distinct of 2M rows
+        break;
+      case Dist::kSkew:
+        k = rng.Uniform(0, 9) < 9 ? rng.Uniform(0, 63)
+                                  : 1000 + rng.Uniform(0, kRows - 1);
+        break;
+      case Dist::kShift:
+        k = i < kRows / 2 ? rng.Uniform(0, 63)
+                          : rng.Uniform(0, kRows - 1);
+        break;
+    }
+    int p = static_cast<int>(i % t->num_partitions());
+    t->Int64Col(p, 0)->Append(k);
+    t->Int64Col(p, 1)->Append(rng.Uniform(0, 1000));
+  }
+  for (int p = 0; p < t->num_partitions(); ++p) t->SealPartition(p);
+  return t;
+}
+
+const Table* DistTable(Dist d) {
+  static Table* tables[4] = {nullptr, nullptr, nullptr, nullptr};
+  const int idx = static_cast<int>(d);
+  if (tables[idx] == nullptr) tables[idx] = MakeDistTable(d).release();
+  return tables[idx];
+}
+
+enum class Arm { kAdaptive, kForcedLocal, kForcedRadix };
+
+Engine& ArmEngine(Arm arm) {
+  static Engine* engines[3] = {nullptr, nullptr, nullptr};
+  const int idx = static_cast<int>(arm);
+  if (engines[idx] == nullptr) {
+    EngineOptions opts;
+    opts.morsel_size = 16384;
+    opts.adaptive_agg = arm != Arm::kForcedLocal;
+    if (arm == Arm::kForcedRadix) opts.agg_radix_switch_ratio = 0.0;
+    engines[idx] = new Engine(BenchTopo(), opts);
+  }
+  return *engines[idx];
+}
+
+// Group-by with count+sum, then a never-true filter over the group
+// rows: phase 1 + phase 2 run in full but the result set stays empty,
+// so materialization cost does not drown the phase-1 difference on the
+// ~1.3M-group distributions.
+void GroupByBench(benchmark::State& state, Dist dist, Arm arm) {
+  const Table* t = DistTable(dist);  // built outside the timing
+  Engine& engine = ArmEngine(arm);
+  auto run_once = [&] {
+    PlanBuilder pb = PlanBuilder::Scan(t, {"k", "v"});
+    std::vector<AggItem> aggs;
+    aggs.push_back({AggFunc::kCount, nullptr, "cnt"});
+    aggs.push_back({AggFunc::kSum, pb.Col("v"), "sum"});
+    pb.GroupBy({"k"}, std::move(aggs));
+    pb.Filter(Lt(pb.Col("cnt"), ConstI64(0)));
+    pb.CollectResult();
+    ResultSet r = engine.CreateQuery(pb.Build())->Execute();
+    return r.num_rows();
+  };
+  // One untimed query first: the arms run back to back in one process,
+  // and whichever goes first would otherwise absorb the engine's lazy
+  // worker-state and allocator-pool faults into its arm ratio.
+  run_once();
+  int64_t out = 0;
+  for (auto _ : state) {
+    out = run_once();
+  }
+  benchmark::DoNotOptimize(out);
+  state.SetItemsProcessed(state.iterations() * kRows);
+}
+
+#define GROUPBY_BENCH(dist, dist_name)                              \
+  void BM_GroupBy##dist_name##Adaptive(benchmark::State& s) {       \
+    GroupByBench(s, dist, Arm::kAdaptive);                          \
+  }                                                                 \
+  void BM_GroupBy##dist_name##ForcedLocal(benchmark::State& s) {    \
+    GroupByBench(s, dist, Arm::kForcedLocal);                       \
+  }                                                                 \
+  void BM_GroupBy##dist_name##ForcedRadix(benchmark::State& s) {    \
+    GroupByBench(s, dist, Arm::kForcedRadix);                       \
+  }                                                                 \
+  BENCHMARK(BM_GroupBy##dist_name##Adaptive)                        \
+      ->Unit(benchmark::kMillisecond);                              \
+  BENCHMARK(BM_GroupBy##dist_name##ForcedLocal)                     \
+      ->Unit(benchmark::kMillisecond);                              \
+  BENCHMARK(BM_GroupBy##dist_name##ForcedRadix)                     \
+      ->Unit(benchmark::kMillisecond);
+
+GROUPBY_BENCH(Dist::kFew, FewGroups)
+GROUPBY_BENCH(Dist::kHighCard, HighCard)
+GROUPBY_BENCH(Dist::kSkew, Skewed)
+GROUPBY_BENCH(Dist::kShift, MidStreamShift)
+
+#undef GROUPBY_BENCH
+
+}  // namespace
+}  // namespace morsel
+
+BENCHMARK_MAIN();

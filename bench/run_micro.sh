@@ -17,6 +17,11 @@
 #                                    chains, zone-map morsel skipping
 #                                    (sorted vs shuffled), adaptive vs
 #                                    static conjunct order
+#   BENCH_micro_groupby.json       — adaptive group-by phase 1 vs
+#                                    forced-local vs forced-radix over
+#                                    few-group / high-cardinality /
+#                                    skewed / mid-stream-shift key
+#                                    distributions
 #   BENCH_micro_cancel.json        — Cancel()->drained latency p50/p99 on
 #                                    one-morsel merge-join monoliths,
 #                                    interrupt checkpoints on vs off, plus
@@ -73,6 +78,7 @@ run_one micro_hash_table
 run_one micro_merge_join
 run_one micro_plan_lowering
 run_one micro_filter
+run_one micro_groupby
 run_one micro_cancel
 
 # serve_mixed is not a Google Benchmark binary: it drives the TCP

@@ -62,6 +62,23 @@ struct EngineOptions {
   // into one-morsel monoliths. 1 = the coarse one-partition-per-worker
   // ablation baseline.
   int merge_partition_factor = 4;
+  // Adaptive phase-1 aggregation (DESIGN §13): each worker starts in
+  // thread-local pre-aggregation and switches to radix-partition-then-
+  // aggregate when its observed distinct-group fill rate crosses
+  // agg_radix_switch_ratio. false = the fixed two-phase baseline (the
+  // differential-test ablation arm: workers never leave the local
+  // table).
+  bool adaptive_agg = true;
+  // New-groups-per-consumed-row ratio that flips a worker to radix
+  // scatter; <= 0 forces radix mode from the first row (bench arm).
+  double agg_radix_switch_ratio = 0.5;
+  // Radix-partitioned materialization for *unsorted* merge-join inputs
+  // (DESIGN §13): both sides hash-scatter into per-worker partition
+  // runs, partition planning needs no sampled separators, and each
+  // partition sorts/merges only its 1/P share. Near-sorted inputs keep
+  // the separator path (global order makes their local sorts detection
+  // scans). false = always sample separators over globally sorted runs.
+  bool radix_merge_materialize = true;
   // Staged lowering (DESIGN §9): a kAdaptive join whose inputs end in
   // pipeline breakers defers its hash-vs-merge choice to the pipeline
   // boundary, where the breakers' actual row counts replace the

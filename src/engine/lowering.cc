@@ -352,6 +352,18 @@ Lowering::OpenPipe Lowering::LowerResolvedJoin(const LogicalNode* n,
         probe.types, std::move(probe_cols), plan.build_types, num_keys,
         kind, query_->num_worker_slots(), num_parts);
     js->set_residual(std::move(plan.residual));
+    // Materialization mode (DESIGN §13): near-sorted inputs keep the
+    // separator path — their local sorts degenerate to detection scans
+    // precisely because materialization preserved the global order, and
+    // hash-scattering would destroy that. Everything else (including
+    // unknown sortedness, -1) radix-scatters on the join keys so each
+    // partition sorts only its 1/P share and planning needs no samples.
+    const double ps = probe.sorted_frac[probe.Index(n->probe_keys[0])];
+    const double bs = build.sorted_frac[0];  // keys lead post-PrepareJoinBuild
+    const bool radix_mat =
+        engine_->options().radix_merge_materialize &&
+        !(ps >= kSortednessBar && bs >= kSortednessBar);
+    if (radix_mat) js->EnableRadixMaterialize();
 
     RunMaterializeSink* build_sink =
         query_->Own<RunMaterializeSink>(js->right());
@@ -366,6 +378,11 @@ Lowering::OpenPipe Lowering::LowerResolvedJoin(const LogicalNode* n,
     RunMaterializeSink* probe_sink =
         query_->Own<RunMaterializeSink>(js->left());
     int probe_mat = ClosePipe(probe, probe_sink, "merge-probe-materialize");
+    if (radix_mat) {
+      // ExplainPlan: the mode decision, on the probe materialize line.
+      query_->job(probe_mat)->set_info(
+          "[radix-materialize " + std::to_string(num_parts) + " parts]");
+    }
     int probe_sort = EmitJob(
         std::make_unique<LocalSortRunsJob>(
             query_->context(), "merge-probe-sort", js->left(),
@@ -557,7 +574,10 @@ Lowering::OpenPipe Lowering::LowerGroupBy(const LogicalNode* n,
 
   GroupByState* gs = query_->Own<GroupByState>(
       key_types, specs, query_->num_worker_slots());
-  AggPhase1Sink* sink = query_->Own<AggPhase1Sink>(gs);
+  AggPhase1Sink::Options aopts;
+  aopts.adaptive = engine_->options().adaptive_agg;
+  aopts.switch_ratio = engine_->options().agg_radix_switch_ratio;
+  AggPhase1Sink* sink = query_->Own<AggPhase1Sink>(gs, aopts);
   int phase1 = ClosePipe(pipe, sink, "agg-phase1");
 
   // Continue from the aggregation output.

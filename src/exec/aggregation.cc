@@ -1,6 +1,7 @@
 #include "exec/aggregation.h"
 
 #include <algorithm>
+#include <bit>
 #include <cstring>
 
 namespace morsel {
@@ -27,12 +28,6 @@ LogicalType StateTypeFor(const AggSpec& spec) {
   return AggStateType(spec.func, spec.input_type);
 }
 
-// Partition index: uses different hash bits than the local table's slot
-// (low bits) and the join hash table (high bits).
-inline int PartitionOf(uint64_t hash, int num_partitions) {
-  return static_cast<int>((hash >> 13) % static_cast<uint64_t>(num_partitions));
-}
-
 inline int64_t InputI64(const Vector& v, int i) {
   return v.type == LogicalType::kInt32 ? v.i32()[i] : v.i64()[i];
 }
@@ -46,7 +41,6 @@ GroupByState::GroupByState(std::vector<LogicalType> key_types,
       specs_(std::move(specs)),
       num_keys_(static_cast<int>(key_types_.size())),
       num_partitions_(num_partitions),
-      spill_(num_worker_slots),
       string_arenas_(num_worker_slots) {
   std::vector<LogicalType> fields = key_types_;
   for (const AggSpec& s : specs_) {
@@ -54,13 +48,8 @@ GroupByState::GroupByState(std::vector<LogicalType> key_types,
     fields.push_back(state_types_.back());
   }
   layout_ = TupleLayout(std::move(fields), /*with_marker=*/false);
-  for (auto& w : spill_) w.resize(num_partitions_);
-}
-
-RowBuffer* GroupByState::spill(int worker_id, int partition, int socket) {
-  std::unique_ptr<RowBuffer>& b = spill_[worker_id][partition];
-  if (b == nullptr) b = std::make_unique<RowBuffer>(&layout_, socket);
-  return b.get();
+  partitions_ = std::make_unique<RadixPartitionSet>(
+      &layout_, num_worker_slots, num_partitions_);
 }
 
 std::string_view GroupByState::InternString(int worker_id,
@@ -93,6 +82,40 @@ void GroupByState::InitStates(uint8_t* row, const Chunk& in, int i) const {
           layout_.SetI64(row, f, InputI64(in.cols[spec.input_col], i));
         }
         break;
+    }
+  }
+}
+
+void GroupByState::InitStatesColumnar(uint8_t* const* rows, const Chunk& in,
+                                      int n) const {
+  for (size_t s = 0; s < specs_.size(); ++s) {
+    const AggSpec& spec = specs_[s];
+    const int f = num_keys_ + static_cast<int>(s);
+    if (spec.func == AggFunc::kCount) {
+      for (int i = 0; i < n; ++i) layout_.SetI64(rows[i], f, 1);
+      continue;
+    }
+    // SUM/MIN/MAX all initialize to the input value itself; the state is
+    // double exactly when the input is (AggStateType).
+    const Vector& v = in.cols[spec.input_col];
+    switch (v.type) {
+      case LogicalType::kInt32: {
+        const int32_t* src = v.i32();
+        for (int i = 0; i < n; ++i) layout_.SetI64(rows[i], f, src[i]);
+        break;
+      }
+      case LogicalType::kInt64: {
+        const int64_t* src = v.i64();
+        for (int i = 0; i < n; ++i) layout_.SetI64(rows[i], f, src[i]);
+        break;
+      }
+      case LogicalType::kDouble: {
+        const double* src = v.f64();
+        for (int i = 0; i < n; ++i) layout_.SetF64(rows[i], f, src[i]);
+        break;
+      }
+      default:
+        MORSEL_CHECK(false);  // string aggregates are rejected upstream
     }
   }
 }
@@ -207,8 +230,9 @@ bool GroupByState::KeysEqualRow(const uint8_t* a, const uint8_t* b) const {
   return true;
 }
 
-AggPhase1Sink::AggPhase1Sink(GroupByState* state)
+AggPhase1Sink::AggPhase1Sink(GroupByState* state, Options opts)
     : state_(state),
+      opts_(opts),
       locals_(state->num_worker_slots()),
       key_cols_(IdentityCols(state->num_keys())) {}
 
@@ -229,8 +253,8 @@ void AggPhase1Sink::SpillLocal(Local& local, int worker_id, int socket,
   uint64_t bytes = 0;
   for (size_t i = 0; i < local.rows->rows(); ++i) {
     const uint8_t* row = local.rows->row(i);
-    int p = PartitionOf(TupleLayout::GetHash(row),
-                        state_->num_partitions());
+    int p = RadixPartitionOf(TupleLayout::GetHash(row),
+                             state_->num_partitions());
     RowBuffer* out = state_->spill(worker_id, p, socket);
     std::memcpy(out->AppendRow(), row, layout.row_size());
     bytes += layout.row_size();
@@ -241,8 +265,68 @@ void AggPhase1Sink::SpillLocal(Local& local, int worker_id, int socket,
   local.count = 0;
 }
 
+void AggPhase1Sink::SwitchToRadix(Local& local, int worker_id, int socket,
+                                  TrafficCounters* traffic) {
+  // Flush whatever the table pre-aggregated so far — those partials are
+  // indistinguishable from radix-scattered ones downstream — then stop
+  // maintaining the table for good. One-way: radix mode has no fill
+  // rate to observe and flapping back would just re-pay the table.
+  SpillLocal(local, worker_id, socket, traffic);
+  local.radix = true;
+  local.switch_pending = false;
+  local.scatter = std::make_unique<RadixScatter>(
+      &state_->layout(), state_->num_partitions());
+}
+
+// Radix-mode Consume: every input row becomes a count-1 partial record
+// ([keys..., init states...] with its group hash in the header) placed
+// by RadixPartitionOf — the same record SpillLocal would have emitted
+// for a group seen once. Straight-line per chunk: hash, histogram,
+// bulk-append, column-wise field stores; no probes, no table churn.
+void AggPhase1Sink::ConsumeRadix(Chunk& chunk, ExecContext& ctx,
+                                 Local& local) {
+  // The column-wise stores below want dense vectors (HashRows too).
+  chunk.Compact(&ctx.arena);
+  const int n = chunk.n;
+  if (n == 0) return;
+  const int wid = ctx.worker->worker_id;
+  const int socket = ctx.socket();
+  const TupleLayout& layout = state_->layout();
+  const uint64_t* hashes = HashRows(chunk, key_cols_, ctx);
+  uint8_t** dest = local.scatter->Scatter(
+      hashes, n, ctx,
+      [&](int p) { return state_->spill(wid, p, socket); });
+  // AppendRows zero-filled the headers (next = null); store the hashes
+  // and the key fields, then the initial states.
+  for (int i = 0; i < n; ++i) TupleLayout::SetHash(dest[i], hashes[i]);
+  for (int k = 0; k < state_->num_keys(); ++k) {
+    const Vector& v = chunk.cols[k];
+    if (layout.field_type(k) == LogicalType::kString) {
+      const std::string_view* src = v.str();
+      for (int i = 0; i < n; ++i) {
+        layout.SetStr(dest[i], k, state_->InternString(wid, src[i]));
+      }
+    } else {
+      for (int i = 0; i < n; ++i) layout.StoreFromVector(dest[i], k, v, i);
+    }
+  }
+  state_->InitStatesColumnar(dest, chunk, n);
+  ctx.traffic()->OnWrite(socket, socket,
+                         static_cast<uint64_t>(n) * layout.row_size());
+}
+
 void AggPhase1Sink::Consume(Chunk& chunk, ExecContext& ctx) {
   Local& local = LocalOf(ctx);
+  // switch_ratio <= 0 means "any fill rate qualifies": go radix before
+  // the first row (the forced-radix bench/ablation arm).
+  if (!local.radix && opts_.adaptive && opts_.switch_ratio <= 0.0) {
+    SwitchToRadix(local, ctx.worker->worker_id, ctx.socket(),
+                  ctx.traffic());
+  }
+  if (local.radix) {
+    ConsumeRadix(chunk, ctx, local);
+    return;
+  }
   const TupleLayout& layout = state_->layout();
   const int wid = ctx.worker->worker_id;
 
@@ -251,6 +335,7 @@ void AggPhase1Sink::Consume(Chunk& chunk, ExecContext& ctx) {
   const int active = chunk.ActiveRows();
   for (int k2 = 0; k2 < active; ++k2) {
     const int i = chunk.RowAt(k2);
+    ++local.window_rows;
     uint64_t h = HashRow(chunk, key_cols_, i);
     uint32_t slot = static_cast<uint32_t>(h) & (kLocalSlots - 1);
     uint8_t* found = nullptr;
@@ -268,8 +353,14 @@ void AggPhase1Sink::Consume(Chunk& chunk, ExecContext& ctx) {
       continue;
     }
     // "spill when ht becomes full" (Figure 8): flush everything to the
-    // overflow partitions and start over with an empty table.
+    // overflow partitions and start over with an empty table. A full
+    // table is also a forced observation point: if the window that
+    // filled it was mostly fresh groups, flag the radix switch (applied
+    // at the chunk boundary — one chunk is never split across modes).
     if (local.count >= kLocalSlots * 3 / 4) {
+      if (local.window_rows > 0 && WantRadix(local)) {
+        local.switch_pending = true;
+      }
       SpillLocal(local, wid, ctx.socket(), ctx.traffic());
       slot = static_cast<uint32_t>(h) & (kLocalSlots - 1);
       while (local.slots[slot] != kEmpty) {
@@ -291,18 +382,58 @@ void AggPhase1Sink::Consume(Chunk& chunk, ExecContext& ctx) {
     state_->InitStates(row, chunk, i);
     local.slots[slot] = idx;
     ++local.count;
+    ++local.window_groups;
+  }
+
+  // Chunk-boundary observation: distinct-group growth over the window
+  // (kObserveWindow rows, counted across spills). window_groups counts
+  // *table inserts* — after a spill a returning group counts again — so
+  // the ratio measures how much pre-aggregation the table is actually
+  // achieving, which is exactly the quantity radix mode competes with.
+  if (opts_.adaptive && !local.switch_pending &&
+      local.window_rows >= kObserveWindow) {
+    if (WantRadix(local)) local.switch_pending = true;
+    local.window_rows = 0;
+    local.window_groups = 0;
+  }
+  if (local.switch_pending) {
+    SwitchToRadix(local, wid, ctx.socket(), ctx.traffic());
   }
 }
 
 void AggPhase1Sink::Finalize(ExecContext& ctx) {
   // Runs single-threaded after the last morsel; flushes every worker's
-  // remaining pre-aggregation table into the partitions.
+  // remaining pre-aggregation table into the partitions. Radix-mode
+  // workers have nothing buffered (their table was flushed at the
+  // switch and Clear() left `rows` empty), so the spill no-ops.
   for (size_t w = 0; w < locals_.size(); ++w) {
     if (locals_[w] == nullptr) continue;
     Local& local = *locals_[w];
     SpillLocal(local, static_cast<int>(w), local.rows->socket(),
                ctx.traffic());
   }
+}
+
+std::string AggPhase1Sink::RuntimeInfo() const {
+  int workers = 0;
+  int radix = 0;
+  for (const std::unique_ptr<Local>& l : locals_) {
+    if (l == nullptr) continue;
+    ++workers;
+    if (l->radix) ++radix;
+  }
+  if (workers == 0) return std::string();
+  std::string mode;
+  if (radix == 0) {
+    mode = "local-preagg";
+  } else if (radix == workers) {
+    mode = "radix";
+  } else {
+    mode = "radix " + std::to_string(radix) + "/" +
+           std::to_string(workers) + " workers";
+  }
+  return "[agg: " + mode + ", groups≈" + std::to_string(RowsProduced()) +
+         "]";
 }
 
 int64_t AggPhase1Sink::RowsProduced() const {
@@ -350,6 +481,12 @@ void AggPartitionSource::RunMorsel(const Morsel& m, Pipeline& pipeline,
 
   uint64_t cap = 1024;
   while (cap < total * 2) cap <<= 1;
+  // Slot index = top log2(cap) hash bits. The low bits are OFF LIMITS:
+  // RadixPartitionOf pinned bits 13..18 to this partition's id, so a
+  // low-bit index would reach only 1/num_partitions of the slots as
+  // probe starts and linear probing would degenerate into giant runs
+  // (measured: ~5000 probe steps per record on a 1M-group input).
+  const int slot_shift = 64 - std::countr_zero(cap);
   std::vector<uint32_t> slots(cap, UINT32_MAX);
   RowBuffer merged(&layout, ctx.socket());
 
@@ -364,16 +501,21 @@ void AggPartitionSource::RunMorsel(const Morsel& m, Pipeline& pipeline,
     if (buf == nullptr || buf->rows() == 0) continue;
     ctx.traffic()->OnRead(ctx.socket(), buf->socket(), buf->bytes());
     for (size_t base = 0; base < buf->rows(); base += kMergeBlock) {
+      // One partition is one morsel, and radix-mode phase 1 can make a
+      // partition as large as its share of the *input* — checkpoint at
+      // block granularity so cancellation never waits out the merge
+      // (DESIGN §11; CheckInterrupt self-throttles).
+      ctx.CheckInterrupt();
       const size_t limit = std::min(base + kMergeBlock, buf->rows());
       for (size_t i = base; i < limit; ++i) {
         uint64_t h = TupleLayout::GetHash(buf->row(i));
         block_hashes[i - base] = h;
-        MORSEL_PREFETCH(&slots[h & (cap - 1)]);
+        MORSEL_PREFETCH(&slots[h >> slot_shift]);
       }
       for (size_t i = base; i < limit; ++i) {
         const uint8_t* partial = buf->row(i);
         uint64_t h = block_hashes[i - base];
-        uint64_t slot = h & (cap - 1);
+        uint64_t slot = h >> slot_shift;
         bool combined = false;
         while (slots[slot] != UINT32_MAX) {
           uint8_t* row = merged.row(slots[slot]);

@@ -6,6 +6,7 @@
 
 #include "exec/operators.h"
 #include "exec/pipeline.h"
+#include "exec/radix_partition.h"
 #include "exec/tuple.h"
 
 namespace morsel {
@@ -35,7 +36,11 @@ LogicalType AggStateType(AggFunc func, LogicalType input_type);
 //
 // Partial-aggregate records use the row format [keys..., states...] with
 // the group hash in the tuple header. Combining partials is associative,
-// so phase-1 spill records and phase-2 merging share one layout.
+// so phase-1 spill records and phase-2 merging share one layout — and a
+// radix-mode worker (adaptive phase 1, DESIGN §13) scattering count-1
+// partials writes the very same records into the very same partitions,
+// which is why phase 2 merges mixed-mode workers without knowing which
+// mode each one ended in.
 class GroupByState {
  public:
   GroupByState(std::vector<LogicalType> key_types, std::vector<AggSpec> specs,
@@ -49,17 +54,26 @@ class GroupByState {
   const std::vector<LogicalType>& key_types() const { return key_types_; }
 
   // Spill buffer for (worker, partition); created lazily, NUMA-local.
-  RowBuffer* spill(int worker_id, int partition, int socket);
-  RowBuffer* spill_if_exists(int worker_id, int partition) const {
-    return spill_[worker_id][partition].get();
+  // Backed by the shared radix substrate: local-table spills and radix
+  // scatters partition with RadixPartitionOf into the same matrix.
+  RowBuffer* spill(int worker_id, int partition, int socket) {
+    return partitions_->buffer(worker_id, partition, socket);
   }
-  int num_worker_slots() const { return static_cast<int>(spill_.size()); }
+  RowBuffer* spill_if_exists(int worker_id, int partition) const {
+    return partitions_->buffer_if_exists(worker_id, partition);
+  }
+  int num_worker_slots() const { return partitions_->num_worker_slots(); }
 
   std::string_view InternString(int worker_id, std::string_view s);
 
   // --- state transition functions ----------------------------------------
   // Initializes a fresh group row's states from input row `i`.
   void InitStates(uint8_t* row, const Chunk& in, int i) const;
+  // Bulk form over a dense chunk: initializes rows[i] from input row i
+  // for all i in [0, n) with the per-spec type dispatch hoisted out of
+  // the row loop — the hot store of radix-mode scatter.
+  void InitStatesColumnar(uint8_t* const* rows, const Chunk& in,
+                          int n) const;
   // Folds input row `i` into an existing group row.
   void UpdateFromInput(uint8_t* row, const Chunk& in, int i) const;
   // Folds a partial-aggregate record into an existing group row.
@@ -76,7 +90,8 @@ class GroupByState {
   TupleLayout layout_;
   int num_keys_;
   int num_partitions_;
-  std::vector<std::vector<std::unique_ptr<RowBuffer>>> spill_;
+  // Built in the ctor body (needs the finished layout_).
+  std::unique_ptr<RadixPartitionSet> partitions_;
   std::vector<std::unique_ptr<Arena>> string_arenas_;
 };
 
@@ -84,9 +99,33 @@ class GroupByState {
 // owns a fixed-size pre-aggregation table ("aggregates heavy hitters
 // using a thread-local, fixed-sized hash table"); when it fills, its
 // contents spill to hash partitions.
+//
+// Adaptive phase 1 (DESIGN §13): thread-local pre-aggregation only wins
+// while groups repeat within a worker's stream. Each worker therefore
+// watches its local table's fill rate — new groups per consumed row over
+// a sliding observation window — and once the ratio crosses
+// Options::switch_ratio it flushes its table and switches permanently to
+// radix mode: every further input row is scattered as a count-1 partial
+// record straight into the spill partitions (histogram + bulk append via
+// RadixScatter; no probes, no re-spills, no table clears). The decision
+// is per worker; since both modes emit identical records into identical
+// partitions, phase 2 is mode-oblivious.
 class AggPhase1Sink final : public Sink {
  public:
-  explicit AggPhase1Sink(GroupByState* state);
+  struct Options {
+    // false = the fixed two-phase baseline (ablation arm): workers never
+    // leave the thread-local table regardless of what they observe.
+    bool adaptive = true;
+    // New-groups-per-row threshold that flips a worker to radix mode.
+    // <= 0 forces radix from the first row (the forced-radix bench arm).
+    double switch_ratio = 0.5;
+  };
+
+  // Two overloads (not one defaulted `opts = {}`): a nested class used
+  // as a default argument inside its enclosing class is incomplete there.
+  explicit AggPhase1Sink(GroupByState* state)
+      : AggPhase1Sink(state, Options()) {}
+  AggPhase1Sink(GroupByState* state, Options opts);
 
   void Consume(Chunk& chunk, ExecContext& ctx) override;
   void Finalize(ExecContext& ctx) override;  // spills all local tables
@@ -96,6 +135,12 @@ class AggPhase1Sink final : public Sink {
   // far tighter than the planner's sqrt(input) guess, and exactly what
   // the adaptive-join runtime feedback wants from this breaker.
   int64_t RowsProduced() const override;
+  // ExplainPlan annotation: which phase-1 mode the workers ended in and
+  // the spilled-partials group estimate.
+  std::string RuntimeInfo() const override;
+
+  // Rows a worker consumes before each fill-rate observation.
+  static constexpr uint64_t kObserveWindow = 4096;
 
  private:
   // Power-of-two local table size (entries); spill threshold is 3/4.
@@ -106,13 +151,29 @@ class AggPhase1Sink final : public Sink {
     std::vector<uint32_t> slots;  // kLocalSlots entries -> row index
     std::unique_ptr<RowBuffer> rows;
     uint32_t count = 0;
+    // --- adaptive state machine (kLocal -> kRadix, one-way) ----------
+    bool radix = false;
+    bool switch_pending = false;   // flagged mid-chunk, applied at end
+    uint64_t window_rows = 0;      // rows since the window reset
+    uint64_t window_groups = 0;    // fresh table inserts in the window
+    std::unique_ptr<RadixScatter> scatter;  // created on switch
   };
 
   Local& LocalOf(ExecContext& ctx);
   void SpillLocal(Local& local, int worker_id, int socket,
                   TrafficCounters* traffic);
+  // Whether the window's fill rate says this worker should go radix.
+  bool WantRadix(const Local& local) const {
+    return opts_.adaptive &&
+           static_cast<double>(local.window_groups) >=
+               opts_.switch_ratio * static_cast<double>(local.window_rows);
+  }
+  void SwitchToRadix(Local& local, int worker_id, int socket,
+                     TrafficCounters* traffic);
+  void ConsumeRadix(Chunk& chunk, ExecContext& ctx, Local& local);
 
   GroupByState* state_;
+  Options opts_;
   std::vector<std::unique_ptr<Local>> locals_;
   // Key columns lead the phase-1 input chunk by construction; computed
   // once here instead of one heap allocation per consumed chunk.

@@ -114,7 +114,25 @@ int MergeJoinState::CompareKey(const uint8_t* a, bool a_right,
   return 0;
 }
 
+void MergeJoinState::EnableRadixMaterialize() {
+  // Both sides must hash the same key values to the same partition:
+  // left hashes its key columns in key order, right its leading fields.
+  std::vector<int> right_keys;
+  for (int k = 0; k < num_keys_; ++k) right_keys.push_back(k);
+  left_.EnableRadixScatter(num_parts_, left_key_cols_);
+  right_.EnableRadixScatter(num_parts_, std::move(right_keys));
+  radix_ = true;
+}
+
 void MergeJoinState::PlanJoin() {
+  if (radix_) {
+    // Scattered materialization already partitioned both sides — and
+    // with the same hash, so equal keys share a partition just as equal
+    // keys fall between the same separators below.
+    left_.PlanRadixPartitions();
+    right_.PlanRadixPartitions();
+    return;
+  }
   struct Sample {
     const uint8_t* row;
     bool right;

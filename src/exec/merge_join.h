@@ -43,9 +43,20 @@ class MergeJoinState {
   int num_keys() const { return num_keys_; }
   void set_residual(ExprPtr residual) { residual_ = std::move(residual); }
 
+  // Radix-materialization fast path (DESIGN §13) for unsorted inputs:
+  // both sides hash-scatter on their join keys into per-(worker,
+  // partition) runs of the shared radix substrate. Equal keys hash
+  // identically across layouts (int32 keys widen before hashing), so
+  // matching rows co-locate by construction; PlanJoin then skips
+  // sampling and separator searches entirely and each partition joins
+  // its hash class in key-sorted order. Call before materialization.
+  void EnableRadixMaterialize();
+  bool radix_materialize() const { return radix_; }
+
   // Computes global separators from both sides' sorted runs and range-
-  // partitions both sides identically. Runs once, single-threaded, from
-  // the join source's MakeRanges (after both local-sort jobs finished).
+  // partitions both sides identically (or, in radix mode, just declares
+  // the scatter partitions). Runs once, single-threaded, from the join
+  // source's MakeRanges (after both local-sort jobs finished).
   void PlanJoin();
   int planned_parts() const { return left_.num_parts(); }
 
@@ -87,6 +98,7 @@ class MergeJoinState {
   int num_keys_;
   JoinKind kind_;
   int num_parts_;
+  bool radix_ = false;  // radix-scattered materialization enabled
   bool fast_int_key_ = false;  // single integer key: direct compares
   std::vector<int> left_key_cols_;
   std::vector<KeyClass> key_class_;

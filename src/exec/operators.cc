@@ -95,6 +95,10 @@ void FilterOp::Rerank() {
   // conjuncts first. Pure heuristic — any order is correct — so all
   // counter reads are relaxed and a racing re-rank is harmless.
   const size_t k = conjuncts_.size();
+  // Only adaptive chains re-rank; >kMaxAdaptive conjunctions run in
+  // stable static order and must never reach these fixed-size arrays
+  // (or pack indices past the order word's 8 slots).
+  MORSEL_DCHECK(adaptive_ && k <= kMaxAdaptive);
   double score[kMaxAdaptive];
   for (size_t i = 0; i < k; ++i) {
     const uint64_t in = stats_[i].rows_in.load(std::memory_order_relaxed);

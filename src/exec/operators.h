@@ -86,6 +86,8 @@ class FilterOp final : public Operator {
   // r). Written by Rerank() on whichever worker crosses the interval;
   // read relaxed by every Process — any torn-free snapshot is a valid
   // order, so plain atomics suffice.
+  static_assert(kMaxAdaptive * 8 <= 64,
+                "packed conjunct order must fit one atomic word");
   std::atomic<uint64_t> order_{0};
   std::atomic<uint64_t> chunks_{0};
   std::unique_ptr<ConjunctStats[]> stats_;

@@ -69,10 +69,12 @@ void ExecPipelineJob::Finalize(WorkerContext& wctx) {
     }
   }
   set_rows_produced(produced);
-  // Source-side runtime annotation (e.g. zone-map skip tally), appended
-  // after any plan-time annotation the lowering already attached.
-  std::string rinfo = pipeline_->source()->RuntimeInfo();
-  if (!rinfo.empty()) {
+  // Runtime annotations (e.g. zone-map skip tally from the source, the
+  // aggregation sink's adaptive-mode report), appended after any
+  // plan-time annotation the lowering already attached.
+  for (std::string rinfo : {pipeline_->sink()->RuntimeInfo(),
+                            pipeline_->source()->RuntimeInfo()}) {
+    if (rinfo.empty()) continue;
     const std::string& prev = info();
     set_info(prev.empty() ? rinfo : prev + " " + rinfo);
   }

@@ -56,6 +56,11 @@ class Sink {
   // input rows). -1 = no override; the job then publishes the consumed
   // row count. Called once, after Finalize.
   virtual int64_t RowsProduced() const { return -1; }
+  // Optional runtime annotation for ExplainPlan, read once by the job's
+  // Finalize after the sink finalized — the sink-side mirror of
+  // Source::RuntimeInfo (e.g. the phase-1 aggregation's adaptive-mode
+  // report). Empty = none.
+  virtual std::string RuntimeInfo() const { return std::string(); }
 };
 
 // Source -> ops -> sink. The executable form of one of the paper's

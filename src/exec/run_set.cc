@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "exec/operators.h"
 #include "numa/mem_stats.h"
 
 namespace morsel {
@@ -11,6 +12,7 @@ RunSet::RunSet(std::vector<LogicalType> column_types,
                std::vector<SortKey> keys, int num_worker_slots)
     : layout_(std::move(column_types), /*with_marker=*/false),
       keys_(std::move(keys)),
+      worker_slots_(num_worker_slots),
       runs_(num_worker_slots),
       string_arenas_(num_worker_slots),
       order_(num_worker_slots) {
@@ -37,6 +39,54 @@ std::string_view RunSet::InternString(int worker_id, std::string_view s) {
   std::unique_ptr<Arena>& a = string_arenas_[worker_id];
   if (a == nullptr) a = std::make_unique<Arena>();
   return a->CopyString(s);
+}
+
+void RunSet::EnableRadixScatter(int num_parts,
+                                std::vector<int> hash_cols) {
+  MORSEL_CHECK(num_parts >= 1);
+  MORSEL_CHECK(!hash_cols.empty());
+  // The mode decision is plan-time: flipping with rows already in the
+  // single-run-per-worker slots would strand them outside the wid*P + p
+  // indexing scheme.
+  MORSEL_CHECK(MaterializedRows() == 0);
+  for (int c : hash_cols) {
+    MORSEL_CHECK(c >= 0 && c < layout_.num_fields());
+  }
+  radix_parts_ = num_parts;
+  radix_hash_cols_ = std::move(hash_cols);
+  // One run per (worker, partition); sized up front for the same reason
+  // as the ctor — concurrent local sorts must never resize these.
+  const size_t n =
+      static_cast<size_t>(worker_slots_) * static_cast<size_t>(num_parts);
+  runs_.resize(n);
+  order_.resize(n);
+}
+
+RowBuffer* RunSet::radix_run(int worker_id, int partition, int socket) {
+  MORSEL_DCHECK(radix_enabled());
+  std::unique_ptr<RowBuffer>& b =
+      runs_[static_cast<size_t>(worker_id) * radix_parts_ + partition];
+  if (b == nullptr) b = std::make_unique<RowBuffer>(&layout_, socket);
+  return b.get();
+}
+
+void RunSet::PlanRadixPartitions() {
+  MORSEL_CHECK(radix_enabled());
+  FreezeActive();
+  const int k = static_cast<int>(active_runs_.size());
+  const int parts = radix_parts_;
+  boundaries_.assign(parts + 1, std::vector<size_t>(k, 0));
+  for (int run_pos = 0; run_pos < k; ++run_pos) {
+    const int r = active_runs_[run_pos];
+    // Run wid*P + p holds exactly partition p's rows: the boundary
+    // column steps from 0 to the run's row count at partition p, giving
+    // p the slice [0, n) and every other partition an empty slice.
+    const int part = r % parts;
+    const size_t n = runs_[r]->rows();
+    for (int p = part + 1; p <= parts; ++p) {
+      boundaries_[p][run_pos] = n;
+    }
+  }
 }
 
 bool RunSet::LessGeneric(const uint8_t* a, const uint8_t* b) const {
@@ -249,6 +299,10 @@ void RunSet::PartCursor::Advance() {
 }
 
 void RunMaterializeSink::Consume(Chunk& chunk, ExecContext& ctx) {
+  if (runs_->radix_enabled()) {
+    ConsumeRadix(chunk, ctx);
+    return;
+  }
   const TupleLayout& layout = runs_->layout();
   int wid = ctx.worker->worker_id;
   RowBuffer* buf = runs_->run(wid, ctx.socket());
@@ -299,6 +353,63 @@ void RunMaterializeSink::Consume(Chunk& chunk, ExecContext& ctx) {
   // Materialization writes NUMA-locally (§2, Figure 3).
   ctx.traffic()->OnWrite(ctx.socket(), ctx.socket(),
                          uint64_t{static_cast<uint64_t>(n)} * rs);
+}
+
+// Radix-mode materialization: hash the scatter columns, histogram the
+// chunk, bulk-append into this worker's per-partition runs, then store
+// fields through the per-row destination pointers (rows fan out across P
+// buffers, so there is no single strided base to walk).
+void RunMaterializeSink::ConsumeRadix(Chunk& chunk, ExecContext& ctx) {
+  const TupleLayout& layout = runs_->layout();
+  const int wid = ctx.worker->worker_id;
+  const int socket = ctx.socket();
+  MORSEL_CHECK(chunk.num_cols() == layout.num_fields());
+  chunk.Compact(&ctx.arena);  // HashRows and the fills want dense vectors
+  const int n = chunk.n;
+  if (n == 0) return;
+  std::unique_ptr<RadixScatter>& sc = scatters_[wid];
+  if (sc == nullptr) {
+    sc = std::make_unique<RadixScatter>(&layout, runs_->radix_parts());
+  }
+  const uint64_t* hashes = HashRows(chunk, runs_->radix_hash_cols(), ctx);
+  uint8_t** dest = sc->Scatter(hashes, n, ctx, [&](int p) {
+    return runs_->radix_run(wid, p, socket);
+  });
+  for (int f = 0; f < layout.num_fields(); ++f) {
+    const size_t off = static_cast<size_t>(layout.field_offset(f));
+    const Vector& v = chunk.cols[f];
+    switch (v.type) {
+      case LogicalType::kInt32: {
+        const int32_t* src = v.i32();
+        for (int i = 0; i < n; ++i) {
+          int64_t w = src[i];  // int32 widens to the 8-byte slot
+          std::memcpy(dest[i] + off, &w, 8);
+        }
+        break;
+      }
+      case LogicalType::kInt64: {
+        const int64_t* src = v.i64();
+        for (int i = 0; i < n; ++i) std::memcpy(dest[i] + off, src + i, 8);
+        break;
+      }
+      case LogicalType::kDouble: {
+        const double* src = v.f64();
+        for (int i = 0; i < n; ++i) std::memcpy(dest[i] + off, src + i, 8);
+        break;
+      }
+      case LogicalType::kString: {
+        const std::string_view* src = v.str();
+        for (int i = 0; i < n; ++i) {
+          std::string_view sv = runs_->InternString(wid, src[i]);
+          std::memcpy(dest[i] + off, &sv, sizeof(sv));
+        }
+        break;
+      }
+    }
+  }
+  ctx.traffic()->OnWrite(socket, socket,
+                         static_cast<uint64_t>(n) *
+                             static_cast<uint64_t>(layout.row_size()));
 }
 
 }  // namespace morsel

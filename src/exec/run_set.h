@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "exec/pipeline.h"
+#include "exec/radix_partition.h"
 #include "exec/tuple.h"
 
 namespace morsel {
@@ -58,6 +59,15 @@ void NaturalMergeSegments(It begin, std::vector<size_t> bounds, Cmp cmp) {
 //                        local samples combine into global separators
 //                        whose positions are binary-searched in every
 //                        run, yielding disjoint per-partition slices.
+//
+// Radix mode (DESIGN §13, opt-in via EnableRadixScatter): when the input
+// is not already sorted, partitioning by sampled separators buys nothing
+// — the local sorts pay full O(n log n) either way — so materialization
+// instead hash-scatters rows into per-(worker, partition) runs on the
+// shared radix substrate. Partition planning then needs no samples, no
+// separators and no binary searches: run wid*P + p holds exactly
+// partition p's rows, PlanRadixPartitions() just declares the trivial
+// boundaries, and each partition sorts/merges only its 1/P share.
 class RunSet {
  public:
   RunSet(std::vector<LogicalType> column_types, std::vector<SortKey> keys,
@@ -65,11 +75,28 @@ class RunSet {
 
   const TupleLayout& layout() const { return layout_; }
   const std::vector<SortKey>& keys() const { return keys_; }
-  int num_worker_slots() const { return static_cast<int>(runs_.size()); }
+  int num_worker_slots() const { return worker_slots_; }
 
   RowBuffer* run(int worker_id, int socket);
   RowBuffer* run_by_index(int i) const { return runs_[i].get(); }
   std::string_view InternString(int worker_id, std::string_view s);
+
+  // --- radix mode ----------------------------------------------------------
+  // Switches this run set to hash-scattered materialization over
+  // `num_parts` partitions; `hash_cols` are the layout fields hashed
+  // (the join keys, in key order — both sides of a join must list their
+  // keys in the same order so equal keys land in the same partition).
+  // Must be called before any row materializes.
+  void EnableRadixScatter(int num_parts, std::vector<int> hash_cols);
+  bool radix_enabled() const { return radix_parts_ > 0; }
+  int radix_parts() const { return radix_parts_; }
+  const std::vector<int>& radix_hash_cols() const { return radix_hash_cols_; }
+  // Partition-p run of one worker; created lazily, NUMA-local.
+  RowBuffer* radix_run(int worker_id, int partition, int socket);
+  // Radix replacement for SampleKeys + PlanPartitions: run wid*P + p
+  // holds only partition-p rows, so the partition boundaries are just
+  // "all of the run" / "none of the run" — no separators involved.
+  void PlanRadixPartitions();
 
   // Row comparator by the sort keys (ties compare equal). The common
   // case — one ascending integer key — takes a direct inline compare;
@@ -188,7 +215,12 @@ class RunSet {
 
   TupleLayout layout_;
   std::vector<SortKey> keys_;
+  int worker_slots_;
   int fast_int_key_ = -1;  // field of the single ascending int key, or -1
+  // Radix mode: 0 = separator mode; > 0 = runs_ holds worker_slots_ * P
+  // buffers indexed wid * P + p.
+  int radix_parts_ = 0;
+  std::vector<int> radix_hash_cols_;
   std::atomic<int> presorted_runs_{0};
   std::atomic<int> natural_merged_runs_{0};
   std::vector<std::unique_ptr<RowBuffer>> runs_;       // per worker slot
@@ -219,14 +251,21 @@ std::vector<T> PickSeparators(const std::vector<T>& sorted_samples,
 }
 
 // Pipeline sink materializing input rows into per-worker NUMA-local runs.
-// Input chunk columns must match the RunSet layout fields.
+// Input chunk columns must match the RunSet layout fields. When the run
+// set is in radix mode, each chunk instead hash-scatters across the
+// worker's per-partition runs (histogram + bulk append via RadixScatter).
 class RunMaterializeSink final : public Sink {
  public:
-  explicit RunMaterializeSink(RunSet* runs) : runs_(runs) {}
+  explicit RunMaterializeSink(RunSet* runs)
+      : runs_(runs), scatters_(runs->num_worker_slots()) {}
   void Consume(Chunk& chunk, ExecContext& ctx) override;
 
  private:
+  void ConsumeRadix(Chunk& chunk, ExecContext& ctx);
+
   RunSet* runs_;
+  // Per-worker scatter scratch (histogram + cursors), radix mode only.
+  std::vector<std::unique_ptr<RadixScatter>> scatters_;
 };
 
 // Phase 2: sorts each run, one morsel per run. `on_finalize` (optional)

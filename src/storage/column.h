@@ -12,6 +12,7 @@
 
 #include "common/macros.h"
 #include "numa/allocator.h"
+#include "storage/stable_vector.h"
 #include "storage/types.h"
 
 namespace morsel {
@@ -57,6 +58,13 @@ double SampledSortedFraction(size_t n, const LessFn& less) {
 // backing array directly (zero-copy scans); string columns use an
 // offsets-into-heap layout whose string_views stay valid for the lifetime
 // of the column, so tuples and result sets may hold views into it.
+//
+// Concurrency (DESIGN §13): storage is StableVector — single writer,
+// lock-free readers, superseded buffers retired (not freed) so a scan
+// holding raw() across a concurrent append/seal never reads freed
+// memory. Zone maps are immutable snapshots swapped in atomically by
+// BuildZoneMaps; a scan racing a seal sees either the old or the new
+// maps, both sound for the rows the scan was planned over.
 class Column {
  public:
   explicit Column(LogicalType type) : type_(type) {}
@@ -88,9 +96,11 @@ class Column {
   }
 
   // --- zone maps (DESIGN.md §10) -----------------------------------------
-  // Rebuilds the per-block min/max entries over the current rows.
-  // Called from SealPartition (single-threaded load phase); reads are
-  // lock-free afterwards, like the data itself. No-op for strings.
+  // Rebuilds the per-block min/max entries over the current rows and
+  // publishes them atomically. Called from SealPartition (the
+  // partition's single writer); reads are lock-free and may race the
+  // rebuild — they see the previous or the new snapshot, never a
+  // partially built one. No-op for strings.
   virtual void BuildZoneMaps() {}
   // Combined min/max of the zone-map blocks covering rows
   // [begin, end) — a conservative superset of the actual value range
@@ -152,14 +162,16 @@ class TypedColumn final : public Column {
   void AppendN(const T* src, size_t n) { data_.append(src, n); }
   T Get(size_t i) const { return data_[i]; }
   const T* raw() const { return data_.data(); }
-  T* mutable_raw() { return data_.data(); }
   void Reserve(size_t n) { data_.reserve(n); }
 
   void BuildZoneMaps() override {
-    const size_t n = data_.size();
+    // Build into a fresh snapshot and publish it with one atomic swap:
+    // a concurrent ZoneRange keeps reading the old snapshot (retired,
+    // not freed) instead of a half-cleared vector.
+    const size_t n = data_.size();  // size before data: see StableVector
     const T* d = data_.data();
-    zones_.clear();
-    zones_.reserve((n + kZoneMapBlockRows - 1) / kZoneMapBlockRows);
+    auto z = std::make_unique<ZoneData>();
+    z->zones.reserve((n + kZoneMapBlockRows - 1) / kZoneMapBlockRows);
     for (size_t b = 0; b < n; b += kZoneMapBlockRows) {
       const size_t e = b + kZoneMapBlockRows < n ? b + kZoneMapBlockRows : n;
       T mn = d[b], mx = d[b];
@@ -182,9 +194,11 @@ class TypedColumn final : public Column {
           mx = std::numeric_limits<T>::infinity();
         }
       }
-      zones_.push_back({mn, mx});
+      z->zones.push_back({mn, mx});
     }
-    zone_rows_ = n;
+    z->rows = n;
+    zones_.store(z.get(), std::memory_order_release);
+    retired_zones_.push_back(std::move(z));  // writer-owned lifetime
   }
 
   bool ZoneMinMaxI64(size_t begin, size_t end, int64_t* mn,
@@ -215,29 +229,39 @@ class TypedColumn final : public Column {
 
  protected:
   double ComputeSortedFraction() const override {
+    const size_t n = data_.size();  // size before data: see StableVector
     const T* d = data_.data();
     return SampledSortedFraction(
-        data_.size(), [d](size_t a, size_t b) { return d[a] < d[b]; });
+        n, [d](size_t a, size_t b) { return d[a] < d[b]; });
   }
 
  private:
+  // One immutable zone-map snapshot; swapped whole on rebuild.
+  struct ZoneData {
+    std::vector<std::pair<T, T>> zones;  // per-block [min, max]
+    size_t rows = 0;                     // rows covered by zones
+  };
+
   bool ZoneRange(size_t begin, size_t end, T* mn, T* mx) const {
-    if (begin >= end || end > zone_rows_) return false;
+    const ZoneData* z = zones_.load(std::memory_order_acquire);
+    if (z == nullptr || begin >= end || end > z->rows) return false;
     const size_t b0 = begin / kZoneMapBlockRows;
     const size_t b1 = (end - 1) / kZoneMapBlockRows;
-    T lo = zones_[b0].first, hi = zones_[b0].second;
+    T lo = z->zones[b0].first, hi = z->zones[b0].second;
     for (size_t b = b0 + 1; b <= b1; ++b) {
-      if (zones_[b].first < lo) lo = zones_[b].first;
-      if (zones_[b].second > hi) hi = zones_[b].second;
+      if (z->zones[b].first < lo) lo = z->zones[b].first;
+      if (z->zones[b].second > hi) hi = z->zones[b].second;
     }
     *mn = lo;
     *mx = hi;
     return true;
   }
 
-  NumaVector<T> data_;
-  std::vector<std::pair<T, T>> zones_;  // per-block [min, max]
-  size_t zone_rows_ = 0;                // rows covered by zones_
+  StableVector<T> data_;
+  std::atomic<const ZoneData*> zones_{nullptr};  // current snapshot
+  // All snapshots ever built, freed at destruction — a racing reader
+  // may still hold the previous one when a seal swaps in the next.
+  std::vector<std::unique_ptr<ZoneData>> retired_zones_;
 };
 
 using Int32Column = TypedColumn<int32_t>;
@@ -262,6 +286,8 @@ class StringColumn final : public Column {
   }
 
   void Append(std::string_view s) {
+    // Heap bytes publish before the offset that exposes them: a reader
+    // that sees row i's end offset can safely read its payload.
     heap_.append(s.data(), s.size());
     offsets_.push_back(static_cast<uint32_t>(heap_.size()));
   }
@@ -282,8 +308,8 @@ class StringColumn final : public Column {
   }
 
  private:
-  NumaVector<uint32_t> offsets_;
-  NumaVector<char> heap_;
+  StableVector<uint32_t> offsets_;
+  StableVector<char> heap_;
 };
 
 // Creates an empty column of the given type on `socket`.

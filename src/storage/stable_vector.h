@@ -1,0 +1,146 @@
+#ifndef MORSELDB_STORAGE_STABLE_VECTOR_H_
+#define MORSELDB_STORAGE_STABLE_VECTOR_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstring>
+#include <type_traits>
+#include <vector>
+
+#include "common/macros.h"
+#include "numa/allocator.h"
+
+namespace morsel {
+
+// Append-only growable array safe for single-writer / many-reader use
+// without external locking: the column storage behind concurrent
+// seal-under-scan (DESIGN §13).
+//
+// NumaVector frees its old buffer on regrowth, so a scan holding data()
+// across a concurrent append would read freed memory. StableVector
+// instead *retires* superseded buffers — they stay allocated (and keep
+// their element prefix intact) until the vector is destroyed — and
+// publishes both the buffer pointer and the size with release stores:
+//
+//   writer:  write elements  ->  release-store size
+//   regrow:  alloc new, copy  ->  release-store data, retire old
+//   reader:  acquire-load size  ->  acquire-load data  ->  read [0, size)
+//
+// Any (size, data) pair a reader observes is consistent: a published
+// size counts only fully written elements, and every published buffer
+// contains at least every element published before it. The memory cost
+// is bounded by geometric growth (retired buffers sum to < the live
+// one), which is why this backs *columns* — not the engine's row
+// buffers, whose churn would double their footprint for no benefit.
+//
+// Single writer; appends must be externally serialized (same contract
+// as Table partition appends). Readers never block and never see torn
+// elements. Move is writer-side only (load phase).
+template <typename T>
+class StableVector {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "StableVector only holds trivially copyable types");
+
+ public:
+  explicit StableVector(int socket = 0) : socket_(socket) {}
+  ~StableVector() {
+    for (const Retired& r : retired_) NumaFree(r.ptr, r.bytes);
+    T* d = data_.load(std::memory_order_relaxed);
+    if (d != nullptr) NumaFree(d, capacity_ * sizeof(T));
+  }
+
+  StableVector(StableVector&& other) noexcept { MoveFrom(other); }
+  StableVector& operator=(StableVector&& other) noexcept {
+    if (this != &other) {
+      this->~StableVector();
+      new (this) StableVector(std::move(other));
+    }
+    return *this;
+  }
+  StableVector(const StableVector&) = delete;
+  StableVector& operator=(const StableVector&) = delete;
+
+  int socket() const { return socket_; }
+
+  // --- reader side (thread-safe against the writer) ----------------------
+  // Snapshot size; elements [0, size()) are fully published.
+  size_t size() const { return size_.load(std::memory_order_acquire); }
+  bool empty() const { return size() == 0; }
+  // Snapshot buffer. Load size() BEFORE data() (both acquires) and the
+  // pointer is valid for those elements until the vector is destroyed.
+  const T* data() const { return data_.load(std::memory_order_acquire); }
+
+  const T& operator[](size_t i) const {
+    MORSEL_DCHECK(i < size());
+    return data()[i];
+  }
+
+  // --- writer side (single thread) ---------------------------------------
+  size_t capacity() const { return capacity_; }
+
+  void reserve(size_t n) {
+    if (n > capacity_) Regrow(n);
+  }
+
+  void push_back(const T& v) {
+    const size_t n = size_.load(std::memory_order_relaxed);
+    if (n == capacity_) Regrow(capacity_ == 0 ? 16 : capacity_ * 2);
+    data_.load(std::memory_order_relaxed)[n] = v;
+    size_.store(n + 1, std::memory_order_release);
+  }
+
+  void append(const T* src, size_t n) {
+    const size_t sz = size_.load(std::memory_order_relaxed);
+    if (sz + n > capacity_) {
+      size_t want = capacity_ == 0 ? 16 : capacity_;
+      while (want < sz + n) want *= 2;
+      Regrow(want);
+    }
+    std::memcpy(data_.load(std::memory_order_relaxed) + sz, src,
+                n * sizeof(T));
+    size_.store(sz + n, std::memory_order_release);
+  }
+
+ private:
+  struct Retired {
+    T* ptr;
+    size_t bytes;
+  };
+
+  void Regrow(size_t new_cap) {
+    T* nd = static_cast<T*>(NumaAlloc(new_cap * sizeof(T), socket_));
+    T* od = data_.load(std::memory_order_relaxed);
+    const size_t n = size_.load(std::memory_order_relaxed);
+    if (n > 0) std::memcpy(nd, od, n * sizeof(T));
+    data_.store(nd, std::memory_order_release);
+    if (od != nullptr) {
+      // Concurrent readers may still hold od: keep it until the dtor.
+      retired_.push_back(Retired{od, capacity_ * sizeof(T)});
+    }
+    capacity_ = new_cap;
+  }
+
+  void MoveFrom(StableVector& other) noexcept {
+    data_.store(other.data_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+    size_.store(other.size_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+    capacity_ = other.capacity_;
+    socket_ = other.socket_;
+    retired_ = std::move(other.retired_);
+    other.data_.store(nullptr, std::memory_order_relaxed);
+    other.size_.store(0, std::memory_order_relaxed);
+    other.capacity_ = 0;
+    other.retired_.clear();
+  }
+
+  std::atomic<T*> data_{nullptr};
+  std::atomic<size_t> size_{0};
+  size_t capacity_ = 0;  // writer-only
+  int socket_ = 0;
+  std::vector<Retired> retired_;  // writer-owned superseded buffers
+};
+
+}  // namespace morsel
+
+#endif  // MORSELDB_STORAGE_STABLE_VECTOR_H_

@@ -22,7 +22,9 @@ Table::Table(std::string name, Schema schema, const Topology& topo,
 
 size_t Table::NumRows() const {
   size_t n = 0;
-  for (const Partition& p : parts_) n += p.rows;
+  for (const Partition& p : parts_) {
+    n += p.rows.load(std::memory_order_acquire);
+  }
   return n;
 }
 
@@ -60,7 +62,9 @@ void Table::SealPartition(int p) {
     col->InvalidateStats();
     col->BuildZoneMaps();
   }
-  part.rows = rows;
+  // Release: a scan that acquires this count sees every column value
+  // and zone-map snapshot written above (seal-under-scan, DESIGN §13).
+  part.rows.store(rows, std::memory_order_release);
   epoch_.fetch_add(1, std::memory_order_acq_rel);
 }
 
@@ -71,9 +75,10 @@ double Table::ColumnSortedFraction(int col) const {
   double weighted = 0.0;
   size_t total = 0;
   for (const Partition& p : parts_) {
-    if (p.rows == 0) continue;
-    weighted += p.cols[col]->SortedFraction() * static_cast<double>(p.rows);
-    total += p.rows;
+    const size_t rows = p.rows.load(std::memory_order_acquire);
+    if (rows == 0) continue;
+    weighted += p.cols[col]->SortedFraction() * static_cast<double>(rows);
+    total += rows;
   }
   return total == 0 ? 1.0 : weighted / static_cast<double>(total);
 }

@@ -64,8 +64,13 @@ enum class Placement {
 //
 // Thread-compatibility: appends to *different* partitions may run
 // concurrently; appends to the same partition must be serialized by the
-// caller (the generators shard by partition). Reads are lock-free once
-// loading finishes.
+// caller (the generators shard by partition). Reads are lock-free and
+// may run concurrently with appends and SealPartition on the same
+// partition (DESIGN §13): the sealed row count is published with a
+// release store (acquired by PartitionRows), column storage retires —
+// never frees — superseded buffers, and zone maps swap in atomically.
+// A racing scan sees either the pre-seal or the post-seal row count,
+// and every row below the count it sees is fully written.
 class Table {
  public:
   Table(std::string name, Schema schema, const Topology& topo,
@@ -78,7 +83,11 @@ class Table {
   int num_partitions() const { return static_cast<int>(parts_.size()); }
   int num_sockets() const { return num_sockets_; }
 
-  size_t PartitionRows(int p) const { return parts_[p].rows; }
+  // Sealed row count of partition `p`; pairs with SealPartition's
+  // release store, so the rows it covers are visible to the caller.
+  size_t PartitionRows(int p) const {
+    return parts_[p].rows.load(std::memory_order_acquire);
+  }
   size_t NumRows() const;
 
   Column* column(int partition, int col) {
@@ -126,8 +135,19 @@ class Table {
 
  private:
   struct Partition {
+    Partition() = default;
+    // Move is load-phase only (the ctor's parts_.resize); atomics don't
+    // auto-generate it.
+    Partition(Partition&& o) noexcept
+        : cols(std::move(o.cols)),
+          rows(o.rows.load(std::memory_order_relaxed)),
+          socket(o.socket) {}
+
     std::vector<std::unique_ptr<Column>> cols;
-    size_t rows = 0;
+    // Sealed row count: written only by SealPartition (release), read
+    // by concurrent scans (acquire via PartitionRows). Rows beyond it
+    // exist in the columns mid-load but are invisible until sealed.
+    std::atomic<size_t> rows{0};
     int socket = 0;
   };
 

@@ -297,5 +297,112 @@ TEST(MergeJoin, DownstreamAggregationAndSort) {
   EXPECT_EQ(run(true), run(false));
 }
 
+// --- radix-materialization fast path (DESIGN §13) ---------------------------
+//
+// Unsorted merge-join inputs may materialize through the RunSet's radix
+// scatter (hash-partition on the join keys) instead of sampling
+// separators; both sides hash identically, so equal keys co-locate and
+// the per-partition merge join is unchanged. These tests pin the
+// lowering decision via ExplainPlan and check the scatter path against
+// both the separator path and the hash join.
+
+std::pair<std::string, std::vector<std::string>> RunMergeWith(
+    const Table* probe, const Table* build, JoinKind kind, bool radix) {
+  EngineOptions opts;
+  opts.morsel_size = 512;
+  opts.num_workers = 4;
+  opts.radix_merge_materialize = radix;
+  Engine engine(SmallTopo(), opts);
+  PlanBuilder b = PlanBuilder::Scan(build, {"bk", "bv"});
+  PlanBuilder p = PlanBuilder::Scan(probe, {"pk", "pv"});
+  p.MergeJoin(std::move(b), {"pk"}, {"bk"}, {"bv"}, kind);
+  p.CollectResult();
+  auto q = engine.CreateQuery(p.Build());
+  std::vector<std::string> rows = SortedRows(q->Execute());
+  return {q->ExplainPlan(), std::move(rows)};
+}
+
+TEST(MergeJoin, RadixMaterializeDifferentialUnsortedInputs) {
+  // Shuffled keys on both sides: sortedness is low, so the default
+  // lowering takes the radix scatter; forcing it off must not change a
+  // single row, nor may either disagree with the hash join.
+  Rng rng(31);
+  std::vector<std::pair<int64_t, int64_t>> probe_rows, build_rows;
+  for (int64_t i = 0; i < 15000; ++i) {
+    probe_rows.push_back({rng.Uniform(0, 700), i});
+  }
+  for (int64_t i = 0; i < 900; ++i) {
+    build_rows.push_back({rng.Uniform(0, 800), i});
+  }
+  auto probe = MakeKv(SmallTopo(), probe_rows, "pk", "pv");
+  auto build = MakeKv(SmallTopo(), build_rows, "bk", "bv");
+
+  for (JoinKind kind : kSupportedKinds) {
+    SCOPED_TRACE(std::string("kind=") + KindName(kind));
+    auto [radix_plan, radix_rows] =
+        RunMergeWith(probe.get(), build.get(), kind, /*radix=*/true);
+    auto [sep_plan, sep_rows] =
+        RunMergeWith(probe.get(), build.get(), kind, /*radix=*/false);
+    EXPECT_NE(radix_plan.find("radix-materialize"), std::string::npos)
+        << radix_plan;
+    EXPECT_EQ(sep_plan.find("radix-materialize"), std::string::npos)
+        << sep_plan;
+    EXPECT_EQ(radix_rows, sep_rows);
+
+    PlanBuilder b = PlanBuilder::Scan(build.get(), {"bk", "bv"});
+    PlanBuilder p = PlanBuilder::Scan(probe.get(), {"pk", "pv"});
+    p.HashJoin(std::move(b), {"pk"}, {"bk"}, {"bv"}, kind);
+    p.CollectResult();
+    EXPECT_EQ(radix_rows,
+              SortedRows(SmallEngine().CreateQuery(p.Build())->Execute()));
+  }
+}
+
+TEST(MergeJoin, RadixMaterializeKeepsPresortedInputsOnSeparatorPath) {
+  // Near-sorted inputs keep the separator path even with the knob on:
+  // hash scatter would destroy the run order the presorted detection
+  // feeds on.
+  std::vector<std::pair<int64_t, int64_t>> probe_rows, build_rows;
+  for (int64_t i = 0; i < 10000; ++i) probe_rows.push_back({i / 4, i});
+  for (int64_t i = 0; i < 2000; ++i) build_rows.push_back({i, i * 7});
+  auto probe = MakeKv(SmallTopo(), probe_rows, "pk", "pv");
+  auto build = MakeKv(SmallTopo(), build_rows, "bk", "bv");
+  auto [plan, rows] = RunMergeWith(probe.get(), build.get(),
+                                   JoinKind::kInner, /*radix=*/true);
+  EXPECT_EQ(plan.find("radix-materialize"), std::string::npos) << plan;
+  // probe keys 0..2499 each 4x; build covers 0..1999 -> 2000*4 matches.
+  EXPECT_EQ(rows.size(), 8000u);
+}
+
+TEST(MergeJoin, RadixMaterializeStringAndMixedKeys) {
+  // String keys through the scatter: interned payloads must survive
+  // the partition move; duplicates and misses on both sides.
+  std::vector<std::pair<std::string, int64_t>> probe_rows, build_rows;
+  Rng rng(53);
+  const char* stems[] = {"ash", "beech", "cedar", "doum", "elm"};
+  for (int64_t i = 0; i < 6000; ++i) {
+    probe_rows.push_back({std::string(stems[rng.Uniform(0, 4)]) + "-" +
+                              std::to_string(rng.Uniform(0, 80)),
+                          i});
+  }
+  for (int64_t i = 0; i < 250; ++i) {
+    build_rows.push_back({std::string(stems[rng.Uniform(0, 4)]) + "-" +
+                              std::to_string(rng.Uniform(0, 100)),
+                          i});
+  }
+  auto probe = MakeStrKv(probe_rows, "pk", "pv");
+  auto build = MakeStrKv(build_rows, "bk", "bv");
+  for (JoinKind kind : kSupportedKinds) {
+    SCOPED_TRACE(std::string("kind=") + KindName(kind));
+    auto [radix_plan, radix_rows] =
+        RunMergeWith(probe.get(), build.get(), kind, /*radix=*/true);
+    auto [sep_plan, sep_rows] =
+        RunMergeWith(probe.get(), build.get(), kind, /*radix=*/false);
+    EXPECT_NE(radix_plan.find("radix-materialize"), std::string::npos)
+        << radix_plan;
+    EXPECT_EQ(radix_rows, sep_rows);
+  }
+}
+
 }  // namespace
 }  // namespace morsel

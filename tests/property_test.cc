@@ -168,6 +168,14 @@ struct RandomPlanSpec {
   // actually skip morsels (the reference always runs eager, zone-off).
   bool selection_vectors = true;
   bool range_filter = false;
+  // Adaptive group-by dimensions (DESIGN §13): the tested engine draws
+  // the adaptive_agg ablation flag and sometimes forces the radix arm
+  // outright (switch_ratio=0); the reference always runs the fixed
+  // two-phase path. radix_merge_mat toggles the merge-join
+  // radix-materialization fast path the same way.
+  bool adaptive_agg = true;
+  bool force_radix_agg = false;
+  bool radix_merge_mat = true;
   // scheduling knobs for the tested engine
   int morsel_size = 512;
   int workers = 4;
@@ -206,6 +214,11 @@ RandomPlanSpec DrawSpec(uint64_t seed) {
   s.second_join = rng.Bernoulli(0.35);
   s.selection_vectors = rng.Bernoulli(0.5);
   s.range_filter = rng.Bernoulli(0.5);
+  // Drawn after every pre-existing dimension so earlier seeds keep
+  // their established shapes.
+  s.adaptive_agg = rng.Bernoulli(0.5);
+  s.force_radix_agg = rng.Bernoulli(0.25);
+  s.radix_merge_mat = rng.Bernoulli(0.5);
   // No liveness constraint on steal/workers: sockets without a live
   // worker hand their morsels to remote workers (the dispatcher's
   // no-steal fallback), so any combination must complete.
@@ -225,6 +238,10 @@ std::vector<std::string> RunSpec(const RandomPlanSpec& spec,
     opts.join_strategy = JoinStrategy::kHash;
     opts.selection_vectors = false;
     opts.zone_maps = false;
+    // The oracle aggregates on the fixed pre-§13 path and materializes
+    // merge inputs through the separator-sampling path.
+    opts.adaptive_agg = false;
+    opts.radix_merge_materialize = false;
   } else {
     opts.morsel_size = spec.morsel_size;
     opts.num_workers = spec.workers;
@@ -233,6 +250,9 @@ std::vector<std::string> RunSpec(const RandomPlanSpec& spec,
     opts.tagging = spec.tagging;
     opts.runtime_feedback = spec.runtime_feedback;
     opts.selection_vectors = spec.selection_vectors;
+    opts.adaptive_agg = spec.adaptive_agg;
+    if (spec.force_radix_agg) opts.agg_radix_switch_ratio = 0.0;
+    opts.radix_merge_materialize = spec.radix_merge_mat;
     // Half the specs exercise the engine-wide knob, half the per-join
     // override (with a deliberately contrary knob it must beat).
     opts.join_strategy =

@@ -203,6 +203,83 @@ TEST(SelectionVectors, StringPredicatesThroughSelection) {
   });
 }
 
+TEST(SelectionVectors, TwelveConjunctsDegradeToStaticOrder) {
+  // More conjuncts than kMaxAdaptive (8): the chain must degrade to a
+  // stable static evaluation order — the packed order word holds only 8
+  // indices, so adaptive reordering is disabled outright rather than
+  // aliasing ranks 8..11 onto low conjuncts' counters or order slots.
+  // Enough rows/chunks that a (wrongly) active re-rank would have fired
+  // dozens of times, differential across both filter execution modes.
+  auto t = MakeKv(SmallTopo(), Numbers(200000, 10000));
+  ExpectBothEqual([&] {
+    PlanBuilder pb = PlanBuilder::Scan(t.get(), {"k", "v"});
+    std::vector<ExprPtr> conj;
+    conj.push_back(Lt(pb.Col("k"), ConstI64(9000)));
+    conj.push_back(Ge(pb.Col("k"), ConstI64(3)));
+    conj.push_back(Ne(pb.Col("k"), ConstI64(17)));
+    conj.push_back(Ne(pb.Col("k"), ConstI64(4444)));
+    conj.push_back(Lt(pb.Col("v"), ConstI64(190000)));
+    conj.push_back(Ge(pb.Col("v"), ConstI64(55)));
+    conj.push_back(Ne(pb.Col("v"), ConstI64(100000)));
+    conj.push_back(Lt(Mul(pb.Col("k"), ConstI64(2)), ConstI64(16000)));
+    conj.push_back(Ne(pb.Col("v"), ConstI64(123457)));
+    conj.push_back(Ge(Add(pb.Col("k"), pb.Col("v")), ConstI64(60)));
+    conj.push_back(Ne(pb.Col("k"), ConstI64(8999)));
+    conj.push_back(InI64(pb.Col("k"), {1, 2, 3, 4, 5, 6, 7, 8, 9, 10,
+                                       100, 200, 300, 400, 500, 7999}));
+    pb.Filter(And(std::move(conj)));
+    pb.CollectResult();
+    return pb.Build();
+  });
+}
+
+TEST(SelectionVectors, TwelveConjunctsMatchScalarReference) {
+  // Same shape, checked against an independently computed oracle (not
+  // just mode-vs-mode, which would miss a bug both modes share).
+  const int64_t n = 50000, mod = 2000;
+  auto t = MakeKv(SmallTopo(), Numbers(n, mod));
+  std::vector<std::pair<int64_t, int64_t>> expect;
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t k = i % mod, v = i;
+    bool pass = k < 1500 && k >= 2 && k != 17 && k != 444 && v < 49000 &&
+                v >= 55 && v != 10000 && k * 2 < 2900 && v != 12345 &&
+                k + v >= 60 && k != 1499 && v % 3 == 0;
+    if (pass) expect.push_back({k, v});
+  }
+  std::sort(expect.begin(), expect.end());
+  ASSERT_FALSE(expect.empty());
+  auto build_plan = [&] {
+    PlanBuilder pb = PlanBuilder::Scan(t.get(), {"k", "v"});
+    std::vector<ExprPtr> conj;
+    conj.push_back(Lt(pb.Col("k"), ConstI64(1500)));
+    conj.push_back(Ge(pb.Col("k"), ConstI64(2)));
+    conj.push_back(Ne(pb.Col("k"), ConstI64(17)));
+    conj.push_back(Ne(pb.Col("k"), ConstI64(444)));
+    conj.push_back(Lt(pb.Col("v"), ConstI64(49000)));
+    conj.push_back(Ge(pb.Col("v"), ConstI64(55)));
+    conj.push_back(Ne(pb.Col("v"), ConstI64(10000)));
+    conj.push_back(Lt(Mul(pb.Col("k"), ConstI64(2)), ConstI64(2900)));
+    conj.push_back(Ne(pb.Col("v"), ConstI64(12345)));
+    conj.push_back(Ge(Add(pb.Col("k"), pb.Col("v")), ConstI64(60)));
+    conj.push_back(Ne(pb.Col("k"), ConstI64(1499)));
+    conj.push_back(Eq(Sub(pb.Col("v"),
+                          Mul(Div(pb.Col("v"), ConstI64(3)), ConstI64(3))),
+                      ConstI64(0)));  // v % 3 == 0
+    pb.Filter(And(std::move(conj)));
+    pb.CollectResult();
+    return pb.Build();
+  };
+  for (Engine* engine : {&SelEngine(), &EagerEngine()}) {
+    ResultSet r = engine->CreateQuery(build_plan())->Execute();
+    std::vector<std::pair<int64_t, int64_t>> got;
+    for (int64_t i = 0; i < r.num_rows(); ++i) {
+      got.push_back({r.I64(i, 0), r.I64(i, 1)});
+    }
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, expect);
+  }
+}
+
 TEST(SelectionVectors, AdaptiveReorderStaysExactOverManyChunks) {
   // Enough chunks (>64 per worker) that the conjunct re-rank actually
   // fires, with the expensive conjunct deliberately written first: the
