@@ -449,9 +449,30 @@ int64_t AggPhase1Sink::RowsProduced() const {
 
 std::vector<MorselRange> AggPartitionSource::MakeRanges(
     const Topology& topo) {
+  // Partition -> socket affinity: phase 2 reads every worker's spill
+  // buffers for the partition, so schedule it on the socket that holds
+  // the majority of those rows (the buffers were allocated NUMA-local
+  // to the spilling workers). Empty partitions keep the old round-robin
+  // placement — there is nothing to be local to.
   std::vector<MorselRange> out;
+  std::vector<uint64_t> socket_rows(topo.num_sockets());
   for (int p = 0; p < state_->num_partitions(); ++p) {
-    out.push_back(MorselRange{p, 0, 1, p % topo.num_sockets()});
+    std::fill(socket_rows.begin(), socket_rows.end(), 0);
+    for (int w = 0; w < state_->num_worker_slots(); ++w) {
+      RowBuffer* buf = state_->spill_if_exists(w, p);
+      if (buf != nullptr) {
+        socket_rows[buf->socket() % topo.num_sockets()] += buf->rows();
+      }
+    }
+    int socket = p % topo.num_sockets();
+    uint64_t best = 0;
+    for (int s = 0; s < topo.num_sockets(); ++s) {
+      if (socket_rows[s] > best) {
+        best = socket_rows[s];
+        socket = s;
+      }
+    }
+    out.push_back(MorselRange{p, 0, 1, socket});
   }
   return out;
 }

@@ -1,0 +1,142 @@
+#ifndef MORSELDB_EXEC_EXCHANGE_H_
+#define MORSELDB_EXEC_EXCHANGE_H_
+
+// The morsel-driven exchange (DESIGN §14): the send/receive operator
+// pair the sharded coordinator lowers an Exchange logical edge into.
+//
+//  - ExchangeChannel: the shared-memory mailbox between two distributed
+//    stages. Per sender shard it holds a RadixPartitionSet (worker x
+//    bucket matrix of NUMA-local row buffers) plus per-worker string
+//    arenas, so send-side scatters are lock-free single-writer and the
+//    rows outlive both stages' queries (the coordinator owns the
+//    channel). The routing mode is *late-bound*: senders always scatter
+//    by key hash into num_buckets buckets; the coordinator picks
+//    broadcast vs repartition after the send stage completes, with
+//    exact counts in hand, and receivers read either their own bucket
+//    (repartition) or every bucket (broadcast).
+//  - ExchangeSendSink: terminal sink of a send stage. Reuses the §13
+//    RadixScatter pass (shift 32 = ShardPartitionOf's bit family, the
+//    same high bits Table::PartitionOfKey uses) to split each chunk by
+//    key hash into the channel's per-shard buffers.
+//  - ExchangeRecvSource: morsel source of a receive stage. Exposes the
+//    channel's row buffers as morsel ranges — the scheduler cuts them
+//    into morsels like any storage area — and decodes rows back to
+//    column chunks.
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/pipeline.h"
+#include "exec/radix_partition.h"
+#include "exec/tuple.h"
+#include "storage/types.h"
+
+namespace morsel {
+
+enum class ExchangeMode {
+  kUndecided,    // send stage still running / counts not yet read
+  kRepartition,  // receiver s reads bucket s only
+  kBroadcast,    // every receiver reads every bucket
+};
+
+// One logical exchange edge's buffered rows. Created by the sharded
+// coordinator, referenced (via shared_ptr) from the kExchangeSend /
+// kExchangeRecv logical nodes of the per-shard stage plans, destroyed
+// only after every query touching it has been destroyed.
+class ExchangeChannel {
+ public:
+  // `sender_worker_slots[s]` is sender shard s's worker-slot count
+  // (engine workers + 1); `num_buckets` is the receiver shard count.
+  ExchangeChannel(std::vector<LogicalType> types,
+                  std::vector<int> sender_worker_slots, int num_buckets);
+
+  const TupleLayout& layout() const { return layout_; }
+  const std::vector<LogicalType>& types() const { return types_; }
+  int num_buckets() const { return num_buckets_; }
+  int num_senders() const { return static_cast<int>(sets_.size()); }
+
+  RadixPartitionSet* sender_set(int sender_shard) {
+    return sets_[sender_shard].get();
+  }
+  const RadixPartitionSet* sender_set(int sender_shard) const {
+    return sets_[sender_shard].get();
+  }
+
+  // Arena owning interned string payloads for (sender, worker). Single
+  // writer per slot (the worker), like a RadixPartitionSet lane.
+  Arena* intern_arena(int sender_shard, int worker_id);
+
+  // Post-send-barrier tallies (the coordinator reads these between
+  // stages to pick the mode and to seed receiver cardinalities).
+  uint64_t bucket_rows(int bucket) const;
+  uint64_t total_rows() const;
+
+  // Mode is written by the coordinator after the send stage completes
+  // and before any receive stage starts; receivers load it.
+  ExchangeMode mode() const {
+    return mode_.load(std::memory_order_acquire);
+  }
+  void set_mode(ExchangeMode m) {
+    mode_.store(m, std::memory_order_release);
+  }
+
+ private:
+  std::vector<LogicalType> types_;
+  TupleLayout layout_;
+  int num_buckets_;
+  std::vector<std::unique_ptr<RadixPartitionSet>> sets_;  // per sender
+  // [sender * worker_slots(sender) .. ] flattened lazily created arenas.
+  std::vector<int> arena_base_;  // per-sender offset into arenas_
+  std::vector<std::unique_ptr<Arena>> arenas_;
+  std::atomic<ExchangeMode> mode_{ExchangeMode::kUndecided};
+};
+
+// Terminal sink of a send stage on one shard: scatters every consumed
+// chunk into the channel's per-bucket buffers by key hash. With no key
+// columns (global aggregation partials) every row routes to bucket 0.
+class ExchangeSendSink final : public Sink {
+ public:
+  ExchangeSendSink(ExchangeChannel* channel, int sender_shard,
+                   std::vector<int> key_cols, int num_worker_slots);
+
+  void Consume(Chunk& chunk, ExecContext& ctx) override;
+  int64_t RowsProduced() const override;
+  std::string RuntimeInfo() const override;
+
+ private:
+  struct alignas(kCacheLineSize) Local {
+    std::unique_ptr<RadixScatter> scatter;
+  };
+
+  ExchangeChannel* channel_;
+  int sender_shard_;
+  std::vector<int> key_cols_;
+  std::vector<Local> locals_;  // per worker slot
+};
+
+// Morsel source of a receive stage on one shard: exposes the channel's
+// (sender, worker, bucket) row buffers as morsel ranges and decodes
+// them back into column chunks. Bucket visibility follows the channel
+// mode: own bucket under repartition, all buckets under broadcast.
+class ExchangeRecvSource final : public Source {
+ public:
+  ExchangeRecvSource(ExchangeChannel* channel, int receiver_shard);
+
+  std::vector<MorselRange> MakeRanges(const Topology& topo) override;
+  void RunMorsel(const Morsel& m, Pipeline& pipeline,
+                 ExecContext& ctx) override;
+  std::string RuntimeInfo() const override;
+
+ private:
+  ExchangeChannel* channel_;
+  int receiver_shard_;
+  std::vector<int> fields_;                 // identity field list
+  std::vector<const RowBuffer*> buffers_;   // flat morsel-range index
+  std::atomic<uint64_t> rows_received_{0};
+};
+
+}  // namespace morsel
+
+#endif  // MORSELDB_EXEC_EXCHANGE_H_

@@ -15,7 +15,18 @@ bool AdmissionController::HasCapacity(int64_t reserve_bytes) const {
   return true;
 }
 
-QueryStatus AdmissionController::Admit(int64_t reserve_bytes, bool* queued) {
+uint64_t AdmissionController::HeadTicket() const {
+  const Waiter* best = &queue_.front();
+  for (const Waiter& w : queue_) {
+    // Strictly-greater keeps FIFO order within a priority class (the
+    // deque is in arrival order, so the first max wins).
+    if (w.priority > best->priority) best = &w;
+  }
+  return best->ticket;
+}
+
+QueryStatus AdmissionController::Admit(int64_t reserve_bytes,
+                                       double priority, bool* queued) {
   if (queued != nullptr) *queued = false;
   std::unique_lock<std::mutex> lk(mu_);
   if (opts_.max_reserved_bytes > 0 &&
@@ -41,15 +52,17 @@ QueryStatus AdmissionController::Admit(int64_t reserve_bytes, bool* queued) {
         " waiting, " + std::to_string(running_) + " running)");
   }
   const uint64_t me = next_ticket_++;
-  queue_.push_back(me);
+  queue_.push_back(Waiter{me, priority});
   ++totals_.queued;
   if (queued != nullptr) *queued = true;
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::milliseconds(opts_.queue_timeout_ms);
   while (true) {
-    if (!queue_.empty() && queue_.front() == me &&
+    if (!queue_.empty() && HeadTicket() == me &&
         HasCapacity(reserve_bytes)) {
-      queue_.pop_front();
+      queue_.erase(std::find_if(
+          queue_.begin(), queue_.end(),
+          [&](const Waiter& w) { return w.ticket == me; }));
       ++running_;
       reserved_ += reserve_bytes;
       ++totals_.admitted;
@@ -60,11 +73,13 @@ QueryStatus AdmissionController::Admit(int64_t reserve_bytes, bool* queued) {
     if (cv_.wait_until(lk, deadline) == std::cv_status::timeout) {
       // Re-check once under the lock: the notify may have raced the
       // clock.
-      if (!queue_.empty() && queue_.front() == me &&
+      if (!queue_.empty() && HeadTicket() == me &&
           HasCapacity(reserve_bytes)) {
         continue;
       }
-      queue_.erase(std::find(queue_.begin(), queue_.end(), me));
+      queue_.erase(std::find_if(
+          queue_.begin(), queue_.end(),
+          [&](const Waiter& w) { return w.ticket == me; }));
       ++totals_.timed_out;
       // Our departure may unblock the new head.
       cv_.notify_all();

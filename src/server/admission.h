@@ -8,11 +8,15 @@
 // would thrash both and blow every tail latency) and the total memory
 // the admitted queries have reserved via their per-query budgets.
 //
-// Over-capacity arrivals wait in a FIFO queue up to a configurable
-// timeout; a full queue rejects immediately. Both dispositions surface
-// as structured QueryStatus codes (kAdmissionTimeout /
-// kAdmissionRejected) that encode onto the wire, so clients can
-// distinguish "retry later" from "shed load elsewhere".
+// Over-capacity arrivals wait in a priority queue up to a configurable
+// timeout; a full queue rejects immediately. Capacity goes to the
+// *highest-priority* waiter first (the same session priority that
+// weights the dispatcher's fair share once the query runs), with FIFO
+// order breaking ties so equal-priority arrivals keep their arrival
+// order and nothing starves within a priority class. Both failure
+// dispositions surface as structured QueryStatus codes
+// (kAdmissionTimeout / kAdmissionRejected) that encode onto the wire,
+// so clients can distinguish "retry later" from "shed load elsewhere".
 
 #include <condition_variable>
 #include <cstdint>
@@ -46,13 +50,16 @@ class AdmissionController {
   AdmissionController& operator=(const AdmissionController&) = delete;
 
   // Blocks until this query may start, reserving one execution slot and
-  // `reserve_bytes` of budget. Ok => the caller MUST eventually call
-  // Release(reserve_bytes) — after the query's operator state is
-  // destroyed, not merely finished, so the reservation covers the whole
-  // memory lifetime. `*queued`, if given, reports whether the caller
-  // had to wait. Non-ok (kAdmissionRejected / kAdmissionTimeout) =>
-  // nothing is held.
-  QueryStatus Admit(int64_t reserve_bytes, bool* queued = nullptr);
+  // `reserve_bytes` of budget. When over capacity the caller waits, and
+  // freed capacity is handed to the waiting arrival with the highest
+  // `priority` (ties in arrival order). Ok => the caller MUST
+  // eventually call Release(reserve_bytes) — after the query's operator
+  // state is destroyed, not merely finished, so the reservation covers
+  // the whole memory lifetime. `*queued`, if given, reports whether the
+  // caller had to wait. Non-ok (kAdmissionRejected / kAdmissionTimeout)
+  // => nothing is held.
+  QueryStatus Admit(int64_t reserve_bytes, double priority = 1.0,
+                    bool* queued = nullptr);
   void Release(int64_t reserve_bytes);
 
   struct Stats {
@@ -69,12 +76,20 @@ class AdmissionController {
   const AdmissionOptions& options() const { return opts_; }
 
  private:
+  struct Waiter {
+    uint64_t ticket;  // admission order; lower = arrived earlier
+    double priority;
+  };
+
   bool HasCapacity(int64_t reserve_bytes) const;  // call under mu_
+  // Ticket of the waiter next in line: highest priority, FIFO within a
+  // priority class. Call under mu_ with a non-empty queue.
+  uint64_t HeadTicket() const;
 
   const AdmissionOptions opts_;
   mutable std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<uint64_t> queue_;  // FIFO tickets of waiting arrivals
+  std::deque<Waiter> queue_;  // waiting arrivals, in arrival order
   uint64_t next_ticket_ = 0;
   int running_ = 0;
   int64_t reserved_ = 0;

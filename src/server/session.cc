@@ -143,23 +143,40 @@ bool Session::HandlePrepare(WireReader& r) {
     return false;
   }
   LogicalPlan plan;
-  if (!server_->FindStatement(name, &plan)) {
+  ShardedEngine* sharded = nullptr;
+  if (!server_->FindStatement(name, &plan, &sharded)) {
     return SendError(
         QueryStatus::Internal("unknown statement \"" + name + "\""));
   }
-  bool cache_hit = false;
-  std::shared_ptr<const StatementCache::Entry> entry =
-      server_->cache().GetOrPrepare(plan, &cache_hit);
   const uint32_t stmt_id = next_stmt_id_++;
-  stmts_[stmt_id] = entry;
+  PreparedStmt& ps = stmts_[stmt_id];
+  ps.sharded = sharded;
+  ps.plan = plan;
+  bool cache_hit = false;
+  const std::vector<std::string>* names;
+  const std::vector<LogicalType>* types;
+  uint64_t fingerprint;
+  if (sharded == nullptr) {
+    ps.entry = server_->cache().GetOrPrepare(plan, &cache_hit);
+    names = &ps.entry->names;
+    types = &ps.entry->types;
+    fingerprint = ps.entry->fingerprint;
+  } else {
+    // Sharded lowering happens per execution (it feeds on runtime
+    // exchange cardinalities), so there is no PreparedQuery to cache;
+    // the schema comes straight off the plan root.
+    names = &plan.root()->names;
+    types = &plan.root()->types;
+    fingerprint = PlanFingerprint(plan);
+  }
   WireWriter w(MsgType::kPrepared);
   w.U32(stmt_id);
-  w.U64(entry->fingerprint);
+  w.U64(fingerprint);
   w.U8(cache_hit ? 1 : 0);
-  w.U16(static_cast<uint16_t>(entry->names.size()));
-  for (size_t c = 0; c < entry->names.size(); ++c) {
-    w.U8(static_cast<uint8_t>(entry->types[c]));
-    w.Str(entry->names[c]);
+  w.U16(static_cast<uint16_t>(names->size()));
+  for (size_t c = 0; c < names->size(); ++c) {
+    w.U8(static_cast<uint8_t>((*types)[c]));
+    w.Str((*names)[c]);
   }
   return SendFrame(fd_, w.Finish());
 }
@@ -190,26 +207,43 @@ bool Session::HandleExecute(WireReader& r) {
   // query the server cannot run. The budget doubles as the admission
   // reservation.
   bool queued = false;
-  QueryStatus admit = server_->admission().Admit(budget, &queued);
+  QueryStatus admit = server_->admission().Admit(budget, priority, &queued);
   if (!admit.ok()) {
     return SendError(admit);
   }
   Execution e;
   e.reserved_bytes = budget;
-  // MakeQuery re-checks plan staleness under the prepared query's
-  // refresh lock on every execution — a cache hit whose table sealed a
-  // partition mid-stream re-resolves here instead of serving the stale
-  // splice. Lowering failures (e.g. the budget trips during SetPlan)
-  // surface as an errored query, harvested on FETCH.
-  e.query = it->second->prepared.MakeQuery(priority, budget);
-  if (deadline_ms > 0) {
-    e.query->SetDeadline(std::chrono::milliseconds(deadline_ms));
+  if (it->second.sharded != nullptr) {
+    // Distributed execution: the coordinator thread owns lowering and
+    // staging; governance knobs apply to every stage on every shard.
+    e.sharded = it->second.sharded->CreateQuery(it->second.plan, priority);
+    if (budget > 0) e.sharded->SetMemoryBudget(budget);
+    if (deadline_ms > 0) {
+      e.sharded->SetDeadline(std::chrono::milliseconds(deadline_ms));
+    }
+    if (limits_.max_workers > 0) {
+      e.sharded->SetMaxWorkers(limits_.max_workers);
+    }
+    if (server_->options().fault_injection.enabled) {
+      e.sharded->SetFaultInjection(server_->options().fault_injection);
+    }
+    e.sharded->Start();
+  } else {
+    // MakeQuery re-checks plan staleness under the prepared query's
+    // refresh lock on every execution — a cache hit whose table sealed a
+    // partition mid-stream re-resolves here instead of serving the stale
+    // splice. Lowering failures (e.g. the budget trips during SetPlan)
+    // surface as an errored query, harvested on FETCH.
+    e.query = it->second.entry->prepared.MakeQuery(priority, budget);
+    if (deadline_ms > 0) {
+      e.query->SetDeadline(std::chrono::milliseconds(deadline_ms));
+    }
+    if (limits_.max_workers > 0) e.query->SetMaxWorkers(limits_.max_workers);
+    if (server_->options().fault_injection.enabled) {
+      e.query->SetFaultInjection(server_->options().fault_injection);
+    }
+    e.query->Start();
   }
-  if (limits_.max_workers > 0) e.query->SetMaxWorkers(limits_.max_workers);
-  if (server_->options().fault_injection.enabled) {
-    e.query->SetFaultInjection(server_->options().fault_injection);
-  }
-  e.query->Start();
   server_->CountQueryExecuted();
   const uint64_t query_id = next_query_id_++;
   execs_.emplace(query_id, std::move(e));
@@ -219,7 +253,8 @@ bool Session::HandleExecute(WireReader& r) {
   return SendFrame(fd_, w.Finish());
 }
 
-void Session::WaitInterruptibly(Query* q) {
+template <typename QueryT>
+void Session::WaitInterruptibly(QueryT* q) {
   while (!q->WaitFor(kWaitSlice)) {
     if (stopping_.load(std::memory_order_acquire)) {
       q->Cancel();
@@ -244,13 +279,20 @@ bool Session::HandleFetch(WireReader& r) {
   }
   Execution& e = it->second;
   if (!e.harvested) {
-    WaitInterruptibly(e.query.get());
-    e.result = e.query->TakeResult();
+    if (e.sharded != nullptr) {
+      WaitInterruptibly(e.sharded.get());
+      e.result = e.sharded->TakeResult();
+    } else {
+      WaitInterruptibly(e.query.get());
+      e.result = e.query->TakeResult();
+    }
     e.harvested = true;
-    // Operator state is freed by Query's destructor: destroy before
+    // Operator state is freed by the query's destructor: destroy before
     // releasing the admission reservation so the reservation covers the
-    // query's whole memory lifetime.
+    // query's whole memory lifetime (a ShardedQuery also frees its
+    // exchange channels here).
     e.query.reset();
+    e.sharded.reset();
     server_->admission().Release(e.reserved_bytes);
     e.released = true;
   }
@@ -333,6 +375,11 @@ void Session::DestroyExecution(Execution& e) {
     e.query->Cancel();
     e.query->Wait();
     e.query.reset();
+  }
+  if (e.sharded != nullptr) {
+    e.sharded->Cancel();
+    e.sharded->Wait();
+    e.sharded.reset();
   }
   if (!e.released) {
     server_->admission().Release(e.reserved_bytes);

@@ -1,0 +1,158 @@
+#ifndef MORSELDB_SHARD_SHARDED_QUERY_H_
+#define MORSELDB_SHARD_SHARDED_QUERY_H_
+
+// One distributed execution of a LogicalPlan across the shards of a
+// ShardedEngine (DESIGN §14). The coordinator thread walks the
+// canonical plan bottom-up, maintaining a *distribution property* per
+// subtree (arbitrary / hash-partitioned on keys / replicated), and
+// turns every point where an operator needs rows it does not own into
+// an Exchange: the producing stage runs eagerly on every shard,
+// scattering rows into an ExchangeChannel by key hash, and the
+// consuming stage re-roots on ExchangeRecv sources. Because the send
+// stage has completed by the time the receive side is planned, the
+// broadcast-vs-repartition choice is made with the *exact* transferred
+// cardinality — the distributed analogue of the single-engine runtime
+// feedback of DESIGN §9.
+//
+// Governance (DESIGN §11) spans the whole distributed QEP: one
+// absolute deadline covers every stage, the memory budget divides
+// across shards, fault injection reseeds deterministically per
+// (stage, shard), and any shard failing a stage fail-fast-cancels its
+// siblings; the coordinator reports the originating status.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/fault_injector.h"
+#include "common/query_status.h"
+#include "engine/logical_plan.h"
+#include "exec/result.h"
+
+namespace morsel {
+
+class Engine;
+class ExchangeChannel;
+class Query;
+class ShardedEngine;
+
+class ShardedQuery {
+ public:
+  ShardedQuery(ShardedEngine* engine, LogicalPlan plan, double priority);
+  ~ShardedQuery();
+
+  ShardedQuery(const ShardedQuery&) = delete;
+  ShardedQuery& operator=(const ShardedQuery&) = delete;
+
+  // --- execution (mirrors Query) -------------------------------------------
+  void Start();  // launches the coordinator thread; returns immediately
+  void Wait();   // blocks until the distributed plan completed
+  template <typename Rep, typename Period>
+  bool WaitFor(std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock<std::mutex> lock(mu_);
+    return cv_.wait_for(lock, timeout, [&] { return done_; });
+  }
+  ResultSet Execute();  // Start + Wait + TakeResult
+  // Merged result; on failure an empty ResultSet carrying the first
+  // failing shard's status. Single-shot, like Query::TakeResult.
+  ResultSet TakeResult();
+  // Cancels every in-flight shard query and all later stages.
+  void Cancel();
+  // Terminal status (kOk while still running).
+  QueryStatus status() const;
+
+  // --- governance (applies to every stage on every shard) ------------------
+  void SetMaxWorkers(int n);           // per-shard worker cap
+  void SetMemoryBudget(int64_t bytes); // total; divided across shards
+  void SetDeadline(std::chrono::milliseconds after);
+  void SetFaultInjection(const FaultInjectionOptions& opts);
+
+  // Distributed EXPLAIN: per stage, the coordinator's exchange
+  // decisions followed by every shard query's ExplainPlan (which
+  // carries the [exchange: ...] runtime annotations). Complete once the
+  // query finished.
+  std::string ExplainPlan() const;
+
+ private:
+  // Distribution property of a per-shard plan fragment set.
+  struct Dist {
+    enum class Kind { kArbitrary, kHashOn, kReplicated };
+    Kind kind = Kind::kArbitrary;
+    std::vector<std::string> keys;  // kHashOn: hash-routing columns
+  };
+  // One subtree, distributed: the open per-shard builders plus how the
+  // rows are placed across them.
+  struct Part {
+    std::vector<PlanBuilder> shards;
+    Dist dist;
+  };
+
+  void Run();  // coordinator thread body
+
+  Part Distribute(const LogicalNode* n);
+  Part DistributeScan(const LogicalNode* n);
+  Part DistributeGroupBy(const LogicalNode* n);
+  Part DistributeJoin(const LogicalNode* n);
+
+  // Terminates every builder with ExchangeSend on `keys` into a fresh
+  // channel over the part's schema and runs that stage. Returns the
+  // channel (held in channels_), or null after a failure.
+  std::shared_ptr<ExchangeChannel> RunSendStage(
+      Part* part, const std::vector<std::string>& keys,
+      const std::string& label, std::vector<std::string>* names_out);
+
+  // Runs one stage: per-shard queries with governance applied,
+  // fail-fast sibling cancellation, explain capture. Returns the
+  // stage's status; on success fills `results` (when non-null) with the
+  // per-shard results.
+  QueryStatus RunStage(std::vector<LogicalPlan> plans,
+                       const std::string& label,
+                       std::vector<ResultSet>* results);
+
+  bool failed() const { return !coord_status_.ok(); }
+  void LogLine(const std::string& line);
+
+  static double EstimateRows(const LogicalNode* n);
+
+  ShardedEngine* engine_;
+  LogicalPlan plan_;
+  double priority_;
+  int num_shards_;
+
+  std::thread thread_;  // joined by the destructor
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool started_ = false;
+  bool done_ = false;
+  bool cancel_requested_ = false;
+  std::vector<Query*> inflight_;  // current stage's shard queries
+  QueryStatus status_;            // terminal status, set before done_
+  std::string explain_;
+
+  // Coordinator-thread state (no locking needed).
+  QueryStatus coord_status_;
+  ResultSet final_;
+  std::atomic<bool> result_taken_{false};
+  int stage_idx_ = 0;
+  // Channels must outlive the stages that read them; queries die per
+  // stage, channels at coordinator end.
+  std::vector<std::shared_ptr<ExchangeChannel>> channels_;
+
+  // Governance knobs (set before Start).
+  int max_workers_ = 0;
+  int64_t budget_bytes_ = 0;
+  std::optional<std::chrono::steady_clock::time_point> deadline_;
+  FaultInjectionOptions fault_;
+};
+
+}  // namespace morsel
+
+#endif  // MORSELDB_SHARD_SHARDED_QUERY_H_

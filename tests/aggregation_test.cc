@@ -8,6 +8,7 @@
 
 #include "common/date.h"
 #include "common/rng.h"
+#include "exec/aggregation.h"
 #include "test_util.h"
 
 namespace morsel {
@@ -199,6 +200,36 @@ TEST(Aggregation, MinMaxOnDates) {
   ResultSet r = q->Execute();
   EXPECT_EQ(r.I32(0, 0), MakeDate(1992, 1, 1));
   EXPECT_EQ(r.I32(0, 1), MakeDate(1992, 1, 1) + 4999);
+}
+
+// Phase-2 partition scheduling is NUMA-affine: a partition's merge
+// morsel lands on the socket holding the majority of its spilled
+// partials, and empty partitions keep the round-robin placement.
+TEST(Aggregation, Phase2PartitionsScheduleOnMajoritySocket) {
+  GroupByState state({LogicalType::kInt64},
+                     {AggSpec{AggFunc::kCount, -1, LogicalType::kInt64}},
+                     /*num_worker_slots=*/2, /*num_partitions=*/8);
+  // Partition 3: 10 rows on socket 1, 3 rows on socket 0 -> socket 1.
+  state.spill(0, 3, 1)->AppendRows(10);
+  state.spill(1, 3, 0)->AppendRows(3);
+  // Partition 4: rows on socket 0 only -> socket 0 (round-robin would
+  // have said socket 0 anyway; partition 5 disambiguates).
+  state.spill(0, 4, 0)->AppendRows(5);
+  // Partition 5: rows on socket 0 only; round-robin placement would be
+  // socket 1 -> the data wins.
+  state.spill(1, 5, 0)->AppendRows(7);
+
+  AggPartitionSource source(&state);
+  std::vector<MorselRange> ranges =
+      source.MakeRanges(SmallTopo());  // 2 sockets
+  ASSERT_EQ(ranges.size(), 8u);
+  EXPECT_EQ(ranges[3].socket, 1);
+  EXPECT_EQ(ranges[4].socket, 0);
+  EXPECT_EQ(ranges[5].socket, 0);
+  // Untouched partitions fall back to round-robin.
+  EXPECT_EQ(ranges[0].socket, 0);
+  EXPECT_EQ(ranges[1].socket, 1);
+  EXPECT_EQ(ranges[7].socket, 1);
 }
 
 }  // namespace

@@ -19,6 +19,8 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "shard/sharded_engine.h"
+#include "shard/sharded_query.h"
 #include "test_util.h"
 #include "volcano/volcano.h"
 
@@ -176,6 +178,13 @@ struct RandomPlanSpec {
   bool adaptive_agg = true;
   bool force_radix_agg = false;
   bool radix_merge_mat = true;
+  // Sharded scale-out dimensions (DESIGN Â§14): shard count and the
+  // distribution policy of each table. The sharded arm must agree
+  // byte-for-byte with the single-engine run and the Volcano oracle.
+  int shard_count = 1;       // 1 / 2 / 4 in-process engine shards
+  int probe_dist = 0;        // 0 = hash(pk), 1 = round-robin
+  int build_dist = 0;        // 0 = hash(bk), 1 = round-robin, 2 = replicated
+  bool dim2_replicated = true;
   // scheduling knobs for the tested engine
   int morsel_size = 512;
   int workers = 4;
@@ -219,48 +228,29 @@ RandomPlanSpec DrawSpec(uint64_t seed) {
   s.adaptive_agg = rng.Bernoulli(0.5);
   s.force_radix_agg = rng.Bernoulli(0.25);
   s.radix_merge_mat = rng.Bernoulli(0.5);
+  // Sharded dimensions: drawn after every pre-existing one so earlier
+  // seeds keep their established shapes.
+  constexpr int kShardCounts[] = {1, 2, 4};
+  s.shard_count = kShardCounts[rng.Uniform(0, 2)];
+  s.probe_dist = static_cast<int>(rng.Uniform(0, 1));
+  s.build_dist = static_cast<int>(rng.Uniform(0, 2));
+  s.dim2_replicated = rng.Bernoulli(0.5);
   // No liveness constraint on steal/workers: sockets without a live
   // worker hand their morsels to remote workers (the dispatcher's
   // no-steal fallback), so any combination must complete.
   return s;
 }
 
-std::vector<std::string> RunSpec(const RandomPlanSpec& spec,
-                                 bool reference) {
-  EngineOptions opts;
-  if (reference) {
-    // Volcano-emulation backend, single worker: the fixed oracle — it
-    // also runs the pre-selection-vector eager filter path with zone
-    // maps off, so the tested engine's elisions face an independent
-    // implementation.
-    opts = MakeVolcanoOptions();
-    opts.num_workers = 1;
-    opts.join_strategy = JoinStrategy::kHash;
-    opts.selection_vectors = false;
-    opts.zone_maps = false;
-    // The oracle aggregates on the fixed pre-§13 path and materializes
-    // merge inputs through the separator-sampling path.
-    opts.adaptive_agg = false;
-    opts.radix_merge_materialize = false;
-  } else {
-    opts.morsel_size = spec.morsel_size;
-    opts.num_workers = spec.workers;
-    opts.numa_aware = spec.numa_aware;
-    opts.steal = spec.steal;
-    opts.tagging = spec.tagging;
-    opts.runtime_feedback = spec.runtime_feedback;
-    opts.selection_vectors = spec.selection_vectors;
-    opts.adaptive_agg = spec.adaptive_agg;
-    if (spec.force_radix_agg) opts.agg_radix_switch_ratio = 0.0;
-    opts.radix_merge_materialize = spec.radix_merge_mat;
-    // Half the specs exercise the engine-wide knob, half the per-join
-    // override (with a deliberately contrary knob it must beat).
-    opts.join_strategy =
-        spec.per_join_override ? JoinStrategy::kHash : spec.strategy;
-  }
-  Engine engine(testutil::SmallTopo(), opts);
+// Tables depend only on the seed, not on which engine runs them — the
+// single-engine arms scan these directly; the sharded arm registers
+// them as canonical tables and scans their fragments.
+struct SpecTables {
+  std::unique_ptr<Table> probe;
+  std::unique_ptr<Table> build;
+  std::unique_ptr<Table> dim2;
+};
 
-  // Data depends only on the seed, not on which engine runs it.
+SpecTables MakeSpecTables(const RandomPlanSpec& spec) {
   Rng data_rng(spec.seed ^ 0xda7a5eedULL);
   std::vector<std::pair<int64_t, int64_t>> probe_rows, build_rows;
   for (int64_t i = 0; i < spec.probe_rows; ++i) {
@@ -290,12 +280,17 @@ std::vector<std::string> RunSpec(const RandomPlanSpec& spec,
   for (int64_t i = 0; i < 600; ++i) {
     dim2_rows.push_back({data_rng.Uniform(0, spec.key_range + 20), i});
   }
-  auto probe = MakeKv(testutil::SmallTopo(), probe_rows, "pk", "pv");
-  auto build = MakeKv(testutil::SmallTopo(), build_rows, "bk", "bv");
-  auto dim2 = MakeKv(testutil::SmallTopo(), dim2_rows, "b2k", "b2v");
+  SpecTables t;
+  t.probe = MakeKv(testutil::SmallTopo(), probe_rows, "pk", "pv");
+  t.build = MakeKv(testutil::SmallTopo(), build_rows, "bk", "bv");
+  t.dim2 = MakeKv(testutil::SmallTopo(), dim2_rows, "b2k", "b2v");
+  return t;
+}
 
-  PlanBuilder b = PlanBuilder::Scan(build.get(), {"bk", "bv"});
-  PlanBuilder p = PlanBuilder::Scan(probe.get(), {"pk", "pv"});
+LogicalPlan BuildSpecPlan(const RandomPlanSpec& spec, const SpecTables& t,
+                          bool reference) {
+  PlanBuilder b = PlanBuilder::Scan(t.build.get(), {"bk", "bv"});
+  PlanBuilder p = PlanBuilder::Scan(t.probe.get(), {"pk", "pv"});
   if (spec.range_filter && spec.probe_rows > 0) {
     // pv == row index, ascending within each partition: a SARGable
     // two-conjunct range on a sorted scan column — the zone-map
@@ -330,7 +325,7 @@ std::vector<std::string> RunSpec(const RandomPlanSpec& spec,
     // downstream of a group-by this join's input cardinality is only
     // known at the pipeline boundary, exercising the deferred-decision
     // splice under every scheduling configuration drawn above.
-    PlanBuilder b2 = PlanBuilder::Scan(dim2.get(), {"b2k", "b2v"});
+    PlanBuilder b2 = PlanBuilder::Scan(t.dim2.get(), {"b2k", "b2v"});
     p.Join(std::move(b2), {"pk"}, {"b2k"}, {"b2v"}, JoinKind::kInner,
            nullptr,
            reference ? std::nullopt
@@ -341,7 +336,52 @@ std::vector<std::string> RunSpec(const RandomPlanSpec& spec,
   } else {
     p.CollectResult();
   }
-  LogicalPlan plan = p.Build();
+  return p.Build();
+}
+
+EngineOptions TestedEngineOptions(const RandomPlanSpec& spec) {
+  EngineOptions opts;
+  opts.morsel_size = spec.morsel_size;
+  opts.num_workers = spec.workers;
+  opts.numa_aware = spec.numa_aware;
+  opts.steal = spec.steal;
+  opts.tagging = spec.tagging;
+  opts.runtime_feedback = spec.runtime_feedback;
+  opts.selection_vectors = spec.selection_vectors;
+  opts.adaptive_agg = spec.adaptive_agg;
+  if (spec.force_radix_agg) opts.agg_radix_switch_ratio = 0.0;
+  opts.radix_merge_materialize = spec.radix_merge_mat;
+  // Half the specs exercise the engine-wide knob, half the per-join
+  // override (with a deliberately contrary knob it must beat).
+  opts.join_strategy =
+      spec.per_join_override ? JoinStrategy::kHash : spec.strategy;
+  return opts;
+}
+
+std::vector<std::string> RunSpec(const RandomPlanSpec& spec,
+                                 bool reference) {
+  EngineOptions opts;
+  if (reference) {
+    // Volcano-emulation backend, single worker: the fixed oracle — it
+    // also runs the pre-selection-vector eager filter path with zone
+    // maps off, so the tested engine's elisions face an independent
+    // implementation.
+    opts = MakeVolcanoOptions();
+    opts.num_workers = 1;
+    opts.join_strategy = JoinStrategy::kHash;
+    opts.selection_vectors = false;
+    opts.zone_maps = false;
+    // The oracle aggregates on the fixed pre-§13 path and materializes
+    // merge inputs through the separator-sampling path.
+    opts.adaptive_agg = false;
+    opts.radix_merge_materialize = false;
+  } else {
+    opts = TestedEngineOptions(spec);
+  }
+  Engine engine(testutil::SmallTopo(), opts);
+
+  SpecTables t = MakeSpecTables(spec);
+  LogicalPlan plan = BuildSpecPlan(spec, t, reference);
   if (!reference && spec.prepared) {
     // Prepared-vs-fresh: one plan, lowered twice; both executions must
     // agree with each other (and with the fresh reference run).
@@ -351,6 +391,38 @@ std::vector<std::string> RunSpec(const RandomPlanSpec& spec,
     return first;
   }
   return SortedRows(engine.CreateQuery(plan)->Execute());
+}
+
+// The sharded arm: the same tables registered on a ShardedEngine under
+// the drawn placement (hash on the join key / round-robin / replicated)
+// and the same plan executed distributed. Must be row-identical to the
+// Volcano reference regardless of shard count or placement — exchanges
+// may move rows but never change them.
+std::vector<std::string> RunSpecSharded(const RandomPlanSpec& spec) {
+  SpecTables t = MakeSpecTables(spec);
+  LogicalPlan plan = BuildSpecPlan(spec, t, /*reference=*/false);
+  ShardedEngine sharded(testutil::SmallTopo(), spec.shard_count,
+                        TestedEngineOptions(spec));
+  sharded.RegisterTable(t.probe.get(),
+                        spec.probe_dist == 0 ? ShardDist::kHash
+                                             : ShardDist::kRoundRobin,
+                        spec.probe_dist == 0
+                            ? std::vector<std::string>{"pk"}
+                            : std::vector<std::string>{});
+  sharded.RegisterTable(t.build.get(),
+                        spec.build_dist == 0   ? ShardDist::kHash
+                        : spec.build_dist == 1 ? ShardDist::kRoundRobin
+                                               : ShardDist::kReplicated,
+                        spec.build_dist == 0
+                            ? std::vector<std::string>{"bk"}
+                            : std::vector<std::string>{});
+  sharded.RegisterTable(t.dim2.get(),
+                        spec.dim2_replicated ? ShardDist::kReplicated
+                                             : ShardDist::kHash,
+                        spec.dim2_replicated
+                            ? std::vector<std::string>{}
+                            : std::vector<std::string>{"b2k"});
+  return SortedRows(sharded.CreateQuery(plan)->Execute());
 }
 
 TEST(RandomizedPlans, MatchVolcanoReference) {
@@ -365,8 +437,11 @@ TEST(RandomizedPlans, MatchVolcanoReference) {
         "failing RNG seed: " + std::to_string(seed) +
         " (rerun in isolation with MORSEL_ONLY_SEED=" +
         std::to_string(seed) + ")");
-    EXPECT_EQ(RunSpec(spec, /*reference=*/false),
-              RunSpec(spec, /*reference=*/true));
+    std::vector<std::string> reference = RunSpec(spec, /*reference=*/true);
+    EXPECT_EQ(RunSpec(spec, /*reference=*/false), reference);
+    // Differential sharded arm: distribution must be invisible in the
+    // result, for every drawn shard count and table placement.
+    EXPECT_EQ(RunSpecSharded(spec), reference);
   }
 }
 

@@ -1,7 +1,8 @@
 // Query-serving front end (DESIGN.md §12): the TCP session server,
 // wire framing, prepared-statement cache and admission controller.
 //  - wire: writer/reader round-trip, overrun safety;
-//  - admission: cap + FIFO queue, timeout, shed, memory reservations;
+//  - admission: cap + priority queue (FIFO within a class), timeout,
+//    shed, memory reservations;
 //  - fingerprint/cache: structural identity, literal sensitivity,
 //    stability across epoch refreshes, server-wide deduplication;
 //  - TakeResult is single-shot under two concurrent waiters;
@@ -14,6 +15,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstring>
@@ -170,15 +172,15 @@ TEST(Admission, CapThenFifoReleaseAdmitsWaiter) {
   opts.queue_timeout_ms = 5000;
   AdmissionController ac(opts);
   bool queued = false;
-  ASSERT_TRUE(ac.Admit(0, &queued).ok());
+  ASSERT_TRUE(ac.Admit(0, 1.0, &queued).ok());
   EXPECT_FALSE(queued);
-  ASSERT_TRUE(ac.Admit(0, &queued).ok());
+  ASSERT_TRUE(ac.Admit(0, 1.0, &queued).ok());
   EXPECT_FALSE(queued);
 
   std::atomic<bool> admitted{false};
   std::thread waiter([&] {
     bool q = false;
-    QueryStatus st = ac.Admit(0, &q);
+    QueryStatus st = ac.Admit(0, 1.0, &q);
     EXPECT_TRUE(st.ok()) << st.ToString();
     EXPECT_TRUE(q);
     admitted.store(true);
@@ -198,6 +200,49 @@ TEST(Admission, CapThenFifoReleaseAdmitsWaiter) {
   EXPECT_EQ(s.waiting, 0);
   ac.Release(0);
   ac.Release(0);
+  EXPECT_EQ(ac.stats().running, 0);
+}
+
+TEST(Admission, PriorityOrdersWaitersFifoWithinClass) {
+  AdmissionOptions opts;
+  opts.max_concurrent = 1;
+  opts.queue_timeout_ms = 5000;
+  AdmissionController ac(opts);
+  ASSERT_TRUE(ac.Admit(0).ok());  // occupy the only slot
+
+  // Three waiters arrive in order: low, high #1, high #2. Slots must go
+  // high #1, high #2, low — priority first, FIFO within a class.
+  std::mutex mu;
+  std::vector<int> admitted_order;
+  std::atomic<int> waiting{0};
+  auto waiter = [&](int id, double prio) {
+    ++waiting;
+    QueryStatus st = ac.Admit(0, prio);
+    ASSERT_TRUE(st.ok()) << st.ToString();
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      admitted_order.push_back(id);
+    }
+    ac.Release(0);
+  };
+  std::thread low(waiter, 0, 1.0);
+  while (ac.stats().waiting < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::thread high1(waiter, 1, 8.0);
+  while (ac.stats().waiting < 2) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::thread high2(waiter, 2, 8.0);
+  while (ac.stats().waiting < 3) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  ac.Release(0);  // free the slot; waiters chain-release afterwards
+  low.join();
+  high1.join();
+  high2.join();
+  EXPECT_EQ(admitted_order, (std::vector<int>{1, 2, 0}));
   EXPECT_EQ(ac.stats().running, 0);
 }
 
@@ -412,6 +457,55 @@ TEST(ServerTest, PrepareExecuteFetchMatchesDirectExecution) {
   c2.Close();
   c.Close();
   EXPECT_GE(fx.server().stats().queries_executed, 1u);
+}
+
+// A statement registered against a ShardedEngine serves over the same
+// wire protocol — same PREPARE schema frame, same EXECUTE governance,
+// same FETCH paging — and returns exactly what the local engine does.
+TEST(ServerTest, ShardedStatementServesOverSameProtocol) {
+  static ShardedEngine* sharded = [] {
+    EngineOptions opts;
+    opts.morsel_size = 512;
+    auto* se = new ShardedEngine(SmallTopo(), 4, opts);
+    se->RegisterTable(Fact(), ShardDist::kRoundRobin);
+    return se;
+  }();
+  ServerFixture fx;
+  fx.server().RegisterShardedStatement("agg_sharded", AggPlan(), sharded);
+
+  Client c;
+  ASSERT_TRUE(c.Connect(fx.port()).ok());
+  Client::Prepared p = c.Prepare("agg_sharded");
+  ASSERT_TRUE(p.status.ok()) << p.status.ToString();
+  ASSERT_EQ(p.col_names.size(), 3u);
+  EXPECT_EQ(p.col_names[0], "k");
+  EXPECT_EQ(p.col_names[1], "n");
+  EXPECT_EQ(p.col_names[2], "sv");
+
+  Client::Executing e = c.Execute(p.stmt_id);
+  ASSERT_TRUE(e.status.ok()) << e.status.ToString();
+  Client::RowBatch rb = c.Fetch(e.query_id);
+  ASSERT_TRUE(rb.status.ok()) << rb.status.ToString();
+  EXPECT_TRUE(rb.done);
+  c.Close();
+
+  ResultSet direct = ServeEngine().CreateQuery(AggPlan())->Execute();
+  ASSERT_TRUE(direct.ok());
+  ASSERT_EQ(rb.num_rows, direct.num_rows());
+  // The distributed group-by may emit groups in any order; compare as
+  // sorted row strings.
+  std::vector<std::string> wire_rows, direct_rows;
+  for (int64_t i = 0; i < rb.num_rows; ++i) {
+    wire_rows.push_back(std::to_string(rb.cols[0].ints[i]) + "|" +
+                        std::to_string(rb.cols[1].ints[i]) + "|" +
+                        std::to_string(rb.cols[2].ints[i]));
+    direct_rows.push_back(std::to_string(direct.I64(i, 0)) + "|" +
+                          std::to_string(direct.I64(i, 1)) + "|" +
+                          std::to_string(direct.I64(i, 2)));
+  }
+  std::sort(wire_rows.begin(), wire_rows.end());
+  std::sort(direct_rows.begin(), direct_rows.end());
+  EXPECT_EQ(wire_rows, direct_rows);
 }
 
 TEST(ServerTest, FetchPaginatesWithCursor) {

@@ -1,0 +1,392 @@
+// Sharded scale-out (DESIGN §14): the exchange subsystem end to end.
+// The invariant under test everywhere: distribution is invisible — a
+// plan executed across N shared-nothing shards returns exactly the rows
+// the single-engine oracle returns, for every distribution policy,
+// exchange mode (broadcast / repartition), join kind, aggregate shape
+// and merge spine; and §11 governance (deadlines, cancellation, fault
+// injection, budgets) spans the whole distributed QEP.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/query_status.h"
+#include "common/rng.h"
+#include "shard/sharded_engine.h"
+#include "shard/sharded_query.h"
+#include "shard/sharded_table.h"
+#include "test_util.h"
+
+namespace morsel {
+namespace {
+
+using testutil::MakeKv;
+using testutil::SmallTopo;
+using testutil::SortedRows;
+
+std::unique_ptr<Table> MakeProbe(int64_t rows, int64_t key_range) {
+  Rng rng(7001);
+  std::vector<std::pair<int64_t, int64_t>> r;
+  for (int64_t i = 0; i < rows; ++i) {
+    r.push_back({rng.Uniform(0, key_range - 1), i});
+  }
+  return MakeKv(SmallTopo(), r, "pk", "pv");
+}
+
+std::unique_ptr<Table> MakeBuild(int64_t rows, int64_t key_range) {
+  Rng rng(7002);
+  std::vector<std::pair<int64_t, int64_t>> r;
+  for (int64_t i = 0; i < rows; ++i) {
+    // Overshoots the probe key range so anti joins see misses.
+    r.push_back({rng.Uniform(0, key_range + 40), i});
+  }
+  return MakeKv(SmallTopo(), r, "bk", "bv");
+}
+
+std::vector<std::string> RunSingle(const LogicalPlan& plan) {
+  return SortedRows(testutil::SmallEngine().CreateQuery(plan)->Execute());
+}
+
+// --- ShardedTable routing ---------------------------------------------------
+
+TEST(ShardedTable, HashDistCoLocatesEqualKeys) {
+  auto t = MakeProbe(5000, 64);
+  ShardedEngine se(SmallTopo(), 4);
+  ShardedTable* st = se.RegisterTable(t.get(), ShardDist::kHash, {"pk"});
+  ASSERT_EQ(st->num_shards(), 4);
+  // Scan each fragment: a key must never appear on two shards, and the
+  // union must be the whole table.
+  size_t total = 0;
+  std::vector<int> key_home(64, -1);
+  for (int s = 0; s < 4; ++s) {
+    const Table* frag = st->fragment(s);
+    total += frag->NumRows();
+    PlanBuilder pb = PlanBuilder::Scan(st->fragment(s), {"pk"});
+    std::vector<AggItem> aggs;
+    aggs.push_back({AggFunc::kCount, nullptr, "cnt"});
+    pb.GroupBy({"pk"}, std::move(aggs));
+    pb.CollectResult();
+    ResultSet r =
+        testutil::SmallEngine().CreateQuery(pb.Build())->Execute();
+    for (int64_t i = 0; i < r.num_rows(); ++i) {
+      const int64_t k = r.I64(i, 0);
+      EXPECT_EQ(key_home[k], -1)
+          << "key " << k << " on shards " << key_home[k] << " and " << s;
+      key_home[k] = s;
+    }
+  }
+  EXPECT_EQ(total, t->NumRows());
+}
+
+TEST(ShardedTable, ReplicatedGivesEveryShardTheWholeTable) {
+  auto t = MakeBuild(700, 64);
+  ShardedEngine se(SmallTopo(), 2);
+  ShardedTable* st = se.RegisterTable(t.get(), ShardDist::kReplicated);
+  for (int s = 0; s < 2; ++s) {
+    EXPECT_EQ(st->fragment(s)->NumRows(), t->NumRows());
+  }
+}
+
+TEST(ShardedTable, RoundRobinBalancesRows) {
+  auto t = MakeProbe(4001, 64);
+  ShardedEngine se(SmallTopo(), 4);
+  ShardedTable* st = se.RegisterTable(t.get(), ShardDist::kRoundRobin);
+  size_t total = 0;
+  for (int s = 0; s < 4; ++s) {
+    const size_t n = st->fragment(s)->NumRows();
+    total += n;
+    EXPECT_NEAR(static_cast<double>(n), 4001.0 / 4, 1.0);
+  }
+  EXPECT_EQ(total, t->NumRows());
+}
+
+// --- exchange correctness ---------------------------------------------------
+
+LogicalPlan JoinPlan(const Table* probe, const Table* build, JoinKind kind,
+                     bool group_by) {
+  PlanBuilder b = PlanBuilder::Scan(build, {"bk", "bv"});
+  PlanBuilder p = PlanBuilder::Scan(probe, {"pk", "pv"});
+  p.Join(std::move(b), {"pk"}, {"bk"}, {"bv"}, kind);
+  if (group_by) {
+    const bool has_payload =
+        kind != JoinKind::kSemi && kind != JoinKind::kAnti;
+    std::vector<AggItem> aggs;
+    aggs.push_back({AggFunc::kCount, nullptr, "cnt"});
+    aggs.push_back(
+        {AggFunc::kSum, p.Col(has_payload ? "bv" : "pv"), "s"});
+    p.GroupBy({"pk"}, std::move(aggs));
+  }
+  p.CollectResult();
+  return p.Build();
+}
+
+// Every join kind, under both exchange modes. A small build side takes
+// the broadcast path, a large one repartitions both sides; either way
+// the distributed result must match the single-engine run exactly.
+TEST(ShardedExchange, JoinKindsBroadcastAndRepartition) {
+  auto probe = MakeProbe(20000, 300);
+  auto small_build = MakeBuild(800, 300);    // <= threshold: broadcast
+  auto large_build = MakeBuild(12000, 300);  // forces repartition
+  for (int shards : {1, 2, 4}) {
+    ShardedEngine se(SmallTopo(), shards);
+    se.RegisterTable(probe.get(), ShardDist::kRoundRobin);
+    se.RegisterTable(small_build.get(), ShardDist::kRoundRobin);
+    se.RegisterTable(large_build.get(), ShardDist::kRoundRobin);
+    for (JoinKind kind :
+         {JoinKind::kInner, JoinKind::kSemi, JoinKind::kAnti,
+          JoinKind::kLeftOuter, JoinKind::kRightOuterMark}) {
+      for (const Table* build : {small_build.get(), large_build.get()}) {
+        SCOPED_TRACE("shards=" + std::to_string(shards) + " kind=" +
+                     std::to_string(static_cast<int>(kind)) + " build=" +
+                     std::to_string(build->NumRows()));
+        LogicalPlan plan = JoinPlan(probe.get(), build, kind, false);
+        EXPECT_EQ(SortedRows(se.CreateQuery(plan)->Execute()),
+                  RunSingle(plan));
+      }
+    }
+  }
+}
+
+// Hash-placed tables on the join keys: the coordinator must detect
+// co-partitioning and run the join with no exchange at all (asserted
+// via the explain transcript), still oracle-exact.
+TEST(ShardedExchange, CoPartitionedJoinSkipsExchange) {
+  auto probe = MakeProbe(20000, 300);
+  auto build = MakeBuild(9000, 300);
+  ShardedEngine se(SmallTopo(), 4);
+  se.RegisterTable(probe.get(), ShardDist::kHash, {"pk"});
+  se.RegisterTable(build.get(), ShardDist::kHash, {"bk"});
+  LogicalPlan plan = JoinPlan(probe.get(), build.get(), JoinKind::kInner,
+                              /*group_by=*/true);
+  auto q = se.CreateQuery(plan);
+  EXPECT_EQ(SortedRows(q->Execute()), RunSingle(plan));
+  const std::string explain = q->ExplainPlan();
+  EXPECT_NE(explain.find("[join: local, co-partitioned"),
+            std::string::npos);
+  // Co-partitioned join AND group-by on the partition key: one stage,
+  // zero exchanges.
+  EXPECT_EQ(explain.find("[exchange decision:"), std::string::npos);
+}
+
+// A replicated dimension joins locally on every shard.
+TEST(ShardedExchange, ReplicatedBuildJoinsLocally) {
+  auto probe = MakeProbe(20000, 300);
+  auto build = MakeBuild(900, 300);
+  ShardedEngine se(SmallTopo(), 4);
+  se.RegisterTable(probe.get(), ShardDist::kRoundRobin);
+  se.RegisterTable(build.get(), ShardDist::kReplicated);
+  LogicalPlan plan =
+      JoinPlan(probe.get(), build.get(), JoinKind::kInner, false);
+  auto q = se.CreateQuery(plan);
+  EXPECT_EQ(SortedRows(q->Execute()), RunSingle(plan));
+  EXPECT_NE(q->ExplainPlan().find("[join: local, build side replicated]"),
+            std::string::npos);
+}
+
+// Distributed two-phase group-by on a key the table is NOT placed on:
+// partials exchange on the group key and merge per shard.
+TEST(ShardedExchange, DistributedGroupByMatchesSingleEngine) {
+  auto probe = MakeProbe(30000, 500);
+  for (int shards : {2, 4}) {
+    ShardedEngine se(SmallTopo(), shards);
+    se.RegisterTable(probe.get(), ShardDist::kRoundRobin);
+    PlanBuilder p = PlanBuilder::Scan(probe.get(), {"pk", "pv"});
+    std::vector<AggItem> aggs;
+    aggs.push_back({AggFunc::kCount, nullptr, "cnt"});
+    aggs.push_back({AggFunc::kSum, p.Col("pv"), "s"});
+    aggs.push_back({AggFunc::kMin, p.Col("pv"), "lo"});
+    aggs.push_back({AggFunc::kMax, p.Col("pv"), "hi"});
+    p.GroupBy({"pk"}, std::move(aggs));
+    p.CollectResult();
+    LogicalPlan plan = p.Build();
+    auto q = se.CreateQuery(plan);
+    EXPECT_EQ(SortedRows(q->Execute()), RunSingle(plan));
+    EXPECT_NE(
+        q->ExplainPlan().find("repartition group-by partials"),
+        std::string::npos);
+  }
+}
+
+// Scalar (keyless) aggregation with MIN/MAX where some shards hold NO
+// rows after a selective filter: the empty shards' all-default partials
+// must not corrupt the global extremes.
+TEST(ShardedExchange, ScalarAggIgnoresEmptyShardPartials) {
+  std::vector<std::pair<int64_t, int64_t>> rows;
+  // Keys 100..107, values 500..507: after `pv >= 500` everything
+  // survives, but the table is tiny so round-robin leaves later shards
+  // short; after `pv > 506` most shards are empty.
+  for (int64_t i = 0; i < 8; ++i) rows.push_back({100 + i, 500 + i});
+  auto t = MakeKv(SmallTopo(), rows, "pk", "pv");
+  ShardedEngine se(SmallTopo(), 4);
+  se.RegisterTable(t.get(), ShardDist::kRoundRobin);
+  for (int64_t cut : {499, 506}) {
+    PlanBuilder p = PlanBuilder::Scan(t.get(), {"pk", "pv"});
+    p.Filter(Gt(p.Col("pv"), ConstI64(cut)));
+    std::vector<AggItem> aggs;
+    aggs.push_back({AggFunc::kCount, nullptr, "cnt"});
+    aggs.push_back({AggFunc::kMin, p.Col("pv"), "lo"});
+    aggs.push_back({AggFunc::kMax, p.Col("pk"), "hi"});
+    p.GroupBy({}, std::move(aggs));
+    p.CollectResult();
+    LogicalPlan plan = p.Build();
+    SCOPED_TRACE("cut=" + std::to_string(cut));
+    EXPECT_EQ(SortedRows(se.CreateQuery(plan)->Execute()),
+              RunSingle(plan));
+  }
+}
+
+// The coordinator's order-by merge spine: per-shard sorted slices
+// re-sorted and re-truncated globally.
+TEST(ShardedExchange, OrderByMergeRespectsGlobalOrderAndLimit) {
+  auto probe = MakeProbe(20000, 300);
+  auto build = MakeBuild(5000, 300);
+  ShardedEngine se(SmallTopo(), 4);
+  se.RegisterTable(probe.get(), ShardDist::kRoundRobin);
+  se.RegisterTable(build.get(), ShardDist::kRoundRobin);
+  for (int64_t limit : {-1, 17}) {
+    PlanBuilder b = PlanBuilder::Scan(build.get(), {"bk", "bv"});
+    PlanBuilder p = PlanBuilder::Scan(probe.get(), {"pk", "pv"});
+    p.Join(std::move(b), {"pk"}, {"bk"}, {"bv"}, JoinKind::kInner);
+    std::vector<AggItem> aggs;
+    aggs.push_back({AggFunc::kSum, p.Col("bv"), "s"});
+    p.GroupBy({"pk"}, std::move(aggs));
+    p.OrderBy({{"s", false}, {"pk", true}}, limit);
+    LogicalPlan plan = p.Build();
+    ResultSet sharded = se.CreateQuery(plan)->Execute();
+    ResultSet single =
+        testutil::SmallEngine().CreateQuery(plan)->Execute();
+    ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+    ASSERT_EQ(sharded.num_rows(), single.num_rows());
+    // Ordered comparison, row by row — this is the one terminal where
+    // global ORDER matters, not just the row multiset.
+    for (int64_t i = 0; i < sharded.num_rows(); ++i) {
+      EXPECT_EQ(sharded.RowToString(i), single.RowToString(i));
+    }
+  }
+}
+
+// Satellite: EXPLAIN carries the exchange annotations — the
+// coordinator's decisions and the per-shard [exchange: ...] runtime
+// lines from the send/recv operators.
+TEST(ShardedExchange, ExplainAnnotatesExchanges) {
+  auto probe = MakeProbe(20000, 300);
+  auto build = MakeBuild(12000, 300);
+  ShardedEngine se(SmallTopo(), 4);
+  se.RegisterTable(probe.get(), ShardDist::kRoundRobin);
+  se.RegisterTable(build.get(), ShardDist::kRoundRobin);
+  LogicalPlan plan = JoinPlan(probe.get(), build.get(), JoinKind::kInner,
+                              /*group_by=*/true);
+  auto q = se.CreateQuery(plan);
+  ASSERT_TRUE(q->Execute().ok());
+  const std::string explain = q->ExplainPlan();
+  EXPECT_NE(explain.find("[exchange decision: repartition build side"),
+            std::string::npos)
+      << explain;
+  // The per-shard operator annotations (mode, shard count, rows routed).
+  EXPECT_NE(explain.find("[exchange: repartition 4 shards, rows="),
+            std::string::npos)
+      << explain;
+  EXPECT_NE(explain.find("[exchange-send: 4 buckets, rows="),
+            std::string::npos)
+      << explain;
+  EXPECT_NE(explain.find("=== stage"), std::string::npos);
+  EXPECT_NE(explain.find("--- shard 3 ---"), std::string::npos);
+  // Small build instead: the decision flips to broadcast.
+  auto small = MakeBuild(500, 300);
+  se.RegisterTable(small.get(), ShardDist::kRoundRobin);
+  LogicalPlan bplan = JoinPlan(probe.get(), small.get(), JoinKind::kInner,
+                               /*group_by=*/false);
+  auto q2 = se.CreateQuery(bplan);
+  ASSERT_TRUE(q2->Execute().ok());
+  EXPECT_NE(q2->ExplainPlan().find(
+                "[exchange decision: broadcast build side"),
+            std::string::npos)
+      << q2->ExplainPlan();
+}
+
+// --- governance across shards -----------------------------------------------
+
+TEST(ShardedGovernance, DeadlineSpansAllStages) {
+  auto probe = MakeProbe(60000, 300);
+  auto build = MakeBuild(12000, 300);
+  ShardedEngine se(SmallTopo(), 4);
+  se.RegisterTable(probe.get(), ShardDist::kRoundRobin);
+  se.RegisterTable(build.get(), ShardDist::kRoundRobin);
+  LogicalPlan plan = JoinPlan(probe.get(), build.get(), JoinKind::kInner,
+                              /*group_by=*/true);
+  auto q = se.CreateQuery(plan);
+  q->SetDeadline(std::chrono::milliseconds(0));
+  ResultSet r = q->Execute();
+  EXPECT_EQ(r.status().code, StatusCode::kDeadlineExceeded)
+      << r.status().ToString();
+  EXPECT_EQ(r.num_rows(), 0);
+}
+
+TEST(ShardedGovernance, CancelFromAnotherThread) {
+  auto probe = MakeProbe(60000, 300);
+  auto build = MakeBuild(12000, 300);
+  ShardedEngine se(SmallTopo(), 4);
+  se.RegisterTable(probe.get(), ShardDist::kRoundRobin);
+  se.RegisterTable(build.get(), ShardDist::kRoundRobin);
+  LogicalPlan plan = JoinPlan(probe.get(), build.get(), JoinKind::kInner,
+                              /*group_by=*/true);
+  auto q = se.CreateQuery(plan);
+  q->Start();
+  std::thread killer([&] { q->Cancel(); });
+  killer.join();
+  q->Wait();
+  EXPECT_EQ(q->status().code, StatusCode::kCancelled)
+      << q->status().ToString();
+}
+
+TEST(ShardedGovernance, OneFailingShardFailsTheWholeQuery) {
+  auto probe = MakeProbe(60000, 300);
+  auto build = MakeBuild(12000, 300);
+  ShardedEngine se(SmallTopo(), 4);
+  se.RegisterTable(probe.get(), ShardDist::kRoundRobin);
+  se.RegisterTable(build.get(), ShardDist::kRoundRobin);
+  LogicalPlan plan = JoinPlan(probe.get(), build.get(), JoinKind::kInner,
+                              /*group_by=*/true);
+  auto q = se.CreateQuery(plan);
+  FaultInjectionOptions f;
+  f.enabled = true;
+  f.seed = 99;
+  f.fail_alloc_nth = 5;  // trips on (at least) one shard's stage query
+  q->SetFaultInjection(f);
+  ResultSet r = q->Execute();
+  EXPECT_EQ(r.status().code, StatusCode::kMemoryExceeded)
+      << r.status().ToString();
+  // The failure fail-fast-cancelled the siblings, but the reported
+  // status is the originating one, never a kCancelled echo.
+}
+
+TEST(ShardedGovernance, BudgetDividesAcrossShards) {
+  auto probe = MakeProbe(60000, 300);
+  auto build = MakeBuild(12000, 300);
+  ShardedEngine se(SmallTopo(), 2);
+  se.RegisterTable(probe.get(), ShardDist::kRoundRobin);
+  se.RegisterTable(build.get(), ShardDist::kRoundRobin);
+  LogicalPlan plan = JoinPlan(probe.get(), build.get(), JoinKind::kInner,
+                              /*group_by=*/true);
+  {
+    auto q = se.CreateQuery(plan);
+    q->SetMemoryBudget(16 << 10);  // 8 KiB per shard: cannot run
+    ResultSet r = q->Execute();
+    EXPECT_EQ(r.status().code, StatusCode::kMemoryExceeded)
+        << r.status().ToString();
+  }
+  {
+    auto q = se.CreateQuery(plan);
+    q->SetMemoryBudget(1LL << 31);  // ample
+    ResultSet r = q->Execute();
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(SortedRows(r), RunSingle(plan));
+  }
+}
+
+}  // namespace
+}  // namespace morsel
