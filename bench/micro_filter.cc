@@ -14,6 +14,14 @@
 //    the worst order (expensive first) as one adaptive FilterOp vs the
 //    two static orders as stacked single-conjunct filters. The
 //    adaptive arm must track the better static order.
+//  - fused pipelines (DESIGN.md §15): the same worst-order chain
+//    written as *stacked* Filter() calls. Fusion merges the adjacent
+//    nodes into one adaptive FilterOp that learns cheap-first across
+//    the original node boundaries; the unfused arm runs two
+//    single-conjunct FilterOps pinned to the written (worst) order.
+//  - sel-aware probe chain: the full filter -> hash probe -> agg hot
+//    path under the selection_vectors ablation — the acceptance shape
+//    for killing Chunk::Compact between scan and result.
 //
 // Emitted as BENCH_micro_filter.json by bench/run_micro.sh so the
 // filter-path trajectory is tracked PR over PR.
@@ -114,6 +122,20 @@ Engine& EngineWith(bool selection_vectors, bool zone_maps) {
   return *engines[idx];
 }
 
+// §15 ablation: same options as EngineWith(true, true) but one operator
+// per plan node — stacked filters stay separate (and static).
+Engine& UnfusedEngine() {
+  static Engine* engine = [] {
+    EngineOptions opts;
+    opts.morsel_size = 16384;
+    opts.selection_vectors = true;
+    opts.zone_maps = true;
+    opts.fused_pipelines = false;
+    return new Engine(BenchTopo(), opts);
+  }();
+  return *engine;
+}
+
 // --- two-conjunct chain: selection vectors vs eager compaction -------------
 
 void ConjunctChainBench(benchmark::State& state, bool selection_vectors) {
@@ -180,13 +202,17 @@ void BM_ZoneMapShuffledOff(benchmark::State& s) {
 // single-conjunct FilterOp has nothing to reorder); the adaptive arm is
 // one FilterOp handed the conjunction in the WORST order and must learn
 // the good one from its cost x selectivity counters within the first
-// re-rank interval.
+// re-rank interval. The static arms run on the unfused engine: §15
+// fusion would merge the stacked nodes into one adaptive FilterOp and
+// they would stop being static (that comparison is BM_FusedChain*).
 
 enum class Order { kAdaptiveWorstFirst, kStaticBest, kStaticWorst };
 
 void OrderBench(benchmark::State& state, Order order) {
-  Engine& engine = EngineWith(/*selection_vectors=*/true,
-                              /*zone_maps=*/true);
+  Engine& engine = order == Order::kAdaptiveWorstFirst
+                       ? EngineWith(/*selection_vectors=*/true,
+                                    /*zone_maps=*/true)
+                       : UnfusedEngine();
   int64_t out = 0;
   for (auto _ : state) {
     PlanBuilder pb = PlanBuilder::Scan(Facts(), {"a", "b"});
@@ -221,6 +247,97 @@ void BM_ConjunctOrderStaticWorst(benchmark::State& s) {
   OrderBench(s, Order::kStaticWorst);
 }
 
+// --- fused vs unfused stacked-filter chain (DESIGN.md §15) -----------------
+//
+// The same worst-order chain as kStaticWorst, but compared across the
+// fused_pipelines ablation instead of across conjunct orders. Fusion
+// merges the two adjacent Filter() nodes into ONE adaptive FilterOp, so
+// the chain can learn cheap-first across the original node boundary;
+// the unfused engine keeps one single-conjunct FilterOp per node and is
+// stuck evaluating the expensive conjunct over every row. CI asserts
+// the fused arm is never slower than 1.1x the unfused arm.
+
+void FusedChainBench(benchmark::State& state, bool fused) {
+  const Table* facts = Facts();
+  Engine& engine =
+      fused ? EngineWith(/*selection_vectors=*/true, /*zone_maps=*/true)
+            : UnfusedEngine();
+  int64_t out = 0;
+  for (auto _ : state) {
+    PlanBuilder pb = PlanBuilder::Scan(facts, {"a", "b", "pay1", "pay2"});
+    pb.Filter(ExpensiveConjunct(pb));  // written worst-first
+    pb.Filter(CheapConjunct(pb));
+    pb.CollectResult();
+    out = CountRows(engine, pb.Build());
+  }
+  benchmark::DoNotOptimize(out);
+  state.SetItemsProcessed(state.iterations() * kRows);
+  state.counters["out_rows"] = static_cast<double>(out);
+}
+
+void BM_FusedChainOn(benchmark::State& s) {
+  FusedChainBench(s, /*fused=*/true);
+}
+void BM_FusedChainOff(benchmark::State& s) {
+  FusedChainBench(s, /*fused=*/false);
+}
+
+// --- sel-aware probe chain vs compact-then-probe ---------------------------
+//
+// The acceptance shape for the §15 hot path: scan -> filter (~3.5%
+// combined) -> hash probe -> global agg -> result. With selection
+// vectors on, no operator between the scan and the result ever calls
+// Chunk::Compact (tests/selection_vector_test.cc counter-asserts this);
+// the eager arm evaluates every conjunct over every row and
+// gather-compacts all four scan columns before the probe sees a chunk.
+
+std::unique_ptr<Table> MakeDim() {
+  Schema schema({{"dk", LogicalType::kInt64}, {"dv", LogicalType::kInt64}});
+  auto t = std::make_unique<Table>("dim", schema, BenchTopo());
+  for (int64_t i = 0; i < kARange; ++i) {
+    int p = static_cast<int>(i % t->num_partitions());
+    t->Int64Col(p, 0)->Append(i);
+    t->Int64Col(p, 1)->Append(i * 7);
+  }
+  for (int p = 0; p < t->num_partitions(); ++p) t->SealPartition(p);
+  return t;
+}
+
+const Table* Dim() {
+  static Table* t = MakeDim().release();
+  return t;
+}
+
+void ProbeChainBench(benchmark::State& state, bool selection_vectors) {
+  const Table* facts = Facts();
+  const Table* dim = Dim();
+  Engine& engine = EngineWith(selection_vectors, /*zone_maps=*/true);
+  int64_t out = 0;
+  for (auto _ : state) {
+    PlanBuilder d = PlanBuilder::Scan(dim, {"dk", "dv"});
+    PlanBuilder pb = PlanBuilder::Scan(facts, {"a", "b", "pay1", "pay2"});
+    pb.Filter(And(CheapConjunct(pb), ExpensiveConjunct(pb)));
+    pb.HashJoin(std::move(d), {"a"}, {"dk"}, {"dv"}, JoinKind::kInner);
+    std::vector<AggItem> aggs;
+    aggs.push_back({AggFunc::kCount, nullptr, "cnt"});
+    aggs.push_back({AggFunc::kSum, pb.Col("dv"), "sdv"});
+    aggs.push_back({AggFunc::kSum, pb.Col("pay2"), "sp"});
+    pb.GroupBy({}, std::move(aggs));
+    pb.CollectResult();
+    out = CountRows(engine, pb.Build());
+  }
+  benchmark::DoNotOptimize(out);
+  state.SetItemsProcessed(state.iterations() * kRows);
+  state.counters["out_rows"] = static_cast<double>(out);
+}
+
+void BM_ProbeChainSelVec(benchmark::State& s) {
+  ProbeChainBench(s, /*selection_vectors=*/true);
+}
+void BM_ProbeChainEager(benchmark::State& s) {
+  ProbeChainBench(s, /*selection_vectors=*/false);
+}
+
 // UseRealTime: the engine parallelizes across worker threads, so the
 // meaningful rate is wall-clock rows/s, not main-thread CPU.
 BENCHMARK(BM_FilterChainSelVec)->Unit(benchmark::kMillisecond)->UseRealTime();
@@ -242,6 +359,10 @@ BENCHMARK(BM_ConjunctOrderStaticBest)
 BENCHMARK(BM_ConjunctOrderStaticWorst)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
+BENCHMARK(BM_FusedChainOn)->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK(BM_FusedChainOff)->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK(BM_ProbeChainSelVec)->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK(BM_ProbeChainEager)->Unit(benchmark::kMillisecond)->UseRealTime();
 
 }  // namespace
 }  // namespace morsel

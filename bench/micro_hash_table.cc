@@ -8,6 +8,11 @@
 //  - probe-pipeline throughput of the full HashProbeOp, row-at-a-time
 //    scalar vs staged batched+prefetched (DESIGN.md §5), on a build side
 //    that far exceeds LLC size
+//  - sel-aware probe vs compact-then-probe (DESIGN.md §10/§15): chunks
+//    arriving with a sparse selection (~6% of rows survive an upstream
+//    filter), probed in place through the selection vs gather-compacted
+//    first. The sel arm must win: compaction touches every payload
+//    column for rows the probe is about to consume anyway.
 
 #include <benchmark/benchmark.h>
 
@@ -300,6 +305,119 @@ void BM_ProbePipelineBatched(benchmark::State& state) {
 }
 BENCHMARK(BM_ProbePipelineScalar)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_ProbePipelineBatched)->Unit(benchmark::kMillisecond);
+
+// --- sel-aware probe vs compact-then-probe ----------------------------------
+//
+// An upstream filter has narrowed each chunk to every 16th row (~6%,
+// the <=10% selectivity regime of the acceptance target). With
+// selection vectors on, HashProbeOp hashes and probes only the selected
+// rows in place; with them off it models the pre-§15 hot path — gather-
+// compact the key plus all four payload columns into the arena, then
+// probe dense. The build side is small enough to stay cache-resident so
+// the per-chunk compaction cost is not hidden behind memory-bound chain
+// walks (which is exactly where the eager engine was losing time).
+
+constexpr int64_t kSmallBuild = 1 << 16;  // 64k tuples, LLC-resident
+
+struct SelProbeFixture {
+  Topology topo{1, 1, InterconnectKind::kFullyConnected};
+  MemStatsRegistry stats{1};
+  WorkerContext wctx;
+  JoinState state{{LogicalType::kInt64, LogicalType::kInt64}, 1,
+                  JoinKind::kInner, 1};
+  std::vector<int64_t> keys;              // probe keys, 50% hit rate
+  std::vector<std::vector<int64_t>> pay;  // 4 pass-through payload columns
+  std::vector<int32_t> sel;               // every 16th physical index
+
+  SelProbeFixture() {
+    wctx.topo = &topo;
+    wctx.traffic = stats.worker(0);
+    ExecContext ctx;
+    ctx.worker = &wctx;
+
+    HashBuildSink sink(&state);
+    std::vector<int64_t> bk(kChunkCapacity), bv(kChunkCapacity);
+    for (int64_t base = 0; base < kSmallBuild; base += kChunkCapacity) {
+      Chunk chunk;
+      chunk.n = static_cast<int>(
+          std::min<int64_t>(kChunkCapacity, kSmallBuild - base));
+      for (int i = 0; i < chunk.n; ++i) {
+        bk[i] = base + i;
+        bv[i] = (base + i) * 3;
+      }
+      chunk.cols = {Vector{LogicalType::kInt64, bk.data()},
+                    Vector{LogicalType::kInt64, bv.data()}};
+      sink.Consume(chunk, ctx);
+    }
+    sink.Finalize(ctx);
+    RowBuffer* buf = state.buffer_by_index(0);
+    for (int64_t i = 0; i < kSmallBuild; ++i) {
+      uint8_t* r = buf->row(i);
+      state.table()->Insert(r, TupleLayout::GetHash(r));
+    }
+
+    Rng rng(9);
+    keys.resize(1 << 18);  // multiple of kChunkCapacity: full chunks only
+    for (auto& k : keys) {
+      k = rng.Bernoulli(0.5) ? rng.Uniform(0, kSmallBuild - 1)
+                             : kSmallBuild + rng.Uniform(0, 1 << 20);
+    }
+    pay.assign(4, std::vector<int64_t>(keys.size()));
+    for (int c = 0; c < 4; ++c) {
+      for (size_t i = 0; i < keys.size(); ++i) pay[c][i] = keys[i] * (c + 2);
+    }
+    for (int i = 0; i < kChunkCapacity; i += 16) {
+      sel.push_back(i);
+    }
+  }
+};
+
+SelProbeFixture& SharedSelProbeFixture() {
+  static SelProbeFixture* f = new SelProbeFixture();
+  return *f;
+}
+
+void SelProbeBench(benchmark::State& state, bool selection_vectors) {
+  SelProbeFixture& f = SharedSelProbeFixture();
+  ExecContext ctx;
+  ctx.worker = &f.wctx;
+  ctx.selection_vectors = selection_vectors;
+
+  CountRowsSink sink;
+  std::vector<std::unique_ptr<Operator>> ops;
+  ops.push_back(std::make_unique<HashProbeOp>(
+      &f.state, std::vector<int>{0}, std::vector<int>{1}, nullptr));
+  Pipeline pipe(nullptr, std::move(ops), &sink);
+
+  const int64_t n = static_cast<int64_t>(f.keys.size());
+  for (auto _ : state) {
+    for (int64_t base = 0; base < n; base += kChunkCapacity) {
+      Chunk chunk;
+      chunk.n = kChunkCapacity;
+      chunk.cols = {Vector{LogicalType::kInt64, f.keys.data() + base},
+                    Vector{LogicalType::kInt64, f.pay[0].data() + base},
+                    Vector{LogicalType::kInt64, f.pay[1].data() + base},
+                    Vector{LogicalType::kInt64, f.pay[2].data() + base},
+                    Vector{LogicalType::kInt64, f.pay[3].data() + base}};
+      chunk.sel = f.sel.data();
+      chunk.sel_n = static_cast<int>(f.sel.size());
+      pipe.Push(chunk, 0, ctx);
+      ctx.arena.Reset();  // morsel boundary
+    }
+  }
+  benchmark::DoNotOptimize(sink.rows);
+  // Rows the probe actually consumes, not the pre-filter chunk width.
+  state.SetItemsProcessed(state.iterations() * (n / 16));
+}
+
+void BM_ProbePipelineSelChain(benchmark::State& state) {
+  SelProbeBench(state, /*selection_vectors=*/true);
+}
+void BM_ProbePipelineCompactChain(benchmark::State& state) {
+  SelProbeBench(state, /*selection_vectors=*/false);
+}
+BENCHMARK(BM_ProbePipelineSelChain)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ProbePipelineCompactChain)->Unit(benchmark::kMillisecond);
 
 // Ablation: growing a standard chaining map while inserting, vs. the
 // two-phase materialize-then-perfect-size build above.

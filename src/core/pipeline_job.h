@@ -71,6 +71,19 @@ class PipelineJob {
     rows_produced_.store(n, std::memory_order_release);
   }
 
+  // Runtime order feedback, published alongside rows_produced():
+  // fraction of this breaker's data observed to be in key order while
+  // it flowed through (e.g. the run set's presorted/natural-merged run
+  // share). -1 = this job observed nothing. Same Finalize-then-read
+  // hand-off as rows_produced; consumed by the deferred adaptive-join
+  // decision to replace plan-time sortedness guesses.
+  double observed_sorted() const {
+    return observed_sorted_.load(std::memory_order_acquire);
+  }
+  void set_observed_sorted(double f) {
+    observed_sorted_.store(f, std::memory_order_release);
+  }
+
   // Set by Prepare() in subclasses.
   MorselQueue* queue() const { return queue_.get(); }
 
@@ -102,6 +115,7 @@ class PipelineJob {
   std::string info_;
   std::atomic<bool> info_ready_{false};
   std::atomic<int64_t> rows_produced_{-1};
+  std::atomic<double> observed_sorted_{-1.0};
   std::unique_ptr<MorselQueue> queue_;
 };
 

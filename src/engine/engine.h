@@ -51,6 +51,14 @@ struct EngineOptions {
   // deferred to the consumer. false = the eager evaluate-everything,
   // compact-per-filter baseline.
   bool selection_vectors = true;
+  // Fused chunk-resident pipelines (DESIGN §15): lowering merges
+  // adjacent Filter nodes into one multi-conjunct FilterOp (adaptive
+  // reordering then ranks conjuncts *across* the original filter
+  // boundaries) and wraps every >=2-op operator chain into a single
+  // FusedPipelineOp that runs the whole chain over one resident chunk
+  // with one interrupt checkpoint per pass. false = the op-by-op push
+  // chain (the differential-test ablation arm).
+  bool fused_pipelines = true;
   // Per-morsel zone-map consultation on scans: SARGable conjuncts skip
   // morsels their min/max rule out and drop out of fully-accepted
   // morsels. false = scan every morsel wholesale.

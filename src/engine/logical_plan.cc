@@ -59,6 +59,9 @@ std::shared_ptr<const LogicalNode> RefreshNode(const LogicalNode* n) {
     out->table_epoch = n->table_epoch;
   }
   if (n->predicate != nullptr) out->predicate = n->predicate->Clone();
+  // Shared, not copied: the refreshed plan keeps feeding the same
+  // learned-order cell, so re-lowered executions still start warm.
+  out->learned_conjunct_order = n->learned_conjunct_order;
   for (const ExprPtr& e : n->exprs) out->exprs.push_back(e->Clone());
   out->probe_keys = n->probe_keys;
   out->build_keys = n->build_keys;
@@ -266,6 +269,7 @@ LogicalNode* PlanBuilder::Wrap(LogicalNode::Kind kind) {
 PlanBuilder& PlanBuilder::Filter(ExprPtr predicate) {
   LogicalNode* n = Wrap(LogicalNode::Kind::kFilter);
   n->predicate = std::move(predicate);
+  n->learned_conjunct_order = std::make_shared<std::atomic<uint64_t>>(0);
   return *this;
 }
 

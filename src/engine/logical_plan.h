@@ -1,6 +1,7 @@
 #ifndef MORSELDB_ENGINE_LOGICAL_PLAN_H_
 #define MORSELDB_ENGINE_LOGICAL_PLAN_H_
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -131,6 +132,16 @@ struct LogicalNode {
 
   // kFilter
   ExprPtr predicate;
+  // Learned conjunct execution order (DESIGN §15): the lowered
+  // FilterOp publishes its adaptive cost-per-dropped-row ranking here
+  // (packed byte-per-rank word; 0 = not yet learned — never a valid
+  // permutation for the >= 2 conjuncts adaptivity needs), so a
+  // PreparedQuery's next execution of the same plan node starts from
+  // the learned order instead of re-learning. The one deliberately
+  // mutable cell of the otherwise immutable tree: a monotonic
+  // performance hint, never semantics. Shared (not re-created) by
+  // RefreshScanStats copies; excluded from PlanFingerprint.
+  std::shared_ptr<std::atomic<uint64_t>> learned_conjunct_order;
 
   // kProject (expression i produces column names[i])
   std::vector<ExprPtr> exprs;

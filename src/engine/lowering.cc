@@ -8,6 +8,7 @@
 #include "engine/query.h"
 #include "exec/aggregation.h"
 #include "exec/exchange.h"
+#include "exec/fused.h"
 #include "exec/hash_join.h"
 #include "exec/merge_join.h"
 #include "exec/operators.h"
@@ -104,6 +105,10 @@ Lowering::OpenPipe Lowering::StartChain(const LogicalNode* scan) {
   pipe.types = scan->types;
   pipe.est_rows = scan->scan_rows;
   pipe.sorted_frac = scan->scan_sorted_frac;
+  // Statistics window for composite-key sortedness probes: valid until
+  // the first scope reshape.
+  pipe.stats_table = scan->table;
+  pipe.stats_cols = scan->column_ids;
   return pipe;
 }
 
@@ -224,6 +229,37 @@ double Lowering::SideRows(const OpenPipe& pipe, bool* used_feedback) const {
   return pipe.est_rows;
 }
 
+double Lowering::SideSorted(const OpenPipe& pipe,
+                            const std::vector<std::string>& keys) const {
+  const double lead = pipe.sorted_frac[pipe.Index(keys[0])];
+  if (keys.size() < 2 || pipe.stats_table == nullptr) return lead;
+  // Composite probe: data clustered on a leading key can look fully
+  // unsorted on every single column while being near-sorted on the key
+  // prefix — exactly the inputs where the multi-key merge join wins.
+  std::vector<int> cols;
+  for (const std::string& k : keys) {
+    const int idx = pipe.Index(k);
+    if (idx >= static_cast<int>(pipe.stats_cols.size())) return lead;
+    cols.push_back(pipe.stats_cols[idx]);
+  }
+  return pipe.stats_table->ColumnSortedFraction(cols);
+}
+
+double Lowering::ApplyObservedOrder(OpenPipe& pipe) const {
+  if (pipe.feeder_job < 0 || pipe.order_feeder_cols.empty()) return -1.0;
+  PipelineJob* feeder = query_->job(pipe.feeder_job);
+  if (!feeder->completed.load(std::memory_order_acquire)) return -1.0;
+  const double obs = feeder->observed_sorted();
+  if (obs < 0.0) return -1.0;
+  // The breaker watched the data flow through: its observation
+  // supersedes whatever the plan-time sample (or the lowering's
+  // propagation rule) claimed for these columns.
+  for (const std::string& c : pipe.order_feeder_cols) {
+    pipe.sorted_frac[pipe.Index(c)] = obs;
+  }
+  return obs;
+}
+
 JoinStrategy Lowering::Choose(double probe_rows, double build_rows,
                               double probe_sorted, double build_sorted) {
   // Tiny inputs: the merge join's two extra materialize+sort pipelines
@@ -262,10 +298,12 @@ Lowering::OpenPipe Lowering::ResolveJoin(const LogicalNode* n,
       bool build_fb = false;
       const double probe_rows = SideRows(probe, &probe_fb);
       const double build_rows = SideRows(build, &build_fb);
-      const double probe_sorted =
-          probe.sorted_frac[probe.Index(n->probe_keys[0])];
-      const double build_sorted =
-          build.sorted_frac[build.Index(n->build_keys[0])];
+      // Runtime order feedback first (it refreshes sorted_frac), then
+      // the composite-prefix probe for multi-key joins.
+      const double probe_obs = ApplyObservedOrder(probe);
+      const double build_obs = ApplyObservedOrder(build);
+      const double probe_sorted = SideSorted(probe, n->probe_keys);
+      const double build_sorted = SideSorted(build, n->build_keys);
       // Kinds the merge join cannot run always resolve to hash; fold
       // that into the choice so the annotation never claims a strategy
       // the lowering below would refuse.
@@ -287,7 +325,12 @@ Lowering::OpenPipe Lowering::ResolveJoin(const LogicalNode* n,
                    ": build=" + FormatRows(build_rows) +
                    " probe=" + FormatRows(probe_rows) +
                    " sorted=" + FormatFrac(probe_sorted) + "/" +
-                   FormatFrac(build_sorted) + ", " + tag + "]";
+                   FormatFrac(build_sorted);
+      if (probe_obs >= 0.0 || build_obs >= 0.0) {
+        annotation += " observed-order=" + FormatFrac(probe_obs) + "/" +
+                      FormatFrac(build_obs);
+      }
+      annotation += ", " + tag + "]";
     }
   }
   if (decision != nullptr && !annotation.empty()) {
@@ -304,6 +347,10 @@ Lowering::JoinBuildPlan Lowering::PrepareJoinBuild(const LogicalNode* n,
                                                    OpenPipe& probe,
                                                    OpenPipe& build) {
   JoinBuildPlan plan;
+  // Both pipes grow join operators below: close out any filter runs
+  // still accumulating.
+  FlushPendingFilter(probe);
+  FlushPendingFilter(build);
   // Re-order the build pipe's output to [keys..., payload...].
   std::vector<ExprPtr> list;
   std::vector<std::string> bnames;
@@ -328,6 +375,7 @@ Lowering::JoinBuildPlan Lowering::PrepareJoinBuild(const LogicalNode* n,
   }
   build.ops.push_back(std::make_unique<MapOp>(std::move(list)));
   build.scan_source = nullptr;
+  build.stats_table = nullptr;
   build.names = std::move(bnames);
   build.types = std::move(btypes);
   build.sorted_frac = std::move(bfracs);
@@ -389,7 +437,7 @@ Lowering::OpenPipe Lowering::LowerResolvedJoin(const LogicalNode* n,
     RunMaterializeSink* build_sink =
         query_->Own<RunMaterializeSink>(js->right());
     int build_mat = ClosePipe(build, build_sink, "merge-build-materialize");
-    if (!annotation.empty()) query_->job(build_mat)->set_info(annotation);
+    if (!annotation.empty()) AppendInfo(build_mat, annotation);
     int build_sort = EmitJob(
         std::make_unique<LocalSortRunsJob>(
             query_->context(), "merge-build-sort", js->right(),
@@ -401,8 +449,9 @@ Lowering::OpenPipe Lowering::LowerResolvedJoin(const LogicalNode* n,
     int probe_mat = ClosePipe(probe, probe_sink, "merge-probe-materialize");
     if (radix_mat) {
       // ExplainPlan: the mode decision, on the probe materialize line.
-      query_->job(probe_mat)->set_info(
-          "[radix-materialize " + std::to_string(num_parts) + " parts]");
+      AppendInfo(probe_mat,
+                 "[radix-materialize " + std::to_string(num_parts) +
+                     " parts]");
     }
     int probe_sort = EmitJob(
         std::make_unique<LocalSortRunsJob>(
@@ -428,9 +477,14 @@ Lowering::OpenPipe Lowering::LowerResolvedJoin(const LogicalNode* n,
     }
     // Feedback: the probe side's materialized row count is the best
     // available proxy for this join's output cardinality (the planner's
-    // estimate makes the same assumption).
+    // estimate makes the same assumption). The sort job also observed
+    // how much of the data arrived in key order — a downstream
+    // deferred adaptive join refreshes the key columns' sortedness
+    // from that observation instead of trusting the 1.0 claim above
+    // (radix-scattered materialization interleaves partition runs).
     out.feeder_job = probe_sort;
     out.feeder_mult = 1.0;
+    out.order_feeder_cols = n->probe_keys;
     if (kind != JoinKind::kSemi && kind != JoinKind::kAnti) {
       for (size_t p = 0; p < n->build_payload.size(); ++p) {
         out.names.push_back(n->build_payload[p]);
@@ -446,7 +500,7 @@ Lowering::OpenPipe Lowering::LowerResolvedJoin(const LogicalNode* n,
                                          query_->num_worker_slots());
   HashBuildSink* build_sink = query_->Own<HashBuildSink>(js);
   int build_job = ClosePipe(build, build_sink, "join-build");
-  if (!annotation.empty()) query_->job(build_job)->set_info(annotation);
+  if (!annotation.empty()) AppendInfo(build_job, annotation);
   int insert_job = EmitJob(
       std::make_unique<HashInsertJob>(query_->context(), "join-insert", js,
                                       engine_->queue_options()),
@@ -464,6 +518,7 @@ Lowering::OpenPipe Lowering::LowerResolvedJoin(const LogicalNode* n,
       js, std::move(probe_cols), std::move(out_fields),
       std::move(plan.residual)));
   probe.scan_source = nullptr;  // scope widened past the scan columns
+  probe.stats_table = nullptr;
   probe.deps.push_back(insert_job);
   // Stat decay: the batched probe preserves probe order only up to
   // within-chunk reordering, so downstream sortedness claims fade with
@@ -487,8 +542,6 @@ void Lowering::LowerFilter(const LogicalNode* n, OpenPipe& pipe) {
   // short-circuit, reorder and zone-map-elide them independently, and
   // fold column-free subtrees to literals while we are at it.
   std::vector<ExprPtr> conjuncts = SplitConjuncts(*n->predicate);
-  std::vector<ExprPtr> kept;
-  std::vector<int> slots;
   for (ExprPtr& raw : conjuncts) {
     ExprPtr c = FoldConstants(std::move(raw));
     int64_t iv;
@@ -505,17 +558,46 @@ void Lowering::LowerFilter(const LogicalNode* n, OpenPipe& pipe) {
         slot = RegisterSarg(sarg, pipe);
       }
     }
-    slots.push_back(slot);
-    kept.push_back(std::move(c));
+    pipe.pending_slots.push_back(slot);
+    pipe.pending_conjuncts.push_back(std::move(c));
   }
-  if (!kept.empty()) {
-    pipe.ops.push_back(
-        std::make_unique<FilterOp>(std::move(kept), std::move(slots)));
+  // The first contributing node's plan-owned slot persists the learned
+  // order; a fused merge re-uses it for the merged conjunct list (the
+  // conjunct count keys validation, so fused and unfused executions of
+  // the same plan never adopt each other's words by accident).
+  if (pipe.pending_persist == nullptr &&
+      n->learned_conjunct_order != nullptr) {
+    pipe.pending_persist = n->learned_conjunct_order.get();
   }
+  // Fused mode keeps accumulating: adjacent kFilter nodes merge into
+  // one FilterOp whose adaptive reordering ranks conjuncts across the
+  // original filter boundaries. Unfused mode closes each node out
+  // immediately (the differential ablation arm, op-per-node shape).
+  if (!engine_->options().fused_pipelines) FlushPendingFilter(pipe);
   // Generic selectivity guess; filtering preserves row order, so the
   // per-column sortedness statistics stand.
   pipe.est_rows *= kFilterSelectivity;
   pipe.feeder_mult *= kFilterSelectivity;
+}
+
+void Lowering::FlushPendingFilter(OpenPipe& pipe) {
+  if (pipe.pending_conjuncts.empty()) {
+    pipe.pending_persist = nullptr;
+    return;
+  }
+  auto filter = std::make_unique<FilterOp>(
+      std::move(pipe.pending_conjuncts), std::move(pipe.pending_slots),
+      pipe.pending_persist);
+  if (filter->started_warm()) {
+    // ExplainPlan: this execution adopted a conjunct order a previous
+    // execution of the same plan learned (PreparedQuery warm start).
+    if (!pipe.pending_info.empty()) pipe.pending_info += ' ';
+    pipe.pending_info += "[warm-conjunct-order]";
+  }
+  pipe.ops.push_back(std::move(filter));
+  pipe.pending_conjuncts.clear();
+  pipe.pending_slots.clear();
+  pipe.pending_persist = nullptr;
 }
 
 int Lowering::RegisterSarg(const Sarg& sarg, OpenPipe& pipe) {
@@ -548,6 +630,7 @@ int Lowering::RegisterSarg(const Sarg& sarg, OpenPipe& pipe) {
 }
 
 void Lowering::LowerProject(const LogicalNode* n, OpenPipe& pipe) {
+  FlushPendingFilter(pipe);
   std::vector<ExprPtr> list;
   std::vector<double> fracs;
   for (const ExprPtr& e : n->exprs) {
@@ -559,6 +642,7 @@ void Lowering::LowerProject(const LogicalNode* n, OpenPipe& pipe) {
   }
   pipe.ops.push_back(std::make_unique<MapOp>(std::move(list)));
   pipe.scan_source = nullptr;  // scope reshaped: no more SARG windows
+  pipe.stats_table = nullptr;
   pipe.names = n->names;
   pipe.types = n->types;
   pipe.sorted_frac = std::move(fracs);
@@ -566,6 +650,7 @@ void Lowering::LowerProject(const LogicalNode* n, OpenPipe& pipe) {
 
 Lowering::OpenPipe Lowering::LowerGroupBy(const LogicalNode* n,
                                           OpenPipe pipe) {
+  FlushPendingFilter(pipe);
   // Phase-1 input chunk: [keys..., one input column per aggregate].
   std::vector<ExprPtr> map_exprs;
   std::vector<LogicalType> key_types;
@@ -592,6 +677,7 @@ Lowering::OpenPipe Lowering::LowerGroupBy(const LogicalNode* n,
   }
   pipe.ops.push_back(std::make_unique<MapOp>(std::move(map_exprs)));
   pipe.scan_source = nullptr;
+  pipe.stats_table = nullptr;
 
   GroupByState* gs = query_->Own<GroupByState>(
       key_types, specs, query_->num_worker_slots());
@@ -673,22 +759,48 @@ void Lowering::LowerExchangeSend(const LogicalNode* n, OpenPipe pipe) {
 int Lowering::ClosePipe(OpenPipe& pipe, Sink* sink,
                         const std::string& name) {
   MORSEL_CHECK_MSG(pipe.source != nullptr, "pipeline already closed");
+  FlushPendingFilter(pipe);
+  const EngineOptions& opts = engine_->options();
+  if (opts.fused_pipelines && pipe.ops.size() >= 2) {
+    // Fuse the whole intra-pipeline operator run (DESIGN §15): the
+    // chain executes chunk-resident through one FusedPipelineOp with a
+    // single interrupt checkpoint per pass; per-stage row counters are
+    // preserved on the fused op. The sink's stage name joins the label
+    // so ExplainPlan reads "[fused: filter+probe+agg-phase1]".
+    auto fused = std::make_unique<FusedPipelineOp>(std::move(pipe.ops));
+    if (!pipe.pending_info.empty()) pipe.pending_info += ' ';
+    pipe.pending_info += "[fused: " + fused->label() + "+" + name + "]";
+    pipe.ops.clear();
+    pipe.ops.push_back(std::move(fused));
+  }
   auto pipeline = std::make_unique<Pipeline>(std::move(pipe.source),
                                              std::move(pipe.ops), sink);
   std::string full_name =
       pipe.name_prefix.empty() ? name : pipe.name_prefix + name;
   pipe.name_prefix.clear();
-  const EngineOptions& opts = engine_->options();
   auto job = std::make_unique<ExecPipelineJob>(
       query_->context(), std::move(full_name), std::move(pipeline),
       engine_->queue_options(), opts.tagging,
       opts.static_division ? engine_->num_workers() : 0,
       opts.batched_probe, opts.selection_vectors);
   int id = EmitJob(std::move(job), std::move(pipe.deps));
+  if (!pipe.pending_info.empty()) {
+    // Plan-time annotations for this pipeline ("[warm-conjunct-order]",
+    // "[fused: ...]"); runtime info appends after these (pipeline.cc).
+    query_->job(id)->set_info(std::move(pipe.pending_info));
+    pipe.pending_info.clear();
+  }
   pipe.deps.clear();
   pipe.ops.clear();
   pipe.scan_source = nullptr;
+  pipe.stats_table = nullptr;
   return id;
+}
+
+void Lowering::AppendInfo(int job_id, const std::string& info) {
+  PipelineJob* job = query_->job(job_id);
+  const std::string& prev = job->info();
+  job->set_info(prev.empty() ? info : prev + " " + info);
 }
 
 int Lowering::EmitJob(std::unique_ptr<PipelineJob> job,

@@ -78,6 +78,31 @@ class Lowering {
     // actual rows_produced() re-estimates this pipe's cardinality.
     int feeder_job = -1;
     double feeder_mult = 1.0;
+    // Scope columns whose *actual* sortedness the feeder breaker
+    // observes at runtime (LocalSortRunsJob counts presorted /
+    // naturally merged runs): the deferred adaptive-join decision
+    // refreshes sorted_frac for them from the feeder's
+    // observed_sorted() before choosing a strategy.
+    std::vector<std::string> order_feeder_cols;
+    // Table-backed statistics window (like scan_source, but kept for
+    // stats only): while the scope is still the scan's columns,
+    // stats_cols[i] is the table column id of scope column i, so
+    // multi-key joins can probe composite lexicographic sortedness.
+    // Cleared whenever the scope reshapes.
+    const Table* stats_table = nullptr;
+    std::vector<int> stats_cols;
+    // Pending filter accumulation (EngineOptions::fused_pipelines):
+    // conjuncts of adjacent kFilter nodes collect here and flush into
+    // ONE FilterOp at the next non-filter lowering step, so the
+    // adaptive cost-per-dropped-row ranking reorders conjuncts across
+    // the original Filter() boundaries. `pending_persist` is the first
+    // contributing node's plan-owned learned-order slot.
+    std::vector<ExprPtr> pending_conjuncts;
+    std::vector<int> pending_slots;
+    std::atomic<uint64_t>* pending_persist = nullptr;
+    // Plan-time ExplainPlan annotations accumulated for the job that
+    // closes this pipe ("[warm-conjunct-order]", "[fused: ...]").
+    std::string pending_info;
 
     int Index(const std::string& name) const;
   };
@@ -104,6 +129,10 @@ class Lowering {
   OpenPipe LowerSubtree(const LogicalNode* tail);
 
   void LowerFilter(const LogicalNode* n, OpenPipe& pipe);
+  // Flushes the pipe's accumulated filter conjuncts into one FilterOp
+  // (no-op when none are pending). Called by every non-filter lowering
+  // step before it appends its own operator, and by ClosePipe.
+  void FlushPendingFilter(OpenPipe& pipe);
   // Registers a SARGable conjunct with the pipe's scan for zone-map
   // checking; returns the mask slot or -1 (type mismatch, slot budget).
   int RegisterSarg(const Sarg& sarg, OpenPipe& pipe);
@@ -140,6 +169,18 @@ class Lowering {
   // reports which one it was.
   double SideRows(const OpenPipe& pipe, bool* used_feedback) const;
   bool FeederPending(const OpenPipe& pipe) const;
+  // Key sortedness for the strategy choice: the composite lexicographic
+  // table probe for multi-key joins still inside the scan-stats window,
+  // the leading key's propagated per-column stat otherwise.
+  double SideSorted(const OpenPipe& pipe,
+                    const std::vector<std::string>& keys) const;
+  // Runtime order feedback: once the pipe's feeder breaker completed
+  // and observed its data's actual sortedness, replaces the plan-time
+  // sorted_frac of the observed columns. Returns the observed fraction,
+  // or -1 when no observation applied.
+  double ApplyObservedOrder(OpenPipe& pipe) const;
+  // Appends to a job's ExplainPlan annotation (set_info overwrites).
+  void AppendInfo(int job_id, const std::string& info);
 
   static JoinStrategy Choose(double probe_rows, double build_rows,
                              double probe_sorted, double build_sorted);

@@ -88,6 +88,9 @@ void GroupByState::InitStates(uint8_t* row, const Chunk& in, int i) const {
 
 void GroupByState::InitStatesColumnar(uint8_t* const* rows, const Chunk& in,
                                       int n) const {
+  // `rows` is in packed selected-row order: rows[k] belongs to input row
+  // in.RowAt(k). `n` must equal in.ActiveRows().
+  const int32_t* sel = in.sel;
   for (size_t s = 0; s < specs_.size(); ++s) {
     const AggSpec& spec = specs_[s];
     const int f = num_keys_ + static_cast<int>(s);
@@ -101,17 +104,23 @@ void GroupByState::InitStatesColumnar(uint8_t* const* rows, const Chunk& in,
     switch (v.type) {
       case LogicalType::kInt32: {
         const int32_t* src = v.i32();
-        for (int i = 0; i < n; ++i) layout_.SetI64(rows[i], f, src[i]);
+        for (int i = 0; i < n; ++i) {
+          layout_.SetI64(rows[i], f, src[sel != nullptr ? sel[i] : i]);
+        }
         break;
       }
       case LogicalType::kInt64: {
         const int64_t* src = v.i64();
-        for (int i = 0; i < n; ++i) layout_.SetI64(rows[i], f, src[i]);
+        for (int i = 0; i < n; ++i) {
+          layout_.SetI64(rows[i], f, src[sel != nullptr ? sel[i] : i]);
+        }
         break;
       }
       case LogicalType::kDouble: {
         const double* src = v.f64();
-        for (int i = 0; i < n; ++i) layout_.SetF64(rows[i], f, src[i]);
+        for (int i = 0; i < n; ++i) {
+          layout_.SetF64(rows[i], f, src[sel != nullptr ? sel[i] : i]);
+        }
         break;
       }
       default:
@@ -285,14 +294,15 @@ void AggPhase1Sink::SwitchToRadix(Local& local, int worker_id, int socket,
 // bulk-append, column-wise field stores; no probes, no table churn.
 void AggPhase1Sink::ConsumeRadix(Chunk& chunk, ExecContext& ctx,
                                  Local& local) {
-  // The column-wise stores below want dense vectors (HashRows too).
-  chunk.Compact(&ctx.arena);
-  const int n = chunk.n;
+  // Packed per-selected-row hashes drive the scatter; dest[k] is the
+  // partial record for selected row chunk.RowAt(k), so the column-wise
+  // stores read straight through the selection vector.
+  const int n = chunk.ActiveRows();
   if (n == 0) return;
   const int wid = ctx.worker->worker_id;
   const int socket = ctx.socket();
   const TupleLayout& layout = state_->layout();
-  const uint64_t* hashes = HashRows(chunk, key_cols_, ctx);
+  const uint64_t* hashes = HashRowsPacked(chunk, key_cols_, ctx);
   uint8_t** dest = local.scatter->Scatter(
       hashes, n, ctx,
       [&](int p) { return state_->spill(wid, p, socket); });
@@ -304,10 +314,13 @@ void AggPhase1Sink::ConsumeRadix(Chunk& chunk, ExecContext& ctx,
     if (layout.field_type(k) == LogicalType::kString) {
       const std::string_view* src = v.str();
       for (int i = 0; i < n; ++i) {
-        layout.SetStr(dest[i], k, state_->InternString(wid, src[i]));
+        layout.SetStr(dest[i], k,
+                      state_->InternString(wid, src[chunk.RowAt(i)]));
       }
     } else {
-      for (int i = 0; i < n; ++i) layout.StoreFromVector(dest[i], k, v, i);
+      for (int i = 0; i < n; ++i) {
+        layout.StoreFromVector(dest[i], k, v, chunk.RowAt(i));
+      }
     }
   }
   state_->InitStatesColumnar(dest, chunk, n);

@@ -1,6 +1,7 @@
 #ifndef MORSELDB_EXEC_CHUNK_H_
 #define MORSELDB_EXEC_CHUNK_H_
 
+#include <atomic>
 #include <cstdint>
 #include <cstring>
 #include <string_view>
@@ -70,6 +71,18 @@ struct Chunk {
   // Gathers every column through `sel` into dense arena vectors and
   // drops the selection (n becomes sel_n). No-op on dense chunks.
   void Compact(Arena* arena);
+
+  // Process-wide count of Compact() calls that actually gathered (i.e.
+  // the chunk carried a selection). Every consumer on the filter→probe→
+  // agg→result hot path is sel-aware, so with selection_vectors enabled
+  // this must not move during query execution — regression tests pin
+  // that by sampling the counter around Execute().
+  static int64_t CompactCalls() {
+    return compact_calls_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  static std::atomic<int64_t> compact_calls_;
 };
 
 // Gathers rows `idx[0..count)` of `v` into a dense arena array.

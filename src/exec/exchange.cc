@@ -73,8 +73,10 @@ ExchangeSendSink::ExchangeSendSink(ExchangeChannel* channel,
       locals_(num_worker_slots) {}
 
 void ExchangeSendSink::Consume(Chunk& chunk, ExecContext& ctx) {
-  chunk.Compact(&ctx.arena);
-  const int n = chunk.n;
+  // Packed per-selected-row hashes drive the scatter; dest[k] holds the
+  // channel slot for selected row chunk.RowAt(k), so the field stores
+  // read through the selection and dropped rows never cross the wire.
+  const int n = chunk.ActiveRows();
   if (n == 0) return;
   const int wid = ctx.worker->worker_id;
   const int socket = ctx.socket();
@@ -87,7 +89,7 @@ void ExchangeSendSink::Consume(Chunk& chunk, ExecContext& ctx) {
     std::fill(zeros, zeros + n, uint64_t{0});
     hashes = zeros;
   } else {
-    hashes = HashRows(chunk, key_cols_, ctx);
+    hashes = HashRowsPacked(chunk, key_cols_, ctx);
   }
 
   Local& local = locals_[wid];
@@ -99,7 +101,7 @@ void ExchangeSendSink::Consume(Chunk& chunk, ExecContext& ctx) {
   uint8_t** dest = local.scatter->Scatter(
       hashes, n, ctx,
       [&](int b) { return set->buffer(wid, b, socket); });
-  for (int i = 0; i < n; ++i) TupleLayout::SetHash(dest[i], hashes[i]);
+  for (int k = 0; k < n; ++k) TupleLayout::SetHash(dest[k], hashes[k]);
 
   Arena* intern = nullptr;
   for (int f = 0; f < layout.num_fields(); ++f) {
@@ -112,12 +114,12 @@ void ExchangeSendSink::Consume(Chunk& chunk, ExecContext& ctx) {
         intern = channel_->intern_arena(sender_shard_, wid);
       }
       const std::string_view* s = v.str();
-      for (int i = 0; i < n; ++i) {
-        layout.SetStr(dest[i], f, intern->CopyString(s[i]));
+      for (int k = 0; k < n; ++k) {
+        layout.SetStr(dest[k], f, intern->CopyString(s[chunk.RowAt(k)]));
       }
     } else {
-      for (int i = 0; i < n; ++i) {
-        layout.StoreFromVector(dest[i], f, v, i);
+      for (int k = 0; k < n; ++k) {
+        layout.StoreFromVector(dest[k], f, v, chunk.RowAt(k));
       }
     }
   }

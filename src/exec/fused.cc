@@ -1,0 +1,42 @@
+#include "exec/fused.h"
+
+#include "common/macros.h"
+
+namespace morsel {
+
+FusedPipelineOp::FusedPipelineOp(
+    std::vector<std::unique_ptr<Operator>> stages)
+    : stages_(std::move(stages)) {
+  MORSEL_CHECK(!stages_.empty());
+  for (size_t s = 0; s < stages_.size(); ++s) {
+    if (s > 0) label_ += '+';
+    label_ += stages_[s]->Name();
+  }
+  rows_in_ =
+      std::make_unique<std::atomic<int64_t>[]>(stages_.size() + 1);
+}
+
+void FusedPipelineOp::Dispatch::Push(Chunk& chunk, size_t from_op,
+                                     ExecContext& ctx) {
+  if (chunk.ActiveRows() == 0) return;
+  FusedPipelineOp* op = op_;
+  op->rows_in_[from_op].fetch_add(chunk.ActiveRows(),
+                                  std::memory_order_relaxed);
+  if (from_op == op->stages_.size()) {
+    outer_->Push(chunk, static_cast<size_t>(outer_index_) + 1, ctx);
+    return;
+  }
+  op->stages_[from_op]->Process(chunk, ctx, *this,
+                                static_cast<int>(from_op));
+}
+
+void FusedPipelineOp::Process(Chunk& chunk, ExecContext& ctx,
+                              Pipeline& pipeline, int self_index) {
+  // One checkpoint per fused pass: the chain below runs chunk-resident
+  // with no other scheduler touchpoints (DESIGN §11 granularity).
+  ctx.CheckInterrupt();
+  Dispatch dispatch(this, &pipeline, self_index);
+  dispatch.Push(chunk, 0, ctx);
+}
+
+}  // namespace morsel

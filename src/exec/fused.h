@@ -1,0 +1,78 @@
+#ifndef MORSELDB_EXEC_FUSED_H_
+#define MORSELDB_EXEC_FUSED_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/pipeline.h"
+
+namespace morsel {
+
+// A fused run of intra-pipeline operators (DESIGN §15). The lowering
+// pass wraps every fusible operator chain between source and breaker
+// (Filter / Project / Probe — i.e. all intra-pipeline operators) into
+// one FusedPipelineOp when EngineOptions::fused_pipelines is set. Its
+// Process runs the whole chain over one resident chunk through a
+// private dispatcher, so chunks never re-enter the outer pipeline's
+// op-by-op Push chain between stages:
+//
+//  - one interrupt checkpoint per fused pass (chunk granularity, §11),
+//  - per-stage row counters preserved (rows entering each stage and
+//    rows leaving the chain), readable for explain/regression tests,
+//  - expanding stages (the probe emits multiple chunks per input) keep
+//    the ordinary pipeline.Push(out, self_index + 1, ctx) contract —
+//    the dispatcher routes those pushes to the next *stage* instead of
+//    the next outer op.
+//
+// Fusion is a pure execution-shape change: stage operators are the
+// exact objects unfused lowering would have produced (the adaptive
+// filter keeps its per-conjunct stats, the probe its join state), so
+// fused == unfused row-for-row by construction; differential tests pin
+// that.
+class FusedPipelineOp final : public Operator {
+ public:
+  explicit FusedPipelineOp(std::vector<std::unique_ptr<Operator>> stages);
+
+  void Process(Chunk& chunk, ExecContext& ctx, Pipeline& pipeline,
+               int self_index) override;
+  const char* Name() const override { return "fused"; }
+
+  // "filter+probe"-style stage list for explain annotations.
+  const std::string& label() const { return label_; }
+
+  int num_stages() const { return static_cast<int>(stages_.size()); }
+  // Rows that entered stage `s` (relaxed; exact once the pipeline
+  // finished). stage_rows(num_stages()) is the chain's output rows.
+  int64_t stage_rows(int s) const {
+    return rows_in_[s].load(std::memory_order_relaxed);
+  }
+
+ private:
+  // Routes the stages' pushes: stage s pushes to s+1; the last stage's
+  // push leaves the fused chain through the outer pipeline (which sends
+  // it to the sink, counting rows_to_sink as usual). Stack-allocated
+  // per Process call — it only holds three words.
+  class Dispatch final : public Pipeline {
+   public:
+    Dispatch(FusedPipelineOp* op, Pipeline* outer, int outer_index)
+        : op_(op), outer_(outer), outer_index_(outer_index) {}
+    void Push(Chunk& chunk, size_t from_op, ExecContext& ctx) override;
+
+   private:
+    FusedPipelineOp* op_;
+    Pipeline* outer_;
+    int outer_index_;
+  };
+
+  std::vector<std::unique_ptr<Operator>> stages_;
+  std::string label_;
+  // stages_.size() + 1 counters: per-stage rows in, plus chain rows out.
+  std::unique_ptr<std::atomic<int64_t>[]> rows_in_;
+};
+
+}  // namespace morsel
+
+#endif  // MORSELDB_EXEC_FUSED_H_

@@ -280,7 +280,9 @@ void HashProbeOp::ProbeScalar(const Chunk& chunk, const uint64_t* hashes,
   const int num_sockets = ctx.num_sockets();
   int socket_hint = -1;
 
-  for (int i = 0; i < chunk.n; ++i) {
+  const int active = chunk.ActiveRows();
+  for (int k = 0; k < active; ++k) {
+    const int i = chunk.RowAt(k);
     uint64_t hash = hashes[i];
     // One 8-byte read of the interleaved hash table array per probe.
     slot_reads.AddInterleaved(ht->SlotByteOffset(hash), 8, num_sockets);
@@ -328,7 +330,9 @@ void HashProbeOp::ProbeBatched(const Chunk& chunk, const uint64_t* hashes,
   // 8-byte-per-probe slot-read accounting rides the same pass.
   SocketTally slot_reads;
   const int num_sockets = ctx.num_sockets();
-  for (int i = 0; i < chunk.n; ++i) {
+  const int active = chunk.ActiveRows();
+  for (int k = 0; k < active; ++k) {
+    const int i = chunk.RowAt(k);
     ht->PrefetchSlot(hashes[i]);
     slot_reads.AddInterleaved(ht->SlotByteOffset(hashes[i]), 8,
                               num_sockets);
@@ -343,7 +347,8 @@ void HashProbeOp::ProbeBatched(const Chunk& chunk, const uint64_t* hashes,
       ctx.arena.AllocArray<const uint8_t*>(chunk.n);
   int n_pend = 0;
   const bool tag = ctx.use_tagging;
-  for (int i = 0; i < chunk.n; ++i) {
+  for (int k = 0; k < active; ++k) {
+    const int i = chunk.RowAt(k);
     uint64_t slot = ht->SlotValue(hashes[i]);
     if (tag && (slot & TaggedHashTable::TagOf(hashes[i])) == 0) continue;
     const uint8_t* head = TaggedHashTable::DecodePointer(slot);
@@ -422,10 +427,12 @@ void HashProbeOp::ProbeBatched(const Chunk& chunk, const uint64_t* hashes,
 
 void HashProbeOp::Process(Chunk& chunk, ExecContext& ctx,
                           Pipeline& pipeline, int self_index) {
-  // The staged probe pipeline indexes rows physically (prefetch sweeps,
-  // candidate row ids, match flags): request one dense gather up front
-  // instead of threading the selection through every stage.
-  chunk.Compact(&ctx.arena);
+  // The staged probe reads straight through the selection vector: every
+  // per-row structure (hashes, match flags, candidate lists) stays
+  // physically indexed, and the stage loops visit only selected rows.
+  // The eager ablation compacts up front instead (a no-op there in
+  // practice — FilterOp already emits dense chunks in that mode).
+  if (!ctx.selection_vectors) chunk.Compact(&ctx.arena);
   const uint64_t* hashes = HashRows(chunk, probe_key_cols_, ctx);
   JoinKind kind = state_->kind();
   const bool track_matches = kind != JoinKind::kInner &&
@@ -449,7 +456,9 @@ void HashProbeOp::Process(Chunk& chunk, ExecContext& ctx,
     const bool want = kind == JoinKind::kSemi;
     int32_t* rows = ctx.arena.AllocArray<int32_t>(chunk.n);
     int count = 0;
-    for (int i = 0; i < chunk.n; ++i) {
+    const int active = chunk.ActiveRows();
+    for (int k = 0; k < active; ++k) {
+      const int i = chunk.RowAt(k);
       bool is_matched = matched[i] != 0;
       if (kind == JoinKind::kLeftOuter) {
         if (!is_matched) rows[count++] = i;  // pad-and-emit misses

@@ -144,6 +144,7 @@ class HashProbeOp final : public Operator {
 
   void Process(Chunk& chunk, ExecContext& ctx, Pipeline& pipeline,
                int self_index) override;
+  const char* Name() const override { return "probe"; }
 
   // In-flight probes of the batched pipeline's chain-walking stage. Large
   // enough to overlap the latency of a memory access with useful work on

@@ -32,6 +32,19 @@ std::vector<ExprPtr> SingleConjunct(ExprPtr predicate) {
   return v;
 }
 
+// A packed order word is adoptable for `k` conjuncts iff its low k
+// bytes are a permutation of [0, k) and everything above is zero (so a
+// word persisted for a different conjunct count never aliases).
+bool ValidPackedOrder(uint64_t order, size_t k) {
+  uint32_t seen = 0;
+  for (size_t r = 0; r < k; ++r) {
+    const uint64_t c = (order >> (8 * r)) & 0xff;
+    if (c >= k || (seen & (1u << c)) != 0) return false;
+    seen |= 1u << c;
+  }
+  return k >= 8 || (order >> (8 * k)) == 0;
+}
+
 }  // namespace
 
 uint64_t HashRow(const Chunk& chunk, const std::vector<int>& key_cols,
@@ -64,10 +77,27 @@ uint64_t HashRow(const Chunk& chunk, const std::vector<int>& key_cols,
 const uint64_t* HashRows(const Chunk& chunk,
                          const std::vector<int>& key_cols,
                          ExecContext& ctx) {
-  MORSEL_DCHECK(chunk.dense());
   uint64_t* hashes = ctx.arena.AllocArray<uint64_t>(chunk.n);
-  for (int i = 0; i < chunk.n; ++i) {
-    hashes[i] = HashRow(chunk, key_cols, i);
+  if (chunk.dense()) {
+    for (int i = 0; i < chunk.n; ++i) {
+      hashes[i] = HashRow(chunk, key_cols, i);
+    }
+  } else {
+    for (int k = 0; k < chunk.sel_n; ++k) {
+      const int i = chunk.sel[k];
+      hashes[i] = HashRow(chunk, key_cols, i);
+    }
+  }
+  return hashes;
+}
+
+const uint64_t* HashRowsPacked(const Chunk& chunk,
+                               const std::vector<int>& key_cols,
+                               ExecContext& ctx) {
+  if (chunk.dense()) return HashRows(chunk, key_cols, ctx);
+  uint64_t* hashes = ctx.arena.AllocArray<uint64_t>(chunk.sel_n);
+  for (int k = 0; k < chunk.sel_n; ++k) {
+    hashes[k] = HashRow(chunk, key_cols, chunk.sel[k]);
   }
   return hashes;
 }
@@ -76,8 +106,11 @@ FilterOp::FilterOp(ExprPtr predicate)
     : FilterOp(SingleConjunct(std::move(predicate)), {-1}) {}
 
 FilterOp::FilterOp(std::vector<ExprPtr> conjuncts,
-                   std::vector<int> sarg_slots)
-    : conjuncts_(std::move(conjuncts)), sarg_slots_(std::move(sarg_slots)) {
+                   std::vector<int> sarg_slots,
+                   std::atomic<uint64_t>* persist_order)
+    : conjuncts_(std::move(conjuncts)),
+      sarg_slots_(std::move(sarg_slots)),
+      persist_order_(persist_order) {
   MORSEL_CHECK(!conjuncts_.empty());
   MORSEL_CHECK(sarg_slots_.size() == conjuncts_.size());
   for (const ExprPtr& c : conjuncts_) {
@@ -85,8 +118,16 @@ FilterOp::FilterOp(std::vector<ExprPtr> conjuncts,
   }
   adaptive_ =
       conjuncts_.size() >= 2 && conjuncts_.size() <= kMaxAdaptive;
-  order_.store(IdentityOrder(conjuncts_.size()),
-               std::memory_order_relaxed);
+  uint64_t order = IdentityOrder(conjuncts_.size());
+  if (adaptive_ && persist_order_ != nullptr) {
+    const uint64_t learned =
+        persist_order_->load(std::memory_order_relaxed);
+    if (learned != 0 && ValidPackedOrder(learned, conjuncts_.size())) {
+      order = learned;
+      started_warm_ = order != IdentityOrder(conjuncts_.size());
+    }
+  }
+  order_.store(order, std::memory_order_relaxed);
   stats_ = std::make_unique<ConjunctStats[]>(conjuncts_.size());
 }
 
@@ -120,6 +161,11 @@ void FilterOp::Rerank() {
     order |= static_cast<uint64_t>(idx[r]) << (8 * r);
   }
   order_.store(order, std::memory_order_relaxed);
+  if (persist_order_ != nullptr) {
+    // Publish to the plan-owned slot so the next execution of this
+    // plan node starts from the learned order (DESIGN §15).
+    persist_order_->store(order, std::memory_order_relaxed);
+  }
 }
 
 void FilterOp::ProcessSelection(Chunk& chunk, ExecContext& ctx,

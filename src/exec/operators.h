@@ -26,9 +26,20 @@ inline std::vector<int> IdentityCols(int n) {
   return cols;
 }
 
-// Computes hashes for all rows of a chunk into an arena array.
+// Computes key hashes for the chunk's *selected* rows into an arena
+// array indexed by physical row: hashes[chunk.RowAt(k)] is defined for
+// k in [0, ActiveRows()); unselected positions are uninitialized. Dense
+// chunks get a fully populated array. Consumers that keep physical row
+// ids (the batched probe) index it directly.
 const uint64_t* HashRows(const Chunk& chunk,
                          const std::vector<int>& key_cols, ExecContext& ctx);
+
+// Packed variant: hashes[k] is the hash of selected row chunk.RowAt(k),
+// for k in [0, ActiveRows()). This is the shape RadixScatter wants — its
+// destination array is in packed selected-row order.
+const uint64_t* HashRowsPacked(const Chunk& chunk,
+                               const std::vector<int>& key_cols,
+                               ExecContext& ctx);
 
 // --- basic operators ---------------------------------------------------------
 
@@ -53,9 +64,26 @@ const uint64_t* HashRows(const Chunk& chunk,
 class FilterOp final : public Operator {
  public:
   explicit FilterOp(ExprPtr predicate);
-  FilterOp(std::vector<ExprPtr> conjuncts, std::vector<int> sarg_slots);
+  // `persist_order` (optional) is a plan-owned slot for the learned
+  // conjunct order: re-ranks store the packed order word there, and a
+  // fresh FilterOp over the same plan node adopts a previously stored
+  // order instead of re-learning from identity (warm prepared-query
+  // re-executions). 0 means "nothing learned yet"; invalid words (wrong
+  // width / not a permutation) are ignored.
+  FilterOp(std::vector<ExprPtr> conjuncts, std::vector<int> sarg_slots,
+           std::atomic<uint64_t>* persist_order = nullptr);
   void Process(Chunk& chunk, ExecContext& ctx, Pipeline& pipeline,
                int self_index) override;
+  const char* Name() const override { return "filter"; }
+
+  // The current packed evaluation order (conjunct index at rank r is
+  // byte r) — exposed for explain/regression tests.
+  uint64_t PackedOrder() const {
+    return order_.load(std::memory_order_relaxed);
+  }
+  // True iff this op started from a persisted (learned) order rather
+  // than identity.
+  bool started_warm() const { return started_warm_; }
 
   // Conjunct cap for adaptive reordering (the packed-order word holds 8
   // bits per conjunct); larger conjunctions keep their static order.
@@ -91,6 +119,8 @@ class FilterOp final : public Operator {
   std::atomic<uint64_t> order_{0};
   std::atomic<uint64_t> chunks_{0};
   std::unique_ptr<ConjunctStats[]> stats_;
+  std::atomic<uint64_t>* persist_order_ = nullptr;
+  bool started_warm_ = false;
 };
 
 // Replaces the chunk's columns with the given expressions (projection /
@@ -100,6 +130,7 @@ class MapOp final : public Operator {
   explicit MapOp(std::vector<ExprPtr> exprs);
   void Process(Chunk& chunk, ExecContext& ctx, Pipeline& pipeline,
                int self_index) override;
+  const char* Name() const override { return "project"; }
 
  private:
   std::vector<ExprPtr> exprs_;

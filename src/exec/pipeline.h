@@ -38,6 +38,9 @@ class Operator {
   virtual ~Operator() = default;
   virtual void Process(Chunk& chunk, ExecContext& ctx, Pipeline& pipeline,
                        int self_index) = 0;
+  // Short lowercase stage name for explain annotations ("filter",
+  // "probe", ...).
+  virtual const char* Name() const { return "op"; }
 };
 
 // Terminal consumer of a pipeline — the pipeline breaker's materializing
@@ -64,18 +67,22 @@ class Sink {
 };
 
 // Source -> ops -> sink. The executable form of one of the paper's
-// pipeline segments.
+// pipeline segments. Push is virtual so a fused operator can route its
+// inner stages through a private dispatcher (exec/fused.h) while the
+// stages keep the ordinary pipeline.Push(out, self_index + 1, ctx)
+// contract.
 class Pipeline {
  public:
   Pipeline(std::unique_ptr<Source> source,
            std::vector<std::unique_ptr<Operator>> ops, Sink* sink)
       : source_(std::move(source)), ops_(std::move(ops)), sink_(sink) {}
+  virtual ~Pipeline() = default;
 
   Source* source() const { return source_.get(); }
   Sink* sink() const { return sink_; }
 
   // Pushes a chunk through ops [from_op ..] and finally the sink.
-  void Push(Chunk& chunk, size_t from_op, ExecContext& ctx) {
+  virtual void Push(Chunk& chunk, size_t from_op, ExecContext& ctx) {
     if (chunk.ActiveRows() == 0) return;
     if (from_op == ops_.size()) {
       ctx.rows_to_sink += chunk.ActiveRows();
@@ -84,6 +91,9 @@ class Pipeline {
     }
     ops_[from_op]->Process(chunk, ctx, *this, static_cast<int>(from_op));
   }
+
+ protected:
+  Pipeline() : sink_(nullptr) {}
 
  private:
   std::unique_ptr<Source> source_;

@@ -7,28 +7,46 @@ namespace morsel {
 
 void ResultSet::AppendChunk(const Chunk& chunk) {
   MORSEL_CHECK(chunk.num_cols() == num_cols());
+  const int active = chunk.ActiveRows();
   for (int c = 0; c < num_cols(); ++c) {
     const Vector& v = chunk.cols[c];
     MORSEL_CHECK(v.type == types_[c]);
     ColumnData& col = cols_[c];
     switch (v.type) {
       case LogicalType::kInt32:
-        col.i32.insert(col.i32.end(), v.i32(), v.i32() + chunk.n);
-        break;
-      case LogicalType::kInt64:
-        col.i64.insert(col.i64.end(), v.i64(), v.i64() + chunk.n);
-        break;
-      case LogicalType::kDouble:
-        col.f64.insert(col.f64.end(), v.f64(), v.f64() + chunk.n);
-        break;
-      case LogicalType::kString:
-        for (int i = 0; i < chunk.n; ++i) {
-          col.str.emplace_back(v.str()[i]);
+        if (chunk.dense()) {
+          col.i32.insert(col.i32.end(), v.i32(), v.i32() + chunk.n);
+        } else {
+          const int32_t* s = v.i32();
+          for (int k = 0; k < active; ++k) col.i32.push_back(s[chunk.sel[k]]);
         }
         break;
+      case LogicalType::kInt64:
+        if (chunk.dense()) {
+          col.i64.insert(col.i64.end(), v.i64(), v.i64() + chunk.n);
+        } else {
+          const int64_t* s = v.i64();
+          for (int k = 0; k < active; ++k) col.i64.push_back(s[chunk.sel[k]]);
+        }
+        break;
+      case LogicalType::kDouble:
+        if (chunk.dense()) {
+          col.f64.insert(col.f64.end(), v.f64(), v.f64() + chunk.n);
+        } else {
+          const double* s = v.f64();
+          for (int k = 0; k < active; ++k) col.f64.push_back(s[chunk.sel[k]]);
+        }
+        break;
+      case LogicalType::kString: {
+        const std::string_view* s = v.str();
+        for (int k = 0; k < active; ++k) {
+          col.str.emplace_back(s[chunk.RowAt(k)]);
+        }
+        break;
+      }
     }
   }
-  num_rows_ += chunk.n;
+  num_rows_ += active;
 }
 
 void ResultSet::AppendRow(const TupleLayout& layout, const uint8_t* row) {
@@ -121,13 +139,12 @@ ResultSink::ResultSink(std::vector<LogicalType> types, int num_worker_slots)
 void ResultSink::Consume(Chunk& chunk, ExecContext& ctx) {
   std::unique_ptr<ResultSet>& local = per_worker_[ctx.worker->worker_id];
   if (local == nullptr) local = std::make_unique<ResultSet>(types_);
-  // AppendChunk copies columns wholesale; densify first.
-  chunk.Compact(&ctx.arena);
+  // AppendChunk reads through the selection vector; no densify needed.
   local->AppendChunk(chunk);
   // Result rows are written into worker-local memory.
   uint64_t bytes = 0;
   for (LogicalType t : types_) {
-    bytes += static_cast<uint64_t>(TypeWidth(t)) * chunk.n;
+    bytes += static_cast<uint64_t>(TypeWidth(t)) * chunk.ActiveRows();
   }
   ctx.traffic()->OnWrite(ctx.socket(), ctx.socket(), bytes);
 }

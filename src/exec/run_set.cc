@@ -307,13 +307,14 @@ void RunMaterializeSink::Consume(Chunk& chunk, ExecContext& ctx) {
   int wid = ctx.worker->worker_id;
   RowBuffer* buf = runs_->run(wid, ctx.socket());
   MORSEL_CHECK(chunk.num_cols() == layout.num_fields());
-  // The bulk column-wise fill below wants dense vectors: one gather of
-  // the surviving rows beats a per-row selection indirection here.
-  chunk.Compact(&ctx.arena);
-  const int n = chunk.n;
+  // The bulk column-wise fill reads straight through the selection
+  // vector: appending only the selected rows beats gather-compacting
+  // every column first (the dropped rows never touch memory).
+  const int n = chunk.ActiveRows();
   if (n == 0) return;
+  const int32_t* sel = chunk.sel;
   const size_t rs = static_cast<size_t>(layout.row_size());
-  // Bulk-append the whole chunk, then fill column-wise: the type
+  // Bulk-append the active rows, then fill column-wise: the type
   // dispatch hoists out of the row loop and each field becomes a tight
   // strided-store loop. AppendRows zero-fills, which clears next/hash.
   uint8_t* base = buf->AppendRows(static_cast<size_t>(n));
@@ -323,27 +324,32 @@ void RunMaterializeSink::Consume(Chunk& chunk, ExecContext& ctx) {
     switch (v.type) {
       case LogicalType::kInt32: {
         const int32_t* src = v.i32();
-        for (int i = 0; i < n; ++i, p += rs) {
-          int64_t w = src[i];  // int32 widens to the 8-byte slot
+        for (int k = 0; k < n; ++k, p += rs) {
+          int64_t w = src[sel != nullptr ? sel[k] : k];  // widens to 8B
           std::memcpy(p, &w, 8);
         }
         break;
       }
       case LogicalType::kInt64: {
         const int64_t* src = v.i64();
-        for (int i = 0; i < n; ++i, p += rs) std::memcpy(p, src + i, 8);
+        for (int k = 0; k < n; ++k, p += rs) {
+          std::memcpy(p, src + (sel != nullptr ? sel[k] : k), 8);
+        }
         break;
       }
       case LogicalType::kDouble: {
         const double* src = v.f64();
-        for (int i = 0; i < n; ++i, p += rs) std::memcpy(p, src + i, 8);
+        for (int k = 0; k < n; ++k, p += rs) {
+          std::memcpy(p, src + (sel != nullptr ? sel[k] : k), 8);
+        }
         break;
       }
       case LogicalType::kString: {
         // Chunk strings may live in the per-morsel arena; intern them.
         const std::string_view* src = v.str();
-        for (int i = 0; i < n; ++i, p += rs) {
-          std::string_view sv = runs_->InternString(wid, src[i]);
+        for (int k = 0; k < n; ++k, p += rs) {
+          std::string_view sv =
+              runs_->InternString(wid, src[sel != nullptr ? sel[k] : k]);
           std::memcpy(p, &sv, sizeof(sv));
         }
         break;
@@ -364,14 +370,17 @@ void RunMaterializeSink::ConsumeRadix(Chunk& chunk, ExecContext& ctx) {
   const int wid = ctx.worker->worker_id;
   const int socket = ctx.socket();
   MORSEL_CHECK(chunk.num_cols() == layout.num_fields());
-  chunk.Compact(&ctx.arena);  // HashRows and the fills want dense vectors
-  const int n = chunk.n;
+  // Packed hashes (one per *selected* row) drive the scatter; dest[k]
+  // is then the row buffer slot for selected row chunk.RowAt(k).
+  const int n = chunk.ActiveRows();
   if (n == 0) return;
+  const int32_t* sel = chunk.sel;
   std::unique_ptr<RadixScatter>& sc = scatters_[wid];
   if (sc == nullptr) {
     sc = std::make_unique<RadixScatter>(&layout, runs_->radix_parts());
   }
-  const uint64_t* hashes = HashRows(chunk, runs_->radix_hash_cols(), ctx);
+  const uint64_t* hashes =
+      HashRowsPacked(chunk, runs_->radix_hash_cols(), ctx);
   uint8_t** dest = sc->Scatter(hashes, n, ctx, [&](int p) {
     return runs_->radix_run(wid, p, socket);
   });
@@ -381,27 +390,32 @@ void RunMaterializeSink::ConsumeRadix(Chunk& chunk, ExecContext& ctx) {
     switch (v.type) {
       case LogicalType::kInt32: {
         const int32_t* src = v.i32();
-        for (int i = 0; i < n; ++i) {
-          int64_t w = src[i];  // int32 widens to the 8-byte slot
-          std::memcpy(dest[i] + off, &w, 8);
+        for (int k = 0; k < n; ++k) {
+          int64_t w = src[sel != nullptr ? sel[k] : k];  // widens to 8B
+          std::memcpy(dest[k] + off, &w, 8);
         }
         break;
       }
       case LogicalType::kInt64: {
         const int64_t* src = v.i64();
-        for (int i = 0; i < n; ++i) std::memcpy(dest[i] + off, src + i, 8);
+        for (int k = 0; k < n; ++k) {
+          std::memcpy(dest[k] + off, src + (sel != nullptr ? sel[k] : k), 8);
+        }
         break;
       }
       case LogicalType::kDouble: {
         const double* src = v.f64();
-        for (int i = 0; i < n; ++i) std::memcpy(dest[i] + off, src + i, 8);
+        for (int k = 0; k < n; ++k) {
+          std::memcpy(dest[k] + off, src + (sel != nullptr ? sel[k] : k), 8);
+        }
         break;
       }
       case LogicalType::kString: {
         const std::string_view* src = v.str();
-        for (int i = 0; i < n; ++i) {
-          std::string_view sv = runs_->InternString(wid, src[i]);
-          std::memcpy(dest[i] + off, &sv, sizeof(sv));
+        for (int k = 0; k < n; ++k) {
+          std::string_view sv =
+              runs_->InternString(wid, src[sel != nullptr ? sel[k] : k]);
+          std::memcpy(dest[k] + off, &sv, sizeof(sv));
         }
         break;
       }

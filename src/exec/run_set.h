@@ -305,6 +305,15 @@ class LocalSortRunsJob final : public PipelineJob {
     set_info(info + "]");
     // Cardinality feedback: rows materialized into this side's runs.
     set_rows_produced(static_cast<int64_t>(runs_->MaterializedRows()));
+    // Order feedback: the share of runs that arrived already sorted
+    // (or merged naturally) is the observed sortedness of the data
+    // that flowed through this breaker — a downstream adaptive join
+    // trusts it over the plan-time sample.
+    if (total > 0) {
+      set_observed_sorted(static_cast<double>(runs_->presorted_runs() +
+                                              runs_->natural_merged_runs()) /
+                          static_cast<double>(total));
+    }
     if (on_finalize_) on_finalize_();
   }
 

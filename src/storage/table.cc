@@ -83,6 +83,77 @@ double Table::ColumnSortedFraction(int col) const {
   return total == 0 ? 1.0 : weighted / static_cast<double>(total);
 }
 
+double Table::ColumnSortedFraction(const std::vector<int>& cols) const {
+  MORSEL_CHECK(!cols.empty());
+  if (cols.size() == 1) return ColumnSortedFraction(cols[0]);
+  const uint64_t epoch = epoch_.load(std::memory_order_acquire);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    for (const MultiSortedEntry& e : multi_sorted_cache_) {
+      if (e.cols == cols && e.epoch == epoch) return e.frac;
+    }
+  }
+  // Lexicographic "row a sorts strictly before row b" over the typed
+  // columns; sampled per partition like the single-column probe (the
+  // partition is the morsel granularity, so per-worker runs inherit
+  // partition-level order).
+  double weighted = 0.0;
+  size_t total = 0;
+  for (const Partition& part : parts_) {
+    const size_t rows = part.rows.load(std::memory_order_acquire);
+    if (rows == 0) continue;
+    auto less = [&part, &cols](size_t a, size_t b) {
+      for (int col : cols) {
+        const Column* c = part.cols[col].get();
+        switch (c->type()) {
+          case LogicalType::kInt32: {
+            auto va = static_cast<const Int32Column*>(c)->Get(a);
+            auto vb = static_cast<const Int32Column*>(c)->Get(b);
+            if (va != vb) return va < vb;
+            break;
+          }
+          case LogicalType::kInt64: {
+            auto va = static_cast<const Int64Column*>(c)->Get(a);
+            auto vb = static_cast<const Int64Column*>(c)->Get(b);
+            if (va != vb) return va < vb;
+            break;
+          }
+          case LogicalType::kDouble: {
+            auto va = static_cast<const DoubleColumn*>(c)->Get(a);
+            auto vb = static_cast<const DoubleColumn*>(c)->Get(b);
+            if (va != vb) return va < vb;
+            break;
+          }
+          case LogicalType::kString: {
+            auto va = static_cast<const StringColumn*>(c)->Get(a);
+            auto vb = static_cast<const StringColumn*>(c)->Get(b);
+            if (va != vb) return va < vb;
+            break;
+          }
+        }
+      }
+      return false;  // equal on every key column
+    };
+    weighted += SampledSortedFraction(rows, less) *
+                static_cast<double>(rows);
+    total += rows;
+  }
+  const double frac =
+      total == 0 ? 1.0 : weighted / static_cast<double>(total);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    for (MultiSortedEntry& e : multi_sorted_cache_) {
+      if (e.cols == cols) {
+        e.epoch = epoch;
+        e.frac = frac;
+        return frac;
+      }
+    }
+    multi_sorted_cache_.push_back(MultiSortedEntry{cols, epoch, frac});
+  }
+  return frac;
+}
+
 int Table::SocketOfRange(int p, size_t begin_row) const {
   switch (placement_) {
     case Placement::kNumaLocal:

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -121,6 +122,16 @@ class Table {
   // join-strategy choice.
   double ColumnSortedFraction(int col) const;
 
+  // Composite-key sortedness: the sampled fraction of adjacent row
+  // pairs in lexicographic non-descending order over `cols` (leading
+  // column first). Lets multi-key adaptive joins detect merge-friendly
+  // inputs that every single column understates — e.g. (region, id)
+  // clustered loads where `id` alone samples as unsorted. Cached per
+  // column list under the table mutex, invalidated by the epoch bump
+  // of SealPartition. Equals ColumnSortedFraction(cols[0]) modulo
+  // sampling for a single-element list.
+  double ColumnSortedFraction(const std::vector<int>& cols) const;
+
   // Socket tag for accounting/scheduling of rows [begin, ...) in
   // partition `p`, honouring the placement policy.
   int SocketOfRange(int p, size_t begin_row) const;
@@ -157,6 +168,17 @@ class Table {
   int num_sockets_;
   std::vector<Partition> parts_;
   std::atomic<uint64_t> epoch_{0};
+
+  // Composite-sortedness cache: column list -> (epoch sampled at,
+  // fraction). Guarded by `stats_mu_`; entries whose epoch predates
+  // the live one recompute in place.
+  struct MultiSortedEntry {
+    std::vector<int> cols;
+    uint64_t epoch;
+    double frac;
+  };
+  mutable std::mutex stats_mu_;
+  mutable std::vector<MultiSortedEntry> multi_sorted_cache_;
 };
 
 }  // namespace morsel

@@ -20,6 +20,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/query_status.h"
@@ -356,6 +357,105 @@ TEST(Chaos, ShardedInjectedFaultSweep) {
   // 80 executions; both outcomes must actually occur.
   EXPECT_GE(faulted, 10) << "fault injection barely fired on shards";
   EXPECT_GE(survived, 20) << "every stall-mode run should survive";
+}
+
+// DESIGN §15: a fused operator chain runs chunk-resident with exactly
+// one interrupt checkpoint per pass. With monolithic morsels (one per
+// partition) no scheduler touchpoint exists between morsel pickup and
+// morsel end, so nothing but that in-loop checkpoint can notice a
+// mid-morsel cancellation. Cancelling while the workers are deep inside
+// their single morsel must therefore abort promptly — if the fused loop
+// dropped its checkpoint, Wait() would block for the remainder of the
+// clean runtime.
+TEST(Chaos, FusedPipelinesHonorInterruptCheckpointsMidMorsel) {
+  EngineOptions opts;
+  opts.morsel_size = 1 << 28;  // monolithic: one morsel per partition
+  opts.num_workers = 2;
+  Engine engine(SmallTopo(), opts);  // fused pipelines on by default
+
+  // Expensive conjuncts plus a projection: two fusible operators, and a
+  // clean runtime long enough to dwarf cancellation latency.
+  std::vector<std::pair<int64_t, int64_t>> rows;
+  rows.reserve(3000000);
+  for (int64_t i = 0; i < 3000000; ++i) rows.push_back({i % 1000, i});
+  auto big = MakeKv(SmallTopo(), rows, "k", "v");
+  auto make_plan = [&] {
+    PlanBuilder pb = PlanBuilder::Scan(big.get(), {"k", "v"});
+    pb.Filter(And(Lt(Add(Mul(pb.Col("v"), pb.Col("v")),
+                         Mul(pb.Col("k"), pb.Col("k"))),
+                     ConstI64(int64_t{1} << 62)),
+                  Ge(Mul(pb.Col("v"), ConstI64(3)), ConstI64(30))));
+    pb.Project(NE("k", pb.Col("k")),
+               NE("w", Add(Mul(pb.Col("v"), ConstI64(7)), pb.Col("k"))));
+    std::vector<AggItem> aggs;
+    aggs.push_back({AggFunc::kCount, nullptr, "cnt"});
+    aggs.push_back({AggFunc::kSum, pb.Col("w"), "sw"});
+    pb.GroupBy({"k"}, std::move(aggs));
+    pb.CollectResult();
+    return pb.Build();
+  };
+
+  const auto clean_t0 = std::chrono::steady_clock::now();
+  {
+    auto q = engine.CreateQuery(make_plan());
+    EXPECT_NE(q->ExplainPlan().find("[fused: filter+project"),
+              std::string::npos)
+        << q->ExplainPlan();
+    ResultSet r = q->Execute();
+    ASSERT_TRUE(r.ok());
+  }
+  const auto clean_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - clean_t0)
+          .count();
+
+  auto q = engine.CreateQuery(make_plan());
+  q->Start();
+  // Let the workers get well inside their monolithic morsels, then
+  // cancel and measure how long the abort takes to drain.
+  std::this_thread::sleep_for(std::chrono::milliseconds(clean_ms / 5));
+  const auto cancel_t0 = std::chrono::steady_clock::now();
+  q->Cancel();
+  bool done = q->WaitFor(std::chrono::seconds(120));
+  const auto cancel_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - cancel_t0)
+          .count();
+  ASSERT_TRUE(done) << "cancellation hung inside a fused morsel";
+  EXPECT_EQ(q->status().code, StatusCode::kCancelled)
+      << q->status().ToString();
+  EXPECT_EQ(q->TakeResult().num_rows(), 0);
+  // Prompt: far below the ~80% of clean runtime that finishing the
+  // monolithic morsels would cost without the in-loop checkpoint.
+  EXPECT_LT(cancel_ms, std::max<int64_t>(clean_ms * 2 / 5, 250))
+      << "cancel took " << cancel_ms << "ms against a " << clean_ms
+      << "ms clean run — fused loops are not polling CheckInterrupt";
+}
+
+// The unfused ablation arm keeps its own fault coverage now that the
+// default sweep above runs fused plans.
+TEST(Chaos, UnfusedAblationFaultSweep) {
+  EngineOptions opts;
+  opts.morsel_size = 512;
+  opts.num_workers = 4;
+  opts.fused_pipelines = false;
+  Engine engine(SmallTopo(), opts);
+  int faulted = 0;
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    LogicalPlan plan = DrawPlan(seed);
+    const std::vector<std::string>& oracle = OracleRows(seed);
+    for (int mode = 1; mode <= 2; ++mode) {
+      SCOPED_TRACE("seed " + std::to_string(seed) + " mode " +
+                   std::to_string(mode));
+      QueryStatus st =
+          RunGuarded(engine, plan, DrawFault(mode, seed), oracle);
+      EXPECT_TRUE(st.ok() || st.code == StatusCode::kCancelled ||
+                  st.code == StatusCode::kDeadlineExceeded)
+          << st.ToString();
+      if (!st.ok()) ++faulted;
+    }
+  }
+  EXPECT_GE(faulted, 3) << "fault injection barely fired unfused";
 }
 
 TEST(Chaos, PreparedQueryReExecutesCleanlyAfterFailure) {

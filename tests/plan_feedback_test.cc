@@ -209,6 +209,55 @@ TEST(PlanFeedback, WrongEstimateFlipsHashToMerge) {
       << plan_off;
 }
 
+// Breaker-observed order (DESIGN §15): the merge join's sort breaker
+// counts how much of its data arrived in key order and publishes the
+// fraction alongside rows_produced(); the deferred decision reads it
+// through the output pipe's order-feeder columns and reports it in the
+// decision annotation. Feedback off never observes anything.
+TEST(PlanFeedback, DeferredDecisionSeesBreakerObservedOrder) {
+  DeferredShape shape;
+  shape.probe_rows = 14000;
+  shape.a_rows = 12000;
+  shape.b_rows = 12000;
+  shape.filter_limit = 1 << 30;  // passes every row
+  auto p = MakeKv(SmallTopo(), AscRows(shape.probe_rows), "pk", "pv");
+  auto a = MakeKv(SmallTopo(), AscRows(shape.a_rows), "ak", "av");
+  auto b = MakeKv(SmallTopo(), AscRows(shape.b_rows), "bk", "bv");
+
+  std::string plan_on, plan_off;
+  std::vector<std::string> rows_on, rows_off;
+  {
+    EngineOptions opts;
+    opts.morsel_size = 512;
+    Engine engine(SmallTopo(), opts);
+    rows_on = RunShape(engine, p.get(), a.get(), b.get(), shape,
+                       JoinKind::kInner, false, JoinStrategy::kAdaptive,
+                       &plan_on);
+  }
+  {
+    EngineOptions opts;
+    opts.morsel_size = 512;
+    opts.runtime_feedback = false;
+    Engine engine(SmallTopo(), opts);
+    rows_off = RunShape(engine, p.get(), a.get(), b.get(), shape,
+                        JoinKind::kInner, false, JoinStrategy::kAdaptive,
+                        &plan_off);
+  }
+  EXPECT_EQ(rows_on, rows_off);
+
+  // Deferred decision: the inner merge join's sort breaker completed
+  // before the choice, so the annotation carries its observation (the
+  // probe side is scan-rooted and reads "?").
+  EXPECT_NE(plan_on.find("adaptive-join-decide"), std::string::npos)
+      << plan_on;
+  EXPECT_NE(plan_on.find(" observed-order=?/"), std::string::npos)
+      << plan_on;
+
+  // Plan-time resolution has no breaker to consult.
+  EXPECT_EQ(plan_off.find("observed-order="), std::string::npos)
+      << plan_off;
+}
+
 // Stat decay: a perfectly sorted probe column that crossed one hash
 // probe no longer reads 1.0. One hop (0.95) still clears the 0.90 merge
 // bar; three hops (0.857) must not. Verified through the adaptive
